@@ -1,0 +1,634 @@
+//! Program builder / assembler for RV32IMF + smallFloat.
+//!
+//! [`Assembler`] provides label-based control flow, pseudo-instructions
+//! (`li`, `la`, `mv`, `j`, `ret`, `nop`) and one convenience method per
+//! instruction family, including the smallFloat intrinsics surface the
+//! paper adds to GCC (`vfcpk`, `fmacex`, `vfdotpex`, …). Programs assemble
+//! to a `Vec<Instr>` suitable for the simulator's `Cpu::load_program`
+//! (4 bytes per instruction; the builder never emits compressed forms).
+//!
+//! ```
+//! use smallfloat_asm::Assembler;
+//! use smallfloat_isa::XReg;
+//!
+//! let mut asm = Assembler::new();
+//! let (a0, a1) = (XReg::a(0), XReg::a(1));
+//! asm.li(a0, 0);
+//! asm.li(a1, 5);
+//! asm.label("loop");
+//! asm.add(a0, a0, a1);
+//! asm.addi(a1, a1, -1);
+//! asm.bnez("loop", a1);
+//! asm.ecall();
+//! let prog = asm.assemble().unwrap();
+//! assert!(prog.len() >= 6);
+//! ```
+
+pub mod parse;
+
+pub use parse::{parse_line, parse_program, ParseError};
+
+use smallfloat_isa::{
+    AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp, FReg, Instr, MemWidth,
+    MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp, XReg,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors reported by [`Assembler::assemble`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// A label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is further than ±4 KiB away.
+    BranchOutOfRange { label: String, offset: i64 },
+    /// A jump target is further than ±1 MiB away.
+    JumpOutOfRange { label: String, offset: i64 },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range ({offset} bytes)")
+            }
+            AsmError::JumpOutOfRange { label, offset } => {
+                write!(f, "jump to `{label}` out of range ({offset} bytes)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+enum Item {
+    Fixed(Instr),
+    Branch { cond: BranchCond, rs1: XReg, rs2: XReg, label: String },
+    Jump { rd: XReg, label: String },
+}
+
+/// A label-aware RV32 program builder.
+#[derive(Default)]
+pub struct Assembler {
+    items: Vec<Item>,
+    labels: HashMap<String, usize>,
+    errors: Vec<AsmError>,
+}
+
+impl Assembler {
+    /// Create an empty program.
+    pub fn new() -> Assembler {
+        Assembler::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if nothing has been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Append a raw instruction.
+    pub fn push(&mut self, instr: Instr) -> &mut Assembler {
+        self.items.push(Item::Fixed(instr));
+        self
+    }
+
+    /// Define a label at the current position.
+    pub fn label(&mut self, name: &str) -> &mut Assembler {
+        if self.labels.insert(name.to_string(), self.items.len()).is_some() {
+            self.errors.push(AsmError::DuplicateLabel(name.to_string()));
+        }
+        self
+    }
+
+    /// Resolve labels and produce the instruction stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AsmError`] encountered (duplicate or undefined
+    /// labels, out-of-range branch/jump offsets).
+    pub fn assemble(&self) -> Result<Vec<Instr>, AsmError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        let mut out = Vec::with_capacity(self.items.len());
+        for (idx, item) in self.items.iter().enumerate() {
+            let resolve = |label: &String| -> Result<i64, AsmError> {
+                let target = self
+                    .labels
+                    .get(label)
+                    .ok_or_else(|| AsmError::UndefinedLabel(label.clone()))?;
+                Ok((*target as i64 - idx as i64) * 4)
+            };
+            match item {
+                Item::Fixed(i) => out.push(*i),
+                Item::Branch { cond, rs1, rs2, label } => {
+                    let offset = resolve(label)?;
+                    if !(-4096..4096).contains(&offset) {
+                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
+                    }
+                    out.push(Instr::Branch {
+                        cond: *cond,
+                        rs1: *rs1,
+                        rs2: *rs2,
+                        offset: offset as i32,
+                    });
+                }
+                Item::Jump { rd, label } => {
+                    let offset = resolve(label)?;
+                    if !(-(1 << 20)..(1 << 20)).contains(&offset) {
+                        return Err(AsmError::JumpOutOfRange { label: label.clone(), offset });
+                    }
+                    out.push(Instr::Jal { rd: *rd, offset: offset as i32 });
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Disassembly listing with label definitions interleaved and label
+    /// names kept symbolic in branch/jump operands.
+    pub fn listing(&self) -> String {
+        let mut by_pos: HashMap<usize, Vec<&str>> = HashMap::new();
+        for (name, pos) in &self.labels {
+            by_pos.entry(*pos).or_default().push(name);
+        }
+        let mut s = String::new();
+        for (idx, item) in self.items.iter().enumerate() {
+            if let Some(names) = by_pos.get(&idx) {
+                for n in names {
+                    s.push_str(n);
+                    s.push_str(":\n");
+                }
+            }
+            let line = match item {
+                Item::Fixed(i) => i.to_string(),
+                Item::Branch { cond, rs1, rs2, label } => {
+                    let m = match cond {
+                        BranchCond::Eq => "beq",
+                        BranchCond::Ne => "bne",
+                        BranchCond::Lt => "blt",
+                        BranchCond::Ge => "bge",
+                        BranchCond::Ltu => "bltu",
+                        BranchCond::Geu => "bgeu",
+                    };
+                    format!("{m} {rs1}, {rs2}, {label}")
+                }
+                Item::Jump { rd, label } => {
+                    if rd.num() == 0 {
+                        format!("j {label}")
+                    } else {
+                        format!("jal {rd}, {label}")
+                    }
+                }
+            };
+            s.push_str("    ");
+            s.push_str(&line);
+            s.push('\n');
+        }
+        s
+    }
+
+    // --------------- pseudo-instructions ---------------
+
+    /// `nop`.
+    pub fn nop(&mut self) -> &mut Assembler {
+        self.addi(XReg::ZERO, XReg::ZERO, 0)
+    }
+
+    /// Load a 32-bit immediate (expands to `lui`+`addi` when needed).
+    pub fn li(&mut self, rd: XReg, value: i32) -> &mut Assembler {
+        if (-2048..2048).contains(&value) {
+            return self.addi(rd, XReg::ZERO, value);
+        }
+        let lo = (value << 20) >> 20; // low 12 bits, sign-extended
+        let hi = (value.wrapping_sub(lo) as u32) >> 12;
+        self.push(Instr::Lui { rd, imm20: hi as i32 });
+        if lo != 0 {
+            self.addi(rd, rd, lo);
+        }
+        self
+    }
+
+    /// Load an address (alias of [`Assembler::li`] for `u32` addresses).
+    pub fn la(&mut self, rd: XReg, addr: u32) -> &mut Assembler {
+        self.li(rd, addr as i32)
+    }
+
+    /// `mv rd, rs`.
+    pub fn mv(&mut self, rd: XReg, rs: XReg) -> &mut Assembler {
+        self.addi(rd, rs, 0)
+    }
+
+    /// Unconditional jump to a label.
+    pub fn j(&mut self, label: &str) -> &mut Assembler {
+        self.items.push(Item::Jump { rd: XReg::ZERO, label: label.to_string() });
+        self
+    }
+
+    /// `jal ra, label` (call).
+    pub fn call(&mut self, label: &str) -> &mut Assembler {
+        self.items.push(Item::Jump { rd: XReg::RA, label: label.to_string() });
+        self
+    }
+
+    /// `ret` (`jalr zero, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Assembler {
+        self.push(Instr::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 })
+    }
+
+    /// `ecall` — the simulator's exit convention.
+    pub fn ecall(&mut self) -> &mut Assembler {
+        self.push(Instr::Ecall)
+    }
+
+    /// Branch if `rs != 0`.
+    pub fn bnez(&mut self, label: &str, rs: XReg) -> &mut Assembler {
+        self.branch(BranchCond::Ne, rs, XReg::ZERO, label)
+    }
+
+    /// Branch if `rs == 0`.
+    pub fn beqz(&mut self, label: &str, rs: XReg) -> &mut Assembler {
+        self.branch(BranchCond::Eq, rs, XReg::ZERO, label)
+    }
+
+    /// Label-targeted conditional branch.
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: XReg,
+        rs2: XReg,
+        label: &str,
+    ) -> &mut Assembler {
+        self.items.push(Item::Branch { cond, rs1, rs2, label: label.to_string() });
+        self
+    }
+
+    // --------------- integer ---------------
+
+    /// `addi rd, rs1, imm`.
+    pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i32) -> &mut Assembler {
+        self.push(Instr::OpImm { op: AluOp::Add, rd, rs1, imm })
+    }
+
+    /// `slli rd, rs1, shamt`.
+    pub fn slli(&mut self, rd: XReg, rs1: XReg, shamt: i32) -> &mut Assembler {
+        self.push(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+    }
+
+    /// `srli rd, rs1, shamt`.
+    pub fn srli(&mut self, rd: XReg, rs1: XReg, shamt: i32) -> &mut Assembler {
+        self.push(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+    }
+
+    /// `andi rd, rs1, imm`.
+    pub fn andi(&mut self, rd: XReg, rs1: XReg, imm: i32) -> &mut Assembler {
+        self.push(Instr::OpImm { op: AluOp::And, rd, rs1, imm })
+    }
+
+    /// `add rd, rs1, rs2`.
+    pub fn add(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Assembler {
+        self.push(Instr::Op { op: AluOp::Add, rd, rs1, rs2 })
+    }
+
+    /// `sub rd, rs1, rs2`.
+    pub fn sub(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Assembler {
+        self.push(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 })
+    }
+
+    /// `mul rd, rs1, rs2`.
+    pub fn mul(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Assembler {
+        self.push(Instr::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 })
+    }
+
+    /// `lw rd, offset(rs1)`.
+    pub fn lw(&mut self, rd: XReg, rs1: XReg, offset: i32) -> &mut Assembler {
+        self.push(Instr::Load { width: MemWidth::W, unsigned: false, rd, rs1, offset })
+    }
+
+    /// `sw rs2, offset(rs1)`.
+    pub fn sw(&mut self, rs2: XReg, rs1: XReg, offset: i32) -> &mut Assembler {
+        self.push(Instr::Store { width: MemWidth::W, rs2, rs1, offset })
+    }
+
+    /// CSR read: `csrrs rd, csr, zero`.
+    pub fn csrr(&mut self, rd: XReg, csr: u16) -> &mut Assembler {
+        self.push(Instr::Csr { op: CsrOp::Rs, rd, src: CsrSrc::Reg(XReg::ZERO), csr })
+    }
+
+    /// CSR write: `csrrw zero, csr, rs`.
+    pub fn csrw(&mut self, csr: u16, rs: XReg) -> &mut Assembler {
+        self.push(Instr::Csr { op: CsrOp::Rw, rd: XReg::ZERO, src: CsrSrc::Reg(rs), csr })
+    }
+
+    // --------------- scalar FP ---------------
+
+    /// Format-directed FP load (`flw`/`flh`/`flb`).
+    pub fn fload(&mut self, fmt: FpFmt, rd: FReg, rs1: XReg, offset: i32) -> &mut Assembler {
+        self.push(Instr::FLoad { fmt, rd, rs1, offset })
+    }
+
+    /// Format-directed FP store (`fsw`/`fsh`/`fsb`).
+    pub fn fstore(&mut self, fmt: FpFmt, rs2: FReg, rs1: XReg, offset: i32) -> &mut Assembler {
+        self.push(Instr::FStore { fmt, rs2, rs1, offset })
+    }
+
+    /// `fadd.fmt rd, rs1, rs2`.
+    pub fn fadd(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::FOp { op: FpOp::Add, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+    }
+
+    /// `fsub.fmt rd, rs1, rs2`.
+    pub fn fsub(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::FOp { op: FpOp::Sub, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+    }
+
+    /// `fmul.fmt rd, rs1, rs2`.
+    pub fn fmul(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::FOp { op: FpOp::Mul, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+    }
+
+    /// `fdiv.fmt rd, rs1, rs2`.
+    pub fn fdiv(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::FOp { op: FpOp::Div, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+    }
+
+    /// `fsqrt.fmt rd, rs1`.
+    pub fn fsqrt(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg) -> &mut Assembler {
+        self.push(Instr::FSqrt { fmt, rd, rs1, rm: Rm::Dyn })
+    }
+
+    /// `fmadd.fmt rd, rs1, rs2, rs3` (rd = rs1·rs2 + rs3).
+    pub fn fmadd(
+        &mut self,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+    ) -> &mut Assembler {
+        self.push(Instr::FFma { op: FmaOp::Madd, fmt, rd, rs1, rs2, rs3, rm: Rm::Dyn })
+    }
+
+    /// `fmin.fmt` / `fmax.fmt`.
+    pub fn fminmax(
+        &mut self,
+        fmt: FpFmt,
+        op: MinMaxOp,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    ) -> &mut Assembler {
+        self.push(Instr::FMinMax { op, fmt, rd, rs1, rs2 })
+    }
+
+    /// FP register move (`fsgnj.fmt rd, rs, rs`).
+    pub fn fmv(&mut self, fmt: FpFmt, rd: FReg, rs: FReg) -> &mut Assembler {
+        self.push(Instr::FSgnj { kind: SgnjKind::Sgnj, fmt, rd, rs1: rs, rs2: rs })
+    }
+
+    /// Sign injection.
+    pub fn fsgnj(
+        &mut self,
+        fmt: FpFmt,
+        kind: SgnjKind,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    ) -> &mut Assembler {
+        self.push(Instr::FSgnj { kind, fmt, rd, rs1, rs2 })
+    }
+
+    /// `fcvt.dst.src rd, rs1`.
+    pub fn fcvt(&mut self, dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg) -> &mut Assembler {
+        self.push(Instr::FCvtFF { dst, src, rd, rs1, rm: Rm::Dyn })
+    }
+
+    /// `fcvt.w.fmt rd, rs1` (signed) or `fcvt.wu.fmt`.
+    pub fn fcvt_w(&mut self, fmt: FpFmt, rd: XReg, rs1: FReg, signed: bool) -> &mut Assembler {
+        self.push(Instr::FCvtFI { fmt, rd, rs1, signed, rm: Rm::Dyn })
+    }
+
+    /// `fcvt.fmt.w rd, rs1` (signed) or `fcvt.fmt.wu`.
+    pub fn fcvt_f(&mut self, fmt: FpFmt, rd: FReg, rs1: XReg, signed: bool) -> &mut Assembler {
+        self.push(Instr::FCvtIF { fmt, rd, rs1, signed, rm: Rm::Dyn })
+    }
+
+    /// `feq`/`flt`/`fle` into an integer register.
+    pub fn fcmp(
+        &mut self,
+        fmt: FpFmt,
+        op: CmpOp,
+        rd: XReg,
+        rs1: FReg,
+        rs2: FReg,
+    ) -> &mut Assembler {
+        self.push(Instr::FCmp { op, fmt, rd, rs1, rs2 })
+    }
+
+    /// `fmv.x.fmt rd, rs1`.
+    pub fn fmv_x(&mut self, fmt: FpFmt, rd: XReg, rs1: FReg) -> &mut Assembler {
+        self.push(Instr::FMvXF { fmt, rd, rs1 })
+    }
+
+    /// `fmv.fmt.x rd, rs1`.
+    pub fn fmv_f(&mut self, fmt: FpFmt, rd: FReg, rs1: XReg) -> &mut Assembler {
+        self.push(Instr::FMvFX { fmt, rd, rs1 })
+    }
+
+    // --------------- Xfaux / Xfvec intrinsics ---------------
+    //
+    // One-to-one with the compiler intrinsics the paper adds to GCC
+    // (e.g. `__macex_vf16(sum, …)` in its Fig. 5 maps to `fmacex`).
+
+    /// `fmulex.s.fmt rd, rs1, rs2` — expanding multiply into binary32.
+    pub fn fmulex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::FMulEx { fmt, rd, rs1, rs2, rm: Rm::Dyn })
+    }
+
+    /// `fmacex.s.fmt rd, rs1, rs2` — expanding MAC on a binary32
+    /// accumulator (the paper's `__macex_vf16`).
+    pub fn fmacex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::FMacEx { fmt, rd, rs1, rs2, rm: Rm::Dyn })
+    }
+
+    /// Lane-wise vector op (`vfadd`/`vfmul`/…, `.r` variant via `rep`).
+    pub fn vfop(
+        &mut self,
+        op: VfOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rep: bool,
+    ) -> &mut Assembler {
+        self.push(Instr::VFOp { op, fmt, rd, rs1, rs2, rep })
+    }
+
+    /// `vfadd.fmt rd, rs1, rs2`.
+    pub fn vfadd(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Add, fmt, rd, rs1, rs2, false)
+    }
+
+    /// `vfsub.fmt rd, rs1, rs2`.
+    pub fn vfsub(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Sub, fmt, rd, rs1, rs2, false)
+    }
+
+    /// `vfmul.fmt rd, rs1, rs2`.
+    pub fn vfmul(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Mul, fmt, rd, rs1, rs2, false)
+    }
+
+    /// `vfmac.fmt rd, rs1, rs2` — lane-wise fused MAC.
+    pub fn vfmac(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Mac, fmt, rd, rs1, rs2, false)
+    }
+
+    /// `vfcmp` lane-mask comparison.
+    pub fn vfcmp(
+        &mut self,
+        op: VCmpOp,
+        fmt: FpFmt,
+        rd: XReg,
+        rs1: FReg,
+        rs2: FReg,
+    ) -> &mut Assembler {
+        self.push(Instr::VFCmp { op, fmt, rd, rs1, rs2, rep: false })
+    }
+
+    /// `vfcpk.a.fmt.s rd, rs1, rs2` — cast-and-pack into lanes 0–1.
+    pub fn vfcpk_a(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::VFCpk { fmt, half: CpkHalf::A, rd, rs1, rs2 })
+    }
+
+    /// `vfcpk.b.fmt.s rd, rs1, rs2` — lanes 2–3 (binary8 only at FLEN=32).
+    pub fn vfcpk_b(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::VFCpk { fmt, half: CpkHalf::B, rd, rs1, rs2 })
+    }
+
+    /// `vfdotpex.s.fmt rd, rs1, rs2` — expanding dot product accumulating
+    /// into a binary32 destination (the paper's `__dotpex_vf16`).
+    pub fn vfdotpex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::VFDotpEx { fmt, rd, rs1, rs2, rep: false })
+    }
+
+    /// `vfcvt.x.fmt` / `vfcvt.xu.fmt` — vector float→int.
+    pub fn vfcvt_x(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool) -> &mut Assembler {
+        self.push(Instr::VFCvtXF { fmt, rd, rs1, signed })
+    }
+
+    /// `vfcvt.fmt.x` / `vfcvt.fmt.xu` — vector int→float.
+    pub fn vfcvt_f(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool) -> &mut Assembler {
+        self.push(Instr::VFCvtFX { fmt, rd, rs1, signed })
+    }
+
+    /// `vfcvt.dst.src` between the two 16-bit formats.
+    pub fn vfcvt_ff(&mut self, dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg) -> &mut Assembler {
+        self.push(Instr::VFCvtFF { dst, src, rd, rs1 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_back_and_forward() {
+        let mut asm = Assembler::new();
+        asm.label("top");
+        asm.nop();
+        asm.j("end");
+        asm.nop();
+        asm.branch(BranchCond::Eq, XReg::ZERO, XReg::ZERO, "top");
+        asm.label("end");
+        asm.ecall();
+        let prog = asm.assemble().unwrap();
+        assert_eq!(prog.len(), 5);
+        assert_eq!(prog[1], Instr::Jal { rd: XReg::ZERO, offset: 12 });
+        assert_eq!(
+            prog[3],
+            Instr::Branch { cond: BranchCond::Eq, rs1: XReg::ZERO, rs2: XReg::ZERO, offset: -12 }
+        );
+    }
+
+    #[test]
+    fn undefined_and_duplicate_labels() {
+        let mut asm = Assembler::new();
+        asm.j("nowhere");
+        assert_eq!(asm.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+        let mut asm = Assembler::new();
+        asm.label("x");
+        asm.label("x");
+        assert_eq!(asm.assemble(), Err(AsmError::DuplicateLabel("x".into())));
+    }
+
+    #[test]
+    fn li_expansion() {
+        let mut asm = Assembler::new();
+        asm.li(XReg::a(0), 42);
+        assert_eq!(asm.len(), 1);
+        let mut asm = Assembler::new();
+        asm.li(XReg::a(0), 0x12345678);
+        let prog = asm.assemble().unwrap();
+        assert_eq!(prog.len(), 2);
+        if let (Instr::Lui { imm20, .. }, Instr::OpImm { imm, .. }) = (prog[0], prog[1]) {
+            let v = ((imm20 as u32) << 12).wrapping_add(imm as u32);
+            assert_eq!(v, 0x12345678);
+        } else {
+            panic!("expected lui+addi, got {prog:?}");
+        }
+        // Value whose low 12 bits have the sign bit set.
+        let mut asm = Assembler::new();
+        asm.li(XReg::a(0), 0x12345FFFu32 as i32);
+        let prog = asm.assemble().unwrap();
+        if let (Instr::Lui { imm20, .. }, Instr::OpImm { imm, .. }) = (prog[0], prog[1]) {
+            let v = ((imm20 as u32) << 12).wrapping_add(imm as u32);
+            assert_eq!(v, 0x12345FFF);
+        } else {
+            panic!("expected lui+addi");
+        }
+    }
+
+    #[test]
+    fn branch_range_checked() {
+        let mut asm = Assembler::new();
+        asm.branch(BranchCond::Eq, XReg::ZERO, XReg::ZERO, "far");
+        for _ in 0..2000 {
+            asm.nop();
+        }
+        asm.label("far");
+        asm.ecall();
+        assert!(matches!(asm.assemble(), Err(AsmError::BranchOutOfRange { .. })));
+    }
+
+    #[test]
+    fn listing_shows_labels() {
+        let mut asm = Assembler::new();
+        asm.label("loop");
+        asm.fmacex(FpFmt::H, FReg::new(8), FReg::new(0), FReg::new(1));
+        asm.bnez("loop", XReg::a(0));
+        let text = asm.listing();
+        assert!(text.contains("loop:"));
+        assert!(text.contains("fmacex.s.h"));
+        assert!(text.contains("bne a0, zero, loop"));
+    }
+
+    #[test]
+    fn intrinsics_map_to_instructions() {
+        let mut asm = Assembler::new();
+        asm.vfcpk_a(FpFmt::H, FReg::new(0), FReg::new(1), FReg::new(2));
+        asm.vfdotpex(FpFmt::B, FReg::new(3), FReg::new(4), FReg::new(5));
+        let prog = asm.assemble().unwrap();
+        assert!(matches!(prog[0], Instr::VFCpk { half: CpkHalf::A, .. }));
+        assert!(matches!(prog[1], Instr::VFDotpEx { fmt: FpFmt::B, .. }));
+    }
+}

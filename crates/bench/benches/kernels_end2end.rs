@@ -1,0 +1,33 @@
+//! End-to-end benchmark: full GEMM workloads through compile + simulate,
+//! across precision/lowering variants (host-side wall time of the whole
+//! reproduction pipeline).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smallfloat_kernels::bench::{self, Precision, VecMode};
+use smallfloat_kernels::polybench::Gemm;
+use smallfloat_sim::MemLevel;
+
+fn bench_end2end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernels_end2end");
+    group.sample_size(10);
+    let gemm = Gemm { n: 16 };
+    for (label, prec, mode) in [
+        ("float_scalar", Precision::F32, VecMode::Scalar),
+        ("f16_auto", Precision::F16, VecMode::Auto),
+        ("f16_manual", Precision::F16, VecMode::Manual),
+        ("f8_auto", Precision::F8, VecMode::Auto),
+        ("f8_manual", Precision::F8, VecMode::Manual),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("gemm16", label),
+            &(prec, mode),
+            |b, (prec, mode)| {
+                b.iter(|| bench::run(&gemm, prec, *mode, MemLevel::L1).stats.cycles)
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end2end);
+criterion_main!(benches);

@@ -1,0 +1,88 @@
+//! Simulator dispatch rate: simulated instructions per second for integer,
+//! scalar-FP and SIMD-FP instruction mixes.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use smallfloat_asm::Assembler;
+use smallfloat_isa::{FpFmt, FReg, XReg};
+use smallfloat_sim::{Cpu, SimConfig};
+
+const ITERS: i32 = 1000;
+
+fn int_loop() -> Vec<smallfloat_isa::Instr> {
+    let mut asm = Assembler::new();
+    let (i, acc) = (XReg::s(0), XReg::a(0));
+    asm.li(acc, 0);
+    asm.li(i, ITERS);
+    asm.label("loop");
+    asm.add(acc, acc, i);
+    asm.slli(XReg::t(0), i, 1);
+    asm.sub(acc, acc, XReg::t(0));
+    asm.addi(i, i, -1);
+    asm.bnez("loop", i);
+    asm.ecall();
+    asm.assemble().expect("valid")
+}
+
+fn fp_loop(fmt: FpFmt) -> Vec<smallfloat_isa::Instr> {
+    let mut asm = Assembler::new();
+    let i = XReg::s(0);
+    let (a, b, c) = (FReg::new(0), FReg::new(1), FReg::new(2));
+    asm.li(XReg::t(0), fmt.format().one() as i32);
+    asm.fmv_f(fmt, a, XReg::t(0));
+    asm.fmv_f(fmt, b, XReg::t(0));
+    asm.fmv_f(fmt, c, XReg::t(0));
+    asm.li(i, ITERS);
+    asm.label("loop");
+    asm.fmadd(fmt, c, a, b, c);
+    asm.fmul(fmt, b, a, b);
+    asm.addi(i, i, -1);
+    asm.bnez("loop", i);
+    asm.ecall();
+    asm.assemble().expect("valid")
+}
+
+fn vec_loop(fmt: FpFmt) -> Vec<smallfloat_isa::Instr> {
+    let mut asm = Assembler::new();
+    let i = XReg::s(0);
+    let (a, b, c) = (FReg::new(0), FReg::new(1), FReg::new(2));
+    asm.li(XReg::t(0), 0x3c003c00u32 as i32);
+    asm.fmv_f(FpFmt::S, a, XReg::t(0));
+    asm.fmv_f(FpFmt::S, b, XReg::t(0));
+    asm.fmv_f(FpFmt::S, c, XReg::t(0));
+    asm.li(i, ITERS);
+    asm.label("loop");
+    asm.vfmac(fmt, c, a, b);
+    asm.vfmul(fmt, b, a, b);
+    asm.addi(i, i, -1);
+    asm.bnez("loop", i);
+    asm.ecall();
+    asm.assemble().expect("valid")
+}
+
+fn run(program: &[smallfloat_isa::Instr]) -> u64 {
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(0x1000, program);
+    cpu.run(10_000_000).expect("terminates");
+    cpu.stats().instret
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_dispatch");
+    let cases = [
+        ("int_alu", int_loop()),
+        ("fp32", fp_loop(FpFmt::S)),
+        ("fp16", fp_loop(FpFmt::H)),
+        ("fp8", fp_loop(FpFmt::B)),
+        ("vec16", vec_loop(FpFmt::H)),
+        ("vec8", vec_loop(FpFmt::B)),
+    ];
+    for (name, program) in cases {
+        let instret = run(&program);
+        group.throughput(Throughput::Elements(instret));
+        group.bench_function(name, |b| b.iter(|| run(&program)));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dispatch);
+criterion_main!(benches);

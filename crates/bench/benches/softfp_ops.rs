@@ -1,0 +1,75 @@
+//! Throughput of the soft-float core across formats and operations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smallfloat_softfp::{ops, Env, Format, Rounding};
+
+fn formats() -> [(&'static str, Format); 4] {
+    [
+        ("b8", Format::BINARY8),
+        ("b16", Format::BINARY16),
+        ("b16alt", Format::BINARY16ALT),
+        ("b32", Format::BINARY32),
+    ]
+}
+
+fn operands(fmt: Format) -> Vec<(u64, u64)> {
+    let mut env = Env::new(Rounding::Rne);
+    (0..256)
+        .map(|i| {
+            let a = ops::from_f64(fmt, (i as f64 - 128.0) * 0.37 + 0.5, &mut env);
+            let b = ops::from_f64(fmt, (i as f64) * 0.11 + 1.25, &mut env);
+            (a, b)
+        })
+        .collect()
+}
+
+fn bench_softfp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("softfp");
+    for (name, fmt) in formats() {
+        let data = operands(fmt);
+        group.bench_with_input(BenchmarkId::new("add", name), &data, |b, data| {
+            let mut env = Env::new(Rounding::Rne);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in data {
+                    acc ^= ops::add(fmt, black_box(x), black_box(y), &mut env);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("mul", name), &data, |b, data| {
+            let mut env = Env::new(Rounding::Rne);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in data {
+                    acc ^= ops::mul(fmt, black_box(x), black_box(y), &mut env);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("fmadd", name), &data, |b, data| {
+            let mut env = Env::new(Rounding::Rne);
+            b.iter(|| {
+                let mut acc = fmt.one();
+                for &(x, y) in data {
+                    acc = ops::fmadd(fmt, black_box(x), black_box(y), acc, &mut env);
+                }
+                acc
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("div", name), &data, |b, data| {
+            let mut env = Env::new(Rounding::Rne);
+            b.iter(|| {
+                let mut acc = 0u64;
+                for &(x, y) in data {
+                    acc ^= ops::div(fmt, black_box(x), black_box(y), &mut env);
+                }
+                acc
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_softfp);
+criterion_main!(benches);

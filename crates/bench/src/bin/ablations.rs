@@ -1,0 +1,5 @@
+//! Ablation studies: what the Xfaux expanding ops and the cast-and-pack
+//! instruction individually buy (DESIGN.md experiment index).
+fn main() {
+    print!("{}", smallfloat_bench::ablation::render());
+}

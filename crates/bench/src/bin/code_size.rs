@@ -1,0 +1,4 @@
+//! RVC code-size estimates for the generated kernels.
+fn main() {
+    print!("{}", smallfloat_bench::codesize::render());
+}

@@ -1,0 +1,36 @@
+//! A tiny RISC-V + smallFloat disassembler: pass 32-bit hex words (or
+//! 16-bit compressed half-words) as arguments.
+//!
+//! ```sh
+//! cargo run -p smallfloat-bench --bin disasm 0x02A58513 0x04C58553 0x4515
+//! ```
+
+use smallfloat_isa::{decode, decode_compressed};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: disasm <hex word> [...]   (32-bit words or 16-bit RVC half-words)");
+        std::process::exit(2);
+    }
+    for arg in args {
+        let cleaned = arg.trim_start_matches("0x").trim_start_matches("0X");
+        let Ok(word) = u32::from_str_radix(cleaned, 16) else {
+            println!("{arg:>12}  <not hex>");
+            continue;
+        };
+        // Half-words whose low bits are not 11 are compressed.
+        let text = if word <= 0xffff && word & 0b11 != 0b11 {
+            match decode_compressed(word as u16) {
+                Ok(i) => format!("(rvc) {i}"),
+                Err(e) => format!("<{e}>"),
+            }
+        } else {
+            match decode(word) {
+                Ok(i) => i.to_string(),
+                Err(e) => format!("<{e}>"),
+            }
+        };
+        println!("0x{word:08x}  {text}");
+    }
+}

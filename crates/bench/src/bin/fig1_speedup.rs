@@ -1,0 +1,6 @@
+//! Regenerates paper Figure 1: speedup of smallFloat types vs float,
+//! automatic vs manual vectorization, with ideal markers.
+fn main() {
+    let rows = smallfloat_bench::fig1_speedups();
+    print!("{}", smallfloat_bench::fig1_render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Figure 2: speedup across memory latencies L1/L2/L3.
+fn main() {
+    let rows = smallfloat_bench::fig2_latency();
+    print!("{}", smallfloat_bench::fig2_render(&rows));
+}

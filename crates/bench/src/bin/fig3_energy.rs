@@ -1,0 +1,6 @@
+//! Regenerates paper Figure 3: energy normalized to float across memory
+//! latencies.
+fn main() {
+    let rows = smallfloat_bench::fig3_energy();
+    print!("{}", smallfloat_bench::fig3_render(&rows));
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Figure 4: SVM instruction-count breakdown under
+//! mixed precision (original vs auto vs manual vectorization).
+fn main() {
+    print!("{}", smallfloat_bench::fig4_breakdown());
+}

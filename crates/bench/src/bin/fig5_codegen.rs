@@ -1,0 +1,5 @@
+//! Regenerates paper Figure 5: the auto- vs manually-vectorized
+//! dot-product listings.
+fn main() {
+    print!("{}", smallfloat_bench::fig5_codegen());
+}

@@ -1,0 +1,7 @@
+//! Regenerates paper Figure 6 and the §V-C tuner case study: SVM speedup,
+//! energy and accuracy under mixed precision.
+fn main() {
+    print!("{}", smallfloat_bench::fig6_mixed());
+    println!();
+    print!("{}", smallfloat_bench::tuner_case_study());
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper Table I: operation families of the smallFloat
+//! extensions, each exemplar encoded, decoded and disassembled.
+fn main() {
+    print!("{}", smallfloat_bench::table1_operations());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table II: SIMD lane counts per format vs FLEN.
+fn main() {
+    print!("{}", smallfloat_bench::table2_lanes());
+}

@@ -1,0 +1,4 @@
+//! Regenerates paper Table III: SQNR (dB) per benchmark per type.
+fn main() {
+    print!("{}", smallfloat_bench::table3_sqnr());
+}

@@ -1,0 +1,171 @@
+//! # smallfloat — smallFloat SIMD extensions to the RISC-V ISA, in Rust
+//!
+//! A from-scratch reproduction of Tagliavini, Mach, Rossi, Marongiu,
+//! Benini: *"Design and Evaluation of SmallFloat SIMD extensions to the
+//! RISC-V ISA"* (DATE 2019): the transprecision floating-point formats
+//! (`binary16`, `binary16alt`, `binary8`), the Xf16/Xf16alt/Xf8/Xfvec/Xfaux
+//! RISC-V ISA extensions, a RISCY-like core simulator with timing and
+//! energy models, compiler support (auto-vectorization and intrinsics), the
+//! Polybench + SVM evaluation workloads, and automatic precision tuning.
+//!
+//! This facade crate re-exports every subsystem and provides the high-level
+//! experiment API used by the examples and by the benchmark harness that
+//! regenerates the paper's tables and figures.
+//!
+//! ```
+//! use smallfloat::{Experiment, MemLevel, Precision, VecMode};
+//!
+//! // Speedup of auto-vectorized float16 GEMM over the float baseline.
+//! let report = Experiment::new("GEMM")
+//!     .expect("GEMM is in the suite")
+//!     .precision(Precision::F16)
+//!     .vec_mode(VecMode::Auto)
+//!     .mem_level(MemLevel::L1)
+//!     .run();
+//! assert!(report.speedup > 1.0);
+//! assert!(report.sqnr_db > 25.0);
+//! ```
+
+pub use smallfloat_asm as asm;
+pub use smallfloat_isa as isa;
+pub use smallfloat_kernels as kernels;
+pub use smallfloat_sim as sim;
+pub use smallfloat_softfp as softfp;
+pub use smallfloat_tuner as tuner;
+pub use smallfloat_xcc as xcc;
+
+pub use smallfloat_isa::FpFmt;
+pub use smallfloat_kernels::bench::{Benchmark, Precision, VecMode, Workload};
+pub use smallfloat_sim::MemLevel;
+pub use smallfloat_softfp::{Bf16, F16, F8};
+
+use smallfloat_kernels::bench;
+use smallfloat_sim::Stats;
+
+/// Result of one experiment run.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Workload name.
+    pub benchmark: String,
+    /// Precision variant label.
+    pub precision: String,
+    /// Lowering label.
+    pub vec_mode: &'static str,
+    /// Memory level label.
+    pub mem_level: &'static str,
+    /// Simulated cycles of this variant.
+    pub cycles: u64,
+    /// Simulated cycles of the scalar `float` baseline at the same level.
+    pub baseline_cycles: u64,
+    /// Speedup over the baseline.
+    pub speedup: f64,
+    /// Energy of this variant (picojoules).
+    pub energy_pj: f64,
+    /// Energy of the baseline (picojoules).
+    pub baseline_energy_pj: f64,
+    /// Energy normalized to the baseline (< 1 means savings).
+    pub energy_ratio: f64,
+    /// Output quality vs the f64 golden reference, in dB.
+    pub sqnr_db: f64,
+    /// Full simulator statistics of the variant run.
+    pub stats: Stats,
+}
+
+/// Builder for a single benchmark × precision × lowering × memory-level
+/// experiment, mirroring the axes of the paper's evaluation.
+pub struct Experiment {
+    workload: Benchmark,
+    precision: Precision,
+    vec_mode: VecMode,
+    mem_level: MemLevel,
+}
+
+impl Experiment {
+    /// Start an experiment on a named benchmark from the paper's suite
+    /// (`SVM`, `GEMM`, `ATAX`, `SYRK`, `SYR2K`, `FDTD2D`).
+    pub fn new(benchmark: &str) -> Option<Experiment> {
+        let workload = bench::suite().into_iter().find(|w| w.name() == benchmark)?;
+        Some(Experiment {
+            workload,
+            precision: Precision::F16,
+            vec_mode: VecMode::Auto,
+            mem_level: MemLevel::L1,
+        })
+    }
+
+    /// Wrap an existing workload.
+    pub fn with_workload(workload: Benchmark) -> Experiment {
+        Experiment {
+            workload,
+            precision: Precision::F16,
+            vec_mode: VecMode::Auto,
+            mem_level: MemLevel::L1,
+        }
+    }
+
+    /// Select the precision variant (default `float16`).
+    pub fn precision(mut self, p: Precision) -> Experiment {
+        self.precision = p;
+        self
+    }
+
+    /// Select the lowering (default auto-vectorized).
+    pub fn vec_mode(mut self, m: VecMode) -> Experiment {
+        self.vec_mode = m;
+        self
+    }
+
+    /// Select the memory latency level (default L1).
+    pub fn mem_level(mut self, l: MemLevel) -> Experiment {
+        self.mem_level = l;
+        self
+    }
+
+    /// Run the variant and its `float` scalar baseline on the simulator.
+    pub fn run(self) -> Report {
+        let w = self.workload.as_ref();
+        let baseline = bench::run(w, &Precision::F32, VecMode::Scalar, self.mem_level);
+        let variant = bench::run(w, &self.precision, self.vec_mode, self.mem_level);
+        let sqnr_db = bench::sqnr(w, &self.precision, self.vec_mode);
+        Report {
+            benchmark: w.name().to_string(),
+            precision: self.precision.label(),
+            vec_mode: self.vec_mode.label(),
+            mem_level: self.mem_level.label(),
+            cycles: variant.stats.cycles,
+            baseline_cycles: baseline.stats.cycles,
+            speedup: baseline.stats.cycles as f64 / variant.stats.cycles as f64,
+            energy_pj: variant.stats.energy_pj,
+            baseline_energy_pj: baseline.stats.energy_pj,
+            energy_ratio: variant.stats.energy_pj / baseline.stats.energy_pj,
+            sqnr_db,
+            stats: variant.stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_builder_runs() {
+        let r = Experiment::new("ATAX")
+            .unwrap()
+            .precision(Precision::F8)
+            .vec_mode(VecMode::Manual)
+            .mem_level(MemLevel::L2)
+            .run();
+        assert_eq!(r.benchmark, "ATAX");
+        assert_eq!(r.precision, "float8");
+        assert_eq!(r.vec_mode, "manual");
+        assert_eq!(r.mem_level, "L2");
+        assert!(r.speedup > 1.0, "f8 manual must beat the baseline");
+        assert!(r.energy_ratio < 1.0, "f8 must save energy");
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(Experiment::new("NOPE").is_none());
+    }
+}

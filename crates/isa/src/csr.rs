@@ -1,0 +1,48 @@
+//! Control and status register numbers used by the simulator.
+
+/// `fflags` — accrued FP exception flags (bits 4:0 = NV|DZ|OF|UF|NX).
+pub const FFLAGS: u16 = 0x001;
+/// `frm` — dynamic FP rounding mode.
+pub const FRM: u16 = 0x002;
+/// `fcsr` — combined `frm` (bits 7:5) and `fflags` (bits 4:0).
+pub const FCSR: u16 = 0x003;
+/// `cycle` — cycle counter (read-only shadow).
+pub const CYCLE: u16 = 0xc00;
+/// `time` — wall-clock (aliased to cycle in the simulator).
+pub const TIME: u16 = 0xc01;
+/// `instret` — retired-instruction counter (read-only shadow).
+pub const INSTRET: u16 = 0xc02;
+/// `cycleh` — upper 32 bits of `cycle`.
+pub const CYCLEH: u16 = 0xc80;
+/// `instreth` — upper 32 bits of `instret`.
+pub const INSTRETH: u16 = 0xc82;
+/// `mcycle` — machine cycle counter (writable).
+pub const MCYCLE: u16 = 0xb00;
+/// `minstret` — machine retired-instruction counter (writable).
+pub const MINSTRET: u16 = 0xb02;
+
+/// Conventional name of a CSR number (falls back to hex).
+pub fn name(csr: u16) -> String {
+    match csr {
+        FFLAGS => "fflags".to_string(),
+        FRM => "frm".to_string(),
+        FCSR => "fcsr".to_string(),
+        CYCLE => "cycle".to_string(),
+        TIME => "time".to_string(),
+        INSTRET => "instret".to_string(),
+        CYCLEH => "cycleh".to_string(),
+        INSTRETH => "instreth".to_string(),
+        MCYCLE => "mcycle".to_string(),
+        MINSTRET => "minstret".to_string(),
+        other => format!("0x{other:03x}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names() {
+        assert_eq!(super::name(super::FFLAGS), "fflags");
+        assert_eq!(super::name(0x123), "0x123");
+    }
+}

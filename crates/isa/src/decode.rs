@@ -1,0 +1,813 @@
+//! Binary decoding: 32-bit words and 16-bit compressed parcels.
+
+use crate::encode::*;
+use crate::fmt::FpFmt;
+use crate::instr::*;
+use crate::reg::{FReg, XReg};
+use std::fmt;
+
+/// Error for unrecognized or reserved encodings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+    compressed: bool,
+}
+
+impl DecodeError {
+    fn full(word: u32) -> DecodeError {
+        DecodeError { word, compressed: false }
+    }
+
+    fn rvc(word: u16) -> DecodeError {
+        DecodeError { word: word as u32, compressed: true }
+    }
+
+    /// The offending instruction word.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.compressed {
+            write!(f, "illegal compressed instruction 0x{:04x}", self.word)
+        } else {
+            write!(f, "illegal instruction 0x{:08x}", self.word)
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn xrd(w: u32) -> XReg {
+    XReg::new(((w >> 7) & 0x1f) as u8)
+}
+
+fn xrs1(w: u32) -> XReg {
+    XReg::new(((w >> 15) & 0x1f) as u8)
+}
+
+fn xrs2(w: u32) -> XReg {
+    XReg::new(((w >> 20) & 0x1f) as u8)
+}
+
+fn frd(w: u32) -> FReg {
+    FReg::new(((w >> 7) & 0x1f) as u8)
+}
+
+fn frs1(w: u32) -> FReg {
+    FReg::new(((w >> 15) & 0x1f) as u8)
+}
+
+fn frs2(w: u32) -> FReg {
+    FReg::new(((w >> 20) & 0x1f) as u8)
+}
+
+fn frs3(w: u32) -> FReg {
+    FReg::new((w >> 27) as u8)
+}
+
+fn funct3(w: u32) -> u32 {
+    (w >> 12) & 0x7
+}
+
+fn funct7(w: u32) -> u32 {
+    w >> 25
+}
+
+fn i_imm(w: u32) -> i32 {
+    (w as i32) >> 20
+}
+
+fn s_imm(w: u32) -> i32 {
+    (((w as i32) >> 25) << 5) | (((w >> 7) & 0x1f) as i32)
+}
+
+fn b_imm(w: u32) -> i32 {
+    let sign = ((w as i32) >> 31) << 12;
+    let b11 = ((w >> 7) & 1) << 11;
+    let b10_5 = ((w >> 25) & 0x3f) << 5;
+    let b4_1 = ((w >> 8) & 0xf) << 1;
+    sign | (b11 | b10_5 | b4_1) as i32
+}
+
+fn j_imm(w: u32) -> i32 {
+    let sign = ((w as i32) >> 31) << 20;
+    let b19_12 = w & 0xf_f000;
+    let b11 = ((w >> 20) & 1) << 11;
+    let b10_1 = ((w >> 21) & 0x3ff) << 1;
+    sign | (b19_12 | b11 | b10_1) as i32
+}
+
+fn rm_field(w: u32) -> Result<Rm, DecodeError> {
+    Rm::from_code(funct3(w)).ok_or_else(|| DecodeError::full(w))
+}
+
+/// Decode a 32-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved or unimplemented encodings.
+pub fn decode(w: u32) -> Result<Instr, DecodeError> {
+    let opcode = w & 0x7f;
+    let err = || DecodeError::full(w);
+    match opcode {
+        OPC_LUI => Ok(Instr::Lui { rd: xrd(w), imm20: ((w >> 12) & 0xf_ffff) as i32 }),
+        OPC_AUIPC => Ok(Instr::Auipc { rd: xrd(w), imm20: ((w >> 12) & 0xf_ffff) as i32 }),
+        OPC_JAL => Ok(Instr::Jal { rd: xrd(w), offset: j_imm(w) }),
+        OPC_JALR => {
+            if funct3(w) != 0 {
+                return Err(err());
+            }
+            Ok(Instr::Jalr { rd: xrd(w), rs1: xrs1(w), offset: i_imm(w) })
+        }
+        OPC_BRANCH => {
+            let cond = match funct3(w) {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return Err(err()),
+            };
+            Ok(Instr::Branch { cond, rs1: xrs1(w), rs2: xrs2(w), offset: b_imm(w) })
+        }
+        OPC_LOAD => {
+            let (width, unsigned) = match funct3(w) {
+                0b000 => (MemWidth::B, false),
+                0b001 => (MemWidth::H, false),
+                0b010 => (MemWidth::W, false),
+                0b100 => (MemWidth::B, true),
+                0b101 => (MemWidth::H, true),
+                _ => return Err(err()),
+            };
+            Ok(Instr::Load { width, unsigned, rd: xrd(w), rs1: xrs1(w), offset: i_imm(w) })
+        }
+        OPC_STORE => {
+            let width = match funct3(w) {
+                0b000 => MemWidth::B,
+                0b001 => MemWidth::H,
+                0b010 => MemWidth::W,
+                _ => return Err(err()),
+            };
+            Ok(Instr::Store { width, rs2: xrs2(w), rs1: xrs1(w), offset: s_imm(w) })
+        }
+        OPC_OP_IMM => {
+            let op = match funct3(w) {
+                0b000 => AluOp::Add,
+                0b001 => AluOp::Sll,
+                0b010 => AluOp::Slt,
+                0b011 => AluOp::Sltu,
+                0b100 => AluOp::Xor,
+                0b101 => {
+                    if funct7(w) == 0b0100000 {
+                        AluOp::Sra
+                    } else if funct7(w) == 0 {
+                        AluOp::Srl
+                    } else {
+                        return Err(err());
+                    }
+                }
+                0b110 => AluOp::Or,
+                _ => AluOp::And,
+            };
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => ((w >> 20) & 0x1f) as i32,
+                _ => i_imm(w),
+            };
+            Ok(Instr::OpImm { op, rd: xrd(w), rs1: xrs1(w), imm })
+        }
+        OPC_OP => decode_op(w),
+        OPC_MISC_MEM => Ok(Instr::Fence),
+        OPC_SYSTEM => {
+            if funct3(w) == 0 {
+                match w >> 20 {
+                    0 => Ok(Instr::Ecall),
+                    1 => Ok(Instr::Ebreak),
+                    _ => Err(err()),
+                }
+            } else {
+                let csr = (w >> 20) as u16;
+                let (op, src) = match funct3(w) {
+                    0b001 => (CsrOp::Rw, CsrSrc::Reg(xrs1(w))),
+                    0b010 => (CsrOp::Rs, CsrSrc::Reg(xrs1(w))),
+                    0b011 => (CsrOp::Rc, CsrSrc::Reg(xrs1(w))),
+                    0b101 => (CsrOp::Rw, CsrSrc::Imm(((w >> 15) & 0x1f) as u8)),
+                    0b110 => (CsrOp::Rs, CsrSrc::Imm(((w >> 15) & 0x1f) as u8)),
+                    0b111 => (CsrOp::Rc, CsrSrc::Imm(((w >> 15) & 0x1f) as u8)),
+                    _ => return Err(err()),
+                };
+                Ok(Instr::Csr { op, rd: xrd(w), src, csr })
+            }
+        }
+        OPC_LOAD_FP => {
+            let fmt = match funct3(w) {
+                0b000 => FpFmt::B,
+                0b001 => FpFmt::H, // 16-bit loads are format-agnostic; H is canonical
+                0b010 => FpFmt::S,
+                _ => return Err(err()),
+            };
+            Ok(Instr::FLoad { fmt, rd: frd(w), rs1: xrs1(w), offset: i_imm(w) })
+        }
+        OPC_STORE_FP => {
+            let fmt = match funct3(w) {
+                0b000 => FpFmt::B,
+                0b001 => FpFmt::H,
+                0b010 => FpFmt::S,
+                _ => return Err(err()),
+            };
+            Ok(Instr::FStore { fmt, rs2: frs2(w), rs1: xrs1(w), offset: s_imm(w) })
+        }
+        OPC_MADD | OPC_MSUB | OPC_NMSUB | OPC_NMADD => {
+            let op = match opcode {
+                OPC_MADD => FmaOp::Madd,
+                OPC_MSUB => FmaOp::Msub,
+                OPC_NMSUB => FmaOp::Nmsub,
+                _ => FmaOp::Nmadd,
+            };
+            Ok(Instr::FFma {
+                op,
+                fmt: FpFmt::from_code((w >> 25) & 0b11),
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rs3: frs3(w),
+                rm: rm_field(w)?,
+            })
+        }
+        OPC_OP_FP => decode_op_fp(w),
+        _ => Err(err()),
+    }
+}
+
+fn decode_op(w: u32) -> Result<Instr, DecodeError> {
+    let err = || DecodeError::full(w);
+    let f7 = funct7(w);
+    if f7 >> 5 == 0b10 {
+        return decode_vector(w);
+    }
+    if f7 == 0b0000001 {
+        let op = match funct3(w) {
+            0b000 => MulDivOp::Mul,
+            0b001 => MulDivOp::Mulh,
+            0b010 => MulDivOp::Mulhsu,
+            0b011 => MulDivOp::Mulhu,
+            0b100 => MulDivOp::Div,
+            0b101 => MulDivOp::Divu,
+            0b110 => MulDivOp::Rem,
+            _ => MulDivOp::Remu,
+        };
+        return Ok(Instr::MulDiv { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) });
+    }
+    let op = match (funct3(w), f7) {
+        (0b000, 0b0000000) => AluOp::Add,
+        (0b000, 0b0100000) => AluOp::Sub,
+        (0b001, 0b0000000) => AluOp::Sll,
+        (0b010, 0b0000000) => AluOp::Slt,
+        (0b011, 0b0000000) => AluOp::Sltu,
+        (0b100, 0b0000000) => AluOp::Xor,
+        (0b101, 0b0000000) => AluOp::Srl,
+        (0b101, 0b0100000) => AluOp::Sra,
+        (0b110, 0b0000000) => AluOp::Or,
+        (0b111, 0b0000000) => AluOp::And,
+        _ => return Err(err()),
+    };
+    Ok(Instr::Op { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) })
+}
+
+fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
+    let err = || DecodeError::full(w);
+    let vecop = funct7(w) & 0x1f;
+    let fmt = FpFmt::from_code(funct3(w) >> 1);
+    let rep = funct3(w) & 1 == 1;
+    let simple = |op| Ok(Instr::VFOp { op, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rep });
+    let cmp =
+        |op| Ok(Instr::VFCmp { op, fmt, rd: xrd(w), rs1: frs1(w), rs2: frs2(w), rep });
+    match vecop {
+        V_ADD => simple(VfOp::Add),
+        V_SUB => simple(VfOp::Sub),
+        V_MUL => simple(VfOp::Mul),
+        V_DIV => simple(VfOp::Div),
+        V_MIN => simple(VfOp::Min),
+        V_MAX => simple(VfOp::Max),
+        V_MAC => simple(VfOp::Mac),
+        V_SGNJ => simple(VfOp::Sgnj),
+        V_SGNJN => simple(VfOp::Sgnjn),
+        V_SGNJX => simple(VfOp::Sgnjx),
+        V_SQRT => {
+            if rep || (w >> 20) & 0x1f != 0 {
+                return Err(err());
+            }
+            Ok(Instr::VFSqrt { fmt, rd: frd(w), rs1: frs1(w) })
+        }
+        V_EQ => cmp(VCmpOp::Eq),
+        V_NE => cmp(VCmpOp::Ne),
+        V_LT => cmp(VCmpOp::Lt),
+        V_LE => cmp(VCmpOp::Le),
+        V_GT => cmp(VCmpOp::Gt),
+        V_GE => cmp(VCmpOp::Ge),
+        V_CVT_FF => {
+            if rep {
+                return Err(err());
+            }
+            let src = FpFmt::from_code((w >> 20) & 0b11);
+            Ok(Instr::VFCvtFF { dst: fmt, src, rd: frd(w), rs1: frs1(w) })
+        }
+        V_CVT_XF | V_CVT_XUF => {
+            if rep || (w >> 20) & 0x1f != 0 {
+                return Err(err());
+            }
+            Ok(Instr::VFCvtXF { fmt, rd: frd(w), rs1: frs1(w), signed: vecop == V_CVT_XF })
+        }
+        V_CVT_FX | V_CVT_FXU => {
+            if rep || (w >> 20) & 0x1f != 0 {
+                return Err(err());
+            }
+            Ok(Instr::VFCvtFX { fmt, rd: frd(w), rs1: frs1(w), signed: vecop == V_CVT_FX })
+        }
+        V_CPK_A | V_CPK_B => {
+            if rep {
+                return Err(err());
+            }
+            let half = if vecop == V_CPK_A { CpkHalf::A } else { CpkHalf::B };
+            Ok(Instr::VFCpk { fmt, half, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+        }
+        V_DOTPEX => Ok(Instr::VFDotpEx { fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rep }),
+        _ => Err(err()),
+    }
+}
+
+fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
+    let err = || DecodeError::full(w);
+    let f5 = funct7(w) >> 2;
+    let fmt = FpFmt::from_code(funct7(w) & 0b11);
+    let rs2field = (w >> 20) & 0x1f;
+    match f5 {
+        F5_ADD | F5_SUB | F5_MUL | F5_DIV => {
+            let op = match f5 {
+                F5_ADD => FpOp::Add,
+                F5_SUB => FpOp::Sub,
+                F5_MUL => FpOp::Mul,
+                _ => FpOp::Div,
+            };
+            Ok(Instr::FOp { op, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rm: rm_field(w)? })
+        }
+        F5_SQRT => {
+            if rs2field != 0 {
+                return Err(err());
+            }
+            Ok(Instr::FSqrt { fmt, rd: frd(w), rs1: frs1(w), rm: rm_field(w)? })
+        }
+        F5_SGNJ => {
+            let kind = match funct3(w) {
+                0b000 => SgnjKind::Sgnj,
+                0b001 => SgnjKind::Sgnjn,
+                0b010 => SgnjKind::Sgnjx,
+                _ => return Err(err()),
+            };
+            Ok(Instr::FSgnj { kind, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+        }
+        F5_MINMAX => {
+            let op = match funct3(w) {
+                0b000 => MinMaxOp::Min,
+                0b001 => MinMaxOp::Max,
+                _ => return Err(err()),
+            };
+            Ok(Instr::FMinMax { op, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+        }
+        F5_MULEX => Ok(Instr::FMulEx {
+            fmt,
+            rd: frd(w),
+            rs1: frs1(w),
+            rs2: frs2(w),
+            rm: rm_field(w)?,
+        }),
+        F5_MACEX => Ok(Instr::FMacEx {
+            fmt,
+            rd: frd(w),
+            rs1: frs1(w),
+            rs2: frs2(w),
+            rm: rm_field(w)?,
+        }),
+        F5_CVT_FF => Ok(Instr::FCvtFF {
+            dst: fmt,
+            src: FpFmt::from_code(rs2field & 0b11),
+            rd: frd(w),
+            rs1: frs1(w),
+            rm: rm_field(w)?,
+        }),
+        F5_CMP => {
+            let op = match funct3(w) {
+                0b000 => CmpOp::Le,
+                0b001 => CmpOp::Lt,
+                0b010 => CmpOp::Eq,
+                _ => return Err(err()),
+            };
+            Ok(Instr::FCmp { op, fmt, rd: xrd(w), rs1: frs1(w), rs2: frs2(w) })
+        }
+        F5_CVT_FI => {
+            if rs2field > 1 {
+                return Err(err());
+            }
+            Ok(Instr::FCvtFI {
+                fmt,
+                rd: xrd(w),
+                rs1: frs1(w),
+                signed: rs2field == 0,
+                rm: rm_field(w)?,
+            })
+        }
+        F5_CVT_IF => {
+            if rs2field > 1 {
+                return Err(err());
+            }
+            Ok(Instr::FCvtIF {
+                fmt,
+                rd: frd(w),
+                rs1: xrs1(w),
+                signed: rs2field == 0,
+                rm: rm_field(w)?,
+            })
+        }
+        F5_MV_X => {
+            if rs2field != 0 {
+                return Err(err());
+            }
+            match funct3(w) {
+                0b000 => Ok(Instr::FMvXF { fmt, rd: xrd(w), rs1: frs1(w) }),
+                0b001 => Ok(Instr::FClass { fmt, rd: xrd(w), rs1: frs1(w) }),
+                _ => Err(err()),
+            }
+        }
+        F5_MV_F => {
+            if rs2field != 0 || funct3(w) != 0 {
+                return Err(err());
+            }
+            Ok(Instr::FMvFX { fmt, rd: frd(w), rs1: xrs1(w) })
+        }
+        _ => Err(err()),
+    }
+}
+
+/// Decode a 16-bit compressed (RV32C/RV32FC) parcel into its 32-bit
+/// expansion.
+///
+/// The low two bits of a compressed parcel are not `11`; use
+/// [`is_compressed`] on the low half-word to choose the decoder.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] for reserved or defined-illegal encodings
+/// (including the all-zero word).
+pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
+    let err = || DecodeError::rvc(h);
+    let w = h as u32;
+    let op = w & 0b11;
+    let funct3 = (w >> 13) & 0b111;
+    // The c.* 3-bit register fields address x8–x15 / f8–f15.
+    let xr = |field: u32| XReg::new((8 + (field & 0x7)) as u8);
+    let fr = |field: u32| FReg::new((8 + (field & 0x7)) as u8);
+    let r_full = |field: u32| XReg::new((field & 0x1f) as u8);
+    match (op, funct3) {
+        // ---- Quadrant 0 ----
+        (0b00, 0b000) => {
+            // c.addi4spn rd', nzuimm
+            let imm = (((w >> 7) & 0x30) | ((w >> 1) & 0x3c0) | ((w >> 4) & 0x4)
+                | ((w >> 2) & 0x8)) as i32;
+            if imm == 0 {
+                return Err(err()); // includes the all-zero illegal instruction
+            }
+            Ok(Instr::OpImm { op: AluOp::Add, rd: xr(w >> 2), rs1: XReg::SP, imm })
+        }
+        (0b00, 0b010) => {
+            // c.lw rd', offset(rs1')
+            let imm = (((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4)) as i32;
+            Ok(Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd: xr(w >> 2),
+                rs1: xr(w >> 7),
+                offset: imm,
+            })
+        }
+        (0b00, 0b011) => {
+            // c.flw rd', offset(rs1')  (RV32FC)
+            let imm = (((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4)) as i32;
+            Ok(Instr::FLoad { fmt: FpFmt::S, rd: fr(w >> 2), rs1: xr(w >> 7), offset: imm })
+        }
+        (0b00, 0b110) => {
+            // c.sw rs2', offset(rs1')
+            let imm = (((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4)) as i32;
+            Ok(Instr::Store {
+                width: MemWidth::W,
+                rs2: xr(w >> 2),
+                rs1: xr(w >> 7),
+                offset: imm,
+            })
+        }
+        (0b00, 0b111) => {
+            // c.fsw rs2', offset(rs1')  (RV32FC)
+            let imm = (((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4)) as i32;
+            Ok(Instr::FStore { fmt: FpFmt::S, rs2: fr(w >> 2), rs1: xr(w >> 7), offset: imm })
+        }
+        // ---- Quadrant 1 ----
+        (0b01, 0b000) => {
+            // c.addi (c.nop when rd=0)
+            let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
+            let rd = r_full(w >> 7);
+            Ok(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm })
+        }
+        (0b01, 0b001) => {
+            // c.jal (RV32)
+            Ok(Instr::Jal { rd: XReg::RA, offset: cj_imm(w) })
+        }
+        (0b01, 0b010) => {
+            // c.li
+            let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
+            Ok(Instr::OpImm { op: AluOp::Add, rd: r_full(w >> 7), rs1: XReg::ZERO, imm })
+        }
+        (0b01, 0b011) => {
+            let rd = r_full(w >> 7);
+            if rd.num() == 2 {
+                // c.addi16sp: nzimm[9] = w[12], nzimm[4] = w[6], nzimm[6] = w[5],
+                // nzimm[8:7] = w[4:3], nzimm[5] = w[2].
+                let imm = ((((w >> 12) & 1) * 0xffff_fe00)
+                    | (((w >> 6) & 1) << 4)
+                    | (((w >> 5) & 1) << 6)
+                    | (((w >> 3) & 3) << 7)
+                    | (((w >> 2) & 1) << 5)) as i32;
+                if imm == 0 {
+                    return Err(err());
+                }
+                Ok(Instr::OpImm { op: AluOp::Add, rd: XReg::SP, rs1: XReg::SP, imm })
+            } else {
+                // c.lui
+                let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
+                if imm == 0 {
+                    return Err(err());
+                }
+                Ok(Instr::Lui { rd, imm20: imm & 0xf_ffff })
+            }
+        }
+        (0b01, 0b100) => {
+            let sub = (w >> 10) & 0b11;
+            let rd = xr(w >> 7);
+            match sub {
+                0b00 | 0b01 => {
+                    // c.srli / c.srai (shamt[5] is reserved on RV32)
+                    if (w >> 12) & 1 != 0 {
+                        return Err(err());
+                    }
+                    let shamt = ((w >> 2) & 0x1f) as i32;
+                    let op = if sub == 0 { AluOp::Srl } else { AluOp::Sra };
+                    Ok(Instr::OpImm { op, rd, rs1: rd, imm: shamt })
+                }
+                0b10 => {
+                    // c.andi
+                    let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
+                    Ok(Instr::OpImm { op: AluOp::And, rd, rs1: rd, imm })
+                }
+                _ => {
+                    // register-register subgroup
+                    let rs2 = xr(w >> 2);
+                    let op = match ((w >> 12) & 1, (w >> 5) & 0b11) {
+                        (0, 0b00) => AluOp::Sub,
+                        (0, 0b01) => AluOp::Xor,
+                        (0, 0b10) => AluOp::Or,
+                        (0, 0b11) => AluOp::And,
+                        _ => return Err(err()),
+                    };
+                    Ok(Instr::Op { op, rd, rs1: rd, rs2 })
+                }
+            }
+        }
+        (0b01, 0b101) => Ok(Instr::Jal { rd: XReg::ZERO, offset: cj_imm(w) }),
+        (0b01, 0b110) | (0b01, 0b111) => {
+            // c.beqz / c.bnez
+            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
+            // offset[8] = w[12], offset[4:3] = w[11:10], offset[7:6] = w[6:5],
+            // offset[2:1] = w[4:3], offset[5] = w[2].
+            let imm = ((((w >> 12) & 1) * 0xffff_ff00)
+                | (((w >> 10) & 3) << 3)
+                | (((w >> 5) & 3) << 6)
+                | (((w >> 3) & 3) << 1)
+                | (((w >> 2) & 1) << 5)) as i32;
+            Ok(Instr::Branch { cond, rs1: xr(w >> 7), rs2: XReg::ZERO, offset: imm })
+        }
+        // ---- Quadrant 2 ----
+        (0b10, 0b000) => {
+            // c.slli (shamt[5] is reserved on RV32)
+            if (w >> 12) & 1 != 0 {
+                return Err(err());
+            }
+            let shamt = ((w >> 2) & 0x1f) as i32;
+            let rd = r_full(w >> 7);
+            Ok(Instr::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: shamt })
+        }
+        (0b10, 0b010) => {
+            // c.lwsp
+            let imm = (((w >> 7) & 0x20) | ((w >> 2) & 0x1c) | ((w << 4) & 0xc0)) as i32;
+            let rd = r_full(w >> 7);
+            if rd.num() == 0 {
+                return Err(err());
+            }
+            Ok(Instr::Load { width: MemWidth::W, unsigned: false, rd, rs1: XReg::SP, offset: imm })
+        }
+        (0b10, 0b011) => {
+            // c.flwsp
+            let imm = (((w >> 7) & 0x20) | ((w >> 2) & 0x1c) | ((w << 4) & 0xc0)) as i32;
+            Ok(Instr::FLoad {
+                fmt: FpFmt::S,
+                rd: FReg::new(((w >> 7) & 0x1f) as u8),
+                rs1: XReg::SP,
+                offset: imm,
+            })
+        }
+        (0b10, 0b100) => {
+            let bit12 = (w >> 12) & 1;
+            let r1 = r_full(w >> 7);
+            let r2 = r_full(w >> 2);
+            match (bit12, r1.num(), r2.num()) {
+                (0, r, 0) if r != 0 => Ok(Instr::Jalr { rd: XReg::ZERO, rs1: r1, offset: 0 }),
+                (0, _, _) if r2.num() != 0 => {
+                    // c.mv
+                    Ok(Instr::Op { op: AluOp::Add, rd: r1, rs1: XReg::ZERO, rs2: r2 })
+                }
+                (1, 0, 0) => Ok(Instr::Ebreak),
+                (1, r, 0) if r != 0 => Ok(Instr::Jalr { rd: XReg::RA, rs1: r1, offset: 0 }),
+                (1, _, _) if r2.num() != 0 => {
+                    // c.add
+                    Ok(Instr::Op { op: AluOp::Add, rd: r1, rs1: r1, rs2: r2 })
+                }
+                _ => Err(err()),
+            }
+        }
+        (0b10, 0b110) => {
+            // c.swsp
+            let imm = (((w >> 7) & 0x3c) | ((w >> 1) & 0xc0)) as i32;
+            Ok(Instr::Store {
+                width: MemWidth::W,
+                rs2: r_full(w >> 2),
+                rs1: XReg::SP,
+                offset: imm,
+            })
+        }
+        (0b10, 0b111) => {
+            // c.fswsp
+            let imm = (((w >> 7) & 0x3c) | ((w >> 1) & 0xc0)) as i32;
+            Ok(Instr::FStore {
+                fmt: FpFmt::S,
+                rs2: FReg::new(((w >> 2) & 0x1f) as u8),
+                rs1: XReg::SP,
+                offset: imm,
+            })
+        }
+        _ => Err(err()),
+    }
+}
+
+/// True if a half-word begins a compressed (16-bit) instruction.
+pub fn is_compressed(low_half: u16) -> bool {
+    low_half & 0b11 != 0b11
+}
+
+fn sext6(v: u32) -> i32 {
+    ((v as i32) << 26) >> 26
+}
+
+/// The CJ-format immediate of c.j / c.jal:
+/// offset[11|4|9:8|10|6|7|3:1|5] packed in w[12:2].
+fn cj_imm(w: u32) -> i32 {
+    let uimm = (((w >> 12) & 1) << 11)
+        | (((w >> 11) & 1) << 4)
+        | (((w >> 9) & 0x3) << 8)
+        | (((w >> 8) & 1) << 10)
+        | (((w >> 7) & 1) << 6)
+        | (((w >> 6) & 1) << 7)
+        | (((w >> 3) & 0x7) << 1)
+        | (((w >> 2) & 1) << 5);
+    ((uimm as i32) << 20) >> 20
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decode_error_display() {
+        let e = decode(0xffff_ffff).unwrap_err();
+        assert!(e.to_string().contains("illegal instruction"));
+        assert_eq!(e.word(), 0xffff_ffff);
+        let e = decode_compressed(0).unwrap_err();
+        assert!(e.to_string().contains("compressed"));
+    }
+
+    #[test]
+    fn all_zero_and_all_one_words_are_illegal() {
+        assert!(decode(0).is_err());
+        assert!(decode_compressed(0).is_err());
+        assert!(decode(0xffff_ffff).is_err());
+    }
+
+    #[test]
+    fn decode_reference_words() {
+        // Same reference words as the encoder tests, in reverse.
+        let i = decode(0x02A5_8513).unwrap();
+        assert_eq!(i, Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm: 42 });
+        let i = decode(0x00B5_0863).unwrap();
+        assert_eq!(
+            i,
+            Instr::Branch { cond: BranchCond::Eq, rs1: XReg::a(0), rs2: XReg::a(1), offset: 16 }
+        );
+        let i = decode(0x04C5_8553).unwrap();
+        assert_eq!(
+            i,
+            Instr::FOp {
+                op: FpOp::Add,
+                fmt: FpFmt::H,
+                rd: FReg::a(0),
+                rs1: FReg::a(1),
+                rs2: FReg::a(2),
+                rm: Rm::Rne,
+            }
+        );
+    }
+
+    #[test]
+    fn negative_immediates_round_trip() {
+        for imm in [-1, -2048, 2047, -7, 0] {
+            let i = Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm };
+            assert_eq!(decode(encode(&i)).unwrap(), i, "imm={imm}");
+            let i = Instr::Load {
+                width: MemWidth::H,
+                unsigned: true,
+                rd: XReg::a(0),
+                rs1: XReg::a(1),
+                offset: imm,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+            let i = Instr::Store { width: MemWidth::B, rs2: XReg::a(0), rs1: XReg::a(1), offset: imm };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+        for off in [-4096i32, 4094, -2, 0, 16] {
+            let i = Instr::Branch {
+                cond: BranchCond::Ltu,
+                rs1: XReg::a(0),
+                rs2: XReg::a(1),
+                offset: off,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i, "off={off}");
+        }
+        for off in [-1048576i32, 1048574, -2, 0, 4096] {
+            let i = Instr::Jal { rd: XReg::RA, offset: off };
+            assert_eq!(decode(encode(&i)).unwrap(), i, "off={off}");
+        }
+    }
+
+    #[test]
+    fn compressed_basics() {
+        // c.li a0, 5 => 0x4515? c.li: funct3=010 op=01, rd=10, imm=5:
+        // [010][imm5=0][rd=01010][imm4:0=00101][01] = 0100_0101_0001_0101
+        let i = decode_compressed(0x4515).unwrap();
+        assert_eq!(i, Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, imm: 5 });
+        // c.mv a0, a1 => 0x852E
+        let i = decode_compressed(0x852E).unwrap();
+        assert_eq!(i, Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, rs2: XReg::a(1) });
+        // c.add a0, a1 => 0x952E
+        let i = decode_compressed(0x952E).unwrap();
+        assert_eq!(i, Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(0), rs2: XReg::a(1) });
+        // c.jr ra => 0x8082
+        let i = decode_compressed(0x8082).unwrap();
+        assert_eq!(i, Instr::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 });
+        // c.ebreak => 0x9002
+        assert_eq!(decode_compressed(0x9002).unwrap(), Instr::Ebreak);
+        // c.lwsp a0, 8(sp) => [010][0][01010][00010][10]: 0x4522
+        let i = decode_compressed(0x4522).unwrap();
+        assert_eq!(
+            i,
+            Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd: XReg::a(0),
+                rs1: XReg::SP,
+                offset: 8,
+            }
+        );
+        // c.swsp a0, 8(sp): [110][001010][01010][10]? imm[5:2|7:6] at 12:7 = 0b000100
+        // word = 110 000100 01010 10 = 0xC42A
+        let i = decode_compressed(0xC42A).unwrap();
+        assert_eq!(
+            i,
+            Instr::Store { width: MemWidth::W, rs2: XReg::a(0), rs1: XReg::SP, offset: 8 }
+        );
+    }
+
+    #[test]
+    fn compressed_detection() {
+        assert!(is_compressed(0x4515));
+        assert!(!is_compressed(0x0513)); // low bits 11 = full-width
+    }
+}

@@ -1,0 +1,357 @@
+//! Disassembly: `Display` for [`Instr`] in GNU-as-like syntax.
+
+use crate::instr::*;
+use std::fmt;
+
+fn rm_suffix(rm: Rm) -> &'static str {
+    match rm {
+        Rm::Rne => ", rne",
+        Rm::Rtz => ", rtz",
+        Rm::Rdn => ", rdn",
+        Rm::Rup => ", rup",
+        Rm::Rmm => ", rmm",
+        Rm::Dyn => "",
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Instr::Lui { rd, imm20 } => write!(f, "lui {rd}, 0x{imm20:x}"),
+            Instr::Auipc { rd, imm20 } => write!(f, "auipc {rd}, 0x{imm20:x}"),
+            Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
+            Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
+            Instr::Branch { cond, rs1, rs2, offset } => {
+                let m = match cond {
+                    BranchCond::Eq => "beq",
+                    BranchCond::Ne => "bne",
+                    BranchCond::Lt => "blt",
+                    BranchCond::Ge => "bge",
+                    BranchCond::Ltu => "bltu",
+                    BranchCond::Geu => "bgeu",
+                };
+                write!(f, "{m} {rs1}, {rs2}, {offset}")
+            }
+            Instr::Load { width, unsigned, rd, rs1, offset } => {
+                let m = match (width, unsigned) {
+                    (MemWidth::B, false) => "lb",
+                    (MemWidth::H, false) => "lh",
+                    (MemWidth::W, _) => "lw",
+                    (MemWidth::B, true) => "lbu",
+                    (MemWidth::H, true) => "lhu",
+                };
+                write!(f, "{m} {rd}, {offset}({rs1})")
+            }
+            Instr::Store { width, rs2, rs1, offset } => {
+                let m = match width {
+                    MemWidth::B => "sb",
+                    MemWidth::H => "sh",
+                    MemWidth::W => "sw",
+                };
+                write!(f, "{m} {rs2}, {offset}({rs1})")
+            }
+            Instr::OpImm { op, rd, rs1, imm } => {
+                let m = match op {
+                    AluOp::Add => "addi",
+                    AluOp::Sll => "slli",
+                    AluOp::Slt => "slti",
+                    AluOp::Sltu => "sltiu",
+                    AluOp::Xor => "xori",
+                    AluOp::Srl => "srli",
+                    AluOp::Sra => "srai",
+                    AluOp::Or => "ori",
+                    AluOp::And => "andi",
+                    AluOp::Sub => "subi?",
+                };
+                write!(f, "{m} {rd}, {rs1}, {imm}")
+            }
+            Instr::Op { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    AluOp::Add => "add",
+                    AluOp::Sub => "sub",
+                    AluOp::Sll => "sll",
+                    AluOp::Slt => "slt",
+                    AluOp::Sltu => "sltu",
+                    AluOp::Xor => "xor",
+                    AluOp::Srl => "srl",
+                    AluOp::Sra => "sra",
+                    AluOp::Or => "or",
+                    AluOp::And => "and",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Fence => write!(f, "fence"),
+            Instr::Ecall => write!(f, "ecall"),
+            Instr::Ebreak => write!(f, "ebreak"),
+            Instr::MulDiv { op, rd, rs1, rs2 } => {
+                let m = match op {
+                    MulDivOp::Mul => "mul",
+                    MulDivOp::Mulh => "mulh",
+                    MulDivOp::Mulhsu => "mulhsu",
+                    MulDivOp::Mulhu => "mulhu",
+                    MulDivOp::Div => "div",
+                    MulDivOp::Divu => "divu",
+                    MulDivOp::Rem => "rem",
+                    MulDivOp::Remu => "remu",
+                };
+                write!(f, "{m} {rd}, {rs1}, {rs2}")
+            }
+            Instr::Csr { op, rd, src, csr } => {
+                let name = crate::csr::name(csr);
+                match (op, src) {
+                    (CsrOp::Rw, CsrSrc::Reg(r)) => write!(f, "csrrw {rd}, {name}, {r}"),
+                    (CsrOp::Rs, CsrSrc::Reg(r)) => write!(f, "csrrs {rd}, {name}, {r}"),
+                    (CsrOp::Rc, CsrSrc::Reg(r)) => write!(f, "csrrc {rd}, {name}, {r}"),
+                    (CsrOp::Rw, CsrSrc::Imm(i)) => write!(f, "csrrwi {rd}, {name}, {i}"),
+                    (CsrOp::Rs, CsrSrc::Imm(i)) => write!(f, "csrrsi {rd}, {name}, {i}"),
+                    (CsrOp::Rc, CsrSrc::Imm(i)) => write!(f, "csrrci {rd}, {name}, {i}"),
+                }
+            }
+            Instr::FLoad { fmt, rd, rs1, offset } => {
+                write!(f, "fl{} {rd}, {offset}({rs1})", mem_suffix(fmt))
+            }
+            Instr::FStore { fmt, rs2, rs1, offset } => {
+                write!(f, "fs{} {rs2}, {offset}({rs1})", mem_suffix(fmt))
+            }
+            Instr::FOp { op, fmt, rd, rs1, rs2, rm } => {
+                let m = match op {
+                    FpOp::Add => "fadd",
+                    FpOp::Sub => "fsub",
+                    FpOp::Mul => "fmul",
+                    FpOp::Div => "fdiv",
+                };
+                write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}{}", rm_suffix(rm))
+            }
+            Instr::FSqrt { fmt, rd, rs1, rm } => {
+                write!(f, "fsqrt.{fmt} {rd}, {rs1}{}", rm_suffix(rm))
+            }
+            Instr::FSgnj { kind, fmt, rd, rs1, rs2 } => {
+                let m = match kind {
+                    SgnjKind::Sgnj => "fsgnj",
+                    SgnjKind::Sgnjn => "fsgnjn",
+                    SgnjKind::Sgnjx => "fsgnjx",
+                };
+                write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Instr::FMinMax { op, fmt, rd, rs1, rs2 } => {
+                let m = match op {
+                    MinMaxOp::Min => "fmin",
+                    MinMaxOp::Max => "fmax",
+                };
+                write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Instr::FFma { op, fmt, rd, rs1, rs2, rs3, rm } => {
+                let m = match op {
+                    FmaOp::Madd => "fmadd",
+                    FmaOp::Msub => "fmsub",
+                    FmaOp::Nmsub => "fnmsub",
+                    FmaOp::Nmadd => "fnmadd",
+                };
+                write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}, {rs3}{}", rm_suffix(rm))
+            }
+            Instr::FCmp { op, fmt, rd, rs1, rs2 } => {
+                let m = match op {
+                    CmpOp::Eq => "feq",
+                    CmpOp::Lt => "flt",
+                    CmpOp::Le => "fle",
+                };
+                write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}")
+            }
+            Instr::FClass { fmt, rd, rs1 } => write!(f, "fclass.{fmt} {rd}, {rs1}"),
+            Instr::FMvXF { fmt, rd, rs1 } => write!(f, "fmv.x.{fmt} {rd}, {rs1}"),
+            Instr::FMvFX { fmt, rd, rs1 } => write!(f, "fmv.{fmt}.x {rd}, {rs1}"),
+            Instr::FCvtFF { dst, src, rd, rs1, rm } => {
+                write!(f, "fcvt.{dst}.{src} {rd}, {rs1}{}", rm_suffix(rm))
+            }
+            Instr::FCvtFI { fmt, rd, rs1, signed, rm } => {
+                let w = if signed { "w" } else { "wu" };
+                write!(f, "fcvt.{w}.{fmt} {rd}, {rs1}{}", rm_suffix(rm))
+            }
+            Instr::FCvtIF { fmt, rd, rs1, signed, rm } => {
+                let w = if signed { "w" } else { "wu" };
+                write!(f, "fcvt.{fmt}.{w} {rd}, {rs1}{}", rm_suffix(rm))
+            }
+            Instr::FMulEx { fmt, rd, rs1, rs2, rm } => {
+                write!(f, "fmulex.s.{fmt} {rd}, {rs1}, {rs2}{}", rm_suffix(rm))
+            }
+            Instr::FMacEx { fmt, rd, rs1, rs2, rm } => {
+                write!(f, "fmacex.s.{fmt} {rd}, {rs1}, {rs2}{}", rm_suffix(rm))
+            }
+            Instr::VFOp { op, fmt, rd, rs1, rs2, rep } => {
+                let m = match op {
+                    VfOp::Add => "vfadd",
+                    VfOp::Sub => "vfsub",
+                    VfOp::Mul => "vfmul",
+                    VfOp::Div => "vfdiv",
+                    VfOp::Min => "vfmin",
+                    VfOp::Max => "vfmax",
+                    VfOp::Mac => "vfmac",
+                    VfOp::Sgnj => "vfsgnj",
+                    VfOp::Sgnjn => "vfsgnjn",
+                    VfOp::Sgnjx => "vfsgnjx",
+                };
+                write!(f, "{m}{}.{fmt} {rd}, {rs1}, {rs2}", rep_infix(rep))
+            }
+            Instr::VFSqrt { fmt, rd, rs1 } => write!(f, "vfsqrt.{fmt} {rd}, {rs1}"),
+            Instr::VFCmp { op, fmt, rd, rs1, rs2, rep } => {
+                let m = match op {
+                    VCmpOp::Eq => "vfeq",
+                    VCmpOp::Ne => "vfne",
+                    VCmpOp::Lt => "vflt",
+                    VCmpOp::Le => "vfle",
+                    VCmpOp::Gt => "vfgt",
+                    VCmpOp::Ge => "vfge",
+                };
+                write!(f, "{m}{}.{fmt} {rd}, {rs1}, {rs2}", rep_infix(rep))
+            }
+            Instr::VFCvtFF { dst, src, rd, rs1 } => {
+                write!(f, "vfcvt.{dst}.{src} {rd}, {rs1}")
+            }
+            Instr::VFCvtXF { fmt, rd, rs1, signed } => {
+                let x = if signed { "x" } else { "xu" };
+                write!(f, "vfcvt.{x}.{fmt} {rd}, {rs1}")
+            }
+            Instr::VFCvtFX { fmt, rd, rs1, signed } => {
+                let x = if signed { "x" } else { "xu" };
+                write!(f, "vfcvt.{fmt}.{x} {rd}, {rs1}")
+            }
+            Instr::VFCpk { fmt, half, rd, rs1, rs2 } => {
+                let h = match half {
+                    CpkHalf::A => "a",
+                    CpkHalf::B => "b",
+                };
+                write!(f, "vfcpk.{h}.{fmt}.s {rd}, {rs1}, {rs2}")
+            }
+            Instr::VFDotpEx { fmt, rd, rs1, rs2, rep } => {
+                write!(f, "vfdotpex{}.s.{fmt} {rd}, {rs1}, {rs2}", rep_infix(rep))
+            }
+        }
+    }
+}
+
+fn mem_suffix(fmt: crate::fmt::FpFmt) -> &'static str {
+    match fmt {
+        crate::fmt::FpFmt::S => "w",
+        crate::fmt::FpFmt::H | crate::fmt::FpFmt::Ah => "h",
+        crate::fmt::FpFmt::B => "b",
+    }
+}
+
+fn rep_infix(rep: bool) -> &'static str {
+    if rep {
+        ".r"
+    } else {
+        ""
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fmt::FpFmt;
+    use crate::reg::{FReg, XReg};
+
+    #[test]
+    fn table1_mnemonics() {
+        // The operation families of paper Table I, spelled as in the paper.
+        let fadd_h = Instr::FOp {
+            op: FpOp::Add,
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rm: Rm::Dyn,
+        };
+        assert_eq!(fadd_h.to_string(), "fadd.h ft0, ft1, ft2");
+        let fcvt = Instr::FCvtFF {
+            dst: FpFmt::H,
+            src: FpFmt::S,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rm: Rm::Dyn,
+        };
+        assert_eq!(fcvt.to_string(), "fcvt.h.s ft0, ft1");
+        let vfadd = Instr::VFOp {
+            op: VfOp::Add,
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rep: false,
+        };
+        assert_eq!(vfadd.to_string(), "vfadd.h ft0, ft1, ft2");
+        let vfcvt = Instr::VFCvtXF { fmt: FpFmt::H, rd: FReg::new(0), rs1: FReg::new(1), signed: true };
+        assert_eq!(vfcvt.to_string(), "vfcvt.x.h ft0, ft1");
+        let cpk = Instr::VFCpk {
+            fmt: FpFmt::H,
+            half: CpkHalf::A,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+        };
+        assert_eq!(cpk.to_string(), "vfcpk.a.h.s ft0, ft1, ft2");
+        let macex = Instr::FMacEx {
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rm: Rm::Dyn,
+        };
+        assert_eq!(macex.to_string(), "fmacex.s.h ft0, ft1, ft2");
+        let dotp = Instr::VFDotpEx {
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rep: false,
+        };
+        assert_eq!(dotp.to_string(), "vfdotpex.s.h ft0, ft1, ft2");
+    }
+
+    #[test]
+    fn memory_and_branch_syntax() {
+        let i = Instr::Load {
+            width: MemWidth::W,
+            unsigned: false,
+            rd: XReg::a(0),
+            rs1: XReg::SP,
+            offset: -8,
+        };
+        assert_eq!(i.to_string(), "lw a0, -8(sp)");
+        let i = Instr::FLoad { fmt: FpFmt::H, rd: FReg::a(0), rs1: XReg::a(1), offset: 2 };
+        assert_eq!(i.to_string(), "flh fa0, 2(a1)");
+        let i = Instr::Branch {
+            cond: BranchCond::Lt,
+            rs1: XReg::a(0),
+            rs2: XReg::a(1),
+            offset: -16,
+        };
+        assert_eq!(i.to_string(), "blt a0, a1, -16");
+    }
+
+    #[test]
+    fn rounding_mode_suffix() {
+        let i = Instr::FOp {
+            op: FpOp::Mul,
+            fmt: FpFmt::B,
+            rd: FReg::new(3),
+            rs1: FReg::new(4),
+            rs2: FReg::new(5),
+            rm: Rm::Rtz,
+        };
+        assert_eq!(i.to_string(), "fmul.b ft3, ft4, ft5, rtz");
+    }
+
+    #[test]
+    fn replicated_variant_infix() {
+        let i = Instr::VFOp {
+            op: VfOp::Mul,
+            fmt: FpFmt::B,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rep: true,
+        };
+        assert_eq!(i.to_string(), "vfmul.r.b ft0, ft1, ft2");
+    }
+}

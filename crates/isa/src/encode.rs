@@ -1,0 +1,551 @@
+//! Binary encoding of instructions into 32-bit words.
+
+use crate::fmt::FpFmt;
+use crate::instr::*;
+use crate::reg::{FReg, XReg};
+
+// Major opcodes.
+pub(crate) const OPC_LOAD: u32 = 0b000_0011;
+pub(crate) const OPC_LOAD_FP: u32 = 0b000_0111;
+pub(crate) const OPC_MISC_MEM: u32 = 0b000_1111;
+pub(crate) const OPC_OP_IMM: u32 = 0b001_0011;
+pub(crate) const OPC_AUIPC: u32 = 0b001_0111;
+pub(crate) const OPC_STORE: u32 = 0b010_0011;
+pub(crate) const OPC_STORE_FP: u32 = 0b010_0111;
+pub(crate) const OPC_OP: u32 = 0b011_0011;
+pub(crate) const OPC_LUI: u32 = 0b011_0111;
+pub(crate) const OPC_MADD: u32 = 0b100_0011;
+pub(crate) const OPC_MSUB: u32 = 0b100_0111;
+pub(crate) const OPC_NMSUB: u32 = 0b100_1011;
+pub(crate) const OPC_NMADD: u32 = 0b100_1111;
+pub(crate) const OPC_OP_FP: u32 = 0b101_0011;
+pub(crate) const OPC_BRANCH: u32 = 0b110_0011;
+pub(crate) const OPC_JALR: u32 = 0b110_0111;
+pub(crate) const OPC_JAL: u32 = 0b110_1111;
+pub(crate) const OPC_SYSTEM: u32 = 0b111_0011;
+
+// OP-FP funct5 values (bits 31:27). The 00110/00111 slots are unused by the
+// standard F/D/Q extensions and host the Xfaux expanding operations.
+pub(crate) const F5_ADD: u32 = 0b00000;
+pub(crate) const F5_SUB: u32 = 0b00001;
+pub(crate) const F5_MUL: u32 = 0b00010;
+pub(crate) const F5_DIV: u32 = 0b00011;
+pub(crate) const F5_SGNJ: u32 = 0b00100;
+pub(crate) const F5_MINMAX: u32 = 0b00101;
+pub(crate) const F5_MULEX: u32 = 0b00110;
+pub(crate) const F5_MACEX: u32 = 0b00111;
+pub(crate) const F5_CVT_FF: u32 = 0b01000;
+pub(crate) const F5_SQRT: u32 = 0b01011;
+pub(crate) const F5_CMP: u32 = 0b10100;
+pub(crate) const F5_CVT_FI: u32 = 0b11000; // float → int
+pub(crate) const F5_CVT_IF: u32 = 0b11010; // int → float
+pub(crate) const F5_MV_X: u32 = 0b11100; // fmv.x / fclass
+pub(crate) const F5_MV_F: u32 = 0b11110; // fmv.fmt.x
+
+// Xfvec vecop values (funct7[4:0] under the funct7[6:5]=10 prefix in OP).
+pub(crate) const V_ADD: u32 = 0b00000;
+pub(crate) const V_SUB: u32 = 0b00001;
+pub(crate) const V_MUL: u32 = 0b00010;
+pub(crate) const V_DIV: u32 = 0b00011;
+pub(crate) const V_MIN: u32 = 0b00100;
+pub(crate) const V_MAX: u32 = 0b00101;
+pub(crate) const V_MAC: u32 = 0b00110;
+pub(crate) const V_SQRT: u32 = 0b00111;
+pub(crate) const V_SGNJ: u32 = 0b01000;
+pub(crate) const V_SGNJN: u32 = 0b01001;
+pub(crate) const V_SGNJX: u32 = 0b01010;
+pub(crate) const V_EQ: u32 = 0b01011;
+pub(crate) const V_NE: u32 = 0b01100;
+pub(crate) const V_LT: u32 = 0b01101;
+pub(crate) const V_LE: u32 = 0b01110;
+pub(crate) const V_GT: u32 = 0b01111;
+pub(crate) const V_GE: u32 = 0b10000;
+pub(crate) const V_CVT_FF: u32 = 0b10001;
+pub(crate) const V_CVT_XF: u32 = 0b10010; // float → signed int lanes
+pub(crate) const V_CVT_XUF: u32 = 0b10011; // float → unsigned int lanes
+pub(crate) const V_CVT_FX: u32 = 0b10100; // signed int lanes → float
+pub(crate) const V_CVT_FXU: u32 = 0b10101; // unsigned int lanes → float
+pub(crate) const V_CPK_A: u32 = 0b10110;
+pub(crate) const V_CPK_B: u32 = 0b10111;
+pub(crate) const V_DOTPEX: u32 = 0b11000;
+
+fn rd(r: impl Into<usize>) -> u32 {
+    (r.into() as u32) << 7
+}
+
+fn rs1(r: impl Into<usize>) -> u32 {
+    (r.into() as u32) << 15
+}
+
+fn rs2(r: impl Into<usize>) -> u32 {
+    (r.into() as u32) << 20
+}
+
+fn funct3(v: u32) -> u32 {
+    (v & 0x7) << 12
+}
+
+fn funct7(v: u32) -> u32 {
+    (v & 0x7f) << 25
+}
+
+fn i_imm(imm: i32) -> u32 {
+    assert!(
+        (-2048..2048).contains(&imm),
+        "I-type immediate {imm} out of 12-bit range"
+    );
+    ((imm as u32) & 0xfff) << 20
+}
+
+fn s_imm(imm: i32) -> u32 {
+    assert!(
+        (-2048..2048).contains(&imm),
+        "S-type immediate {imm} out of 12-bit range"
+    );
+    let u = imm as u32;
+    ((u & 0xfe0) << 20) | ((u & 0x1f) << 7)
+}
+
+fn b_imm(offset: i32) -> u32 {
+    assert!(
+        (-4096..4096).contains(&offset) && offset % 2 == 0,
+        "branch offset {offset} out of range or misaligned"
+    );
+    let u = offset as u32;
+    ((u & 0x1000) << 19) | ((u & 0x7e0) << 20) | ((u & 0x1e) << 7) | ((u & 0x800) >> 4)
+}
+
+fn j_imm(offset: i32) -> u32 {
+    assert!(
+        (-(1 << 20)..(1 << 20)).contains(&offset) && offset % 2 == 0,
+        "jump offset {offset} out of range or misaligned"
+    );
+    let u = offset as u32;
+    ((u & 0x10_0000) << 11) | ((u & 0x7fe) << 20) | ((u & 0x800) << 9) | (u & 0xf_f000)
+}
+
+fn u_imm(imm20: i32) -> u32 {
+    ((imm20 as u32) & 0xf_ffff) << 12
+}
+
+fn fp_funct7(funct5: u32, fmt: FpFmt) -> u32 {
+    funct7((funct5 << 2) | fmt.code())
+}
+
+fn vec_funct7(vecop: u32) -> u32 {
+    funct7(0b10_00000 | (vecop & 0x1f))
+}
+
+fn vec_funct3(fmt: FpFmt, rep: bool) -> u32 {
+    funct3((fmt.code() << 1) | u32::from(rep))
+}
+
+fn branch_funct3(cond: BranchCond) -> u32 {
+    funct3(match cond {
+        BranchCond::Eq => 0b000,
+        BranchCond::Ne => 0b001,
+        BranchCond::Lt => 0b100,
+        BranchCond::Ge => 0b101,
+        BranchCond::Ltu => 0b110,
+        BranchCond::Geu => 0b111,
+    })
+}
+
+fn load_funct3(width: MemWidth, unsigned: bool) -> u32 {
+    funct3(match (width, unsigned) {
+        (MemWidth::B, false) => 0b000,
+        (MemWidth::H, false) => 0b001,
+        (MemWidth::W, _) => 0b010,
+        (MemWidth::B, true) => 0b100,
+        (MemWidth::H, true) => 0b101,
+    })
+}
+
+fn store_funct3(width: MemWidth) -> u32 {
+    funct3(match width {
+        MemWidth::B => 0b000,
+        MemWidth::H => 0b001,
+        MemWidth::W => 0b010,
+    })
+}
+
+fn fp_mem_funct3(fmt: FpFmt) -> u32 {
+    funct3(match fmt {
+        FpFmt::B => 0b000,
+        FpFmt::H | FpFmt::Ah => 0b001, // both 16-bit formats share flh/fsh
+        FpFmt::S => 0b010,
+    })
+}
+
+/// Encode an instruction into its 32-bit word.
+///
+/// # Panics
+///
+/// Panics when an immediate or offset exceeds its encoding range (12-bit
+/// I/S immediates, ±4 KiB branch offsets, ±1 MiB jump offsets) — silent
+/// wrap-around would corrupt generated programs. The assembler's
+/// label-based builders check ranges before reaching this point.
+pub fn encode(instr: &Instr) -> u32 {
+    match *instr {
+        // ----- RV32I -----
+        Instr::Lui { rd: d, imm20 } => OPC_LUI | rd(d) | u_imm(imm20),
+        Instr::Auipc { rd: d, imm20 } => OPC_AUIPC | rd(d) | u_imm(imm20),
+        Instr::Jal { rd: d, offset } => OPC_JAL | rd(d) | j_imm(offset),
+        Instr::Jalr { rd: d, rs1: r1, offset } => {
+            OPC_JALR | rd(d) | funct3(0) | rs1(r1) | i_imm(offset)
+        }
+        Instr::Branch { cond, rs1: r1, rs2: r2, offset } => {
+            OPC_BRANCH | branch_funct3(cond) | rs1(r1) | rs2(r2) | b_imm(offset)
+        }
+        Instr::Load { width, unsigned, rd: d, rs1: r1, offset } => {
+            OPC_LOAD | rd(d) | load_funct3(width, unsigned) | rs1(r1) | i_imm(offset)
+        }
+        Instr::Store { width, rs2: r2, rs1: r1, offset } => {
+            OPC_STORE | store_funct3(width) | rs1(r1) | rs2(r2) | s_imm(offset)
+        }
+        Instr::OpImm { op, rd: d, rs1: r1, imm } => {
+            let (f3, f7) = alu_imm_codes(op);
+            let imm_field = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
+                    i_imm(imm & 0x1f) | funct7(f7)
+                }
+                _ => i_imm(imm),
+            };
+            OPC_OP_IMM | rd(d) | funct3(f3) | rs1(r1) | imm_field
+        }
+        Instr::Op { op, rd: d, rs1: r1, rs2: r2 } => {
+            let (f3, f7) = alu_reg_codes(op);
+            OPC_OP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | funct7(f7)
+        }
+        Instr::Fence => OPC_MISC_MEM,
+        Instr::Ecall => OPC_SYSTEM,
+        Instr::Ebreak => OPC_SYSTEM | i_imm(1),
+
+        // ----- M -----
+        Instr::MulDiv { op, rd: d, rs1: r1, rs2: r2 } => {
+            let f3 = match op {
+                MulDivOp::Mul => 0b000,
+                MulDivOp::Mulh => 0b001,
+                MulDivOp::Mulhsu => 0b010,
+                MulDivOp::Mulhu => 0b011,
+                MulDivOp::Div => 0b100,
+                MulDivOp::Divu => 0b101,
+                MulDivOp::Rem => 0b110,
+                MulDivOp::Remu => 0b111,
+            };
+            OPC_OP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | funct7(0b0000001)
+        }
+
+        // ----- Zicsr -----
+        Instr::Csr { op, rd: d, src, csr } => {
+            let (f3, src_field) = match (op, src) {
+                (CsrOp::Rw, CsrSrc::Reg(r)) => (0b001, rs1(r)),
+                (CsrOp::Rs, CsrSrc::Reg(r)) => (0b010, rs1(r)),
+                (CsrOp::Rc, CsrSrc::Reg(r)) => (0b011, rs1(r)),
+                (CsrOp::Rw, CsrSrc::Imm(i)) => (0b101, ((i as u32) & 0x1f) << 15),
+                (CsrOp::Rs, CsrSrc::Imm(i)) => (0b110, ((i as u32) & 0x1f) << 15),
+                (CsrOp::Rc, CsrSrc::Imm(i)) => (0b111, ((i as u32) & 0x1f) << 15),
+            };
+            OPC_SYSTEM | rd(d) | funct3(f3) | src_field | ((csr as u32) << 20)
+        }
+
+        // ----- FP loads/stores -----
+        Instr::FLoad { fmt, rd: d, rs1: r1, offset } => {
+            OPC_LOAD_FP | rd(d) | fp_mem_funct3(fmt) | rs1(r1) | i_imm(offset)
+        }
+        Instr::FStore { fmt, rs2: r2, rs1: r1, offset } => {
+            OPC_STORE_FP | fp_mem_funct3(fmt) | rs1(r1) | rs2(r2) | s_imm(offset)
+        }
+
+        // ----- Scalar FP -----
+        Instr::FOp { op, fmt, rd: d, rs1: r1, rs2: r2, rm } => {
+            let f5 = match op {
+                FpOp::Add => F5_ADD,
+                FpOp::Sub => F5_SUB,
+                FpOp::Mul => F5_MUL,
+                FpOp::Div => F5_DIV,
+            };
+            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(f5, fmt)
+        }
+        Instr::FSqrt { fmt, rd: d, rs1: r1, rm } => {
+            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | fp_funct7(F5_SQRT, fmt)
+        }
+        Instr::FSgnj { kind, fmt, rd: d, rs1: r1, rs2: r2 } => {
+            let f3 = match kind {
+                SgnjKind::Sgnj => 0b000,
+                SgnjKind::Sgnjn => 0b001,
+                SgnjKind::Sgnjx => 0b010,
+            };
+            OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_SGNJ, fmt)
+        }
+        Instr::FMinMax { op, fmt, rd: d, rs1: r1, rs2: r2 } => {
+            let f3 = match op {
+                MinMaxOp::Min => 0b000,
+                MinMaxOp::Max => 0b001,
+            };
+            OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_MINMAX, fmt)
+        }
+        Instr::FFma { op, fmt, rd: d, rs1: r1, rs2: r2, rs3, rm } => {
+            let opc = match op {
+                FmaOp::Madd => OPC_MADD,
+                FmaOp::Msub => OPC_MSUB,
+                FmaOp::Nmsub => OPC_NMSUB,
+                FmaOp::Nmadd => OPC_NMADD,
+            };
+            opc | rd(d)
+                | funct3(rm.code())
+                | rs1(r1)
+                | rs2(r2)
+                | (fmt.code() << 25)
+                | ((rs3.num() as u32) << 27)
+        }
+        Instr::FCmp { op, fmt, rd: d, rs1: r1, rs2: r2 } => {
+            let f3 = match op {
+                CmpOp::Le => 0b000,
+                CmpOp::Lt => 0b001,
+                CmpOp::Eq => 0b010,
+            };
+            OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_CMP, fmt)
+        }
+        Instr::FClass { fmt, rd: d, rs1: r1 } => {
+            OPC_OP_FP | rd(d) | funct3(0b001) | rs1(r1) | fp_funct7(F5_MV_X, fmt)
+        }
+        Instr::FMvXF { fmt, rd: d, rs1: r1 } => {
+            OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_X, fmt)
+        }
+        Instr::FMvFX { fmt, rd: d, rs1: r1 } => {
+            OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_F, fmt)
+        }
+        Instr::FCvtFF { dst, src, rd: d, rs1: r1, rm } => {
+            OPC_OP_FP
+                | rd(d)
+                | funct3(rm.code())
+                | rs1(r1)
+                | (src.code() << 20)
+                | fp_funct7(F5_CVT_FF, dst)
+        }
+        Instr::FCvtFI { fmt, rd: d, rs1: r1, signed, rm } => {
+            let sel = u32::from(!signed); // rs2 field: 0 = w, 1 = wu
+            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | (sel << 20)
+                | fp_funct7(F5_CVT_FI, fmt)
+        }
+        Instr::FCvtIF { fmt, rd: d, rs1: r1, signed, rm } => {
+            let sel = u32::from(!signed);
+            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | (sel << 20)
+                | fp_funct7(F5_CVT_IF, fmt)
+        }
+
+        // ----- Xfaux scalar -----
+        Instr::FMulEx { fmt, rd: d, rs1: r1, rs2: r2, rm } => {
+            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MULEX, fmt)
+        }
+        Instr::FMacEx { fmt, rd: d, rs1: r1, rs2: r2, rm } => {
+            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MACEX, fmt)
+        }
+
+        // ----- Xfvec -----
+        Instr::VFOp { op, fmt, rd: d, rs1: r1, rs2: r2, rep } => {
+            let vop = match op {
+                VfOp::Add => V_ADD,
+                VfOp::Sub => V_SUB,
+                VfOp::Mul => V_MUL,
+                VfOp::Div => V_DIV,
+                VfOp::Min => V_MIN,
+                VfOp::Max => V_MAX,
+                VfOp::Mac => V_MAC,
+                VfOp::Sgnj => V_SGNJ,
+                VfOp::Sgnjn => V_SGNJN,
+                VfOp::Sgnjx => V_SGNJX,
+            };
+            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop)
+        }
+        Instr::VFSqrt { fmt, rd: d, rs1: r1 } => {
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(V_SQRT)
+        }
+        Instr::VFCmp { op, fmt, rd: d, rs1: r1, rs2: r2, rep } => {
+            let vop = match op {
+                VCmpOp::Eq => V_EQ,
+                VCmpOp::Ne => V_NE,
+                VCmpOp::Lt => V_LT,
+                VCmpOp::Le => V_LE,
+                VCmpOp::Gt => V_GT,
+                VCmpOp::Ge => V_GE,
+            };
+            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop)
+        }
+        Instr::VFCvtFF { dst, src, rd: d, rs1: r1 } => {
+            OPC_OP | rd(d) | vec_funct3(dst, false) | rs1(r1) | (src.code() << 20)
+                | vec_funct7(V_CVT_FF)
+        }
+        Instr::VFCvtXF { fmt, rd: d, rs1: r1, signed } => {
+            let vop = if signed { V_CVT_XF } else { V_CVT_XUF };
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop)
+        }
+        Instr::VFCvtFX { fmt, rd: d, rs1: r1, signed } => {
+            let vop = if signed { V_CVT_FX } else { V_CVT_FXU };
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop)
+        }
+        Instr::VFCpk { fmt, half, rd: d, rs1: r1, rs2: r2 } => {
+            let vop = match half {
+                CpkHalf::A => V_CPK_A,
+                CpkHalf::B => V_CPK_B,
+            };
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | rs2(r2) | vec_funct7(vop)
+        }
+        Instr::VFDotpEx { fmt, rd: d, rs1: r1, rs2: r2, rep } => {
+            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(V_DOTPEX)
+        }
+    }
+}
+
+pub(crate) fn alu_imm_codes(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0),
+        AluOp::Sll => (0b001, 0b0000000),
+        AluOp::Slt => (0b010, 0),
+        AluOp::Sltu => (0b011, 0),
+        AluOp::Xor => (0b100, 0),
+        AluOp::Srl => (0b101, 0b0000000),
+        AluOp::Sra => (0b101, 0b0100000),
+        AluOp::Or => (0b110, 0),
+        AluOp::And => (0b111, 0),
+        AluOp::Sub => panic!("subi does not exist; use addi with a negated immediate"),
+    }
+}
+
+pub(crate) fn alu_reg_codes(op: AluOp) -> (u32, u32) {
+    match op {
+        AluOp::Add => (0b000, 0b0000000),
+        AluOp::Sub => (0b000, 0b0100000),
+        AluOp::Sll => (0b001, 0b0000000),
+        AluOp::Slt => (0b010, 0b0000000),
+        AluOp::Sltu => (0b011, 0b0000000),
+        AluOp::Xor => (0b100, 0b0000000),
+        AluOp::Srl => (0b101, 0b0000000),
+        AluOp::Sra => (0b101, 0b0100000),
+        AluOp::Or => (0b110, 0b0000000),
+        AluOp::And => (0b111, 0b0000000),
+    }
+}
+
+// Allow constructing register-field helpers from the reg newtypes.
+impl From<XReg> for u32 {
+    fn from(r: XReg) -> u32 {
+        r.num() as u32
+    }
+}
+
+impl From<FReg> for u32 {
+    fn from(r: FReg) -> u32 {
+        r.num() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_encodings_match_reference() {
+        // Reference words cross-checked against the RISC-V spec / GNU as.
+        // addi a0, a1, 42  -> 0x02A58513
+        let i = Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm: 42 };
+        assert_eq!(encode(&i), 0x02A5_8513);
+        // add  a0, a1, a2 -> 0x00C58533
+        let i = Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), rs2: XReg::a(2) };
+        assert_eq!(encode(&i), 0x00C5_8533);
+        // lw a0, 8(sp) -> 0x00812503
+        let i = Instr::Load {
+            width: MemWidth::W,
+            unsigned: false,
+            rd: XReg::a(0),
+            rs1: XReg::SP,
+            offset: 8,
+        };
+        assert_eq!(encode(&i), 0x0081_2503);
+        // sw a0, 8(sp) -> 0x00A12423
+        let i = Instr::Store { width: MemWidth::W, rs2: XReg::a(0), rs1: XReg::SP, offset: 8 };
+        assert_eq!(encode(&i), 0x00A1_2423);
+        // beq a0, a1, +16 -> 0x00B50863
+        let i = Instr::Branch { cond: BranchCond::Eq, rs1: XReg::a(0), rs2: XReg::a(1), offset: 16 };
+        assert_eq!(encode(&i), 0x00B5_0863);
+        // jal ra, +2048 → imm[11]=1: 0x0010_00EF
+        let i = Instr::Jal { rd: XReg::RA, offset: 2048 };
+        assert_eq!(encode(&i), 0x0010_00EF);
+        // lui a0, 0x12345 -> 0x12345537
+        let i = Instr::Lui { rd: XReg::a(0), imm20: 0x12345 };
+        assert_eq!(encode(&i), 0x1234_5537);
+        // mul a0, a1, a2 -> 0x02C58533
+        let i = Instr::MulDiv { op: MulDivOp::Mul, rd: XReg::a(0), rs1: XReg::a(1), rs2: XReg::a(2) };
+        assert_eq!(encode(&i), 0x02C5_8533);
+        // fadd.s fa0, fa1, fa2, rne -> 0x00C58553
+        let i = Instr::FOp {
+            op: FpOp::Add,
+            fmt: FpFmt::S,
+            rd: FReg::a(0),
+            rs1: FReg::a(1),
+            rs2: FReg::a(2),
+            rm: Rm::Rne,
+        };
+        assert_eq!(encode(&i), 0x00C5_8553);
+        // flw fa0, 0(a0) -> 0x00052507
+        let i = Instr::FLoad { fmt: FpFmt::S, rd: FReg::a(0), rs1: XReg::a(0), offset: 0 };
+        assert_eq!(encode(&i), 0x0005_2507);
+        // fmadd.s fa0, fa1, fa2, fa3, rne -> 0x68C58543
+        let i = Instr::FFma {
+            op: FmaOp::Madd,
+            fmt: FpFmt::S,
+            rd: FReg::a(0),
+            rs1: FReg::a(1),
+            rs2: FReg::a(2),
+            rs3: FReg::a(3),
+            rm: Rm::Rne,
+        };
+        assert_eq!(encode(&i), 0x68C5_8543);
+        // csrrs a0, cycle, zero -> 0xC0002573
+        let i = Instr::Csr {
+            op: CsrOp::Rs,
+            rd: XReg::a(0),
+            src: CsrSrc::Reg(XReg::ZERO),
+            csr: 0xc00,
+        };
+        assert_eq!(encode(&i), 0xC000_2573);
+    }
+
+    #[test]
+    fn half_format_matches_zfh_slot() {
+        // Our fmt code 10 for binary16 coincides with ratified Zfh:
+        // fadd.h fa0, fa1, fa2 (rne) -> 0x04C58553
+        let i = Instr::FOp {
+            op: FpOp::Add,
+            fmt: FpFmt::H,
+            rd: FReg::a(0),
+            rs1: FReg::a(1),
+            rs2: FReg::a(2),
+            rm: Rm::Rne,
+        };
+        assert_eq!(encode(&i), 0x04C5_8553);
+    }
+
+    #[test]
+    fn vector_ops_use_unused_op_prefix() {
+        let i = Instr::VFOp {
+            op: VfOp::Add,
+            fmt: FpFmt::H,
+            rd: FReg::new(1),
+            rs1: FReg::new(2),
+            rs2: FReg::new(3),
+            rep: false,
+        };
+        let w = encode(&i);
+        assert_eq!(w & 0x7f, OPC_OP);
+        assert_eq!(w >> 30, 0b10 >> 0 & 0b11, "funct7[6:5] must be the 10 prefix");
+        assert_eq!((w >> 25) & 0x7f, 0b10_00000 | V_ADD);
+    }
+
+    #[test]
+    #[should_panic(expected = "subi does not exist")]
+    fn subi_panics() {
+        encode(&Instr::OpImm { op: AluOp::Sub, rd: XReg::a(0), rs1: XReg::a(0), imm: 1 });
+    }
+}

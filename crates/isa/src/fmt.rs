@@ -1,0 +1,182 @@
+//! Floating-point format codes and the Table II lane computation.
+
+use smallfloat_softfp::Format;
+use std::fmt;
+
+/// The floating-point formats addressable by smallFloat instructions, with
+/// their two-bit `fmt`-field codes.
+///
+/// `S` comes from the standard F extension; `H`, `Ah` and `B` come from the
+/// paper's Xf16, Xf16alt and Xf8 extensions. See the crate docs for the
+/// encoding rationale (`Ah` reuses the unimplemented D slot, `B` the Q slot).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FpFmt {
+    /// binary32 single precision (`.s`), fmt code `00`.
+    S,
+    /// binary16alt / bfloat16 layout (`.ah`), fmt code `01`.
+    Ah,
+    /// binary16 IEEE half precision (`.h`), fmt code `10`.
+    H,
+    /// binary8 E5M2 (`.b`), fmt code `11`.
+    B,
+}
+
+impl FpFmt {
+    /// All four formats.
+    pub const ALL: [FpFmt; 4] = [FpFmt::S, FpFmt::Ah, FpFmt::H, FpFmt::B];
+    /// The three smallFloat (narrower-than-32-bit) formats.
+    pub const SMALL: [FpFmt; 3] = [FpFmt::H, FpFmt::Ah, FpFmt::B];
+
+    /// The two-bit instruction-word `fmt` field code.
+    pub fn code(self) -> u32 {
+        match self {
+            FpFmt::S => 0b00,
+            FpFmt::Ah => 0b01,
+            FpFmt::H => 0b10,
+            FpFmt::B => 0b11,
+        }
+    }
+
+    /// Decode a two-bit `fmt` field code.
+    pub fn from_code(code: u32) -> FpFmt {
+        match code & 0b11 {
+            0b00 => FpFmt::S,
+            0b01 => FpFmt::Ah,
+            0b10 => FpFmt::H,
+            _ => FpFmt::B,
+        }
+    }
+
+    /// The soft-float [`Format`] descriptor.
+    pub fn format(self) -> Format {
+        match self {
+            FpFmt::S => Format::BINARY32,
+            FpFmt::Ah => Format::BINARY16ALT,
+            FpFmt::H => Format::BINARY16,
+            FpFmt::B => Format::BINARY8,
+        }
+    }
+
+    /// Storage width in bits.
+    pub fn width(self) -> u32 {
+        self.format().width()
+    }
+
+    /// The instruction-mnemonic suffix (`s`, `ah`, `h`, `b`).
+    pub fn suffix(self) -> &'static str {
+        match self {
+            FpFmt::S => "s",
+            FpFmt::Ah => "ah",
+            FpFmt::H => "h",
+            FpFmt::B => "b",
+        }
+    }
+
+    /// SIMD lane count in a register of `flen` bits, or `None` if this
+    /// format cannot be vectorized at that width (paper Table II: only
+    /// formats strictly narrower than FLEN get vector operations).
+    pub fn lanes(self, flen: u32) -> Option<u32> {
+        vector_lanes(flen, self)
+    }
+}
+
+impl fmt::Display for FpFmt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.suffix())
+    }
+}
+
+/// Integer lane formats for vector conversions (`vfcvt.x.h` etc. produce
+/// packed integers of the same lane width as the FP format).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum IntVecFmt {
+    /// Packed 16-bit integers (two lanes at FLEN=32).
+    I16,
+    /// Packed 8-bit integers (four lanes at FLEN=32).
+    I8,
+}
+
+impl IntVecFmt {
+    /// The integer lane format matching an FP format's width.
+    pub fn for_fp(fmt: FpFmt) -> Option<IntVecFmt> {
+        match fmt {
+            FpFmt::H | FpFmt::Ah => Some(IntVecFmt::I16),
+            FpFmt::B => Some(IntVecFmt::I8),
+            FpFmt::S => None,
+        }
+    }
+
+    /// Lane width in bits.
+    pub fn width(self) -> u32 {
+        match self {
+            IntVecFmt::I16 => 16,
+            IntVecFmt::I8 => 8,
+        }
+    }
+}
+
+/// Paper Table II: the number of SIMD lanes supported for a format at a
+/// given FP register-file width, or `None` where vector operations are not
+/// available (format at least as wide as FLEN).
+///
+/// | FLEN | F (b32) | Xf16 | Xf16alt | Xf8 |
+/// |------|---------|------|---------|-----|
+/// | 64   | 2       | 4    | 4       | 8   |
+/// | 32   | —       | 2    | 2       | 4   |
+/// | 16   | —       | —    | —       | 2   |
+pub fn vector_lanes(flen: u32, fmt: FpFmt) -> Option<u32> {
+    let w = fmt.width();
+    if w < flen && flen % w == 0 {
+        Some(flen / w)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn code_round_trip() {
+        for f in FpFmt::ALL {
+            assert_eq!(FpFmt::from_code(f.code()), f);
+        }
+    }
+
+    #[test]
+    fn formats_map() {
+        assert_eq!(FpFmt::H.format(), Format::BINARY16);
+        assert_eq!(FpFmt::Ah.format(), Format::BINARY16ALT);
+        assert_eq!(FpFmt::B.format(), Format::BINARY8);
+        assert_eq!(FpFmt::S.format(), Format::BINARY32);
+        assert_eq!(FpFmt::B.width(), 8);
+    }
+
+    #[test]
+    fn table2_lane_counts() {
+        // FLEN = 64 row.
+        assert_eq!(vector_lanes(64, FpFmt::S), Some(2));
+        assert_eq!(vector_lanes(64, FpFmt::H), Some(4));
+        assert_eq!(vector_lanes(64, FpFmt::Ah), Some(4));
+        assert_eq!(vector_lanes(64, FpFmt::B), Some(8));
+        // FLEN = 32 row (the paper's evaluation platform).
+        assert_eq!(vector_lanes(32, FpFmt::S), None);
+        assert_eq!(vector_lanes(32, FpFmt::H), Some(2));
+        assert_eq!(vector_lanes(32, FpFmt::Ah), Some(2));
+        assert_eq!(vector_lanes(32, FpFmt::B), Some(4));
+        // FLEN = 16 row.
+        assert_eq!(vector_lanes(16, FpFmt::S), None);
+        assert_eq!(vector_lanes(16, FpFmt::H), None);
+        assert_eq!(vector_lanes(16, FpFmt::Ah), None);
+        assert_eq!(vector_lanes(16, FpFmt::B), Some(2));
+    }
+
+    #[test]
+    fn int_vec_formats() {
+        assert_eq!(IntVecFmt::for_fp(FpFmt::H), Some(IntVecFmt::I16));
+        assert_eq!(IntVecFmt::for_fp(FpFmt::B), Some(IntVecFmt::I8));
+        assert_eq!(IntVecFmt::for_fp(FpFmt::S), None);
+        assert_eq!(IntVecFmt::I8.width(), 8);
+    }
+}

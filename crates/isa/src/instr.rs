@@ -1,0 +1,555 @@
+//! The instruction enumeration and per-instruction classification.
+
+use crate::fmt::FpFmt;
+use crate::reg::{FReg, XReg};
+use smallfloat_softfp::Rounding;
+
+/// Rounding-mode field of FP instructions (3 bits in the instruction word).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Rm {
+    /// Round to nearest, ties to even.
+    Rne,
+    /// Round towards zero.
+    Rtz,
+    /// Round down.
+    Rdn,
+    /// Round up.
+    Rup,
+    /// Round to nearest, ties to max magnitude.
+    Rmm,
+    /// Use the dynamic rounding mode from `fcsr.frm`.
+    #[default]
+    Dyn,
+}
+
+impl Rm {
+    /// The 3-bit instruction field encoding.
+    pub fn code(self) -> u32 {
+        match self {
+            Rm::Rne => 0b000,
+            Rm::Rtz => 0b001,
+            Rm::Rdn => 0b010,
+            Rm::Rup => 0b011,
+            Rm::Rmm => 0b100,
+            Rm::Dyn => 0b111,
+        }
+    }
+
+    /// Decode the 3-bit field; returns `None` for the reserved codes 5, 6.
+    pub fn from_code(code: u32) -> Option<Rm> {
+        match code & 0b111 {
+            0b000 => Some(Rm::Rne),
+            0b001 => Some(Rm::Rtz),
+            0b010 => Some(Rm::Rdn),
+            0b011 => Some(Rm::Rup),
+            0b100 => Some(Rm::Rmm),
+            0b111 => Some(Rm::Dyn),
+            _ => None,
+        }
+    }
+
+    /// Resolve to a concrete rounding mode, consulting `frm` for `Dyn`.
+    pub fn resolve(self, frm: Rounding) -> Rounding {
+        match self {
+            Rm::Rne => Rounding::Rne,
+            Rm::Rtz => Rounding::Rtz,
+            Rm::Rdn => Rounding::Rdn,
+            Rm::Rup => Rounding::Rup,
+            Rm::Rmm => Rounding::Rmm,
+            Rm::Dyn => frm,
+        }
+    }
+}
+
+/// Integer ALU operation (shared by `OP` and `OP-IMM`; `Sub` is register
+/// form only, as in the base ISA).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Sll,
+    Slt,
+    Sltu,
+    Xor,
+    Srl,
+    Sra,
+    Or,
+    And,
+}
+
+/// M-extension multiply/divide operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    Mul,
+    Mulh,
+    Mulhsu,
+    Mulhu,
+    Div,
+    Divu,
+    Rem,
+    Remu,
+}
+
+/// Branch condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// Integer load/store width.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    B,
+    H,
+    W,
+}
+
+impl MemWidth {
+    /// Width in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            MemWidth::B => 1,
+            MemWidth::H => 2,
+            MemWidth::W => 4,
+        }
+    }
+}
+
+/// Rounded scalar FP binary operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FpOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Sign-injection kind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SgnjKind {
+    /// `fsgnj`: take the sign of rs2.
+    Sgnj,
+    /// `fsgnjn`: take the inverted sign of rs2.
+    Sgnjn,
+    /// `fsgnjx`: XOR the signs.
+    Sgnjx,
+}
+
+/// `fmin` / `fmax` selector.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MinMaxOp {
+    Min,
+    Max,
+}
+
+/// Fused multiply-add flavour (RISC-V MADD/MSUB/NMSUB/NMADD opcodes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FmaOp {
+    /// `rs1*rs2 + rs3`
+    Madd,
+    /// `rs1*rs2 - rs3`
+    Msub,
+    /// `-(rs1*rs2) + rs3`
+    Nmsub,
+    /// `-(rs1*rs2) - rs3`
+    Nmadd,
+}
+
+/// Scalar FP comparison (F-extension set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+/// Vector FP comparison (Xfvec extends the scalar set).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VCmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// Vectorial (packed-SIMD) lane-wise operation of the Xfvec extension.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VfOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Min,
+    Max,
+    /// Lane-wise multiply-accumulate: `rd[i] += rs1[i] * rs2[i]` (fused).
+    Mac,
+    Sgnj,
+    Sgnjn,
+    Sgnjx,
+}
+
+/// Which half of the destination vector a cast-and-pack writes.
+///
+/// `vfcpk.a` fills lanes 0–1, `vfcpk.b` lanes 2–3 (binary8 only at FLEN=32).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CpkHalf {
+    A,
+    B,
+}
+
+/// CSR access operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CsrOp {
+    /// Atomic read/write.
+    Rw,
+    /// Atomic read and set bits.
+    Rs,
+    /// Atomic read and clear bits.
+    Rc,
+}
+
+/// Source operand of a CSR instruction: a register or a 5-bit immediate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CsrSrc {
+    Reg(XReg),
+    Imm(u8),
+}
+
+/// One decoded RV32IMF(C) + smallFloat instruction.
+///
+/// Compressed instructions are represented by their 32-bit expansion (the
+/// decoder reports the original length so the simulator can advance the PC
+/// correctly).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    // ----- RV32I -----
+    /// `lui rd, imm20` (`imm20` is the *upper* 20-bit value, not shifted).
+    Lui { rd: XReg, imm20: i32 },
+    /// `auipc rd, imm20`.
+    Auipc { rd: XReg, imm20: i32 },
+    /// `jal rd, offset` (byte offset from this instruction).
+    Jal { rd: XReg, offset: i32 },
+    /// `jalr rd, offset(rs1)`.
+    Jalr { rd: XReg, rs1: XReg, offset: i32 },
+    /// Conditional branch.
+    Branch { cond: BranchCond, rs1: XReg, rs2: XReg, offset: i32 },
+    /// Integer load (`unsigned` selects `lbu`/`lhu`; ignored for `lw`).
+    Load { width: MemWidth, unsigned: bool, rd: XReg, rs1: XReg, offset: i32 },
+    /// Integer store.
+    Store { width: MemWidth, rs2: XReg, rs1: XReg, offset: i32 },
+    /// ALU with immediate (no `Sub`).
+    OpImm { op: AluOp, rd: XReg, rs1: XReg, imm: i32 },
+    /// ALU register-register.
+    Op { op: AluOp, rd: XReg, rs1: XReg, rs2: XReg },
+    /// Memory fence (a no-op in the single-hart simulator).
+    Fence,
+    /// Environment call (used as the exit convention by the simulator).
+    Ecall,
+    /// Breakpoint.
+    Ebreak,
+
+    // ----- M -----
+    /// Integer multiply/divide.
+    MulDiv { op: MulDivOp, rd: XReg, rs1: XReg, rs2: XReg },
+
+    // ----- Zicsr -----
+    /// CSR read-modify-write.
+    Csr { op: CsrOp, rd: XReg, src: CsrSrc, csr: u16 },
+
+    // ----- F / Xf16 / Xf16alt / Xf8: scalar -----
+    /// `flw`/`flh`/`flb`: FP load (narrow values are NaN-boxed on load).
+    FLoad { fmt: FpFmt, rd: FReg, rs1: XReg, offset: i32 },
+    /// `fsw`/`fsh`/`fsb`: FP store.
+    FStore { fmt: FpFmt, rs2: FReg, rs1: XReg, offset: i32 },
+    /// Rounded binary FP op (`fadd`/`fsub`/`fmul`/`fdiv`).
+    FOp { op: FpOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rm: Rm },
+    /// `fsqrt`.
+    FSqrt { fmt: FpFmt, rd: FReg, rs1: FReg, rm: Rm },
+    /// Sign injection.
+    FSgnj { kind: SgnjKind, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg },
+    /// IEEE `minNum`/`maxNum`.
+    FMinMax { op: MinMaxOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg },
+    /// Fused multiply-add family.
+    FFma { op: FmaOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg, rm: Rm },
+    /// FP comparison into an integer register.
+    FCmp { op: CmpOp, fmt: FpFmt, rd: XReg, rs1: FReg, rs2: FReg },
+    /// `fclass` 10-bit classification mask.
+    FClass { fmt: FpFmt, rd: XReg, rs1: FReg },
+    /// `fmv.x.fmt`: move raw FP bits to an integer register (sign-extended).
+    FMvXF { fmt: FpFmt, rd: XReg, rs1: FReg },
+    /// `fmv.fmt.x`: move raw integer bits into an FP register (NaN-boxed).
+    FMvFX { fmt: FpFmt, rd: FReg, rs1: XReg },
+    /// Float-to-float conversion `fcvt.dst.src`.
+    FCvtFF { dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg, rm: Rm },
+    /// Float to 32-bit integer `fcvt.w[u].fmt`.
+    FCvtFI { fmt: FpFmt, rd: XReg, rs1: FReg, signed: bool, rm: Rm },
+    /// 32-bit integer to float `fcvt.fmt.w[u]`.
+    FCvtIF { fmt: FpFmt, rd: FReg, rs1: XReg, signed: bool, rm: Rm },
+
+    // ----- Xfaux: scalar expanding -----
+    /// `fmulex.s.fmt`: multiply two smallFloat scalars into a binary32
+    /// result (single rounding; the product is exact before rounding).
+    FMulEx { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rm: Rm },
+    /// `fmacex.s.fmt`: multiply-accumulate of smallFloats on a binary32
+    /// accumulator: `rd(f32) += rs1(fmt) * rs2(fmt)` with a single rounding.
+    FMacEx { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rm: Rm },
+
+    // ----- Xfvec -----
+    /// Lane-wise vector op; `rep` selects the `.r` variant where lane 0 of
+    /// `rs2` is replicated across all lanes (vector-scalar form).
+    VFOp { op: VfOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rep: bool },
+    /// Lane-wise square root.
+    VFSqrt { fmt: FpFmt, rd: FReg, rs1: FReg },
+    /// Lane-wise comparison; writes a lane mask (bit i = lane i) to `rd`.
+    VFCmp { op: VCmpOp, fmt: FpFmt, rd: XReg, rs1: FReg, rs2: FReg, rep: bool },
+    /// Lane-wise float-to-float conversion between equal-width formats
+    /// (`vfcvt.h.ah` / `vfcvt.ah.h`).
+    VFCvtFF { dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg },
+    /// Lane-wise float → packed integer (`vfcvt.x[u].fmt`).
+    VFCvtXF { fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool },
+    /// Lane-wise packed integer → float (`vfcvt.fmt.x[u]`).
+    VFCvtFX { fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool },
+    /// Cast-and-pack: convert the binary32 scalars in `rs1` and `rs2` to
+    /// `fmt` and pack them into adjacent lanes of `rd` (the paper's remedy
+    /// for the "convert scalars and assemble vectors" bottleneck).
+    VFCpk { fmt: FpFmt, half: CpkHalf, rd: FReg, rs1: FReg, rs2: FReg },
+    /// Expanding dot product (Xfaux): `rd(f32) += Σ_i rs1[i] * rs2[i]`,
+    /// lane products computed exactly, accumulated in binary32.
+    VFDotpEx { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rep: bool },
+}
+
+/// Instruction classes used for cycle/energy accounting and the paper's
+/// Fig. 4 instruction-count breakdowns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum InstrClass {
+    /// Integer ALU (incl. `lui`/`auipc`).
+    IntAlu,
+    /// Integer multiply.
+    IntMul,
+    /// Integer divide/remainder.
+    IntDiv,
+    /// Conditional branches.
+    Branch,
+    /// Unconditional jumps (`jal`/`jalr`).
+    Jump,
+    /// Integer loads.
+    Load,
+    /// Integer stores.
+    Store,
+    /// FP loads (any format).
+    FpLoad,
+    /// FP stores (any format).
+    FpStore,
+    /// FP ↔ integer moves and `fclass`.
+    FpMove,
+    /// Scalar binary32 arithmetic.
+    FpS,
+    /// Scalar binary16 arithmetic.
+    FpH,
+    /// Scalar binary16alt arithmetic.
+    FpAh,
+    /// Scalar binary8 arithmetic.
+    FpB,
+    /// Vector (SIMD) binary16 arithmetic.
+    FpVecH,
+    /// Vector binary16alt arithmetic.
+    FpVecAh,
+    /// Vector binary8 arithmetic.
+    FpVecB,
+    /// Conversions (scalar and vector, incl. float↔int).
+    FpCvt,
+    /// Cast-and-pack operations.
+    FpCpk,
+    /// Expanding operations (Xfaux `fmulex`/`fmacex`/`vfdotpex`).
+    FpExpand,
+    /// FP comparisons (scalar and vector).
+    FpCmp,
+    /// CSR accesses.
+    Csr,
+    /// `ecall`/`ebreak`/`fence`.
+    System,
+}
+
+impl InstrClass {
+    /// All classes, in display order.
+    pub const ALL: [InstrClass; 23] = [
+        InstrClass::IntAlu,
+        InstrClass::IntMul,
+        InstrClass::IntDiv,
+        InstrClass::Branch,
+        InstrClass::Jump,
+        InstrClass::Load,
+        InstrClass::Store,
+        InstrClass::FpLoad,
+        InstrClass::FpStore,
+        InstrClass::FpMove,
+        InstrClass::FpS,
+        InstrClass::FpH,
+        InstrClass::FpAh,
+        InstrClass::FpB,
+        InstrClass::FpVecH,
+        InstrClass::FpVecAh,
+        InstrClass::FpVecB,
+        InstrClass::FpCvt,
+        InstrClass::FpCpk,
+        InstrClass::FpExpand,
+        InstrClass::FpCmp,
+        InstrClass::Csr,
+        InstrClass::System,
+    ];
+
+    /// Short label for tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            InstrClass::IntAlu => "alu",
+            InstrClass::IntMul => "mul",
+            InstrClass::IntDiv => "div",
+            InstrClass::Branch => "branch",
+            InstrClass::Jump => "jump",
+            InstrClass::Load => "load",
+            InstrClass::Store => "store",
+            InstrClass::FpLoad => "fp-load",
+            InstrClass::FpStore => "fp-store",
+            InstrClass::FpMove => "fp-move",
+            InstrClass::FpS => "fp32",
+            InstrClass::FpH => "fp16",
+            InstrClass::FpAh => "fp16alt",
+            InstrClass::FpB => "fp8",
+            InstrClass::FpVecH => "vec-fp16",
+            InstrClass::FpVecAh => "vec-fp16alt",
+            InstrClass::FpVecB => "vec-fp8",
+            InstrClass::FpCvt => "fp-cvt",
+            InstrClass::FpCpk => "fp-cpk",
+            InstrClass::FpExpand => "fp-expand",
+            InstrClass::FpCmp => "fp-cmp",
+            InstrClass::Csr => "csr",
+            InstrClass::System => "system",
+        }
+    }
+}
+
+fn scalar_class(fmt: FpFmt) -> InstrClass {
+    match fmt {
+        FpFmt::S => InstrClass::FpS,
+        FpFmt::H => InstrClass::FpH,
+        FpFmt::Ah => InstrClass::FpAh,
+        FpFmt::B => InstrClass::FpB,
+    }
+}
+
+fn vector_class(fmt: FpFmt) -> InstrClass {
+    match fmt {
+        FpFmt::H => InstrClass::FpVecH,
+        FpFmt::Ah => InstrClass::FpVecAh,
+        // S has no vector form at FLEN=32; classify defensively with B.
+        FpFmt::B | FpFmt::S => InstrClass::FpVecB,
+    }
+}
+
+impl Instr {
+    /// The accounting class of this instruction.
+    pub fn class(&self) -> InstrClass {
+        match self {
+            Instr::Lui { .. } | Instr::Auipc { .. } | Instr::OpImm { .. } | Instr::Op { .. } => {
+                InstrClass::IntAlu
+            }
+            Instr::Jal { .. } | Instr::Jalr { .. } => InstrClass::Jump,
+            Instr::Branch { .. } => InstrClass::Branch,
+            Instr::Load { .. } => InstrClass::Load,
+            Instr::Store { .. } => InstrClass::Store,
+            Instr::Fence | Instr::Ecall | Instr::Ebreak => InstrClass::System,
+            Instr::MulDiv { op, .. } => match op {
+                MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => {
+                    InstrClass::IntMul
+                }
+                _ => InstrClass::IntDiv,
+            },
+            Instr::Csr { .. } => InstrClass::Csr,
+            Instr::FLoad { .. } => InstrClass::FpLoad,
+            Instr::FStore { .. } => InstrClass::FpStore,
+            Instr::FOp { fmt, .. }
+            | Instr::FSqrt { fmt, .. }
+            | Instr::FSgnj { fmt, .. }
+            | Instr::FMinMax { fmt, .. }
+            | Instr::FFma { fmt, .. } => scalar_class(*fmt),
+            Instr::FCmp { .. } | Instr::VFCmp { .. } => InstrClass::FpCmp,
+            Instr::FClass { .. } | Instr::FMvXF { .. } | Instr::FMvFX { .. } => InstrClass::FpMove,
+            Instr::FCvtFF { .. } | Instr::FCvtFI { .. } | Instr::FCvtIF { .. } => InstrClass::FpCvt,
+            Instr::FMulEx { .. } | Instr::FMacEx { .. } => InstrClass::FpExpand,
+            Instr::VFOp { fmt, .. } | Instr::VFSqrt { fmt, .. } => vector_class(*fmt),
+            Instr::VFCvtFF { .. } | Instr::VFCvtXF { .. } | Instr::VFCvtFX { .. } => {
+                InstrClass::FpCvt
+            }
+            Instr::VFCpk { .. } => InstrClass::FpCpk,
+            Instr::VFDotpEx { .. } => InstrClass::FpExpand,
+        }
+    }
+
+    /// True for any memory access (integer or FP, load or store).
+    pub fn is_mem(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load { .. } | Instr::Store { .. } | Instr::FLoad { .. } | Instr::FStore { .. }
+        )
+    }
+
+    /// True for control-flow instructions.
+    pub fn is_control(&self) -> bool {
+        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rm_round_trip() {
+        for rm in [Rm::Rne, Rm::Rtz, Rm::Rdn, Rm::Rup, Rm::Rmm, Rm::Dyn] {
+            assert_eq!(Rm::from_code(rm.code()), Some(rm));
+        }
+        assert_eq!(Rm::from_code(0b101), None);
+        assert_eq!(Rm::Dyn.resolve(Rounding::Rtz), Rounding::Rtz);
+        assert_eq!(Rm::Rup.resolve(Rounding::Rtz), Rounding::Rup);
+    }
+
+    #[test]
+    fn classification() {
+        let i = Instr::OpImm { op: AluOp::Add, rd: XReg::new(1), rs1: XReg::ZERO, imm: 4 };
+        assert_eq!(i.class(), InstrClass::IntAlu);
+        let i = Instr::VFOp {
+            op: VfOp::Mul,
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rep: false,
+        };
+        assert_eq!(i.class(), InstrClass::FpVecH);
+        let i = Instr::FMacEx {
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            rs2: FReg::new(2),
+            rm: Rm::Dyn,
+        };
+        assert_eq!(i.class(), InstrClass::FpExpand);
+        assert!(Instr::FLoad { fmt: FpFmt::H, rd: FReg::new(0), rs1: XReg::SP, offset: 0 }
+            .is_mem());
+        assert!(Instr::Jal { rd: XReg::ZERO, offset: 8 }.is_control());
+    }
+
+    #[test]
+    fn mem_width_bytes() {
+        assert_eq!(MemWidth::B.bytes(), 1);
+        assert_eq!(MemWidth::H.bytes(), 2);
+        assert_eq!(MemWidth::W.bytes(), 4);
+    }
+}

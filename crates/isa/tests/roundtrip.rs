@@ -1,0 +1,406 @@
+//! Encode/decode round-trip property tests over the whole instruction set,
+//! plus opcode-space collision checks.
+
+use proptest::prelude::*;
+use smallfloat_isa::*;
+
+fn xreg() -> impl Strategy<Value = XReg> {
+    (0u8..32).prop_map(XReg::new)
+}
+
+fn freg() -> impl Strategy<Value = FReg> {
+    (0u8..32).prop_map(FReg::new)
+}
+
+fn fpfmt() -> impl Strategy<Value = FpFmt> {
+    prop::sample::select(FpFmt::ALL.to_vec())
+}
+
+fn small_fmt() -> impl Strategy<Value = FpFmt> {
+    prop::sample::select(FpFmt::SMALL.to_vec())
+}
+
+fn rm() -> impl Strategy<Value = Rm> {
+    prop::sample::select(vec![Rm::Rne, Rm::Rtz, Rm::Rdn, Rm::Rup, Rm::Rmm, Rm::Dyn])
+}
+
+fn imm12() -> impl Strategy<Value = i32> {
+    -2048i32..2048
+}
+
+fn branch_off() -> impl Strategy<Value = i32> {
+    (-2048i32..2048).prop_map(|v| v * 2)
+}
+
+fn jal_off() -> impl Strategy<Value = i32> {
+    (-524288i32..524288).prop_map(|v| v * 2)
+}
+
+fn alu_op_imm() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ])
+}
+
+fn alu_op_reg() -> impl Strategy<Value = AluOp> {
+    prop::sample::select(vec![
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Sll,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Xor,
+        AluOp::Srl,
+        AluOp::Sra,
+        AluOp::Or,
+        AluOp::And,
+    ])
+}
+
+/// A strategy producing every encodable instruction form with random fields.
+fn any_instr() -> BoxedStrategy<Instr> {
+    let leaves: Vec<BoxedStrategy<Instr>> = vec![
+        (xreg(), 0i32..0x10_0000).prop_map(|(rd, imm20)| Instr::Lui { rd, imm20 }).boxed(),
+        (xreg(), 0i32..0x10_0000).prop_map(|(rd, imm20)| Instr::Auipc { rd, imm20 }).boxed(),
+        (xreg(), jal_off()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }).boxed(),
+        (xreg(), xreg(), imm12())
+            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset })
+            .boxed(),
+        (
+            prop::sample::select(vec![
+                BranchCond::Eq,
+                BranchCond::Ne,
+                BranchCond::Lt,
+                BranchCond::Ge,
+                BranchCond::Ltu,
+                BranchCond::Geu,
+            ]),
+            xreg(),
+            xreg(),
+            branch_off(),
+        )
+            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset })
+            .boxed(),
+        (
+            prop::sample::select(vec![
+                (MemWidth::B, false),
+                (MemWidth::H, false),
+                (MemWidth::W, false),
+                (MemWidth::B, true),
+                (MemWidth::H, true),
+            ]),
+            xreg(),
+            xreg(),
+            imm12(),
+        )
+            .prop_map(|((width, unsigned), rd, rs1, offset)| Instr::Load {
+                width,
+                unsigned,
+                rd,
+                rs1,
+                offset,
+            })
+            .boxed(),
+        (
+            prop::sample::select(vec![MemWidth::B, MemWidth::H, MemWidth::W]),
+            xreg(),
+            xreg(),
+            imm12(),
+        )
+            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset })
+            .boxed(),
+        (alu_op_imm(), xreg(), xreg(), imm12()).prop_map(|(op, rd, rs1, imm)| {
+            let imm = match op {
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1f,
+                _ => imm,
+            };
+            Instr::OpImm { op, rd, rs1, imm }
+        })
+        .boxed(),
+        (alu_op_reg(), xreg(), xreg(), xreg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 })
+            .boxed(),
+        Just(Instr::Fence).boxed(),
+        Just(Instr::Ecall).boxed(),
+        Just(Instr::Ebreak).boxed(),
+        (
+            prop::sample::select(vec![
+                MulDivOp::Mul,
+                MulDivOp::Mulh,
+                MulDivOp::Mulhsu,
+                MulDivOp::Mulhu,
+                MulDivOp::Div,
+                MulDivOp::Divu,
+                MulDivOp::Rem,
+                MulDivOp::Remu,
+            ]),
+            xreg(),
+            xreg(),
+            xreg(),
+        )
+            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 })
+            .boxed(),
+        (
+            prop::sample::select(vec![CsrOp::Rw, CsrOp::Rs, CsrOp::Rc]),
+            xreg(),
+            prop_oneof![xreg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)],
+            0u16..0x1000,
+        )
+            .prop_map(|(op, rd, src, csr)| Instr::Csr { op, rd, src, csr })
+            .boxed(),
+        // FP loads/stores: 16-bit accesses canonicalize to H, so draw from
+        // {S, H, B} only (Ah shares flh/fsh, as both 16-bit formats do).
+        (prop::sample::select(vec![FpFmt::S, FpFmt::H, FpFmt::B]), freg(), xreg(), imm12())
+            .prop_map(|(fmt, rd, rs1, offset)| Instr::FLoad { fmt, rd, rs1, offset })
+            .boxed(),
+        (prop::sample::select(vec![FpFmt::S, FpFmt::H, FpFmt::B]), freg(), xreg(), imm12())
+            .prop_map(|(fmt, rs2, rs1, offset)| Instr::FStore { fmt, rs2, rs1, offset })
+            .boxed(),
+        (
+            prop::sample::select(vec![FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div]),
+            fpfmt(),
+            freg(),
+            freg(),
+            freg(),
+            rm(),
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2, rm)| Instr::FOp { op, fmt, rd, rs1, rs2, rm })
+            .boxed(),
+        (fpfmt(), freg(), freg(), rm())
+            .prop_map(|(fmt, rd, rs1, rm)| Instr::FSqrt { fmt, rd, rs1, rm })
+            .boxed(),
+        (
+            prop::sample::select(vec![SgnjKind::Sgnj, SgnjKind::Sgnjn, SgnjKind::Sgnjx]),
+            fpfmt(),
+            freg(),
+            freg(),
+            freg(),
+        )
+            .prop_map(|(kind, fmt, rd, rs1, rs2)| Instr::FSgnj { kind, fmt, rd, rs1, rs2 })
+            .boxed(),
+        (prop::sample::select(vec![MinMaxOp::Min, MinMaxOp::Max]), fpfmt(), freg(), freg(), freg())
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Instr::FMinMax { op, fmt, rd, rs1, rs2 })
+            .boxed(),
+        (
+            prop::sample::select(vec![FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd]),
+            fpfmt(),
+            freg(),
+            freg(),
+            freg(),
+            freg(),
+            rm(),
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2, rs3, rm)| Instr::FFma {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+                rm,
+            })
+            .boxed(),
+        (prop::sample::select(vec![CmpOp::Eq, CmpOp::Lt, CmpOp::Le]), fpfmt(), xreg(), freg(), freg())
+            .prop_map(|(op, fmt, rd, rs1, rs2)| Instr::FCmp { op, fmt, rd, rs1, rs2 })
+            .boxed(),
+        (fpfmt(), xreg(), freg()).prop_map(|(fmt, rd, rs1)| Instr::FClass { fmt, rd, rs1 }).boxed(),
+        (fpfmt(), xreg(), freg()).prop_map(|(fmt, rd, rs1)| Instr::FMvXF { fmt, rd, rs1 }).boxed(),
+        (fpfmt(), freg(), xreg()).prop_map(|(fmt, rd, rs1)| Instr::FMvFX { fmt, rd, rs1 }).boxed(),
+        (fpfmt(), fpfmt(), freg(), freg(), rm())
+            .prop_map(|(dst, src, rd, rs1, rm)| Instr::FCvtFF { dst, src, rd, rs1, rm })
+            .boxed(),
+        (fpfmt(), xreg(), freg(), any::<bool>(), rm())
+            .prop_map(|(fmt, rd, rs1, signed, rm)| Instr::FCvtFI { fmt, rd, rs1, signed, rm })
+            .boxed(),
+        (fpfmt(), freg(), xreg(), any::<bool>(), rm())
+            .prop_map(|(fmt, rd, rs1, signed, rm)| Instr::FCvtIF { fmt, rd, rs1, signed, rm })
+            .boxed(),
+        (small_fmt(), freg(), freg(), freg(), rm())
+            .prop_map(|(fmt, rd, rs1, rs2, rm)| Instr::FMulEx { fmt, rd, rs1, rs2, rm })
+            .boxed(),
+        (small_fmt(), freg(), freg(), freg(), rm())
+            .prop_map(|(fmt, rd, rs1, rs2, rm)| Instr::FMacEx { fmt, rd, rs1, rs2, rm })
+            .boxed(),
+        (
+            prop::sample::select(vec![
+                VfOp::Add,
+                VfOp::Sub,
+                VfOp::Mul,
+                VfOp::Div,
+                VfOp::Min,
+                VfOp::Max,
+                VfOp::Mac,
+                VfOp::Sgnj,
+                VfOp::Sgnjn,
+                VfOp::Sgnjx,
+            ]),
+            small_fmt(),
+            freg(),
+            freg(),
+            freg(),
+            any::<bool>(),
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2, rep)| Instr::VFOp { op, fmt, rd, rs1, rs2, rep })
+            .boxed(),
+        (small_fmt(), freg(), freg())
+            .prop_map(|(fmt, rd, rs1)| Instr::VFSqrt { fmt, rd, rs1 })
+            .boxed(),
+        (
+            prop::sample::select(vec![
+                VCmpOp::Eq,
+                VCmpOp::Ne,
+                VCmpOp::Lt,
+                VCmpOp::Le,
+                VCmpOp::Gt,
+                VCmpOp::Ge,
+            ]),
+            small_fmt(),
+            xreg(),
+            freg(),
+            freg(),
+            any::<bool>(),
+        )
+            .prop_map(|(op, fmt, rd, rs1, rs2, rep)| Instr::VFCmp { op, fmt, rd, rs1, rs2, rep })
+            .boxed(),
+        (freg(), freg())
+            .prop_flat_map(|(rd, rs1)| {
+                prop::sample::select(vec![(FpFmt::H, FpFmt::Ah), (FpFmt::Ah, FpFmt::H)])
+                    .prop_map(move |(dst, src)| Instr::VFCvtFF { dst, src, rd, rs1 })
+            })
+            .boxed(),
+        (small_fmt(), freg(), freg(), any::<bool>())
+            .prop_map(|(fmt, rd, rs1, signed)| Instr::VFCvtXF { fmt, rd, rs1, signed })
+            .boxed(),
+        (small_fmt(), freg(), freg(), any::<bool>())
+            .prop_map(|(fmt, rd, rs1, signed)| Instr::VFCvtFX { fmt, rd, rs1, signed })
+            .boxed(),
+        (
+            small_fmt(),
+            prop::sample::select(vec![CpkHalf::A, CpkHalf::B]),
+            freg(),
+            freg(),
+            freg(),
+        )
+            .prop_map(|(fmt, half, rd, rs1, rs2)| Instr::VFCpk { fmt, half, rd, rs1, rs2 })
+            .boxed(),
+        (small_fmt(), freg(), freg(), freg(), any::<bool>())
+            .prop_map(|(fmt, rd, rs1, rs2, rep)| Instr::VFDotpEx { fmt, rd, rs1, rs2, rep })
+            .boxed(),
+    ];
+    prop::strategy::Union::new(leaves).boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8192))]
+
+    /// decode(encode(i)) == i for every instruction form.
+    #[test]
+    fn encode_decode_round_trip(instr in any_instr()) {
+        let word = encode(&instr);
+        let back = decode(word);
+        prop_assert_eq!(back, Ok(instr), "word=0x{:08x}", word);
+    }
+
+    /// Encoding is injective: different instructions give different words.
+    #[test]
+    fn encode_injective(a in any_instr(), b in any_instr()) {
+        if a != b {
+            prop_assert_ne!(encode(&a), encode(&b), "collision: {} vs {}", a, b);
+        }
+    }
+
+    /// The disassembly of every instruction is nonempty and starts with a
+    /// lowercase mnemonic.
+    #[test]
+    fn disasm_wellformed(instr in any_instr()) {
+        let s = instr.to_string();
+        prop_assert!(!s.is_empty());
+        let first = s.chars().next().unwrap();
+        prop_assert!(first.is_ascii_lowercase());
+    }
+
+    /// Random 32-bit words either fail to decode or re-encode to themselves
+    /// ("decode is a partial inverse of encode").
+    #[test]
+    fn decode_reencode_fixpoint(word in any::<u32>()) {
+        // Restrict to the standard 32-bit instruction space (low bits 11).
+        let word = word | 0b11;
+        if let Ok(instr) = decode(word) {
+            // Fields that tolerate don't-care bits (e.g. shift funct7 low
+            // bits) may not re-encode identically; decode again instead.
+            let re = encode(&instr);
+            prop_assert_eq!(decode(re), Ok(instr), "word=0x{:08x} re=0x{:08x}", word, re);
+        }
+    }
+
+    /// Whenever an instruction compresses, decompressing gives it back
+    /// unchanged (compress is a partial inverse of decode_compressed).
+    #[test]
+    fn compress_decompress_identity(instr in any_instr()) {
+        if let Some(half) = compress(&instr) {
+            prop_assert_eq!(
+                decode_compressed(half),
+                Ok(instr),
+                "half=0x{:04x}",
+                half
+            );
+        }
+    }
+
+    /// Compressed decoding never panics, and successful expansions are
+    /// legal 32-bit instructions that survive an encode/decode cycle.
+    #[test]
+    fn compressed_decode_total(raw in any::<u16>(), quadrant in 0u16..3) {
+        let half = (raw & !0b11) | quadrant; // force a compressed quadrant
+        if let Ok(instr) = decode_compressed(half) {
+            let word = encode(&instr);
+            prop_assert_eq!(decode(word), Ok(instr));
+        }
+    }
+}
+
+/// Every smallFloat instruction stays clear of the RV32IMF opcode space:
+/// vector ops use the funct7[6:5]=10 prefix in OP, and the OP-FP fmt slots
+/// reuse only D/Q encodings (not implemented here).
+#[test]
+fn no_collision_with_base_isa() {
+    // A representative set of base-ISA words (from the encoder tests).
+    let base_words = [
+        0x02A5_8513u32, // addi
+        0x00C5_8533,    // add
+        0x0081_2503,    // lw
+        0x00A1_2423,    // sw
+        0x00B5_0863,    // beq
+        0x0010_00EF,    // jal
+        0x1234_5537,    // lui
+        0x02C5_8533,    // mul
+        0x00C5_8553,    // fadd.s
+        0x0005_2507,    // flw
+        0x68C5_8543,    // fmadd.s
+        0xC000_2573,    // csrrs
+    ];
+    for w in base_words {
+        let i = decode(w).expect("base word must decode");
+        // None of these may decode to a smallFloat-extension instruction.
+        let cls = i.class();
+        assert!(
+            !matches!(
+                cls,
+                InstrClass::FpVecH
+                    | InstrClass::FpVecAh
+                    | InstrClass::FpVecB
+                    | InstrClass::FpExpand
+                    | InstrClass::FpCpk
+            ),
+            "base word 0x{w:08x} decoded into extension space: {i}"
+        );
+    }
+}

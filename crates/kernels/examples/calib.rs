@@ -1,0 +1,40 @@
+//! Calibration probe for the synthetic SVM data set: prints the
+//! classification error rate when individual variables (or the whole
+//! kernel) are quantized, i.e. the single-variable sensitivities that pin
+//! the §V-C tuning outcome. See DESIGN.md substitution 4.
+use smallfloat_isa::FpFmt;
+use smallfloat_kernels::bench::Workload;
+use smallfloat_kernels::svm::{error_rate, Svm, CLASSES, SAMPLES};
+use smallfloat_xcc::interp::{run_typed, TypedState};
+use smallfloat_xcc::retype;
+use std::collections::HashMap;
+
+fn main() {
+    let svm = Svm::new();
+    let base = svm.base_kernel();
+    let eval = |assign: &[(&str, FpFmt)]| -> f64 {
+        let map: HashMap<String, FpFmt> =
+            assign.iter().map(|(n, f)| (n.to_string(), *f)).collect();
+        let typed = retype::retype(&base, &map);
+        let mut st = TypedState::for_kernel(&typed);
+        for (name, values) in svm.inputs() {
+            st.set_array(&name, &values);
+        }
+        run_typed(&typed, &mut st);
+        let scores = st.array_f64("scores");
+        assert_eq!(scores.len(), SAMPLES * CLASSES);
+        error_rate(&scores, &svm.data().labels)
+    };
+    println!("x=B    : {:.4}", eval(&[("x", FpFmt::B)]));
+    println!("x=H    : {:.4}", eval(&[("x", FpFmt::H)]));
+    println!("w=B    : {:.4}", eval(&[("w", FpFmt::B)]));
+    println!("bias=B : {:.4}", eval(&[("bias", FpFmt::B)]));
+    println!("bias=H : {:.4}", eval(&[("bias", FpFmt::H)]));
+    println!("scores=B: {:.4}", eval(&[("scores", FpFmt::B)]));
+    println!("scores=H: {:.4}", eval(&[("scores", FpFmt::H)]));
+    println!("w=H    : {:.4}", eval(&[("w", FpFmt::H)]));
+    println!("allH+accS: {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::S)]));
+    println!("allH+accAh: {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::Ah)]));
+    println!("allH      : {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::H)]));
+    println!("allH+accB : {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::B)]));
+}

@@ -1,0 +1,214 @@
+//! Benchmark orchestration: precision variants, vectorization modes,
+//! golden references and QoR measurement.
+
+use crate::runner::{run_compiled, RunResult};
+use smallfloat_isa::FpFmt;
+use smallfloat_sim::MemLevel;
+use smallfloat_xcc::codegen::{compile, CodegenOptions, Compiled};
+use smallfloat_xcc::interp::{run_f64, sqnr_db, F64State};
+use smallfloat_xcc::ir::Kernel;
+use smallfloat_xcc::retype;
+use std::collections::HashMap;
+
+/// One evaluation workload: the paper's six benchmarks implement this.
+pub trait Workload {
+    /// Display name as in the paper's tables.
+    fn name(&self) -> &'static str;
+    /// The kernel with everything typed binary32 (the `float` baseline).
+    fn base_kernel(&self) -> Kernel;
+    /// Input data in `f64` (quantized per variant at load time).
+    fn inputs(&self) -> Vec<(String, Vec<f64>)>;
+    /// The arrays forming the QoR output signal.
+    fn output_arrays(&self) -> Vec<String>;
+    /// The hand-vectorized implementation for a typed kernel, or `None`
+    /// when manual vectorization does not apply (e.g. binary32).
+    fn manual(&self, typed: &Kernel) -> Option<Compiled>;
+}
+
+/// A precision variant: uniform storage type or an explicit per-variable
+/// assignment (the tuner's output).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Precision {
+    /// Everything binary32 — the paper's `float` baseline.
+    F32,
+    /// Everything binary16 (`float16`).
+    F16,
+    /// Everything binary16alt (`float16alt`).
+    F16Alt,
+    /// Everything binary8 (`float8`).
+    F8,
+    /// Mixed precision: explicit name → type map; unnamed variables keep
+    /// the uniform `default`.
+    Mixed { default: FpFmt, assignment: Vec<(String, FpFmt)> },
+}
+
+impl Precision {
+    /// The four uniform variants.
+    pub const UNIFORM: [Precision; 4] =
+        [Precision::F32, Precision::F16, Precision::F16Alt, Precision::F8];
+
+    /// Short label for tables.
+    pub fn label(&self) -> String {
+        match self {
+            Precision::F32 => "float".to_string(),
+            Precision::F16 => "float16".to_string(),
+            Precision::F16Alt => "float16alt".to_string(),
+            Precision::F8 => "float8".to_string(),
+            Precision::Mixed { .. } => "mixed".to_string(),
+        }
+    }
+
+    /// Apply to a base kernel.
+    pub fn apply(&self, base: &Kernel) -> Kernel {
+        match self {
+            Precision::F32 => retype::retype_all(base, FpFmt::S),
+            Precision::F16 => retype::retype_all(base, FpFmt::H),
+            Precision::F16Alt => retype::retype_all(base, FpFmt::Ah),
+            Precision::F8 => retype::retype_all(base, FpFmt::B),
+            Precision::Mixed { default, assignment } => {
+                let k = retype::retype_all(base, *default);
+                let map: HashMap<String, FpFmt> = assignment.iter().cloned().collect();
+                retype::retype(&k, &map)
+            }
+        }
+    }
+}
+
+/// How the kernel is lowered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum VecMode {
+    /// Plain scalar code.
+    Scalar,
+    /// Compiler auto-vectorization.
+    Auto,
+    /// Hand-written intrinsics (falls back to scalar when the workload has
+    /// no manual variant for the typing, e.g. binary32).
+    Manual,
+}
+
+impl VecMode {
+    /// All modes.
+    pub const ALL: [VecMode; 3] = [VecMode::Scalar, VecMode::Auto, VecMode::Manual];
+
+    /// Short label.
+    pub fn label(self) -> &'static str {
+        match self {
+            VecMode::Scalar => "scalar",
+            VecMode::Auto => "auto",
+            VecMode::Manual => "manual",
+        }
+    }
+}
+
+/// A boxed workload (the benchmark suite element).
+pub type Benchmark = Box<dyn Workload>;
+
+/// The paper's benchmark suite in Table III order:
+/// SVM, GEMM, ATAX, SYRK, SYR2K, FDTD-2D.
+pub fn suite() -> Vec<Benchmark> {
+    vec![
+        Box::new(crate::svm::Svm::new()),
+        Box::new(crate::polybench::Gemm { n: 32 }),
+        Box::new(crate::polybench::Atax { n: 48 }),
+        Box::new(crate::polybench::Syrk { n: 32 }),
+        Box::new(crate::polybench::Syr2k { n: 28 }),
+        Box::new(crate::polybench::Fdtd2d { n: 32, tmax: 4 }),
+    ]
+}
+
+/// Build the typed kernel and its lowering for a precision/mode pair.
+///
+/// # Panics
+///
+/// Panics if compilation fails (workloads are sized within the compiler's
+/// register pools).
+pub fn build(w: &dyn Workload, prec: &Precision, mode: VecMode) -> (Kernel, Compiled) {
+    let typed = prec.apply(&w.base_kernel());
+    let compiled = match mode {
+        VecMode::Scalar => {
+            compile(&typed, CodegenOptions { vectorize: false }).expect("compiles")
+        }
+        VecMode::Auto => compile(&typed, CodegenOptions { vectorize: true }).expect("compiles"),
+        VecMode::Manual => match w.manual(&typed) {
+            Some(c) => c,
+            None => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
+        },
+    };
+    (typed, compiled)
+}
+
+/// Build and run one variant on the simulator.
+pub fn run(w: &dyn Workload, prec: &Precision, mode: VecMode, level: MemLevel) -> RunResult {
+    let (typed, compiled) = build(w, prec, mode);
+    run_compiled(&typed, &compiled, &w.inputs(), level)
+}
+
+/// The `f64` golden output signal of a workload.
+pub fn golden_signal(w: &dyn Workload) -> Vec<f64> {
+    let base = w.base_kernel();
+    let mut st = F64State::for_kernel(&base);
+    for (name, values) in w.inputs() {
+        st.set_array(&name, &values);
+    }
+    run_f64(&base, &mut st);
+    let mut signal = Vec::new();
+    for name in w.output_arrays() {
+        signal.extend_from_slice(st.array(&name));
+    }
+    signal
+}
+
+/// SQNR (dB) of a variant's output against the `f64` golden reference —
+/// the paper's Table III metric.
+pub fn sqnr(w: &dyn Workload, prec: &Precision, mode: VecMode) -> f64 {
+    let result = run(w, prec, mode, MemLevel::L1);
+    let golden = golden_signal(w);
+    let measured = result.signal(&w.output_arrays());
+    // Non-finite outputs (overflowed formats) count as pure noise: replace
+    // by zero so the SQNR stays defined (it will be very negative).
+    let measured: Vec<f64> =
+        measured.iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect();
+    sqnr_db(&golden, &measured)
+}
+
+/// Speedup of (prec, mode) over the scalar `float` baseline at `level`.
+pub fn speedup(w: &dyn Workload, prec: &Precision, mode: VecMode, level: MemLevel) -> f64 {
+    let base = run(w, &Precision::F32, VecMode::Scalar, level);
+    let variant = run(w, prec, mode, level);
+    base.stats.cycles as f64 / variant.stats.cycles as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_the_papers_benchmarks() {
+        let names: Vec<&str> = suite().iter().map(|b| b.name()).collect();
+        assert_eq!(names, ["SVM", "GEMM", "ATAX", "SYRK", "SYR2K", "FDTD2D"]);
+    }
+
+    #[test]
+    fn precision_labels() {
+        assert_eq!(Precision::F16.label(), "float16");
+        assert_eq!(
+            Precision::Mixed { default: FpFmt::H, assignment: vec![] }.label(),
+            "mixed"
+        );
+    }
+
+    #[test]
+    fn apply_uniform_and_mixed() {
+        let w = crate::polybench::Gemm { n: 8 };
+        let base = w.base_kernel();
+        let k16 = Precision::F16.apply(&base);
+        assert!(k16.arrays.iter().all(|a| a.ty == FpFmt::H));
+        let mixed = Precision::Mixed {
+            default: FpFmt::H,
+            assignment: vec![("alpha".to_string(), FpFmt::S)],
+        }
+        .apply(&base);
+        assert_eq!(mixed.type_of("alpha"), Some(FpFmt::S));
+        assert_eq!(mixed.type_of("a"), Some(FpFmt::H));
+    }
+}

@@ -1,0 +1,1029 @@
+//! The Polybench/C kernels of the paper's evaluation (GEMM, ATAX, SYRK,
+//! SYR2K, FDTD-2D), each with an IR definition and a hand-vectorized
+//! variant using the Xfvec/Xfaux intrinsics.
+//!
+//! Manual variants differ from the auto-vectorized lowering exactly as the
+//! paper describes: pointer bumping instead of re-derived addresses, fused
+//! `vfmac`, expanding `vfdotpex` dot products instead of per-lane
+//! `fcvt`+`fadd` chains, and constants splatted once with `vfcpk`.
+
+use crate::bench::Workload;
+use smallfloat_asm::Assembler;
+use smallfloat_isa::{BranchCond, FpFmt, FReg, XReg};
+use smallfloat_softfp::{ops, Env, Rounding};
+use smallfloat_xcc::codegen::{layout_of, Compiled, DataLayout};
+use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
+
+// Integer registers used by manual code.
+const T0: XReg = XReg::new(5);
+const I: XReg = XReg::new(8);
+const K: XReg = XReg::new(9);
+const END_J: XReg = XReg::new(7);
+const N_REG: XReg = XReg::new(28);
+const P0: XReg = XReg::new(18);
+const P1: XReg = XReg::new(19);
+const P2: XReg = XReg::new(20);
+const P3: XReg = XReg::new(21);
+const P4: XReg = XReg::new(22);
+const P5: XReg = XReg::new(23);
+
+// FP registers used by manual code.
+const F0: FReg = FReg::new(0);
+const F1: FReg = FReg::new(1);
+const F2: FReg = FReg::new(2);
+const VSPLAT: FReg = FReg::new(4);
+const VCONST: FReg = FReg::new(5);
+const FC32A: FReg = FReg::new(6);
+const FC32B: FReg = FReg::new(7);
+const FCFMT: FReg = FReg::new(8);
+
+/// Shared state for hand-written (manually vectorized) code generators.
+pub(crate) struct Mg {
+    pub asm: Assembler,
+    pub layout: DataLayout,
+    pub fmt: FpFmt,
+    pub lanes: u32,
+    labels: usize,
+}
+
+impl Mg {
+    /// Start a manual build for a kernel whose arrays all share one
+    /// SIMD-capable format. Returns `None` otherwise (binary32 kernels have
+    /// no manual variant at FLEN=32; callers fall back to scalar code).
+    pub fn try_new(kernel: &Kernel) -> Option<Mg> {
+        let fmt = kernel.arrays.first()?.ty;
+        if kernel.arrays.iter().any(|a| a.ty != fmt) {
+            return None;
+        }
+        let lanes = fmt.lanes(32)?;
+        Some(Mg { asm: Assembler::new(), layout: layout_of(kernel), fmt, lanes, labels: 0 })
+    }
+
+    pub(crate) fn label(&mut self, tag: &str) -> String {
+        self.labels += 1;
+        format!(".M{}_{}", self.labels, tag)
+    }
+
+    pub(crate) fn elem(&self) -> u32 {
+        self.fmt.width() / 8
+    }
+
+    pub(crate) fn addr(&self, name: &str) -> u32 {
+        self.layout.entry(name).expect("declared array").addr
+    }
+
+    /// Materialize an `f32` constant into an FP register.
+    pub(crate) fn f32_const(&mut self, dst: FReg, v: f64) {
+        let bits = (v as f32).to_bits();
+        self.asm.li(T0, bits as i32);
+        self.asm.fmv_f(FpFmt::S, dst, T0);
+    }
+
+    /// Materialize a constant at the kernel format.
+    pub(crate) fn fmt_const(&mut self, dst: FReg, v: f64) {
+        let mut env = Env::new(Rounding::Rne);
+        let bits = ops::from_f64(self.fmt.format(), v, &mut env) as u32;
+        self.asm.li(T0, bits as i32);
+        self.asm.fmv_f(self.fmt, dst, T0);
+    }
+
+    /// Splat the binary32 value in `src32` across all lanes of `dst`.
+    pub(crate) fn splat(&mut self, dst: FReg, src32: FReg) {
+        self.asm.vfcpk_a(self.fmt, dst, src32, src32);
+        if self.lanes == 4 {
+            self.asm.vfcpk_b(self.fmt, dst, src32, src32);
+        }
+    }
+
+    /// A pointer-bumped loop over `[start, end)` in steps of `step` bytes:
+    /// `ptr` must hold `start` and `end_reg` the end address.
+    pub(crate) fn ptr_loop(
+        &mut self,
+        ptr: XReg,
+        end_reg: XReg,
+        bumps: &[(XReg, i32)],
+        body: impl FnOnce(&mut Mg),
+    ) {
+        let head = self.label("loop");
+        self.asm.label(&head);
+        body(self);
+        for &(r, step) in bumps {
+            self.asm.addi(r, r, step);
+        }
+        self.asm.branch(BranchCond::Ltu, ptr, end_reg, &head);
+    }
+
+    pub(crate) fn finish(mut self) -> Compiled {
+        self.asm.ecall();
+        let listing = self.asm.listing();
+        let program = self.asm.assemble().expect("manual code labels consistent");
+        Compiled {
+            program,
+            layout: self.layout,
+            scalar_regs: Vec::new(),
+            listing,
+            vectorized_loops: 0,
+        }
+    }
+}
+
+fn idx2(v1: &str, c1: i64, v2: &str) -> IdxExpr {
+    IdxExpr::of(&[(v1, c1), (v2, 1)], 0)
+}
+
+/// Deterministic pseudo-random data in `[-1, 1)` scaled by `scale`.
+pub(crate) fn gen_data(n: usize, seed: u64, scale: f64) -> Vec<f64> {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            (2.0 * u - 1.0) * scale
+        })
+        .collect()
+}
+
+// ===========================================================================
+// GEMM: C = beta·C + alpha·A·B
+// ===========================================================================
+
+/// Matrix-matrix multiply (Polybench `gemm`), square `n×n`.
+pub struct Gemm {
+    pub n: usize,
+}
+
+impl Gemm {
+    const ALPHA: f64 = 1.5;
+    const BETA: f64 = 1.25;
+}
+
+impl Workload for Gemm {
+    fn name(&self) -> &'static str {
+        "GEMM"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let mut k = Kernel::new("gemm");
+        k.array("a", FpFmt::S, n * n)
+            .array("b", FpFmt::S, n * n)
+            .array("c", FpFmt::S, n * n)
+            .scalar("alpha", FpFmt::S, Self::ALPHA)
+            .scalar("beta", FpFmt::S, Self::BETA);
+        let nn = n as i64;
+        k.body = vec![
+            // C *= beta
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::store(
+                        "c",
+                        idx2("i", nn, "j"),
+                        Expr::load("c", idx2("i", nn, "j")) * Expr::scalar("beta"),
+                    )],
+                )],
+            ),
+            // C[i][j] += alpha * A[i][k] * B[k][j]  (ikj order: j innermost)
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "k",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::for_(
+                        "j",
+                        0,
+                        Bound::constant(nn),
+                        vec![Stmt::store(
+                            "c",
+                            idx2("i", nn, "j"),
+                            Expr::load("c", idx2("i", nn, "j"))
+                                + Expr::scalar("alpha") * Expr::load("a", idx2("i", nn, "k"))
+                                    * Expr::load("b", idx2("k", nn, "j")),
+                        )],
+                    )],
+                )],
+            ),
+        ];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("a".to_string(), gen_data(n * n, 11, 1.0)),
+            ("b".to_string(), gen_data(n * n, 12, 1.0)),
+            ("c".to_string(), gen_data(n * n, 13, 1.0)),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["c".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        assert_eq!(row % 4, 0, "rows must stay packed-aligned");
+
+        // beta-scale the whole of C with one flat vector loop.
+        m.f32_const(FC32B, Self::BETA);
+        m.splat(VCONST, FC32B);
+        m.asm.la(P0, m.addr("c"));
+        m.asm.la(END_J, m.addr("c") + (n * n) as u32 * e as u32);
+        let fmt = m.fmt;
+        m.ptr_loop(P0, END_J, &[(P0, 4)], |m| {
+            m.asm.fload(FpFmt::S, F0, P0, 0);
+            m.asm.vfmul(fmt, F0, F0, VCONST);
+            m.asm.fstore(FpFmt::S, F0, P0, 0);
+        });
+
+        // Accumulation: ikj with pointer bumping and vfmac.
+        m.f32_const(FC32A, Self::ALPHA);
+        m.asm.li(N_REG, n as i32);
+        m.asm.la(P0, m.addr("a")); // walks A continuously over (i, k)
+        m.asm.la(P3, m.addr("c")); // C row pointer, bumped per i
+        m.asm.li(I, 0);
+        let li = m.label("i");
+        m.asm.label(&li);
+        {
+            m.asm.li(K, 0);
+            m.asm.la(P1, m.addr("b")); // walks B continuously over (k, j)
+            let lk = m.label("k");
+            m.asm.label(&lk);
+            {
+                // splat alpha * A[i][k]
+                m.asm.fload(fmt, F0, P0, 0);
+                m.asm.fcvt(FpFmt::S, fmt, F0, F0);
+                m.asm.fmul(FpFmt::S, F0, F0, FC32A);
+                m.splat(VSPLAT, F0);
+                m.asm.addi(P0, P0, e);
+                // inner j loop
+                m.asm.mv(P2, P3);
+                m.asm.addi(END_J, P3, row);
+                m.ptr_loop(P2, END_J, &[(P2, 4), (P1, 4)], |m| {
+                    m.asm.fload(FpFmt::S, F1, P2, 0);
+                    m.asm.fload(FpFmt::S, F2, P1, 0);
+                    m.asm.vfmac(fmt, F1, F2, VSPLAT);
+                    m.asm.fstore(FpFmt::S, F1, P2, 0);
+                });
+            }
+            m.asm.addi(K, K, 1);
+            m.asm.branch(BranchCond::Lt, K, N_REG, &lk);
+        }
+        m.asm.addi(P3, P3, row);
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &li);
+        Some(m.finish())
+    }
+}
+
+// ===========================================================================
+// ATAX: y = Aᵀ(A·x)
+// ===========================================================================
+
+/// Matrix-transpose-vector product (Polybench `atax`), square `n×n`.
+pub struct Atax {
+    pub n: usize,
+}
+
+impl Workload for Atax {
+    fn name(&self) -> &'static str {
+        "ATAX"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let nn = n as i64;
+        let mut k = Kernel::new("atax");
+        k.array("aa", FpFmt::S, n * n)
+            .array("x", FpFmt::S, n)
+            .array("y", FpFmt::S, n)
+            .array("tmp", FpFmt::S, n)
+            .scalar("acc", FpFmt::S, 0.0);
+        k.body = vec![
+            // tmp[i] = A[i]·x   (y arrives zeroed from the inputs)
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![
+                    Stmt::set("acc", Expr::lit(0.0)),
+                    Stmt::for_(
+                        "j",
+                        0,
+                        Bound::constant(nn),
+                        vec![Stmt::accum(
+                            "acc",
+                            Expr::load("aa", idx2("i", nn, "j")) * Expr::load("x", IdxExpr::var("j")),
+                        )],
+                    ),
+                    Stmt::store("tmp", IdxExpr::var("i"), Expr::scalar("acc")),
+                ],
+            ),
+            // y[j] += A[i][j] * tmp[i]
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::store(
+                        "y",
+                        IdxExpr::var("j"),
+                        Expr::load("y", IdxExpr::var("j"))
+                            + Expr::load("aa", idx2("i", nn, "j"))
+                                * Expr::load("tmp", IdxExpr::var("i")),
+                    )],
+                )],
+            ),
+        ];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("aa".to_string(), gen_data(n * n, 21, 1.0)),
+            ("x".to_string(), gen_data(n, 22, 1.0)),
+            ("y".to_string(), vec![0.0; n]),
+            ("tmp".to_string(), vec![0.0; n]),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["y".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        let fmt = m.fmt;
+        m.asm.li(N_REG, n as i32);
+
+        // Part 1: tmp[i] = A[i]·x via the expanding dot product.
+        m.asm.la(P0, m.addr("aa")); // walks A continuously
+        m.asm.la(P3, m.addr("tmp"));
+        m.asm.li(I, 0);
+        let li = m.label("i");
+        m.asm.label(&li);
+        {
+            m.asm.la(P1, m.addr("x"));
+            m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO); // acc32 = 0
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P0, 0);
+                m.asm.fload(FpFmt::S, F2, P1, 0);
+                m.asm.vfdotpex(fmt, F0, F1, F2);
+            });
+            m.asm.fcvt(fmt, FpFmt::S, F1, F0);
+            m.asm.fstore(fmt, F1, P3, 0);
+            m.asm.addi(P3, P3, e);
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &li);
+
+        // Part 2: y += A[i] * tmp[i] row-by-row with vfmac.
+        m.asm.la(P0, m.addr("aa"));
+        m.asm.la(P3, m.addr("tmp"));
+        m.asm.li(I, 0);
+        let l2 = m.label("i2");
+        m.asm.label(&l2);
+        {
+            m.asm.fload(fmt, F0, P3, 0);
+            m.asm.addi(P3, P3, e);
+            m.asm.fcvt(FpFmt::S, fmt, F0, F0);
+            m.splat(VSPLAT, F0);
+            m.asm.la(P1, m.addr("y"));
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P1, 0);
+                m.asm.fload(FpFmt::S, F2, P0, 0);
+                m.asm.vfmac(fmt, F1, F2, VSPLAT);
+                m.asm.fstore(FpFmt::S, F1, P1, 0);
+            });
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &l2);
+        Some(m.finish())
+    }
+}
+
+// ===========================================================================
+// SYRK: C = beta·C + alpha·A·Aᵀ (lower triangle)
+// ===========================================================================
+
+/// Symmetric rank-k update (Polybench `syrk`), `n×n`, lower-triangular.
+pub struct Syrk {
+    pub n: usize,
+}
+
+impl Syrk {
+    const ALPHA: f64 = 1.5;
+    const BETA: f64 = 1.25;
+}
+
+impl Workload for Syrk {
+    fn name(&self) -> &'static str {
+        "SYRK"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let nn = n as i64;
+        let mut k = Kernel::new("syrk");
+        k.array("a", FpFmt::S, n * n)
+            .array("c", FpFmt::S, n * n)
+            .scalar("alpha", FpFmt::S, Self::ALPHA)
+            .scalar("beta", FpFmt::S, Self::BETA)
+            .scalar("acc", FpFmt::S, 0.0);
+        k.body = vec![
+            // Triangular beta-scaling: the paper's variable-epilogue case.
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::var_plus("i", 1),
+                    vec![Stmt::store(
+                        "c",
+                        idx2("i", nn, "j"),
+                        Expr::load("c", idx2("i", nn, "j")) * Expr::scalar("beta"),
+                    )],
+                )],
+            ),
+            // C[i][j] += alpha · A[i]·A[j] over the lower triangle.
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::var_plus("i", 1),
+                    vec![
+                        Stmt::set("acc", Expr::lit(0.0)),
+                        Stmt::for_(
+                            "k",
+                            0,
+                            Bound::constant(nn),
+                            vec![Stmt::accum(
+                                "acc",
+                                Expr::load("a", idx2("i", nn, "k"))
+                                    * Expr::load("a", idx2("j", nn, "k")),
+                            )],
+                        ),
+                        Stmt::store(
+                            "c",
+                            idx2("i", nn, "j"),
+                            Expr::load("c", idx2("i", nn, "j"))
+                                + Expr::scalar("alpha") * Expr::scalar("acc"),
+                        ),
+                    ],
+                )],
+            ),
+        ];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("a".to_string(), gen_data(n * n, 31, 1.0)),
+            ("c".to_string(), gen_data(n * n, 32, 1.0)),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["c".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        let lanes = m.lanes as i32;
+        let fmt = m.fmt;
+        m.asm.li(N_REG, n as i32);
+
+        // Triangular beta-scale: vector main + scalar tail per row.
+        m.f32_const(FC32B, Self::BETA);
+        m.splat(VCONST, FC32B);
+        m.fmt_const(FCFMT, Self::BETA);
+        m.asm.la(P3, m.addr("c")); // row pointer
+        m.asm.li(I, 0);
+        let li = m.label("scale_i");
+        m.asm.label(&li);
+        {
+            // End of the vector part: floor((i+1)/lanes)*lanes elements.
+            m.asm.addi(T0, I, 1);
+            m.asm.andi(T0, T0, !(lanes - 1));
+            m.asm.slli(T0, T0, e.trailing_zeros() as i32);
+            m.asm.add(END_J, P3, T0);
+            m.asm.mv(P2, P3);
+            let lv = m.label("scale_v");
+            let lv_end = m.label("scale_v_end");
+            m.asm.label(&lv);
+            m.asm.branch(BranchCond::Geu, P2, END_J, &lv_end);
+            m.asm.fload(FpFmt::S, F0, P2, 0);
+            m.asm.vfmul(fmt, F0, F0, VCONST);
+            m.asm.fstore(FpFmt::S, F0, P2, 0);
+            m.asm.addi(P2, P2, 4);
+            m.asm.j(&lv);
+            m.asm.label(&lv_end);
+            // Scalar tail up to i+1 elements.
+            m.asm.addi(T0, I, 1);
+            m.asm.slli(T0, T0, e.trailing_zeros() as i32);
+            m.asm.add(END_J, P3, T0);
+            let lt = m.label("scale_t");
+            let lt_end = m.label("scale_t_end");
+            m.asm.label(&lt);
+            m.asm.branch(BranchCond::Geu, P2, END_J, &lt_end);
+            m.asm.fload(fmt, F0, P2, 0);
+            m.asm.fmul(fmt, F0, F0, FCFMT);
+            m.asm.fstore(fmt, F0, P2, 0);
+            m.asm.addi(P2, P2, e);
+            m.asm.j(&lt);
+            m.asm.label(&lt_end);
+        }
+        m.asm.addi(P3, P3, row);
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &li);
+
+        // Accumulation with vfdotpex over full rows of A.
+        m.f32_const(FC32A, Self::ALPHA);
+        m.asm.la(P3, m.addr("c"));
+        m.asm.li(I, 0);
+        let la = m.label("acc_i");
+        m.asm.label(&la);
+        {
+            m.asm.li(K, 0); // j index
+            let lj = m.label("acc_j");
+            m.asm.label(&lj);
+            {
+                // P0 = &A[i][0], P1 = &A[j][0]
+                m.asm.li(T0, row);
+                m.asm.mul(T0, I, T0);
+                m.asm.la(P0, m.addr("a"));
+                m.asm.add(P0, P0, T0);
+                m.asm.li(T0, row);
+                m.asm.mul(T0, K, T0);
+                m.asm.la(P1, m.addr("a"));
+                m.asm.add(P1, P1, T0);
+                m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
+                m.asm.addi(END_J, P0, row);
+                m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4)], |m| {
+                    m.asm.fload(FpFmt::S, F1, P0, 0);
+                    m.asm.fload(FpFmt::S, F2, P1, 0);
+                    m.asm.vfdotpex(fmt, F0, F1, F2);
+                });
+                // C[i][j] += alpha·acc, at binary32 then narrowed.
+                m.asm.slli(T0, K, e.trailing_zeros() as i32);
+                m.asm.add(T0, T0, P3);
+                m.asm.fload(fmt, F1, T0, 0);
+                m.asm.fcvt(FpFmt::S, fmt, F1, F1);
+                m.asm.fmadd(FpFmt::S, F1, F0, FC32A, F1);
+                m.asm.fcvt(fmt, FpFmt::S, F1, F1);
+                m.asm.fstore(fmt, F1, T0, 0);
+            }
+            m.asm.addi(K, K, 1);
+            m.asm.branch(BranchCond::Ge, I, K, &lj); // j <= i ⇔ i >= j
+        }
+        m.asm.addi(P3, P3, row);
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &la);
+        Some(m.finish())
+    }
+}
+
+// ===========================================================================
+// SYR2K: C = beta·C + alpha·A·Bᵀ + alpha·B·Aᵀ (lower triangle)
+// ===========================================================================
+
+/// Symmetric rank-2k update (Polybench `syr2k`), `n×n`, lower-triangular.
+pub struct Syr2k {
+    pub n: usize,
+}
+
+impl Syr2k {
+    const ALPHA: f64 = 1.5;
+    const BETA: f64 = 1.25;
+}
+
+impl Workload for Syr2k {
+    fn name(&self) -> &'static str {
+        "SYR2K"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let nn = n as i64;
+        let mut k = Kernel::new("syr2k");
+        k.array("a", FpFmt::S, n * n)
+            .array("b", FpFmt::S, n * n)
+            .array("c", FpFmt::S, n * n)
+            .scalar("alpha", FpFmt::S, Self::ALPHA)
+            .scalar("beta", FpFmt::S, Self::BETA)
+            .scalar("acc", FpFmt::S, 0.0);
+        k.body = vec![
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::var_plus("i", 1),
+                    vec![Stmt::store(
+                        "c",
+                        idx2("i", nn, "j"),
+                        Expr::load("c", idx2("i", nn, "j")) * Expr::scalar("beta"),
+                    )],
+                )],
+            ),
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::var_plus("i", 1),
+                    vec![
+                        Stmt::set("acc", Expr::lit(0.0)),
+                        Stmt::for_(
+                            "k",
+                            0,
+                            Bound::constant(nn),
+                            vec![Stmt::accum(
+                                "acc",
+                                Expr::load("a", idx2("i", nn, "k"))
+                                    * Expr::load("b", idx2("j", nn, "k"))
+                                    + Expr::load("b", idx2("i", nn, "k"))
+                                        * Expr::load("a", idx2("j", nn, "k")),
+                            )],
+                        ),
+                        Stmt::store(
+                            "c",
+                            idx2("i", nn, "j"),
+                            Expr::load("c", idx2("i", nn, "j"))
+                                + Expr::scalar("alpha") * Expr::scalar("acc"),
+                        ),
+                    ],
+                )],
+            ),
+        ];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("a".to_string(), gen_data(n * n, 41, 1.0)),
+            ("b".to_string(), gen_data(n * n, 42, 1.0)),
+            ("c".to_string(), gen_data(n * n, 43, 1.0)),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["c".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        let lanes = m.lanes as i32;
+        let fmt = m.fmt;
+        m.asm.li(N_REG, n as i32);
+
+        // Triangular beta-scale (same shape as SYRK).
+        m.f32_const(FC32B, Self::BETA);
+        m.splat(VCONST, FC32B);
+        m.fmt_const(FCFMT, Self::BETA);
+        m.asm.la(P3, m.addr("c"));
+        m.asm.li(I, 0);
+        let li = m.label("scale_i");
+        m.asm.label(&li);
+        {
+            m.asm.addi(T0, I, 1);
+            m.asm.andi(T0, T0, !(lanes - 1));
+            m.asm.slli(T0, T0, e.trailing_zeros() as i32);
+            m.asm.add(END_J, P3, T0);
+            m.asm.mv(P2, P3);
+            let lv = m.label("scale_v");
+            let lv_end = m.label("scale_v_end");
+            m.asm.label(&lv);
+            m.asm.branch(BranchCond::Geu, P2, END_J, &lv_end);
+            m.asm.fload(FpFmt::S, F0, P2, 0);
+            m.asm.vfmul(fmt, F0, F0, VCONST);
+            m.asm.fstore(FpFmt::S, F0, P2, 0);
+            m.asm.addi(P2, P2, 4);
+            m.asm.j(&lv);
+            m.asm.label(&lv_end);
+            m.asm.addi(T0, I, 1);
+            m.asm.slli(T0, T0, e.trailing_zeros() as i32);
+            m.asm.add(END_J, P3, T0);
+            let lt = m.label("scale_t");
+            let lt_end = m.label("scale_t_end");
+            m.asm.label(&lt);
+            m.asm.branch(BranchCond::Geu, P2, END_J, &lt_end);
+            m.asm.fload(fmt, F0, P2, 0);
+            m.asm.fmul(fmt, F0, F0, FCFMT);
+            m.asm.fstore(fmt, F0, P2, 0);
+            m.asm.addi(P2, P2, e);
+            m.asm.j(&lt);
+            m.asm.label(&lt_end);
+        }
+        m.asm.addi(P3, P3, row);
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &li);
+
+        // Two expanding dot products per (i, j), both accumulating into F0.
+        m.f32_const(FC32A, Self::ALPHA);
+        m.asm.la(P3, m.addr("c"));
+        m.asm.li(I, 0);
+        let la = m.label("acc_i");
+        m.asm.label(&la);
+        {
+            m.asm.li(K, 0);
+            let lj = m.label("acc_j");
+            m.asm.label(&lj);
+            {
+                // P0 = &A[i][0], P1 = &B[j][0], P4 = &B[i][0], P5 = &A[j][0]
+                m.asm.li(T0, row);
+                m.asm.mul(T0, I, T0);
+                m.asm.la(P0, m.addr("a"));
+                m.asm.add(P0, P0, T0);
+                m.asm.la(P4, m.addr("b"));
+                m.asm.add(P4, P4, T0);
+                m.asm.li(T0, row);
+                m.asm.mul(T0, K, T0);
+                m.asm.la(P1, m.addr("b"));
+                m.asm.add(P1, P1, T0);
+                m.asm.la(P5, m.addr("a"));
+                m.asm.add(P5, P5, T0);
+                m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
+                m.asm.addi(END_J, P0, row);
+                m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4), (P4, 4), (P5, 4)], |m| {
+                    m.asm.fload(FpFmt::S, F1, P0, 0);
+                    m.asm.fload(FpFmt::S, F2, P1, 0);
+                    m.asm.vfdotpex(fmt, F0, F1, F2);
+                    m.asm.fload(FpFmt::S, F1, P4, 0);
+                    m.asm.fload(FpFmt::S, F2, P5, 0);
+                    m.asm.vfdotpex(fmt, F0, F1, F2);
+                });
+                m.asm.slli(T0, K, e.trailing_zeros() as i32);
+                m.asm.add(T0, T0, P3);
+                m.asm.fload(fmt, F1, T0, 0);
+                m.asm.fcvt(FpFmt::S, fmt, F1, F1);
+                m.asm.fmadd(FpFmt::S, F1, F0, FC32A, F1);
+                m.asm.fcvt(fmt, FpFmt::S, F1, F1);
+                m.asm.fstore(fmt, F1, T0, 0);
+            }
+            m.asm.addi(K, K, 1);
+            m.asm.branch(BranchCond::Ge, I, K, &lj); // j <= i ⇔ i >= j
+        }
+        m.asm.addi(P3, P3, row);
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &la);
+        Some(m.finish())
+    }
+}
+
+// ===========================================================================
+// FDTD-2D
+// ===========================================================================
+
+/// 2-D finite-difference time-domain kernel (Polybench `fdtd-2d`),
+/// `n×n` grid, `tmax` time steps.
+pub struct Fdtd2d {
+    pub n: usize,
+    pub tmax: usize,
+}
+
+impl Workload for Fdtd2d {
+    fn name(&self) -> &'static str {
+        "FDTD2D"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let nn = n as i64;
+        let mut k = Kernel::new("fdtd2d");
+        k.array("ex", FpFmt::S, n * n)
+            .array("ey", FpFmt::S, n * n)
+            .array("hz", FpFmt::S, n * n)
+            .array("fict", FpFmt::S, self.tmax);
+        k.body = vec![Stmt::for_(
+            "t",
+            0,
+            Bound::constant(self.tmax as i64),
+            vec![
+                // ey[0][j] = fict[t]
+                Stmt::for_(
+                    "j",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::store("ey", IdxExpr::var("j"), Expr::load("fict", IdxExpr::var("t")))],
+                ),
+                // ey[i][j] -= 0.5*(hz[i][j] - hz[i-1][j])
+                Stmt::for_(
+                    "i",
+                    1,
+                    Bound::constant(nn),
+                    vec![Stmt::for_(
+                        "j",
+                        0,
+                        Bound::constant(nn),
+                        vec![Stmt::store(
+                            "ey",
+                            idx2("i", nn, "j"),
+                            Expr::load("ey", idx2("i", nn, "j"))
+                                - (Expr::load("hz", idx2("i", nn, "j"))
+                                    - Expr::load("hz", IdxExpr::of(&[("i", nn), ("j", 1)], -nn)))
+                                    * Expr::lit(0.5),
+                        )],
+                    )],
+                ),
+                // ex[i][j] -= 0.5*(hz[i][j] - hz[i][j-1])  (unaligned: scalar)
+                Stmt::for_(
+                    "i",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::for_(
+                        "j",
+                        1,
+                        Bound::constant(nn),
+                        vec![Stmt::store(
+                            "ex",
+                            idx2("i", nn, "j"),
+                            Expr::load("ex", idx2("i", nn, "j"))
+                                - (Expr::load("hz", idx2("i", nn, "j"))
+                                    - Expr::load("hz", IdxExpr::of(&[("i", nn), ("j", 1)], -1)))
+                                    * Expr::lit(0.5),
+                        )],
+                    )],
+                ),
+                // hz[i][j] -= 0.7*(ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j])
+                Stmt::for_(
+                    "i",
+                    0,
+                    Bound::constant(nn - 1),
+                    vec![Stmt::for_(
+                        "j",
+                        0,
+                        Bound::constant(nn - 1),
+                        vec![Stmt::store(
+                            "hz",
+                            idx2("i", nn, "j"),
+                            Expr::load("hz", idx2("i", nn, "j"))
+                                - (Expr::load("ex", IdxExpr::of(&[("i", nn), ("j", 1)], 1))
+                                    - Expr::load("ex", idx2("i", nn, "j"))
+                                    + Expr::load("ey", IdxExpr::of(&[("i", nn), ("j", 1)], nn))
+                                    - Expr::load("ey", idx2("i", nn, "j")))
+                                    * Expr::lit(0.7),
+                        )],
+                    )],
+                ),
+            ],
+        )];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("ex".to_string(), gen_data(n * n, 51, 1.0)),
+            ("ey".to_string(), gen_data(n * n, 52, 1.0)),
+            ("hz".to_string(), gen_data(n * n, 53, 1.0)),
+            ("fict".to_string(), (0..self.tmax).map(|t| t as f64 * 0.25).collect()),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["ex".to_string(), "ey".to_string(), "hz".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        let fmt = m.fmt;
+        let grid_bytes = (n * n) as i32 * e;
+        m.fmt_const(FCFMT, 0.5);
+        m.f32_const(FC32A, 0.5);
+        m.splat(VCONST, FC32A);
+        m.fmt_const(FC32B, 0.7); // reuse as fmt-typed 0.7
+        m.asm.li(I, 0); // t
+        m.asm.li(N_REG, self.tmax as i32);
+        let lt = m.label("t");
+        m.asm.label(&lt);
+        {
+            // fict[t] splat into ey row 0.
+            m.asm.la(T0, m.addr("fict"));
+            m.asm.slli(K, I, e.trailing_zeros() as i32);
+            m.asm.add(T0, T0, K);
+            m.asm.fload(fmt, F0, T0, 0);
+            m.asm.fcvt(FpFmt::S, fmt, F0, F0);
+            m.splat(VSPLAT, F0);
+            m.asm.la(P0, m.addr("ey"));
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4)], |m| {
+                m.asm.fstore(FpFmt::S, VSPLAT, P0, 0);
+            });
+
+            // ey update, rows 1.., one flat vector loop (P0 already at row 1).
+            m.asm.la(P1, m.addr("hz"));
+            m.asm.addi(P1, P1, row);
+            m.asm.la(END_J, m.addr("ey") + grid_bytes as u32);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4)], |m| {
+                m.asm.fload(FpFmt::S, F0, P1, 0);
+                m.asm.fload(FpFmt::S, F1, P1, -row);
+                m.asm.vfsub(fmt, F0, F0, F1);
+                m.asm.vfmul(fmt, F0, F0, VCONST);
+                m.asm.fload(FpFmt::S, F1, P0, 0);
+                m.asm.vfsub(fmt, F1, F1, F0);
+                m.asm.fstore(FpFmt::S, F1, P0, 0);
+            });
+
+            // ex update: scalar (unaligned j-1 neighbour), pointer-bumped.
+            m.asm.la(P0, m.addr("ex"));
+            m.asm.la(P1, m.addr("hz"));
+            m.asm.li(K, 0);
+            let lex = m.label("ex_i");
+            m.asm.label(&lex);
+            {
+                m.asm.addi(P0, P0, e); // start at j=1
+                m.asm.addi(P1, P1, e);
+                m.asm.addi(END_J, P0, row - e);
+                m.ptr_loop(P0, END_J, &[(P0, e), (P1, e)], |m| {
+                    m.asm.fload(fmt, F0, P1, 0);
+                    m.asm.fload(fmt, F1, P1, -e);
+                    m.asm.fsub(fmt, F0, F0, F1);
+                    m.asm.fmul(fmt, F0, F0, FCFMT);
+                    m.asm.fload(fmt, F1, P0, 0);
+                    m.asm.fsub(fmt, F1, F1, F0);
+                    m.asm.fstore(fmt, F1, P0, 0);
+                });
+            }
+            m.asm.addi(K, K, 1);
+            m.asm.li(T0, n as i32);
+            m.asm.branch(BranchCond::Lt, K, T0, &lex);
+
+            // hz update: scalar, rows 0..n-1, cols 0..n-1.
+            m.asm.la(P0, m.addr("hz"));
+            m.asm.la(P1, m.addr("ex"));
+            m.asm.la(P2, m.addr("ey"));
+            m.asm.li(K, 0);
+            let lhz = m.label("hz_i");
+            m.asm.label(&lhz);
+            {
+                m.asm.addi(END_J, P0, row - e);
+                m.ptr_loop(P0, END_J, &[(P0, e), (P1, e), (P2, e)], |m| {
+                    m.asm.fload(fmt, F0, P1, e); // ex[i][j+1]
+                    m.asm.fload(fmt, F1, P1, 0);
+                    m.asm.fsub(fmt, F0, F0, F1);
+                    m.asm.fload(fmt, F1, P2, row); // ey[i+1][j]
+                    m.asm.fadd(fmt, F0, F0, F1);
+                    m.asm.fload(fmt, F1, P2, 0);
+                    m.asm.fsub(fmt, F0, F0, F1);
+                    m.asm.fmul(fmt, F0, F0, FC32B);
+                    m.asm.fload(fmt, F1, P0, 0);
+                    m.asm.fsub(fmt, F1, F1, F0);
+                    m.asm.fstore(fmt, F1, P0, 0);
+                });
+                // Skip the last column of this row.
+                m.asm.addi(P0, P0, e);
+                m.asm.addi(P1, P1, e);
+                m.asm.addi(P2, P2, e);
+            }
+            m.asm.addi(K, K, 1);
+            m.asm.li(T0, n as i32 - 1);
+            m.asm.branch(BranchCond::Lt, K, T0, &lhz);
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &lt);
+        Some(m.finish())
+    }
+}

@@ -1,0 +1,361 @@
+//! Additional Polybench/C kernels beyond the paper's Table III set,
+//! exercising the same transprecision machinery (useful for extending the
+//! evaluation; not part of [`crate::bench::suite`]).
+
+use crate::bench::Workload;
+use crate::polybench::{gen_data, Mg};
+use smallfloat_isa::{BranchCond, FpFmt, FReg, XReg};
+use smallfloat_xcc::codegen::Compiled;
+use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
+
+const I: XReg = XReg::new(8);
+const END_J: XReg = XReg::new(7);
+const N_REG: XReg = XReg::new(28);
+const P0: XReg = XReg::new(18);
+const P1: XReg = XReg::new(19);
+const P2: XReg = XReg::new(20);
+const P3: XReg = XReg::new(21);
+const P4: XReg = XReg::new(22);
+
+const F0: FReg = FReg::new(0);
+const F1: FReg = FReg::new(1);
+const F2: FReg = FReg::new(2);
+const F3: FReg = FReg::new(3);
+const VSPLAT: FReg = FReg::new(4);
+
+fn idx2(v1: &str, c1: i64, v2: &str) -> IdxExpr {
+    IdxExpr::of(&[(v1, c1), (v2, 1)], 0)
+}
+
+/// BICG sub-kernel of BiCGStab (Polybench `bicg`): `s = Aᵀ·r`, `q = A·p`.
+pub struct Bicg {
+    pub n: usize,
+}
+
+impl Workload for Bicg {
+    fn name(&self) -> &'static str {
+        "BICG"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let nn = n as i64;
+        let mut k = Kernel::new("bicg");
+        k.array("aa", FpFmt::S, n * n)
+            .array("p", FpFmt::S, n)
+            .array("r", FpFmt::S, n)
+            .array("s", FpFmt::S, n)
+            .array("q", FpFmt::S, n)
+            .scalar("acc", FpFmt::S, 0.0);
+        k.body = vec![
+            // s[j] += r[i] * A[i][j]  (s arrives zeroed): map over j.
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::store(
+                        "s",
+                        IdxExpr::var("j"),
+                        Expr::load("s", IdxExpr::var("j"))
+                            + Expr::load("r", IdxExpr::var("i"))
+                                * Expr::load("aa", idx2("i", nn, "j")),
+                    )],
+                )],
+            ),
+            // q[i] = A[i]·p: reduction over j.
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![
+                    Stmt::set("acc", Expr::lit(0.0)),
+                    Stmt::for_(
+                        "j",
+                        0,
+                        Bound::constant(nn),
+                        vec![Stmt::accum(
+                            "acc",
+                            Expr::load("aa", idx2("i", nn, "j")) * Expr::load("p", IdxExpr::var("j")),
+                        )],
+                    ),
+                    Stmt::store("q", IdxExpr::var("i"), Expr::scalar("acc")),
+                ],
+            ),
+        ];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("aa".to_string(), gen_data(n * n, 61, 1.0)),
+            ("p".to_string(), gen_data(n, 62, 1.0)),
+            ("r".to_string(), gen_data(n, 63, 1.0)),
+            ("s".to_string(), vec![0.0; n]),
+            ("q".to_string(), vec![0.0; n]),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["s".to_string(), "q".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        let fmt = m.fmt;
+        m.asm.li(N_REG, n as i32);
+
+        // Part 1: s += r[i] * A[i] with a splat and vfmac, rows in sequence.
+        m.asm.la(P0, m.addr("aa"));
+        m.asm.la(P2, m.addr("r"));
+        m.asm.li(I, 0);
+        let l1 = m.label("s_i");
+        m.asm.label(&l1);
+        {
+            m.asm.fload(fmt, F0, P2, 0);
+            m.asm.addi(P2, P2, e);
+            m.asm.fcvt(FpFmt::S, fmt, F0, F0);
+            m.splat(VSPLAT, F0);
+            m.asm.la(P1, m.addr("s"));
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P1, 0);
+                m.asm.fload(FpFmt::S, F2, P0, 0);
+                m.asm.vfmac(fmt, F1, F2, VSPLAT);
+                m.asm.fstore(FpFmt::S, F1, P1, 0);
+            });
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &l1);
+
+        // Part 2: q[i] = A[i]·p via vfdotpex.
+        m.asm.la(P0, m.addr("aa"));
+        m.asm.la(P3, m.addr("q"));
+        m.asm.li(I, 0);
+        let l2 = m.label("q_i");
+        m.asm.label(&l2);
+        {
+            m.asm.la(P4, m.addr("p"));
+            m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P4, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P0, 0);
+                m.asm.fload(FpFmt::S, F2, P4, 0);
+                m.asm.vfdotpex(fmt, F0, F1, F2);
+            });
+            m.asm.fcvt(fmt, FpFmt::S, F1, F0);
+            m.asm.fstore(fmt, F1, P3, 0);
+            m.asm.addi(P3, P3, e);
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &l2);
+        Some(m.finish())
+    }
+}
+
+/// MVT (Polybench `mvt`): `x1 += A·y1`, `x2 += Aᵀ·y2`.
+pub struct Mvt {
+    pub n: usize,
+}
+
+impl Workload for Mvt {
+    fn name(&self) -> &'static str {
+        "MVT"
+    }
+
+    fn base_kernel(&self) -> Kernel {
+        let n = self.n;
+        let nn = n as i64;
+        let mut k = Kernel::new("mvt");
+        k.array("aa", FpFmt::S, n * n)
+            .array("x1", FpFmt::S, n)
+            .array("x2", FpFmt::S, n)
+            .array("y1", FpFmt::S, n)
+            .array("y2", FpFmt::S, n)
+            .scalar("acc", FpFmt::S, 0.0);
+        k.body = vec![
+            // x1[i] += A[i]·y1: reduction.
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![
+                    Stmt::set("acc", Expr::load("x1", IdxExpr::var("i"))),
+                    Stmt::for_(
+                        "j",
+                        0,
+                        Bound::constant(nn),
+                        vec![Stmt::accum(
+                            "acc",
+                            Expr::load("aa", idx2("i", nn, "j"))
+                                * Expr::load("y1", IdxExpr::var("j")),
+                        )],
+                    ),
+                    Stmt::store("x1", IdxExpr::var("i"), Expr::scalar("acc")),
+                ],
+            ),
+            // x2[j] += A[i][j]·y2[i]: map over j.
+            Stmt::for_(
+                "i",
+                0,
+                Bound::constant(nn),
+                vec![Stmt::for_(
+                    "j",
+                    0,
+                    Bound::constant(nn),
+                    vec![Stmt::store(
+                        "x2",
+                        IdxExpr::var("j"),
+                        Expr::load("x2", IdxExpr::var("j"))
+                            + Expr::load("aa", idx2("i", nn, "j"))
+                                * Expr::load("y2", IdxExpr::var("i")),
+                    )],
+                )],
+            ),
+        ];
+        k
+    }
+
+    fn inputs(&self) -> Vec<(String, Vec<f64>)> {
+        let n = self.n;
+        vec![
+            ("aa".to_string(), gen_data(n * n, 71, 1.0)),
+            ("x1".to_string(), gen_data(n, 72, 1.0)),
+            ("x2".to_string(), gen_data(n, 73, 1.0)),
+            ("y1".to_string(), gen_data(n, 74, 1.0)),
+            ("y2".to_string(), gen_data(n, 75, 1.0)),
+        ]
+    }
+
+    fn output_arrays(&self) -> Vec<String> {
+        vec!["x1".to_string(), "x2".to_string()]
+    }
+
+    fn manual(&self, typed: &Kernel) -> Option<Compiled> {
+        let mut m = Mg::try_new(typed)?;
+        let n = self.n;
+        let e = m.elem() as i32;
+        let row = n as i32 * e;
+        let fmt = m.fmt;
+        m.asm.li(N_REG, n as i32);
+
+        // Part 1: x1[i] += A[i]·y1 via vfdotpex.
+        m.asm.la(P0, m.addr("aa"));
+        m.asm.la(P3, m.addr("x1"));
+        m.asm.li(I, 0);
+        let l1 = m.label("x1_i");
+        m.asm.label(&l1);
+        {
+            m.asm.la(P4, m.addr("y1"));
+            m.asm.fload(fmt, F3, P3, 0);
+            m.asm.fcvt(FpFmt::S, fmt, F0, F3);
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P4, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P0, 0);
+                m.asm.fload(FpFmt::S, F2, P4, 0);
+                m.asm.vfdotpex(fmt, F0, F1, F2);
+            });
+            m.asm.fcvt(fmt, FpFmt::S, F1, F0);
+            m.asm.fstore(fmt, F1, P3, 0);
+            m.asm.addi(P3, P3, e);
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &l1);
+
+        // Part 2: x2 += A[i] * y2[i] with a splat and vfmac.
+        m.asm.la(P0, m.addr("aa"));
+        m.asm.la(P2, m.addr("y2"));
+        m.asm.li(I, 0);
+        let l2 = m.label("x2_i");
+        m.asm.label(&l2);
+        {
+            m.asm.fload(fmt, F0, P2, 0);
+            m.asm.addi(P2, P2, e);
+            m.asm.fcvt(FpFmt::S, fmt, F0, F0);
+            m.splat(VSPLAT, F0);
+            m.asm.la(P1, m.addr("x2"));
+            m.asm.addi(END_J, P0, row);
+            m.ptr_loop(P0, END_J, &[(P0, 4), (P1, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P1, 0);
+                m.asm.fload(FpFmt::S, F2, P0, 0);
+                m.asm.vfmac(fmt, F1, F2, VSPLAT);
+                m.asm.fstore(FpFmt::S, F1, P1, 0);
+            });
+        }
+        m.asm.addi(I, I, 1);
+        m.asm.branch(BranchCond::Lt, I, N_REG, &l2);
+        Some(m.finish())
+    }
+}
+
+/// Extended suite: the paper's six benchmarks plus BICG and MVT.
+pub fn extended_suite() -> Vec<Box<dyn Workload>> {
+    let mut s = crate::bench::suite();
+    s.push(Box::new(Bicg { n: 32 }));
+    s.push(Box::new(Mvt { n: 32 }));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench::{self, Precision, VecMode};
+    use smallfloat_sim::MemLevel;
+
+    #[test]
+    fn extra_kernels_vectorize_and_win() {
+        for w in [&Bicg { n: 16 } as &dyn Workload, &Mvt { n: 16 }] {
+            let (_, compiled) = bench::build(w, &Precision::F16, VecMode::Auto);
+            assert!(compiled.vectorized_loops > 0, "{}", w.name());
+            let base = bench::run(w, &Precision::F32, VecMode::Scalar, MemLevel::L1);
+            let auto = bench::run(w, &Precision::F16, VecMode::Auto, MemLevel::L1);
+            let manual = bench::run(w, &Precision::F16, VecMode::Manual, MemLevel::L1);
+            assert!(auto.stats.cycles < base.stats.cycles, "{}", w.name());
+            assert!(manual.stats.cycles <= auto.stats.cycles, "{}", w.name());
+        }
+    }
+
+    #[test]
+    fn extra_kernels_quality() {
+        for w in [&Bicg { n: 16 } as &dyn Workload, &Mvt { n: 16 }] {
+            let s16 = bench::sqnr(w, &Precision::F16, VecMode::Manual);
+            assert!(s16 > 35.0, "{}: f16 SQNR {s16}", w.name());
+            let s32 = bench::sqnr(w, &Precision::F32, VecMode::Scalar);
+            assert!(s32 > 100.0, "{}: f32 SQNR {s32}", w.name());
+        }
+    }
+
+    #[test]
+    fn manual_matches_golden_shape() {
+        // Manual variants compute the same function as the interpreter
+        // (within smallFloat tolerance) for both extra kernels.
+        for w in [&Bicg { n: 16 } as &dyn Workload, &Mvt { n: 16 }] {
+            let auto = bench::run(w, &Precision::F16, VecMode::Auto, MemLevel::L1);
+            let manual = bench::run(w, &Precision::F16, VecMode::Manual, MemLevel::L1);
+            let sa = auto.signal(&w.output_arrays());
+            let sm = manual.signal(&w.output_arrays());
+            let scale = sa.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(1e-9);
+            for (i, (a, m)) in sa.iter().zip(&sm).enumerate() {
+                assert!(
+                    (a - m).abs() <= 0.08 * scale,
+                    "{} idx {i}: auto {a} vs manual {m}",
+                    w.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extended_suite_has_eight() {
+        let names: Vec<&str> = extended_suite().iter().map(|w| w.name()).collect();
+        assert_eq!(names.len(), 8);
+        assert!(names.contains(&"BICG") && names.contains(&"MVT"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Executing compiled kernels on the simulator.
+
+use smallfloat_sim::{Cpu, ExitReason, MemLevel, SimConfig, Stats};
+use smallfloat_softfp::{ops, Env, Rounding};
+use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
+use smallfloat_xcc::ir::Kernel;
+use std::collections::HashMap;
+
+/// Outcome of one simulated kernel execution.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Cycle/energy/instruction statistics.
+    pub stats: Stats,
+    /// Final contents of every array, widened to `f64`.
+    pub arrays: HashMap<String, Vec<f64>>,
+    /// Final values of named scalars, widened to `f64`.
+    pub scalars: HashMap<String, f64>,
+}
+
+impl RunResult {
+    /// Concatenate the named arrays into one signal vector (for SQNR).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an array name is unknown.
+    pub fn signal(&self, arrays: &[String]) -> Vec<f64> {
+        let mut out = Vec::new();
+        for name in arrays {
+            out.extend_from_slice(&self.arrays[name]);
+        }
+        out
+    }
+}
+
+/// Load `compiled` plus its input data into a fresh CPU, run to completion,
+/// and read back every array and scalar (`kernel` supplies the scalar
+/// storage types).
+///
+/// Inputs are given in `f64` and rounded into each array's storage type —
+/// the same quantization the real system applies when data enters memory in
+/// a smallFloat layout.
+///
+/// # Panics
+///
+/// Panics if the program traps or fails to exit within 200M instructions —
+/// generated kernels are expected to be well-formed.
+pub fn run_compiled(
+    kernel: &Kernel,
+    compiled: &Compiled,
+    inputs: &[(String, Vec<f64>)],
+    level: MemLevel,
+) -> RunResult {
+    let mut cpu = Cpu::new(SimConfig { mem_level: level, ..SimConfig::default() });
+    let mut env = Env::new(Rounding::Rne);
+    for (name, values) in inputs {
+        let entry = compiled
+            .layout
+            .entry(name)
+            .unwrap_or_else(|| panic!("input `{name}` is not a kernel array"));
+        assert_eq!(entry.len, values.len(), "input size mismatch for `{name}`");
+        let bytes = entry.ty.width() / 8;
+        for (i, v) in values.iter().enumerate() {
+            let bits = ops::from_f64(entry.ty.format(), *v, &mut env) as u32;
+            let le = bits.to_le_bytes();
+            cpu.mem_mut().write_bytes(entry.addr + (i as u32) * bytes, &le[..bytes as usize]);
+        }
+    }
+    cpu.load_program(TEXT_BASE, &compiled.program);
+    let exit = cpu.run(200_000_000).unwrap_or_else(|e| panic!("kernel trapped: {e}"));
+    assert_eq!(exit, ExitReason::Ecall, "kernel must exit via ecall");
+
+    let mut arrays = HashMap::new();
+    for entry in &compiled.layout.entries {
+        let bytes = entry.ty.width() / 8;
+        let mut vals = Vec::with_capacity(entry.len);
+        for i in 0..entry.len {
+            let raw = cpu.mem().load(entry.addr + (i as u32) * bytes, bytes).expect("in range");
+            vals.push(ops::to_f64(entry.ty.format(), raw as u64));
+        }
+        arrays.insert(entry.name.clone(), vals);
+    }
+    let mut scalars = HashMap::new();
+    for (name, reg) in &compiled.scalar_regs {
+        let ty = kernel.type_of(name).unwrap_or(smallfloat_isa::FpFmt::S);
+        let raw = cpu.freg(*reg) as u64 & ty.format().mask();
+        scalars.insert(name.clone(), ops::to_f64(ty.format(), raw));
+    }
+    RunResult { stats: cpu.stats().clone(), arrays, scalars }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smallfloat_isa::FpFmt;
+    use smallfloat_xcc::codegen::{compile, CodegenOptions};
+    use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Stmt};
+
+    #[test]
+    fn runs_and_reads_back() {
+        let mut k = Kernel::new("double");
+        k.array("x", FpFmt::H, 4);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(4),
+            vec![Stmt::store(
+                "x",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")) * Expr::lit(2.0),
+            )],
+        )];
+        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let r = run_compiled(
+            &k,
+            &c,
+            &[("x".to_string(), vec![1.0, 2.0, 3.0, 4.0])],
+            MemLevel::L1,
+        );
+        assert_eq!(r.arrays["x"], vec![2.0, 4.0, 6.0, 8.0]);
+        assert!(r.stats.cycles > 0);
+        assert_eq!(r.signal(&["x".to_string()]), vec![2.0, 4.0, 6.0, 8.0]);
+    }
+}

@@ -1,0 +1,301 @@
+//! CPU state, configuration and the fetch/execute loop.
+
+use crate::energy::EnergyModel;
+use crate::mem::Memory;
+use crate::stats::Stats;
+use crate::timing::{MemLevel, TimingModel};
+use smallfloat_isa::{decode, decode_compressed, encode, FReg, Instr, XReg};
+use smallfloat_softfp::{Flags, Rounding};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Simulator errors (traps).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SimError {
+    /// Misaligned data access.
+    Misaligned { addr: u32 },
+    /// Data access beyond the end of memory.
+    OutOfBounds { addr: u32 },
+    /// Undecodable instruction word.
+    IllegalInstruction { word: u32, pc: u32 },
+    /// Access to an unimplemented CSR.
+    UnknownCsr { csr: u16, pc: u32 },
+    /// Dynamic rounding selected while `fcsr.frm` holds a reserved value.
+    InvalidRounding { pc: u32 },
+    /// `ebreak` executed.
+    Breakpoint { pc: u32 },
+    /// A vector operation on a format with no SIMD lanes at FLEN=32, or a
+    /// lane selector (e.g. `vfcpk.b`) outside the format's lane count.
+    VectorUnsupported { pc: u32 },
+    /// Misaligned instruction fetch or fetch outside memory.
+    FetchFault { pc: u32 },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Misaligned { addr } => write!(f, "misaligned access at 0x{addr:08x}"),
+            SimError::OutOfBounds { addr } => write!(f, "access out of bounds at 0x{addr:08x}"),
+            SimError::IllegalInstruction { word, pc } => {
+                write!(f, "illegal instruction 0x{word:08x} at pc 0x{pc:08x}")
+            }
+            SimError::UnknownCsr { csr, pc } => {
+                write!(f, "unknown csr 0x{csr:03x} at pc 0x{pc:08x}")
+            }
+            SimError::InvalidRounding { pc } => {
+                write!(f, "reserved dynamic rounding mode at pc 0x{pc:08x}")
+            }
+            SimError::Breakpoint { pc } => write!(f, "breakpoint at pc 0x{pc:08x}"),
+            SimError::VectorUnsupported { pc } => {
+                write!(f, "unsupported vector operation at pc 0x{pc:08x}")
+            }
+            SimError::FetchFault { pc } => write!(f, "fetch fault at pc 0x{pc:08x}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Why [`Cpu::run`] returned successfully.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ExitReason {
+    /// The program executed `ecall` (the simulator's exit convention).
+    Ecall,
+    /// The instruction limit was reached before the program exited.
+    InstructionLimit,
+}
+
+/// Simulator configuration.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    /// Memory size in bytes.
+    pub mem_size: usize,
+    /// Load/store latency level (the Fig. 2/3 experiment knob).
+    pub mem_level: MemLevel,
+    /// Cycle-cost model.
+    pub timing: TimingModel,
+    /// Energy model.
+    pub energy: EnergyModel,
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig {
+            mem_size: 16 << 20,
+            mem_level: MemLevel::L1,
+            timing: TimingModel::riscy(),
+            energy: EnergyModel::umc65(),
+        }
+    }
+}
+
+/// The simulated RV32IMFC + smallFloat core.
+pub struct Cpu {
+    pub(crate) config: SimConfig,
+    pub(crate) mem: Memory,
+    pub(crate) x: [u32; 32],
+    pub(crate) f: [u32; 32],
+    pub(crate) pc: u32,
+    /// Raw `fcsr.frm` field (may hold reserved values until used).
+    pub(crate) frm_raw: u8,
+    pub(crate) fflags: Flags,
+    pub(crate) stats: Stats,
+    decode_cache: HashMap<u32, (Instr, u32)>,
+}
+
+impl fmt::Debug for Cpu {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Cpu {{ pc: 0x{:08x}, cycles: {} }}", self.pc, self.stats.cycles)
+    }
+}
+
+impl Cpu {
+    /// Create a CPU with zeroed registers and memory.
+    pub fn new(config: SimConfig) -> Cpu {
+        let mem = Memory::new(config.mem_size);
+        Cpu {
+            config,
+            mem,
+            x: [0; 32],
+            f: [0; 32],
+            pc: 0,
+            frm_raw: Rounding::Rne.to_frm(),
+            fflags: Flags::NONE,
+            stats: Stats::new(),
+            decode_cache: HashMap::new(),
+        }
+    }
+
+    /// Encode `program` into memory at `base` and point the PC there.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program does not fit in memory.
+    pub fn load_program(&mut self, base: u32, program: &[Instr]) {
+        let mut addr = base;
+        for instr in program {
+            let word = encode(instr);
+            self.mem.write_bytes(addr, &word.to_le_bytes());
+            addr += 4;
+        }
+        self.pc = base;
+        self.decode_cache.clear();
+    }
+
+    /// Read an integer register (`x0` reads as 0).
+    pub fn xreg(&self, r: XReg) -> u32 {
+        self.x[usize::from(r)]
+    }
+
+    /// Write an integer register (writes to `x0` are ignored).
+    pub fn set_xreg(&mut self, r: XReg, v: u32) {
+        if r.num() != 0 {
+            self.x[usize::from(r)] = v;
+        }
+    }
+
+    /// Read an FP register (raw 32 bits).
+    pub fn freg(&self, r: FReg) -> u32 {
+        self.f[usize::from(r)]
+    }
+
+    /// Write an FP register (raw 32 bits).
+    pub fn set_freg(&mut self, r: FReg, v: u32) {
+        self.f[usize::from(r)] = v;
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    /// Set the program counter.
+    pub fn set_pc(&mut self, pc: u32) {
+        self.pc = pc;
+    }
+
+    /// The accrued FP exception flags (`fcsr.fflags`).
+    pub fn fflags(&self) -> Flags {
+        self.fflags
+    }
+
+    /// The dynamic rounding mode, if `fcsr.frm` holds a valid value.
+    pub fn frm(&self) -> Option<Rounding> {
+        Rounding::from_frm(self.frm_raw)
+    }
+
+    /// Set the dynamic rounding mode.
+    pub fn set_frm(&mut self, rm: Rounding) {
+        self.frm_raw = rm.to_frm();
+    }
+
+    /// Execution statistics so far.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Reset statistics (registers and memory are untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::new();
+    }
+
+    /// Shared access to memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to memory.
+    ///
+    /// Note: the simulator caches decoded instructions; rewriting *code*
+    /// through this handle requires reloading via [`Cpu::load_program`]
+    /// (self-modifying code is unsupported).
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    fn fetch(&mut self) -> Result<(Instr, u32), SimError> {
+        if let Some(&hit) = self.decode_cache.get(&self.pc) {
+            return Ok(hit);
+        }
+        let pc = self.pc;
+        if pc % 2 != 0 {
+            return Err(SimError::FetchFault { pc });
+        }
+        let low = self.mem.load(pc, 2).map_err(|_| SimError::FetchFault { pc })? as u16;
+        let (instr, len) = if low & 0b11 != 0b11 {
+            let instr =
+                decode_compressed(low).map_err(|e| SimError::IllegalInstruction {
+                    word: e.word(),
+                    pc,
+                })?;
+            (instr, 2)
+        } else {
+            let high = self.mem.load(pc + 2, 2).map_err(|_| SimError::FetchFault { pc })? as u16;
+            let word = (low as u32) | ((high as u32) << 16);
+            let instr = decode(word)
+                .map_err(|_| SimError::IllegalInstruction { word, pc })?;
+            (instr, 4)
+        };
+        self.decode_cache.insert(pc, (instr, len));
+        Ok((instr, len))
+    }
+
+    /// Decode the instruction at the current PC without executing it.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FetchFault`] / [`SimError::IllegalInstruction`].
+    pub fn peek(&mut self) -> Result<Instr, SimError> {
+        self.fetch().map(|(i, _)| i)
+    }
+
+    /// Execute one instruction.
+    ///
+    /// Returns `Ok(Some(reason))` when the program exits.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] trap.
+    pub fn step(&mut self) -> Result<Option<ExitReason>, SimError> {
+        let (instr, len) = self.fetch()?;
+        crate::exec::exec(self, instr, len)
+    }
+
+    /// Run like [`Cpu::run`], invoking `observer(pc, &instr)` before every
+    /// instruction — the execution-trace hook (disassembly via the
+    /// instruction's `Display`).
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] trap.
+    pub fn run_traced(
+        &mut self,
+        max_instructions: u64,
+        mut observer: impl FnMut(u32, &Instr),
+    ) -> Result<ExitReason, SimError> {
+        let limit = self.stats.instret + max_instructions;
+        while self.stats.instret < limit {
+            let (instr, len) = self.fetch()?;
+            observer(self.pc, &instr);
+            if let Some(reason) = crate::exec::exec(self, instr, len)? {
+                return Ok(reason);
+            }
+        }
+        Ok(ExitReason::InstructionLimit)
+    }
+
+    /// Run until `ecall`, a trap, or `max_instructions` retired.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] trap.
+    pub fn run(&mut self, max_instructions: u64) -> Result<ExitReason, SimError> {
+        let limit = self.stats.instret + max_instructions;
+        while self.stats.instret < limit {
+            if let Some(reason) = self.step()? {
+                return Ok(reason);
+            }
+        }
+        Ok(ExitReason::InstructionLimit)
+    }
+}

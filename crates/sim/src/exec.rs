@@ -1,0 +1,612 @@
+//! The instruction interpreter: semantics + cycle/energy accounting.
+
+use crate::cpu::{Cpu, ExitReason, SimError};
+use smallfloat_isa::{
+    csr, vector_lanes, AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp,
+    Instr, MemWidth, MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp,
+};
+use smallfloat_softfp::{nanbox, ops, Env, Format, Rounding};
+
+const FLEN: u32 = 32;
+
+fn resolve_rm(cpu: &Cpu, rm: Rm, pc: u32) -> Result<Rounding, SimError> {
+    match rm {
+        Rm::Dyn => cpu.frm().ok_or(SimError::InvalidRounding { pc }),
+        other => Ok(other.resolve(Rounding::Rne)),
+    }
+}
+
+fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
+    nanbox::unboxed(fmt.format(), cpu.freg(r) as u64, FLEN)
+}
+
+fn write_boxed(cpu: &mut Cpu, fmt: FpFmt, r: smallfloat_isa::FReg, bits: u64) {
+    cpu.set_freg(r, nanbox::boxed(fmt.format(), bits, FLEN) as u32);
+}
+
+fn lanes_of(fmt: FpFmt, pc: u32) -> Result<(u32, u32), SimError> {
+    match vector_lanes(FLEN, fmt) {
+        Some(n) => Ok((n, fmt.width())),
+        None => Err(SimError::VectorUnsupported { pc }),
+    }
+}
+
+fn get_lane(reg: u32, i: u32, w: u32) -> u64 {
+    ((reg >> (i * w)) as u64) & ((1u64 << w) - 1)
+}
+
+fn set_lane(reg: u32, i: u32, w: u32, v: u64) -> u32 {
+    let mask = (((1u64 << w) - 1) as u32) << (i * w);
+    (reg & !mask) | (((v as u32) << (i * w)) & mask)
+}
+
+fn sext(v: u32, bits: u32) -> u32 {
+    if bits >= 32 {
+        v
+    } else {
+        (((v << (32 - bits)) as i32) >> (32 - bits)) as u32
+    }
+}
+
+/// Widen a smallFloat bit pattern to binary32 — exact for every supported
+/// format, so no flags can be raised.
+fn widen_to_s(fmt: FpFmt, bits: u64) -> u64 {
+    let mut env = Env::new(Rounding::Rne);
+    ops::cvt_f_f(Format::BINARY32, fmt.format(), bits, &mut env)
+}
+
+pub(crate) fn exec(
+    cpu: &mut Cpu,
+    instr: Instr,
+    len: u32,
+) -> Result<Option<ExitReason>, SimError> {
+    let pc = cpu.pc;
+    let t = cpu.config.timing;
+    let mem_lat = cpu.config.mem_level.latency();
+    let mut next_pc = pc.wrapping_add(len);
+    let mut cycles = t.int_alu;
+    let mut exit = None;
+
+    match instr {
+        // ----- RV32I -----
+        Instr::Lui { rd, imm20 } => cpu.set_xreg(rd, (imm20 as u32) << 12),
+        Instr::Auipc { rd, imm20 } => {
+            cpu.set_xreg(rd, pc.wrapping_add((imm20 as u32) << 12));
+        }
+        Instr::Jal { rd, offset } => {
+            cpu.set_xreg(rd, pc.wrapping_add(len));
+            next_pc = pc.wrapping_add(offset as u32);
+            cycles = t.jump;
+        }
+        Instr::Jalr { rd, rs1, offset } => {
+            let target = cpu.xreg(rs1).wrapping_add(offset as u32) & !1;
+            cpu.set_xreg(rd, pc.wrapping_add(len));
+            next_pc = target;
+            cycles = t.jump;
+        }
+        Instr::Branch { cond, rs1, rs2, offset } => {
+            let a = cpu.xreg(rs1);
+            let b = cpu.xreg(rs2);
+            let taken = match cond {
+                BranchCond::Eq => a == b,
+                BranchCond::Ne => a != b,
+                BranchCond::Lt => (a as i32) < (b as i32),
+                BranchCond::Ge => (a as i32) >= (b as i32),
+                BranchCond::Ltu => a < b,
+                BranchCond::Geu => a >= b,
+            };
+            if taken {
+                next_pc = pc.wrapping_add(offset as u32);
+                cycles = t.branch_taken;
+            } else {
+                cycles = t.branch_not_taken;
+            }
+        }
+        Instr::Load { width, unsigned, rd, rs1, offset } => {
+            let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
+            let raw = cpu.mem.load(addr, width.bytes())?;
+            let v = if unsigned || width == MemWidth::W { raw } else { sext(raw, width.bytes() * 8) };
+            cpu.set_xreg(rd, v);
+            cycles = mem_lat;
+        }
+        Instr::Store { width, rs2, rs1, offset } => {
+            let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
+            cpu.mem.store(addr, width.bytes(), cpu.xreg(rs2))?;
+            cycles = mem_lat;
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            let v = alu(op, cpu.xreg(rs1), imm as u32);
+            cpu.set_xreg(rd, v);
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            let v = alu(op, cpu.xreg(rs1), cpu.xreg(rs2));
+            cpu.set_xreg(rd, v);
+        }
+        Instr::Fence => {}
+        Instr::Ecall => exit = Some(ExitReason::Ecall),
+        Instr::Ebreak => return Err(SimError::Breakpoint { pc }),
+
+        // ----- M -----
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            let a = cpu.xreg(rs1);
+            let b = cpu.xreg(rs2);
+            let v = muldiv(op, a, b);
+            cpu.set_xreg(rd, v);
+            cycles = match op {
+                MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => t.int_mul,
+                _ => t.int_div,
+            };
+        }
+
+        // ----- Zicsr -----
+        Instr::Csr { op, rd, src, csr: num } => {
+            let old = read_csr(cpu, num, pc)?;
+            let (src_val, skip_write) = match src {
+                CsrSrc::Reg(r) => (cpu.xreg(r), op != CsrOp::Rw && r.num() == 0),
+                CsrSrc::Imm(i) => (i as u32, op != CsrOp::Rw && i == 0),
+            };
+            if !skip_write {
+                let new = match op {
+                    CsrOp::Rw => src_val,
+                    CsrOp::Rs => old | src_val,
+                    CsrOp::Rc => old & !src_val,
+                };
+                write_csr(cpu, num, new, pc)?;
+            }
+            cpu.set_xreg(rd, old);
+        }
+
+        // ----- FP loads/stores -----
+        Instr::FLoad { fmt, rd, rs1, offset } => {
+            let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
+            let bytes = fmt.width() / 8;
+            let raw = cpu.mem.load(addr, bytes)? as u64;
+            write_boxed(cpu, fmt, rd, raw);
+            cycles = mem_lat;
+        }
+        Instr::FStore { fmt, rs2, rs1, offset } => {
+            let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
+            let bytes = fmt.width() / 8;
+            cpu.mem.store(addr, bytes, cpu.freg(rs2))?;
+            cycles = mem_lat;
+        }
+
+        // ----- Scalar FP arithmetic -----
+        Instr::FOp { op, fmt, rd, rs1, rs2, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let a = unbox(cpu, fmt, rs1);
+            let b = unbox(cpu, fmt, rs2);
+            let f = fmt.format();
+            let r = match op {
+                FpOp::Add => ops::add(f, a, b, &mut env),
+                FpOp::Sub => ops::sub(f, a, b, &mut env),
+                FpOp::Mul => ops::mul(f, a, b, &mut env),
+                FpOp::Div => ops::div(f, a, b, &mut env),
+            };
+            write_boxed(cpu, fmt, rd, r);
+            cpu.fflags.set(env.flags);
+            cycles = if op == FpOp::Div { t.fp_div } else { t.fp_op };
+        }
+        Instr::FSqrt { fmt, rd, rs1, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let r = ops::sqrt(fmt.format(), unbox(cpu, fmt, rs1), &mut env);
+            write_boxed(cpu, fmt, rd, r);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_sqrt;
+        }
+        Instr::FSgnj { kind, fmt, rd, rs1, rs2 } => {
+            let a = unbox(cpu, fmt, rs1);
+            let b = unbox(cpu, fmt, rs2);
+            let f = fmt.format();
+            let r = match kind {
+                SgnjKind::Sgnj => ops::fsgnj(f, a, b),
+                SgnjKind::Sgnjn => ops::fsgnjn(f, a, b),
+                SgnjKind::Sgnjx => ops::fsgnjx(f, a, b),
+            };
+            write_boxed(cpu, fmt, rd, r);
+            cycles = t.fp_op;
+        }
+        Instr::FMinMax { op, fmt, rd, rs1, rs2 } => {
+            let mut env = Env::new(Rounding::Rne);
+            let a = unbox(cpu, fmt, rs1);
+            let b = unbox(cpu, fmt, rs2);
+            let r = match op {
+                MinMaxOp::Min => ops::fmin(fmt.format(), a, b, &mut env),
+                MinMaxOp::Max => ops::fmax(fmt.format(), a, b, &mut env),
+            };
+            write_boxed(cpu, fmt, rd, r);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::FFma { op, fmt, rd, rs1, rs2, rs3, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let a = unbox(cpu, fmt, rs1);
+            let b = unbox(cpu, fmt, rs2);
+            let c = unbox(cpu, fmt, rs3);
+            let f = fmt.format();
+            let r = match op {
+                FmaOp::Madd => ops::fmadd(f, a, b, c, &mut env),
+                FmaOp::Msub => ops::fmsub(f, a, b, c, &mut env),
+                FmaOp::Nmsub => ops::fnmsub(f, a, b, c, &mut env),
+                FmaOp::Nmadd => ops::fnmadd(f, a, b, c, &mut env),
+            };
+            write_boxed(cpu, fmt, rd, r);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::FCmp { op, fmt, rd, rs1, rs2 } => {
+            let mut env = Env::new(Rounding::Rne);
+            let a = unbox(cpu, fmt, rs1);
+            let b = unbox(cpu, fmt, rs2);
+            let f = fmt.format();
+            let r = match op {
+                CmpOp::Eq => ops::feq(f, a, b, &mut env),
+                CmpOp::Lt => ops::flt(f, a, b, &mut env),
+                CmpOp::Le => ops::fle(f, a, b, &mut env),
+            };
+            cpu.set_xreg(rd, r as u32);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::FClass { fmt, rd, rs1 } => {
+            cpu.set_xreg(rd, ops::classify(fmt.format(), unbox(cpu, fmt, rs1)));
+            cycles = t.fp_op;
+        }
+        Instr::FMvXF { fmt, rd, rs1 } => {
+            let raw = (cpu.freg(rs1) as u64 & fmt.format().mask()) as u32;
+            cpu.set_xreg(rd, sext(raw, fmt.width()));
+            cycles = t.fp_op;
+        }
+        Instr::FMvFX { fmt, rd, rs1 } => {
+            write_boxed(cpu, fmt, rd, cpu.xreg(rs1) as u64 & fmt.format().mask());
+            cycles = t.fp_op;
+        }
+        Instr::FCvtFF { dst, src, rd, rs1, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let r = ops::cvt_f_f(dst.format(), src.format(), unbox(cpu, src, rs1), &mut env);
+            write_boxed(cpu, dst, rd, r);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::FCvtFI { fmt, rd, rs1, signed, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let r = ops::to_int(fmt.format(), unbox(cpu, fmt, rs1), signed, 32, &mut env);
+            cpu.set_xreg(rd, r as u32);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::FCvtIF { fmt, rd, rs1, signed, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let x = cpu.xreg(rs1);
+            let r = if signed {
+                ops::from_i64(fmt.format(), x as i32 as i64, &mut env)
+            } else {
+                ops::from_u64(fmt.format(), x as u64, &mut env)
+            };
+            write_boxed(cpu, fmt, rd, r);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+
+        // ----- Xfaux scalar expanding -----
+        Instr::FMulEx { fmt, rd, rs1, rs2, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let a = widen_to_s(fmt, unbox(cpu, fmt, rs1));
+            let b = widen_to_s(fmt, unbox(cpu, fmt, rs2));
+            let r = ops::mul(Format::BINARY32, a, b, &mut env);
+            cpu.set_freg(rd, r as u32);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::FMacEx { fmt, rd, rs1, rs2, rm } => {
+            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            let a = widen_to_s(fmt, unbox(cpu, fmt, rs1));
+            let b = widen_to_s(fmt, unbox(cpu, fmt, rs2));
+            let acc = cpu.freg(rd) as u64;
+            let r = ops::fmadd(Format::BINARY32, a, b, acc, &mut env);
+            cpu.set_freg(rd, r as u32);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+
+        // ----- Xfvec -----
+        Instr::VFOp { op, fmt, rd, rs1, rs2, rep } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let va = cpu.freg(rs1);
+            let vb = cpu.freg(rs2);
+            let vd = cpu.freg(rd);
+            let f = fmt.format();
+            let mut out = vd;
+            for i in 0..n {
+                let a = get_lane(va, i, w);
+                let b = get_lane(vb, if rep { 0 } else { i }, w);
+                let r = match op {
+                    VfOp::Add => ops::add(f, a, b, &mut env),
+                    VfOp::Sub => ops::sub(f, a, b, &mut env),
+                    VfOp::Mul => ops::mul(f, a, b, &mut env),
+                    VfOp::Div => ops::div(f, a, b, &mut env),
+                    VfOp::Min => ops::fmin(f, a, b, &mut env),
+                    VfOp::Max => ops::fmax(f, a, b, &mut env),
+                    VfOp::Mac => ops::fmadd(f, a, b, get_lane(vd, i, w), &mut env),
+                    VfOp::Sgnj => ops::fsgnj(f, a, b),
+                    VfOp::Sgnjn => ops::fsgnjn(f, a, b),
+                    VfOp::Sgnjx => ops::fsgnjx(f, a, b),
+                };
+                out = set_lane(out, i, w, r);
+            }
+            cpu.set_freg(rd, out);
+            cpu.fflags.set(env.flags);
+            cycles = if op == VfOp::Div { t.fp_div } else { t.fp_op };
+        }
+        Instr::VFSqrt { fmt, rd, rs1 } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let va = cpu.freg(rs1);
+            let mut out = cpu.freg(rd);
+            for i in 0..n {
+                let r = ops::sqrt(fmt.format(), get_lane(va, i, w), &mut env);
+                out = set_lane(out, i, w, r);
+            }
+            cpu.set_freg(rd, out);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_sqrt;
+        }
+        Instr::VFCmp { op, fmt, rd, rs1, rs2, rep } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let mut env = Env::new(Rounding::Rne);
+            let va = cpu.freg(rs1);
+            let vb = cpu.freg(rs2);
+            let f = fmt.format();
+            let mut mask = 0u32;
+            for i in 0..n {
+                let a = get_lane(va, i, w);
+                let b = get_lane(vb, if rep { 0 } else { i }, w);
+                let r = match op {
+                    VCmpOp::Eq => ops::feq(f, a, b, &mut env),
+                    VCmpOp::Ne => {
+                        // NaN != x is true (IEEE unordered), quiet like feq.
+                        let nan = f.is_nan(a) || f.is_nan(b);
+                        nan || !ops::feq(f, a, b, &mut env)
+                    }
+                    VCmpOp::Lt => ops::flt(f, a, b, &mut env),
+                    VCmpOp::Le => ops::fle(f, a, b, &mut env),
+                    VCmpOp::Gt => ops::flt(f, b, a, &mut env),
+                    VCmpOp::Ge => ops::fle(f, b, a, &mut env),
+                };
+                mask |= (r as u32) << i;
+            }
+            cpu.set_xreg(rd, mask);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::VFCvtFF { dst, src, rd, rs1 } => {
+            if dst.width() != src.width() {
+                return Err(SimError::VectorUnsupported { pc });
+            }
+            let (n, w) = lanes_of(dst, pc)?;
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let va = cpu.freg(rs1);
+            let mut out = cpu.freg(rd);
+            for i in 0..n {
+                let r = ops::cvt_f_f(dst.format(), src.format(), get_lane(va, i, w), &mut env);
+                out = set_lane(out, i, w, r);
+            }
+            cpu.set_freg(rd, out);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::VFCvtXF { fmt, rd, rs1, signed } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let va = cpu.freg(rs1);
+            let mut out = cpu.freg(rd);
+            for i in 0..n {
+                let r = ops::to_int(fmt.format(), get_lane(va, i, w), signed, w, &mut env);
+                out = set_lane(out, i, w, r & ((1 << w) - 1));
+            }
+            cpu.set_freg(rd, out);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::VFCvtFX { fmt, rd, rs1, signed } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let va = cpu.freg(rs1);
+            let mut out = cpu.freg(rd);
+            for i in 0..n {
+                let raw = get_lane(va, i, w) as u32;
+                let r = if signed {
+                    ops::from_i64(fmt.format(), sext(raw, w) as i32 as i64, &mut env)
+                } else {
+                    ops::from_u64(fmt.format(), raw as u64, &mut env)
+                };
+                out = set_lane(out, i, w, r);
+            }
+            cpu.set_freg(rd, out);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::VFCpk { fmt, half, rd, rs1, rs2 } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let base = match half {
+                CpkHalf::A => 0,
+                CpkHalf::B => 2,
+            };
+            if base + 1 >= n {
+                return Err(SimError::VectorUnsupported { pc });
+            }
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let a = ops::cvt_f_f(fmt.format(), Format::BINARY32, cpu.freg(rs1) as u64, &mut env);
+            let b = ops::cvt_f_f(fmt.format(), Format::BINARY32, cpu.freg(rs2) as u64, &mut env);
+            let mut out = cpu.freg(rd);
+            out = set_lane(out, base, w, a);
+            out = set_lane(out, base + 1, w, b);
+            cpu.set_freg(rd, out);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+        Instr::VFDotpEx { fmt, rd, rs1, rs2, rep } => {
+            let (n, w) = lanes_of(fmt, pc)?;
+            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let mut env = Env::new(frm);
+            let va = cpu.freg(rs1);
+            let vb = cpu.freg(rs2);
+            // Accumulate lane products into the binary32 destination, lane 0
+            // first, each step a single-rounding FMA (FPnew SDOTP order).
+            let mut acc = cpu.freg(rd) as u64;
+            for i in 0..n {
+                let a = widen_to_s(fmt, get_lane(va, i, w));
+                let b = widen_to_s(fmt, get_lane(vb, if rep { 0 } else { i }, w));
+                acc = ops::fmadd(Format::BINARY32, a, b, acc, &mut env);
+            }
+            cpu.set_freg(rd, acc as u32);
+            cpu.fflags.set(env.flags);
+            cycles = t.fp_op;
+        }
+    }
+
+    // ----- Accounting -----
+    cpu.stats.count(instr.class(), cycles);
+    cpu.stats.instret += 1;
+    cpu.stats.cycles += cycles;
+    cpu.stats.energy_pj += cpu.config.energy.op_energy(&instr, cpu.config.mem_level)
+        + cpu.config.energy.idle_per_cycle * cycles as f64;
+    cpu.pc = next_pc;
+    Ok(exit)
+}
+
+fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+    match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Sll => a.wrapping_shl(b & 0x1f),
+        AluOp::Slt => ((a as i32) < (b as i32)) as u32,
+        AluOp::Sltu => (a < b) as u32,
+        AluOp::Xor => a ^ b,
+        AluOp::Srl => a.wrapping_shr(b & 0x1f),
+        AluOp::Sra => ((a as i32).wrapping_shr(b & 0x1f)) as u32,
+        AluOp::Or => a | b,
+        AluOp::And => a & b,
+    }
+}
+
+fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+    match op {
+        MulDivOp::Mul => a.wrapping_mul(b),
+        MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,
+        MulDivOp::Mulhsu => (((a as i32 as i64) * (b as u64 as i64)) >> 32) as u32,
+        MulDivOp::Mulhu => (((a as u64) * (b as u64)) >> 32) as u32,
+        MulDivOp::Div => {
+            if b == 0 {
+                u32::MAX
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                a // overflow: MIN / -1 = MIN
+            } else {
+                ((a as i32) / (b as i32)) as u32
+            }
+        }
+        MulDivOp::Divu => {
+            if b == 0 {
+                u32::MAX
+            } else {
+                a / b
+            }
+        }
+        MulDivOp::Rem => {
+            if b == 0 {
+                a
+            } else if a == 0x8000_0000 && b == u32::MAX {
+                0
+            } else {
+                ((a as i32) % (b as i32)) as u32
+            }
+        }
+        MulDivOp::Remu => {
+            if b == 0 {
+                a
+            } else {
+                a % b
+            }
+        }
+    }
+}
+
+fn read_csr(cpu: &Cpu, num: u16, pc: u32) -> Result<u32, SimError> {
+    Ok(match num {
+        csr::FFLAGS => cpu.fflags.bits() as u32,
+        csr::FRM => cpu.frm_raw as u32,
+        csr::FCSR => ((cpu.frm_raw as u32) << 5) | cpu.fflags.bits() as u32,
+        csr::CYCLE | csr::TIME | csr::MCYCLE => cpu.stats.cycles as u32,
+        csr::CYCLEH => (cpu.stats.cycles >> 32) as u32,
+        csr::INSTRET | csr::MINSTRET => cpu.stats.instret as u32,
+        csr::INSTRETH => (cpu.stats.instret >> 32) as u32,
+        _ => return Err(SimError::UnknownCsr { csr: num, pc }),
+    })
+}
+
+fn write_csr(cpu: &mut Cpu, num: u16, v: u32, pc: u32) -> Result<(), SimError> {
+    match num {
+        csr::FFLAGS => cpu.fflags = smallfloat_softfp::Flags::from_bits(v as u8),
+        csr::FRM => cpu.frm_raw = (v & 0x7) as u8,
+        csr::FCSR => {
+            cpu.frm_raw = ((v >> 5) & 0x7) as u8;
+            cpu.fflags = smallfloat_softfp::Flags::from_bits(v as u8);
+        }
+        // Machine counters accept writes but the simulator keeps authority
+        // over its own accounting; writes are ignored.
+        csr::MCYCLE | csr::MINSTRET => {}
+        _ => return Err(SimError::UnknownCsr { csr: num, pc }),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alu_ops() {
+        assert_eq!(alu(AluOp::Add, 2_000_000_000, 2_000_000_000), 4_000_000_000u32.wrapping_sub(0));
+        assert_eq!(alu(AluOp::Sub, 1, 2), u32::MAX);
+        assert_eq!(alu(AluOp::Sll, 1, 33), 2, "shift amount masked to 5 bits");
+        assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
+        assert_eq!(alu(AluOp::Slt, u32::MAX, 0), 1, "signed -1 < 0");
+        assert_eq!(alu(AluOp::Sltu, u32::MAX, 0), 0);
+    }
+
+    #[test]
+    fn muldiv_edge_cases() {
+        assert_eq!(muldiv(MulDivOp::Div, 7, 0), u32::MAX, "div by zero = -1");
+        assert_eq!(muldiv(MulDivOp::Rem, 7, 0), 7, "rem by zero = dividend");
+        assert_eq!(muldiv(MulDivOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000, "overflow");
+        assert_eq!(muldiv(MulDivOp::Rem, 0x8000_0000, u32::MAX), 0);
+        assert_eq!(muldiv(MulDivOp::Mulh, u32::MAX, u32::MAX), 0, "(-1)*(-1) high = 0");
+        assert_eq!(muldiv(MulDivOp::Mulhu, u32::MAX, u32::MAX), 0xffff_fffe);
+        assert_eq!(muldiv(MulDivOp::Divu, 7, 2), 3);
+    }
+
+    #[test]
+    fn lane_accessors() {
+        let reg = 0xaabb_ccdd;
+        assert_eq!(get_lane(reg, 0, 16), 0xccdd);
+        assert_eq!(get_lane(reg, 1, 16), 0xaabb);
+        assert_eq!(get_lane(reg, 2, 8), 0xbb);
+        assert_eq!(set_lane(reg, 1, 16, 0x1122), 0x1122_ccdd);
+        assert_eq!(set_lane(reg, 0, 8, 0xff), 0xaabb_ccff);
+    }
+
+    #[test]
+    fn sign_extension() {
+        assert_eq!(sext(0x80, 8), 0xffff_ff80);
+        assert_eq!(sext(0x7f, 8), 0x7f);
+        assert_eq!(sext(0x8000, 16), 0xffff_8000);
+        assert_eq!(sext(0xdead_beef, 32), 0xdead_beef);
+    }
+}

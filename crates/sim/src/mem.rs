@@ -1,0 +1,137 @@
+//! Flat little-endian byte-addressable memory.
+
+use crate::cpu::SimError;
+
+/// Simulator memory: a flat little-endian byte array starting at address 0.
+///
+/// Natural alignment is enforced on every access — misalignment in generated
+/// code is always a bug we want surfaced, not silently tolerated.
+#[derive(Clone)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Memory({} bytes)", self.bytes.len())
+    }
+}
+
+impl Memory {
+    /// Allocate `size` bytes of zeroed memory.
+    pub fn new(size: usize) -> Memory {
+        Memory { bytes: vec![0; size] }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, addr: u32, len: u32) -> Result<usize, SimError> {
+        let a = addr as usize;
+        if len > 1 && addr % len != 0 {
+            return Err(SimError::Misaligned { addr });
+        }
+        if a + len as usize > self.bytes.len() {
+            return Err(SimError::OutOfBounds { addr });
+        }
+        Ok(a)
+    }
+
+    /// Load `len` ∈ {1, 2, 4} bytes, zero-extended.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Misaligned`] for unaligned accesses,
+    /// [`SimError::OutOfBounds`] past the end of memory.
+    pub fn load(&self, addr: u32, len: u32) -> Result<u32, SimError> {
+        let a = self.check(addr, len)?;
+        Ok(match len {
+            1 => self.bytes[a] as u32,
+            2 => u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]) as u32,
+            4 => u32::from_le_bytes([
+                self.bytes[a],
+                self.bytes[a + 1],
+                self.bytes[a + 2],
+                self.bytes[a + 3],
+            ]),
+            _ => unreachable!("unsupported access width"),
+        })
+    }
+
+    /// Store the low `len` ∈ {1, 2, 4} bytes of `value`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Memory::load`].
+    pub fn store(&mut self, addr: u32, len: u32, value: u32) -> Result<(), SimError> {
+        let a = self.check(addr, len)?;
+        match len {
+            1 => self.bytes[a] = value as u8,
+            2 => self.bytes[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes()),
+            _ => unreachable!("unsupported access width"),
+        }
+        Ok(())
+    }
+
+    /// Copy a byte slice into memory (no alignment requirement).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
+        let a = addr as usize;
+        self.bytes[a..a + data.len()].copy_from_slice(data);
+    }
+
+    /// Read a byte slice out of memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
+        let a = addr as usize;
+        &self.bytes[a..a + len]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_widths() {
+        let mut m = Memory::new(64);
+        m.store(0, 4, 0xdead_beef).unwrap();
+        assert_eq!(m.load(0, 4).unwrap(), 0xdead_beef);
+        assert_eq!(m.load(0, 2).unwrap(), 0xbeef);
+        assert_eq!(m.load(2, 2).unwrap(), 0xdead);
+        assert_eq!(m.load(3, 1).unwrap(), 0xde);
+        m.store(8, 2, 0x1234).unwrap();
+        assert_eq!(m.load(8, 4).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn alignment_enforced() {
+        let m = Memory::new(64);
+        assert_eq!(m.load(1, 4), Err(SimError::Misaligned { addr: 1 }));
+        assert_eq!(m.load(1, 2), Err(SimError::Misaligned { addr: 1 }));
+        assert!(m.load(1, 1).is_ok());
+    }
+
+    #[test]
+    fn bounds_enforced() {
+        let m = Memory::new(8);
+        assert_eq!(m.load(8, 4), Err(SimError::OutOfBounds { addr: 8 }));
+        assert!(m.load(4, 4).is_ok());
+    }
+
+    #[test]
+    fn byte_slices() {
+        let mut m = Memory::new(16);
+        m.write_bytes(4, &[1, 2, 3]);
+        assert_eq!(m.read_bytes(4, 3), &[1, 2, 3]);
+    }
+}

@@ -1,0 +1,155 @@
+//! Execution statistics: cycles, energy, and per-class instruction counts.
+
+use smallfloat_isa::InstrClass;
+use std::fmt;
+
+/// Counters accumulated during execution.
+///
+/// `counts` is indexed by [`InstrClass`]; the breakdown feeds the paper's
+/// Figure 4 (instruction-count breakdown under mixed precision).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Stats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Retired instructions.
+    pub instret: u64,
+    /// Total energy in picojoules (per-op energies + idle × cycles).
+    pub energy_pj: f64,
+    counts: [u64; InstrClass::ALL.len()],
+    cycles_by_class: [u64; InstrClass::ALL.len()],
+}
+
+impl Stats {
+    /// A zeroed statistics block.
+    pub fn new() -> Stats {
+        Stats::default()
+    }
+
+    pub(crate) fn count(&mut self, class: InstrClass, cycles: u64) {
+        let i = class_index(class);
+        self.counts[i] += 1;
+        self.cycles_by_class[i] += cycles;
+    }
+
+    /// Instructions retired in a class.
+    pub fn class_count(&self, class: InstrClass) -> u64 {
+        self.counts[class_index(class)]
+    }
+
+    /// Cycles attributed to a class (each instruction's full cost,
+    /// including its memory stall cycles).
+    pub fn class_cycles(&self, class: InstrClass) -> u64 {
+        self.cycles_by_class[class_index(class)]
+    }
+
+    /// Fraction of total cycles spent in memory operations — the knob the
+    /// paper's Figure 2/3 latency sweep turns.
+    pub fn mem_cycle_fraction(&self) -> f64 {
+        let mem: u64 = [
+            InstrClass::Load,
+            InstrClass::Store,
+            InstrClass::FpLoad,
+            InstrClass::FpStore,
+        ]
+        .iter()
+        .map(|&c| self.class_cycles(c))
+        .sum();
+        if self.cycles == 0 {
+            0.0
+        } else {
+            mem as f64 / self.cycles as f64
+        }
+    }
+
+    /// All (class, count) pairs with nonzero counts, in display order.
+    pub fn breakdown(&self) -> Vec<(InstrClass, u64)> {
+        InstrClass::ALL
+            .iter()
+            .map(|&c| (c, self.class_count(c)))
+            .filter(|&(_, n)| n > 0)
+            .collect()
+    }
+
+    /// Total memory operations (integer + FP, loads + stores).
+    pub fn mem_ops(&self) -> u64 {
+        self.class_count(InstrClass::Load)
+            + self.class_count(InstrClass::Store)
+            + self.class_count(InstrClass::FpLoad)
+            + self.class_count(InstrClass::FpStore)
+    }
+
+    /// Total FP operations of any kind.
+    pub fn fp_ops(&self) -> u64 {
+        use InstrClass::*;
+        [FpS, FpH, FpAh, FpB, FpVecH, FpVecAh, FpVecB, FpCvt, FpCpk, FpExpand, FpCmp, FpMove]
+            .iter()
+            .map(|&c| self.class_count(c))
+            .sum()
+    }
+
+    /// Energy in nanojoules.
+    pub fn energy_nj(&self) -> f64 {
+        self.energy_pj / 1000.0
+    }
+}
+
+fn class_index(class: InstrClass) -> usize {
+    InstrClass::ALL.iter().position(|&c| c == class).expect("class present in ALL")
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycles: {}  instret: {}  energy: {:.1} nJ",
+            self.cycles,
+            self.instret,
+            self.energy_nj()
+        )?;
+        for (class, n) in self.breakdown() {
+            writeln!(f, "  {:>12}: {:>10} instrs {:>10} cycles", class.label(), n,
+                self.class_cycles(class))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accumulate() {
+        let mut s = Stats::new();
+        s.count(InstrClass::IntAlu, 1);
+        s.count(InstrClass::IntAlu, 1);
+        s.count(InstrClass::FpVecH, 1);
+        assert_eq!(s.class_count(InstrClass::IntAlu), 2);
+        assert_eq!(s.class_count(InstrClass::FpVecH), 1);
+        assert_eq!(s.class_count(InstrClass::FpS), 0);
+        assert_eq!(s.breakdown().len(), 2);
+    }
+
+    #[test]
+    fn aggregates() {
+        let mut s = Stats::new();
+        s.count(InstrClass::Load, 10);
+        s.count(InstrClass::FpStore, 10);
+        s.count(InstrClass::FpVecB, 1);
+        assert_eq!(s.mem_ops(), 2);
+        assert_eq!(s.fp_ops(), 1);
+        assert_eq!(s.class_cycles(InstrClass::Load), 10);
+        s.cycles = 21;
+        assert!((s.mem_cycle_fraction() - 20.0 / 21.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_labels() {
+        let mut s = Stats::new();
+        s.count(InstrClass::FpExpand, 1);
+        s.cycles = 10;
+        let text = s.to_string();
+        assert!(text.contains("fp-expand"));
+        assert!(text.contains("cycles: 10"));
+    }
+}

@@ -1,0 +1,112 @@
+//! The RISCY-like timing model (DESIGN.md §6).
+
+/// Memory hierarchy level determining load/store latency, as in the paper's
+/// Figures 2 and 3: "L1" = 1-cycle accesses, "L2" = 10 cycles, "L3" = 100.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MemLevel {
+    /// 1-cycle accesses (tightly-coupled / L1 data memory).
+    #[default]
+    L1,
+    /// 10-cycle accesses.
+    L2,
+    /// 100-cycle accesses.
+    L3,
+}
+
+impl MemLevel {
+    /// All levels in increasing-latency order.
+    pub const ALL: [MemLevel; 3] = [MemLevel::L1, MemLevel::L2, MemLevel::L3];
+
+    /// Access latency in cycles.
+    pub fn latency(self) -> u64 {
+        match self {
+            MemLevel::L1 => 1,
+            MemLevel::L2 => 10,
+            MemLevel::L3 => 100,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemLevel::L1 => "L1",
+            MemLevel::L2 => "L2",
+            MemLevel::L3 => "L3",
+        }
+    }
+}
+
+/// Per-class cycle costs of the in-order single-issue core.
+///
+/// The defaults model the PULP RISCY core with an FPnew-style FPU: 1-cycle
+/// integer ALU and single-cycle pipelined FP (scalar *and* SIMD — that
+/// equal-latency property is exactly what makes sub-word parallelism pay
+/// off), multi-cycle divide/sqrt, a taken-branch flush penalty, and
+/// memory-level-dependent load/store latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimingModel {
+    /// Integer ALU, moves, CSR ops.
+    pub int_alu: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide/remainder.
+    pub int_div: u64,
+    /// Branch when not taken.
+    pub branch_not_taken: u64,
+    /// Branch when taken (pipeline flush).
+    pub branch_taken: u64,
+    /// Unconditional jumps.
+    pub jump: u64,
+    /// FP add/sub/mul/MAC/conversion/compare/move — scalar or SIMD.
+    pub fp_op: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// FP square root.
+    pub fp_sqrt: u64,
+}
+
+impl TimingModel {
+    /// The RISCY-like model used throughout the evaluation.
+    pub fn riscy() -> TimingModel {
+        TimingModel {
+            int_alu: 1,
+            int_mul: 1,
+            int_div: 35,
+            branch_not_taken: 1,
+            branch_taken: 3,
+            jump: 2,
+            fp_op: 1,
+            fp_div: 18,
+            fp_sqrt: 18,
+        }
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> TimingModel {
+        TimingModel::riscy()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_match_paper() {
+        assert_eq!(MemLevel::L1.latency(), 1);
+        assert_eq!(MemLevel::L2.latency(), 10);
+        assert_eq!(MemLevel::L3.latency(), 100);
+    }
+
+    #[test]
+    fn default_is_riscy() {
+        assert_eq!(TimingModel::default(), TimingModel::riscy());
+        assert_eq!(TimingModel::default().fp_op, 1);
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(MemLevel::L2.label(), "L2");
+    }
+}

@@ -1,0 +1,210 @@
+//! Rounding modes and accrued exception flags (the software `fcsr`).
+
+use std::fmt;
+
+/// IEEE 754 / RISC-V rounding mode.
+///
+/// The numeric discriminants match the RISC-V `frm` encoding so the
+/// simulator can move values between `fcsr` and this enum without a table.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+#[repr(u8)]
+pub enum Rounding {
+    /// Round to nearest, ties to even (the IEEE default).
+    #[default]
+    Rne = 0,
+    /// Round towards zero (truncate).
+    Rtz = 1,
+    /// Round down (towards negative infinity).
+    Rdn = 2,
+    /// Round up (towards positive infinity).
+    Rup = 3,
+    /// Round to nearest, ties to max magnitude (away from zero).
+    Rmm = 4,
+}
+
+impl Rounding {
+    /// All five rounding modes, in `frm` encoding order.
+    pub const ALL: [Rounding; 5] =
+        [Rounding::Rne, Rounding::Rtz, Rounding::Rdn, Rounding::Rup, Rounding::Rmm];
+
+    /// Decode a RISC-V `frm` field value.
+    ///
+    /// Returns `None` for the reserved encodings 5 and 6 and for 7 (`DYN`,
+    /// which is only meaningful in an instruction's `rm` field, not in
+    /// `fcsr.frm`).
+    pub fn from_frm(frm: u8) -> Option<Rounding> {
+        match frm {
+            0 => Some(Rounding::Rne),
+            1 => Some(Rounding::Rtz),
+            2 => Some(Rounding::Rdn),
+            3 => Some(Rounding::Rup),
+            4 => Some(Rounding::Rmm),
+            _ => None,
+        }
+    }
+
+    /// The RISC-V `frm` encoding of this mode.
+    pub fn to_frm(self) -> u8 {
+        self as u8
+    }
+}
+
+impl fmt::Display for Rounding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Rounding::Rne => "rne",
+            Rounding::Rtz => "rtz",
+            Rounding::Rdn => "rdn",
+            Rounding::Rup => "rup",
+            Rounding::Rmm => "rmm",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accrued IEEE exception flags, laid out as in the RISC-V `fflags` CSR.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Flags(u8);
+
+impl Flags {
+    /// No flags raised.
+    pub const NONE: Flags = Flags(0);
+    /// Inexact result (`NX`, bit 0).
+    pub const NX: Flags = Flags(1 << 0);
+    /// Underflow (`UF`, bit 1).
+    pub const UF: Flags = Flags(1 << 1);
+    /// Overflow (`OF`, bit 2).
+    pub const OF: Flags = Flags(1 << 2);
+    /// Divide by zero (`DZ`, bit 3).
+    pub const DZ: Flags = Flags(1 << 3);
+    /// Invalid operation (`NV`, bit 4).
+    pub const NV: Flags = Flags(1 << 4);
+
+    /// Construct from the raw 5-bit `fflags` value (upper bits ignored).
+    pub fn from_bits(bits: u8) -> Flags {
+        Flags(bits & 0x1f)
+    }
+
+    /// The raw 5-bit `fflags` value.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// True if no flag is set.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True if every flag in `other` is also set in `self`.
+    pub fn contains(self, other: Flags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Accrue the flags in `other`.
+    pub fn set(&mut self, other: Flags) {
+        self.0 |= other.0;
+    }
+}
+
+impl std::ops::BitOr for Flags {
+    type Output = Flags;
+    fn bitor(self, rhs: Flags) -> Flags {
+        Flags(self.0 | rhs.0)
+    }
+}
+
+impl std::ops::BitOrAssign for Flags {
+    fn bitor_assign(&mut self, rhs: Flags) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Display for Flags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return f.write_str("-");
+        }
+        let mut first = true;
+        for (flag, name) in [
+            (Flags::NV, "NV"),
+            (Flags::DZ, "DZ"),
+            (Flags::OF, "OF"),
+            (Flags::UF, "UF"),
+            (Flags::NX, "NX"),
+        ] {
+            if self.contains(flag) {
+                if !first {
+                    f.write_str("|")?;
+                }
+                f.write_str(name)?;
+                first = false;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Floating-point environment: the active rounding mode plus accrued flags.
+///
+/// Every operation in [`crate::ops`] reads `rm` and ORs any raised
+/// exceptions into `flags`, mirroring how a RISC-V core updates
+/// `fcsr.fflags`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Env {
+    /// Active rounding mode.
+    pub rm: Rounding,
+    /// Accrued exception flags.
+    pub flags: Flags,
+}
+
+impl Env {
+    /// Create an environment with the given rounding mode and clear flags.
+    pub fn new(rm: Rounding) -> Env {
+        Env { rm, flags: Flags::NONE }
+    }
+
+    /// Clear the accrued flags, returning the previous value.
+    pub fn take_flags(&mut self) -> Flags {
+        std::mem::take(&mut self.flags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frm_round_trip() {
+        for rm in Rounding::ALL {
+            assert_eq!(Rounding::from_frm(rm.to_frm()), Some(rm));
+        }
+        assert_eq!(Rounding::from_frm(5), None);
+        assert_eq!(Rounding::from_frm(7), None);
+    }
+
+    #[test]
+    fn flags_accrue() {
+        let mut f = Flags::NONE;
+        assert!(f.is_empty());
+        f.set(Flags::NX);
+        f |= Flags::OF;
+        assert!(f.contains(Flags::NX));
+        assert!(f.contains(Flags::OF | Flags::NX));
+        assert!(!f.contains(Flags::NV));
+        assert_eq!(f.bits(), 0b101);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!((Flags::NV | Flags::NX).to_string(), "NV|NX");
+        assert_eq!(Flags::NONE.to_string(), "-");
+    }
+
+    #[test]
+    fn env_take_flags() {
+        let mut env = Env::new(Rounding::Rtz);
+        env.flags.set(Flags::UF);
+        assert_eq!(env.take_flags(), Flags::UF);
+        assert!(env.flags.is_empty());
+    }
+}

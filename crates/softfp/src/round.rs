@@ -1,0 +1,313 @@
+//! The core rounding/packing routine shared by every arithmetic operation.
+//!
+//! All operations reduce their exact (or correctly sticky-compressed) result
+//! to the form `(-1)^sign * m * 2^e` with `m` a `u128` integer and hand it to
+//! [`round_pack`], which performs IEEE-754 rounding into the target format,
+//! including overflow, subnormal and underflow handling and flag accrual.
+
+use crate::env::{Flags, Rounding};
+use crate::format::Format;
+
+/// Shift `m` right by `n` bits, ORing any shifted-out bits into the LSB
+/// ("jamming"/sticky shift). `n` may exceed 127.
+pub(crate) fn shift_right_jam(m: u128, n: u32) -> u128 {
+    if n == 0 {
+        m
+    } else if n > 127 {
+        u128::from(m != 0)
+    } else {
+        let lost = m & ((1u128 << n) - 1);
+        (m >> n) | u128::from(lost != 0)
+    }
+}
+
+/// Should the magnitude be incremented when rounding, given the discarded
+/// remainder `rem` out of `2^shift` and the current LSB parity?
+fn round_increment(rm: Rounding, sign: bool, rem: u128, half: u128, lsb_odd: bool) -> bool {
+    if rem == 0 {
+        return false;
+    }
+    match rm {
+        Rounding::Rne => rem > half || (rem == half && lsb_odd),
+        Rounding::Rmm => rem >= half,
+        Rounding::Rtz => false,
+        Rounding::Rdn => sign,
+        Rounding::Rup => !sign,
+    }
+}
+
+/// Round `(-1)^sign * m * 2^e` into `fmt` under rounding mode `rm`,
+/// accruing exception flags into `flags`.
+///
+/// `m == 0` yields a (signed) zero without flags. The sticky LSB convention
+/// is honoured: callers that compressed low-order bits must have ORed them
+/// into the LSB of `m` at the correct weight boundary (i.e. the discarded
+/// value was strictly below one unit of `m`'s LSB).
+pub(crate) fn round_pack(
+    fmt: Format,
+    sign: bool,
+    e: i32,
+    m: u128,
+    rm: Rounding,
+    flags: &mut Flags,
+) -> u64 {
+    if m == 0 {
+        return fmt.zero(sign);
+    }
+    let man = fmt.man_bits() as i32;
+    let h = 127 - m.leading_zeros() as i32; // MSB position: value in [2^(e+h), 2^(e+h+1))
+    let e0 = e + h; // exact floor(log2 |v|)
+    let mut e_real = e0;
+
+    // --- Rounding with unbounded exponent range (p = man+1 bits kept). ---
+    let shift = h - man;
+    let (mut sig, rem, half) = if shift <= 0 {
+        (m << (-shift) as u32, 0u128, 0u128)
+    } else {
+        let s = shift as u32;
+        (m >> s, m & ((1u128 << s) - 1), 1u128 << (s - 1))
+    };
+    let inexact = rem != 0;
+    if round_increment(rm, sign, rem, half, sig & 1 == 1) {
+        sig += 1;
+        if sig >> (man as u32 + 1) != 0 {
+            sig >>= 1;
+            e_real += 1;
+        }
+    }
+
+    // --- Overflow. ---
+    if e_real > fmt.emax() {
+        flags.set(Flags::OF | Flags::NX);
+        let to_inf = match rm {
+            Rounding::Rne | Rounding::Rmm => true,
+            Rounding::Rtz => false,
+            Rounding::Rdn => sign,
+            Rounding::Rup => !sign,
+        };
+        return if to_inf { fmt.infinity(sign) } else { fmt.max_finite(sign) };
+    }
+
+    // --- Normal result. ---
+    if e_real >= fmt.emin() {
+        if inexact {
+            flags.set(Flags::NX);
+        }
+        let exp_field = (e_real + fmt.bias()) as u64;
+        let bits = (exp_field << fmt.man_bits()) | (sig as u64 & fmt.man_mask());
+        return if sign { bits | fmt.sign_bit() } else { bits };
+    }
+
+    // --- Subnormal range: re-round the *original* m with the LSB weight
+    // pinned at 2^(emin - man) to avoid double rounding. ---
+    // Reaching here means the unbounded-exponent rounded result is below the
+    // smallest normal, i.e. the result is tiny *after rounding* (RISC-V's
+    // tininess detection), so UF accompanies any inexactness.
+    let target_e = fmt.emin() - man;
+    let shift2 = target_e - e;
+    let (mut sig2, rem2, half2) = if shift2 <= 0 {
+        (m << (-shift2) as u32, 0u128, 0u128)
+    } else if shift2 > 127 {
+        (0u128, m, u128::MAX)
+    } else {
+        let s = shift2 as u32;
+        (m >> s, m & ((1u128 << s) - 1), 1u128 << (s - 1))
+    };
+    // `half2 = u128::MAX` marks the fully-shifted-out case: the value is
+    // strictly below half an ULP of the smallest subnormal unless rem2
+    // compares >= half; treat via explicit comparison below.
+    let inc = if half2 == u128::MAX {
+        // Fully-shifted-out case: v = m * 2^e with e < target_e - 127, so
+        // v < 2^target_e (one ULP of the smallest subnormal). Compare v
+        // against half an ULP using the exact floor exponent e0: since
+        // e0 = e + h <= e + 127 < target_e, we have v >= 2^(target_e-1)
+        // iff e0 == target_e - 1, with equality to the half point iff m is
+        // a power of two.
+        let v_ge_half = e0 == target_e - 1;
+        let v_gt_half = v_ge_half && m.count_ones() > 1;
+        match rm {
+            Rounding::Rne => v_gt_half, // tie rounds to the even candidate, 0
+            Rounding::Rmm => v_ge_half,
+            Rounding::Rtz => false,
+            Rounding::Rdn => sign,
+            Rounding::Rup => !sign,
+        }
+    } else {
+        round_increment(rm, sign, rem2, half2, sig2 & 1 == 1)
+    };
+    if inc {
+        sig2 += 1;
+    }
+    if rem2 != 0 {
+        flags.set(Flags::NX | Flags::UF);
+    }
+    // sig2 <= 2^man here; sig2 == 2^man lands exactly on the smallest normal
+    // (exp field 1, mantissa 0), which the plain bit-or below produces.
+    debug_assert!(sig2 <= 1u128 << man as u32);
+    let bits = sig2 as u64;
+    if sign {
+        bits | fmt.sign_bit()
+    } else {
+        bits
+    }
+}
+
+/// Integer square root of a `u128`, with remainder-nonzero indicator.
+pub(crate) fn isqrt_u128(v: u128) -> (u128, bool) {
+    if v == 0 {
+        return (0, false);
+    }
+    // Binary (digit-by-digit) method.
+    let mut x = v;
+    let mut result: u128 = 0;
+    let mut bit: u128 = 1 << ((127 - v.leading_zeros()) & !1);
+    while bit != 0 {
+        if x >= result + bit {
+            x -= result + bit;
+            result = (result >> 1) + bit;
+        } else {
+            result >>= 1;
+        }
+        bit >>= 2;
+    }
+    (result, x != 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::{Env, Rounding};
+
+    #[test]
+    fn shift_right_jam_sticky() {
+        assert_eq!(shift_right_jam(0b1000, 3), 0b1);
+        assert_eq!(shift_right_jam(0b1001, 3), 0b11 >> 1 | 1); // 1 | sticky
+        assert_eq!(shift_right_jam(1, 200), 1);
+        assert_eq!(shift_right_jam(0, 200), 0);
+        assert_eq!(shift_right_jam(0xff, 0), 0xff);
+    }
+
+    #[test]
+    fn round_pack_exact_one() {
+        let mut env = Env::new(Rounding::Rne);
+        let fmt = Format::BINARY32;
+        let bits = round_pack(fmt, false, 0, 1, env.rm, &mut env.flags);
+        assert_eq!(bits, 1f32.to_bits() as u64);
+        assert!(env.flags.is_empty());
+    }
+
+    #[test]
+    fn round_pack_ties_to_even() {
+        let fmt = Format::BINARY16; // 10 mantissa bits
+        let mut f = Flags::NONE;
+        // 1 + 2^-11 exactly: halfway between 1.0 and 1.0+ulp → ties to even (1.0).
+        let m = (1u128 << 11) | 1;
+        let bits = round_pack(fmt, false, -11, m, Rounding::Rne, &mut f);
+        assert_eq!(bits, fmt.one());
+        assert!(f.contains(Flags::NX));
+        // 1 + 3*2^-11: halfway between 1+ulp and 1+2ulp → ties to even (1+2ulp).
+        let mut f = Flags::NONE;
+        let m = (1u128 << 11) | 3;
+        let bits = round_pack(fmt, false, -11, m, Rounding::Rne, &mut f);
+        assert_eq!(bits, fmt.one() + 2);
+    }
+
+    #[test]
+    fn round_pack_overflow_modes() {
+        let fmt = Format::BINARY8; // emax = 15, max finite 1.75*2^15
+        // 2^16 overflows.
+        for (rm, neg, expect_inf) in [
+            (Rounding::Rne, false, true),
+            (Rounding::Rmm, false, true),
+            (Rounding::Rtz, false, false),
+            (Rounding::Rdn, false, false),
+            (Rounding::Rup, false, true),
+            (Rounding::Rdn, true, true),
+            (Rounding::Rup, true, false),
+        ] {
+            let mut f = Flags::NONE;
+            let bits = round_pack(fmt, neg, 16, 1, rm, &mut f);
+            let expect =
+                if expect_inf { fmt.infinity(neg) } else { fmt.max_finite(neg) };
+            assert_eq!(bits, expect, "rm={rm:?} neg={neg}");
+            assert!(f.contains(Flags::OF | Flags::NX));
+        }
+    }
+
+    #[test]
+    fn round_pack_subnormal_exact_no_flags() {
+        let fmt = Format::BINARY16; // emin = -14, min subnormal = 2^-24
+        let mut f = Flags::NONE;
+        let bits = round_pack(fmt, false, -24, 1, Rounding::Rne, &mut f);
+        assert_eq!(bits, 1); // smallest subnormal
+        assert!(f.is_empty(), "exact subnormal must not raise flags");
+    }
+
+    #[test]
+    fn round_pack_underflow_flags() {
+        let fmt = Format::BINARY16;
+        let mut f = Flags::NONE;
+        // 2^-25 = half the smallest subnormal: rounds to 0 under RNE (tie to even).
+        let bits = round_pack(fmt, false, -25, 1, Rounding::Rne, &mut f);
+        assert_eq!(bits, 0);
+        assert!(f.contains(Flags::UF | Flags::NX));
+        // Under RUP it rounds up to the smallest subnormal.
+        let mut f = Flags::NONE;
+        let bits = round_pack(fmt, false, -25, 1, Rounding::Rup, &mut f);
+        assert_eq!(bits, 1);
+        assert!(f.contains(Flags::UF | Flags::NX));
+    }
+
+    #[test]
+    fn round_pack_tiny_after_rounding_becomes_normal() {
+        // A value just below the smallest normal that rounds *up to* the
+        // smallest normal is not tiny after rounding: no UF (RISC-V rule).
+        let fmt = Format::BINARY16; // smallest normal 2^-14
+        let mut f = Flags::NONE;
+        // (2^12 - 1) * 2^-26 = 2^-14 - 2^-26: rounding to 11 significand
+        // bits carries up to exactly 2^-14 even with unbounded exponent
+        // range, so the result is not tiny and UF must stay clear.
+        let m = (1u128 << 12) - 1;
+        let bits = round_pack(fmt, false, -26, m, Rounding::Rne, &mut f);
+        assert_eq!(bits, fmt.min_normal());
+        assert!(f.contains(Flags::NX));
+        assert!(!f.contains(Flags::UF), "not tiny after rounding");
+    }
+
+    #[test]
+    fn round_pack_huge_shift_below_everything() {
+        let fmt = Format::BINARY16;
+        let mut f = Flags::NONE;
+        // 2^-300: far below subnormal range.
+        let bits = round_pack(fmt, false, -300, 1, Rounding::Rne, &mut f);
+        assert_eq!(bits, 0);
+        assert!(f.contains(Flags::UF | Flags::NX));
+        let mut f = Flags::NONE;
+        let bits = round_pack(fmt, false, -300, 1, Rounding::Rup, &mut f);
+        assert_eq!(bits, 1, "RUP rounds any positive value up");
+        let mut f = Flags::NONE;
+        let bits = round_pack(fmt, true, -300, 1, Rounding::Rup, &mut f);
+        assert_eq!(bits, fmt.sign_bit(), "RUP truncates negative magnitude");
+        assert!(f.contains(Flags::UF | Flags::NX));
+    }
+
+    #[test]
+    fn round_pack_zero_mantissa() {
+        let fmt = Format::BINARY32;
+        let mut f = Flags::NONE;
+        assert_eq!(round_pack(fmt, true, 0, 0, Rounding::Rne, &mut f), fmt.zero(true));
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn isqrt_basics() {
+        assert_eq!(isqrt_u128(0), (0, false));
+        assert_eq!(isqrt_u128(1), (1, false));
+        assert_eq!(isqrt_u128(2), (1, true));
+        assert_eq!(isqrt_u128(144), (12, false));
+        assert_eq!(isqrt_u128(145), (12, true));
+        let big = (1u128 << 100) + 12345;
+        let (r, _) = isqrt_u128(big);
+        assert!(r * r <= big && (r + 1) * (r + 1) > big);
+    }
+}

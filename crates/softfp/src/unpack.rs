@@ -1,0 +1,153 @@
+//! Unpacking bit patterns into sign/exponent/significand form.
+
+use crate::env::Flags;
+use crate::format::Format;
+
+/// Classification of an unpacked value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Class {
+    Zero,
+    Finite, // normal or subnormal, normalized on unpack
+    Inf,
+    QNan,
+    SNan,
+}
+
+/// An unpacked floating-point value.
+///
+/// For `Class::Finite`, the value is `(-1)^sign * sig * 2^(exp - man_bits)`
+/// with `sig` normalized into `[2^man_bits, 2^(man_bits+1))` (subnormals are
+/// normalized by shifting left and decreasing `exp` accordingly).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Unpacked {
+    pub sign: bool,
+    pub class: Class,
+    pub exp: i32,
+    pub sig: u64,
+}
+
+impl Unpacked {
+    pub fn is_nan(&self) -> bool {
+        matches!(self.class, Class::QNan | Class::SNan)
+    }
+
+    pub fn is_snan(&self) -> bool {
+        self.class == Class::SNan
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.class == Class::Zero
+    }
+
+    pub fn is_inf(&self) -> bool {
+        self.class == Class::Inf
+    }
+}
+
+/// Unpack a bit pattern of format `fmt` (upper bits beyond the format width
+/// are ignored).
+pub(crate) fn unpack(fmt: Format, bits: u64) -> Unpacked {
+    let bits = bits & fmt.mask();
+    let sign = bits & fmt.sign_bit() != 0;
+    let exp_field = (bits >> fmt.man_bits()) & fmt.exp_field_max();
+    let man_field = bits & fmt.man_mask();
+    if exp_field == fmt.exp_field_max() {
+        if man_field == 0 {
+            Unpacked { sign, class: Class::Inf, exp: 0, sig: 0 }
+        } else if man_field & (1u64 << (fmt.man_bits() - 1)) != 0 {
+            Unpacked { sign, class: Class::QNan, exp: 0, sig: man_field }
+        } else {
+            Unpacked { sign, class: Class::SNan, exp: 0, sig: man_field }
+        }
+    } else if exp_field == 0 {
+        if man_field == 0 {
+            Unpacked { sign, class: Class::Zero, exp: 0, sig: 0 }
+        } else {
+            // Subnormal: value = man_field * 2^(emin - man). Normalize.
+            let lead = 63 - man_field.leading_zeros(); // position of MSB
+            let shift = fmt.man_bits() - lead;
+            Unpacked {
+                sign,
+                class: Class::Finite,
+                exp: fmt.emin() - shift as i32,
+                sig: man_field << shift,
+            }
+        }
+    } else {
+        Unpacked {
+            sign,
+            class: Class::Finite,
+            exp: exp_field as i32 - fmt.bias(),
+            sig: man_field | (1u64 << fmt.man_bits()),
+        }
+    }
+}
+
+/// Produce the canonical quiet NaN of `fmt`, raising `NV` if any of the
+/// inputs is a signaling NaN (RISC-V NaN propagation: results are always the
+/// canonical NaN, payloads are not propagated).
+pub(crate) fn propagate_nan(fmt: Format, inputs: &[&Unpacked], flags: &mut Flags) -> u64 {
+    if inputs.iter().any(|u| u.is_snan()) {
+        flags.set(Flags::NV);
+    }
+    fmt.quiet_nan()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unpack_one() {
+        let u = unpack(Format::BINARY32, 1f32.to_bits() as u64);
+        assert_eq!(u.class, Class::Finite);
+        assert_eq!(u.exp, 0);
+        assert_eq!(u.sig, 1 << 23);
+        assert!(!u.sign);
+    }
+
+    #[test]
+    fn unpack_subnormal_normalizes() {
+        // Smallest positive subnormal of binary16: 2^-24.
+        let u = unpack(Format::BINARY16, 1);
+        assert_eq!(u.class, Class::Finite);
+        assert_eq!(u.sig, 1 << 10);
+        assert_eq!(u.exp, -24);
+        // Largest subnormal: (2^10 - 1) * 2^-24.
+        let u = unpack(Format::BINARY16, 0x03ff);
+        assert_eq!(u.exp, -15);
+        assert_eq!(u.sig, 0x3ff << 1);
+    }
+
+    #[test]
+    fn unpack_specials() {
+        let f = Format::BINARY16;
+        assert_eq!(unpack(f, f.infinity(true)).class, Class::Inf);
+        assert!(unpack(f, f.infinity(true)).sign);
+        assert_eq!(unpack(f, f.quiet_nan()).class, Class::QNan);
+        assert_eq!(unpack(f, 0x7c01).class, Class::SNan);
+        assert_eq!(unpack(f, f.zero(true)).class, Class::Zero);
+    }
+
+    #[test]
+    fn unpack_value_identity_f32() {
+        // Round-trip: unpacked value reconstructs the f32 exactly.
+        for v in [1.0f32, -2.5, 3.141592, 1e-40 /* subnormal */, 6.5e37] {
+            let u = unpack(Format::BINARY32, v.to_bits() as u64);
+            let rec = (u.sig as f64) * 2f64.powi(u.exp - 23) * if u.sign { -1.0 } else { 1.0 };
+            assert_eq!(rec as f32, v);
+        }
+    }
+
+    #[test]
+    fn propagate_sets_nv_only_for_snan() {
+        let f = Format::BINARY16;
+        let q = unpack(f, f.quiet_nan());
+        let s = unpack(f, 0x7c01);
+        let mut flags = Flags::NONE;
+        assert_eq!(propagate_nan(f, &[&q], &mut flags), f.quiet_nan());
+        assert!(flags.is_empty());
+        assert_eq!(propagate_nan(f, &[&q, &s], &mut flags), f.quiet_nan());
+        assert!(flags.contains(Flags::NV));
+    }
+}

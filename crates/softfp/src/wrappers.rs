@@ -1,0 +1,301 @@
+//! Ergonomic typed scalar wrappers for the smallFloat formats.
+//!
+//! The wrappers use round-to-nearest-even and discard exception flags; for
+//! full control over rounding and flags use the [`crate::ops`] functions.
+
+use crate::env::{Env, Rounding};
+use crate::format::Format;
+use crate::ops;
+use std::cmp::Ordering;
+use std::fmt;
+
+macro_rules! small_float_wrapper {
+    ($(#[$doc:meta])* $name:ident, $repr:ty, $fmt:expr) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Default, PartialEq, Eq, Hash)]
+        pub struct $name($repr);
+
+        impl $name {
+            /// The format descriptor of this type.
+            pub const FORMAT: Format = $fmt;
+            /// Positive zero.
+            pub const ZERO: $name = $name(0);
+
+            /// Construct from the raw bit pattern.
+            pub fn from_bits(bits: $repr) -> $name {
+                $name(bits)
+            }
+
+            /// The raw bit pattern.
+            pub fn to_bits(self) -> $repr {
+                self.0
+            }
+
+            /// One (1.0).
+            pub fn one() -> $name {
+                $name(Self::FORMAT.one() as $repr)
+            }
+
+            /// Positive infinity.
+            pub fn infinity() -> $name {
+                $name(Self::FORMAT.infinity(false) as $repr)
+            }
+
+            /// The canonical quiet NaN.
+            pub fn nan() -> $name {
+                $name(Self::FORMAT.quiet_nan() as $repr)
+            }
+
+            /// Largest finite value.
+            pub fn max_value() -> $name {
+                $name(Self::FORMAT.max_finite(false) as $repr)
+            }
+
+            /// Convert from `f32`, rounding to nearest-even.
+            pub fn from_f32(v: f32) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::from_f32(Self::FORMAT, v, &mut env) as $repr)
+            }
+
+            /// Convert from `f64`, rounding to nearest-even.
+            pub fn from_f64(v: f64) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::from_f64(Self::FORMAT, v, &mut env) as $repr)
+            }
+
+            /// Exact conversion to `f32`.
+            pub fn to_f32(self) -> f32 {
+                ops::to_f32(Self::FORMAT, self.0 as u64)
+            }
+
+            /// Exact conversion to `f64`.
+            pub fn to_f64(self) -> f64 {
+                ops::to_f64(Self::FORMAT, self.0 as u64)
+            }
+
+            /// True for any NaN bit pattern.
+            pub fn is_nan(self) -> bool {
+                Self::FORMAT.is_nan(self.0 as u64)
+            }
+
+            /// True for ±∞.
+            pub fn is_infinite(self) -> bool {
+                Self::FORMAT.is_inf(self.0 as u64)
+            }
+
+            /// Absolute value (clears the sign bit).
+            pub fn abs(self) -> $name {
+                $name(ops::fsgnj(Self::FORMAT, self.0 as u64, 0) as $repr)
+            }
+
+            /// Fused multiply-add `self * a + b` with a single rounding.
+            pub fn mul_add(self, a: $name, b: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::fmadd(Self::FORMAT, self.0 as u64, a.0 as u64, b.0 as u64, &mut env)
+                    as $repr)
+            }
+
+            /// Square root.
+            pub fn sqrt(self) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::sqrt(Self::FORMAT, self.0 as u64, &mut env) as $repr)
+            }
+
+            /// IEEE `minNum`.
+            pub fn min(self, other: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::fmin(Self::FORMAT, self.0 as u64, other.0 as u64, &mut env) as $repr)
+            }
+
+            /// IEEE `maxNum`.
+            pub fn max(self, other: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::fmax(Self::FORMAT, self.0 as u64, other.0 as u64, &mut env) as $repr)
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = $name;
+            fn add(self, rhs: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::add(Self::FORMAT, self.0 as u64, rhs.0 as u64, &mut env) as $repr)
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = $name;
+            fn sub(self, rhs: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::sub(Self::FORMAT, self.0 as u64, rhs.0 as u64, &mut env) as $repr)
+            }
+        }
+
+        impl std::ops::Mul for $name {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::mul(Self::FORMAT, self.0 as u64, rhs.0 as u64, &mut env) as $repr)
+            }
+        }
+
+        impl std::ops::Div for $name {
+            type Output = $name;
+            fn div(self, rhs: $name) -> $name {
+                let mut env = Env::new(Rounding::Rne);
+                $name(ops::div(Self::FORMAT, self.0 as u64, rhs.0 as u64, &mut env) as $repr)
+            }
+        }
+
+        impl std::ops::Neg for $name {
+            type Output = $name;
+            fn neg(self) -> $name {
+                $name(Self::FORMAT.negate(self.0 as u64) as $repr)
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: $name) {
+                *self = *self + rhs;
+            }
+        }
+
+        impl std::ops::SubAssign for $name {
+            fn sub_assign(&mut self, rhs: $name) {
+                *self = *self - rhs;
+            }
+        }
+
+        impl std::ops::MulAssign for $name {
+            fn mul_assign(&mut self, rhs: $name) {
+                *self = *self * rhs;
+            }
+        }
+
+        impl PartialOrd for $name {
+            fn partial_cmp(&self, other: &$name) -> Option<Ordering> {
+                if self.is_nan() || other.is_nan() {
+                    return None;
+                }
+                self.to_f64().partial_cmp(&other.to_f64())
+            }
+        }
+
+        impl From<f32> for $name {
+            fn from(v: f32) -> $name {
+                $name::from_f32(v)
+            }
+        }
+
+        impl From<$name> for f32 {
+            fn from(v: $name) -> f32 {
+                v.to_f32()
+            }
+        }
+
+        impl From<$name> for f64 {
+            fn from(v: $name) -> f64 {
+                v.to_f64()
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}({})", stringify!($name), self.to_f64())
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                fmt::Display::fmt(&self.to_f64(), f)
+            }
+        }
+    };
+}
+
+small_float_wrapper!(
+    /// IEEE 754 binary16 (half precision) scalar: the paper's `float16`.
+    F16,
+    u16,
+    Format::BINARY16
+);
+
+small_float_wrapper!(
+    /// bfloat16-layout scalar (1s+8e+7m): the paper's `float16alt`.
+    Bf16,
+    u16,
+    Format::BINARY16ALT
+);
+
+small_float_wrapper!(
+    /// binary8 (E5M2 minifloat) scalar: the paper's `float8`.
+    F8,
+    u8,
+    Format::BINARY8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f16_arithmetic() {
+        let a = F16::from_f32(1.5);
+        let b = F16::from_f32(2.25);
+        assert_eq!((a + b).to_f32(), 3.75);
+        assert_eq!((a * b).to_f32(), 3.375);
+        assert_eq!((b - a).to_f32(), 0.75);
+        assert_eq!((b / F16::from_f32(0.5)).to_f32(), 4.5);
+        assert_eq!((-a).to_f32(), -1.5);
+    }
+
+    #[test]
+    fn bf16_has_f32_range() {
+        let big = Bf16::from_f32(1e38);
+        assert!(!big.is_infinite());
+        // ...but f16 overflows there.
+        assert!(F16::from_f32(1e38).is_infinite());
+    }
+
+    #[test]
+    fn f8_coarse_grid() {
+        assert_eq!(F8::from_f32(1.1).to_f32(), 1.0);
+        assert_eq!(F8::from_f32(1.13).to_f32(), 1.25);
+        assert_eq!(F8::max_value().to_f32(), 57344.0);
+    }
+
+    #[test]
+    fn ordering_and_nan() {
+        assert!(F16::from_f32(1.0) < F16::from_f32(2.0));
+        assert!(F16::nan().partial_cmp(&F16::one()).is_none());
+        assert!(F16::nan().is_nan());
+        assert_eq!(F16::one().min(F16::from_f32(0.5)), F16::from_f32(0.5));
+        assert_eq!(F16::one().max(F16::from_f32(0.5)), F16::one());
+    }
+
+    #[test]
+    fn mul_add_fused() {
+        let x = F16::from_f32(3.0);
+        assert_eq!(x.mul_add(x, F16::one()).to_f32(), 10.0);
+    }
+
+    #[test]
+    fn abs_and_sqrt() {
+        assert_eq!(F16::from_f32(-4.0).abs().to_f32(), 4.0);
+        assert_eq!(F16::from_f32(4.0).sqrt().to_f32(), 2.0);
+    }
+
+    #[test]
+    fn display_and_debug() {
+        assert_eq!(F16::from_f32(1.5).to_string(), "1.5");
+        assert_eq!(format!("{:?}", F8::one()), "F8(1)");
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut acc = F16::ZERO;
+        acc += F16::one();
+        acc *= F16::from_f32(3.0);
+        acc -= F16::one();
+        assert_eq!(acc.to_f32(), 2.0);
+    }
+}

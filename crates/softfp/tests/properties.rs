@@ -1,0 +1,213 @@
+//! Property-based tests of algebraic laws and rounding-mode envelopes that
+//! hold for *every* format, including the non-host smallFloat formats.
+
+use proptest::prelude::*;
+use smallfloat_softfp::{nanbox, ops, Env, Flags, Format, Rounding};
+
+const FORMATS: [Format; 4] =
+    [Format::BINARY8, Format::BINARY16, Format::BINARY16ALT, Format::BINARY32];
+
+fn fmt_strategy() -> impl Strategy<Value = Format> {
+    prop::sample::select(FORMATS.to_vec())
+}
+
+fn bits_for(fmt: Format) -> BoxedStrategy<u64> {
+    let m = fmt.mask();
+    prop_oneof![
+        6 => any::<u64>().prop_map(move |v| v & m),
+        1 => Just(fmt.zero(false)),
+        1 => Just(fmt.zero(true)),
+        1 => Just(fmt.infinity(false)),
+        1 => Just(fmt.quiet_nan()),
+        1 => Just(fmt.one()),
+        1 => Just(fmt.max_finite(false)),
+        1 => Just(fmt.min_subnormal()),
+        1 => Just(fmt.min_normal()),
+    ]
+    .boxed()
+}
+
+fn rm_strategy() -> impl Strategy<Value = Rounding> {
+    prop::sample::select(Rounding::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2048))]
+
+    /// Addition and multiplication are commutative at the bit level.
+    #[test]
+    fn commutativity((fmt, rm) in (fmt_strategy(), rm_strategy())
+            .prop_flat_map(|(f, r)| (Just(f), Just(r))),
+        seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let a = seed_a & fmt.mask();
+        let b = seed_b & fmt.mask();
+        let mut e1 = Env::new(rm);
+        let mut e2 = Env::new(rm);
+        prop_assert_eq!(ops::add(fmt, a, b, &mut e1), ops::add(fmt, b, a, &mut e2));
+        prop_assert_eq!(e1.flags, e2.flags);
+        let mut e1 = Env::new(rm);
+        let mut e2 = Env::new(rm);
+        prop_assert_eq!(ops::mul(fmt, a, b, &mut e1), ops::mul(fmt, b, a, &mut e2));
+        prop_assert_eq!(e1.flags, e2.flags);
+    }
+
+    /// x + (-x) is ±0 for every finite x; x - x likewise.
+    #[test]
+    fn additive_inverse(fmt in fmt_strategy(), seed in any::<u64>(), rm in rm_strategy()) {
+        let x = seed & fmt.mask();
+        prop_assume!(!fmt.is_nan(x) && !fmt.is_inf(x));
+        let mut e = Env::new(rm);
+        let r = ops::sub(fmt, x, x, &mut e);
+        prop_assert!(fmt.is_zero(r));
+        // x − x is an exact cancellation for every finite x (including
+        // ±0 − ±0, which is a signs-differ zero sum): +0, except −0 at RDN.
+        prop_assert_eq!(fmt.is_negative(r), rm == Rounding::Rdn);
+    }
+
+    /// Multiplying by 1.0 is the identity on every non-NaN value.
+    #[test]
+    fn multiplicative_identity(fmt in fmt_strategy(), seed in any::<u64>(), rm in rm_strategy()) {
+        let x = seed & fmt.mask();
+        prop_assume!(!fmt.is_nan(x));
+        let mut e = Env::new(rm);
+        prop_assert_eq!(ops::mul(fmt, x, fmt.one(), &mut e), x);
+        prop_assert!(e.flags.is_empty());
+    }
+
+    /// Widening to binary64 and narrowing back is the identity (binary64
+    /// strictly contains all supported formats).
+    #[test]
+    fn widen_narrow_round_trip(fmt in fmt_strategy(), seed in any::<u64>()) {
+        let x = seed & fmt.mask();
+        let mut e = Env::new(Rounding::Rne);
+        let wide = ops::cvt_f_f(Format::BINARY64, fmt, x, &mut e);
+        let back = ops::cvt_f_f(fmt, Format::BINARY64, wide, &mut e);
+        if fmt.is_nan(x) {
+            prop_assert_eq!(back, fmt.quiet_nan());
+        } else {
+            prop_assert_eq!(back, x);
+            prop_assert!(e.flags.is_empty());
+        }
+    }
+
+    /// Directed-rounding envelope: RDN result <= RNE result <= RUP result,
+    /// and RTZ has the smallest magnitude of all modes.
+    #[test]
+    fn rounding_mode_envelope(fmt in fmt_strategy(), sa in any::<u64>(), sb in any::<u64>()) {
+        let a = sa & fmt.mask();
+        let b = sb & fmt.mask();
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_nan(b));
+        let run = |rm| {
+            let mut e = Env::new(rm);
+            let r = ops::mul(fmt, a, b, &mut e);
+            ops::to_f64(fmt, r)
+        };
+        let dn = run(Rounding::Rdn);
+        let ne = run(Rounding::Rne);
+        let up = run(Rounding::Rup);
+        let tz = run(Rounding::Rtz);
+        if !ne.is_nan() {
+            prop_assert!(dn <= ne && ne <= up, "dn={dn} ne={ne} up={up}");
+            prop_assert!(tz.abs() <= dn.abs().max(up.abs()));
+        }
+    }
+
+    /// Every arithmetic result is monotone under argument widening:
+    /// op_small(a, b) == narrow(op_big(widen a, widen b)) would be double
+    /// rounding in general; instead we check the *exactness* direction: if
+    /// the small-format op raised no NX, the value equals the binary64 op.
+    #[test]
+    fn exact_results_match_f64(fmt in fmt_strategy(), sa in any::<u64>(), sb in any::<u64>()) {
+        let a = sa & fmt.mask();
+        let b = sb & fmt.mask();
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_nan(b));
+        let mut e = Env::new(Rounding::Rne);
+        let r = ops::add(fmt, a, b, &mut e);
+        if !e.flags.contains(Flags::NX) && !fmt.is_nan(r) {
+            let exact = ops::to_f64(fmt, a) + ops::to_f64(fmt, b);
+            prop_assert_eq!(ops::to_f64(fmt, r), exact);
+        }
+    }
+
+    /// fmin/fmax are commutative (up to ±0 preference) and bounded.
+    #[test]
+    fn minmax_laws(fmt in fmt_strategy(), sa in any::<u64>(), sb in any::<u64>()) {
+        let a = sa & fmt.mask();
+        let b = sb & fmt.mask();
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_nan(b));
+        let mut e = Env::new(Rounding::Rne);
+        let lo = ops::fmin(fmt, a, b, &mut e);
+        let hi = ops::fmax(fmt, a, b, &mut e);
+        prop_assert!(ops::fle(fmt, lo, hi, &mut e));
+        prop_assert!(ops::fle(fmt, lo, a, &mut e) && ops::fle(fmt, lo, b, &mut e));
+        prop_assert!(ops::fle(fmt, a, hi, &mut e) && ops::fle(fmt, b, hi, &mut e));
+    }
+
+    /// Comparisons form a total order on non-NaN values and agree with the
+    /// exact f64 order.
+    #[test]
+    fn comparisons_match_f64(fmt in fmt_strategy(), sa in any::<u64>(), sb in any::<u64>()) {
+        let a = sa & fmt.mask();
+        let b = sb & fmt.mask();
+        prop_assume!(!fmt.is_nan(a) && !fmt.is_nan(b));
+        let (fa, fb) = (ops::to_f64(fmt, a), ops::to_f64(fmt, b));
+        let mut e = Env::new(Rounding::Rne);
+        prop_assert_eq!(ops::feq(fmt, a, b, &mut e), fa == fb);
+        prop_assert_eq!(ops::flt(fmt, a, b, &mut e), fa < fb);
+        prop_assert_eq!(ops::fle(fmt, a, b, &mut e), fa <= fb);
+        prop_assert!(e.flags.is_empty());
+    }
+
+    /// Conversion between the two 16-bit formats honours range/precision:
+    /// b16 → b16alt only loses precision (NX possible, never OF);
+    /// b16alt → b16 can overflow but never raises DZ/NV on non-NaN input.
+    #[test]
+    fn sixteen_bit_cross_conversions(seed in any::<u64>()) {
+        let b16 = Format::BINARY16;
+        let alt = Format::BINARY16ALT;
+        let x = seed & b16.mask();
+        prop_assume!(!b16.is_nan(x));
+        let mut e = Env::new(Rounding::Rne);
+        let _ = ops::cvt_f_f(alt, b16, x, &mut e);
+        prop_assert!(!e.flags.contains(Flags::OF), "b16 range fits in b16alt");
+        prop_assert!(!e.flags.contains(Flags::NV));
+        let y = seed & alt.mask();
+        prop_assume!(!alt.is_nan(y));
+        let mut e = Env::new(Rounding::Rne);
+        let _ = ops::cvt_f_f(b16, alt, y, &mut e);
+        prop_assert!(!e.flags.contains(Flags::NV));
+    }
+
+    /// NaN boxing round-trips through any wider register.
+    #[test]
+    fn nanbox_round_trip(fmt in prop::sample::select(vec![
+        Format::BINARY8, Format::BINARY16, Format::BINARY16ALT]), seed in any::<u64>()) {
+        let x = seed & fmt.mask();
+        let boxed = nanbox::boxed(fmt, x, 32);
+        prop_assert_eq!(nanbox::unboxed(fmt, boxed, 32), x);
+    }
+
+    /// fclass returns exactly one bit for every value.
+    #[test]
+    fn classify_one_hot(fmt in fmt_strategy(), seed in any::<u64>()) {
+        let x = seed & fmt.mask();
+        let c = ops::classify(fmt, x);
+        prop_assert_eq!(c.count_ones(), 1);
+        prop_assert!(c < 1 << 10);
+    }
+
+    /// Float→int→float round-trips exactly for in-range integral values.
+    #[test]
+    fn int_round_trip(fmt in fmt_strategy(), v in -100i64..100) {
+        let mut e = Env::new(Rounding::Rne);
+        let f = ops::from_i64(fmt, v, &mut e);
+        // Small-format rounding may make the value inexact; only check when
+        // the conversion was exact.
+        if e.flags.is_empty() {
+            let mut e2 = Env::new(Rounding::Rne);
+            let back = ops::to_int(fmt, f, true, 32, &mut e2) as i64 as i32 as i64;
+            prop_assert_eq!(back, v);
+            prop_assert!(e2.flags.is_empty());
+        }
+    }
+}

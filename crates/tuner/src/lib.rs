@@ -1,0 +1,330 @@
+//! Dynamic precision tuning over smallFloat types (paper §II, §V-C).
+//!
+//! The paper drives its mixed-precision case study with an external
+//! dynamic precision tuner (fpPrecisionTuning, Ho et al. ASP-DAC 2017;
+//! Precimonious is the same family). This crate implements that
+//! methodology: a greedy search over variable→type assignments, evaluated
+//! by *executing* the program (here: the typed IR interpreter, the
+//! equivalent of the tools' instrumented runs) under a user-supplied
+//! quality-of-result constraint.
+//!
+//! For every tunable variable, in declaration order, the tuner tries the
+//! candidate types from cheapest to widest and locks in the first one that
+//! keeps the measured QoR error within the constraint; variables that
+//! tolerate nothing smaller stay at binary32. On the paper's SVM workload
+//! with a strict constraint (zero classification errors) this reproduces
+//! the published outcome: every variable drops to `float16` except the
+//! dot-product accumulator, which must stay `float`; relaxing the
+//! constraint to ≈5 % lets the accumulator drop to `float16alt`.
+//!
+//! ```
+//! use smallfloat_isa::FpFmt;
+//! use smallfloat_tuner::{tune, TunerConfig};
+//! use smallfloat_xcc::ir::Kernel;
+//!
+//! let mut kernel = Kernel::new("toy");
+//! kernel.array("data", FpFmt::S, 4);
+//! // A QoR function that tolerates any 16-bit type but rejects binary8.
+//! let qor = |k: &Kernel| match k.type_of("data").unwrap() {
+//!     FpFmt::B => 1.0,
+//!     _ => 0.0,
+//! };
+//! let result = tune(&kernel, &TunerConfig::default(), qor);
+//! assert_eq!(result.assignment_for("data"), FpFmt::H);
+//! ```
+
+use smallfloat_isa::FpFmt;
+use smallfloat_xcc::ir::Kernel;
+use smallfloat_xcc::retype;
+use std::collections::HashMap;
+
+/// Tuner configuration.
+#[derive(Clone, Debug)]
+pub struct TunerConfig {
+    /// Candidate types, tried in order (put the cheapest first). Variables
+    /// failing all candidates keep binary32.
+    pub candidates: Vec<FpFmt>,
+    /// Maximum tolerated QoR error (inclusive).
+    pub max_error: f64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> TunerConfig {
+        TunerConfig { candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah], max_error: 0.0 }
+    }
+}
+
+/// One tried assignment during the search.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuneStep {
+    /// Variable under test.
+    pub name: String,
+    /// Candidate type tried.
+    pub tried: FpFmt,
+    /// Measured QoR error.
+    pub error: f64,
+    /// Whether the candidate was accepted.
+    pub accepted: bool,
+}
+
+/// The tuner's output.
+#[derive(Clone, Debug)]
+pub struct TuneResult {
+    /// Final variable→type assignment (every tunable name appears).
+    pub assignment: Vec<(String, FpFmt)>,
+    /// Number of program evaluations performed.
+    pub evaluations: usize,
+    /// Full search trace.
+    pub trace: Vec<TuneStep>,
+}
+
+impl TuneResult {
+    /// The assigned type of a variable (binary32 if absent).
+    pub fn assignment_for(&self, name: &str) -> FpFmt {
+        self.assignment
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| *f)
+            .unwrap_or(FpFmt::S)
+    }
+
+    /// The assignment as a map, for `smallfloat_xcc::retype::retype`.
+    pub fn as_map(&self) -> HashMap<String, FpFmt> {
+        self.assignment.iter().cloned().collect()
+    }
+
+    /// Total storage bits across the assignment (the tuner's cost metric).
+    pub fn total_bits(&self, kernel: &Kernel) -> usize {
+        self.assignment
+            .iter()
+            .map(|(name, fmt)| {
+                let elems = kernel.array_decl(name).map(|a| a.len).unwrap_or(1);
+                elems * fmt.width() as usize
+            })
+            .sum()
+    }
+
+    /// Human-readable trace, one line per evaluation.
+    pub fn trace_text(&self) -> String {
+        let mut s = String::new();
+        for step in &self.trace {
+            s.push_str(&format!(
+                "  try {:<8} = {:<3} error {:<10.4} -> {}\n",
+                step.name,
+                step.tried.suffix(),
+                step.error,
+                if step.accepted { "accept" } else { "reject" }
+            ));
+        }
+        s
+    }
+}
+
+/// Greedily tune the kernel's variables under `qor` (which must return the
+/// QoR *error* of running the given typed kernel — lower is better).
+///
+/// All variables start at binary32; each is then minimized in declaration
+/// order with earlier decisions locked in — the iterative-refinement
+/// strategy of the dynamic tuning tools the paper builds on.
+pub fn tune(
+    base: &Kernel,
+    config: &TunerConfig,
+    mut qor: impl FnMut(&Kernel) -> f64,
+) -> TuneResult {
+    let names = retype::tunable_names(base);
+    let mut assignment: HashMap<String, FpFmt> =
+        names.iter().map(|n| (n.clone(), FpFmt::S)).collect();
+    let mut trace = Vec::new();
+    let mut evaluations = 0;
+    let all_s = retype::retype_all(base, FpFmt::S);
+    for name in &names {
+        for &candidate in &config.candidates {
+            let mut attempt = assignment.clone();
+            attempt.insert(name.clone(), candidate);
+            let typed = retype::retype(&all_s, &attempt);
+            let error = qor(&typed);
+            evaluations += 1;
+            let accepted = error <= config.max_error;
+            trace.push(TuneStep { name: name.clone(), tried: candidate, error, accepted });
+            if accepted {
+                assignment.insert(name.clone(), candidate);
+                break;
+            }
+        }
+    }
+    let assignment = names
+        .into_iter()
+        .map(|n| {
+            let f = assignment[&n];
+            (n, f)
+        })
+        .collect();
+    TuneResult { assignment, evaluations, trace }
+}
+
+/// Exhaustively search every assignment over `config.candidates ∪ {S}` and
+/// return the cheapest one (by [`TuneResult::total_bits`]) satisfying the
+/// constraint — the oracle the greedy search approximates. Exponential in
+/// the variable count; intended for kernels with a handful of variables
+/// and for validating [`tune`].
+pub fn tune_exhaustive(
+    base: &Kernel,
+    config: &TunerConfig,
+    mut qor: impl FnMut(&Kernel) -> f64,
+) -> TuneResult {
+    let names = retype::tunable_names(base);
+    let mut candidates = config.candidates.clone();
+    if !candidates.contains(&FpFmt::S) {
+        candidates.push(FpFmt::S);
+    }
+    let all_s = retype::retype_all(base, FpFmt::S);
+    let mut best: Option<(usize, Vec<(String, FpFmt)>)> = None;
+    let mut evaluations = 0;
+    let mut trace = Vec::new();
+    let total = candidates.len().pow(names.len() as u32);
+    for idx in 0..total {
+        let mut rem = idx;
+        let assignment: HashMap<String, FpFmt> = names
+            .iter()
+            .map(|n| {
+                let c = candidates[rem % candidates.len()];
+                rem /= candidates.len();
+                (n.clone(), c)
+            })
+            .collect();
+        let typed = retype::retype(&all_s, &assignment);
+        let error = qor(&typed);
+        evaluations += 1;
+        let accepted = error <= config.max_error;
+        if accepted {
+            let vec: Vec<(String, FpFmt)> =
+                names.iter().map(|n| (n.clone(), assignment[n])).collect();
+            let cost = TuneResult { assignment: vec.clone(), evaluations: 0, trace: vec![] }
+                .total_bits(base);
+            if best.as_ref().is_none_or(|(c, _)| cost < *c) {
+                for (n, f) in &vec {
+                    trace.push(TuneStep {
+                        name: n.clone(),
+                        tried: *f,
+                        error,
+                        accepted: true,
+                    });
+                }
+                best = Some((cost, vec));
+            }
+        }
+    }
+    let assignment = best
+        .map(|(_, a)| a)
+        .unwrap_or_else(|| names.iter().map(|n| (n.clone(), FpFmt::S)).collect());
+    TuneResult { assignment, evaluations, trace }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smallfloat_xcc::interp::{run_typed, TypedState};
+    use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Stmt};
+
+    /// y[i] = x[i] * 30000: results reach 120000, beyond binary16 range.
+    fn range_kernel() -> Kernel {
+        let mut k = Kernel::new("range");
+        k.array("x", FpFmt::S, 4).array("y", FpFmt::S, 4);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(4),
+            vec![Stmt::store(
+                "y",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")) * Expr::lit(30000.0),
+            )],
+        )];
+        k
+    }
+
+    fn rel_error(k: &Kernel) -> f64 {
+        let mut st = TypedState::for_kernel(k);
+        st.set_array("x", &[1.0, 2.0, 3.0, 4.0]);
+        st.set_array("y", &[0.0; 4]);
+        run_typed(k, &mut st);
+        let golden = [30000.0, 60000.0, 90000.0, 120000.0];
+        st.array_f64("y")
+            .iter()
+            .zip(golden)
+            .map(|(m, g)| if m.is_finite() { (m - g).abs() / g } else { 1.0 })
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn tuner_finds_range_constrained_assignment() {
+        let config = TunerConfig {
+            candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],
+            max_error: 0.02,
+        };
+        let result = tune(&range_kernel(), &config, rel_error);
+        // Products overflow binary16 and binary8 → both variables need
+        // binary16alt's range: the product is computed at x's type (the
+        // constant adapts to its sibling), so even x cannot drop below it,
+        // and y must store values up to 120000.
+        assert_eq!(result.assignment_for("y"), FpFmt::Ah, "trace:\n{}", result.trace_text());
+        assert_eq!(result.assignment_for("x"), FpFmt::Ah, "trace:\n{}", result.trace_text());
+        assert!(result.evaluations >= 4);
+    }
+
+    #[test]
+    fn strict_constraint_keeps_f32() {
+        let config = TunerConfig { candidates: vec![FpFmt::B, FpFmt::H], max_error: 0.0 };
+        let result = tune(&range_kernel(), &config, rel_error);
+        assert_eq!(result.assignment_for("y"), FpFmt::S, "no candidate is exact");
+    }
+
+    #[test]
+    fn trace_records_every_evaluation() {
+        let config = TunerConfig::default();
+        let result = tune(&range_kernel(), &config, rel_error);
+        assert_eq!(result.evaluations, result.trace.len());
+        assert!(result.trace_text().contains("try"));
+    }
+
+    #[test]
+    fn exhaustive_is_no_worse_than_greedy() {
+        let k = range_kernel();
+        let config = TunerConfig {
+            candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],
+            max_error: 0.02,
+        };
+        let greedy = tune(&k, &config, rel_error);
+        let oracle = tune_exhaustive(&k, &config, rel_error);
+        assert!(
+            oracle.total_bits(&k) <= greedy.total_bits(&k),
+            "oracle {} bits vs greedy {} bits",
+            oracle.total_bits(&k),
+            greedy.total_bits(&k)
+        );
+        // The oracle's pick must itself satisfy the constraint.
+        let typed = retype::retype(&retype::retype_all(&k, FpFmt::S), &oracle.as_map());
+        assert!(rel_error(&typed) <= config.max_error);
+        // Exhaustive enumerates (|candidates|+1)^n assignments.
+        assert_eq!(oracle.evaluations, 4usize.pow(2));
+    }
+
+    #[test]
+    fn exhaustive_falls_back_to_f32_when_nothing_fits() {
+        let k = range_kernel();
+        // Impossible constraint with no exact candidate.
+        let config = TunerConfig { candidates: vec![FpFmt::B], max_error: 0.0 };
+        let r = tune_exhaustive(&k, &config, rel_error);
+        assert_eq!(r.assignment_for("x"), FpFmt::S);
+        assert_eq!(r.assignment_for("y"), FpFmt::S);
+    }
+
+    #[test]
+    fn total_bits_accounts_array_sizes() {
+        let k = range_kernel();
+        let config = TunerConfig { candidates: vec![FpFmt::H], max_error: 1.0 };
+        let result = tune(&k, &config, rel_error);
+        // Both arrays at binary16: 4 elements × 16 bits × 2 arrays.
+        assert_eq!(result.total_bits(&k), 2 * 4 * 16);
+    }
+}

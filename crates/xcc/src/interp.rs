@@ -1,0 +1,418 @@
+//! Executable semantics for the kernel IR.
+//!
+//! Two interpreters:
+//!
+//! * [`run_typed`] evaluates at the declared storage types with soft-float
+//!   round-to-nearest-even at every operation — bit-exact with the *scalar*
+//!   lowering produced by [`crate::codegen`], which makes it the reference
+//!   for differential tests against the simulator;
+//! * [`run_f64`] evaluates everything in `f64` — the golden (QoR) reference
+//!   used for the paper's SQNR table.
+
+use crate::ir::{expr_type, promote, Bound, Expr, Kernel, Stmt};
+use smallfloat_isa::FpFmt;
+use smallfloat_softfp::{ops, Env, Rounding};
+use std::collections::HashMap;
+
+/// Array and scalar storage at the kernel's declared types (bit patterns).
+#[derive(Clone, Debug, Default)]
+pub struct TypedState {
+    arrays: HashMap<String, Vec<u64>>,
+    scalars: HashMap<String, u64>,
+    types: HashMap<String, FpFmt>,
+}
+
+impl TypedState {
+    /// Initialize storage from the kernel's declarations (arrays zeroed,
+    /// scalars at their initial values).
+    pub fn for_kernel(kernel: &Kernel) -> TypedState {
+        let mut st = TypedState::default();
+        let mut env = Env::new(Rounding::Rne);
+        for a in &kernel.arrays {
+            st.arrays.insert(a.name.clone(), vec![0; a.len]);
+            st.types.insert(a.name.clone(), a.ty);
+        }
+        for s in &kernel.scalars {
+            st.scalars.insert(s.name.clone(), ops::from_f64(s.ty.format(), s.init, &mut env));
+            st.types.insert(s.name.clone(), s.ty);
+        }
+        st
+    }
+
+    /// Fill an array from `f64` values (rounded into the array's type).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array does not exist or sizes mismatch.
+    pub fn set_array(&mut self, name: &str, values: &[f64]) {
+        let ty = self.types[name];
+        let arr = self.arrays.get_mut(name).expect("array exists");
+        assert_eq!(arr.len(), values.len(), "array size mismatch for {name}");
+        let mut env = Env::new(Rounding::Rne);
+        for (slot, v) in arr.iter_mut().zip(values) {
+            *slot = ops::from_f64(ty.format(), *v, &mut env);
+        }
+    }
+
+    /// Raw bit patterns of an array.
+    pub fn array_bits(&self, name: &str) -> &[u64] {
+        &self.arrays[name]
+    }
+
+    /// Array contents widened to `f64`.
+    pub fn array_f64(&self, name: &str) -> Vec<f64> {
+        let ty = self.types[name];
+        self.arrays[name].iter().map(|&b| ops::to_f64(ty.format(), b)).collect()
+    }
+
+    /// A scalar value widened to `f64`.
+    pub fn scalar_f64(&self, name: &str) -> f64 {
+        ops::to_f64(self.types[name].format(), self.scalars[name])
+    }
+}
+
+fn eval_idx(idx: &crate::ir::IdxExpr, vars: &HashMap<String, i64>) -> i64 {
+    idx.terms.iter().map(|(v, c)| vars[v] * c).sum::<i64>() + idx.offset
+}
+
+fn bound_value(b: &Bound, vars: &HashMap<String, i64>) -> i64 {
+    match &b.var {
+        Some(v) => vars[v] + b.offset,
+        None => b.offset,
+    }
+}
+
+/// Evaluate an expression at the declared types; returns `(bits, fmt)`.
+fn eval_typed(
+    kernel: &Kernel,
+    st: &TypedState,
+    vars: &HashMap<String, i64>,
+    e: &Expr,
+    env: &mut Env,
+) -> (u64, FpFmt) {
+    match e {
+        Expr::Load { array, idx } => {
+            let i = eval_idx(idx, vars);
+            let ty = st.types[array];
+            (st.arrays[array][i as usize], ty)
+        }
+        Expr::Scalar(name) => (st.scalars[name], st.types[name]),
+        Expr::Const(c) => (ops::from_f64(FpFmt::S.format(), *c, env), FpFmt::S),
+        Expr::Bin { op, lhs, rhs } => {
+            // Contract x + a*b into a fused multiply-add (mirrors codegen).
+            if let Some((m1, m2, addend)) = crate::ir::fma_pattern(kernel, e) {
+                let t = expr_type(kernel, e);
+                let ev = |x: &Expr, env: &mut Env| -> u64 {
+                    match x {
+                        Expr::Const(c) => ops::from_f64(t.format(), *c, env),
+                        other => {
+                            let (v, f) = eval_typed(kernel, st, vars, other, env);
+                            convert(v, f, t, env)
+                        }
+                    }
+                };
+                let a = ev(m1, env);
+                let b = ev(m2, env);
+                let c = ev(addend, env);
+                return (ops::fmadd(t.format(), a, b, c, env), t);
+            }
+            // Constants adapt to their sibling's type (see ir::expr_type).
+            let (va, fa, vb, fb) = match (&**lhs, &**rhs) {
+                (Expr::Const(c), other) => {
+                    let (vb, fb) = eval_typed(kernel, st, vars, other, env);
+                    (ops::from_f64(fb.format(), *c, env), fb, vb, fb)
+                }
+                (other, Expr::Const(c)) => {
+                    let (va, fa) = eval_typed(kernel, st, vars, other, env);
+                    (va, fa, ops::from_f64(fa.format(), *c, env), fa)
+                }
+                (l, r) => {
+                    let (va, fa) = eval_typed(kernel, st, vars, l, env);
+                    let (vb, fb) = eval_typed(kernel, st, vars, r, env);
+                    (va, fa, vb, fb)
+                }
+            };
+            let common = promote(fa, fb);
+            let ca = convert(va, fa, common, env);
+            let cb = convert(vb, fb, common, env);
+            let f = common.format();
+            let r = match op {
+                crate::ir::BinOp::Add => ops::add(f, ca, cb, env),
+                crate::ir::BinOp::Sub => ops::sub(f, ca, cb, env),
+                crate::ir::BinOp::Mul => ops::mul(f, ca, cb, env),
+                crate::ir::BinOp::Div => ops::div(f, ca, cb, env),
+            };
+            (r, common)
+        }
+    }
+}
+
+fn convert(bits: u64, from: FpFmt, to: FpFmt, env: &mut Env) -> u64 {
+    if from == to {
+        bits
+    } else {
+        ops::cvt_f_f(to.format(), from.format(), bits, env)
+    }
+}
+
+fn run_stmts_typed(
+    kernel: &Kernel,
+    st: &mut TypedState,
+    vars: &mut HashMap<String, i64>,
+    stmts: &[Stmt],
+    env: &mut Env,
+) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::For { var, lo, hi, body } => {
+                let hi_v = bound_value(hi, vars);
+                for i in *lo..hi_v {
+                    vars.insert(var.clone(), i);
+                    run_stmts_typed(kernel, st, vars, body, env);
+                }
+                vars.remove(var);
+            }
+            Stmt::Store { array, idx, value } => {
+                let (v, f) = eval_typed(kernel, st, vars, value, env);
+                let ty = st.types[array];
+                let v = convert(v, f, ty, env);
+                let i = eval_idx(idx, vars) as usize;
+                let slot =
+                    st.arrays.get_mut(array).expect("array exists").get_mut(i).expect("in bounds");
+                *slot = v;
+            }
+            Stmt::SetScalar { name, value } => {
+                let (v, f) = eval_typed(kernel, st, vars, value, env);
+                let ty = st.types[name];
+                let v = convert(v, f, ty, env);
+                st.scalars.insert(name.clone(), v);
+            }
+        }
+    }
+}
+
+/// Run the kernel at its declared types over `st`.
+pub fn run_typed(kernel: &Kernel, st: &mut TypedState) {
+    let mut env = Env::new(Rounding::Rne);
+    let mut vars = HashMap::new();
+    run_stmts_typed(kernel, st, &mut vars, &kernel.body, &mut env);
+}
+
+/// `f64` storage for the golden interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct F64State {
+    arrays: HashMap<String, Vec<f64>>,
+    scalars: HashMap<String, f64>,
+}
+
+impl F64State {
+    /// Initialize from the kernel's declarations.
+    pub fn for_kernel(kernel: &Kernel) -> F64State {
+        let mut st = F64State::default();
+        for a in &kernel.arrays {
+            st.arrays.insert(a.name.clone(), vec![0.0; a.len]);
+        }
+        for s in &kernel.scalars {
+            st.scalars.insert(s.name.clone(), s.init);
+        }
+        st
+    }
+
+    /// Fill an array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the array does not exist or sizes mismatch.
+    pub fn set_array(&mut self, name: &str, values: &[f64]) {
+        let arr = self.arrays.get_mut(name).expect("array exists");
+        assert_eq!(arr.len(), values.len());
+        arr.copy_from_slice(values);
+    }
+
+    /// Array contents.
+    pub fn array(&self, name: &str) -> &[f64] {
+        &self.arrays[name]
+    }
+
+    /// Scalar value.
+    pub fn scalar(&self, name: &str) -> f64 {
+        self.scalars[name]
+    }
+}
+
+fn eval_f64(st: &F64State, vars: &HashMap<String, i64>, e: &Expr) -> f64 {
+    match e {
+        Expr::Load { array, idx } => st.arrays[array][eval_idx(idx, vars) as usize],
+        Expr::Scalar(name) => st.scalars[name],
+        Expr::Const(c) => *c,
+        Expr::Bin { op, lhs, rhs } => {
+            let a = eval_f64(st, vars, lhs);
+            let b = eval_f64(st, vars, rhs);
+            match op {
+                crate::ir::BinOp::Add => a + b,
+                crate::ir::BinOp::Sub => a - b,
+                crate::ir::BinOp::Mul => a * b,
+                crate::ir::BinOp::Div => a / b,
+            }
+        }
+    }
+}
+
+fn run_stmts_f64(st: &mut F64State, vars: &mut HashMap<String, i64>, stmts: &[Stmt]) {
+    for stmt in stmts {
+        match stmt {
+            Stmt::For { var, lo, hi, body } => {
+                let hi_v = bound_value(hi, vars);
+                for i in *lo..hi_v {
+                    vars.insert(var.clone(), i);
+                    run_stmts_f64(st, vars, body);
+                }
+                vars.remove(var);
+            }
+            Stmt::Store { array, idx, value } => {
+                let v = eval_f64(st, vars, value);
+                let i = eval_idx(idx, vars) as usize;
+                st.arrays.get_mut(array).expect("array exists")[i] = v;
+            }
+            Stmt::SetScalar { name, value } => {
+                let v = eval_f64(st, vars, value);
+                st.scalars.insert(name.clone(), v);
+            }
+        }
+    }
+}
+
+/// Run the kernel in `f64` (the golden QoR reference).
+pub fn run_f64(kernel: &Kernel, st: &mut F64State) {
+    let mut vars = HashMap::new();
+    run_stmts_f64(st, &mut vars, &kernel.body);
+}
+
+/// Signal-to-quantization-noise ratio in dB between a golden signal and a
+/// measured one: `10·log10(Σ s² / Σ (s-m)²)`, `inf` for an exact match.
+pub fn sqnr_db(golden: &[f64], measured: &[f64]) -> f64 {
+    assert_eq!(golden.len(), measured.len(), "signal length mismatch");
+    let signal: f64 = golden.iter().map(|s| s * s).sum();
+    let noise: f64 = golden.iter().zip(measured).map(|(s, m)| (s - m) * (s - m)).sum();
+    if noise == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (signal / noise).log10()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IdxExpr;
+
+    fn saxpy_kernel(n: usize) -> Kernel {
+        // y[i] = alpha * x[i] + y[i]
+        let mut k = Kernel::new("saxpy");
+        k.array("x", FpFmt::S, n).array("y", FpFmt::S, n).scalar("alpha", FpFmt::S, 2.0);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(n as i64),
+            vec![Stmt::store(
+                "y",
+                IdxExpr::var("i"),
+                Expr::scalar("alpha") * Expr::load("x", IdxExpr::var("i"))
+                    + Expr::load("y", IdxExpr::var("i")),
+            )],
+        )];
+        k
+    }
+
+    #[test]
+    fn typed_matches_f64_for_exact_values() {
+        let k = saxpy_kernel(8);
+        let x: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let y: Vec<f64> = (0..8).map(|i| (i * 10) as f64).collect();
+        let mut ts = TypedState::for_kernel(&k);
+        ts.set_array("x", &x);
+        ts.set_array("y", &y);
+        run_typed(&k, &mut ts);
+        let mut fs = F64State::for_kernel(&k);
+        fs.set_array("x", &x);
+        fs.set_array("y", &y);
+        run_f64(&k, &mut fs);
+        assert_eq!(ts.array_f64("y"), fs.array("y"));
+    }
+
+    #[test]
+    fn small_type_rounds() {
+        let mut k = saxpy_kernel(2);
+        for a in &mut k.arrays {
+            a.ty = FpFmt::B;
+        }
+        k.scalars[0].ty = FpFmt::B;
+        let mut ts = TypedState::for_kernel(&k);
+        ts.set_array("x", &[1.1, 3.0]);
+        ts.set_array("y", &[0.0, 0.0]);
+        run_typed(&k, &mut ts);
+        let out = ts.array_f64("y");
+        assert_eq!(out[0], 2.0, "1.1 rounds to 1.0 in b8, times 2");
+        assert_eq!(out[1], 6.0);
+    }
+
+    #[test]
+    fn triangular_bound() {
+        // count[0] accumulates 1 for each (i, j<=i) pair with i<4: 1+2+3+4 = 10.
+        let mut k = Kernel::new("tri");
+        k.array("count", FpFmt::S, 1);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(4),
+            vec![Stmt::for_(
+                "j",
+                0,
+                Bound::var_plus("i", 1),
+                vec![Stmt::store(
+                    "count",
+                    IdxExpr::constant(0),
+                    Expr::load("count", IdxExpr::constant(0)) + Expr::lit(1.0),
+                )],
+            )],
+        )];
+        let mut fs = F64State::for_kernel(&k);
+        run_f64(&k, &mut fs);
+        assert_eq!(fs.array("count")[0], 10.0);
+        let mut ts = TypedState::for_kernel(&k);
+        run_typed(&k, &mut ts);
+        assert_eq!(ts.array_f64("count")[0], 10.0);
+    }
+
+    #[test]
+    fn mixed_precision_promotes() {
+        // acc (f32) += a[i] (f16) * b[i] (f16): product computed in f16,
+        // sum in f32.
+        let mut k = Kernel::new("dot");
+        k.array("a", FpFmt::H, 2).array("b", FpFmt::H, 2).scalar("acc", FpFmt::S, 0.0);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(2),
+            vec![Stmt::accum(
+                "acc",
+                Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i")),
+            )],
+        )];
+        let mut ts = TypedState::for_kernel(&k);
+        ts.set_array("a", &[3.0, 5.0]);
+        ts.set_array("b", &[7.0, 11.0]);
+        run_typed(&k, &mut ts);
+        assert_eq!(ts.scalar_f64("acc"), 76.0);
+    }
+
+    #[test]
+    fn sqnr_measures() {
+        let golden = [1.0, 2.0, 3.0];
+        assert_eq!(sqnr_db(&golden, &golden), f64::INFINITY);
+        let noisy = [1.01, 2.0, 3.0];
+        // signal = 14, noise = 1e-4 → 10·log10(140000) ≈ 51.46 dB.
+        let db = sqnr_db(&golden, &noisy);
+        assert!((51.0..52.0).contains(&db), "{db}");
+    }
+}

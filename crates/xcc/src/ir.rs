@@ -1,0 +1,448 @@
+//! The loop-nest kernel IR.
+//!
+//! A [`Kernel`] declares flat arrays and named scalars, each with its own
+//! storage type ([`FpFmt`]), and a body of nested constant- or
+//! variable-bound counting loops over affine array accesses. This is the
+//! sub-language of C that the paper's Polybench kernels and SVM inference
+//! live in, and the input to both the interpreters and the code generator.
+
+use smallfloat_isa::FpFmt;
+use std::fmt;
+
+/// An affine index expression `Σ coeff·var + offset` (in elements).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdxExpr {
+    /// `(loop variable, coefficient)` terms.
+    pub terms: Vec<(String, i64)>,
+    /// Constant offset in elements.
+    pub offset: i64,
+}
+
+impl IdxExpr {
+    /// A constant index.
+    pub fn constant(offset: i64) -> IdxExpr {
+        IdxExpr { terms: Vec::new(), offset }
+    }
+
+    /// A single-variable index `var + offset`.
+    pub fn var(name: &str) -> IdxExpr {
+        IdxExpr { terms: vec![(name.to_string(), 1)], offset: 0 }
+    }
+
+    /// Build from `(var, coeff)` pairs plus an offset.
+    pub fn of(terms: &[(&str, i64)], offset: i64) -> IdxExpr {
+        IdxExpr {
+            terms: terms.iter().map(|(v, c)| (v.to_string(), *c)).collect(),
+            offset,
+        }
+    }
+
+    /// The coefficient of `var` (0 if absent).
+    pub fn coeff(&self, var: &str) -> i64 {
+        self.terms.iter().find(|(v, _)| v == var).map(|(_, c)| *c).unwrap_or(0)
+    }
+
+    /// True if `var` does not appear.
+    pub fn invariant_in(&self, var: &str) -> bool {
+        self.coeff(var) == 0
+    }
+}
+
+impl fmt::Display for IdxExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (v, c) in &self.terms {
+            if !first {
+                write!(f, "+")?;
+            }
+            if *c == 1 {
+                write!(f, "{v}")?;
+            } else {
+                write!(f, "{c}*{v}")?;
+            }
+            first = false;
+        }
+        if self.offset != 0 || first {
+            if !first {
+                write!(f, "+")?;
+            }
+            write!(f, "{}", self.offset)?;
+        }
+        Ok(())
+    }
+}
+
+/// Binary arithmetic operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// An arithmetic expression.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    /// Array element load.
+    Load { array: String, idx: IdxExpr },
+    /// Named scalar.
+    Scalar(String),
+    /// Literal constant (stored at the context's type).
+    Const(f64),
+    /// Binary operation.
+    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+}
+
+impl Expr {
+    /// Load `array[idx]`.
+    pub fn load(array: &str, idx: IdxExpr) -> Expr {
+        Expr::Load { array: array.to_string(), idx }
+    }
+
+    /// Reference a named scalar.
+    pub fn scalar(name: &str) -> Expr {
+        Expr::Scalar(name.to_string())
+    }
+
+    /// A literal.
+    pub fn lit(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+    }
+
+    /// True if no [`Expr::Load`] or loop variable depends on `var`.
+    pub fn invariant_in(&self, var: &str) -> bool {
+        match self {
+            Expr::Load { idx, .. } => idx.invariant_in(var),
+            Expr::Scalar(_) | Expr::Const(_) => true,
+            Expr::Bin { lhs, rhs, .. } => lhs.invariant_in(var) && rhs.invariant_in(var),
+        }
+    }
+
+    /// All array names referenced.
+    pub fn arrays(&self, out: &mut Vec<String>) {
+        match self {
+            Expr::Load { array, .. } => {
+                if !out.contains(array) {
+                    out.push(array.clone());
+                }
+            }
+            Expr::Bin { lhs, rhs, .. } => {
+                lhs.arrays(out);
+                rhs.arrays(out);
+            }
+            _ => {}
+        }
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    fn div(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Div, self, rhs)
+    }
+}
+
+/// An exclusive loop upper bound: `base_var + offset` (or just `offset`
+/// when `var` is `None`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Bound {
+    /// Optional outer loop variable the bound depends on (triangular
+    /// loops — the paper's prologue/epilogue overhead case).
+    pub var: Option<String>,
+    /// Constant part.
+    pub offset: i64,
+}
+
+impl Bound {
+    /// A constant bound.
+    pub fn constant(n: i64) -> Bound {
+        Bound { var: None, offset: n }
+    }
+
+    /// `var + offset` (e.g. `j < i+1` for a lower-triangular loop).
+    pub fn var_plus(var: &str, offset: i64) -> Bound {
+        Bound { var: Some(var.to_string()), offset }
+    }
+
+    /// The constant value, if constant.
+    pub fn as_const(&self) -> Option<i64> {
+        if self.var.is_none() {
+            Some(self.offset)
+        } else {
+            None
+        }
+    }
+}
+
+/// A statement.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Stmt {
+    /// `for var in lo..hi { body }` (hi exclusive).
+    For { var: String, lo: i64, hi: Bound, body: Vec<Stmt> },
+    /// `array[idx] = value`.
+    Store { array: String, idx: IdxExpr, value: Expr },
+    /// `name = value` for a named scalar.
+    SetScalar { name: String, value: Expr },
+}
+
+impl Stmt {
+    /// Build a loop.
+    pub fn for_(var: &str, lo: i64, hi: Bound, body: Vec<Stmt>) -> Stmt {
+        Stmt::For { var: var.to_string(), lo, hi, body }
+    }
+
+    /// Build a store.
+    pub fn store(array: &str, idx: IdxExpr, value: Expr) -> Stmt {
+        Stmt::Store { array: array.to_string(), idx, value }
+    }
+
+    /// Build a scalar assignment.
+    pub fn set(name: &str, value: Expr) -> Stmt {
+        Stmt::SetScalar { name: name.to_string(), value }
+    }
+
+    /// `name += value` (sugar for a reduction assignment).
+    pub fn accum(name: &str, value: Expr) -> Stmt {
+        Stmt::set(name, Expr::scalar(name) + value)
+    }
+}
+
+/// An array declaration: flat, with a fixed element count.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArrayDecl {
+    pub name: String,
+    pub ty: FpFmt,
+    pub len: usize,
+}
+
+/// A named scalar declaration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ScalarDecl {
+    pub name: String,
+    pub ty: FpFmt,
+    pub init: f64,
+}
+
+/// A kernel: declarations plus a loop-nest body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Kernel {
+    pub name: String,
+    pub arrays: Vec<ArrayDecl>,
+    pub scalars: Vec<ScalarDecl>,
+    pub body: Vec<Stmt>,
+}
+
+impl Kernel {
+    /// Create an empty kernel.
+    pub fn new(name: &str) -> Kernel {
+        Kernel { name: name.to_string(), arrays: Vec::new(), scalars: Vec::new(), body: Vec::new() }
+    }
+
+    /// Declare an array.
+    pub fn array(&mut self, name: &str, ty: FpFmt, len: usize) -> &mut Kernel {
+        self.arrays.push(ArrayDecl { name: name.to_string(), ty, len });
+        self
+    }
+
+    /// Declare a named scalar with an initial value.
+    pub fn scalar(&mut self, name: &str, ty: FpFmt, init: f64) -> &mut Kernel {
+        self.scalars.push(ScalarDecl { name: name.to_string(), ty, init });
+        self
+    }
+
+    /// Look up an array declaration.
+    pub fn array_decl(&self, name: &str) -> Option<&ArrayDecl> {
+        self.arrays.iter().find(|a| a.name == name)
+    }
+
+    /// Look up a scalar declaration.
+    pub fn scalar_decl(&self, name: &str) -> Option<&ScalarDecl> {
+        self.scalars.iter().find(|s| s.name == name)
+    }
+
+    /// Type of a storage name (array or scalar).
+    pub fn type_of(&self, name: &str) -> Option<FpFmt> {
+        self.array_decl(name).map(|a| a.ty).or_else(|| self.scalar_decl(name).map(|s| s.ty))
+    }
+}
+
+/// "Usual arithmetic conversion" rank. Between the two 16-bit formats the
+/// *range-preserving* one wins (`Ah` over `H`): the paper introduces
+/// `float16alt` precisely for computations that need binary32-like dynamic
+/// range, so promoting towards it avoids spurious overflow when a
+/// binary16alt accumulator meets binary16 operands (the §V-C relaxed
+/// operating point). Full order: `S > Ah > H > B`.
+pub fn promote(a: FpFmt, b: FpFmt) -> FpFmt {
+    fn rank(f: FpFmt) -> u8 {
+        match f {
+            FpFmt::S => 3,
+            FpFmt::Ah => 2,
+            FpFmt::H => 1,
+            FpFmt::B => 0,
+        }
+    }
+    if rank(a) >= rank(b) {
+        a
+    } else {
+        b
+    }
+}
+
+/// The static type of an expression in a kernel (loads/scalars look up
+/// declarations; constants adapt to the other operand; a lone constant is
+/// binary32).
+pub fn expr_type(kernel: &Kernel, e: &Expr) -> FpFmt {
+    match e {
+        Expr::Load { array, .. } => kernel.type_of(array).unwrap_or(FpFmt::S),
+        Expr::Scalar(name) => kernel.type_of(name).unwrap_or(FpFmt::S),
+        Expr::Const(_) => FpFmt::S,
+        Expr::Bin { lhs, rhs, .. } => {
+            // Constants take the type of their sibling, as C literals with
+            // an f-suffix would after conversion.
+            match (&**lhs, &**rhs) {
+                (Expr::Const(_), other) => expr_type(kernel, other),
+                (other, Expr::Const(_)) => expr_type(kernel, other),
+                (l, r) => promote(expr_type(kernel, l), expr_type(kernel, r)),
+            }
+        }
+    }
+}
+
+/// Detect a contractible multiply-add `x + a*b` (either operand order).
+///
+/// Returns `(a, b, x)` when the expression can be evaluated as a fused
+/// multiply-add at its promoted type: every non-constant operand must
+/// already have that type (contraction across a precision boundary would
+/// change semantics, so e.g. a binary32 accumulator over binary16 products
+/// stays unfused — exactly why the paper adds the Xfaux expanding ops).
+/// Both the typed interpreter and the code generator apply this rule, so
+/// they stay bit-identical (mirroring GCC's default `-ffp-contract=fast`).
+pub fn fma_pattern<'a>(kernel: &Kernel, e: &'a Expr) -> Option<(&'a Expr, &'a Expr, &'a Expr)> {
+    let Expr::Bin { op: BinOp::Add, lhs, rhs } = e else { return None };
+    let t = expr_type(kernel, e);
+    let ty_ok = |x: &Expr| matches!(x, Expr::Const(_)) || expr_type(kernel, x) == t;
+    if let Expr::Bin { op: BinOp::Mul, lhs: m1, rhs: m2 } = &**rhs {
+        if ty_ok(lhs) && ty_ok(m1) && ty_ok(m2) {
+            return Some((m1, m2, lhs));
+        }
+    }
+    if let Expr::Bin { op: BinOp::Mul, lhs: m1, rhs: m2 } = &**lhs {
+        if ty_ok(rhs) && ty_ok(m1) && ty_ok(m2) {
+            return Some((m1, m2, rhs));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx_helpers() {
+        let i = IdxExpr::of(&[("i", 8), ("j", 1)], 3);
+        assert_eq!(i.coeff("i"), 8);
+        assert_eq!(i.coeff("j"), 1);
+        assert_eq!(i.coeff("k"), 0);
+        assert!(!i.invariant_in("j"));
+        assert!(i.invariant_in("k"));
+        assert_eq!(i.to_string(), "8*i+j+3");
+        assert_eq!(IdxExpr::constant(5).to_string(), "5");
+    }
+
+    #[test]
+    fn expr_operators_and_invariance() {
+        let e = Expr::load("a", IdxExpr::var("i")) * Expr::scalar("alpha")
+            + Expr::load("b", IdxExpr::var("j"));
+        assert!(!e.invariant_in("i"));
+        assert!(!e.invariant_in("j"));
+        assert!(e.invariant_in("k"));
+        let mut arrays = Vec::new();
+        e.arrays(&mut arrays);
+        assert_eq!(arrays, ["a", "b"]);
+    }
+
+    #[test]
+    fn promotion_ranks() {
+        assert_eq!(promote(FpFmt::H, FpFmt::S), FpFmt::S);
+        assert_eq!(promote(FpFmt::B, FpFmt::H), FpFmt::H);
+        assert_eq!(promote(FpFmt::Ah, FpFmt::H), FpFmt::Ah, "range-preserving");
+        assert_eq!(promote(FpFmt::B, FpFmt::B), FpFmt::B);
+    }
+
+    #[test]
+    fn expr_types() {
+        let mut k = Kernel::new("t");
+        k.array("a", FpFmt::H, 4).scalar("acc", FpFmt::S, 0.0);
+        let e = Expr::load("a", IdxExpr::var("i")) * Expr::lit(2.0);
+        assert_eq!(expr_type(&k, &e), FpFmt::H, "constant adapts to sibling");
+        let e = Expr::scalar("acc") + Expr::load("a", IdxExpr::var("i"));
+        assert_eq!(expr_type(&k, &e), FpFmt::S);
+    }
+
+    #[test]
+    fn fma_pattern_rules() {
+        let mut k = Kernel::new("t");
+        k.array("a", FpFmt::H, 4).array("b", FpFmt::H, 4).scalar("acc", FpFmt::S, 0.0);
+        k.scalar("h", FpFmt::H, 0.0);
+        let prod = Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i"));
+        // Same-type accumulate: fusable.
+        let e = Expr::scalar("h") + prod.clone();
+        assert!(fma_pattern(&k, &e).is_some());
+        // Commuted: fusable.
+        let e = prod.clone() + Expr::scalar("h");
+        assert!(fma_pattern(&k, &e).is_some());
+        // Wider accumulator: crossing the precision boundary — not fused.
+        let e = Expr::scalar("acc") + prod.clone();
+        assert!(fma_pattern(&k, &e).is_none());
+        // Constants adapt, so they never block fusion.
+        let e = Expr::scalar("h") + Expr::load("a", IdxExpr::var("i")) * Expr::lit(0.5);
+        assert!(fma_pattern(&k, &e).is_some());
+        // Plain adds are not fusable.
+        let e = Expr::scalar("h") + Expr::load("a", IdxExpr::var("i"));
+        assert!(fma_pattern(&k, &e).is_none());
+    }
+
+    #[test]
+    fn bounds() {
+        assert_eq!(Bound::constant(8).as_const(), Some(8));
+        assert_eq!(Bound::var_plus("i", 1).as_const(), None);
+    }
+
+    #[test]
+    fn kernel_decls() {
+        let mut k = Kernel::new("k");
+        k.array("x", FpFmt::B, 16).scalar("s", FpFmt::Ah, 1.0);
+        assert_eq!(k.type_of("x"), Some(FpFmt::B));
+        assert_eq!(k.type_of("s"), Some(FpFmt::Ah));
+        assert_eq!(k.type_of("nope"), None);
+        assert_eq!(k.array_decl("x").unwrap().len, 16);
+        assert_eq!(k.scalar_decl("s").unwrap().init, 1.0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The smallFloat "compiler support" substitute: a loop-nest kernel IR, a
+//! type-substitution pass, a pattern-based auto-vectorizer and an RV32 code
+//! generator.
+//!
+//! The paper's compiler contribution (§IV) extends GCC with smallFloat C
+//! types, machine modes, auto-vectorization and intrinsics. A full GCC
+//! port is out of scope here (see `DESIGN.md` substitution 3); this crate
+//! reproduces the *code-generation behaviours* the paper evaluates:
+//!
+//! * kernels are written once in a small loop-nest [`ir::Kernel`] IR with
+//!   per-array/per-scalar storage types — the [`retype`] pass substitutes
+//!   `float` for any smallFloat type, which is what the paper's precision
+//!   tuner drives;
+//! * [`codegen::compile`] lowers the IR to RV32IMF + smallFloat programs,
+//!   either scalar or **auto-vectorized** ([`codegen::CodegenOptions`]),
+//!   mirroring the documented strengths and weaknesses of the GCC
+//!   auto-vectorizer on this ISA: unit-stride map and reduction loops are
+//!   vectorized with packed-SIMD ops; remainder iterations go to a scalar
+//!   epilogue loop; reductions onto a *wider* accumulator extract and
+//!   convert each lane with explicit `fcvt` instructions (the paper's
+//!   Fig. 5 left-hand listing); addresses are recomputed in full inside
+//!   vector loops (the "additional ALU instructions" of the paper's
+//!   Fig. 4). Manual vectorization — pointer bumping, `vfcpk`,
+//!   `fmacex`/`vfdotpex` — is written with the intrinsics layer of
+//!   `smallfloat-asm` and lives with each kernel.
+//! * [`interp`] provides two executable semantics for the IR: a typed
+//!   interpreter (bit-exact reference for the *scalar* lowering, used for
+//!   differential testing against the simulator) and an `f64` golden
+//!   interpreter (the QoR reference for SQNR).
+
+pub mod codegen;
+pub mod interp;
+pub mod ir;
+pub mod retype;
+
+pub use codegen::{compile, CodegenOptions, Compiled, DataLayout, XccError};
+pub use ir::{Bound, Expr, IdxExpr, Kernel, Stmt};

@@ -1,0 +1,80 @@
+//! Type substitution: the pass the paper's precision tuner drives.
+
+use crate::ir::Kernel;
+use smallfloat_isa::FpFmt;
+use std::collections::HashMap;
+
+/// Return a copy of `kernel` with every array and scalar stored as `ty`.
+pub fn retype_all(kernel: &Kernel, ty: FpFmt) -> Kernel {
+    let mut k = kernel.clone();
+    for a in &mut k.arrays {
+        a.ty = ty;
+    }
+    for s in &mut k.scalars {
+        s.ty = ty;
+    }
+    k
+}
+
+/// Return a copy with specific names assigned specific types (names not in
+/// the map keep their current type). This is the variable-to-type
+/// association interface of the paper's §V-C mixed-precision case study.
+pub fn retype(kernel: &Kernel, assignment: &HashMap<String, FpFmt>) -> Kernel {
+    let mut k = kernel.clone();
+    for a in &mut k.arrays {
+        if let Some(ty) = assignment.get(&a.name) {
+            a.ty = *ty;
+        }
+    }
+    for s in &mut k.scalars {
+        if let Some(ty) = assignment.get(&s.name) {
+            s.ty = *ty;
+        }
+    }
+    k
+}
+
+/// All tunable storage names of a kernel (arrays then scalars).
+pub fn tunable_names(kernel: &Kernel) -> Vec<String> {
+    kernel
+        .arrays
+        .iter()
+        .map(|a| a.name.clone())
+        .chain(kernel.scalars.iter().map(|s| s.name.clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retype_all_replaces_everything() {
+        let mut k = Kernel::new("k");
+        k.array("a", FpFmt::S, 4).scalar("s", FpFmt::S, 0.0);
+        let k2 = retype_all(&k, FpFmt::B);
+        assert_eq!(k2.type_of("a"), Some(FpFmt::B));
+        assert_eq!(k2.type_of("s"), Some(FpFmt::B));
+        assert_eq!(k.type_of("a"), Some(FpFmt::S), "original untouched");
+    }
+
+    #[test]
+    fn retype_selective() {
+        let mut k = Kernel::new("k");
+        k.array("a", FpFmt::S, 4).array("b", FpFmt::S, 4).scalar("s", FpFmt::S, 0.0);
+        let mut map = HashMap::new();
+        map.insert("a".to_string(), FpFmt::H);
+        map.insert("s".to_string(), FpFmt::Ah);
+        let k2 = retype(&k, &map);
+        assert_eq!(k2.type_of("a"), Some(FpFmt::H));
+        assert_eq!(k2.type_of("b"), Some(FpFmt::S));
+        assert_eq!(k2.type_of("s"), Some(FpFmt::Ah));
+    }
+
+    #[test]
+    fn names_enumerated() {
+        let mut k = Kernel::new("k");
+        k.array("a", FpFmt::S, 4).scalar("s", FpFmt::S, 0.0);
+        assert_eq!(tunable_names(&k), ["a", "s"]);
+    }
+}

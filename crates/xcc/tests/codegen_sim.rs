@@ -1,0 +1,274 @@
+//! Differential tests: generated machine code executed on the simulator
+//! must agree with the IR interpreters.
+//!
+//! * Scalar lowering: bit-exact against the typed interpreter.
+//! * Vectorized maps: bit-exact (no reassociation happens).
+//! * Vectorized reductions: compared against the f64 golden interpreter
+//!   within a type-appropriate tolerance (vectorization reassociates sums,
+//!   exactly as the paper's compiler does).
+
+use smallfloat_isa::FpFmt;
+use smallfloat_sim::{Cpu, ExitReason, SimConfig};
+use smallfloat_softfp::ops;
+use smallfloat_xcc::codegen::{self, CodegenOptions};
+use smallfloat_xcc::interp::{run_f64, run_typed, F64State, TypedState};
+use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
+
+/// Run a compiled kernel on the simulator with the given f64 inputs,
+/// returning each array's contents (as f64) and scalar register values.
+fn run_on_sim(
+    kernel: &Kernel,
+    compiled: &codegen::Compiled,
+    inputs: &[(&str, Vec<f64>)],
+) -> (Vec<(String, Vec<f64>)>, Vec<(String, f64)>) {
+    let mut cpu = Cpu::new(SimConfig::default());
+    // Write inputs converted to each array's storage type.
+    for (name, values) in inputs {
+        let entry = compiled.layout.entry(name).expect("declared array");
+        let bytes = entry.ty.width() / 8;
+        let mut env = smallfloat_softfp::Env::new(smallfloat_softfp::Rounding::Rne);
+        for (i, v) in values.iter().enumerate() {
+            let bits = ops::from_f64(entry.ty.format(), *v, &mut env);
+            let addr = entry.addr + (i as u32) * bytes;
+            let le = (bits as u32).to_le_bytes();
+            cpu.mem_mut().write_bytes(addr, &le[..bytes as usize]);
+        }
+    }
+    cpu.load_program(codegen::TEXT_BASE, &compiled.program);
+    assert_eq!(cpu.run(50_000_000).unwrap(), ExitReason::Ecall, "kernel must exit via ecall");
+    let mut arrays = Vec::new();
+    for entry in &compiled.layout.entries {
+        let bytes = entry.ty.width() / 8;
+        let mut vals = Vec::with_capacity(entry.len);
+        for i in 0..entry.len {
+            let addr = entry.addr + (i as u32) * bytes;
+            let raw = cpu.mem().load(addr, bytes).unwrap() as u64;
+            vals.push(ops::to_f64(entry.ty.format(), raw));
+        }
+        arrays.push((entry.name.clone(), vals));
+    }
+    let mut scalars = Vec::new();
+    for (name, reg) in &compiled.scalar_regs {
+        let ty = kernel.type_of(name).unwrap();
+        let raw = cpu.freg(*reg) as u64 & ty.format().mask();
+        scalars.push((name.clone(), ops::to_f64(ty.format(), raw)));
+    }
+    (arrays, scalars)
+}
+
+fn interp_typed(kernel: &Kernel, inputs: &[(&str, Vec<f64>)]) -> TypedState {
+    let mut st = TypedState::for_kernel(kernel);
+    for (name, values) in inputs {
+        st.set_array(name, values);
+    }
+    run_typed(kernel, &mut st);
+    st
+}
+
+fn data(n: usize, seed: u64) -> Vec<f64> {
+    // Deterministic values in a benign range.
+    (0..n)
+        .map(|i| {
+            let x = ((i as u64).wrapping_mul(2654435761).wrapping_add(seed) % 1000) as f64;
+            (x - 500.0) / 128.0
+        })
+        .collect()
+}
+
+fn saxpy(ty: FpFmt, n: usize) -> Kernel {
+    let mut k = Kernel::new("saxpy");
+    k.array("x", ty, n).array("y", ty, n).scalar("alpha", ty, 1.5);
+    k.body = vec![Stmt::for_(
+        "i",
+        0,
+        Bound::constant(n as i64),
+        vec![Stmt::store(
+            "y",
+            IdxExpr::var("i"),
+            Expr::scalar("alpha") * Expr::load("x", IdxExpr::var("i"))
+                + Expr::load("y", IdxExpr::var("i")),
+        )],
+    )];
+    k
+}
+
+fn dot(elem: FpFmt, acc: FpFmt, n: usize) -> Kernel {
+    let mut k = Kernel::new("dot");
+    k.array("a", elem, n).array("b", elem, n).scalar("sum", acc, 0.0);
+    k.body = vec![Stmt::for_(
+        "i",
+        0,
+        Bound::constant(n as i64),
+        vec![Stmt::accum(
+            "sum",
+            Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i")),
+        )],
+    )];
+    k
+}
+
+#[test]
+fn scalar_codegen_bit_exact_all_formats() {
+    for ty in [FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B] {
+        let n = 17;
+        let k = saxpy(ty, n);
+        let inputs = vec![("x", data(n, 1)), ("y", data(n, 2))];
+        let compiled = codegen::compile(&k, CodegenOptions { vectorize: false }).unwrap();
+        let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
+        let st = interp_typed(&k, &inputs);
+        let y_sim = &arrays.iter().find(|(n, _)| n == "y").unwrap().1;
+        let y_ref = st.array_f64("y");
+        assert_eq!(y_sim, &y_ref, "fmt {ty:?} scalar codegen must be bit-exact");
+    }
+}
+
+#[test]
+fn vectorized_map_bit_exact() {
+    for ty in [FpFmt::H, FpFmt::Ah, FpFmt::B] {
+        let n = 19; // odd: exercises the epilogue
+        let k = saxpy(ty, n);
+        let inputs = vec![("x", data(n, 3)), ("y", data(n, 4))];
+        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        assert_eq!(compiled.vectorized_loops, 1, "{ty:?}");
+        let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
+        let st = interp_typed(&k, &inputs);
+        let y_sim = &arrays.iter().find(|(n, _)| n == "y").unwrap().1;
+        let y_ref = st.array_f64("y");
+        assert_eq!(y_sim, &y_ref, "fmt {ty:?} vectorized map must be bit-exact");
+    }
+}
+
+#[test]
+fn vectorized_reduction_close_to_golden() {
+    for (elem, acc, tol) in [
+        (FpFmt::H, FpFmt::S, 1e-2),
+        (FpFmt::H, FpFmt::H, 5e-2),
+        (FpFmt::B, FpFmt::S, 0.5),
+    ] {
+        let n = 21;
+        let k = dot(elem, acc, n);
+        let inputs = vec![("a", data(n, 5)), ("b", data(n, 6))];
+        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        assert_eq!(compiled.vectorized_loops, 1);
+        let (_, scalars) = run_on_sim(&k, &compiled, &inputs);
+        let sum_sim = scalars.iter().find(|(n, _)| n == "sum").unwrap().1;
+        // Golden f64, with inputs quantized to the element type first.
+        let mut fs = F64State::for_kernel(&k);
+        let st_in = interp_typed(&dot(elem, acc, 0), &[]); // unused, just types
+        drop(st_in);
+        let quant = |v: &Vec<f64>| -> Vec<f64> {
+            let mut env = smallfloat_softfp::Env::new(smallfloat_softfp::Rounding::Rne);
+            v.iter()
+                .map(|x| ops::to_f64(elem.format(), ops::from_f64(elem.format(), *x, &mut env)))
+                .collect()
+        };
+        fs.set_array("a", &quant(&inputs[0].1));
+        fs.set_array("b", &quant(&inputs[1].1));
+        run_f64(&k, &mut fs);
+        let golden = fs.scalar("sum");
+        let rel = (sum_sim - golden).abs() / golden.abs().max(1.0);
+        assert!(rel < tol, "elem {elem:?} acc {acc:?}: sim {sum_sim} vs golden {golden}");
+    }
+}
+
+#[test]
+fn scalar_reduction_bit_exact() {
+    // Without vectorization the reduction order matches the interpreter.
+    let n = 13;
+    let k = dot(FpFmt::H, FpFmt::S, n);
+    let inputs = vec![("a", data(n, 7)), ("b", data(n, 8))];
+    let compiled = codegen::compile(&k, CodegenOptions { vectorize: false }).unwrap();
+    let (_, scalars) = run_on_sim(&k, &compiled, &inputs);
+    let st = interp_typed(&k, &inputs);
+    let sum = scalars.iter().find(|(n, _)| n == "sum").unwrap().1;
+    assert_eq!(sum, st.scalar_f64("sum"));
+}
+
+#[test]
+fn triangular_vectorized_loop_matches() {
+    // C[i*n+j] *= beta for j <= i: variable epilogue length per row.
+    let n = 8usize;
+    let mut k = Kernel::new("tri_scale");
+    k.array("c", FpFmt::H, n * n).scalar("beta", FpFmt::H, 0.5);
+    k.body = vec![Stmt::for_(
+        "i",
+        0,
+        Bound::constant(n as i64),
+        vec![Stmt::for_(
+            "j",
+            0,
+            Bound::var_plus("i", 1),
+            vec![Stmt::store(
+                "c",
+                IdxExpr::of(&[("i", n as i64), ("j", 1)], 0),
+                Expr::load("c", IdxExpr::of(&[("i", n as i64), ("j", 1)], 0))
+                    * Expr::scalar("beta"),
+            )],
+        )],
+    )];
+    let inputs = vec![("c", data(n * n, 9))];
+    let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+    assert_eq!(compiled.vectorized_loops, 1, "triangular map must vectorize");
+    let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
+    let st = interp_typed(&k, &inputs);
+    assert_eq!(arrays[0].1, st.array_f64("c"), "bit-exact despite variable epilogue");
+}
+
+#[test]
+fn stencil_with_offsets_matches() {
+    // 1D 3-point stencil with offsets ±4 (multiples of lanes for H and B).
+    for ty in [FpFmt::H, FpFmt::B] {
+        let n = 32usize;
+        let mut k = Kernel::new("stencil");
+        k.array("src", ty, n).array("dst", ty, n);
+        k.body = vec![Stmt::for_(
+            "i",
+            4,
+            Bound::constant(n as i64 - 4),
+            vec![Stmt::store(
+                "dst",
+                IdxExpr::var("i"),
+                (Expr::load("src", IdxExpr::of(&[("i", 1)], -4))
+                    + Expr::load("src", IdxExpr::of(&[("i", 1)], 4)))
+                    * Expr::lit(0.5),
+            )],
+        )];
+        let inputs = vec![("src", data(n, 10)), ("dst", vec![0.0; n])];
+        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        assert_eq!(compiled.vectorized_loops, 1, "{ty:?}");
+        let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
+        let st = interp_typed(&k, &inputs);
+        let dst_sim = &arrays.iter().find(|(n, _)| n == "dst").unwrap().1;
+        assert_eq!(dst_sim, &st.array_f64("dst"), "{ty:?}");
+    }
+}
+
+#[test]
+fn vectorization_reduces_cycles() {
+    // The point of the paper: same kernel, fewer cycles with SIMD.
+    let n = 256;
+    let k = saxpy(FpFmt::H, n);
+    let inputs = vec![("x", data(n, 11)), ("y", data(n, 12))];
+    let mut cycles = Vec::new();
+    for vectorize in [false, true] {
+        let compiled = codegen::compile(&k, CodegenOptions { vectorize }).unwrap();
+        let mut cpu = Cpu::new(SimConfig::default());
+        for (name, values) in &inputs {
+            let entry = compiled.layout.entry(name).unwrap();
+            let mut env = smallfloat_softfp::Env::new(smallfloat_softfp::Rounding::Rne);
+            for (i, v) in values.iter().enumerate() {
+                let bits = ops::from_f64(entry.ty.format(), *v, &mut env) as u32;
+                cpu.mem_mut().write_bytes(entry.addr + 2 * i as u32, &(bits as u16).to_le_bytes());
+            }
+        }
+        cpu.load_program(codegen::TEXT_BASE, &compiled.program);
+        cpu.run(10_000_000).unwrap();
+        cycles.push(cpu.stats().cycles);
+    }
+    assert!(
+        cycles[1] < cycles[0],
+        "vectorized ({}) must beat scalar ({})",
+        cycles[1],
+        cycles[0]
+    );
+}

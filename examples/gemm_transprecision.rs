@@ -1,0 +1,44 @@
+//! GEMM across the whole transprecision design space: every storage type ×
+//! every lowering × every memory level, printing cycles, energy and output
+//! quality — the full paper evaluation on one kernel.
+//!
+//! Run with: `cargo run --release --example gemm_transprecision`
+
+use smallfloat::{MemLevel, Precision, VecMode};
+use smallfloat_kernels::bench;
+use smallfloat_kernels::polybench::Gemm;
+
+fn main() {
+    let gemm = Gemm { n: 32 };
+    println!("GEMM {0}x{0}, C = beta*C + alpha*A*B\n", gemm.n);
+    println!(
+        "{:<11} {:<7} {:<5} {:>10} {:>8} {:>9} {:>9}",
+        "type", "vec", "mem", "cycles", "speedup", "energy", "SQNR(dB)"
+    );
+    for prec in [Precision::F32, Precision::F16, Precision::F16Alt, Precision::F8] {
+        for mode in [VecMode::Scalar, VecMode::Auto, VecMode::Manual] {
+            let sqnr = bench::sqnr(&gemm, &prec, mode);
+            for level in MemLevel::ALL {
+                let base = bench::run(&gemm, &Precision::F32, VecMode::Scalar, level);
+                let run = bench::run(&gemm, &prec, mode, level);
+                println!(
+                    "{:<11} {:<7} {:<5} {:>10} {:>7.2}x {:>9.3} {:>9.1}",
+                    prec.label(),
+                    mode.label(),
+                    level.label(),
+                    run.stats.cycles,
+                    base.stats.cycles as f64 / run.stats.cycles as f64,
+                    run.stats.energy_pj / base.stats.energy_pj,
+                    sqnr,
+                );
+            }
+        }
+    }
+    println!("\nReading the table:");
+    println!("  * float rows never vectorize (no binary32 lanes at FLEN=32);");
+    println!("  * speedups grow with memory latency for vectorized variants");
+    println!("    (packed accesses halve/quarter the number of memory stalls);");
+    println!("  * manual > auto: pointer bumping + vfmac instead of re-derived");
+    println!("    addresses, and no scalar epilogue inefficiencies;");
+    println!("  * SQNR is set by the storage type, not by the lowering.");
+}

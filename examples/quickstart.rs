@@ -1,0 +1,58 @@
+//! Quickstart: smallFloat scalar types, a hand-assembled SIMD program on
+//! the simulator, and a one-line experiment.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use smallfloat::{Experiment, MemLevel, Precision, VecMode, F16, F8};
+use smallfloat_asm::Assembler;
+use smallfloat_isa::{FpFmt, FReg, XReg};
+use smallfloat_sim::{Cpu, SimConfig};
+
+fn main() {
+    // --- 1. The smallFloat scalar types --------------------------------
+    let a = F16::from_f32(1.5);
+    let b = F16::from_f32(0.25);
+    println!("binary16:  {a} + {b} = {}", a + b);
+    println!("binary16:  {a} * {b} = {}", a * b);
+    let tiny = F8::from_f32(1.1);
+    println!("binary8:   1.1 rounds to {tiny} (2 mantissa bits!)");
+    println!("binary8:   max finite = {}", F8::max_value());
+
+    // --- 2. A SIMD program on the simulated RISC-V core ----------------
+    // Pack two binary16 values per 32-bit FP register and multiply both
+    // lanes with one vfmul.h instruction.
+    let mut asm = Assembler::new();
+    let (x, f0, f1) = (XReg::t(0), FReg::new(0), FReg::new(1));
+    // lanes [4.0, 3.0] (binary16 bit patterns packed in one word)
+    asm.li(x, 0x4200_4400u32 as i32);
+    asm.fmv_f(FpFmt::S, f0, x);
+    // lanes [0.5, 2.0]
+    asm.li(x, 0x4000_3800u32 as i32);
+    asm.fmv_f(FpFmt::S, f1, x);
+    asm.vfmul(FpFmt::H, f0, f0, f1);
+    asm.ecall();
+
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(0x1000, &asm.assemble().expect("assembles"));
+    cpu.run(100).expect("runs");
+    let out = cpu.freg(f0);
+    let lane0 = F16::from_bits(out as u16);
+    let lane1 = F16::from_bits((out >> 16) as u16);
+    println!("\nvfmul.h [4, 3] * [0.5, 2] = [{lane0}, {lane1}]");
+    println!("executed in {} cycles ({} instructions)", cpu.stats().cycles, cpu.stats().instret);
+
+    // --- 3. A paper experiment in one expression ------------------------
+    let report = Experiment::new("GEMM")
+        .expect("GEMM is in the suite")
+        .precision(Precision::F16)
+        .vec_mode(VecMode::Auto)
+        .mem_level(MemLevel::L1)
+        .run();
+    println!(
+        "\nGEMM float16 auto-vectorized: {:.2}x speedup over float, \
+         {:.0}% energy saving, {:.1} dB SQNR",
+        report.speedup,
+        (1.0 - report.energy_ratio) * 100.0,
+        report.sqnr_db
+    );
+}

@@ -1,0 +1,6 @@
+//! Workspace-level umbrella for examples and integration tests.
+//!
+//! The real library surface lives in the [`smallfloat`] facade crate and the
+//! per-subsystem crates under `crates/`.
+
+pub use smallfloat as facade;

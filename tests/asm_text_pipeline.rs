@@ -1,0 +1,58 @@
+//! Text-assembly pipeline test: write a smallFloat program as *text*,
+//! parse it, run it on the simulator, and verify results — exercising
+//! parser, encoder, decoder and executor in one pass.
+
+use smallfloat_asm::parse_program;
+use smallfloat_sim::{Cpu, ExitReason, SimConfig};
+use smallfloat_softfp::F16;
+
+#[test]
+fn textual_simd_program_runs() {
+    // Compute [1.5, 2.0] ⊙ [4.0, 0.25] with vfmul.h, then reduce with the
+    // expanding dot product against [1.0, 1.0].
+    let text = r#"
+        # pack [1.5, 2.0] into ft0   (0x4000 3e00)
+        lui  t0, 0x40004
+        addi t0, t0, -512          # 0x40004000 - 0x200 = 0x40003e00
+        fmv.s.x ft0, t0
+        # pack [4.0, 0.25] into ft1 (0x3400 4400)
+        lui  t0, 0x34004
+        addi t0, t0, 0x400
+        fmv.s.x ft1, t0
+        vfmul.h ft2, ft0, ft1      ; [6.0, 0.5]
+        # ones vector [1.0, 1.0]
+        lui  t0, 0x3c004
+        addi t0, t0, -1024         # 0x3c003c00
+        fmv.s.x ft3, t0
+        fmv.s.x fa0, zero
+        vfdotpex.s.h fa0, ft2, ft3 # 6.0 + 0.5
+        ecall
+    "#;
+    let prog = parse_program(text).expect("parses");
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.load_program(0x1000, &prog);
+    assert_eq!(cpu.run(100).unwrap(), ExitReason::Ecall);
+    let lanes = cpu.freg(smallfloat_isa::FReg::new(2));
+    assert_eq!(F16::from_bits(lanes as u16).to_f32(), 6.0);
+    assert_eq!(F16::from_bits((lanes >> 16) as u16).to_f32(), 0.5);
+    assert_eq!(f32::from_bits(cpu.freg(smallfloat_isa::FReg::a(0))), 6.5);
+}
+
+#[test]
+fn textual_program_round_trips_generated_code() {
+    // Disassemble a compiled kernel, re-parse it, and get the identical
+    // instruction stream (label-free portion: compiled output is already
+    // resolved, so every line parses directly).
+    use smallfloat_kernels::bench::{self, Precision, VecMode};
+    let suite = bench::suite();
+    let gemm = &suite[1];
+    let (_, compiled) = bench::build(gemm.as_ref(), &Precision::F16, VecMode::Auto);
+    let mut reparsed = Vec::new();
+    for instr in &compiled.program {
+        let text = instr.to_string();
+        let back = smallfloat_asm::parse_line(&text)
+            .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        reparsed.push(back);
+    }
+    assert_eq!(reparsed, compiled.program);
+}

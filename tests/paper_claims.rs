@@ -1,0 +1,186 @@
+//! Workspace-level end-to-end tests: the paper's headline claims, asserted
+//! as *shape* bands on the reproduced experiments (see EXPERIMENTS.md for
+//! the paper-vs-measured numbers these bands encode).
+
+use smallfloat_bench as paper;
+use smallfloat_isa::FpFmt;
+use smallfloat_kernels::bench::{self, Precision, VecMode};
+use smallfloat_sim::MemLevel;
+
+fn avg(vals: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = vals.collect();
+    v.iter().sum::<f64>() / v.len() as f64
+}
+
+/// Abstract claim: "automatic vectorization enables a 1.64× speedup for
+/// 16-bit types and a 2.18× speedup for binary8", with manual adding ~10%.
+#[test]
+fn fig1_aggregate_bands() {
+    let rows = paper::fig1_speedups();
+    assert!(paper::all_reports_fig1_sane(&rows));
+    let a16 = avg(rows.iter().filter(|r| r.type_label.starts_with("float16")).map(|r| r.auto));
+    let m16 = avg(rows.iter().filter(|r| r.type_label.starts_with("float16")).map(|r| r.manual));
+    let a8 = avg(rows.iter().filter(|r| r.type_label == "float8").map(|r| r.auto));
+    let m8 = avg(rows.iter().filter(|r| r.type_label == "float8").map(|r| r.manual));
+    assert!((1.15..=1.8).contains(&a16), "16-bit auto avg {a16} (paper: 1.34-1.64)");
+    assert!((1.35..=2.0).contains(&m16), "16-bit manual avg {m16} (paper: ~1.5)");
+    assert!((1.8..=2.9).contains(&a8), "float8 auto avg {a8} (paper: 2.18)");
+    assert!((2.2..=3.6).contains(&m8), "float8 manual avg {m8} (paper: 2.35)");
+    assert!(m16 > a16 && m8 > a8, "manual must beat auto on average");
+    assert!(a8 > a16 && m8 > m16, "binary8 must beat 16-bit types");
+}
+
+/// "float16 types on average experience higher speedups when data is
+/// read/written from L2/L3, as compared to L1" (Fig. 2).
+#[test]
+fn fig2_speedup_grows_with_latency_on_average() {
+    let rows = paper::fig2_latency();
+    for prec in ["float16", "float8"] {
+        let sel: Vec<&[f64; 3]> =
+            rows.iter().filter(|(_, t, _)| t == prec).map(|(_, _, s)| s).collect();
+        let l1 = avg(sel.iter().map(|s| s[0]));
+        let l2 = avg(sel.iter().map(|s| s[1]));
+        let l3 = avg(sel.iter().map(|s| s[2]));
+        assert!(l2 > l1, "{prec}: L2 avg {l2} must exceed L1 avg {l1}");
+        assert!(l3 > l2, "{prec}: L3 avg {l3} must exceed L2 avg {l2}");
+    }
+}
+
+/// "16-bit types achieve on average 30% savings compared to
+/// single-precision when data is placed in a low-latency memory, whereas
+/// the savings are on average 50% for the binary8 format" (Fig. 3).
+/// Our bands are shifted by our slightly higher speedups — the *ordering*
+/// and rough factors are the claim under test.
+#[test]
+fn fig3_energy_savings_bands() {
+    let rows = paper::fig3_energy();
+    let saving = |prec: &str| {
+        1.0 - avg(
+            rows.iter().filter(|(_, t, _)| t == prec).map(|(_, _, e)| e[0]),
+        )
+    };
+    let s16 = saving("float16");
+    let s8 = saving("float8");
+    assert!((0.25..=0.55).contains(&s16), "16-bit energy saving {s16} (paper: 0.30)");
+    assert!((0.45..=0.75).contains(&s8), "binary8 energy saving {s8} (paper: 0.50)");
+    assert!(s8 > s16, "binary8 must save more than 16-bit");
+    assert!(
+        s8 < 2.0 * s16 + 0.05,
+        "binary8 saving stays below twice the 16-bit saving (the paper's \
+         pack/unpack-overhead observation): {s8} vs {s16}"
+    );
+}
+
+/// Table III orderings: binary16 beats binary16alt beats binary8 on SQNR
+/// for every benchmark, and binary8 quality is marginal (< 25 dB).
+#[test]
+fn table3_sqnr_ordering() {
+    for w in bench::suite() {
+        let s16 = bench::sqnr(w.as_ref(), &Precision::F16, VecMode::Manual);
+        let sah = bench::sqnr(w.as_ref(), &Precision::F16Alt, VecMode::Manual);
+        let s8 = bench::sqnr(w.as_ref(), &Precision::F8, VecMode::Manual);
+        if w.name() == "SVM" {
+            // Our synthetic SVM deliberately overflows any binary16
+            // accumulation (the §V-C mechanism), so its uniform-f16 SQNR
+            // collapses instead of reading the paper's 40.5 dB — the
+            // range-preserving binary16alt wins here by construction.
+            assert!(s16 < 10.0, "SVM f16 must collapse (overflow), got {s16}");
+            assert!(sah > 20.0, "SVM f16alt must survive, got {sah}");
+            continue;
+        }
+        assert!(s16 > sah, "{}: b16 {s16} !> b16alt {sah}", w.name());
+        assert!(sah > s8, "{}: b16alt {sah} !> b8 {s8}", w.name());
+        assert!(s8 < 25.0, "{}: binary8 must be marginal, got {s8} dB", w.name());
+        assert!(s16 > 40.0, "{}: binary16 must be usable, got {s16} dB", w.name());
+    }
+}
+
+/// Fig. 4's punchline: for the mixed-precision SVM, the auto-vectorizer's
+/// extra ALU/conversion instructions eat the entire margin (auto is not
+/// faster than the float original), while manual vectorization restores
+/// the ~1.7× win.
+#[test]
+fn fig4_auto_overhead_eats_margin() {
+    let svm = smallfloat_kernels::svm::Svm::new();
+    let mixed = paper::mixed_precision();
+    let orig = bench::run(&svm, &Precision::F32, VecMode::Scalar, MemLevel::L1).stats;
+    let auto = bench::run(&svm, &mixed, VecMode::Auto, MemLevel::L1).stats;
+    let manual = bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1).stats;
+    assert!(
+        auto.cycles >= orig.cycles,
+        "auto-vectorized mixed SVM must not beat the original ({} vs {})",
+        auto.cycles,
+        orig.cycles
+    );
+    assert!(manual.cycles * 3 < orig.cycles * 2, "manual must win by >1.5x");
+    // The overhead is visible as extra ALU + conversion + move instructions.
+    use smallfloat_isa::InstrClass;
+    let overhead = |s: &smallfloat_sim::Stats| {
+        s.class_count(InstrClass::IntAlu)
+            + s.class_count(InstrClass::FpCvt)
+            + s.class_count(InstrClass::FpMove)
+    };
+    assert!(overhead(&auto) > 2 * overhead(&orig), "auto must show the ALU/cvt bloat");
+    assert!(overhead(&manual) < overhead(&orig), "manual must not");
+}
+
+/// Fig. 6: mixed precision reaches float16-class speedup and energy with
+/// float-class accuracy.
+#[test]
+fn fig6_mixed_matches_f16_speed_and_float_accuracy() {
+    use smallfloat_kernels::svm::{error_rate, Svm};
+    let svm = Svm::new();
+    let labels = svm.data().labels.clone();
+    let mixed = paper::mixed_precision();
+    let base = bench::run(&svm, &Precision::F32, VecMode::Scalar, MemLevel::L1);
+    let f16 = bench::run(&svm, &Precision::F16, VecMode::Manual, MemLevel::L1);
+    let mx = bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1);
+    let ratio = mx.stats.cycles as f64 / f16.stats.cycles as f64;
+    assert!((0.85..=1.15).contains(&ratio), "mixed ≈ float16 speed, ratio {ratio}");
+    assert_eq!(error_rate(&mx.arrays["scores"], &labels), 0.0, "mixed = float accuracy");
+    assert!(error_rate(&f16.arrays["scores"], &labels) > 0.1, "uniform f16 loses accuracy");
+    assert!(mx.stats.energy_pj < 0.75 * base.stats.energy_pj, "mixed saves energy");
+}
+
+/// The full cross-stack consistency loop: interpreter, scalar codegen and
+/// simulator agree bit-for-bit on a mixed-precision kernel.
+#[test]
+fn cross_stack_bit_exactness() {
+    use smallfloat_xcc::codegen::{compile, CodegenOptions};
+    use smallfloat_xcc::interp::{run_typed, TypedState};
+    use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
+
+    let n = 24usize;
+    let mut k = Kernel::new("mixed_axpy");
+    k.array("x", FpFmt::H, n).array("y", FpFmt::Ah, n).scalar("acc", FpFmt::S, 0.0);
+    k.body = vec![Stmt::for_(
+        "i",
+        0,
+        Bound::constant(n as i64),
+        vec![
+            Stmt::store(
+                "y",
+                IdxExpr::var("i"),
+                Expr::load("y", IdxExpr::var("i")) + Expr::load("x", IdxExpr::var("i")),
+            ),
+            Stmt::accum("acc", Expr::load("x", IdxExpr::var("i"))),
+        ],
+    )];
+    let xs: Vec<f64> = (0..n).map(|i| (i as f64) * 0.375 - 4.0).collect();
+    let ys: Vec<f64> = (0..n).map(|i| (i as f64) * -0.25 + 2.0).collect();
+
+    let mut st = TypedState::for_kernel(&k);
+    st.set_array("x", &xs);
+    st.set_array("y", &ys);
+    run_typed(&k, &mut st);
+
+    let compiled = compile(&k, CodegenOptions { vectorize: false }).expect("compiles");
+    let result = smallfloat_kernels::run_compiled(
+        &k,
+        &compiled,
+        &[("x".to_string(), xs), ("y".to_string(), ys)],
+        MemLevel::L1,
+    );
+    assert_eq!(result.arrays["y"], st.array_f64("y"), "array outputs bit-exact");
+    assert_eq!(result.scalars["acc"], st.scalar_f64("acc"), "scalar outputs bit-exact");
+}
