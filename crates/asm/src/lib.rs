@@ -29,7 +29,7 @@ pub mod parse;
 pub use parse::{parse_line, parse_program, ParseError};
 
 use smallfloat_isa::{
-    AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp, FReg, Instr, MemWidth,
+    AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FReg, FmaOp, FpFmt, FpOp, Instr, MemWidth,
     MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp, XReg,
 };
 use std::collections::HashMap;
@@ -67,8 +67,16 @@ impl std::error::Error for AsmError {}
 
 enum Item {
     Fixed(Instr),
-    Branch { cond: BranchCond, rs1: XReg, rs2: XReg, label: String },
-    Jump { rd: XReg, label: String },
+    Branch {
+        cond: BranchCond,
+        rs1: XReg,
+        rs2: XReg,
+        label: String,
+    },
+    Jump {
+        rd: XReg,
+        label: String,
+    },
 }
 
 /// A label-aware RV32 program builder.
@@ -103,7 +111,11 @@ impl Assembler {
 
     /// Define a label at the current position.
     pub fn label(&mut self, name: &str) -> &mut Assembler {
-        if self.labels.insert(name.to_string(), self.items.len()).is_some() {
+        if self
+            .labels
+            .insert(name.to_string(), self.items.len())
+            .is_some()
+        {
             self.errors.push(AsmError::DuplicateLabel(name.to_string()));
         }
         self
@@ -130,10 +142,18 @@ impl Assembler {
             };
             match item {
                 Item::Fixed(i) => out.push(*i),
-                Item::Branch { cond, rs1, rs2, label } => {
+                Item::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let offset = resolve(label)?;
                     if !(-4096..4096).contains(&offset) {
-                        return Err(AsmError::BranchOutOfRange { label: label.clone(), offset });
+                        return Err(AsmError::BranchOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
                     }
                     out.push(Instr::Branch {
                         cond: *cond,
@@ -145,9 +165,15 @@ impl Assembler {
                 Item::Jump { rd, label } => {
                     let offset = resolve(label)?;
                     if !(-(1 << 20)..(1 << 20)).contains(&offset) {
-                        return Err(AsmError::JumpOutOfRange { label: label.clone(), offset });
+                        return Err(AsmError::JumpOutOfRange {
+                            label: label.clone(),
+                            offset,
+                        });
                     }
-                    out.push(Instr::Jal { rd: *rd, offset: offset as i32 });
+                    out.push(Instr::Jal {
+                        rd: *rd,
+                        offset: offset as i32,
+                    });
                 }
             }
         }
@@ -171,7 +197,12 @@ impl Assembler {
             }
             let line = match item {
                 Item::Fixed(i) => i.to_string(),
-                Item::Branch { cond, rs1, rs2, label } => {
+                Item::Branch {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => {
                     let m = match cond {
                         BranchCond::Eq => "beq",
                         BranchCond::Ne => "bne",
@@ -211,7 +242,10 @@ impl Assembler {
         }
         let lo = (value << 20) >> 20; // low 12 bits, sign-extended
         let hi = (value.wrapping_sub(lo) as u32) >> 12;
-        self.push(Instr::Lui { rd, imm20: hi as i32 });
+        self.push(Instr::Lui {
+            rd,
+            imm20: hi as i32,
+        });
         if lo != 0 {
             self.addi(rd, rd, lo);
         }
@@ -230,19 +264,29 @@ impl Assembler {
 
     /// Unconditional jump to a label.
     pub fn j(&mut self, label: &str) -> &mut Assembler {
-        self.items.push(Item::Jump { rd: XReg::ZERO, label: label.to_string() });
+        self.items.push(Item::Jump {
+            rd: XReg::ZERO,
+            label: label.to_string(),
+        });
         self
     }
 
     /// `jal ra, label` (call).
     pub fn call(&mut self, label: &str) -> &mut Assembler {
-        self.items.push(Item::Jump { rd: XReg::RA, label: label.to_string() });
+        self.items.push(Item::Jump {
+            rd: XReg::RA,
+            label: label.to_string(),
+        });
         self
     }
 
     /// `ret` (`jalr zero, 0(ra)`).
     pub fn ret(&mut self) -> &mut Assembler {
-        self.push(Instr::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 })
+        self.push(Instr::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            offset: 0,
+        })
     }
 
     /// `ecall` — the simulator's exit convention.
@@ -268,7 +312,12 @@ impl Assembler {
         rs2: XReg,
         label: &str,
     ) -> &mut Assembler {
-        self.items.push(Item::Branch { cond, rs1, rs2, label: label.to_string() });
+        self.items.push(Item::Branch {
+            cond,
+            rs1,
+            rs2,
+            label: label.to_string(),
+        });
         self
     }
 
@@ -276,94 +325,193 @@ impl Assembler {
 
     /// `addi rd, rs1, imm`.
     pub fn addi(&mut self, rd: XReg, rs1: XReg, imm: i32) -> &mut Assembler {
-        self.push(Instr::OpImm { op: AluOp::Add, rd, rs1, imm })
+        self.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `slli rd, rs1, shamt`.
     pub fn slli(&mut self, rd: XReg, rs1: XReg, shamt: i32) -> &mut Assembler {
-        self.push(Instr::OpImm { op: AluOp::Sll, rd, rs1, imm: shamt })
+        self.push(Instr::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm: shamt,
+        })
     }
 
     /// `srli rd, rs1, shamt`.
     pub fn srli(&mut self, rd: XReg, rs1: XReg, shamt: i32) -> &mut Assembler {
-        self.push(Instr::OpImm { op: AluOp::Srl, rd, rs1, imm: shamt })
+        self.push(Instr::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm: shamt,
+        })
     }
 
     /// `andi rd, rs1, imm`.
     pub fn andi(&mut self, rd: XReg, rs1: XReg, imm: i32) -> &mut Assembler {
-        self.push(Instr::OpImm { op: AluOp::And, rd, rs1, imm })
+        self.push(Instr::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        })
     }
 
     /// `add rd, rs1, rs2`.
     pub fn add(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Assembler {
-        self.push(Instr::Op { op: AluOp::Add, rd, rs1, rs2 })
+        self.push(Instr::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `sub rd, rs1, rs2`.
     pub fn sub(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Assembler {
-        self.push(Instr::Op { op: AluOp::Sub, rd, rs1, rs2 })
+        self.push(Instr::Op {
+            op: AluOp::Sub,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `mul rd, rs1, rs2`.
     pub fn mul(&mut self, rd: XReg, rs1: XReg, rs2: XReg) -> &mut Assembler {
-        self.push(Instr::MulDiv { op: MulDivOp::Mul, rd, rs1, rs2 })
+        self.push(Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `lw rd, offset(rs1)`.
     pub fn lw(&mut self, rd: XReg, rs1: XReg, offset: i32) -> &mut Assembler {
-        self.push(Instr::Load { width: MemWidth::W, unsigned: false, rd, rs1, offset })
+        self.push(Instr::Load {
+            width: MemWidth::W,
+            unsigned: false,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// `sw rs2, offset(rs1)`.
     pub fn sw(&mut self, rs2: XReg, rs1: XReg, offset: i32) -> &mut Assembler {
-        self.push(Instr::Store { width: MemWidth::W, rs2, rs1, offset })
+        self.push(Instr::Store {
+            width: MemWidth::W,
+            rs2,
+            rs1,
+            offset,
+        })
     }
 
     /// CSR read: `csrrs rd, csr, zero`.
     pub fn csrr(&mut self, rd: XReg, csr: u16) -> &mut Assembler {
-        self.push(Instr::Csr { op: CsrOp::Rs, rd, src: CsrSrc::Reg(XReg::ZERO), csr })
+        self.push(Instr::Csr {
+            op: CsrOp::Rs,
+            rd,
+            src: CsrSrc::Reg(XReg::ZERO),
+            csr,
+        })
     }
 
     /// CSR write: `csrrw zero, csr, rs`.
     pub fn csrw(&mut self, csr: u16, rs: XReg) -> &mut Assembler {
-        self.push(Instr::Csr { op: CsrOp::Rw, rd: XReg::ZERO, src: CsrSrc::Reg(rs), csr })
+        self.push(Instr::Csr {
+            op: CsrOp::Rw,
+            rd: XReg::ZERO,
+            src: CsrSrc::Reg(rs),
+            csr,
+        })
     }
 
     // --------------- scalar FP ---------------
 
     /// Format-directed FP load (`flw`/`flh`/`flb`).
     pub fn fload(&mut self, fmt: FpFmt, rd: FReg, rs1: XReg, offset: i32) -> &mut Assembler {
-        self.push(Instr::FLoad { fmt, rd, rs1, offset })
+        self.push(Instr::FLoad {
+            fmt,
+            rd,
+            rs1,
+            offset,
+        })
     }
 
     /// Format-directed FP store (`fsw`/`fsh`/`fsb`).
     pub fn fstore(&mut self, fmt: FpFmt, rs2: FReg, rs1: XReg, offset: i32) -> &mut Assembler {
-        self.push(Instr::FStore { fmt, rs2, rs1, offset })
+        self.push(Instr::FStore {
+            fmt,
+            rs2,
+            rs1,
+            offset,
+        })
     }
 
     /// `fadd.fmt rd, rs1, rs2`.
     pub fn fadd(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::FOp { op: FpOp::Add, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+        self.push(Instr::FOp {
+            op: FpOp::Add,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fsub.fmt rd, rs1, rs2`.
     pub fn fsub(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::FOp { op: FpOp::Sub, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+        self.push(Instr::FOp {
+            op: FpOp::Sub,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fmul.fmt rd, rs1, rs2`.
     pub fn fmul(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::FOp { op: FpOp::Mul, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+        self.push(Instr::FOp {
+            op: FpOp::Mul,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fdiv.fmt rd, rs1, rs2`.
     pub fn fdiv(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::FOp { op: FpOp::Div, fmt, rd, rs1, rs2, rm: Rm::Dyn })
+        self.push(Instr::FOp {
+            op: FpOp::Div,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fsqrt.fmt rd, rs1`.
     pub fn fsqrt(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg) -> &mut Assembler {
-        self.push(Instr::FSqrt { fmt, rd, rs1, rm: Rm::Dyn })
+        self.push(Instr::FSqrt {
+            fmt,
+            rd,
+            rs1,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fmadd.fmt rd, rs1, rs2, rs3` (rd = rs1·rs2 + rs3).
@@ -375,7 +523,15 @@ impl Assembler {
         rs2: FReg,
         rs3: FReg,
     ) -> &mut Assembler {
-        self.push(Instr::FFma { op: FmaOp::Madd, fmt, rd, rs1, rs2, rs3, rm: Rm::Dyn })
+        self.push(Instr::FFma {
+            op: FmaOp::Madd,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fmin.fmt` / `fmax.fmt`.
@@ -387,12 +543,24 @@ impl Assembler {
         rs1: FReg,
         rs2: FReg,
     ) -> &mut Assembler {
-        self.push(Instr::FMinMax { op, fmt, rd, rs1, rs2 })
+        self.push(Instr::FMinMax {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// FP register move (`fsgnj.fmt rd, rs, rs`).
     pub fn fmv(&mut self, fmt: FpFmt, rd: FReg, rs: FReg) -> &mut Assembler {
-        self.push(Instr::FSgnj { kind: SgnjKind::Sgnj, fmt, rd, rs1: rs, rs2: rs })
+        self.push(Instr::FSgnj {
+            kind: SgnjKind::Sgnj,
+            fmt,
+            rd,
+            rs1: rs,
+            rs2: rs,
+        })
     }
 
     /// Sign injection.
@@ -404,22 +572,46 @@ impl Assembler {
         rs1: FReg,
         rs2: FReg,
     ) -> &mut Assembler {
-        self.push(Instr::FSgnj { kind, fmt, rd, rs1, rs2 })
+        self.push(Instr::FSgnj {
+            kind,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `fcvt.dst.src rd, rs1`.
     pub fn fcvt(&mut self, dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg) -> &mut Assembler {
-        self.push(Instr::FCvtFF { dst, src, rd, rs1, rm: Rm::Dyn })
+        self.push(Instr::FCvtFF {
+            dst,
+            src,
+            rd,
+            rs1,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fcvt.w.fmt rd, rs1` (signed) or `fcvt.wu.fmt`.
     pub fn fcvt_w(&mut self, fmt: FpFmt, rd: XReg, rs1: FReg, signed: bool) -> &mut Assembler {
-        self.push(Instr::FCvtFI { fmt, rd, rs1, signed, rm: Rm::Dyn })
+        self.push(Instr::FCvtFI {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fcvt.fmt.w rd, rs1` (signed) or `fcvt.fmt.wu`.
     pub fn fcvt_f(&mut self, fmt: FpFmt, rd: FReg, rs1: XReg, signed: bool) -> &mut Assembler {
-        self.push(Instr::FCvtIF { fmt, rd, rs1, signed, rm: Rm::Dyn })
+        self.push(Instr::FCvtIF {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `feq`/`flt`/`fle` into an integer register.
@@ -431,7 +623,13 @@ impl Assembler {
         rs1: FReg,
         rs2: FReg,
     ) -> &mut Assembler {
-        self.push(Instr::FCmp { op, fmt, rd, rs1, rs2 })
+        self.push(Instr::FCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `fmv.x.fmt rd, rs1`.
@@ -451,13 +649,25 @@ impl Assembler {
 
     /// `fmulex.s.fmt rd, rs1, rs2` — expanding multiply into binary32.
     pub fn fmulex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::FMulEx { fmt, rd, rs1, rs2, rm: Rm::Dyn })
+        self.push(Instr::FMulEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        })
     }
 
     /// `fmacex.s.fmt rd, rs1, rs2` — expanding MAC on a binary32
     /// accumulator (the paper's `__macex_vf16`).
     pub fn fmacex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::FMacEx { fmt, rd, rs1, rs2, rm: Rm::Dyn })
+        self.push(Instr::FMacEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        })
     }
 
     /// Lane-wise vector op (`vfadd`/`vfmul`/…, `.r` variant via `rep`).
@@ -470,7 +680,14 @@ impl Assembler {
         rs2: FReg,
         rep: bool,
     ) -> &mut Assembler {
-        self.push(Instr::VFOp { op, fmt, rd, rs1, rs2, rep })
+        self.push(Instr::VFOp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        })
     }
 
     /// `vfadd.fmt rd, rs1, rs2`.
@@ -502,33 +719,68 @@ impl Assembler {
         rs1: FReg,
         rs2: FReg,
     ) -> &mut Assembler {
-        self.push(Instr::VFCmp { op, fmt, rd, rs1, rs2, rep: false })
+        self.push(Instr::VFCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep: false,
+        })
     }
 
     /// `vfcpk.a.fmt.s rd, rs1, rs2` — cast-and-pack into lanes 0–1.
     pub fn vfcpk_a(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::VFCpk { fmt, half: CpkHalf::A, rd, rs1, rs2 })
+        self.push(Instr::VFCpk {
+            fmt,
+            half: CpkHalf::A,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `vfcpk.b.fmt.s rd, rs1, rs2` — lanes 2–3 (binary8 only at FLEN=32).
     pub fn vfcpk_b(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::VFCpk { fmt, half: CpkHalf::B, rd, rs1, rs2 })
+        self.push(Instr::VFCpk {
+            fmt,
+            half: CpkHalf::B,
+            rd,
+            rs1,
+            rs2,
+        })
     }
 
     /// `vfdotpex.s.fmt rd, rs1, rs2` — expanding dot product accumulating
     /// into a binary32 destination (the paper's `__dotpex_vf16`).
     pub fn vfdotpex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
-        self.push(Instr::VFDotpEx { fmt, rd, rs1, rs2, rep: false })
+        self.push(Instr::VFDotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep: false,
+        })
     }
 
     /// `vfcvt.x.fmt` / `vfcvt.xu.fmt` — vector float→int.
     pub fn vfcvt_x(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool) -> &mut Assembler {
-        self.push(Instr::VFCvtXF { fmt, rd, rs1, signed })
+        self.push(Instr::VFCvtXF {
+            fmt,
+            rd,
+            rs1,
+            signed,
+        })
     }
 
     /// `vfcvt.fmt.x` / `vfcvt.fmt.xu` — vector int→float.
     pub fn vfcvt_f(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool) -> &mut Assembler {
-        self.push(Instr::VFCvtFX { fmt, rd, rs1, signed })
+        self.push(Instr::VFCvtFX {
+            fmt,
+            rd,
+            rs1,
+            signed,
+        })
     }
 
     /// `vfcvt.dst.src` between the two 16-bit formats.
@@ -553,10 +805,21 @@ mod tests {
         asm.ecall();
         let prog = asm.assemble().unwrap();
         assert_eq!(prog.len(), 5);
-        assert_eq!(prog[1], Instr::Jal { rd: XReg::ZERO, offset: 12 });
+        assert_eq!(
+            prog[1],
+            Instr::Jal {
+                rd: XReg::ZERO,
+                offset: 12
+            }
+        );
         assert_eq!(
             prog[3],
-            Instr::Branch { cond: BranchCond::Eq, rs1: XReg::ZERO, rs2: XReg::ZERO, offset: -12 }
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: XReg::ZERO,
+                rs2: XReg::ZERO,
+                offset: -12
+            }
         );
     }
 
@@ -564,7 +827,10 @@ mod tests {
     fn undefined_and_duplicate_labels() {
         let mut asm = Assembler::new();
         asm.j("nowhere");
-        assert_eq!(asm.assemble(), Err(AsmError::UndefinedLabel("nowhere".into())));
+        assert_eq!(
+            asm.assemble(),
+            Err(AsmError::UndefinedLabel("nowhere".into()))
+        );
         let mut asm = Assembler::new();
         asm.label("x");
         asm.label("x");
@@ -607,7 +873,10 @@ mod tests {
         }
         asm.label("far");
         asm.ecall();
-        assert!(matches!(asm.assemble(), Err(AsmError::BranchOutOfRange { .. })));
+        assert!(matches!(
+            asm.assemble(),
+            Err(AsmError::BranchOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -628,7 +897,13 @@ mod tests {
         asm.vfcpk_a(FpFmt::H, FReg::new(0), FReg::new(1), FReg::new(2));
         asm.vfdotpex(FpFmt::B, FReg::new(3), FReg::new(4), FReg::new(5));
         let prog = asm.assemble().unwrap();
-        assert!(matches!(prog[0], Instr::VFCpk { half: CpkHalf::A, .. }));
+        assert!(matches!(
+            prog[0],
+            Instr::VFCpk {
+                half: CpkHalf::A,
+                ..
+            }
+        ));
         assert!(matches!(prog[1], Instr::VFDotpEx { fmt: FpFmt::B, .. }));
     }
 }

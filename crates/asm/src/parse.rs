@@ -7,7 +7,7 @@
 //! numeric names (`x10`, `f3`).
 
 use smallfloat_isa::{
-    AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp, FReg, Instr, MemWidth,
+    AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FReg, FmaOp, FpFmt, FpOp, Instr, MemWidth,
     MinMaxOp, Rm, SgnjKind, VCmpOp, VfOp, XReg,
 };
 use std::fmt;
@@ -20,7 +20,9 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>) -> ParseError {
-        ParseError { message: message.into() }
+        ParseError {
+            message: message.into(),
+        }
     }
 }
 
@@ -36,9 +38,9 @@ type PResult<T> = Result<T, ParseError>;
 
 fn xreg(tok: &str) -> PResult<XReg> {
     const ABI: [&str; 32] = [
-        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3",
-        "a4", "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
-        "t3", "t4", "t5", "t6",
+        "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+        "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+        "t5", "t6",
     ];
     if let Some(pos) = ABI.iter().position(|&n| n == tok) {
         return Ok(XReg::new(pos as u8));
@@ -55,9 +57,9 @@ fn xreg(tok: &str) -> PResult<XReg> {
 
 fn freg(tok: &str) -> PResult<FReg> {
     const ABI: [&str; 32] = [
-        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1",
-        "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
-        "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+        "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1", "fa2",
+        "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7", "fs8", "fs9",
+        "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
     ];
     if let Some(pos) = ABI.iter().position(|&n| n == tok) {
         return Ok(FReg::new(pos as u8));
@@ -80,7 +82,8 @@ fn imm(tok: &str) -> PResult<i32> {
     let v = if let Some(hex) = body.strip_prefix("0x") {
         i64::from_str_radix(hex, 16).map_err(|_| ParseError::new(format!("bad hex `{tok}`")))?
     } else {
-        body.parse::<i64>().map_err(|_| ParseError::new(format!("bad immediate `{tok}`")))?
+        body.parse::<i64>()
+            .map_err(|_| ParseError::new(format!("bad immediate `{tok}`")))?
     };
     let v = if neg { -v } else { v };
     i32::try_from(v).map_err(|_| ParseError::new(format!("immediate `{tok}` out of range")))
@@ -136,7 +139,10 @@ fn expect_operands(ops: &[&str], n: usize, mnem: &str) -> PResult<()> {
     if ops.len() == n {
         Ok(())
     } else {
-        Err(ParseError::new(format!("`{mnem}` expects {n} operands, got {}", ops.len())))
+        Err(ParseError::new(format!(
+            "`{mnem}` expects {n} operands, got {}",
+            ops.len()
+        )))
     }
 }
 
@@ -155,8 +161,11 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
     if mnem.is_empty() {
         return Err(ParseError::new("empty line"));
     }
-    let mut ops: Vec<&str> =
-        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let mut ops: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
 
     // Mnemonic base + dot-suffixes.
     let mut parts = mnem.split('.');
@@ -166,20 +175,33 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
     match (base, suffixes.as_slice()) {
         ("lui", []) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::Lui { rd: xreg(ops[0])?, imm20: imm(ops[1])? })
+            Ok(Instr::Lui {
+                rd: xreg(ops[0])?,
+                imm20: imm(ops[1])?,
+            })
         }
         ("auipc", []) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::Auipc { rd: xreg(ops[0])?, imm20: imm(ops[1])? })
+            Ok(Instr::Auipc {
+                rd: xreg(ops[0])?,
+                imm20: imm(ops[1])?,
+            })
         }
         ("jal", []) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::Jal { rd: xreg(ops[0])?, offset: imm(ops[1])? })
+            Ok(Instr::Jal {
+                rd: xreg(ops[0])?,
+                offset: imm(ops[1])?,
+            })
         }
         ("jalr", []) => {
             expect_operands(&ops, 2, mnem)?;
             let (offset, rs1) = mem_operand(ops[1])?;
-            Ok(Instr::Jalr { rd: xreg(ops[0])?, rs1, offset })
+            Ok(Instr::Jalr {
+                rd: xreg(ops[0])?,
+                rs1,
+                offset,
+            })
         }
         ("beq" | "bne" | "blt" | "bge" | "bltu" | "bgeu", []) => {
             expect_operands(&ops, 3, mnem)?;
@@ -208,7 +230,13 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 _ => (MemWidth::H, true),
             };
             let (offset, rs1) = mem_operand(ops[1])?;
-            Ok(Instr::Load { width, unsigned, rd: xreg(ops[0])?, rs1, offset })
+            Ok(Instr::Load {
+                width,
+                unsigned,
+                rd: xreg(ops[0])?,
+                rs1,
+                offset,
+            })
         }
         ("sb" | "sh" | "sw", []) => {
             expect_operands(&ops, 2, mnem)?;
@@ -218,12 +246,14 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 _ => MemWidth::W,
             };
             let (offset, rs1) = mem_operand(ops[1])?;
-            Ok(Instr::Store { width, rs2: xreg(ops[0])?, rs1, offset })
+            Ok(Instr::Store {
+                width,
+                rs2: xreg(ops[0])?,
+                rs1,
+                offset,
+            })
         }
-        (
-            "addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai",
-            [],
-        ) => {
+        ("addi" | "slti" | "sltiu" | "xori" | "ori" | "andi" | "slli" | "srli" | "srai", []) => {
             expect_operands(&ops, 3, mnem)?;
             let op = match base {
                 "addi" => AluOp::Add,
@@ -236,7 +266,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 "srli" => AluOp::Srl,
                 _ => AluOp::Sra,
             };
-            Ok(Instr::OpImm { op, rd: xreg(ops[0])?, rs1: xreg(ops[1])?, imm: imm(ops[2])? })
+            Ok(Instr::OpImm {
+                op,
+                rd: xreg(ops[0])?,
+                rs1: xreg(ops[1])?,
+                imm: imm(ops[2])?,
+            })
         }
         ("add" | "sub" | "sll" | "slt" | "sltu" | "xor" | "srl" | "sra" | "or" | "and", []) => {
             expect_operands(&ops, 3, mnem)?;
@@ -252,7 +287,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 "or" => AluOp::Or,
                 _ => AluOp::And,
             };
-            Ok(Instr::Op { op, rd: xreg(ops[0])?, rs1: xreg(ops[1])?, rs2: xreg(ops[2])? })
+            Ok(Instr::Op {
+                op,
+                rd: xreg(ops[0])?,
+                rs1: xreg(ops[1])?,
+                rs2: xreg(ops[2])?,
+            })
         }
         ("mul" | "mulh" | "mulhsu" | "mulhu" | "div" | "divu" | "rem" | "remu", []) => {
             use smallfloat_isa::MulDivOp as M;
@@ -267,7 +307,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 "rem" => M::Rem,
                 _ => M::Remu,
             };
-            Ok(Instr::MulDiv { op, rd: xreg(ops[0])?, rs1: xreg(ops[1])?, rs2: xreg(ops[2])? })
+            Ok(Instr::MulDiv {
+                op,
+                rd: xreg(ops[0])?,
+                rs1: xreg(ops[1])?,
+                rs2: xreg(ops[2])?,
+            })
         }
         ("fence", []) => Ok(Instr::Fence),
         ("ecall", []) => Ok(Instr::Ecall),
@@ -289,7 +334,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
             } else {
                 CsrSrc::Reg(xreg(ops[2])?)
             };
-            Ok(Instr::Csr { op, rd: xreg(ops[0])?, src, csr })
+            Ok(Instr::Csr {
+                op,
+                rd: xreg(ops[0])?,
+                src,
+                csr,
+            })
         }
         ("flw" | "flh" | "flb", []) => {
             expect_operands(&ops, 2, mnem)?;
@@ -299,7 +349,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 _ => FpFmt::B,
             };
             let (offset, rs1) = mem_operand(ops[1])?;
-            Ok(Instr::FLoad { fmt, rd: freg(ops[0])?, rs1, offset })
+            Ok(Instr::FLoad {
+                fmt,
+                rd: freg(ops[0])?,
+                rs1,
+                offset,
+            })
         }
         ("fsw" | "fsh" | "fsb", []) => {
             expect_operands(&ops, 2, mnem)?;
@@ -309,7 +364,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 _ => FpFmt::B,
             };
             let (offset, rs1) = mem_operand(ops[1])?;
-            Ok(Instr::FStore { fmt, rs2: freg(ops[0])?, rs1, offset })
+            Ok(Instr::FStore {
+                fmt,
+                rs2: freg(ops[0])?,
+                rs1,
+                offset,
+            })
         }
         ("fadd" | "fsub" | "fmul" | "fdiv", [f]) => {
             let rm = take_rm(&mut ops)?;
@@ -332,7 +392,12 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
         ("fsqrt", [f]) => {
             let rm = take_rm(&mut ops)?;
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::FSqrt { fmt: fmt_suffix(f)?, rd: freg(ops[0])?, rs1: freg(ops[1])?, rm })
+            Ok(Instr::FSqrt {
+                fmt: fmt_suffix(f)?,
+                rd: freg(ops[0])?,
+                rs1: freg(ops[1])?,
+                rm,
+            })
         }
         ("fsgnj" | "fsgnjn" | "fsgnjx", [f]) => {
             expect_operands(&ops, 3, mnem)?;
@@ -351,7 +416,11 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
         }
         ("fmin" | "fmax", [f]) => {
             expect_operands(&ops, 3, mnem)?;
-            let op = if base == "fmin" { MinMaxOp::Min } else { MinMaxOp::Max };
+            let op = if base == "fmin" {
+                MinMaxOp::Min
+            } else {
+                MinMaxOp::Max
+            };
             Ok(Instr::FMinMax {
                 op,
                 fmt: fmt_suffix(f)?,
@@ -396,15 +465,27 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
         }
         ("fclass", [f]) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::FClass { fmt: fmt_suffix(f)?, rd: xreg(ops[0])?, rs1: freg(ops[1])? })
+            Ok(Instr::FClass {
+                fmt: fmt_suffix(f)?,
+                rd: xreg(ops[0])?,
+                rs1: freg(ops[1])?,
+            })
         }
         ("fmv", ["x", f]) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::FMvXF { fmt: fmt_suffix(f)?, rd: xreg(ops[0])?, rs1: freg(ops[1])? })
+            Ok(Instr::FMvXF {
+                fmt: fmt_suffix(f)?,
+                rd: xreg(ops[0])?,
+                rs1: freg(ops[1])?,
+            })
         }
         ("fmv", [f, "x"]) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::FMvFX { fmt: fmt_suffix(f)?, rd: freg(ops[0])?, rs1: xreg(ops[1])? })
+            Ok(Instr::FMvFX {
+                fmt: fmt_suffix(f)?,
+                rd: freg(ops[0])?,
+                rs1: xreg(ops[1])?,
+            })
         }
         ("fcvt", [w @ ("w" | "wu"), f]) => {
             let rm = take_rm(&mut ops)?;
@@ -445,9 +526,21 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
             let fmt = fmt_suffix(f)?;
             let (rd, rs1, rs2) = (freg(ops[0])?, freg(ops[1])?, freg(ops[2])?);
             Ok(if base == "fmulex" {
-                Instr::FMulEx { fmt, rd, rs1, rs2, rm }
+                Instr::FMulEx {
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rm,
+                }
             } else {
-                Instr::FMacEx { fmt, rd, rs1, rs2, rm }
+                Instr::FMacEx {
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rm,
+                }
             })
         }
         (
@@ -484,7 +577,11 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
         }
         ("vfsqrt", [f]) => {
             expect_operands(&ops, 2, mnem)?;
-            Ok(Instr::VFSqrt { fmt: fmt_suffix(f)?, rd: freg(ops[0])?, rs1: freg(ops[1])? })
+            Ok(Instr::VFSqrt {
+                fmt: fmt_suffix(f)?,
+                rd: freg(ops[0])?,
+                rs1: freg(ops[1])?,
+            })
         }
         ("vfeq" | "vfne" | "vflt" | "vfle" | "vfgt" | "vfge", rest_suffix) => {
             let (rep, f) = match rest_suffix {
@@ -617,7 +714,12 @@ mod tests {
     fn parses_core_forms() {
         assert_eq!(
             parse_line("addi a0, a1, -42").unwrap(),
-            Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm: -42 }
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::a(1),
+                imm: -42
+            }
         );
         assert_eq!(
             parse_line("lw a0, 8(sp)").unwrap(),
@@ -665,16 +767,34 @@ mod tests {
 
     #[test]
     fn numeric_register_names() {
-        assert_eq!(parse_line("add x1, x2, x31").unwrap().to_string(), "add ra, sp, t6");
-        assert_eq!(parse_line("fadd.s f0, f1, f2").unwrap().to_string(), "fadd.s ft0, ft1, ft2");
+        assert_eq!(
+            parse_line("add x1, x2, x31").unwrap().to_string(),
+            "add ra, sp, t6"
+        );
+        assert_eq!(
+            parse_line("fadd.s f0, f1, f2").unwrap().to_string(),
+            "fadd.s ft0, ft1, ft2"
+        );
     }
 
     #[test]
     fn errors_are_descriptive() {
-        assert!(parse_line("frobnicate a0").unwrap_err().to_string().contains("unknown mnemonic"));
-        assert!(parse_line("addi a0, a1").unwrap_err().to_string().contains("expects 3"));
-        assert!(parse_line("lw a0, nope").unwrap_err().to_string().contains("offset(base)"));
-        assert!(parse_line("addi a0, q7, 1").unwrap_err().to_string().contains("register"));
+        assert!(parse_line("frobnicate a0")
+            .unwrap_err()
+            .to_string()
+            .contains("unknown mnemonic"));
+        assert!(parse_line("addi a0, a1")
+            .unwrap_err()
+            .to_string()
+            .contains("expects 3"));
+        assert!(parse_line("lw a0, nope")
+            .unwrap_err()
+            .to_string()
+            .contains("offset(base)"));
+        assert!(parse_line("addi a0, q7, 1")
+            .unwrap_err()
+            .to_string()
+            .contains("register"));
     }
 
     #[test]
@@ -705,12 +825,15 @@ mod tests {
             let word = (state >> 16) as u32 | 0b11;
             if let Ok(instr) = decode(word) {
                 let text = instr.to_string();
-                let back = parse_line(&text)
-                    .unwrap_or_else(|e| panic!("cannot re-parse `{text}`: {e}"));
+                let back =
+                    parse_line(&text).unwrap_or_else(|e| panic!("cannot re-parse `{text}`: {e}"));
                 assert_eq!(back, instr, "`{text}`");
                 checked += 1;
             }
         }
-        assert!(checked > 10_000, "sweep must hit plenty of valid words ({checked})");
+        assert!(
+            checked > 10_000,
+            "sweep must hit plenty of valid words ({checked})"
+        );
     }
 }

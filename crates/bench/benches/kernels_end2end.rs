@@ -2,14 +2,13 @@
 //! across precision/lowering variants (host-side wall time of the whole
 //! reproduction pipeline).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smallfloat_devtools::bench::Harness;
 use smallfloat_kernels::bench::{self, Precision, VecMode};
 use smallfloat_kernels::polybench::Gemm;
 use smallfloat_sim::MemLevel;
 
-fn bench_end2end(c: &mut Criterion) {
-    let mut group = c.benchmark_group("kernels_end2end");
-    group.sample_size(10);
+fn main() {
+    let mut h = Harness::new("kernels_end2end");
     let gemm = Gemm { n: 16 };
     for (label, prec, mode) in [
         ("float_scalar", Precision::F32, VecMode::Scalar),
@@ -18,16 +17,9 @@ fn bench_end2end(c: &mut Criterion) {
         ("f8_auto", Precision::F8, VecMode::Auto),
         ("f8_manual", Precision::F8, VecMode::Manual),
     ] {
-        group.bench_with_input(
-            BenchmarkId::new("gemm16", label),
-            &(prec, mode),
-            |b, (prec, mode)| {
-                b.iter(|| bench::run(&gemm, prec, *mode, MemLevel::L1).stats.cycles)
-            },
-        );
+        h.bench(&format!("gemm16/{label}"), || {
+            bench::run(&gemm, &prec, mode, MemLevel::L1).stats.cycles
+        });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_end2end);
-criterion_main!(benches);

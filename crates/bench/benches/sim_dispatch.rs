@@ -1,9 +1,13 @@
 //! Simulator dispatch rate: simulated instructions per second for integer,
 //! scalar-FP and SIMD-FP instruction mixes.
+//!
+//! Run with `cargo bench --bench sim_dispatch`; set
+//! `SMALLFLOAT_BENCH_JSON=<path>` to also write the machine-readable report
+//! (the committed `BENCH_sim_dispatch.json` before/after record).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{FpFmt, FReg, XReg};
+use smallfloat_devtools::bench::Harness;
+use smallfloat_isa::{FReg, FpFmt, XReg};
 use smallfloat_sim::{Cpu, SimConfig};
 
 const ITERS: i32 = 1000;
@@ -59,15 +63,16 @@ fn vec_loop(fmt: FpFmt) -> Vec<smallfloat_isa::Instr> {
     asm.assemble().expect("valid")
 }
 
-fn run(program: &[smallfloat_isa::Instr]) -> u64 {
-    let mut cpu = Cpu::new(SimConfig::default());
+fn run(cpu: &mut Cpu, program: &[smallfloat_isa::Instr]) -> u64 {
+    cpu.reset();
     cpu.load_program(0x1000, program);
     cpu.run(10_000_000).expect("terminates");
     cpu.stats().instret
 }
 
-fn bench_dispatch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sim_dispatch");
+fn main() {
+    let mut h = Harness::new("sim_dispatch");
+    let mut cpu = Cpu::new(SimConfig::default());
     let cases = [
         ("int_alu", int_loop()),
         ("fp32", fp_loop(FpFmt::S)),
@@ -77,12 +82,9 @@ fn bench_dispatch(c: &mut Criterion) {
         ("vec8", vec_loop(FpFmt::B)),
     ];
     for (name, program) in cases {
-        let instret = run(&program);
-        group.throughput(Throughput::Elements(instret));
-        group.bench_function(name, |b| b.iter(|| run(&program)));
+        let instret = run(&mut cpu, &program);
+        h.throughput(instret);
+        h.bench(name, || run(&mut cpu, &program));
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_dispatch);
-criterion_main!(benches);

@@ -1,7 +1,8 @@
 //! Throughput of the soft-float core across formats and operations.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use smallfloat_devtools::bench::Harness;
 use smallfloat_softfp::{ops, Env, Format, Rounding};
+use std::hint::black_box;
 
 fn formats() -> [(&'static str, Format); 4] {
     [
@@ -23,53 +24,43 @@ fn operands(fmt: Format) -> Vec<(u64, u64)> {
         .collect()
 }
 
-fn bench_softfp(c: &mut Criterion) {
-    let mut group = c.benchmark_group("softfp");
+fn main() {
+    let mut h = Harness::new("softfp");
     for (name, fmt) in formats() {
         let data = operands(fmt);
-        group.bench_with_input(BenchmarkId::new("add", name), &data, |b, data| {
+        h.throughput(data.len() as u64);
+        h.bench(&format!("add/{name}"), || {
             let mut env = Env::new(Rounding::Rne);
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &(x, y) in data {
-                    acc ^= ops::add(fmt, black_box(x), black_box(y), &mut env);
-                }
-                acc
-            })
+            let mut acc = 0u64;
+            for &(x, y) in &data {
+                acc ^= ops::add(fmt, black_box(x), black_box(y), &mut env);
+            }
+            acc
         });
-        group.bench_with_input(BenchmarkId::new("mul", name), &data, |b, data| {
+        h.bench(&format!("mul/{name}"), || {
             let mut env = Env::new(Rounding::Rne);
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &(x, y) in data {
-                    acc ^= ops::mul(fmt, black_box(x), black_box(y), &mut env);
-                }
-                acc
-            })
+            let mut acc = 0u64;
+            for &(x, y) in &data {
+                acc ^= ops::mul(fmt, black_box(x), black_box(y), &mut env);
+            }
+            acc
         });
-        group.bench_with_input(BenchmarkId::new("fmadd", name), &data, |b, data| {
+        h.bench(&format!("fmadd/{name}"), || {
             let mut env = Env::new(Rounding::Rne);
-            b.iter(|| {
-                let mut acc = fmt.one();
-                for &(x, y) in data {
-                    acc = ops::fmadd(fmt, black_box(x), black_box(y), acc, &mut env);
-                }
-                acc
-            })
+            let mut acc = fmt.one();
+            for &(x, y) in &data {
+                acc = ops::fmadd(fmt, black_box(x), black_box(y), acc, &mut env);
+            }
+            acc
         });
-        group.bench_with_input(BenchmarkId::new("div", name), &data, |b, data| {
+        h.bench(&format!("div/{name}"), || {
             let mut env = Env::new(Rounding::Rne);
-            b.iter(|| {
-                let mut acc = 0u64;
-                for &(x, y) in data {
-                    acc ^= ops::div(fmt, black_box(x), black_box(y), &mut env);
-                }
-                acc
-            })
+            let mut acc = 0u64;
+            for &(x, y) in &data {
+                acc ^= ops::div(fmt, black_box(x), black_box(y), &mut env);
+            }
+            acc
         });
     }
-    group.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench_softfp);
-criterion_main!(benches);

@@ -12,7 +12,7 @@
 //! and measures simulated cycles.
 
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{BranchCond, FpFmt, FReg, XReg};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
 use smallfloat_sim::{Cpu, SimConfig};
 use smallfloat_softfp::{ops, Env, Rounding};
 
@@ -29,7 +29,8 @@ fn write_f16_array(cpu: &mut Cpu, addr: u32, seed: u64) {
         st ^= st << 17;
         let v = ((st >> 16) % 128) as f64 / 32.0 - 2.0;
         let bits = ops::from_f64(FpFmt::H.format(), v, &mut env) as u16;
-        cpu.mem_mut().write_bytes(addr + 2 * i as u32, &bits.to_le_bytes());
+        cpu.mem_mut()
+            .write_bytes(addr + 2 * i as u32, &bits.to_le_bytes());
     }
 }
 
@@ -40,7 +41,8 @@ fn write_f32_array(cpu: &mut Cpu, addr: u32, seed: u64) {
         st ^= st >> 7;
         st ^= st << 17;
         let v = ((st >> 16) % 128) as f32 / 32.0 - 2.0;
-        cpu.mem_mut().write_bytes(addr + 4 * i as u32, &v.to_bits().to_le_bytes());
+        cpu.mem_mut()
+            .write_bytes(addr + 4 * i as u32, &v.to_bits().to_le_bytes());
     }
 }
 
@@ -50,6 +52,20 @@ fn run(asm: &Assembler, setup: impl FnOnce(&mut Cpu)) -> (u64, Cpu) {
     cpu.load_program(TEXT, &asm.assemble().expect("assembles"));
     cpu.run(50_000_000).expect("terminates");
     (cpu.stats().cycles, cpu)
+}
+
+/// Run the with-feature and without-feature programs concurrently (each
+/// simulation is independent and deterministic, so the pair of results is
+/// identical to a serial run).
+fn run_pair(
+    with: &Assembler,
+    without: &Assembler,
+    setup: impl Fn(&mut Cpu) + Sync,
+) -> ((u64, Cpu), (u64, Cpu)) {
+    let mut results = crate::par::par_map(2, |i| run(if i == 0 { with } else { without }, &setup));
+    let second = results.pop().expect("two results");
+    let first = results.pop().expect("two results");
+    (first, second)
 }
 
 /// Result of an ablation: cycles with the feature vs without.
@@ -116,11 +132,7 @@ pub fn xfaux_ablation() -> Ablation {
         write_f16_array(cpu, DATA, 0xA1);
         write_f16_array(cpu, DATA + 2 * N as u32, 0xB2);
     };
-    let (cw, cpu_w) = run(&with, setup);
-    let (co, cpu_o) = run(&without, |cpu| {
-        write_f16_array(cpu, DATA, 0xA1);
-        write_f16_array(cpu, DATA + 2 * N as u32, 0xB2);
-    });
+    let ((cw, cpu_w), (co, cpu_o)) = run_pair(&with, &without, setup);
     // The variants agree only approximately: the per-lane chain rounds
     // every product to binary16 before widening, while vfdotpex keeps the
     // product exact — Xfaux buys accuracy as well as speed.
@@ -130,7 +142,10 @@ pub fn xfaux_ablation() -> Ablation {
         (rw - ro).abs() <= 0.02 * rw.abs().max(1.0),
         "results must agree approximately: {rw} vs {ro}"
     );
-    Ablation { with_feature: cw, without_feature: co }
+    Ablation {
+        with_feature: cw,
+        without_feature: co,
+    }
 }
 
 /// Converting a binary32 array into packed binary16 vectors:
@@ -167,13 +182,16 @@ pub fn cpk_ablation() -> Ablation {
     without.branch(BranchCond::Ltu, src, end, "loop");
     without.ecall();
 
-    let (cw, cpu_w) = run(&with, |cpu| write_f32_array(cpu, DATA, 0xC3));
-    let (co, cpu_o) = run(&without, |cpu| write_f32_array(cpu, DATA, 0xC3));
+    let ((cw, cpu_w), (co, cpu_o)) =
+        run_pair(&with, &without, |cpu| write_f32_array(cpu, DATA, 0xC3));
     // Same packed halves either way.
     let out_w = cpu_w.mem().read_bytes(DATA + 4 * N as u32, 2 * N).to_vec();
     let out_o = cpu_o.mem().read_bytes(DATA + 4 * N as u32, 2 * N).to_vec();
     assert_eq!(out_w, out_o, "converted arrays must agree");
-    Ablation { with_feature: cw, without_feature: co }
+    Ablation {
+        with_feature: cw,
+        without_feature: co,
+    }
 }
 
 /// Render both ablations.
@@ -181,7 +199,11 @@ pub fn render() -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let x = xfaux_ablation();
-    writeln!(out, "Ablation: Xfaux expanding dot product (binary16 -> binary32)").unwrap();
+    writeln!(
+        out,
+        "Ablation: Xfaux expanding dot product (binary16 -> binary32)"
+    )
+    .unwrap();
     writeln!(
         out,
         "  with vfdotpex: {:>8} cycles   without (Xfvec-only): {:>8} cycles   Xfaux speedup: {:.2}x",
@@ -189,7 +211,11 @@ pub fn render() -> String {
     )
     .unwrap();
     let c = cpk_ablation();
-    writeln!(out, "Ablation: cast-and-pack (binary32 array -> packed binary16)").unwrap();
+    writeln!(
+        out,
+        "Ablation: cast-and-pack (binary32 array -> packed binary16)"
+    )
+    .unwrap();
     writeln!(
         out,
         "  with vfcpk:    {:>8} cycles   without (scalar fcvt): {:>8} cycles   vfcpk speedup: {:.2}x",

@@ -50,12 +50,15 @@ mod tests {
         assert!(t.contains("GEMM"));
         // At least one row should show a double-digit reduction: generated
         // code is rich in addi/branches with compressed forms.
-        assert!(t.lines().any(|l| {
-            l.ends_with('%')
-                && l.split_whitespace()
-                    .last()
-                    .and_then(|p| p.trim_end_matches('%').parse::<f64>().ok())
-                    .is_some_and(|r| r > 10.0)
-        }), "{t}");
+        assert!(
+            t.lines().any(|l| {
+                l.ends_with('%')
+                    && l.split_whitespace()
+                        .last()
+                        .and_then(|p| p.trim_end_matches('%').parse::<f64>().ok())
+                        .is_some_and(|r| r > 10.0)
+            }),
+            "{t}"
+        );
     }
 }

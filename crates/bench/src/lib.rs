@@ -9,6 +9,7 @@
 
 pub mod ablation;
 pub mod codesize;
+pub mod par;
 
 use smallfloat::{kernels, MemLevel, Precision, VecMode};
 use smallfloat_isa::{vector_lanes, FpFmt, InstrClass};
@@ -45,45 +46,104 @@ pub fn table1_operations() -> String {
         (
             "Arithmetic",
             "Xf16",
-            Instr::FOp { op: smallfloat_isa::FpOp::Add, fmt: FpFmt::H, rd: f, rs1: f1, rs2: f2, rm: Rm::Dyn },
+            Instr::FOp {
+                op: smallfloat_isa::FpOp::Add,
+                fmt: FpFmt::H,
+                rd: f,
+                rs1: f1,
+                rs2: f2,
+                rm: Rm::Dyn,
+            },
         ),
         (
             "Conversions",
             "Xf16",
-            Instr::FCvtFF { dst: FpFmt::H, src: FpFmt::S, rd: f, rs1: f1, rm: Rm::Dyn },
+            Instr::FCvtFF {
+                dst: FpFmt::H,
+                src: FpFmt::S,
+                rd: f,
+                rs1: f1,
+                rm: Rm::Dyn,
+            },
         ),
         (
             "Vector Arith.",
             "Xfvec",
-            Instr::VFOp { op: VfOp::Add, fmt: FpFmt::H, rd: f, rs1: f1, rs2: f2, rep: false },
+            Instr::VFOp {
+                op: VfOp::Add,
+                fmt: FpFmt::H,
+                rd: f,
+                rs1: f1,
+                rs2: f2,
+                rep: false,
+            },
         ),
         (
             "Vector Conv.",
             "Xfvec",
-            Instr::VFCvtXF { fmt: FpFmt::H, rd: f, rs1: f1, signed: true },
+            Instr::VFCvtXF {
+                fmt: FpFmt::H,
+                rd: f,
+                rs1: f1,
+                signed: true,
+            },
         ),
         (
             "Cast-and-Pack",
             "Xfvec",
-            Instr::VFCpk { fmt: FpFmt::H, half: CpkHalf::A, rd: f, rs1: f1, rs2: f2 },
+            Instr::VFCpk {
+                fmt: FpFmt::H,
+                half: CpkHalf::A,
+                rd: f,
+                rs1: f1,
+                rs2: f2,
+            },
         ),
         (
             "Expanding",
             "Xfaux",
-            Instr::FMacEx { fmt: FpFmt::H, rd: f, rs1: f1, rs2: f2, rm: Rm::Dyn },
+            Instr::FMacEx {
+                fmt: FpFmt::H,
+                rd: f,
+                rs1: f1,
+                rs2: f2,
+                rm: Rm::Dyn,
+            },
         ),
         (
             "Other",
             "Xfaux",
-            Instr::VFDotpEx { fmt: FpFmt::H, rd: f, rs1: f1, rs2: f2, rep: false },
+            Instr::VFDotpEx {
+                fmt: FpFmt::H,
+                rd: f,
+                rs1: f1,
+                rs2: f2,
+                rep: false,
+            },
         ),
     ];
     let mut out = String::new();
-    writeln!(out, "Table I: common operations in the smallFloat extensions").unwrap();
-    writeln!(out, "{:<15} {:<6} {:<28} encoding", "Operation Type", "Ext.", "Instruction").unwrap();
+    writeln!(
+        out,
+        "Table I: common operations in the smallFloat extensions"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<15} {:<6} {:<28} encoding",
+        "Operation Type", "Ext.", "Instruction"
+    )
+    .unwrap();
     for (family, ext, instr) in rows {
-        writeln!(out, "{:<15} {:<6} {:<28} 0x{:08x}", family, ext, instr.to_string(), encode(&instr))
-            .unwrap();
+        writeln!(
+            out,
+            "{:<15} {:<6} {:<28} 0x{:08x}",
+            family,
+            ext,
+            instr.to_string(),
+            encode(&instr)
+        )
+        .unwrap();
     }
     out
 }
@@ -92,7 +152,12 @@ pub fn table1_operations() -> String {
 pub fn table2_lanes() -> String {
     let mut out = String::new();
     writeln!(out, "Table II: supported vector lanes vs FLEN").unwrap();
-    writeln!(out, "{:<6} {:>4} {:>6} {:>8} {:>5}", "FLEN", "F", "Xf16", "Xf16alt", "Xf8").unwrap();
+    writeln!(
+        out,
+        "{:<6} {:>4} {:>6} {:>8} {:>5}",
+        "FLEN", "F", "Xf16", "Xf16alt", "Xf8"
+    )
+    .unwrap();
     for flen in [64u32, 32, 16] {
         let cell = |f: FpFmt| match vector_lanes(flen, f) {
             Some(n) => n.to_string(),
@@ -114,7 +179,7 @@ pub fn table2_lanes() -> String {
 
 /// One Fig-1 row: benchmark × type × {auto, manual} speedups plus the
 /// ideal (lane count).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Fig1Row {
     pub benchmark: String,
     pub type_label: String,
@@ -126,29 +191,38 @@ pub struct Fig1Row {
 /// Figure 1: speedup of smallFloat types compared to `float`, automatic vs
 /// manual vectorization, with ideal (lane-count) markers.
 pub fn fig1_speedups() -> Vec<Fig1Row> {
-    let mut rows = Vec::new();
-    for w in bench::suite() {
-        for (prec, ideal) in
-            [(Precision::F16, 2.0), (Precision::F16Alt, 2.0), (Precision::F8, 4.0)]
-        {
-            let auto = bench::speedup(w.as_ref(), &prec, VecMode::Auto, MemLevel::L1);
-            let manual = bench::speedup(w.as_ref(), &prec, VecMode::Manual, MemLevel::L1);
-            rows.push(Fig1Row {
-                benchmark: w.name().to_string(),
-                type_label: prec.label(),
-                auto,
-                manual,
-                ideal,
-            });
+    let precs = [
+        (Precision::F16, 2.0),
+        (Precision::F16Alt, 2.0),
+        (Precision::F8, 4.0),
+    ];
+    let n_bench = bench::suite().len();
+    // Workloads are not Send: each task rebuilds the suite in its worker
+    // and picks its (benchmark, precision) cell; par_map keeps row order
+    // identical to the serial nested loop.
+    par::par_map(n_bench * precs.len(), |task| {
+        let w = &bench::suite()[task / precs.len()];
+        let (prec, ideal) = &precs[task % precs.len()];
+        let auto = bench::speedup(w.as_ref(), prec, VecMode::Auto, MemLevel::L1);
+        let manual = bench::speedup(w.as_ref(), prec, VecMode::Manual, MemLevel::L1);
+        Fig1Row {
+            benchmark: w.name().to_string(),
+            type_label: prec.label(),
+            auto,
+            manual,
+            ideal: *ideal,
         }
-    }
-    rows
+    })
 }
 
 /// Render Fig-1 rows plus the aggregate lines the paper quotes.
 pub fn fig1_render(rows: &[Fig1Row]) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 1: speedup of smallFloat types compared to float (L1)").unwrap();
+    writeln!(
+        out,
+        "Figure 1: speedup of smallFloat types compared to float (L1)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<8} {:<11} {:>7} {:>7} {:>6}",
@@ -180,30 +254,47 @@ pub fn fig1_render(rows: &[Fig1Row]) -> String {
 
 /// Figure 2 series: manual-vectorized speedup vs memory level.
 pub fn fig2_latency() -> Vec<(String, String, [f64; 3])> {
-    let mut rows = Vec::new();
-    for w in bench::suite() {
-        for prec in [Precision::F16, Precision::F8] {
-            let mut s = [0.0; 3];
-            for (i, level) in MemLevel::ALL.iter().enumerate() {
-                s[i] = bench::speedup(w.as_ref(), &prec, VecMode::Manual, *level);
-            }
-            rows.push((w.name().to_string(), prec.label(), s));
+    let precs = [Precision::F16, Precision::F8];
+    let n_bench = bench::suite().len();
+    par::par_map(n_bench * precs.len(), |task| {
+        let w = &bench::suite()[task / precs.len()];
+        let prec = &precs[task % precs.len()];
+        let mut s = [0.0; 3];
+        for (i, level) in MemLevel::ALL.iter().enumerate() {
+            s[i] = bench::speedup(w.as_ref(), prec, VecMode::Manual, *level);
         }
-    }
-    rows
+        (w.name().to_string(), prec.label(), s)
+    })
 }
 
 /// Render Fig-2 with the paper's aggregate trend lines.
 pub fn fig2_render(rows: &[(String, String, [f64; 3])]) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 2: speedup (manual) for increasing memory latencies").unwrap();
-    writeln!(out, "{:<8} {:<9} {:>7} {:>7} {:>7}", "bench", "type", "L1", "L2", "L3").unwrap();
+    writeln!(
+        out,
+        "Figure 2: speedup (manual) for increasing memory latencies"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:<9} {:>7} {:>7} {:>7}",
+        "bench", "type", "L1", "L2", "L3"
+    )
+    .unwrap();
     for (b, t, s) in rows {
-        writeln!(out, "{:<8} {:<9} {:>6.2}x {:>6.2}x {:>6.2}x", b, t, s[0], s[1], s[2]).unwrap();
+        writeln!(
+            out,
+            "{:<8} {:<9} {:>6.2}x {:>6.2}x {:>6.2}x",
+            b, t, s[0], s[1], s[2]
+        )
+        .unwrap();
     }
     for (label, prec) in [("float16", "float16"), ("float8", "float8")] {
-        let sel: Vec<&[f64; 3]> =
-            rows.iter().filter(|(_, t, _)| t == prec).map(|(_, _, s)| s).collect();
+        let sel: Vec<&[f64; 3]> = rows
+            .iter()
+            .filter(|(_, t, _)| t == prec)
+            .map(|(_, _, s)| s)
+            .collect();
         let avg = |i: usize| sel.iter().map(|s| s[i]).sum::<f64>() / sel.len() as f64;
         let (l1, l2, l3) = (avg(0), avg(1), avg(2));
         writeln!(
@@ -220,35 +311,56 @@ pub fn fig2_render(rows: &[(String, String, [f64; 3])]) -> String {
 /// Figure 3 series: energy normalized to `float`, per memory level
 /// (manual vectorization).
 pub fn fig3_energy() -> Vec<(String, String, [f64; 3])> {
-    let mut rows = Vec::new();
-    for w in bench::suite() {
-        for prec in [Precision::F16, Precision::F8] {
-            let mut e = [0.0; 3];
-            for (i, level) in MemLevel::ALL.iter().enumerate() {
-                let base = bench::run(w.as_ref(), &Precision::F32, VecMode::Scalar, *level);
-                let var = bench::run(w.as_ref(), &prec, VecMode::Manual, *level);
-                e[i] = var.stats.energy_pj / base.stats.energy_pj;
-            }
-            rows.push((w.name().to_string(), prec.label(), e));
+    let precs = [Precision::F16, Precision::F8];
+    let n_bench = bench::suite().len();
+    par::par_map(n_bench * precs.len(), |task| {
+        let w = &bench::suite()[task / precs.len()];
+        let prec = &precs[task % precs.len()];
+        let mut e = [0.0; 3];
+        for (i, level) in MemLevel::ALL.iter().enumerate() {
+            let base = bench::run(w.as_ref(), &Precision::F32, VecMode::Scalar, *level);
+            let var = bench::run(w.as_ref(), prec, VecMode::Manual, *level);
+            e[i] = var.stats.energy_pj / base.stats.energy_pj;
         }
-    }
-    rows
+        (w.name().to_string(), prec.label(), e)
+    })
 }
 
 /// Render Fig-3 with the paper's 30 %/50 % anchor aggregates.
 pub fn fig3_render(rows: &[(String, String, [f64; 3])]) -> String {
     let mut out = String::new();
-    writeln!(out, "Figure 3: energy normalized to float, increasing memory latencies").unwrap();
-    writeln!(out, "{:<8} {:<9} {:>7} {:>7} {:>7}", "bench", "type", "L1", "L2", "L3").unwrap();
+    writeln!(
+        out,
+        "Figure 3: energy normalized to float, increasing memory latencies"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "{:<8} {:<9} {:>7} {:>7} {:>7}",
+        "bench", "type", "L1", "L2", "L3"
+    )
+    .unwrap();
     for (b, t, e) in rows {
-        writeln!(out, "{:<8} {:<9} {:>7.3} {:>7.3} {:>7.3}", b, t, e[0], e[1], e[2]).unwrap();
+        writeln!(
+            out,
+            "{:<8} {:<9} {:>7.3} {:>7.3} {:>7.3}",
+            b, t, e[0], e[1], e[2]
+        )
+        .unwrap();
     }
     for prec in ["float16", "float8"] {
-        let sel: Vec<&[f64; 3]> =
-            rows.iter().filter(|(_, t, _)| t == prec).map(|(_, _, e)| e).collect();
+        let sel: Vec<&[f64; 3]> = rows
+            .iter()
+            .filter(|(_, t, _)| t == prec)
+            .map(|(_, _, e)| e)
+            .collect();
         let avg = sel.iter().map(|e| e[0]).sum::<f64>() / sel.len() as f64;
-        writeln!(out, "{prec}: average energy saving at L1: {:.0}%", (1.0 - avg) * 100.0)
-            .unwrap();
+        writeln!(
+            out,
+            "{prec}: average energy saving at L1: {:.0}%",
+            (1.0 - avg) * 100.0
+        )
+        .unwrap();
     }
     out
 }
@@ -256,18 +368,24 @@ pub fn fig3_render(rows: &[(String, String, [f64; 3])]) -> String {
 /// Table III: SQNR (dB) per benchmark per type (manual vectorization, as
 /// used throughout §V-B).
 pub fn table3_sqnr() -> String {
+    let precs = [Precision::F16, Precision::F16Alt, Precision::F8];
+    let suite = bench::suite();
+    let n_bench = suite.len();
+    let cells = par::par_map(precs.len() * n_bench, |task| {
+        let prec = &precs[task / n_bench];
+        let w = &bench::suite()[task % n_bench];
+        bench::sqnr(w.as_ref(), prec, VecMode::Manual)
+    });
     let mut out = String::new();
     writeln!(out, "Table III: quality of results expressed in SQNR (dB)").unwrap();
-    let suite = bench::suite();
     write!(out, "{:<12}", "type").unwrap();
     for w in &suite {
         write!(out, "{:>9}", w.name()).unwrap();
     }
     writeln!(out).unwrap();
-    for prec in [Precision::F16, Precision::F16Alt, Precision::F8] {
+    for (pi, prec) in precs.iter().enumerate() {
         write!(out, "{:<12}", prec.label()).unwrap();
-        for w in &suite {
-            let db = bench::sqnr(w.as_ref(), &prec, VecMode::Manual);
+        for db in &cells[pi * n_bench..(pi + 1) * n_bench] {
             write!(out, "{:>9.1}", db).unwrap();
         }
         writeln!(out).unwrap();
@@ -281,12 +399,25 @@ pub fn fig4_breakdown() -> String {
     let svm = Svm::new();
     let mixed = mixed_precision();
     let runs: Vec<(&str, Stats)> = vec![
-        ("original(float)", bench::run(&svm, &Precision::F32, VecMode::Scalar, MemLevel::L1).stats),
-        ("auto-vect", bench::run(&svm, &mixed, VecMode::Auto, MemLevel::L1).stats),
-        ("manual-vect", bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1).stats),
+        (
+            "original(float)",
+            bench::run(&svm, &Precision::F32, VecMode::Scalar, MemLevel::L1).stats,
+        ),
+        (
+            "auto-vect",
+            bench::run(&svm, &mixed, VecMode::Auto, MemLevel::L1).stats,
+        ),
+        (
+            "manual-vect",
+            bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1).stats,
+        ),
     ];
     let mut out = String::new();
-    writeln!(out, "Figure 4: SVM instruction-count breakdown under mixed precision").unwrap();
+    writeln!(
+        out,
+        "Figure 4: SVM instruction-count breakdown under mixed precision"
+    )
+    .unwrap();
     write!(out, "{:<14}", "class").unwrap();
     for (label, _) in &runs {
         write!(out, "{:>17}", label).unwrap();
@@ -324,7 +455,9 @@ pub fn fig5_codegen() -> String {
     // float16 *a, *b; float sum; for (i) sum += a[i]*b[i];
     let n = 64usize;
     let mut k = Kernel::new("dotp_mixed");
-    k.array("a", FpFmt::H, n).array("b", FpFmt::H, n).scalar("sum", FpFmt::S, 0.0);
+    k.array("a", FpFmt::H, n)
+        .array("b", FpFmt::H, n)
+        .scalar("sum", FpFmt::S, 0.0);
     k.body = vec![Stmt::for_(
         "i",
         0,
@@ -358,12 +491,23 @@ pub fn fig5_codegen() -> String {
     let manual_len = asm.len();
 
     let mut out = String::new();
-    writeln!(out, "Figure 5: code for `float16 *a,*b; float sum; sum += a[i]*b[i]`\n").unwrap();
-    writeln!(out, "--- automatic vectorization ({} instructions) ---", auto.program.len())
-        .unwrap();
+    writeln!(
+        out,
+        "Figure 5: code for `float16 *a,*b; float sum; sum += a[i]*b[i]`\n"
+    )
+    .unwrap();
+    writeln!(
+        out,
+        "--- automatic vectorization ({} instructions) ---",
+        auto.program.len()
+    )
+    .unwrap();
     out.push_str(&auto.listing);
-    writeln!(out, "\n--- manual vectorization with Xfaux intrinsics ({manual_len} instructions) ---")
-        .unwrap();
+    writeln!(
+        out,
+        "\n--- manual vectorization with Xfaux intrinsics ({manual_len} instructions) ---"
+    )
+    .unwrap();
     out.push_str(&manual_listing);
     // Per-iteration instruction counts (steady-state vector loop bodies).
     let auto_per_iter = count_loop_body(&auto.listing, "vhead");
@@ -408,7 +552,11 @@ pub fn fig6_mixed() -> String {
     let svm = Svm::new();
     let labels = svm.data().labels.clone();
     let mut out = String::new();
-    writeln!(out, "Figure 6: SVM under mixed precision vs uniform types (manual, L1)").unwrap();
+    writeln!(
+        out,
+        "Figure 6: SVM under mixed precision vs uniform types (manual, L1)"
+    )
+    .unwrap();
     writeln!(
         out,
         "{:<22} {:>8} {:>12} {:>10}",
@@ -423,7 +571,11 @@ pub fn fig6_mixed() -> String {
         ("mixed (acc=float)".to_string(), mixed_precision()),
         ("mixed (acc=f16alt)".to_string(), mixed_precision_relaxed()),
     ] {
-        let mode = if prec == Precision::F32 { VecMode::Scalar } else { VecMode::Manual };
+        let mode = if prec == Precision::F32 {
+            VecMode::Scalar
+        } else {
+            VecMode::Manual
+        };
         let r = bench::run(&svm, &prec, mode, MemLevel::L1);
         let err = error_rate(&r.arrays["scores"], &labels);
         writeln!(
@@ -473,7 +625,8 @@ pub fn tuner_case_study() -> String {
 
 /// Sanity helper reused by binaries and integration tests.
 pub fn all_reports_fig1_sane(rows: &[Fig1Row]) -> bool {
-    rows.iter().all(|r| r.auto > 0.5 && r.manual > 0.5 && r.manual <= r.ideal * 1.6)
+    rows.iter()
+        .all(|r| r.auto > 0.5 && r.manual > 0.5 && r.manual <= r.ideal * 1.6)
 }
 
 // Re-export for binaries.
@@ -499,7 +652,10 @@ mod tests {
     #[test]
     fn fig5_shows_the_contrast() {
         let s = fig5_codegen();
-        assert!(s.contains("vfdotpex.s.h"), "manual uses the expanding dot product");
+        assert!(
+            s.contains("vfdotpex.s.h"),
+            "manual uses the expanding dot product"
+        );
         assert!(s.contains("fcvt.s.h"), "auto carries per-lane conversions");
         assert!(s.contains("reduction"));
     }
@@ -508,5 +664,23 @@ mod tests {
     fn experiment_facade_consistency() {
         let r = Experiment::new("GEMM").unwrap().run();
         assert!(r.speedup > 1.0);
+    }
+
+    /// The parallel grid produces byte-identical figure data to a serial
+    /// run — parallelism must never be observable in the outputs.
+    #[test]
+    fn parallel_figures_match_serial() {
+        // Pin a real thread pool (even on one core) so the comparison
+        // exercises cross-thread scheduling, then compare to serial.
+        par::set_workers(4);
+        let fig1_par = fig1_speedups();
+        let fig2_par = fig2_latency();
+        par::set_serial(true);
+        let fig1_ser = fig1_speedups();
+        let fig2_ser = fig2_latency();
+        par::set_workers(0);
+        assert_eq!(fig1_par, fig1_ser);
+        assert_eq!(fig2_par, fig2_ser);
+        assert_eq!(fig1_render(&fig1_par), fig1_render(&fig1_ser));
     }
 }

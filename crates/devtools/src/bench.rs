@@ -1,0 +1,172 @@
+//! A small wall-clock benchmark harness (criterion stand-in).
+//!
+//! Each benchmark is warmed up, then timed over several samples of
+//! adaptively chosen iteration counts; the *median* sample is reported
+//! (robust against scheduler noise). Optional throughput (elements per
+//! iteration) turns times into rates. Results print as a table and can be
+//! exported as JSON for committed before/after records.
+//!
+//! Used from `[[bench]]` targets with `harness = false`:
+//!
+//! ```no_run
+//! use smallfloat_devtools::bench::Harness;
+//! let mut h = Harness::new("softfp");
+//! h.bench("add", || 2 + 2);
+//! h.finish();
+//! ```
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Target wall time per timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(25);
+/// Timed samples per benchmark.
+const SAMPLES: usize = 11;
+/// Warmup time before the first sample.
+const WARMUP: Duration = Duration::from_millis(50);
+
+/// One benchmark's outcome.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Benchmark name within the group.
+    pub name: String,
+    /// Median time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Mean time per iteration, nanoseconds.
+    pub mean_ns: f64,
+    /// Elements processed per iteration (1 when no throughput was set).
+    pub elements: u64,
+    /// Throughput in elements/second (from the median).
+    pub elems_per_sec: f64,
+}
+
+/// A named group of benchmarks.
+pub struct Harness {
+    group: String,
+    elements: u64,
+    results: Vec<BenchResult>,
+}
+
+impl Harness {
+    /// Start a group. Prints a header immediately.
+    pub fn new(group: &str) -> Harness {
+        eprintln!("benchmark group `{group}` ({SAMPLES} samples/bench)");
+        Harness {
+            group: group.to_string(),
+            elements: 1,
+            results: Vec::new(),
+        }
+    }
+
+    /// Set the elements-per-iteration used for throughput on subsequent
+    /// [`Harness::bench`] calls.
+    pub fn throughput(&mut self, elements: u64) {
+        self.elements = elements.max(1);
+    }
+
+    /// Run one benchmark. The closure's return value is black-boxed so the
+    /// optimizer cannot delete the measured work.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
+        // Warmup, and estimate the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let iters = ((SAMPLE_TARGET.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median_ns = samples_ns[SAMPLES / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / SAMPLES as f64;
+        let elems_per_sec = self.elements as f64 / (median_ns * 1e-9);
+        eprintln!(
+            "  {:<24} {:>12.1} ns/iter   {:>14.0} elem/s",
+            name, median_ns, elems_per_sec
+        );
+        self.results.push(BenchResult {
+            name: name.to_string(),
+            median_ns,
+            mean_ns,
+            elements: self.elements,
+            elems_per_sec,
+        });
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    /// Render the group as a JSON object (no external serializer needed).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"group\": \"{}\",\n  \"benches\": [\n",
+            self.group
+        ));
+        for (i, r) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
+                 \"elements\": {}, \"elems_per_sec\": {:.0}}}{}\n",
+                r.name,
+                r.median_ns,
+                r.mean_ns,
+                r.elements,
+                r.elems_per_sec,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Print a closing line; honours `SMALLFLOAT_BENCH_JSON=<path>` by also
+    /// writing the JSON report there.
+    pub fn finish(&self) {
+        eprintln!(
+            "group `{}` done ({} benches)",
+            self.group,
+            self.results.len()
+        );
+        if let Ok(path) = std::env::var("SMALLFLOAT_BENCH_JSON") {
+            if !path.is_empty() {
+                std::fs::write(&path, self.to_json()).expect("bench JSON written");
+                eprintln!("wrote {path}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut h = Harness::new("unit");
+        h.throughput(100);
+        h.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..50u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(h.results().len(), 1);
+        let r = &h.results()[0];
+        assert!(r.median_ns > 0.0 && r.elems_per_sec > 0.0);
+        let json = h.to_json();
+        assert!(json.contains("\"group\": \"unit\""));
+        assert!(json.contains("\"name\": \"spin\""));
+    }
+}

@@ -11,6 +11,10 @@
 //! reports *compressibility* (the standard metric for code-size studies)
 //! rather than re-laying-out the program.
 
+// Binary literals in this module are grouped by RVC encoding field
+// (funct3 _ bit12 _ rs/imm _ rd _ op), not in uniform quartets.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::instr::{AluOp, BranchCond, Instr, MemWidth};
 use crate::FpFmt;
 
@@ -34,7 +38,12 @@ fn fits_imm6(v: i32) -> bool {
 pub fn compress(instr: &Instr) -> Option<u16> {
     let w: u32 = match *instr {
         // ---- c.addi / c.li / c.mv / c.add / c.nop ----
-        Instr::OpImm { op: AluOp::Add, rd, rs1, imm } => {
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            imm,
+        } => {
             if rd == rs1 && fits_imm6(imm) {
                 if rd.num() == 2 {
                     // sp must use c.addi16sp, handled below via its own rules.
@@ -77,15 +86,22 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             }
         }
         // c.addi4spn: addi rd', sp, nzuimm (handled when rs1 = sp, rd in x8-15)
-        Instr::OpImm { op: AluOp::Sll, rd, rs1, imm } => {
-            // c.slli (rd = rs1, shamt 1..31)
-            if rd == rs1 && rd.num() != 0 && (1..32).contains(&imm) {
-                0b000_0_00000_00000_10 | ((rd.num() as u32) << 7) | ((imm as u32 & 0x1f) << 2)
-            } else {
-                return None;
-            }
+        Instr::OpImm {
+            op: AluOp::Sll,
+            rd,
+            rs1,
+            imm,
         }
-        Instr::OpImm { op: AluOp::Srl, rd, rs1, imm } => {
+            // c.slli (rd = rs1, shamt 1..31)
+            if rd == rs1 && rd.num() != 0 && (1..32).contains(&imm) => {
+                0b000_0_00000_00000_10 | ((rd.num() as u32) << 7) | ((imm as u32 & 0x1f) << 2)
+            }
+        Instr::OpImm {
+            op: AluOp::Srl,
+            rd,
+            rs1,
+            imm,
+        } => {
             let r = creg(rd.num())?;
             if rd == rs1 && (1..32).contains(&imm) {
                 0b100_0_00_000_00000_01 | (r << 7) | ((imm as u32 & 0x1f) << 2)
@@ -93,7 +109,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 return None;
             }
         }
-        Instr::OpImm { op: AluOp::Sra, rd, rs1, imm } => {
+        Instr::OpImm {
+            op: AluOp::Sra,
+            rd,
+            rs1,
+            imm,
+        } => {
             let r = creg(rd.num())?;
             if rd == rs1 && (1..32).contains(&imm) {
                 0b100_0_01_000_00000_01 | (r << 7) | ((imm as u32 & 0x1f) << 2)
@@ -101,20 +122,27 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 return None;
             }
         }
-        Instr::OpImm { op: AluOp::And, rd, rs1, imm } => {
+        Instr::OpImm {
+            op: AluOp::And,
+            rd,
+            rs1,
+            imm,
+        } => {
             let r = creg(rd.num())?;
             if rd == rs1 && fits_imm6(imm) {
                 let u = imm as u32;
-                0b100_0_10_000_00000_01
-                    | (((u >> 5) & 1) << 12)
-                    | (r << 7)
-                    | ((u & 0x1f) << 2)
+                0b100_0_10_000_00000_01 | (((u >> 5) & 1) << 12) | (r << 7) | ((u & 0x1f) << 2)
             } else {
                 return None;
             }
         }
         // ---- register-register ----
-        Instr::Op { op: AluOp::Add, rd, rs1, rs2 } => {
+        Instr::Op {
+            op: AluOp::Add,
+            rd,
+            rs1,
+            rs2,
+        } => {
             if rs1.num() == 0 && rd.num() != 0 && rs2.num() != 0 {
                 // c.mv
                 0b100_0_00000_00000_10 | ((rd.num() as u32) << 7) | ((rs2.num() as u32) << 2)
@@ -138,7 +166,13 @@ pub fn compress(instr: &Instr) -> Option<u16> {
             0b100_0_11_000_00_000_01 | (r << 7) | (f2 << 5) | (s << 2)
         }
         // ---- loads/stores ----
-        Instr::Load { width: MemWidth::W, unsigned: false, rd, rs1, offset } => {
+        Instr::Load {
+            width: MemWidth::W,
+            unsigned: false,
+            rd,
+            rs1,
+            offset,
+        } => {
             if rs1.num() == 2 && rd.num() != 0 && (0..256).contains(&offset) && offset % 4 == 0 {
                 // c.lwsp
                 let u = offset as u32;
@@ -164,7 +198,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 return None;
             }
         }
-        Instr::Store { width: MemWidth::W, rs2, rs1, offset } => {
+        Instr::Store {
+            width: MemWidth::W,
+            rs2,
+            rs1,
+            offset,
+        } => {
             if rs1.num() == 2 && (0..256).contains(&offset) && offset % 4 == 0 {
                 // c.swsp
                 let u = offset as u32;
@@ -189,7 +228,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 return None;
             }
         }
-        Instr::FLoad { fmt: FpFmt::S, rd, rs1, offset } => {
+        Instr::FLoad {
+            fmt: FpFmt::S,
+            rd,
+            rs1,
+            offset,
+        } => {
             if rs1.num() == 2 && (0..256).contains(&offset) && offset % 4 == 0 {
                 // c.flwsp
                 let u = offset as u32;
@@ -215,7 +259,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 return None;
             }
         }
-        Instr::FStore { fmt: FpFmt::S, rs2, rs1, offset } => {
+        Instr::FStore {
+            fmt: FpFmt::S,
+            rs2,
+            rs1,
+            offset,
+        } => {
             if rs1.num() == 2 && (0..256).contains(&offset) && offset % 4 == 0 {
                 // c.fswsp
                 let u = offset as u32;
@@ -270,7 +319,12 @@ pub fn compress(instr: &Instr) -> Option<u16> {
                 _ => return None,
             }
         }
-        Instr::Branch { cond, rs1, rs2, offset } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             if rs2.num() != 0 || !(-256..256).contains(&offset) || offset % 2 != 0 {
                 return None;
             }
@@ -352,16 +406,35 @@ mod tests {
     #[test]
     fn known_compressions() {
         // c.li a0, 5
-        let i = Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, imm: 5 };
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::ZERO,
+            imm: 5,
+        };
         assert_eq!(compress(&i), Some(0x4515));
         // c.mv a0, a1
-        let i = Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, rs2: XReg::a(1) };
+        let i = Instr::Op {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::ZERO,
+            rs2: XReg::a(1),
+        };
         assert_eq!(compress(&i), Some(0x852E));
         // c.add a0, a1
-        let i = Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(0), rs2: XReg::a(1) };
+        let i = Instr::Op {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::a(0),
+            rs2: XReg::a(1),
+        };
         assert_eq!(compress(&i), Some(0x952E));
         // c.jr ra
-        let i = Instr::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 };
+        let i = Instr::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            offset: 0,
+        };
         assert_eq!(compress(&i), Some(0x8082));
         // c.lwsp a0, 8(sp)
         let i = Instr::Load {
@@ -377,10 +450,20 @@ mod tests {
     #[test]
     fn incompressible_cases() {
         // Large immediate.
-        let i = Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, imm: 1000 };
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::ZERO,
+            imm: 1000,
+        };
         assert_eq!(compress(&i), None);
         // Three-register add.
-        let i = Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), rs2: XReg::a(2) };
+        let i = Instr::Op {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::a(1),
+            rs2: XReg::a(2),
+        };
         assert_eq!(compress(&i), None);
         // Vector ops have no compressed forms.
         let i = Instr::VFOp {
@@ -397,19 +480,80 @@ mod tests {
     #[test]
     fn compress_decode_round_trip_samples() {
         let samples = vec![
-            Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(0), imm: -3 },
-            Instr::OpImm { op: AluOp::Add, rd: XReg::s(0), rs1: XReg::ZERO, imm: 31 },
-            Instr::OpImm { op: AluOp::Sll, rd: XReg::a(1), rs1: XReg::a(1), imm: 7 },
-            Instr::OpImm { op: AluOp::Srl, rd: XReg::s(0), rs1: XReg::s(0), imm: 3 },
-            Instr::OpImm { op: AluOp::Sra, rd: XReg::s(1), rs1: XReg::s(1), imm: 9 },
-            Instr::OpImm { op: AluOp::And, rd: XReg::s(0), rs1: XReg::s(0), imm: -5 },
-            Instr::Op { op: AluOp::Sub, rd: XReg::s(0), rs1: XReg::s(0), rs2: XReg::s(1) },
-            Instr::Op { op: AluOp::Xor, rd: XReg::a(5), rs1: XReg::a(5), rs2: XReg::a(4) },
-            Instr::Jal { rd: XReg::ZERO, offset: -64 },
-            Instr::Jal { rd: XReg::RA, offset: 250 },
-            Instr::Branch { cond: BranchCond::Eq, rs1: XReg::s(1), rs2: XReg::ZERO, offset: -30 },
-            Instr::Branch { cond: BranchCond::Ne, rs1: XReg::a(3), rs2: XReg::ZERO, offset: 100 },
-            Instr::Store { width: MemWidth::W, rs2: XReg::a(2), rs1: XReg::SP, offset: 44 },
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::a(0),
+                imm: -3,
+            },
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::s(0),
+                rs1: XReg::ZERO,
+                imm: 31,
+            },
+            Instr::OpImm {
+                op: AluOp::Sll,
+                rd: XReg::a(1),
+                rs1: XReg::a(1),
+                imm: 7,
+            },
+            Instr::OpImm {
+                op: AluOp::Srl,
+                rd: XReg::s(0),
+                rs1: XReg::s(0),
+                imm: 3,
+            },
+            Instr::OpImm {
+                op: AluOp::Sra,
+                rd: XReg::s(1),
+                rs1: XReg::s(1),
+                imm: 9,
+            },
+            Instr::OpImm {
+                op: AluOp::And,
+                rd: XReg::s(0),
+                rs1: XReg::s(0),
+                imm: -5,
+            },
+            Instr::Op {
+                op: AluOp::Sub,
+                rd: XReg::s(0),
+                rs1: XReg::s(0),
+                rs2: XReg::s(1),
+            },
+            Instr::Op {
+                op: AluOp::Xor,
+                rd: XReg::a(5),
+                rs1: XReg::a(5),
+                rs2: XReg::a(4),
+            },
+            Instr::Jal {
+                rd: XReg::ZERO,
+                offset: -64,
+            },
+            Instr::Jal {
+                rd: XReg::RA,
+                offset: 250,
+            },
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: XReg::s(1),
+                rs2: XReg::ZERO,
+                offset: -30,
+            },
+            Instr::Branch {
+                cond: BranchCond::Ne,
+                rs1: XReg::a(3),
+                rs2: XReg::ZERO,
+                offset: 100,
+            },
+            Instr::Store {
+                width: MemWidth::W,
+                rs2: XReg::a(2),
+                rs1: XReg::SP,
+                offset: 44,
+            },
             Instr::Load {
                 width: MemWidth::W,
                 unsigned: false,
@@ -428,8 +572,18 @@ mod tests {
     #[test]
     fn stats_reduction() {
         let prog = vec![
-            Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, imm: 5 }, // 2 bytes
-            Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), rs2: XReg::a(2) }, // 4
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::ZERO,
+                imm: 5,
+            }, // 2 bytes
+            Instr::Op {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::a(1),
+                rs2: XReg::a(2),
+            }, // 4
         ];
         let s = compression_stats(&prog);
         assert_eq!(s.instructions, 2);

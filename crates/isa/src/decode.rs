@@ -15,11 +15,17 @@ pub struct DecodeError {
 
 impl DecodeError {
     fn full(word: u32) -> DecodeError {
-        DecodeError { word, compressed: false }
+        DecodeError {
+            word,
+            compressed: false,
+        }
     }
 
     fn rvc(word: u16) -> DecodeError {
-        DecodeError { word: word as u32, compressed: true }
+        DecodeError {
+            word: word as u32,
+            compressed: true,
+        }
     }
 
     /// The offending instruction word.
@@ -113,14 +119,27 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
     let opcode = w & 0x7f;
     let err = || DecodeError::full(w);
     match opcode {
-        OPC_LUI => Ok(Instr::Lui { rd: xrd(w), imm20: ((w >> 12) & 0xf_ffff) as i32 }),
-        OPC_AUIPC => Ok(Instr::Auipc { rd: xrd(w), imm20: ((w >> 12) & 0xf_ffff) as i32 }),
-        OPC_JAL => Ok(Instr::Jal { rd: xrd(w), offset: j_imm(w) }),
+        OPC_LUI => Ok(Instr::Lui {
+            rd: xrd(w),
+            imm20: ((w >> 12) & 0xf_ffff) as i32,
+        }),
+        OPC_AUIPC => Ok(Instr::Auipc {
+            rd: xrd(w),
+            imm20: ((w >> 12) & 0xf_ffff) as i32,
+        }),
+        OPC_JAL => Ok(Instr::Jal {
+            rd: xrd(w),
+            offset: j_imm(w),
+        }),
         OPC_JALR => {
             if funct3(w) != 0 {
                 return Err(err());
             }
-            Ok(Instr::Jalr { rd: xrd(w), rs1: xrs1(w), offset: i_imm(w) })
+            Ok(Instr::Jalr {
+                rd: xrd(w),
+                rs1: xrs1(w),
+                offset: i_imm(w),
+            })
         }
         OPC_BRANCH => {
             let cond = match funct3(w) {
@@ -132,7 +151,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b111 => BranchCond::Geu,
                 _ => return Err(err()),
             };
-            Ok(Instr::Branch { cond, rs1: xrs1(w), rs2: xrs2(w), offset: b_imm(w) })
+            Ok(Instr::Branch {
+                cond,
+                rs1: xrs1(w),
+                rs2: xrs2(w),
+                offset: b_imm(w),
+            })
         }
         OPC_LOAD => {
             let (width, unsigned) = match funct3(w) {
@@ -143,7 +167,13 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b101 => (MemWidth::H, true),
                 _ => return Err(err()),
             };
-            Ok(Instr::Load { width, unsigned, rd: xrd(w), rs1: xrs1(w), offset: i_imm(w) })
+            Ok(Instr::Load {
+                width,
+                unsigned,
+                rd: xrd(w),
+                rs1: xrs1(w),
+                offset: i_imm(w),
+            })
         }
         OPC_STORE => {
             let width = match funct3(w) {
@@ -152,7 +182,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b010 => MemWidth::W,
                 _ => return Err(err()),
             };
-            Ok(Instr::Store { width, rs2: xrs2(w), rs1: xrs1(w), offset: s_imm(w) })
+            Ok(Instr::Store {
+                width,
+                rs2: xrs2(w),
+                rs1: xrs1(w),
+                offset: s_imm(w),
+            })
         }
         OPC_OP_IMM => {
             let op = match funct3(w) {
@@ -177,7 +212,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => ((w >> 20) & 0x1f) as i32,
                 _ => i_imm(w),
             };
-            Ok(Instr::OpImm { op, rd: xrd(w), rs1: xrs1(w), imm })
+            Ok(Instr::OpImm {
+                op,
+                rd: xrd(w),
+                rs1: xrs1(w),
+                imm,
+            })
         }
         OPC_OP => decode_op(w),
         OPC_MISC_MEM => Ok(Instr::Fence),
@@ -199,7 +239,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                     0b111 => (CsrOp::Rc, CsrSrc::Imm(((w >> 15) & 0x1f) as u8)),
                     _ => return Err(err()),
                 };
-                Ok(Instr::Csr { op, rd: xrd(w), src, csr })
+                Ok(Instr::Csr {
+                    op,
+                    rd: xrd(w),
+                    src,
+                    csr,
+                })
             }
         }
         OPC_LOAD_FP => {
@@ -209,7 +254,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b010 => FpFmt::S,
                 _ => return Err(err()),
             };
-            Ok(Instr::FLoad { fmt, rd: frd(w), rs1: xrs1(w), offset: i_imm(w) })
+            Ok(Instr::FLoad {
+                fmt,
+                rd: frd(w),
+                rs1: xrs1(w),
+                offset: i_imm(w),
+            })
         }
         OPC_STORE_FP => {
             let fmt = match funct3(w) {
@@ -218,7 +268,12 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 0b010 => FpFmt::S,
                 _ => return Err(err()),
             };
-            Ok(Instr::FStore { fmt, rs2: frs2(w), rs1: xrs1(w), offset: s_imm(w) })
+            Ok(Instr::FStore {
+                fmt,
+                rs2: frs2(w),
+                rs1: xrs1(w),
+                offset: s_imm(w),
+            })
         }
         OPC_MADD | OPC_MSUB | OPC_NMSUB | OPC_NMADD => {
             let op = match opcode {
@@ -259,7 +314,12 @@ fn decode_op(w: u32) -> Result<Instr, DecodeError> {
             0b110 => MulDivOp::Rem,
             _ => MulDivOp::Remu,
         };
-        return Ok(Instr::MulDiv { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) });
+        return Ok(Instr::MulDiv {
+            op,
+            rd: xrd(w),
+            rs1: xrs1(w),
+            rs2: xrs2(w),
+        });
     }
     let op = match (funct3(w), f7) {
         (0b000, 0b0000000) => AluOp::Add,
@@ -274,7 +334,12 @@ fn decode_op(w: u32) -> Result<Instr, DecodeError> {
         (0b111, 0b0000000) => AluOp::And,
         _ => return Err(err()),
     };
-    Ok(Instr::Op { op, rd: xrd(w), rs1: xrs1(w), rs2: xrs2(w) })
+    Ok(Instr::Op {
+        op,
+        rd: xrd(w),
+        rs1: xrs1(w),
+        rs2: xrs2(w),
+    })
 }
 
 fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
@@ -282,9 +347,26 @@ fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
     let vecop = funct7(w) & 0x1f;
     let fmt = FpFmt::from_code(funct3(w) >> 1);
     let rep = funct3(w) & 1 == 1;
-    let simple = |op| Ok(Instr::VFOp { op, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rep });
-    let cmp =
-        |op| Ok(Instr::VFCmp { op, fmt, rd: xrd(w), rs1: frs1(w), rs2: frs2(w), rep });
+    let simple = |op| {
+        Ok(Instr::VFOp {
+            op,
+            fmt,
+            rd: frd(w),
+            rs1: frs1(w),
+            rs2: frs2(w),
+            rep,
+        })
+    };
+    let cmp = |op| {
+        Ok(Instr::VFCmp {
+            op,
+            fmt,
+            rd: xrd(w),
+            rs1: frs1(w),
+            rs2: frs2(w),
+            rep,
+        })
+    };
     match vecop {
         V_ADD => simple(VfOp::Add),
         V_SUB => simple(VfOp::Sub),
@@ -300,7 +382,11 @@ fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
             if rep || (w >> 20) & 0x1f != 0 {
                 return Err(err());
             }
-            Ok(Instr::VFSqrt { fmt, rd: frd(w), rs1: frs1(w) })
+            Ok(Instr::VFSqrt {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+            })
         }
         V_EQ => cmp(VCmpOp::Eq),
         V_NE => cmp(VCmpOp::Ne),
@@ -313,28 +399,59 @@ fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
                 return Err(err());
             }
             let src = FpFmt::from_code((w >> 20) & 0b11);
-            Ok(Instr::VFCvtFF { dst: fmt, src, rd: frd(w), rs1: frs1(w) })
+            Ok(Instr::VFCvtFF {
+                dst: fmt,
+                src,
+                rd: frd(w),
+                rs1: frs1(w),
+            })
         }
         V_CVT_XF | V_CVT_XUF => {
             if rep || (w >> 20) & 0x1f != 0 {
                 return Err(err());
             }
-            Ok(Instr::VFCvtXF { fmt, rd: frd(w), rs1: frs1(w), signed: vecop == V_CVT_XF })
+            Ok(Instr::VFCvtXF {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                signed: vecop == V_CVT_XF,
+            })
         }
         V_CVT_FX | V_CVT_FXU => {
             if rep || (w >> 20) & 0x1f != 0 {
                 return Err(err());
             }
-            Ok(Instr::VFCvtFX { fmt, rd: frd(w), rs1: frs1(w), signed: vecop == V_CVT_FX })
+            Ok(Instr::VFCvtFX {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                signed: vecop == V_CVT_FX,
+            })
         }
         V_CPK_A | V_CPK_B => {
             if rep {
                 return Err(err());
             }
-            let half = if vecop == V_CPK_A { CpkHalf::A } else { CpkHalf::B };
-            Ok(Instr::VFCpk { fmt, half, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+            let half = if vecop == V_CPK_A {
+                CpkHalf::A
+            } else {
+                CpkHalf::B
+            };
+            Ok(Instr::VFCpk {
+                fmt,
+                half,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            })
         }
-        V_DOTPEX => Ok(Instr::VFDotpEx { fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rep }),
+        V_DOTPEX => Ok(Instr::VFDotpEx {
+            fmt,
+            rd: frd(w),
+            rs1: frs1(w),
+            rs2: frs2(w),
+            rep,
+        }),
         _ => Err(err()),
     }
 }
@@ -352,13 +469,25 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 F5_MUL => FpOp::Mul,
                 _ => FpOp::Div,
             };
-            Ok(Instr::FOp { op, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w), rm: rm_field(w)? })
+            Ok(Instr::FOp {
+                op,
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rm: rm_field(w)?,
+            })
         }
         F5_SQRT => {
             if rs2field != 0 {
                 return Err(err());
             }
-            Ok(Instr::FSqrt { fmt, rd: frd(w), rs1: frs1(w), rm: rm_field(w)? })
+            Ok(Instr::FSqrt {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rm: rm_field(w)?,
+            })
         }
         F5_SGNJ => {
             let kind = match funct3(w) {
@@ -367,7 +496,13 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 0b010 => SgnjKind::Sgnjx,
                 _ => return Err(err()),
             };
-            Ok(Instr::FSgnj { kind, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+            Ok(Instr::FSgnj {
+                kind,
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            })
         }
         F5_MINMAX => {
             let op = match funct3(w) {
@@ -375,7 +510,13 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 0b001 => MinMaxOp::Max,
                 _ => return Err(err()),
             };
-            Ok(Instr::FMinMax { op, fmt, rd: frd(w), rs1: frs1(w), rs2: frs2(w) })
+            Ok(Instr::FMinMax {
+                op,
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            })
         }
         F5_MULEX => Ok(Instr::FMulEx {
             fmt,
@@ -405,7 +546,13 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 0b010 => CmpOp::Eq,
                 _ => return Err(err()),
             };
-            Ok(Instr::FCmp { op, fmt, rd: xrd(w), rs1: frs1(w), rs2: frs2(w) })
+            Ok(Instr::FCmp {
+                op,
+                fmt,
+                rd: xrd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+            })
         }
         F5_CVT_FI => {
             if rs2field > 1 {
@@ -436,8 +583,16 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 return Err(err());
             }
             match funct3(w) {
-                0b000 => Ok(Instr::FMvXF { fmt, rd: xrd(w), rs1: frs1(w) }),
-                0b001 => Ok(Instr::FClass { fmt, rd: xrd(w), rs1: frs1(w) }),
+                0b000 => Ok(Instr::FMvXF {
+                    fmt,
+                    rd: xrd(w),
+                    rs1: frs1(w),
+                }),
+                0b001 => Ok(Instr::FClass {
+                    fmt,
+                    rd: xrd(w),
+                    rs1: frs1(w),
+                }),
                 _ => Err(err()),
             }
         }
@@ -445,7 +600,11 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
             if rs2field != 0 || funct3(w) != 0 {
                 return Err(err());
             }
-            Ok(Instr::FMvFX { fmt, rd: frd(w), rs1: xrs1(w) })
+            Ok(Instr::FMvFX {
+                fmt,
+                rd: frd(w),
+                rs1: xrs1(w),
+            })
         }
         _ => Err(err()),
     }
@@ -474,12 +633,17 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
         // ---- Quadrant 0 ----
         (0b00, 0b000) => {
             // c.addi4spn rd', nzuimm
-            let imm = (((w >> 7) & 0x30) | ((w >> 1) & 0x3c0) | ((w >> 4) & 0x4)
-                | ((w >> 2) & 0x8)) as i32;
+            let imm = (((w >> 7) & 0x30) | ((w >> 1) & 0x3c0) | ((w >> 4) & 0x4) | ((w >> 2) & 0x8))
+                as i32;
             if imm == 0 {
                 return Err(err()); // includes the all-zero illegal instruction
             }
-            Ok(Instr::OpImm { op: AluOp::Add, rd: xr(w >> 2), rs1: XReg::SP, imm })
+            Ok(Instr::OpImm {
+                op: AluOp::Add,
+                rd: xr(w >> 2),
+                rs1: XReg::SP,
+                imm,
+            })
         }
         (0b00, 0b010) => {
             // c.lw rd', offset(rs1')
@@ -495,7 +659,12 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
         (0b00, 0b011) => {
             // c.flw rd', offset(rs1')  (RV32FC)
             let imm = (((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4)) as i32;
-            Ok(Instr::FLoad { fmt: FpFmt::S, rd: fr(w >> 2), rs1: xr(w >> 7), offset: imm })
+            Ok(Instr::FLoad {
+                fmt: FpFmt::S,
+                rd: fr(w >> 2),
+                rs1: xr(w >> 7),
+                offset: imm,
+            })
         }
         (0b00, 0b110) => {
             // c.sw rs2', offset(rs1')
@@ -510,23 +679,41 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
         (0b00, 0b111) => {
             // c.fsw rs2', offset(rs1')  (RV32FC)
             let imm = (((w >> 7) & 0x38) | ((w << 1) & 0x40) | ((w >> 4) & 0x4)) as i32;
-            Ok(Instr::FStore { fmt: FpFmt::S, rs2: fr(w >> 2), rs1: xr(w >> 7), offset: imm })
+            Ok(Instr::FStore {
+                fmt: FpFmt::S,
+                rs2: fr(w >> 2),
+                rs1: xr(w >> 7),
+                offset: imm,
+            })
         }
         // ---- Quadrant 1 ----
         (0b01, 0b000) => {
             // c.addi (c.nop when rd=0)
             let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
             let rd = r_full(w >> 7);
-            Ok(Instr::OpImm { op: AluOp::Add, rd, rs1: rd, imm })
+            Ok(Instr::OpImm {
+                op: AluOp::Add,
+                rd,
+                rs1: rd,
+                imm,
+            })
         }
         (0b01, 0b001) => {
             // c.jal (RV32)
-            Ok(Instr::Jal { rd: XReg::RA, offset: cj_imm(w) })
+            Ok(Instr::Jal {
+                rd: XReg::RA,
+                offset: cj_imm(w),
+            })
         }
         (0b01, 0b010) => {
             // c.li
             let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
-            Ok(Instr::OpImm { op: AluOp::Add, rd: r_full(w >> 7), rs1: XReg::ZERO, imm })
+            Ok(Instr::OpImm {
+                op: AluOp::Add,
+                rd: r_full(w >> 7),
+                rs1: XReg::ZERO,
+                imm,
+            })
         }
         (0b01, 0b011) => {
             let rd = r_full(w >> 7);
@@ -541,14 +728,22 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
                 if imm == 0 {
                     return Err(err());
                 }
-                Ok(Instr::OpImm { op: AluOp::Add, rd: XReg::SP, rs1: XReg::SP, imm })
+                Ok(Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: XReg::SP,
+                    rs1: XReg::SP,
+                    imm,
+                })
             } else {
                 // c.lui
                 let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
                 if imm == 0 {
                     return Err(err());
                 }
-                Ok(Instr::Lui { rd, imm20: imm & 0xf_ffff })
+                Ok(Instr::Lui {
+                    rd,
+                    imm20: imm & 0xf_ffff,
+                })
             }
         }
         (0b01, 0b100) => {
@@ -562,12 +757,22 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
                     }
                     let shamt = ((w >> 2) & 0x1f) as i32;
                     let op = if sub == 0 { AluOp::Srl } else { AluOp::Sra };
-                    Ok(Instr::OpImm { op, rd, rs1: rd, imm: shamt })
+                    Ok(Instr::OpImm {
+                        op,
+                        rd,
+                        rs1: rd,
+                        imm: shamt,
+                    })
                 }
                 0b10 => {
                     // c.andi
                     let imm = sext6(((w >> 7) & 0x20) | ((w >> 2) & 0x1f));
-                    Ok(Instr::OpImm { op: AluOp::And, rd, rs1: rd, imm })
+                    Ok(Instr::OpImm {
+                        op: AluOp::And,
+                        rd,
+                        rs1: rd,
+                        imm,
+                    })
                 }
                 _ => {
                     // register-register subgroup
@@ -579,14 +784,26 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
                         (0, 0b11) => AluOp::And,
                         _ => return Err(err()),
                     };
-                    Ok(Instr::Op { op, rd, rs1: rd, rs2 })
+                    Ok(Instr::Op {
+                        op,
+                        rd,
+                        rs1: rd,
+                        rs2,
+                    })
                 }
             }
         }
-        (0b01, 0b101) => Ok(Instr::Jal { rd: XReg::ZERO, offset: cj_imm(w) }),
+        (0b01, 0b101) => Ok(Instr::Jal {
+            rd: XReg::ZERO,
+            offset: cj_imm(w),
+        }),
         (0b01, 0b110) | (0b01, 0b111) => {
             // c.beqz / c.bnez
-            let cond = if funct3 == 0b110 { BranchCond::Eq } else { BranchCond::Ne };
+            let cond = if funct3 == 0b110 {
+                BranchCond::Eq
+            } else {
+                BranchCond::Ne
+            };
             // offset[8] = w[12], offset[4:3] = w[11:10], offset[7:6] = w[6:5],
             // offset[2:1] = w[4:3], offset[5] = w[2].
             let imm = ((((w >> 12) & 1) * 0xffff_ff00)
@@ -594,7 +811,12 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
                 | (((w >> 5) & 3) << 6)
                 | (((w >> 3) & 3) << 1)
                 | (((w >> 2) & 1) << 5)) as i32;
-            Ok(Instr::Branch { cond, rs1: xr(w >> 7), rs2: XReg::ZERO, offset: imm })
+            Ok(Instr::Branch {
+                cond,
+                rs1: xr(w >> 7),
+                rs2: XReg::ZERO,
+                offset: imm,
+            })
         }
         // ---- Quadrant 2 ----
         (0b10, 0b000) => {
@@ -604,7 +826,12 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
             }
             let shamt = ((w >> 2) & 0x1f) as i32;
             let rd = r_full(w >> 7);
-            Ok(Instr::OpImm { op: AluOp::Sll, rd, rs1: rd, imm: shamt })
+            Ok(Instr::OpImm {
+                op: AluOp::Sll,
+                rd,
+                rs1: rd,
+                imm: shamt,
+            })
         }
         (0b10, 0b010) => {
             // c.lwsp
@@ -613,7 +840,13 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
             if rd.num() == 0 {
                 return Err(err());
             }
-            Ok(Instr::Load { width: MemWidth::W, unsigned: false, rd, rs1: XReg::SP, offset: imm })
+            Ok(Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd,
+                rs1: XReg::SP,
+                offset: imm,
+            })
         }
         (0b10, 0b011) => {
             // c.flwsp
@@ -630,16 +863,34 @@ pub fn decode_compressed(h: u16) -> Result<Instr, DecodeError> {
             let r1 = r_full(w >> 7);
             let r2 = r_full(w >> 2);
             match (bit12, r1.num(), r2.num()) {
-                (0, r, 0) if r != 0 => Ok(Instr::Jalr { rd: XReg::ZERO, rs1: r1, offset: 0 }),
+                (0, r, 0) if r != 0 => Ok(Instr::Jalr {
+                    rd: XReg::ZERO,
+                    rs1: r1,
+                    offset: 0,
+                }),
                 (0, _, _) if r2.num() != 0 => {
                     // c.mv
-                    Ok(Instr::Op { op: AluOp::Add, rd: r1, rs1: XReg::ZERO, rs2: r2 })
+                    Ok(Instr::Op {
+                        op: AluOp::Add,
+                        rd: r1,
+                        rs1: XReg::ZERO,
+                        rs2: r2,
+                    })
                 }
                 (1, 0, 0) => Ok(Instr::Ebreak),
-                (1, r, 0) if r != 0 => Ok(Instr::Jalr { rd: XReg::RA, rs1: r1, offset: 0 }),
+                (1, r, 0) if r != 0 => Ok(Instr::Jalr {
+                    rd: XReg::RA,
+                    rs1: r1,
+                    offset: 0,
+                }),
                 (1, _, _) if r2.num() != 0 => {
                     // c.add
-                    Ok(Instr::Op { op: AluOp::Add, rd: r1, rs1: r1, rs2: r2 })
+                    Ok(Instr::Op {
+                        op: AluOp::Add,
+                        rd: r1,
+                        rs1: r1,
+                        rs2: r2,
+                    })
                 }
                 _ => Err(err()),
             }
@@ -716,11 +967,24 @@ mod tests {
     fn decode_reference_words() {
         // Same reference words as the encoder tests, in reverse.
         let i = decode(0x02A5_8513).unwrap();
-        assert_eq!(i, Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm: 42 });
+        assert_eq!(
+            i,
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::a(1),
+                imm: 42
+            }
+        );
         let i = decode(0x00B5_0863).unwrap();
         assert_eq!(
             i,
-            Instr::Branch { cond: BranchCond::Eq, rs1: XReg::a(0), rs2: XReg::a(1), offset: 16 }
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: XReg::a(0),
+                rs2: XReg::a(1),
+                offset: 16
+            }
         );
         let i = decode(0x04C5_8553).unwrap();
         assert_eq!(
@@ -739,7 +1003,12 @@ mod tests {
     #[test]
     fn negative_immediates_round_trip() {
         for imm in [-1, -2048, 2047, -7, 0] {
-            let i = Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm };
+            let i = Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::a(1),
+                imm,
+            };
             assert_eq!(decode(encode(&i)).unwrap(), i, "imm={imm}");
             let i = Instr::Load {
                 width: MemWidth::H,
@@ -749,7 +1018,12 @@ mod tests {
                 offset: imm,
             };
             assert_eq!(decode(encode(&i)).unwrap(), i);
-            let i = Instr::Store { width: MemWidth::B, rs2: XReg::a(0), rs1: XReg::a(1), offset: imm };
+            let i = Instr::Store {
+                width: MemWidth::B,
+                rs2: XReg::a(0),
+                rs1: XReg::a(1),
+                offset: imm,
+            };
             assert_eq!(decode(encode(&i)).unwrap(), i);
         }
         for off in [-4096i32, 4094, -2, 0, 16] {
@@ -762,7 +1036,10 @@ mod tests {
             assert_eq!(decode(encode(&i)).unwrap(), i, "off={off}");
         }
         for off in [-1048576i32, 1048574, -2, 0, 4096] {
-            let i = Instr::Jal { rd: XReg::RA, offset: off };
+            let i = Instr::Jal {
+                rd: XReg::RA,
+                offset: off,
+            };
             assert_eq!(decode(encode(&i)).unwrap(), i, "off={off}");
         }
     }
@@ -772,16 +1049,47 @@ mod tests {
         // c.li a0, 5 => 0x4515? c.li: funct3=010 op=01, rd=10, imm=5:
         // [010][imm5=0][rd=01010][imm4:0=00101][01] = 0100_0101_0001_0101
         let i = decode_compressed(0x4515).unwrap();
-        assert_eq!(i, Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, imm: 5 });
+        assert_eq!(
+            i,
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::ZERO,
+                imm: 5
+            }
+        );
         // c.mv a0, a1 => 0x852E
         let i = decode_compressed(0x852E).unwrap();
-        assert_eq!(i, Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::ZERO, rs2: XReg::a(1) });
+        assert_eq!(
+            i,
+            Instr::Op {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::ZERO,
+                rs2: XReg::a(1)
+            }
+        );
         // c.add a0, a1 => 0x952E
         let i = decode_compressed(0x952E).unwrap();
-        assert_eq!(i, Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(0), rs2: XReg::a(1) });
+        assert_eq!(
+            i,
+            Instr::Op {
+                op: AluOp::Add,
+                rd: XReg::a(0),
+                rs1: XReg::a(0),
+                rs2: XReg::a(1)
+            }
+        );
         // c.jr ra => 0x8082
         let i = decode_compressed(0x8082).unwrap();
-        assert_eq!(i, Instr::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 });
+        assert_eq!(
+            i,
+            Instr::Jalr {
+                rd: XReg::ZERO,
+                rs1: XReg::RA,
+                offset: 0
+            }
+        );
         // c.ebreak => 0x9002
         assert_eq!(decode_compressed(0x9002).unwrap(), Instr::Ebreak);
         // c.lwsp a0, 8(sp) => [010][0][01010][00010][10]: 0x4522
@@ -801,7 +1109,12 @@ mod tests {
         let i = decode_compressed(0xC42A).unwrap();
         assert_eq!(
             i,
-            Instr::Store { width: MemWidth::W, rs2: XReg::a(0), rs1: XReg::SP, offset: 8 }
+            Instr::Store {
+                width: MemWidth::W,
+                rs2: XReg::a(0),
+                rs1: XReg::SP,
+                offset: 8
+            }
         );
     }
 

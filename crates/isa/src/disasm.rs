@@ -21,7 +21,12 @@ impl fmt::Display for Instr {
             Instr::Auipc { rd, imm20 } => write!(f, "auipc {rd}, 0x{imm20:x}"),
             Instr::Jal { rd, offset } => write!(f, "jal {rd}, {offset}"),
             Instr::Jalr { rd, rs1, offset } => write!(f, "jalr {rd}, {offset}({rs1})"),
-            Instr::Branch { cond, rs1, rs2, offset } => {
+            Instr::Branch {
+                cond,
+                rs1,
+                rs2,
+                offset,
+            } => {
                 let m = match cond {
                     BranchCond::Eq => "beq",
                     BranchCond::Ne => "bne",
@@ -32,7 +37,13 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{m} {rs1}, {rs2}, {offset}")
             }
-            Instr::Load { width, unsigned, rd, rs1, offset } => {
+            Instr::Load {
+                width,
+                unsigned,
+                rd,
+                rs1,
+                offset,
+            } => {
                 let m = match (width, unsigned) {
                     (MemWidth::B, false) => "lb",
                     (MemWidth::H, false) => "lh",
@@ -42,7 +53,12 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{m} {rd}, {offset}({rs1})")
             }
-            Instr::Store { width, rs2, rs1, offset } => {
+            Instr::Store {
+                width,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 let m = match width {
                     MemWidth::B => "sb",
                     MemWidth::H => "sh",
@@ -107,13 +123,30 @@ impl fmt::Display for Instr {
                     (CsrOp::Rc, CsrSrc::Imm(i)) => write!(f, "csrrci {rd}, {name}, {i}"),
                 }
             }
-            Instr::FLoad { fmt, rd, rs1, offset } => {
+            Instr::FLoad {
+                fmt,
+                rd,
+                rs1,
+                offset,
+            } => {
                 write!(f, "fl{} {rd}, {offset}({rs1})", mem_suffix(fmt))
             }
-            Instr::FStore { fmt, rs2, rs1, offset } => {
+            Instr::FStore {
+                fmt,
+                rs2,
+                rs1,
+                offset,
+            } => {
                 write!(f, "fs{} {rs2}, {offset}({rs1})", mem_suffix(fmt))
             }
-            Instr::FOp { op, fmt, rd, rs1, rs2, rm } => {
+            Instr::FOp {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rm,
+            } => {
                 let m = match op {
                     FpOp::Add => "fadd",
                     FpOp::Sub => "fsub",
@@ -125,7 +158,13 @@ impl fmt::Display for Instr {
             Instr::FSqrt { fmt, rd, rs1, rm } => {
                 write!(f, "fsqrt.{fmt} {rd}, {rs1}{}", rm_suffix(rm))
             }
-            Instr::FSgnj { kind, fmt, rd, rs1, rs2 } => {
+            Instr::FSgnj {
+                kind,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let m = match kind {
                     SgnjKind::Sgnj => "fsgnj",
                     SgnjKind::Sgnjn => "fsgnjn",
@@ -133,14 +172,28 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}")
             }
-            Instr::FMinMax { op, fmt, rd, rs1, rs2 } => {
+            Instr::FMinMax {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let m = match op {
                     MinMaxOp::Min => "fmin",
                     MinMaxOp::Max => "fmax",
                 };
                 write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}")
             }
-            Instr::FFma { op, fmt, rd, rs1, rs2, rs3, rm } => {
+            Instr::FFma {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rs3,
+                rm,
+            } => {
                 let m = match op {
                     FmaOp::Madd => "fmadd",
                     FmaOp::Msub => "fmsub",
@@ -149,7 +202,13 @@ impl fmt::Display for Instr {
                 };
                 write!(f, "{m}.{fmt} {rd}, {rs1}, {rs2}, {rs3}{}", rm_suffix(rm))
             }
-            Instr::FCmp { op, fmt, rd, rs1, rs2 } => {
+            Instr::FCmp {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let m = match op {
                     CmpOp::Eq => "feq",
                     CmpOp::Lt => "flt",
@@ -160,24 +219,61 @@ impl fmt::Display for Instr {
             Instr::FClass { fmt, rd, rs1 } => write!(f, "fclass.{fmt} {rd}, {rs1}"),
             Instr::FMvXF { fmt, rd, rs1 } => write!(f, "fmv.x.{fmt} {rd}, {rs1}"),
             Instr::FMvFX { fmt, rd, rs1 } => write!(f, "fmv.{fmt}.x {rd}, {rs1}"),
-            Instr::FCvtFF { dst, src, rd, rs1, rm } => {
+            Instr::FCvtFF {
+                dst,
+                src,
+                rd,
+                rs1,
+                rm,
+            } => {
                 write!(f, "fcvt.{dst}.{src} {rd}, {rs1}{}", rm_suffix(rm))
             }
-            Instr::FCvtFI { fmt, rd, rs1, signed, rm } => {
+            Instr::FCvtFI {
+                fmt,
+                rd,
+                rs1,
+                signed,
+                rm,
+            } => {
                 let w = if signed { "w" } else { "wu" };
                 write!(f, "fcvt.{w}.{fmt} {rd}, {rs1}{}", rm_suffix(rm))
             }
-            Instr::FCvtIF { fmt, rd, rs1, signed, rm } => {
+            Instr::FCvtIF {
+                fmt,
+                rd,
+                rs1,
+                signed,
+                rm,
+            } => {
                 let w = if signed { "w" } else { "wu" };
                 write!(f, "fcvt.{fmt}.{w} {rd}, {rs1}{}", rm_suffix(rm))
             }
-            Instr::FMulEx { fmt, rd, rs1, rs2, rm } => {
+            Instr::FMulEx {
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rm,
+            } => {
                 write!(f, "fmulex.s.{fmt} {rd}, {rs1}, {rs2}{}", rm_suffix(rm))
             }
-            Instr::FMacEx { fmt, rd, rs1, rs2, rm } => {
+            Instr::FMacEx {
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rm,
+            } => {
                 write!(f, "fmacex.s.{fmt} {rd}, {rs1}, {rs2}{}", rm_suffix(rm))
             }
-            Instr::VFOp { op, fmt, rd, rs1, rs2, rep } => {
+            Instr::VFOp {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rep,
+            } => {
                 let m = match op {
                     VfOp::Add => "vfadd",
                     VfOp::Sub => "vfsub",
@@ -193,7 +289,14 @@ impl fmt::Display for Instr {
                 write!(f, "{m}{}.{fmt} {rd}, {rs1}, {rs2}", rep_infix(rep))
             }
             Instr::VFSqrt { fmt, rd, rs1 } => write!(f, "vfsqrt.{fmt} {rd}, {rs1}"),
-            Instr::VFCmp { op, fmt, rd, rs1, rs2, rep } => {
+            Instr::VFCmp {
+                op,
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rep,
+            } => {
                 let m = match op {
                     VCmpOp::Eq => "vfeq",
                     VCmpOp::Ne => "vfne",
@@ -207,22 +310,44 @@ impl fmt::Display for Instr {
             Instr::VFCvtFF { dst, src, rd, rs1 } => {
                 write!(f, "vfcvt.{dst}.{src} {rd}, {rs1}")
             }
-            Instr::VFCvtXF { fmt, rd, rs1, signed } => {
+            Instr::VFCvtXF {
+                fmt,
+                rd,
+                rs1,
+                signed,
+            } => {
                 let x = if signed { "x" } else { "xu" };
                 write!(f, "vfcvt.{x}.{fmt} {rd}, {rs1}")
             }
-            Instr::VFCvtFX { fmt, rd, rs1, signed } => {
+            Instr::VFCvtFX {
+                fmt,
+                rd,
+                rs1,
+                signed,
+            } => {
                 let x = if signed { "x" } else { "xu" };
                 write!(f, "vfcvt.{fmt}.{x} {rd}, {rs1}")
             }
-            Instr::VFCpk { fmt, half, rd, rs1, rs2 } => {
+            Instr::VFCpk {
+                fmt,
+                half,
+                rd,
+                rs1,
+                rs2,
+            } => {
                 let h = match half {
                     CpkHalf::A => "a",
                     CpkHalf::B => "b",
                 };
                 write!(f, "vfcpk.{h}.{fmt}.s {rd}, {rs1}, {rs2}")
             }
-            Instr::VFDotpEx { fmt, rd, rs1, rs2, rep } => {
+            Instr::VFDotpEx {
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rep,
+            } => {
                 write!(f, "vfdotpex{}.s.{fmt} {rd}, {rs1}, {rs2}", rep_infix(rep))
             }
         }
@@ -280,7 +405,12 @@ mod tests {
             rep: false,
         };
         assert_eq!(vfadd.to_string(), "vfadd.h ft0, ft1, ft2");
-        let vfcvt = Instr::VFCvtXF { fmt: FpFmt::H, rd: FReg::new(0), rs1: FReg::new(1), signed: true };
+        let vfcvt = Instr::VFCvtXF {
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: FReg::new(1),
+            signed: true,
+        };
         assert_eq!(vfcvt.to_string(), "vfcvt.x.h ft0, ft1");
         let cpk = Instr::VFCpk {
             fmt: FpFmt::H,
@@ -318,7 +448,12 @@ mod tests {
             offset: -8,
         };
         assert_eq!(i.to_string(), "lw a0, -8(sp)");
-        let i = Instr::FLoad { fmt: FpFmt::H, rd: FReg::a(0), rs1: XReg::a(1), offset: 2 };
+        let i = Instr::FLoad {
+            fmt: FpFmt::H,
+            rd: FReg::a(0),
+            rs1: XReg::a(1),
+            offset: 2,
+        };
         assert_eq!(i.to_string(), "flh fa0, 2(a1)");
         let i = Instr::Branch {
             cond: BranchCond::Lt,

@@ -191,29 +191,49 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::Lui { rd: d, imm20 } => OPC_LUI | rd(d) | u_imm(imm20),
         Instr::Auipc { rd: d, imm20 } => OPC_AUIPC | rd(d) | u_imm(imm20),
         Instr::Jal { rd: d, offset } => OPC_JAL | rd(d) | j_imm(offset),
-        Instr::Jalr { rd: d, rs1: r1, offset } => {
-            OPC_JALR | rd(d) | funct3(0) | rs1(r1) | i_imm(offset)
-        }
-        Instr::Branch { cond, rs1: r1, rs2: r2, offset } => {
-            OPC_BRANCH | branch_funct3(cond) | rs1(r1) | rs2(r2) | b_imm(offset)
-        }
-        Instr::Load { width, unsigned, rd: d, rs1: r1, offset } => {
-            OPC_LOAD | rd(d) | load_funct3(width, unsigned) | rs1(r1) | i_imm(offset)
-        }
-        Instr::Store { width, rs2: r2, rs1: r1, offset } => {
-            OPC_STORE | store_funct3(width) | rs1(r1) | rs2(r2) | s_imm(offset)
-        }
-        Instr::OpImm { op, rd: d, rs1: r1, imm } => {
+        Instr::Jalr {
+            rd: d,
+            rs1: r1,
+            offset,
+        } => OPC_JALR | rd(d) | funct3(0) | rs1(r1) | i_imm(offset),
+        Instr::Branch {
+            cond,
+            rs1: r1,
+            rs2: r2,
+            offset,
+        } => OPC_BRANCH | branch_funct3(cond) | rs1(r1) | rs2(r2) | b_imm(offset),
+        Instr::Load {
+            width,
+            unsigned,
+            rd: d,
+            rs1: r1,
+            offset,
+        } => OPC_LOAD | rd(d) | load_funct3(width, unsigned) | rs1(r1) | i_imm(offset),
+        Instr::Store {
+            width,
+            rs2: r2,
+            rs1: r1,
+            offset,
+        } => OPC_STORE | store_funct3(width) | rs1(r1) | rs2(r2) | s_imm(offset),
+        Instr::OpImm {
+            op,
+            rd: d,
+            rs1: r1,
+            imm,
+        } => {
             let (f3, f7) = alu_imm_codes(op);
             let imm_field = match op {
-                AluOp::Sll | AluOp::Srl | AluOp::Sra => {
-                    i_imm(imm & 0x1f) | funct7(f7)
-                }
+                AluOp::Sll | AluOp::Srl | AluOp::Sra => i_imm(imm & 0x1f) | funct7(f7),
                 _ => i_imm(imm),
             };
             OPC_OP_IMM | rd(d) | funct3(f3) | rs1(r1) | imm_field
         }
-        Instr::Op { op, rd: d, rs1: r1, rs2: r2 } => {
+        Instr::Op {
+            op,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+        } => {
             let (f3, f7) = alu_reg_codes(op);
             OPC_OP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | funct7(f7)
         }
@@ -222,7 +242,12 @@ pub fn encode(instr: &Instr) -> u32 {
         Instr::Ebreak => OPC_SYSTEM | i_imm(1),
 
         // ----- M -----
-        Instr::MulDiv { op, rd: d, rs1: r1, rs2: r2 } => {
+        Instr::MulDiv {
+            op,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+        } => {
             let f3 = match op {
                 MulDivOp::Mul => 0b000,
                 MulDivOp::Mulh => 0b001,
@@ -237,7 +262,12 @@ pub fn encode(instr: &Instr) -> u32 {
         }
 
         // ----- Zicsr -----
-        Instr::Csr { op, rd: d, src, csr } => {
+        Instr::Csr {
+            op,
+            rd: d,
+            src,
+            csr,
+        } => {
             let (f3, src_field) = match (op, src) {
                 (CsrOp::Rw, CsrSrc::Reg(r)) => (0b001, rs1(r)),
                 (CsrOp::Rs, CsrSrc::Reg(r)) => (0b010, rs1(r)),
@@ -250,15 +280,28 @@ pub fn encode(instr: &Instr) -> u32 {
         }
 
         // ----- FP loads/stores -----
-        Instr::FLoad { fmt, rd: d, rs1: r1, offset } => {
-            OPC_LOAD_FP | rd(d) | fp_mem_funct3(fmt) | rs1(r1) | i_imm(offset)
-        }
-        Instr::FStore { fmt, rs2: r2, rs1: r1, offset } => {
-            OPC_STORE_FP | fp_mem_funct3(fmt) | rs1(r1) | rs2(r2) | s_imm(offset)
-        }
+        Instr::FLoad {
+            fmt,
+            rd: d,
+            rs1: r1,
+            offset,
+        } => OPC_LOAD_FP | rd(d) | fp_mem_funct3(fmt) | rs1(r1) | i_imm(offset),
+        Instr::FStore {
+            fmt,
+            rs2: r2,
+            rs1: r1,
+            offset,
+        } => OPC_STORE_FP | fp_mem_funct3(fmt) | rs1(r1) | rs2(r2) | s_imm(offset),
 
         // ----- Scalar FP -----
-        Instr::FOp { op, fmt, rd: d, rs1: r1, rs2: r2, rm } => {
+        Instr::FOp {
+            op,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rm,
+        } => {
             let f5 = match op {
                 FpOp::Add => F5_ADD,
                 FpOp::Sub => F5_SUB,
@@ -267,10 +310,19 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(f5, fmt)
         }
-        Instr::FSqrt { fmt, rd: d, rs1: r1, rm } => {
-            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | fp_funct7(F5_SQRT, fmt)
-        }
-        Instr::FSgnj { kind, fmt, rd: d, rs1: r1, rs2: r2 } => {
+        Instr::FSqrt {
+            fmt,
+            rd: d,
+            rs1: r1,
+            rm,
+        } => OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | fp_funct7(F5_SQRT, fmt),
+        Instr::FSgnj {
+            kind,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+        } => {
             let f3 = match kind {
                 SgnjKind::Sgnj => 0b000,
                 SgnjKind::Sgnjn => 0b001,
@@ -278,14 +330,28 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_SGNJ, fmt)
         }
-        Instr::FMinMax { op, fmt, rd: d, rs1: r1, rs2: r2 } => {
+        Instr::FMinMax {
+            op,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+        } => {
             let f3 = match op {
                 MinMaxOp::Min => 0b000,
                 MinMaxOp::Max => 0b001,
             };
             OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_MINMAX, fmt)
         }
-        Instr::FFma { op, fmt, rd: d, rs1: r1, rs2: r2, rs3, rm } => {
+        Instr::FFma {
+            op,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rs3,
+            rm,
+        } => {
             let opc = match op {
                 FmaOp::Madd => OPC_MADD,
                 FmaOp::Msub => OPC_MSUB,
@@ -299,7 +365,13 @@ pub fn encode(instr: &Instr) -> u32 {
                 | (fmt.code() << 25)
                 | ((rs3.num() as u32) << 27)
         }
-        Instr::FCmp { op, fmt, rd: d, rs1: r1, rs2: r2 } => {
+        Instr::FCmp {
+            op,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+        } => {
             let f3 = match op {
                 CmpOp::Le => 0b000,
                 CmpOp::Lt => 0b001,
@@ -307,16 +379,28 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_CMP, fmt)
         }
-        Instr::FClass { fmt, rd: d, rs1: r1 } => {
-            OPC_OP_FP | rd(d) | funct3(0b001) | rs1(r1) | fp_funct7(F5_MV_X, fmt)
-        }
-        Instr::FMvXF { fmt, rd: d, rs1: r1 } => {
-            OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_X, fmt)
-        }
-        Instr::FMvFX { fmt, rd: d, rs1: r1 } => {
-            OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_F, fmt)
-        }
-        Instr::FCvtFF { dst, src, rd: d, rs1: r1, rm } => {
+        Instr::FClass {
+            fmt,
+            rd: d,
+            rs1: r1,
+        } => OPC_OP_FP | rd(d) | funct3(0b001) | rs1(r1) | fp_funct7(F5_MV_X, fmt),
+        Instr::FMvXF {
+            fmt,
+            rd: d,
+            rs1: r1,
+        } => OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_X, fmt),
+        Instr::FMvFX {
+            fmt,
+            rd: d,
+            rs1: r1,
+        } => OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_F, fmt),
+        Instr::FCvtFF {
+            dst,
+            src,
+            rd: d,
+            rs1: r1,
+            rm,
+        } => {
             OPC_OP_FP
                 | rd(d)
                 | funct3(rm.code())
@@ -324,27 +408,62 @@ pub fn encode(instr: &Instr) -> u32 {
                 | (src.code() << 20)
                 | fp_funct7(F5_CVT_FF, dst)
         }
-        Instr::FCvtFI { fmt, rd: d, rs1: r1, signed, rm } => {
+        Instr::FCvtFI {
+            fmt,
+            rd: d,
+            rs1: r1,
+            signed,
+            rm,
+        } => {
             let sel = u32::from(!signed); // rs2 field: 0 = w, 1 = wu
-            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | (sel << 20)
+            OPC_OP_FP
+                | rd(d)
+                | funct3(rm.code())
+                | rs1(r1)
+                | (sel << 20)
                 | fp_funct7(F5_CVT_FI, fmt)
         }
-        Instr::FCvtIF { fmt, rd: d, rs1: r1, signed, rm } => {
+        Instr::FCvtIF {
+            fmt,
+            rd: d,
+            rs1: r1,
+            signed,
+            rm,
+        } => {
             let sel = u32::from(!signed);
-            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | (sel << 20)
+            OPC_OP_FP
+                | rd(d)
+                | funct3(rm.code())
+                | rs1(r1)
+                | (sel << 20)
                 | fp_funct7(F5_CVT_IF, fmt)
         }
 
         // ----- Xfaux scalar -----
-        Instr::FMulEx { fmt, rd: d, rs1: r1, rs2: r2, rm } => {
-            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MULEX, fmt)
-        }
-        Instr::FMacEx { fmt, rd: d, rs1: r1, rs2: r2, rm } => {
-            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MACEX, fmt)
-        }
+        Instr::FMulEx {
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rm,
+        } => OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MULEX, fmt),
+        Instr::FMacEx {
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rm,
+        } => OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MACEX, fmt),
 
         // ----- Xfvec -----
-        Instr::VFOp { op, fmt, rd: d, rs1: r1, rs2: r2, rep } => {
+        Instr::VFOp {
+            op,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rep,
+        } => {
             let vop = match op {
                 VfOp::Add => V_ADD,
                 VfOp::Sub => V_SUB,
@@ -359,10 +478,19 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop)
         }
-        Instr::VFSqrt { fmt, rd: d, rs1: r1 } => {
-            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(V_SQRT)
-        }
-        Instr::VFCmp { op, fmt, rd: d, rs1: r1, rs2: r2, rep } => {
+        Instr::VFSqrt {
+            fmt,
+            rd: d,
+            rs1: r1,
+        } => OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(V_SQRT),
+        Instr::VFCmp {
+            op,
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rep,
+        } => {
             let vop = match op {
                 VCmpOp::Eq => V_EQ,
                 VCmpOp::Ne => V_NE,
@@ -373,28 +501,57 @@ pub fn encode(instr: &Instr) -> u32 {
             };
             OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop)
         }
-        Instr::VFCvtFF { dst, src, rd: d, rs1: r1 } => {
-            OPC_OP | rd(d) | vec_funct3(dst, false) | rs1(r1) | (src.code() << 20)
+        Instr::VFCvtFF {
+            dst,
+            src,
+            rd: d,
+            rs1: r1,
+        } => {
+            OPC_OP
+                | rd(d)
+                | vec_funct3(dst, false)
+                | rs1(r1)
+                | (src.code() << 20)
                 | vec_funct7(V_CVT_FF)
         }
-        Instr::VFCvtXF { fmt, rd: d, rs1: r1, signed } => {
+        Instr::VFCvtXF {
+            fmt,
+            rd: d,
+            rs1: r1,
+            signed,
+        } => {
             let vop = if signed { V_CVT_XF } else { V_CVT_XUF };
             OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop)
         }
-        Instr::VFCvtFX { fmt, rd: d, rs1: r1, signed } => {
+        Instr::VFCvtFX {
+            fmt,
+            rd: d,
+            rs1: r1,
+            signed,
+        } => {
             let vop = if signed { V_CVT_FX } else { V_CVT_FXU };
             OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop)
         }
-        Instr::VFCpk { fmt, half, rd: d, rs1: r1, rs2: r2 } => {
+        Instr::VFCpk {
+            fmt,
+            half,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+        } => {
             let vop = match half {
                 CpkHalf::A => V_CPK_A,
                 CpkHalf::B => V_CPK_B,
             };
             OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | rs2(r2) | vec_funct7(vop)
         }
-        Instr::VFDotpEx { fmt, rd: d, rs1: r1, rs2: r2, rep } => {
-            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(V_DOTPEX)
-        }
+        Instr::VFDotpEx {
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rep,
+        } => OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(V_DOTPEX),
     }
 }
 
@@ -449,10 +606,20 @@ mod tests {
     fn standard_encodings_match_reference() {
         // Reference words cross-checked against the RISC-V spec / GNU as.
         // addi a0, a1, 42  -> 0x02A58513
-        let i = Instr::OpImm { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), imm: 42 };
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::a(1),
+            imm: 42,
+        };
         assert_eq!(encode(&i), 0x02A5_8513);
         // add  a0, a1, a2 -> 0x00C58533
-        let i = Instr::Op { op: AluOp::Add, rd: XReg::a(0), rs1: XReg::a(1), rs2: XReg::a(2) };
+        let i = Instr::Op {
+            op: AluOp::Add,
+            rd: XReg::a(0),
+            rs1: XReg::a(1),
+            rs2: XReg::a(2),
+        };
         assert_eq!(encode(&i), 0x00C5_8533);
         // lw a0, 8(sp) -> 0x00812503
         let i = Instr::Load {
@@ -464,19 +631,40 @@ mod tests {
         };
         assert_eq!(encode(&i), 0x0081_2503);
         // sw a0, 8(sp) -> 0x00A12423
-        let i = Instr::Store { width: MemWidth::W, rs2: XReg::a(0), rs1: XReg::SP, offset: 8 };
+        let i = Instr::Store {
+            width: MemWidth::W,
+            rs2: XReg::a(0),
+            rs1: XReg::SP,
+            offset: 8,
+        };
         assert_eq!(encode(&i), 0x00A1_2423);
         // beq a0, a1, +16 -> 0x00B50863
-        let i = Instr::Branch { cond: BranchCond::Eq, rs1: XReg::a(0), rs2: XReg::a(1), offset: 16 };
+        let i = Instr::Branch {
+            cond: BranchCond::Eq,
+            rs1: XReg::a(0),
+            rs2: XReg::a(1),
+            offset: 16,
+        };
         assert_eq!(encode(&i), 0x00B5_0863);
         // jal ra, +2048 → imm[11]=1: 0x0010_00EF
-        let i = Instr::Jal { rd: XReg::RA, offset: 2048 };
+        let i = Instr::Jal {
+            rd: XReg::RA,
+            offset: 2048,
+        };
         assert_eq!(encode(&i), 0x0010_00EF);
         // lui a0, 0x12345 -> 0x12345537
-        let i = Instr::Lui { rd: XReg::a(0), imm20: 0x12345 };
+        let i = Instr::Lui {
+            rd: XReg::a(0),
+            imm20: 0x12345,
+        };
         assert_eq!(encode(&i), 0x1234_5537);
         // mul a0, a1, a2 -> 0x02C58533
-        let i = Instr::MulDiv { op: MulDivOp::Mul, rd: XReg::a(0), rs1: XReg::a(1), rs2: XReg::a(2) };
+        let i = Instr::MulDiv {
+            op: MulDivOp::Mul,
+            rd: XReg::a(0),
+            rs1: XReg::a(1),
+            rs2: XReg::a(2),
+        };
         assert_eq!(encode(&i), 0x02C5_8533);
         // fadd.s fa0, fa1, fa2, rne -> 0x00C58553
         let i = Instr::FOp {
@@ -489,7 +677,12 @@ mod tests {
         };
         assert_eq!(encode(&i), 0x00C5_8553);
         // flw fa0, 0(a0) -> 0x00052507
-        let i = Instr::FLoad { fmt: FpFmt::S, rd: FReg::a(0), rs1: XReg::a(0), offset: 0 };
+        let i = Instr::FLoad {
+            fmt: FpFmt::S,
+            rd: FReg::a(0),
+            rs1: XReg::a(0),
+            offset: 0,
+        };
         assert_eq!(encode(&i), 0x0005_2507);
         // fmadd.s fa0, fa1, fa2, fa3, rne -> 0x68C58543
         let i = Instr::FFma {
@@ -539,13 +732,18 @@ mod tests {
         };
         let w = encode(&i);
         assert_eq!(w & 0x7f, OPC_OP);
-        assert_eq!(w >> 30, 0b10 >> 0 & 0b11, "funct7[6:5] must be the 10 prefix");
+        assert_eq!(w >> 30, 0b10 & 0b11, "funct7[6:5] must be the 10 prefix");
         assert_eq!((w >> 25) & 0x7f, 0b10_00000 | V_ADD);
     }
 
     #[test]
     #[should_panic(expected = "subi does not exist")]
     fn subi_panics() {
-        encode(&Instr::OpImm { op: AluOp::Sub, rd: XReg::a(0), rs1: XReg::a(0), imm: 1 });
+        encode(&Instr::OpImm {
+            op: AluOp::Sub,
+            rd: XReg::a(0),
+            rs1: XReg::a(0),
+            imm: 1,
+        });
     }
 }

@@ -126,7 +126,7 @@ impl IntVecFmt {
 /// | 16   | —       | —    | —       | 2   |
 pub fn vector_lanes(flen: u32, fmt: FpFmt) -> Option<u32> {
     let w = fmt.width();
-    if w < flen && flen % w == 0 {
+    if w < flen && flen.is_multiple_of(w) {
         Some(flen / w)
     } else {
         None

@@ -239,15 +239,41 @@ pub enum Instr {
     /// `jalr rd, offset(rs1)`.
     Jalr { rd: XReg, rs1: XReg, offset: i32 },
     /// Conditional branch.
-    Branch { cond: BranchCond, rs1: XReg, rs2: XReg, offset: i32 },
+    Branch {
+        cond: BranchCond,
+        rs1: XReg,
+        rs2: XReg,
+        offset: i32,
+    },
     /// Integer load (`unsigned` selects `lbu`/`lhu`; ignored for `lw`).
-    Load { width: MemWidth, unsigned: bool, rd: XReg, rs1: XReg, offset: i32 },
+    Load {
+        width: MemWidth,
+        unsigned: bool,
+        rd: XReg,
+        rs1: XReg,
+        offset: i32,
+    },
     /// Integer store.
-    Store { width: MemWidth, rs2: XReg, rs1: XReg, offset: i32 },
+    Store {
+        width: MemWidth,
+        rs2: XReg,
+        rs1: XReg,
+        offset: i32,
+    },
     /// ALU with immediate (no `Sub`).
-    OpImm { op: AluOp, rd: XReg, rs1: XReg, imm: i32 },
+    OpImm {
+        op: AluOp,
+        rd: XReg,
+        rs1: XReg,
+        imm: i32,
+    },
     /// ALU register-register.
-    Op { op: AluOp, rd: XReg, rs1: XReg, rs2: XReg },
+    Op {
+        op: AluOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
     /// Memory fence (a no-op in the single-hart simulator).
     Fence,
     /// Environment call (used as the exit convention by the simulator).
@@ -257,29 +283,87 @@ pub enum Instr {
 
     // ----- M -----
     /// Integer multiply/divide.
-    MulDiv { op: MulDivOp, rd: XReg, rs1: XReg, rs2: XReg },
+    MulDiv {
+        op: MulDivOp,
+        rd: XReg,
+        rs1: XReg,
+        rs2: XReg,
+    },
 
     // ----- Zicsr -----
     /// CSR read-modify-write.
-    Csr { op: CsrOp, rd: XReg, src: CsrSrc, csr: u16 },
+    Csr {
+        op: CsrOp,
+        rd: XReg,
+        src: CsrSrc,
+        csr: u16,
+    },
 
     // ----- F / Xf16 / Xf16alt / Xf8: scalar -----
     /// `flw`/`flh`/`flb`: FP load (narrow values are NaN-boxed on load).
-    FLoad { fmt: FpFmt, rd: FReg, rs1: XReg, offset: i32 },
+    FLoad {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: XReg,
+        offset: i32,
+    },
     /// `fsw`/`fsh`/`fsb`: FP store.
-    FStore { fmt: FpFmt, rs2: FReg, rs1: XReg, offset: i32 },
+    FStore {
+        fmt: FpFmt,
+        rs2: FReg,
+        rs1: XReg,
+        offset: i32,
+    },
     /// Rounded binary FP op (`fadd`/`fsub`/`fmul`/`fdiv`).
-    FOp { op: FpOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rm: Rm },
+    FOp {
+        op: FpOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rm: Rm,
+    },
     /// `fsqrt`.
-    FSqrt { fmt: FpFmt, rd: FReg, rs1: FReg, rm: Rm },
+    FSqrt {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rm: Rm,
+    },
     /// Sign injection.
-    FSgnj { kind: SgnjKind, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg },
+    FSgnj {
+        kind: SgnjKind,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// IEEE `minNum`/`maxNum`.
-    FMinMax { op: MinMaxOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg },
+    FMinMax {
+        op: MinMaxOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// Fused multiply-add family.
-    FFma { op: FmaOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rs3: FReg, rm: Rm },
+    FFma {
+        op: FmaOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rs3: FReg,
+        rm: Rm,
+    },
     /// FP comparison into an integer register.
-    FCmp { op: CmpOp, fmt: FpFmt, rd: XReg, rs1: FReg, rs2: FReg },
+    FCmp {
+        op: CmpOp,
+        fmt: FpFmt,
+        rd: XReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// `fclass` 10-bit classification mask.
     FClass { fmt: FpFmt, rd: XReg, rs1: FReg },
     /// `fmv.x.fmt`: move raw FP bits to an integer register (sign-extended).
@@ -287,42 +371,113 @@ pub enum Instr {
     /// `fmv.fmt.x`: move raw integer bits into an FP register (NaN-boxed).
     FMvFX { fmt: FpFmt, rd: FReg, rs1: XReg },
     /// Float-to-float conversion `fcvt.dst.src`.
-    FCvtFF { dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg, rm: Rm },
+    FCvtFF {
+        dst: FpFmt,
+        src: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rm: Rm,
+    },
     /// Float to 32-bit integer `fcvt.w[u].fmt`.
-    FCvtFI { fmt: FpFmt, rd: XReg, rs1: FReg, signed: bool, rm: Rm },
+    FCvtFI {
+        fmt: FpFmt,
+        rd: XReg,
+        rs1: FReg,
+        signed: bool,
+        rm: Rm,
+    },
     /// 32-bit integer to float `fcvt.fmt.w[u]`.
-    FCvtIF { fmt: FpFmt, rd: FReg, rs1: XReg, signed: bool, rm: Rm },
+    FCvtIF {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: XReg,
+        signed: bool,
+        rm: Rm,
+    },
 
     // ----- Xfaux: scalar expanding -----
     /// `fmulex.s.fmt`: multiply two smallFloat scalars into a binary32
     /// result (single rounding; the product is exact before rounding).
-    FMulEx { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rm: Rm },
+    FMulEx {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rm: Rm,
+    },
     /// `fmacex.s.fmt`: multiply-accumulate of smallFloats on a binary32
     /// accumulator: `rd(f32) += rs1(fmt) * rs2(fmt)` with a single rounding.
-    FMacEx { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rm: Rm },
+    FMacEx {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rm: Rm,
+    },
 
     // ----- Xfvec -----
     /// Lane-wise vector op; `rep` selects the `.r` variant where lane 0 of
     /// `rs2` is replicated across all lanes (vector-scalar form).
-    VFOp { op: VfOp, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rep: bool },
+    VFOp {
+        op: VfOp,
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rep: bool,
+    },
     /// Lane-wise square root.
     VFSqrt { fmt: FpFmt, rd: FReg, rs1: FReg },
     /// Lane-wise comparison; writes a lane mask (bit i = lane i) to `rd`.
-    VFCmp { op: VCmpOp, fmt: FpFmt, rd: XReg, rs1: FReg, rs2: FReg, rep: bool },
+    VFCmp {
+        op: VCmpOp,
+        fmt: FpFmt,
+        rd: XReg,
+        rs1: FReg,
+        rs2: FReg,
+        rep: bool,
+    },
     /// Lane-wise float-to-float conversion between equal-width formats
     /// (`vfcvt.h.ah` / `vfcvt.ah.h`).
-    VFCvtFF { dst: FpFmt, src: FpFmt, rd: FReg, rs1: FReg },
+    VFCvtFF {
+        dst: FpFmt,
+        src: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+    },
     /// Lane-wise float → packed integer (`vfcvt.x[u].fmt`).
-    VFCvtXF { fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool },
+    VFCvtXF {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        signed: bool,
+    },
     /// Lane-wise packed integer → float (`vfcvt.fmt.x[u]`).
-    VFCvtFX { fmt: FpFmt, rd: FReg, rs1: FReg, signed: bool },
+    VFCvtFX {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        signed: bool,
+    },
     /// Cast-and-pack: convert the binary32 scalars in `rs1` and `rs2` to
     /// `fmt` and pack them into adjacent lanes of `rd` (the paper's remedy
     /// for the "convert scalars and assemble vectors" bottleneck).
-    VFCpk { fmt: FpFmt, half: CpkHalf, rd: FReg, rs1: FReg, rs2: FReg },
+    VFCpk {
+        fmt: FpFmt,
+        half: CpkHalf,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+    },
     /// Expanding dot product (Xfaux): `rd(f32) += Σ_i rs1[i] * rs2[i]`,
     /// lane products computed exactly, accumulated in binary32.
-    VFDotpEx { fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg, rep: bool },
+    VFDotpEx {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rep: bool,
+    },
 }
 
 /// Instruction classes used for cycle/energy accounting and the paper's
@@ -404,6 +559,13 @@ impl InstrClass {
         InstrClass::Csr,
         InstrClass::System,
     ];
+
+    /// Index of this class in [`InstrClass::ALL`]. The variants are
+    /// declared in display order, so this is a plain cast — cheap enough
+    /// for per-retired-instruction accounting.
+    pub fn index(self) -> usize {
+        self as usize
+    }
 
     /// Short label for tables.
     pub fn label(self) -> &'static str {
@@ -502,13 +664,23 @@ impl Instr {
 
     /// True for control-flow instructions.
     pub fn is_control(&self) -> bool {
-        matches!(self, Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. })
+        matches!(
+            self,
+            Instr::Jal { .. } | Instr::Jalr { .. } | Instr::Branch { .. }
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn class_index_matches_display_order() {
+        for (i, class) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i, "{class:?} out of order vs ALL");
+        }
+    }
 
     #[test]
     fn rm_round_trip() {
@@ -522,7 +694,12 @@ mod tests {
 
     #[test]
     fn classification() {
-        let i = Instr::OpImm { op: AluOp::Add, rd: XReg::new(1), rs1: XReg::ZERO, imm: 4 };
+        let i = Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::new(1),
+            rs1: XReg::ZERO,
+            imm: 4,
+        };
         assert_eq!(i.class(), InstrClass::IntAlu);
         let i = Instr::VFOp {
             op: VfOp::Mul,
@@ -541,9 +718,18 @@ mod tests {
             rm: Rm::Dyn,
         };
         assert_eq!(i.class(), InstrClass::FpExpand);
-        assert!(Instr::FLoad { fmt: FpFmt::H, rd: FReg::new(0), rs1: XReg::SP, offset: 0 }
-            .is_mem());
-        assert!(Instr::Jal { rd: XReg::ZERO, offset: 8 }.is_control());
+        assert!(Instr::FLoad {
+            fmt: FpFmt::H,
+            rd: FReg::new(0),
+            rs1: XReg::SP,
+            offset: 0
+        }
+        .is_mem());
+        assert!(Instr::Jal {
+            rd: XReg::ZERO,
+            offset: 8
+        }
+        .is_control());
     }
 
     #[test]

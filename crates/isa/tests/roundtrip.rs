@@ -1,43 +1,47 @@
 //! Encode/decode round-trip property tests over the whole instruction set,
 //! plus opcode-space collision checks.
+//!
+//! Random instructions come from the seeded generator in
+//! `smallfloat-devtools` (the offline build has no proptest); every case is
+//! deterministic and replayable from the seed the runner prints on failure.
 
-use proptest::prelude::*;
+use smallfloat_devtools::{prop, Rng};
 use smallfloat_isa::*;
 
-fn xreg() -> impl Strategy<Value = XReg> {
-    (0u8..32).prop_map(XReg::new)
+fn xreg(rng: &mut Rng) -> XReg {
+    XReg::new(rng.below(32) as u8)
 }
 
-fn freg() -> impl Strategy<Value = FReg> {
-    (0u8..32).prop_map(FReg::new)
+fn freg(rng: &mut Rng) -> FReg {
+    FReg::new(rng.below(32) as u8)
 }
 
-fn fpfmt() -> impl Strategy<Value = FpFmt> {
-    prop::sample::select(FpFmt::ALL.to_vec())
+fn fpfmt(rng: &mut Rng) -> FpFmt {
+    rng.pick(&FpFmt::ALL)
 }
 
-fn small_fmt() -> impl Strategy<Value = FpFmt> {
-    prop::sample::select(FpFmt::SMALL.to_vec())
+fn small_fmt(rng: &mut Rng) -> FpFmt {
+    rng.pick(&FpFmt::SMALL)
 }
 
-fn rm() -> impl Strategy<Value = Rm> {
-    prop::sample::select(vec![Rm::Rne, Rm::Rtz, Rm::Rdn, Rm::Rup, Rm::Rmm, Rm::Dyn])
+fn rm(rng: &mut Rng) -> Rm {
+    rng.pick(&[Rm::Rne, Rm::Rtz, Rm::Rdn, Rm::Rup, Rm::Rmm, Rm::Dyn])
 }
 
-fn imm12() -> impl Strategy<Value = i32> {
-    -2048i32..2048
+fn imm12(rng: &mut Rng) -> i32 {
+    rng.range_i32(-2048, 2048)
 }
 
-fn branch_off() -> impl Strategy<Value = i32> {
-    (-2048i32..2048).prop_map(|v| v * 2)
+fn branch_off(rng: &mut Rng) -> i32 {
+    rng.range_i32(-2048, 2048) * 2
 }
 
-fn jal_off() -> impl Strategy<Value = i32> {
-    (-524288i32..524288).prop_map(|v| v * 2)
+fn jal_off(rng: &mut Rng) -> i32 {
+    rng.range_i32(-524288, 524288) * 2
 }
 
-fn alu_op_imm() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
+fn alu_op_imm(rng: &mut Rng) -> AluOp {
+    rng.pick(&[
         AluOp::Add,
         AluOp::Sll,
         AluOp::Slt,
@@ -50,8 +54,8 @@ fn alu_op_imm() -> impl Strategy<Value = AluOp> {
     ])
 }
 
-fn alu_op_reg() -> impl Strategy<Value = AluOp> {
-    prop::sample::select(vec![
+fn alu_op_reg(rng: &mut Rng) -> AluOp {
+    rng.pick(&[
         AluOp::Add,
         AluOp::Sub,
         AluOp::Sll,
@@ -65,17 +69,28 @@ fn alu_op_reg() -> impl Strategy<Value = AluOp> {
     ])
 }
 
-/// A strategy producing every encodable instruction form with random fields.
-fn any_instr() -> BoxedStrategy<Instr> {
-    let leaves: Vec<BoxedStrategy<Instr>> = vec![
-        (xreg(), 0i32..0x10_0000).prop_map(|(rd, imm20)| Instr::Lui { rd, imm20 }).boxed(),
-        (xreg(), 0i32..0x10_0000).prop_map(|(rd, imm20)| Instr::Auipc { rd, imm20 }).boxed(),
-        (xreg(), jal_off()).prop_map(|(rd, offset)| Instr::Jal { rd, offset }).boxed(),
-        (xreg(), xreg(), imm12())
-            .prop_map(|(rd, rs1, offset)| Instr::Jalr { rd, rs1, offset })
-            .boxed(),
-        (
-            prop::sample::select(vec![
+/// Generate any encodable instruction form with random fields.
+fn any_instr(rng: &mut Rng) -> Instr {
+    match rng.below(31) {
+        0 => Instr::Lui {
+            rd: xreg(rng),
+            imm20: rng.range_i32(0, 0x10_0000),
+        },
+        1 => Instr::Auipc {
+            rd: xreg(rng),
+            imm20: rng.range_i32(0, 0x10_0000),
+        },
+        2 => Instr::Jal {
+            rd: xreg(rng),
+            offset: jal_off(rng),
+        },
+        3 => Instr::Jalr {
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            offset: imm12(rng),
+        },
+        4 => Instr::Branch {
+            cond: rng.pick(&[
                 BranchCond::Eq,
                 BranchCond::Ne,
                 BranchCond::Lt,
@@ -83,56 +98,57 @@ fn any_instr() -> BoxedStrategy<Instr> {
                 BranchCond::Ltu,
                 BranchCond::Geu,
             ]),
-            xreg(),
-            xreg(),
-            branch_off(),
-        )
-            .prop_map(|(cond, rs1, rs2, offset)| Instr::Branch { cond, rs1, rs2, offset })
-            .boxed(),
-        (
-            prop::sample::select(vec![
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+            offset: branch_off(rng),
+        },
+        5 => {
+            let (width, unsigned) = rng.pick(&[
                 (MemWidth::B, false),
                 (MemWidth::H, false),
                 (MemWidth::W, false),
                 (MemWidth::B, true),
                 (MemWidth::H, true),
-            ]),
-            xreg(),
-            xreg(),
-            imm12(),
-        )
-            .prop_map(|((width, unsigned), rd, rs1, offset)| Instr::Load {
+            ]);
+            Instr::Load {
                 width,
                 unsigned,
-                rd,
-                rs1,
-                offset,
-            })
-            .boxed(),
-        (
-            prop::sample::select(vec![MemWidth::B, MemWidth::H, MemWidth::W]),
-            xreg(),
-            xreg(),
-            imm12(),
-        )
-            .prop_map(|(width, rs2, rs1, offset)| Instr::Store { width, rs2, rs1, offset })
-            .boxed(),
-        (alu_op_imm(), xreg(), xreg(), imm12()).prop_map(|(op, rd, rs1, imm)| {
+                rd: xreg(rng),
+                rs1: xreg(rng),
+                offset: imm12(rng),
+            }
+        }
+        6 => Instr::Store {
+            width: rng.pick(&[MemWidth::B, MemWidth::H, MemWidth::W]),
+            rs2: xreg(rng),
+            rs1: xreg(rng),
+            offset: imm12(rng),
+        },
+        7 => {
+            let op = alu_op_imm(rng);
+            let imm = imm12(rng);
             let imm = match op {
                 AluOp::Sll | AluOp::Srl | AluOp::Sra => imm & 0x1f,
                 _ => imm,
             };
-            Instr::OpImm { op, rd, rs1, imm }
-        })
-        .boxed(),
-        (alu_op_reg(), xreg(), xreg(), xreg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Op { op, rd, rs1, rs2 })
-            .boxed(),
-        Just(Instr::Fence).boxed(),
-        Just(Instr::Ecall).boxed(),
-        Just(Instr::Ebreak).boxed(),
-        (
-            prop::sample::select(vec![
+            Instr::OpImm {
+                op,
+                rd: xreg(rng),
+                rs1: xreg(rng),
+                imm,
+            }
+        }
+        8 => Instr::Op {
+            op: alu_op_reg(rng),
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+        },
+        9 => Instr::Fence,
+        10 => Instr::Ecall,
+        11 => Instr::Ebreak,
+        12 => Instr::MulDiv {
+            op: rng.pick(&[
                 MulDivOp::Mul,
                 MulDivOp::Mulh,
                 MulDivOp::Mulhsu,
@@ -142,95 +158,158 @@ fn any_instr() -> BoxedStrategy<Instr> {
                 MulDivOp::Rem,
                 MulDivOp::Remu,
             ]),
-            xreg(),
-            xreg(),
-            xreg(),
-        )
-            .prop_map(|(op, rd, rs1, rs2)| Instr::MulDiv { op, rd, rs1, rs2 })
-            .boxed(),
-        (
-            prop::sample::select(vec![CsrOp::Rw, CsrOp::Rs, CsrOp::Rc]),
-            xreg(),
-            prop_oneof![xreg().prop_map(CsrSrc::Reg), (0u8..32).prop_map(CsrSrc::Imm)],
-            0u16..0x1000,
-        )
-            .prop_map(|(op, rd, src, csr)| Instr::Csr { op, rd, src, csr })
-            .boxed(),
+            rd: xreg(rng),
+            rs1: xreg(rng),
+            rs2: xreg(rng),
+        },
+        13 => {
+            let src = if rng.bool() {
+                CsrSrc::Reg(xreg(rng))
+            } else {
+                CsrSrc::Imm(rng.below(32) as u8)
+            };
+            Instr::Csr {
+                op: rng.pick(&[CsrOp::Rw, CsrOp::Rs, CsrOp::Rc]),
+                rd: xreg(rng),
+                src,
+                csr: rng.below(0x1000) as u16,
+            }
+        }
         // FP loads/stores: 16-bit accesses canonicalize to H, so draw from
         // {S, H, B} only (Ah shares flh/fsh, as both 16-bit formats do).
-        (prop::sample::select(vec![FpFmt::S, FpFmt::H, FpFmt::B]), freg(), xreg(), imm12())
-            .prop_map(|(fmt, rd, rs1, offset)| Instr::FLoad { fmt, rd, rs1, offset })
-            .boxed(),
-        (prop::sample::select(vec![FpFmt::S, FpFmt::H, FpFmt::B]), freg(), xreg(), imm12())
-            .prop_map(|(fmt, rs2, rs1, offset)| Instr::FStore { fmt, rs2, rs1, offset })
-            .boxed(),
-        (
-            prop::sample::select(vec![FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div]),
-            fpfmt(),
-            freg(),
-            freg(),
-            freg(),
-            rm(),
-        )
-            .prop_map(|(op, fmt, rd, rs1, rs2, rm)| Instr::FOp { op, fmt, rd, rs1, rs2, rm })
-            .boxed(),
-        (fpfmt(), freg(), freg(), rm())
-            .prop_map(|(fmt, rd, rs1, rm)| Instr::FSqrt { fmt, rd, rs1, rm })
-            .boxed(),
-        (
-            prop::sample::select(vec![SgnjKind::Sgnj, SgnjKind::Sgnjn, SgnjKind::Sgnjx]),
-            fpfmt(),
-            freg(),
-            freg(),
-            freg(),
-        )
-            .prop_map(|(kind, fmt, rd, rs1, rs2)| Instr::FSgnj { kind, fmt, rd, rs1, rs2 })
-            .boxed(),
-        (prop::sample::select(vec![MinMaxOp::Min, MinMaxOp::Max]), fpfmt(), freg(), freg(), freg())
-            .prop_map(|(op, fmt, rd, rs1, rs2)| Instr::FMinMax { op, fmt, rd, rs1, rs2 })
-            .boxed(),
-        (
-            prop::sample::select(vec![FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd]),
-            fpfmt(),
-            freg(),
-            freg(),
-            freg(),
-            freg(),
-            rm(),
-        )
-            .prop_map(|(op, fmt, rd, rs1, rs2, rs3, rm)| Instr::FFma {
-                op,
-                fmt,
-                rd,
-                rs1,
-                rs2,
-                rs3,
-                rm,
-            })
-            .boxed(),
-        (prop::sample::select(vec![CmpOp::Eq, CmpOp::Lt, CmpOp::Le]), fpfmt(), xreg(), freg(), freg())
-            .prop_map(|(op, fmt, rd, rs1, rs2)| Instr::FCmp { op, fmt, rd, rs1, rs2 })
-            .boxed(),
-        (fpfmt(), xreg(), freg()).prop_map(|(fmt, rd, rs1)| Instr::FClass { fmt, rd, rs1 }).boxed(),
-        (fpfmt(), xreg(), freg()).prop_map(|(fmt, rd, rs1)| Instr::FMvXF { fmt, rd, rs1 }).boxed(),
-        (fpfmt(), freg(), xreg()).prop_map(|(fmt, rd, rs1)| Instr::FMvFX { fmt, rd, rs1 }).boxed(),
-        (fpfmt(), fpfmt(), freg(), freg(), rm())
-            .prop_map(|(dst, src, rd, rs1, rm)| Instr::FCvtFF { dst, src, rd, rs1, rm })
-            .boxed(),
-        (fpfmt(), xreg(), freg(), any::<bool>(), rm())
-            .prop_map(|(fmt, rd, rs1, signed, rm)| Instr::FCvtFI { fmt, rd, rs1, signed, rm })
-            .boxed(),
-        (fpfmt(), freg(), xreg(), any::<bool>(), rm())
-            .prop_map(|(fmt, rd, rs1, signed, rm)| Instr::FCvtIF { fmt, rd, rs1, signed, rm })
-            .boxed(),
-        (small_fmt(), freg(), freg(), freg(), rm())
-            .prop_map(|(fmt, rd, rs1, rs2, rm)| Instr::FMulEx { fmt, rd, rs1, rs2, rm })
-            .boxed(),
-        (small_fmt(), freg(), freg(), freg(), rm())
-            .prop_map(|(fmt, rd, rs1, rs2, rm)| Instr::FMacEx { fmt, rd, rs1, rs2, rm })
-            .boxed(),
-        (
-            prop::sample::select(vec![
+        14 => Instr::FLoad {
+            fmt: rng.pick(&[FpFmt::S, FpFmt::H, FpFmt::B]),
+            rd: freg(rng),
+            rs1: xreg(rng),
+            offset: imm12(rng),
+        },
+        15 => Instr::FStore {
+            fmt: rng.pick(&[FpFmt::S, FpFmt::H, FpFmt::B]),
+            rs2: freg(rng),
+            rs1: xreg(rng),
+            offset: imm12(rng),
+        },
+        16 => Instr::FOp {
+            op: rng.pick(&[FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div]),
+            fmt: fpfmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+            rm: rm(rng),
+        },
+        17 => Instr::FSqrt {
+            fmt: fpfmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rm: rm(rng),
+        },
+        18 => Instr::FSgnj {
+            kind: rng.pick(&[SgnjKind::Sgnj, SgnjKind::Sgnjn, SgnjKind::Sgnjx]),
+            fmt: fpfmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+        },
+        19 => Instr::FMinMax {
+            op: rng.pick(&[MinMaxOp::Min, MinMaxOp::Max]),
+            fmt: fpfmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+        },
+        20 => Instr::FFma {
+            op: rng.pick(&[FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd]),
+            fmt: fpfmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+            rs3: freg(rng),
+            rm: rm(rng),
+        },
+        21 => {
+            let half = match rng.below(5) {
+                0 => {
+                    return Instr::FCmp {
+                        op: rng.pick(&[CmpOp::Eq, CmpOp::Lt, CmpOp::Le]),
+                        fmt: fpfmt(rng),
+                        rd: xreg(rng),
+                        rs1: freg(rng),
+                        rs2: freg(rng),
+                    }
+                }
+                1 => {
+                    return Instr::FClass {
+                        fmt: fpfmt(rng),
+                        rd: xreg(rng),
+                        rs1: freg(rng),
+                    }
+                }
+                2 => {
+                    return Instr::FMvXF {
+                        fmt: fpfmt(rng),
+                        rd: xreg(rng),
+                        rs1: freg(rng),
+                    }
+                }
+                3 => {
+                    return Instr::FMvFX {
+                        fmt: fpfmt(rng),
+                        rd: freg(rng),
+                        rs1: xreg(rng),
+                    }
+                }
+                _ => rng.pick(&[CpkHalf::A, CpkHalf::B]),
+            };
+            Instr::VFCpk {
+                fmt: small_fmt(rng),
+                half,
+                rd: freg(rng),
+                rs1: freg(rng),
+                rs2: freg(rng),
+            }
+        }
+        22 => Instr::FCvtFF {
+            dst: fpfmt(rng),
+            src: fpfmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rm: rm(rng),
+        },
+        23 => Instr::FCvtFI {
+            fmt: fpfmt(rng),
+            rd: xreg(rng),
+            rs1: freg(rng),
+            signed: rng.bool(),
+            rm: rm(rng),
+        },
+        24 => Instr::FCvtIF {
+            fmt: fpfmt(rng),
+            rd: freg(rng),
+            rs1: xreg(rng),
+            signed: rng.bool(),
+            rm: rm(rng),
+        },
+        25 => {
+            if rng.bool() {
+                Instr::FMulEx {
+                    fmt: small_fmt(rng),
+                    rd: freg(rng),
+                    rs1: freg(rng),
+                    rs2: freg(rng),
+                    rm: rm(rng),
+                }
+            } else {
+                Instr::FMacEx {
+                    fmt: small_fmt(rng),
+                    rd: freg(rng),
+                    rs1: freg(rng),
+                    rs2: freg(rng),
+                    rm: rm(rng),
+                }
+            }
+        }
+        26 => Instr::VFOp {
+            op: rng.pick(&[
                 VfOp::Add,
                 VfOp::Sub,
                 VfOp::Mul,
@@ -242,129 +321,149 @@ fn any_instr() -> BoxedStrategy<Instr> {
                 VfOp::Sgnjn,
                 VfOp::Sgnjx,
             ]),
-            small_fmt(),
-            freg(),
-            freg(),
-            freg(),
-            any::<bool>(),
-        )
-            .prop_map(|(op, fmt, rd, rs1, rs2, rep)| Instr::VFOp { op, fmt, rd, rs1, rs2, rep })
-            .boxed(),
-        (small_fmt(), freg(), freg())
-            .prop_map(|(fmt, rd, rs1)| Instr::VFSqrt { fmt, rd, rs1 })
-            .boxed(),
-        (
-            prop::sample::select(vec![
-                VCmpOp::Eq,
-                VCmpOp::Ne,
-                VCmpOp::Lt,
-                VCmpOp::Le,
-                VCmpOp::Gt,
-                VCmpOp::Ge,
-            ]),
-            small_fmt(),
-            xreg(),
-            freg(),
-            freg(),
-            any::<bool>(),
-        )
-            .prop_map(|(op, fmt, rd, rs1, rs2, rep)| Instr::VFCmp { op, fmt, rd, rs1, rs2, rep })
-            .boxed(),
-        (freg(), freg())
-            .prop_flat_map(|(rd, rs1)| {
-                prop::sample::select(vec![(FpFmt::H, FpFmt::Ah), (FpFmt::Ah, FpFmt::H)])
-                    .prop_map(move |(dst, src)| Instr::VFCvtFF { dst, src, rd, rs1 })
-            })
-            .boxed(),
-        (small_fmt(), freg(), freg(), any::<bool>())
-            .prop_map(|(fmt, rd, rs1, signed)| Instr::VFCvtXF { fmt, rd, rs1, signed })
-            .boxed(),
-        (small_fmt(), freg(), freg(), any::<bool>())
-            .prop_map(|(fmt, rd, rs1, signed)| Instr::VFCvtFX { fmt, rd, rs1, signed })
-            .boxed(),
-        (
-            small_fmt(),
-            prop::sample::select(vec![CpkHalf::A, CpkHalf::B]),
-            freg(),
-            freg(),
-            freg(),
-        )
-            .prop_map(|(fmt, half, rd, rs1, rs2)| Instr::VFCpk { fmt, half, rd, rs1, rs2 })
-            .boxed(),
-        (small_fmt(), freg(), freg(), freg(), any::<bool>())
-            .prop_map(|(fmt, rd, rs1, rs2, rep)| Instr::VFDotpEx { fmt, rd, rs1, rs2, rep })
-            .boxed(),
-    ];
-    prop::strategy::Union::new(leaves).boxed()
+            fmt: small_fmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+            rep: rng.bool(),
+        },
+        27 => {
+            if rng.bool() {
+                Instr::VFSqrt {
+                    fmt: small_fmt(rng),
+                    rd: freg(rng),
+                    rs1: freg(rng),
+                }
+            } else {
+                Instr::VFCmp {
+                    op: rng.pick(&[
+                        VCmpOp::Eq,
+                        VCmpOp::Ne,
+                        VCmpOp::Lt,
+                        VCmpOp::Le,
+                        VCmpOp::Gt,
+                        VCmpOp::Ge,
+                    ]),
+                    fmt: small_fmt(rng),
+                    rd: xreg(rng),
+                    rs1: freg(rng),
+                    rs2: freg(rng),
+                    rep: rng.bool(),
+                }
+            }
+        }
+        28 => {
+            let (dst, src) = rng.pick(&[(FpFmt::H, FpFmt::Ah), (FpFmt::Ah, FpFmt::H)]);
+            Instr::VFCvtFF {
+                dst,
+                src,
+                rd: freg(rng),
+                rs1: freg(rng),
+            }
+        }
+        29 => {
+            if rng.bool() {
+                Instr::VFCvtXF {
+                    fmt: small_fmt(rng),
+                    rd: freg(rng),
+                    rs1: freg(rng),
+                    signed: rng.bool(),
+                }
+            } else {
+                Instr::VFCvtFX {
+                    fmt: small_fmt(rng),
+                    rd: freg(rng),
+                    rs1: freg(rng),
+                    signed: rng.bool(),
+                }
+            }
+        }
+        _ => Instr::VFDotpEx {
+            fmt: small_fmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+            rep: rng.bool(),
+        },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8192))]
-
-    /// decode(encode(i)) == i for every instruction form.
-    #[test]
-    fn encode_decode_round_trip(instr in any_instr()) {
+/// decode(encode(i)) == i for every instruction form.
+#[test]
+fn encode_decode_round_trip() {
+    prop::cases("encode_decode_round_trip", 8192, |rng| {
+        let instr = any_instr(rng);
         let word = encode(&instr);
         let back = decode(word);
-        prop_assert_eq!(back, Ok(instr), "word=0x{:08x}", word);
-    }
+        assert_eq!(back, Ok(instr), "word=0x{word:08x}");
+    });
+}
 
-    /// Encoding is injective: different instructions give different words.
-    #[test]
-    fn encode_injective(a in any_instr(), b in any_instr()) {
+/// Encoding is injective: different instructions give different words.
+#[test]
+fn encode_injective() {
+    prop::cases("encode_injective", 8192, |rng| {
+        let a = any_instr(rng);
+        let b = any_instr(rng);
         if a != b {
-            prop_assert_ne!(encode(&a), encode(&b), "collision: {} vs {}", a, b);
+            assert_ne!(encode(&a), encode(&b), "collision: {a} vs {b}");
         }
-    }
+    });
+}
 
-    /// The disassembly of every instruction is nonempty and starts with a
-    /// lowercase mnemonic.
-    #[test]
-    fn disasm_wellformed(instr in any_instr()) {
-        let s = instr.to_string();
-        prop_assert!(!s.is_empty());
+/// The disassembly of every instruction is nonempty and starts with a
+/// lowercase mnemonic.
+#[test]
+fn disasm_wellformed() {
+    prop::cases("disasm_wellformed", 8192, |rng| {
+        let s = any_instr(rng).to_string();
+        assert!(!s.is_empty());
         let first = s.chars().next().unwrap();
-        prop_assert!(first.is_ascii_lowercase());
-    }
+        assert!(first.is_ascii_lowercase());
+    });
+}
 
-    /// Random 32-bit words either fail to decode or re-encode to themselves
-    /// ("decode is a partial inverse of encode").
-    #[test]
-    fn decode_reencode_fixpoint(word in any::<u32>()) {
+/// Random 32-bit words either fail to decode or re-encode to themselves
+/// ("decode is a partial inverse of encode").
+#[test]
+fn decode_reencode_fixpoint() {
+    prop::cases("decode_reencode_fixpoint", 16384, |rng| {
         // Restrict to the standard 32-bit instruction space (low bits 11).
-        let word = word | 0b11;
+        let word = rng.u32() | 0b11;
         if let Ok(instr) = decode(word) {
             // Fields that tolerate don't-care bits (e.g. shift funct7 low
             // bits) may not re-encode identically; decode again instead.
             let re = encode(&instr);
-            prop_assert_eq!(decode(re), Ok(instr), "word=0x{:08x} re=0x{:08x}", word, re);
+            assert_eq!(decode(re), Ok(instr), "word=0x{word:08x} re=0x{re:08x}");
         }
-    }
+    });
+}
 
-    /// Whenever an instruction compresses, decompressing gives it back
-    /// unchanged (compress is a partial inverse of decode_compressed).
-    #[test]
-    fn compress_decompress_identity(instr in any_instr()) {
+/// Whenever an instruction compresses, decompressing gives it back
+/// unchanged (compress is a partial inverse of decode_compressed).
+#[test]
+fn compress_decompress_identity() {
+    prop::cases("compress_decompress_identity", 8192, |rng| {
+        let instr = any_instr(rng);
         if let Some(half) = compress(&instr) {
-            prop_assert_eq!(
-                decode_compressed(half),
-                Ok(instr),
-                "half=0x{:04x}",
-                half
-            );
+            assert_eq!(decode_compressed(half), Ok(instr), "half=0x{half:04x}");
         }
-    }
+    });
+}
 
-    /// Compressed decoding never panics, and successful expansions are
-    /// legal 32-bit instructions that survive an encode/decode cycle.
-    #[test]
-    fn compressed_decode_total(raw in any::<u16>(), quadrant in 0u16..3) {
+/// Compressed decoding never panics, and successful expansions are
+/// legal 32-bit instructions that survive an encode/decode cycle.
+#[test]
+fn compressed_decode_total() {
+    prop::cases("compressed_decode_total", 16384, |rng| {
+        let raw = rng.u16();
+        let quadrant = rng.below(3) as u16;
         let half = (raw & !0b11) | quadrant; // force a compressed quadrant
         if let Ok(instr) = decode_compressed(half) {
             let word = encode(&instr);
-            prop_assert_eq!(decode(word), Ok(instr));
+            assert_eq!(decode(word), Ok(instr));
         }
-    }
+    });
 }
 
 /// Every smallFloat instruction stays clear of the RV32IMF opcode space:

@@ -13,8 +13,7 @@ fn main() {
     let svm = Svm::new();
     let base = svm.base_kernel();
     let eval = |assign: &[(&str, FpFmt)]| -> f64 {
-        let map: HashMap<String, FpFmt> =
-            assign.iter().map(|(n, f)| (n.to_string(), *f)).collect();
+        let map: HashMap<String, FpFmt> = assign.iter().map(|(n, f)| (n.to_string(), *f)).collect();
         let typed = retype::retype(&base, &map);
         let mut st = TypedState::for_kernel(&typed);
         for (name, values) in svm.inputs() {
@@ -33,8 +32,44 @@ fn main() {
     println!("scores=B: {:.4}", eval(&[("scores", FpFmt::B)]));
     println!("scores=H: {:.4}", eval(&[("scores", FpFmt::H)]));
     println!("w=H    : {:.4}", eval(&[("w", FpFmt::H)]));
-    println!("allH+accS: {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::S)]));
-    println!("allH+accAh: {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::Ah)]));
-    println!("allH      : {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::H)]));
-    println!("allH+accB : {:.4}", eval(&[("x",FpFmt::H),("w",FpFmt::H),("bias",FpFmt::H),("scores",FpFmt::H),("acc",FpFmt::B)]));
+    println!(
+        "allH+accS: {:.4}",
+        eval(&[
+            ("x", FpFmt::H),
+            ("w", FpFmt::H),
+            ("bias", FpFmt::H),
+            ("scores", FpFmt::H),
+            ("acc", FpFmt::S)
+        ])
+    );
+    println!(
+        "allH+accAh: {:.4}",
+        eval(&[
+            ("x", FpFmt::H),
+            ("w", FpFmt::H),
+            ("bias", FpFmt::H),
+            ("scores", FpFmt::H),
+            ("acc", FpFmt::Ah)
+        ])
+    );
+    println!(
+        "allH      : {:.4}",
+        eval(&[
+            ("x", FpFmt::H),
+            ("w", FpFmt::H),
+            ("bias", FpFmt::H),
+            ("scores", FpFmt::H),
+            ("acc", FpFmt::H)
+        ])
+    );
+    println!(
+        "allH+accB : {:.4}",
+        eval(&[
+            ("x", FpFmt::H),
+            ("w", FpFmt::H),
+            ("bias", FpFmt::H),
+            ("scores", FpFmt::H),
+            ("acc", FpFmt::B)
+        ])
+    );
 }

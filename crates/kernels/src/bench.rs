@@ -39,13 +39,20 @@ pub enum Precision {
     F8,
     /// Mixed precision: explicit name → type map; unnamed variables keep
     /// the uniform `default`.
-    Mixed { default: FpFmt, assignment: Vec<(String, FpFmt)> },
+    Mixed {
+        default: FpFmt,
+        assignment: Vec<(String, FpFmt)>,
+    },
 }
 
 impl Precision {
     /// The four uniform variants.
-    pub const UNIFORM: [Precision; 4] =
-        [Precision::F32, Precision::F16, Precision::F16Alt, Precision::F8];
+    pub const UNIFORM: [Precision; 4] = [
+        Precision::F32,
+        Precision::F16,
+        Precision::F16Alt,
+        Precision::F8,
+    ];
 
     /// Short label for tables.
     pub fn label(&self) -> String {
@@ -65,7 +72,10 @@ impl Precision {
             Precision::F16 => retype::retype_all(base, FpFmt::H),
             Precision::F16Alt => retype::retype_all(base, FpFmt::Ah),
             Precision::F8 => retype::retype_all(base, FpFmt::B),
-            Precision::Mixed { default, assignment } => {
+            Precision::Mixed {
+                default,
+                assignment,
+            } => {
                 let k = retype::retype_all(base, *default);
                 let map: HashMap<String, FpFmt> = assignment.iter().cloned().collect();
                 retype::retype(&k, &map)
@@ -125,9 +135,7 @@ pub fn suite() -> Vec<Benchmark> {
 pub fn build(w: &dyn Workload, prec: &Precision, mode: VecMode) -> (Kernel, Compiled) {
     let typed = prec.apply(&w.base_kernel());
     let compiled = match mode {
-        VecMode::Scalar => {
-            compile(&typed, CodegenOptions { vectorize: false }).expect("compiles")
-        }
+        VecMode::Scalar => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
         VecMode::Auto => compile(&typed, CodegenOptions { vectorize: true }).expect("compiles"),
         VecMode::Manual => match w.manual(&typed) {
             Some(c) => c,
@@ -166,8 +174,10 @@ pub fn sqnr(w: &dyn Workload, prec: &Precision, mode: VecMode) -> f64 {
     let measured = result.signal(&w.output_arrays());
     // Non-finite outputs (overflowed formats) count as pure noise: replace
     // by zero so the SQNR stays defined (it will be very negative).
-    let measured: Vec<f64> =
-        measured.iter().map(|v| if v.is_finite() { *v } else { 0.0 }).collect();
+    let measured: Vec<f64> = measured
+        .iter()
+        .map(|v| if v.is_finite() { *v } else { 0.0 })
+        .collect();
     sqnr_db(&golden, &measured)
 }
 
@@ -192,7 +202,11 @@ mod tests {
     fn precision_labels() {
         assert_eq!(Precision::F16.label(), "float16");
         assert_eq!(
-            Precision::Mixed { default: FpFmt::H, assignment: vec![] }.label(),
+            Precision::Mixed {
+                default: FpFmt::H,
+                assignment: vec![]
+            }
+            .label(),
             "mixed"
         );
     }

@@ -9,7 +9,7 @@
 
 use crate::bench::Workload;
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{BranchCond, FpFmt, FReg, XReg};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
 use smallfloat_softfp::{ops, Env, Rounding};
 use smallfloat_xcc::codegen::{layout_of, Compiled, DataLayout};
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
@@ -56,7 +56,13 @@ impl Mg {
             return None;
         }
         let lanes = fmt.lanes(32)?;
-        Some(Mg { asm: Assembler::new(), layout: layout_of(kernel), fmt, lanes, labels: 0 })
+        Some(Mg {
+            asm: Assembler::new(),
+            layout: layout_of(kernel),
+            fmt,
+            lanes,
+            labels: 0,
+        })
     }
 
     pub(crate) fn label(&mut self, tag: &str) -> String {
@@ -207,7 +213,8 @@ impl Workload for Gemm {
                             "c",
                             idx2("i", nn, "j"),
                             Expr::load("c", idx2("i", nn, "j"))
-                                + Expr::scalar("alpha") * Expr::load("a", idx2("i", nn, "k"))
+                                + Expr::scalar("alpha")
+                                    * Expr::load("a", idx2("i", nn, "k"))
                                     * Expr::load("b", idx2("k", nn, "j")),
                         )],
                     )],
@@ -326,7 +333,8 @@ impl Workload for Atax {
                         Bound::constant(nn),
                         vec![Stmt::accum(
                             "acc",
-                            Expr::load("aa", idx2("i", nn, "j")) * Expr::load("x", IdxExpr::var("j")),
+                            Expr::load("aa", idx2("i", nn, "j"))
+                                * Expr::load("x", IdxExpr::var("j")),
                         )],
                     ),
                     Stmt::store("tmp", IdxExpr::var("i"), Expr::scalar("acc")),
@@ -844,7 +852,11 @@ impl Workload for Fdtd2d {
                     "j",
                     0,
                     Bound::constant(nn),
-                    vec![Stmt::store("ey", IdxExpr::var("j"), Expr::load("fict", IdxExpr::var("t")))],
+                    vec![Stmt::store(
+                        "ey",
+                        IdxExpr::var("j"),
+                        Expr::load("fict", IdxExpr::var("t")),
+                    )],
                 ),
                 // ey[i][j] -= 0.5*(hz[i][j] - hz[i-1][j])
                 Stmt::for_(
@@ -916,7 +928,10 @@ impl Workload for Fdtd2d {
             ("ex".to_string(), gen_data(n * n, 51, 1.0)),
             ("ey".to_string(), gen_data(n * n, 52, 1.0)),
             ("hz".to_string(), gen_data(n * n, 53, 1.0)),
-            ("fict".to_string(), (0..self.tmax).map(|t| t as f64 * 0.25).collect()),
+            (
+                "fict".to_string(),
+                (0..self.tmax).map(|t| t as f64 * 0.25).collect(),
+            ),
         ]
     }
 

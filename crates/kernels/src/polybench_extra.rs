@@ -4,7 +4,7 @@
 
 use crate::bench::Workload;
 use crate::polybench::{gen_data, Mg};
-use smallfloat_isa::{BranchCond, FpFmt, FReg, XReg};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
 use smallfloat_xcc::codegen::Compiled;
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
 
@@ -79,7 +79,8 @@ impl Workload for Bicg {
                         Bound::constant(nn),
                         vec![Stmt::accum(
                             "acc",
-                            Expr::load("aa", idx2("i", nn, "j")) * Expr::load("p", IdxExpr::var("j")),
+                            Expr::load("aa", idx2("i", nn, "j"))
+                                * Expr::load("p", IdxExpr::var("j")),
                         )],
                     ),
                     Stmt::store("q", IdxExpr::var("i"), Expr::scalar("acc")),

@@ -4,7 +4,16 @@ use smallfloat_sim::{Cpu, ExitReason, MemLevel, SimConfig, Stats};
 use smallfloat_softfp::{ops, Env, Rounding};
 use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
 use smallfloat_xcc::ir::Kernel;
+use std::cell::RefCell;
 use std::collections::HashMap;
+
+thread_local! {
+    /// One reusable simulator per thread: allocating the (large) simulated
+    /// memory dominates short kernel runs, while [`Cpu::reset_with`] only
+    /// zeroes what the previous run wrote. Thread-locality keeps the
+    /// experiment grid trivially parallelizable.
+    static SIM: RefCell<Option<Cpu>> = const { RefCell::new(None) };
+}
 
 /// Outcome of one simulated kernel execution.
 #[derive(Clone, Debug)]
@@ -32,9 +41,9 @@ impl RunResult {
     }
 }
 
-/// Load `compiled` plus its input data into a fresh CPU, run to completion,
-/// and read back every array and scalar (`kernel` supplies the scalar
-/// storage types).
+/// Load `compiled` plus its input data into a freshly-reset CPU (reused
+/// per thread across calls), run to completion, and read back every array
+/// and scalar (`kernel` supplies the scalar storage types).
 ///
 /// Inputs are given in `f64` and rounded into each array's storage type —
 /// the same quantization the real system applies when data enters memory in
@@ -50,7 +59,31 @@ pub fn run_compiled(
     inputs: &[(String, Vec<f64>)],
     level: MemLevel,
 ) -> RunResult {
-    let mut cpu = Cpu::new(SimConfig { mem_level: level, ..SimConfig::default() });
+    SIM.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let cpu = match slot.as_mut() {
+            Some(cpu) => {
+                cpu.reset_with(SimConfig {
+                    mem_level: level,
+                    ..SimConfig::default()
+                });
+                cpu
+            }
+            None => slot.insert(Cpu::new(SimConfig {
+                mem_level: level,
+                ..SimConfig::default()
+            })),
+        };
+        run_on(cpu, kernel, compiled, inputs)
+    })
+}
+
+fn run_on(
+    cpu: &mut Cpu,
+    kernel: &Kernel,
+    compiled: &Compiled,
+    inputs: &[(String, Vec<f64>)],
+) -> RunResult {
     let mut env = Env::new(Rounding::Rne);
     for (name, values) in inputs {
         let entry = compiled
@@ -62,11 +95,14 @@ pub fn run_compiled(
         for (i, v) in values.iter().enumerate() {
             let bits = ops::from_f64(entry.ty.format(), *v, &mut env) as u32;
             let le = bits.to_le_bytes();
-            cpu.mem_mut().write_bytes(entry.addr + (i as u32) * bytes, &le[..bytes as usize]);
+            cpu.mem_mut()
+                .write_bytes(entry.addr + (i as u32) * bytes, &le[..bytes as usize]);
         }
     }
     cpu.load_program(TEXT_BASE, &compiled.program);
-    let exit = cpu.run(200_000_000).unwrap_or_else(|e| panic!("kernel trapped: {e}"));
+    let exit = cpu
+        .run(200_000_000)
+        .unwrap_or_else(|e| panic!("kernel trapped: {e}"));
     assert_eq!(exit, ExitReason::Ecall, "kernel must exit via ecall");
 
     let mut arrays = HashMap::new();
@@ -74,7 +110,10 @@ pub fn run_compiled(
         let bytes = entry.ty.width() / 8;
         let mut vals = Vec::with_capacity(entry.len);
         for i in 0..entry.len {
-            let raw = cpu.mem().load(entry.addr + (i as u32) * bytes, bytes).expect("in range");
+            let raw = cpu
+                .mem()
+                .load(entry.addr + (i as u32) * bytes, bytes)
+                .expect("in range");
             vals.push(ops::to_f64(entry.ty.format(), raw as u64));
         }
         arrays.insert(entry.name.clone(), vals);
@@ -85,7 +124,11 @@ pub fn run_compiled(
         let raw = cpu.freg(*reg) as u64 & ty.format().mask();
         scalars.insert(name.clone(), ops::to_f64(ty.format(), raw));
     }
-    RunResult { stats: cpu.stats().clone(), arrays, scalars }
+    RunResult {
+        stats: cpu.stats().clone(),
+        arrays,
+        scalars,
+    }
 }
 
 #[cfg(test)]

@@ -23,7 +23,7 @@
 
 use crate::bench::Workload;
 use crate::polybench::Mg;
-use smallfloat_isa::{BranchCond, FpFmt, FReg, XReg};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
 use smallfloat_xcc::codegen::Compiled;
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
 
@@ -389,7 +389,11 @@ mod tests {
                 scores[s * CLASSES + c] = dot + d1.b[c];
             }
         }
-        assert_eq!(error_rate(&scores, &d1.labels), 0.0, "f64 must be error-free");
+        assert_eq!(
+            error_rate(&scores, &d1.labels),
+            0.0,
+            "f64 must be error-free"
+        );
     }
 
     #[test]
@@ -409,8 +413,14 @@ mod tests {
                 final_max = final_max.max((acc + d.b[c]).abs());
             }
         }
-        assert!(peak > 65504.0, "accumulator must exceed b16 range, peak={peak}");
-        assert!(final_max < 57000.0, "final scores must fit even binary8 range, max={final_max}");
+        assert!(
+            peak > 65504.0,
+            "accumulator must exceed b16 range, peak={peak}"
+        );
+        assert!(
+            final_max < 57000.0,
+            "final scores must fit even binary8 range, max={final_max}"
+        );
     }
 
     #[test]
@@ -430,8 +440,7 @@ mod tests {
         let mut env = Env::new(Rounding::Rne);
         let h = Format::BINARY16;
         let af = acc_fmt.format();
-        let q =
-            |v: f64, env: &mut Env| ops::to_f64(h, ops::from_f64(h, v, env));
+        let q = |v: f64, env: &mut Env| ops::to_f64(h, ops::from_f64(h, v, env));
         let mut scores = vec![0.0; SAMPLES * CLASSES];
         for s in 0..SAMPLES {
             for c in 0..CLASSES {
@@ -469,7 +478,10 @@ mod tests {
             e_ah > 0.0 && e_ah <= 0.25,
             "binary16alt accumulator should cost a few percent, got {e_ah}"
         );
-        assert!(e16 > 0.3, "binary16 accumulator must overflow badly, got {e16}");
+        assert!(
+            e16 > 0.3,
+            "binary16 accumulator must overflow badly, got {e16}"
+        );
     }
 
     #[test]

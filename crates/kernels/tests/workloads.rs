@@ -1,7 +1,7 @@
 //! End-to-end workload tests: every benchmark × precision × lowering runs
 //! on the simulator and produces sane results.
 
-use smallfloat_kernels::bench::{self, Precision, VecMode, Workload};
+use smallfloat_kernels::bench::{self, Precision, VecMode};
 use smallfloat_kernels::svm::{self, Svm};
 use smallfloat_sim::MemLevel;
 
@@ -19,7 +19,11 @@ fn sqnr_floors_hold_per_precision() {
         assert!(s16 > 25.0, "{}: f16 SQNR {s16}", w.name());
         let sah = bench::sqnr(w.as_ref(), &Precision::F16Alt, VecMode::Auto);
         assert!(sah > 12.0, "{}: f16alt SQNR {sah}", w.name());
-        assert!(s16 > sah, "{}: binary16 must beat binary16alt on precision", w.name());
+        assert!(
+            s16 > sah,
+            "{}: binary16 must beat binary16alt on precision",
+            w.name()
+        );
     }
 }
 
@@ -66,16 +70,30 @@ fn manual_matches_auto_results() {
 fn speedup_ordering() {
     for w in bench::suite() {
         let cyc = |prec: &Precision, mode: VecMode| {
-            bench::run(w.as_ref(), prec, mode, MemLevel::L1).stats.cycles
+            bench::run(w.as_ref(), prec, mode, MemLevel::L1)
+                .stats
+                .cycles
         };
         let base = cyc(&Precision::F32, VecMode::Scalar);
         let auto16 = cyc(&Precision::F16, VecMode::Auto);
         let man16 = cyc(&Precision::F16, VecMode::Manual);
         let auto8 = cyc(&Precision::F8, VecMode::Auto);
         let man8 = cyc(&Precision::F8, VecMode::Manual);
-        assert!(auto16 < base, "{}: auto f16 {auto16} !< base {base}", w.name());
-        assert!(man16 <= auto16, "{}: manual f16 {man16} !<= auto {auto16}", w.name());
-        assert!(man8 <= man16, "{}: manual f8 {man8} !<= manual f16 {man16}", w.name());
+        assert!(
+            auto16 < base,
+            "{}: auto f16 {auto16} !< base {base}",
+            w.name()
+        );
+        assert!(
+            man16 <= auto16,
+            "{}: manual f16 {man16} !<= auto {auto16}",
+            w.name()
+        );
+        assert!(
+            man8 <= man16,
+            "{}: manual f8 {man8} !<= manual f16 {man16}",
+            w.name()
+        );
         assert!(auto8 < base, "{}: auto f8 {auto8} !< base {base}", w.name());
     }
 }
@@ -85,7 +103,11 @@ fn speedup_ordering() {
 fn auto_vectorizer_fires_everywhere() {
     for w in bench::suite() {
         let (_, compiled) = bench::build(w.as_ref(), &Precision::F16, VecMode::Auto);
-        assert!(compiled.vectorized_loops > 0, "{}: nothing vectorized", w.name());
+        assert!(
+            compiled.vectorized_loops > 0,
+            "{}: nothing vectorized",
+            w.name()
+        );
     }
 }
 
@@ -109,7 +131,9 @@ fn latency_trend_fig2() {
 fn energy_ordering() {
     let w = bench::suite().remove(1); // GEMM
     let energy = |prec: &Precision| {
-        bench::run(w.as_ref(), prec, VecMode::Manual, MemLevel::L1).stats.energy_pj
+        bench::run(w.as_ref(), prec, VecMode::Manual, MemLevel::L1)
+            .stats
+            .energy_pj
     };
     let e32 = energy(&Precision::F32);
     let e16 = energy(&Precision::F16);
@@ -163,10 +187,15 @@ fn svm_mixed_speed_close_to_f16() {
         default: smallfloat_isa::FpFmt::H,
         assignment: vec![("acc".to_string(), smallfloat_isa::FpFmt::S)],
     };
-    let c_mixed =
-        bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1).stats.cycles as f64;
-    let c_16 =
-        bench::run(&svm, &Precision::F16, VecMode::Manual, MemLevel::L1).stats.cycles as f64;
+    let c_mixed = bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1)
+        .stats
+        .cycles as f64;
+    let c_16 = bench::run(&svm, &Precision::F16, VecMode::Manual, MemLevel::L1)
+        .stats
+        .cycles as f64;
     let ratio = c_mixed / c_16;
-    assert!((0.8..1.25).contains(&ratio), "mixed/f16 cycle ratio {ratio}");
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "mixed/f16 cycle ratio {ratio}"
+    );
 }

@@ -6,7 +6,6 @@ use crate::stats::Stats;
 use crate::timing::{MemLevel, TimingModel};
 use smallfloat_isa::{decode, decode_compressed, encode, FReg, Instr, XReg};
 use smallfloat_softfp::{Flags, Rounding};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Simulator errors (traps).
@@ -100,12 +99,25 @@ pub struct Cpu {
     pub(crate) frm_raw: u8,
     pub(crate) fflags: Flags,
     pub(crate) stats: Stats,
-    decode_cache: HashMap<u32, (Instr, u32)>,
+    /// Predecoded program window: one slot per half-word of
+    /// `[pred_base, pred_base + 2 * pred.len())`, indexed by
+    /// `(pc - pred_base) >> 1`. Half-word granularity covers RVC: a jump
+    /// may legally land on any even address, including the middle of a
+    /// 32-bit instruction.
+    pred: Vec<Option<(Instr, u32)>>,
+    pred_base: u32,
+    /// Set by [`Cpu::mem_mut`]; the next fetch conservatively discards the
+    /// whole window before dispatching.
+    pred_dirty: bool,
 }
 
 impl fmt::Debug for Cpu {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Cpu {{ pc: 0x{:08x}, cycles: {} }}", self.pc, self.stats.cycles)
+        write!(
+            f,
+            "Cpu {{ pc: 0x{:08x}, cycles: {} }}",
+            self.pc, self.stats.cycles
+        )
     }
 }
 
@@ -122,11 +134,45 @@ impl Cpu {
             frm_raw: Rounding::Rne.to_frm(),
             fflags: Flags::NONE,
             stats: Stats::new(),
-            decode_cache: HashMap::new(),
+            pred: Vec::new(),
+            pred_base: 0,
+            pred_dirty: false,
         }
     }
 
-    /// Encode `program` into memory at `base` and point the PC there.
+    /// Reset architectural state — registers, PC, `fcsr`, statistics,
+    /// memory contents and the predecode window — without reallocating.
+    ///
+    /// Memory zeroing is proportional to the bytes actually written, so a
+    /// reset-and-reload cycle costs microseconds where constructing a new
+    /// [`Cpu`] pays for the full memory allocation. Experiment harnesses
+    /// that run many programs should reuse one `Cpu` through this.
+    pub fn reset(&mut self) {
+        self.x = [0; 32];
+        self.f = [0; 32];
+        self.pc = 0;
+        self.frm_raw = Rounding::Rne.to_frm();
+        self.fflags = Flags::NONE;
+        self.stats = Stats::new();
+        self.mem.clear();
+        self.pred.clear();
+        self.pred_base = 0;
+        self.pred_dirty = false;
+    }
+
+    /// [`Cpu::reset`] plus a configuration swap, reusing the memory
+    /// allocation when the configured size is unchanged.
+    pub fn reset_with(&mut self, config: SimConfig) {
+        if config.mem_size != self.mem.size() {
+            self.mem = Memory::new(config.mem_size);
+        }
+        self.config = config;
+        self.reset();
+    }
+
+    /// Encode `program` into memory at `base`, point the PC there, and
+    /// eagerly predecode the whole window (every half-word slot, so RVC
+    /// targets and odd-word jump targets dispatch from the fast path too).
     ///
     /// # Panics
     ///
@@ -139,7 +185,45 @@ impl Cpu {
             addr += 4;
         }
         self.pc = base;
-        self.decode_cache.clear();
+        self.predecode(base, addr - base);
+    }
+
+    /// Rebuild the predecode window over `[base, base + len_bytes)`.
+    /// Undecodable half-words are left empty; fetching them falls back to
+    /// [`Cpu::decode_at`], which reports the precise trap.
+    fn predecode(&mut self, base: u32, len_bytes: u32) {
+        // An odd base can never be fetched (every fetch there faults), and
+        // keeping the base even makes slot arithmetic alias-free.
+        self.pred_base = base & !1;
+        let slots = ((len_bytes + (base & 1)) >> 1) as usize;
+        self.pred.clear();
+        self.pred.resize(slots, None);
+        self.pred_dirty = false;
+        for s in 0..slots {
+            let pc = self.pred_base + (s as u32) * 2;
+            if let Ok(hit) = self.decode_at(pc) {
+                self.pred[s] = Some(hit);
+            }
+        }
+    }
+
+    /// Drop predecoded slots whose instruction bytes overlap the stored
+    /// range `[addr, addr + len)`. A 32-bit instruction *starting* up to
+    /// two bytes before `addr` can span the stored bytes, so the window
+    /// extends one slot backwards. Called from the store execution paths;
+    /// stores outside the code window exit after two compares.
+    pub(crate) fn invalidate_code(&mut self, addr: u32, len: u32) {
+        let win_end = self.pred_base + (self.pred.len() as u32) * 2;
+        let lo = addr.saturating_sub(2).max(self.pred_base);
+        let hi = addr.saturating_add(len).min(win_end);
+        if lo >= hi {
+            return;
+        }
+        let first = ((lo - self.pred_base) >> 1) as usize;
+        let last = ((hi - 1 - self.pred_base) >> 1) as usize;
+        for slot in &mut self.pred[first..=last] {
+            *slot = None;
+        }
     }
 
     /// Read an integer register (`x0` reads as 0).
@@ -206,38 +290,70 @@ impl Cpu {
 
     /// Mutable access to memory.
     ///
-    /// Note: the simulator caches decoded instructions; rewriting *code*
-    /// through this handle requires reloading via [`Cpu::load_program`]
-    /// (self-modifying code is unsupported).
+    /// Writing through this handle conservatively invalidates the whole
+    /// predecode window: the next fetch re-decodes from memory, so code
+    /// rewritten here executes correctly (at the cost of re-warming the
+    /// window). Stores executed *by the simulated program* invalidate only
+    /// the touched slots and need no help from the caller.
     pub fn mem_mut(&mut self) -> &mut Memory {
+        self.pred_dirty = true;
         &mut self.mem
     }
 
-    fn fetch(&mut self) -> Result<(Instr, u32), SimError> {
-        if let Some(&hit) = self.decode_cache.get(&self.pc) {
-            return Ok(hit);
-        }
-        let pc = self.pc;
-        if pc % 2 != 0 {
+    /// Decode the instruction at `pc` directly from memory, bypassing the
+    /// predecode window. Returns the instruction and its length in bytes.
+    /// This is the reference decode path the predecoded fast path must
+    /// agree with bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FetchFault`] / [`SimError::IllegalInstruction`].
+    pub fn decode_at(&self, pc: u32) -> Result<(Instr, u32), SimError> {
+        if !pc.is_multiple_of(2) {
             return Err(SimError::FetchFault { pc });
         }
-        let low = self.mem.load(pc, 2).map_err(|_| SimError::FetchFault { pc })? as u16;
-        let (instr, len) = if low & 0b11 != 0b11 {
-            let instr =
-                decode_compressed(low).map_err(|e| SimError::IllegalInstruction {
-                    word: e.word(),
-                    pc,
-                })?;
-            (instr, 2)
+        let low = self
+            .mem
+            .load(pc, 2)
+            .map_err(|_| SimError::FetchFault { pc })? as u16;
+        if low & 0b11 != 0b11 {
+            let instr = decode_compressed(low)
+                .map_err(|e| SimError::IllegalInstruction { word: e.word(), pc })?;
+            Ok((instr, 2))
         } else {
-            let high = self.mem.load(pc + 2, 2).map_err(|_| SimError::FetchFault { pc })? as u16;
+            let high = self
+                .mem
+                .load(pc + 2, 2)
+                .map_err(|_| SimError::FetchFault { pc })? as u16;
             let word = (low as u32) | ((high as u32) << 16);
-            let instr = decode(word)
-                .map_err(|_| SimError::IllegalInstruction { word, pc })?;
-            (instr, 4)
-        };
-        self.decode_cache.insert(pc, (instr, len));
-        Ok((instr, len))
+            let instr = decode(word).map_err(|_| SimError::IllegalInstruction { word, pc })?;
+            Ok((instr, 4))
+        }
+    }
+
+    fn fetch(&mut self) -> Result<(Instr, u32), SimError> {
+        let pc = self.pc;
+        if self.pred_dirty {
+            self.pred.iter_mut().for_each(|slot| *slot = None);
+            self.pred_dirty = false;
+        }
+        // Odd PCs must fault before the slot lookup: their slot index
+        // aliases the preceding even address.
+        if pc & 1 == 0 {
+            let slot = (pc.wrapping_sub(self.pred_base) >> 1) as usize;
+            if let Some(&Some(hit)) = self.pred.get(slot) {
+                return Ok(hit);
+            }
+            let decoded = self.decode_at(pc)?;
+            // Lazy fill: invalidated or initially-undecodable slots inside
+            // the window re-enter the fast path once they decode again.
+            if let Some(empty) = self.pred.get_mut(slot) {
+                *empty = Some(decoded);
+            }
+            Ok(decoded)
+        } else {
+            Err(SimError::FetchFault { pc })
+        }
     }
 
     /// Decode the instruction at the current PC without executing it.
@@ -247,6 +363,16 @@ impl Cpu {
     /// [`SimError::FetchFault`] / [`SimError::IllegalInstruction`].
     pub fn peek(&mut self) -> Result<Instr, SimError> {
         self.fetch().map(|(i, _)| i)
+    }
+
+    /// Like [`Cpu::peek`], but also returns the instruction length in
+    /// bytes, going through the predecoded fast path (filling it on miss).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::FetchFault`] / [`SimError::IllegalInstruction`].
+    pub fn peek_decoded(&mut self) -> Result<(Instr, u32), SimError> {
+        self.fetch()
     }
 
     /// Execute one instruction.

@@ -96,10 +96,7 @@ impl EnergyModel {
             InstrClass::IntMul => self.int_mul,
             InstrClass::IntDiv => self.int_div,
             InstrClass::Branch | InstrClass::Jump => self.control,
-            InstrClass::Load
-            | InstrClass::Store
-            | InstrClass::FpLoad
-            | InstrClass::FpStore => mem,
+            InstrClass::Load | InstrClass::Store | InstrClass::FpLoad | InstrClass::FpStore => mem,
             InstrClass::FpMove | InstrClass::FpCmp => self.fp_misc,
             InstrClass::FpS => self.fp32,
             InstrClass::FpH | InstrClass::FpAh => self.fp16,
@@ -123,7 +120,7 @@ impl Default for EnergyModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smallfloat_isa::{FpFmt, FpOp, FReg, Rm};
+    use smallfloat_isa::{FReg, FpFmt, FpOp, Rm};
 
     fn fop(fmt: FpFmt) -> Instr {
         Instr::FOp {

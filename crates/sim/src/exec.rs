@@ -2,8 +2,8 @@
 
 use crate::cpu::{Cpu, ExitReason, SimError};
 use smallfloat_isa::{
-    csr, vector_lanes, AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp,
-    Instr, MemWidth, MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp,
+    csr, vector_lanes, AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp, Instr,
+    MemWidth, MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp,
 };
 use smallfloat_softfp::{nanbox, ops, Env, Format, Rounding};
 
@@ -55,11 +55,7 @@ fn widen_to_s(fmt: FpFmt, bits: u64) -> u64 {
     ops::cvt_f_f(Format::BINARY32, fmt.format(), bits, &mut env)
 }
 
-pub(crate) fn exec(
-    cpu: &mut Cpu,
-    instr: Instr,
-    len: u32,
-) -> Result<Option<ExitReason>, SimError> {
+pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitReason>, SimError> {
     let pc = cpu.pc;
     let t = cpu.config.timing;
     let mem_lat = cpu.config.mem_level.latency();
@@ -84,7 +80,12 @@ pub(crate) fn exec(
             next_pc = target;
             cycles = t.jump;
         }
-        Instr::Branch { cond, rs1, rs2, offset } => {
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => {
             let a = cpu.xreg(rs1);
             let b = cpu.xreg(rs2);
             let taken = match cond {
@@ -102,16 +103,32 @@ pub(crate) fn exec(
                 cycles = t.branch_not_taken;
             }
         }
-        Instr::Load { width, unsigned, rd, rs1, offset } => {
+        Instr::Load {
+            width,
+            unsigned,
+            rd,
+            rs1,
+            offset,
+        } => {
             let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
             let raw = cpu.mem.load(addr, width.bytes())?;
-            let v = if unsigned || width == MemWidth::W { raw } else { sext(raw, width.bytes() * 8) };
+            let v = if unsigned || width == MemWidth::W {
+                raw
+            } else {
+                sext(raw, width.bytes() * 8)
+            };
             cpu.set_xreg(rd, v);
             cycles = mem_lat;
         }
-        Instr::Store { width, rs2, rs1, offset } => {
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
             let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
             cpu.mem.store(addr, width.bytes(), cpu.xreg(rs2))?;
+            cpu.invalidate_code(addr, width.bytes());
             cycles = mem_lat;
         }
         Instr::OpImm { op, rd, rs1, imm } => {
@@ -139,7 +156,12 @@ pub(crate) fn exec(
         }
 
         // ----- Zicsr -----
-        Instr::Csr { op, rd, src, csr: num } => {
+        Instr::Csr {
+            op,
+            rd,
+            src,
+            csr: num,
+        } => {
             let old = read_csr(cpu, num, pc)?;
             let (src_val, skip_write) = match src {
                 CsrSrc::Reg(r) => (cpu.xreg(r), op != CsrOp::Rw && r.num() == 0),
@@ -157,22 +179,40 @@ pub(crate) fn exec(
         }
 
         // ----- FP loads/stores -----
-        Instr::FLoad { fmt, rd, rs1, offset } => {
+        Instr::FLoad {
+            fmt,
+            rd,
+            rs1,
+            offset,
+        } => {
             let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
             let bytes = fmt.width() / 8;
             let raw = cpu.mem.load(addr, bytes)? as u64;
             write_boxed(cpu, fmt, rd, raw);
             cycles = mem_lat;
         }
-        Instr::FStore { fmt, rs2, rs1, offset } => {
+        Instr::FStore {
+            fmt,
+            rs2,
+            rs1,
+            offset,
+        } => {
             let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
             let bytes = fmt.width() / 8;
             cpu.mem.store(addr, bytes, cpu.freg(rs2))?;
+            cpu.invalidate_code(addr, bytes);
             cycles = mem_lat;
         }
 
         // ----- Scalar FP arithmetic -----
-        Instr::FOp { op, fmt, rd, rs1, rs2, rm } => {
+        Instr::FOp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
@@ -194,7 +234,13 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_sqrt;
         }
-        Instr::FSgnj { kind, fmt, rd, rs1, rs2 } => {
+        Instr::FSgnj {
+            kind,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
             let f = fmt.format();
@@ -206,7 +252,13 @@ pub(crate) fn exec(
             write_boxed(cpu, fmt, rd, r);
             cycles = t.fp_op;
         }
-        Instr::FMinMax { op, fmt, rd, rs1, rs2 } => {
+        Instr::FMinMax {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let mut env = Env::new(Rounding::Rne);
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
@@ -218,7 +270,15 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::FFma { op, fmt, rd, rs1, rs2, rs3, rm } => {
+        Instr::FFma {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
@@ -234,7 +294,13 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::FCmp { op, fmt, rd, rs1, rs2 } => {
+        Instr::FCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let mut env = Env::new(Rounding::Rne);
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
@@ -261,21 +327,39 @@ pub(crate) fn exec(
             write_boxed(cpu, fmt, rd, cpu.xreg(rs1) as u64 & fmt.format().mask());
             cycles = t.fp_op;
         }
-        Instr::FCvtFF { dst, src, rd, rs1, rm } => {
+        Instr::FCvtFF {
+            dst,
+            src,
+            rd,
+            rs1,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let r = ops::cvt_f_f(dst.format(), src.format(), unbox(cpu, src, rs1), &mut env);
             write_boxed(cpu, dst, rd, r);
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::FCvtFI { fmt, rd, rs1, signed, rm } => {
+        Instr::FCvtFI {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let r = ops::to_int(fmt.format(), unbox(cpu, fmt, rs1), signed, 32, &mut env);
             cpu.set_xreg(rd, r as u32);
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::FCvtIF { fmt, rd, rs1, signed, rm } => {
+        Instr::FCvtIF {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let x = cpu.xreg(rs1);
             let r = if signed {
@@ -289,7 +373,13 @@ pub(crate) fn exec(
         }
 
         // ----- Xfaux scalar expanding -----
-        Instr::FMulEx { fmt, rd, rs1, rs2, rm } => {
+        Instr::FMulEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let a = widen_to_s(fmt, unbox(cpu, fmt, rs1));
             let b = widen_to_s(fmt, unbox(cpu, fmt, rs2));
@@ -298,7 +388,13 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::FMacEx { fmt, rd, rs1, rs2, rm } => {
+        Instr::FMacEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm,
+        } => {
             let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
             let a = widen_to_s(fmt, unbox(cpu, fmt, rs1));
             let b = widen_to_s(fmt, unbox(cpu, fmt, rs2));
@@ -310,7 +406,14 @@ pub(crate) fn exec(
         }
 
         // ----- Xfvec -----
-        Instr::VFOp { op, fmt, rd, rs1, rs2, rep } => {
+        Instr::VFOp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
             let (n, w) = lanes_of(fmt, pc)?;
             let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let mut env = Env::new(frm);
@@ -354,7 +457,14 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_sqrt;
         }
-        Instr::VFCmp { op, fmt, rd, rs1, rs2, rep } => {
+        Instr::VFCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
             let (n, w) = lanes_of(fmt, pc)?;
             let mut env = Env::new(Rounding::Rne);
             let va = cpu.freg(rs1);
@@ -399,7 +509,12 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::VFCvtXF { fmt, rd, rs1, signed } => {
+        Instr::VFCvtXF {
+            fmt,
+            rd,
+            rs1,
+            signed,
+        } => {
             let (n, w) = lanes_of(fmt, pc)?;
             let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let mut env = Env::new(frm);
@@ -413,7 +528,12 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::VFCvtFX { fmt, rd, rs1, signed } => {
+        Instr::VFCvtFX {
+            fmt,
+            rd,
+            rs1,
+            signed,
+        } => {
             let (n, w) = lanes_of(fmt, pc)?;
             let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let mut env = Env::new(frm);
@@ -432,7 +552,13 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::VFCpk { fmt, half, rd, rs1, rs2 } => {
+        Instr::VFCpk {
+            fmt,
+            half,
+            rd,
+            rs1,
+            rs2,
+        } => {
             let (n, w) = lanes_of(fmt, pc)?;
             let base = match half {
                 CpkHalf::A => 0,
@@ -443,8 +569,18 @@ pub(crate) fn exec(
             }
             let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let mut env = Env::new(frm);
-            let a = ops::cvt_f_f(fmt.format(), Format::BINARY32, cpu.freg(rs1) as u64, &mut env);
-            let b = ops::cvt_f_f(fmt.format(), Format::BINARY32, cpu.freg(rs2) as u64, &mut env);
+            let a = ops::cvt_f_f(
+                fmt.format(),
+                Format::BINARY32,
+                cpu.freg(rs1) as u64,
+                &mut env,
+            );
+            let b = ops::cvt_f_f(
+                fmt.format(),
+                Format::BINARY32,
+                cpu.freg(rs2) as u64,
+                &mut env,
+            );
             let mut out = cpu.freg(rd);
             out = set_lane(out, base, w, a);
             out = set_lane(out, base + 1, w, b);
@@ -452,7 +588,13 @@ pub(crate) fn exec(
             cpu.fflags.set(env.flags);
             cycles = t.fp_op;
         }
-        Instr::VFDotpEx { fmt, rd, rs1, rs2, rep } => {
+        Instr::VFDotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
             let (n, w) = lanes_of(fmt, pc)?;
             let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let mut env = Env::new(frm);
@@ -512,13 +654,7 @@ fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
                 ((a as i32) / (b as i32)) as u32
             }
         }
-        MulDivOp::Divu => {
-            if b == 0 {
-                u32::MAX
-            } else {
-                a / b
-            }
-        }
+        MulDivOp::Divu => a.checked_div(b).unwrap_or(u32::MAX),
         MulDivOp::Rem => {
             if b == 0 {
                 a
@@ -528,13 +664,7 @@ fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
                 ((a as i32) % (b as i32)) as u32
             }
         }
-        MulDivOp::Remu => {
-            if b == 0 {
-                a
-            } else {
-                a % b
-            }
-        }
+        MulDivOp::Remu => a.checked_rem(b).unwrap_or(a),
     }
 }
 
@@ -573,7 +703,10 @@ mod tests {
 
     #[test]
     fn alu_ops() {
-        assert_eq!(alu(AluOp::Add, 2_000_000_000, 2_000_000_000), 4_000_000_000u32.wrapping_sub(0));
+        assert_eq!(
+            alu(AluOp::Add, 2_000_000_000, 2_000_000_000),
+            4_000_000_000u32.wrapping_sub(0)
+        );
         assert_eq!(alu(AluOp::Sub, 1, 2), u32::MAX);
         assert_eq!(alu(AluOp::Sll, 1, 33), 2, "shift amount masked to 5 bits");
         assert_eq!(alu(AluOp::Sra, 0x8000_0000, 31), u32::MAX);
@@ -585,9 +718,17 @@ mod tests {
     fn muldiv_edge_cases() {
         assert_eq!(muldiv(MulDivOp::Div, 7, 0), u32::MAX, "div by zero = -1");
         assert_eq!(muldiv(MulDivOp::Rem, 7, 0), 7, "rem by zero = dividend");
-        assert_eq!(muldiv(MulDivOp::Div, 0x8000_0000, u32::MAX), 0x8000_0000, "overflow");
+        assert_eq!(
+            muldiv(MulDivOp::Div, 0x8000_0000, u32::MAX),
+            0x8000_0000,
+            "overflow"
+        );
         assert_eq!(muldiv(MulDivOp::Rem, 0x8000_0000, u32::MAX), 0);
-        assert_eq!(muldiv(MulDivOp::Mulh, u32::MAX, u32::MAX), 0, "(-1)*(-1) high = 0");
+        assert_eq!(
+            muldiv(MulDivOp::Mulh, u32::MAX, u32::MAX),
+            0,
+            "(-1)*(-1) high = 0"
+        );
         assert_eq!(muldiv(MulDivOp::Mulhu, u32::MAX, u32::MAX), 0xffff_fffe);
         assert_eq!(muldiv(MulDivOp::Divu, 7, 2), 3);
     }

@@ -9,6 +9,12 @@ use crate::cpu::SimError;
 #[derive(Clone)]
 pub struct Memory {
     bytes: Vec<u8>,
+    /// Written-range watermarks (`dirty_lo..dirty_hi`, exclusive end).
+    /// [`Memory::clear`] zeroes only this range, which makes resetting a
+    /// large memory between experiment runs proportional to the bytes
+    /// actually touched instead of the configured size.
+    dirty_lo: usize,
+    dirty_hi: usize,
 }
 
 impl std::fmt::Debug for Memory {
@@ -20,7 +26,11 @@ impl std::fmt::Debug for Memory {
 impl Memory {
     /// Allocate `size` bytes of zeroed memory.
     pub fn new(size: usize) -> Memory {
-        Memory { bytes: vec![0; size] }
+        Memory {
+            bytes: vec![0; size],
+            dirty_lo: usize::MAX,
+            dirty_hi: 0,
+        }
     }
 
     /// Total size in bytes.
@@ -28,9 +38,25 @@ impl Memory {
         self.bytes.len()
     }
 
+    /// Zero every byte written since construction or the last clear,
+    /// keeping the allocation. O(bytes written), not O(size).
+    pub fn clear(&mut self) {
+        if self.dirty_lo < self.dirty_hi {
+            self.bytes[self.dirty_lo..self.dirty_hi].fill(0);
+        }
+        self.dirty_lo = usize::MAX;
+        self.dirty_hi = 0;
+    }
+
+    #[inline]
+    fn mark_dirty(&mut self, a: usize, len: usize) {
+        self.dirty_lo = self.dirty_lo.min(a);
+        self.dirty_hi = self.dirty_hi.max(a + len);
+    }
+
     fn check(&self, addr: u32, len: u32) -> Result<usize, SimError> {
         let a = addr as usize;
-        if len > 1 && addr % len != 0 {
+        if len > 1 && !addr.is_multiple_of(len) {
             return Err(SimError::Misaligned { addr });
         }
         if a + len as usize > self.bytes.len() {
@@ -67,6 +93,7 @@ impl Memory {
     /// Same conditions as [`Memory::load`].
     pub fn store(&mut self, addr: u32, len: u32, value: u32) -> Result<(), SimError> {
         let a = self.check(addr, len)?;
+        self.mark_dirty(a, len as usize);
         match len {
             1 => self.bytes[a] = value as u8,
             2 => self.bytes[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
@@ -83,6 +110,7 @@ impl Memory {
     /// Panics if the range exceeds the memory size.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
         let a = addr as usize;
+        self.mark_dirty(a, data.len());
         self.bytes[a..a + data.len()].copy_from_slice(data);
     }
 
@@ -133,5 +161,19 @@ mod tests {
         let mut m = Memory::new(16);
         m.write_bytes(4, &[1, 2, 3]);
         assert_eq!(m.read_bytes(4, 3), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn clear_zeroes_written_range_only_but_fully() {
+        let mut m = Memory::new(64);
+        m.store(8, 4, 0xdead_beef).unwrap();
+        m.write_bytes(40, &[7; 3]);
+        m.clear();
+        assert_eq!(m.read_bytes(0, 64), &[0; 64]);
+        // Clear twice is idempotent, and the watermark restarts.
+        m.clear();
+        m.store(0, 1, 0xff).unwrap();
+        m.clear();
+        assert_eq!(m.load(0, 1).unwrap(), 0);
     }
 }

@@ -81,10 +81,12 @@ impl Stats {
     /// Total FP operations of any kind.
     pub fn fp_ops(&self) -> u64 {
         use InstrClass::*;
-        [FpS, FpH, FpAh, FpB, FpVecH, FpVecAh, FpVecB, FpCvt, FpCpk, FpExpand, FpCmp, FpMove]
-            .iter()
-            .map(|&c| self.class_count(c))
-            .sum()
+        [
+            FpS, FpH, FpAh, FpB, FpVecH, FpVecAh, FpVecB, FpCvt, FpCpk, FpExpand, FpCmp, FpMove,
+        ]
+        .iter()
+        .map(|&c| self.class_count(c))
+        .sum()
     }
 
     /// Energy in nanojoules.
@@ -94,7 +96,7 @@ impl Stats {
 }
 
 fn class_index(class: InstrClass) -> usize {
-    InstrClass::ALL.iter().position(|&c| c == class).expect("class present in ALL")
+    class.index()
 }
 
 impl fmt::Display for Stats {
@@ -107,8 +109,13 @@ impl fmt::Display for Stats {
             self.energy_nj()
         )?;
         for (class, n) in self.breakdown() {
-            writeln!(f, "  {:>12}: {:>10} instrs {:>10} cycles", class.label(), n,
-                self.class_cycles(class))?;
+            writeln!(
+                f,
+                "  {:>12}: {:>10} instrs {:>10} cycles",
+                class.label(),
+                n,
+                self.class_cycles(class)
+            )?;
         }
         Ok(())
     }

@@ -1,0 +1,330 @@
+//! Properties of the predecoded fast-path dispatch: for *any* memory
+//! contents, going through the predecode window must be indistinguishable
+//! from decoding fresh out of `smallfloat_isa` — same instruction, same
+//! length, same trap — across eager fill, lazy fill, store invalidation
+//! and the conservative `mem_mut` flush.
+
+use smallfloat_devtools::{prop, Rng};
+use smallfloat_isa::{decode, decode_compressed, encode, AluOp, Instr, MemWidth, XReg};
+use smallfloat_sim::{Cpu, SimConfig, SimError};
+
+const BASE: u32 = 0x1000;
+
+/// The specification: decode straight from the bytes in memory, exactly
+/// as `smallfloat_isa` defines it.
+fn reference(cpu: &Cpu, pc: u32) -> Result<(Instr, u32), SimError> {
+    if !pc.is_multiple_of(2) {
+        return Err(SimError::FetchFault { pc });
+    }
+    let low = cpu
+        .mem()
+        .load(pc, 2)
+        .map_err(|_| SimError::FetchFault { pc })? as u16;
+    if low & 0b11 != 0b11 {
+        match decode_compressed(low) {
+            Ok(i) => Ok((i, 2)),
+            Err(e) => Err(SimError::IllegalInstruction { word: e.word(), pc }),
+        }
+    } else {
+        let high = cpu
+            .mem()
+            .load(pc + 2, 2)
+            .map_err(|_| SimError::FetchFault { pc })? as u16;
+        let word = (low as u32) | ((high as u32) << 16);
+        match decode(word) {
+            Ok(i) => Ok((i, 4)),
+            Err(_) => Err(SimError::IllegalInstruction { word, pc }),
+        }
+    }
+}
+
+/// A word biased across the interesting encodings: valid 32-bit
+/// instructions, valid compressed pairs, and raw garbage.
+fn arbitrary_word(rng: &mut Rng) -> u32 {
+    match rng.below(4) {
+        // Valid full-width instruction.
+        0 => encode(&Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::new(rng.below(32) as u8),
+            rs1: XReg::new(rng.below(32) as u8),
+            imm: rng.range_i32(-2048, 2048),
+        }),
+        // Two halves with compressed-looking opcodes (low bits != 0b11).
+        1 => rng.u32() & !0b11 & !(0b11 << 16),
+        // Force a 32-bit-encoding prefix with random payload.
+        2 => rng.u32() | 0b11,
+        _ => rng.u32(),
+    }
+}
+
+/// Arbitrary code bytes: the fast path must agree with the reference on
+/// every even (and odd) pc, on the first fetch (miss/lazy-fill) and the
+/// second (hit).
+#[test]
+fn fetch_matches_fresh_decode_on_arbitrary_words() {
+    prop::cases(
+        "fetch_matches_fresh_decode_on_arbitrary_words",
+        512,
+        |rng| {
+            let mut cpu = Cpu::new(SimConfig {
+                mem_size: 1 << 20,
+                ..SimConfig::default()
+            });
+            // Establish a predecode window over garbage, then rewrite it
+            // through mem_mut so lazy refill paths get exercised too.
+            let filler = vec![
+                Instr::OpImm {
+                    op: AluOp::Add,
+                    rd: XReg::new(1),
+                    rs1: XReg::new(1),
+                    imm: 1
+                };
+                16
+            ];
+            cpu.load_program(BASE, &filler);
+            let words: Vec<u32> = (0..16).map(|_| arbitrary_word(rng)).collect();
+            for (i, w) in words.iter().enumerate() {
+                cpu.mem_mut()
+                    .write_bytes(BASE + 4 * i as u32, &w.to_le_bytes());
+            }
+            for _ in 0..48 {
+                // Even and odd pcs, inside and slightly outside the window.
+                let pc = BASE.wrapping_add(rng.below(72) as u32).wrapping_sub(4);
+                cpu.set_pc(pc);
+                let want = reference(&cpu, pc);
+                let first = cpu.peek_decoded();
+                let second = cpu.peek_decoded();
+                assert_eq!(first, want, "first fetch at {pc:#x} (miss path)");
+                assert_eq!(second, want, "second fetch at {pc:#x} (hit path)");
+            }
+        },
+    );
+}
+
+/// After `load_program`, the eagerly-predecoded window agrees with the
+/// reference at every half-word boundary, including mid-instruction pcs.
+#[test]
+fn eager_predecode_agrees_everywhere() {
+    prop::cases("eager_predecode_agrees_everywhere", 256, |rng| {
+        let mut cpu = Cpu::new(SimConfig {
+            mem_size: 1 << 20,
+            ..SimConfig::default()
+        });
+        let program: Vec<Instr> = (0..12)
+            .map(|_| Instr::OpImm {
+                op: rng.pick(&[AluOp::Add, AluOp::Xor, AluOp::And, AluOp::Sltu]),
+                rd: XReg::new(rng.below(32) as u8),
+                rs1: XReg::new(rng.below(32) as u8),
+                imm: rng.range_i32(-2048, 2048),
+            })
+            .collect();
+        cpu.load_program(BASE, &program);
+        for half in 0..(program.len() as u32 * 2) {
+            let pc = BASE + half * 2;
+            cpu.set_pc(pc);
+            assert_eq!(cpu.peek_decoded(), reference(&cpu, pc), "pc {pc:#x}");
+        }
+    });
+}
+
+fn store_word_program(target: u32, word: u32) -> Vec<Instr> {
+    // t0 = word; t1 = target; sw t0, 0(t1)
+    let (t0, t1) = (XReg::new(5), XReg::new(6));
+    vec![
+        Instr::Lui {
+            rd: t0,
+            imm20: ((word.wrapping_add(0x800)) >> 12) as i32,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: t0,
+            rs1: t0,
+            imm: ((word & 0xfff) as i32) << 20 >> 20,
+        },
+        Instr::Lui {
+            rd: t1,
+            imm20: ((target.wrapping_add(0x800)) >> 12) as i32,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: t1,
+            rs1: t1,
+            imm: ((target & 0xfff) as i32) << 20 >> 20,
+        },
+        Instr::Store {
+            width: MemWidth::W,
+            rs2: t0,
+            rs1: t1,
+            offset: 0,
+        },
+    ]
+}
+
+/// A program that overwrites its own upcoming instruction executes the
+/// *new* instruction: executed stores invalidate predecoded slots.
+#[test]
+fn self_modifying_store_executes_new_code() {
+    let a0 = XReg::new(10);
+    let new_word = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 7,
+    });
+    // Layout: 5 setup instructions, then the victim, then ecall.
+    let target = BASE + 5 * 4;
+    let mut program = store_word_program(target, new_word);
+    program.push(Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 1,
+    }); // victim
+    program.push(Instr::Ecall);
+    let mut cpu = Cpu::new(SimConfig {
+        mem_size: 1 << 20,
+        ..SimConfig::default()
+    });
+    cpu.load_program(BASE, &program);
+    cpu.run(100).expect("runs to ecall");
+    assert_eq!(
+        cpu.xreg(a0),
+        7,
+        "the stored instruction must execute, not the stale one"
+    );
+}
+
+/// A half-word store two bytes *into* a 32-bit instruction also
+/// invalidates it (the slot starts before the stored range).
+#[test]
+fn halfword_store_into_upper_half_invalidates_spanning_instr() {
+    let a0 = XReg::new(10);
+    let old = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 1,
+    });
+    let new = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 7,
+    });
+    assert_eq!(
+        old & 0xffff,
+        new & 0xffff,
+        "these encodings differ only in the upper half"
+    );
+    let target = BASE + 5 * 4;
+    // Store only the upper half of the new encoding at target + 2.
+    let (t0, t1) = (XReg::new(5), XReg::new(6));
+    let upper = new >> 16;
+    let program = vec![
+        Instr::Lui {
+            rd: t0,
+            imm20: ((upper.wrapping_add(0x800)) >> 12) as i32,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: t0,
+            rs1: t0,
+            imm: ((upper & 0xfff) as i32) << 20 >> 20,
+        },
+        Instr::Lui {
+            rd: t1,
+            imm20: (((target + 2).wrapping_add(0x800)) >> 12) as i32,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: t1,
+            rs1: t1,
+            imm: (((target + 2) & 0xfff) as i32) << 20 >> 20,
+        },
+        Instr::Store {
+            width: MemWidth::H,
+            rs2: t0,
+            rs1: t1,
+            offset: 0,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        }, // victim at `target`
+        Instr::Ecall,
+    ];
+    let mut cpu = Cpu::new(SimConfig {
+        mem_size: 1 << 20,
+        ..SimConfig::default()
+    });
+    cpu.load_program(BASE, &program);
+    assert_eq!(cpu.mem().load(target, 4).unwrap(), old);
+    cpu.run(100).expect("runs to ecall");
+    assert_eq!(cpu.mem().load(target, 4).unwrap(), new);
+    assert_eq!(cpu.xreg(a0), 7, "the patched upper half must take effect");
+}
+
+/// Rewriting code through `mem_mut` between steps is picked up by the
+/// next fetch (conservative whole-window flush).
+#[test]
+fn mem_mut_flushes_predecoded_window() {
+    let a0 = XReg::new(10);
+    let mut cpu = Cpu::new(SimConfig {
+        mem_size: 1 << 20,
+        ..SimConfig::default()
+    });
+    let program = vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        },
+        Instr::Ecall,
+    ];
+    cpu.load_program(BASE, &program);
+    cpu.step().expect("first step");
+    // Patch the second instruction after it was eagerly predecoded.
+    let patched = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 40,
+    });
+    cpu.mem_mut().write_bytes(BASE + 4, &patched.to_le_bytes());
+    cpu.run(10).expect("finishes");
+    assert_eq!(cpu.xreg(a0), 41);
+}
+
+/// Misaligned pcs fault identically with a warm or cold window, and never
+/// alias a neighbouring slot.
+#[test]
+fn odd_pc_always_faults() {
+    prop::cases("odd_pc_always_faults", 128, |rng| {
+        let mut cpu = Cpu::new(SimConfig {
+            mem_size: 1 << 20,
+            ..SimConfig::default()
+        });
+        let filler = vec![
+            Instr::OpImm {
+                op: AluOp::Add,
+                rd: XReg::new(1),
+                rs1: XReg::new(1),
+                imm: 1
+            };
+            8
+        ];
+        cpu.load_program(BASE, &filler);
+        let pc = BASE + 1 + 2 * rng.below(16) as u32;
+        cpu.set_pc(pc);
+        assert_eq!(cpu.peek_decoded(), Err(SimError::FetchFault { pc }));
+    });
+}

@@ -29,7 +29,12 @@ fn fa(n: u8) -> FReg {
 
 fn li(rd: XReg, v: i32) -> Instr {
     // Fits our tests' small immediates.
-    Instr::OpImm { op: AluOp::Add, rd, rs1: XReg::ZERO, imm: v }
+    Instr::OpImm {
+        op: AluOp::Add,
+        rd,
+        rs1: XReg::ZERO,
+        imm: v,
+    }
 }
 
 fn f16(v: f32) -> u64 {
@@ -47,13 +52,28 @@ fn arithmetic_loop_sums_1_to_100() {
     let mut c = cpu();
     // a0 = Σ 1..=100 computed with a loop.
     let prog = [
-        li(a(0), 0),                // sum
-        li(a(1), 1),                // i
-        li(a(2), 101),              // limit
+        li(a(0), 0),   // sum
+        li(a(1), 1),   // i
+        li(a(2), 101), // limit
         // loop:
-        Instr::Op { op: AluOp::Add, rd: a(0), rs1: a(0), rs2: a(1) },
-        Instr::OpImm { op: AluOp::Add, rd: a(1), rs1: a(1), imm: 1 },
-        Instr::Branch { cond: BranchCond::Lt, rs1: a(1), rs2: a(2), offset: -8 },
+        Instr::Op {
+            op: AluOp::Add,
+            rd: a(0),
+            rs1: a(0),
+            rs2: a(1),
+        },
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: a(1),
+            rs1: a(1),
+            imm: 1,
+        },
+        Instr::Branch {
+            cond: BranchCond::Lt,
+            rs1: a(1),
+            rs2: a(2),
+            offset: -8,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.xreg(a(0)), 5050);
@@ -63,14 +83,52 @@ fn arithmetic_loop_sums_1_to_100() {
 fn memory_round_trip_all_widths() {
     let mut c = cpu();
     let prog = [
-        Instr::Lui { rd: a(1), imm20: (DATA >> 12) as i32 },
+        Instr::Lui {
+            rd: a(1),
+            imm20: (DATA >> 12) as i32,
+        },
         li(a(0), -123),
-        Instr::Store { width: MemWidth::W, rs2: a(0), rs1: a(1), offset: 0 },
-        Instr::Load { width: MemWidth::W, unsigned: false, rd: a(2), rs1: a(1), offset: 0 },
-        Instr::Load { width: MemWidth::H, unsigned: false, rd: a(3), rs1: a(1), offset: 0 },
-        Instr::Load { width: MemWidth::H, unsigned: true, rd: a(4), rs1: a(1), offset: 0 },
-        Instr::Load { width: MemWidth::B, unsigned: false, rd: a(5), rs1: a(1), offset: 0 },
-        Instr::Load { width: MemWidth::B, unsigned: true, rd: a(6), rs1: a(1), offset: 0 },
+        Instr::Store {
+            width: MemWidth::W,
+            rs2: a(0),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::Load {
+            width: MemWidth::W,
+            unsigned: false,
+            rd: a(2),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::Load {
+            width: MemWidth::H,
+            unsigned: false,
+            rd: a(3),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::Load {
+            width: MemWidth::H,
+            unsigned: true,
+            rd: a(4),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::Load {
+            width: MemWidth::B,
+            unsigned: false,
+            rd: a(5),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::Load {
+            width: MemWidth::B,
+            unsigned: true,
+            rd: a(6),
+            rs1: a(1),
+            offset: 0,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.xreg(a(2)) as i32, -123);
@@ -85,10 +143,17 @@ fn function_call_and_return() {
     let mut c = cpu();
     // main: jal ra, f; ecall   f: a0 = 7; ret
     let prog = vec![
-        Instr::Jal { rd: XReg::RA, offset: 8 },
+        Instr::Jal {
+            rd: XReg::RA,
+            offset: 8,
+        },
         Instr::Ecall,
         li(a(0), 7),
-        Instr::Jalr { rd: XReg::ZERO, rs1: XReg::RA, offset: 0 },
+        Instr::Jalr {
+            rd: XReg::ZERO,
+            rs1: XReg::RA,
+            offset: 0,
+        },
     ];
     c.load_program(TEXT, &prog);
     assert_eq!(c.run(100).unwrap(), ExitReason::Ecall);
@@ -103,11 +168,38 @@ fn scalar_fp32_computation() {
     c.mem_mut().write_bytes(DATA, &x.to_le_bytes());
     c.mem_mut().write_bytes(DATA + 4, &y.to_le_bytes());
     let prog = [
-        Instr::Lui { rd: a(1), imm20: (DATA >> 12) as i32 },
-        Instr::FLoad { fmt: FpFmt::S, rd: fa(0), rs1: a(1), offset: 0 },
-        Instr::FLoad { fmt: FpFmt::S, rd: fa(1), rs1: a(1), offset: 4 },
-        Instr::FOp { op: FpOp::Add, fmt: FpFmt::S, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn },
-        Instr::FOp { op: FpOp::Mul, fmt: FpFmt::S, rd: fa(3), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn },
+        Instr::Lui {
+            rd: a(1),
+            imm20: (DATA >> 12) as i32,
+        },
+        Instr::FLoad {
+            fmt: FpFmt::S,
+            rd: fa(0),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::FLoad {
+            fmt: FpFmt::S,
+            rd: fa(1),
+            rs1: a(1),
+            offset: 4,
+        },
+        Instr::FOp {
+            op: FpOp::Add,
+            fmt: FpFmt::S,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        },
+        Instr::FOp {
+            op: FpOp::Mul,
+            fmt: FpFmt::S,
+            rd: fa(3),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        },
         Instr::FFma {
             op: FmaOp::Madd,
             fmt: FpFmt::S,
@@ -117,7 +209,12 @@ fn scalar_fp32_computation() {
             rs3: fa(2),
             rm: Rm::Dyn,
         },
-        Instr::FStore { fmt: FpFmt::S, rs2: fa(4), rs1: a(1), offset: 8 },
+        Instr::FStore {
+            fmt: FpFmt::S,
+            rs2: fa(4),
+            rs1: a(1),
+            offset: 8,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(f32::from_bits(c.freg(fa(2))), 3.75);
@@ -130,14 +227,41 @@ fn scalar_fp32_computation() {
 #[test]
 fn scalar_f16_nanboxing_and_arith() {
     let mut c = cpu();
-    c.mem_mut().write_bytes(DATA, &(f16(1.5) as u16).to_le_bytes());
-    c.mem_mut().write_bytes(DATA + 2, &(f16(0.25) as u16).to_le_bytes());
+    c.mem_mut()
+        .write_bytes(DATA, &(f16(1.5) as u16).to_le_bytes());
+    c.mem_mut()
+        .write_bytes(DATA + 2, &(f16(0.25) as u16).to_le_bytes());
     let prog = [
-        Instr::Lui { rd: a(1), imm20: (DATA >> 12) as i32 },
-        Instr::FLoad { fmt: FpFmt::H, rd: fa(0), rs1: a(1), offset: 0 },
-        Instr::FLoad { fmt: FpFmt::H, rd: fa(1), rs1: a(1), offset: 2 },
-        Instr::FOp { op: FpOp::Sub, fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn },
-        Instr::FStore { fmt: FpFmt::H, rs2: fa(2), rs1: a(1), offset: 4 },
+        Instr::Lui {
+            rd: a(1),
+            imm20: (DATA >> 12) as i32,
+        },
+        Instr::FLoad {
+            fmt: FpFmt::H,
+            rd: fa(0),
+            rs1: a(1),
+            offset: 0,
+        },
+        Instr::FLoad {
+            fmt: FpFmt::H,
+            rd: fa(1),
+            rs1: a(1),
+            offset: 2,
+        },
+        Instr::FOp {
+            op: FpOp::Sub,
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        },
+        Instr::FStore {
+            fmt: FpFmt::H,
+            rs2: fa(2),
+            rs1: a(1),
+            offset: 4,
+        },
     ];
     run_program(&mut c, &prog);
     // Result register is NaN-boxed.
@@ -175,10 +299,31 @@ fn vector_f16_simd_lanes() {
     c.set_freg(fa(0), va);
     c.set_freg(fa(1), vb);
     let prog = [
-        Instr::VFOp { op: VfOp::Add, fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFOp { op: VfOp::Mul, fmt: FpFmt::H, rd: fa(3), rs1: fa(0), rs2: fa(1), rep: false },
+        Instr::VFOp {
+            op: VfOp::Add,
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFOp {
+            op: VfOp::Mul,
+            fmt: FpFmt::H,
+            rd: fa(3),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
         // Replicated variant: multiply both lanes by lane 0 of fa(1) (0.5).
-        Instr::VFOp { op: VfOp::Mul, fmt: FpFmt::H, rd: fa(4), rs1: fa(0), rs2: fa(1), rep: true },
+        Instr::VFOp {
+            op: VfOp::Mul,
+            fmt: FpFmt::H,
+            rd: fa(4),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: true,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.freg(fa(2)) as u64 & 0xffff, f16(2.0));
@@ -277,9 +422,16 @@ fn cpk_b_half_on_f8() {
 #[test]
 fn cpk_b_half_on_f16_is_unsupported() {
     let mut c = cpu();
-    let prog =
-        [Instr::VFCpk { fmt: FpFmt::H, half: CpkHalf::B, rd: fa(2), rs1: fa(0), rs2: fa(1) },
-         Instr::Ecall];
+    let prog = [
+        Instr::VFCpk {
+            fmt: FpFmt::H,
+            half: CpkHalf::B,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+        },
+        Instr::Ecall,
+    ];
     c.load_program(TEXT, &prog);
     assert_eq!(c.run(10), Err(SimError::VectorUnsupported { pc: TEXT }));
 }
@@ -291,7 +443,13 @@ fn expanding_dot_product_matches_manual() {
     c.set_freg(fa(0), pack16(1.5, 2.0));
     c.set_freg(fa(1), pack16(4.0, 0.25));
     c.set_freg(fa(2), 10.0f32.to_bits()); // f32 accumulator
-    let prog = [Instr::VFDotpEx { fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false }];
+    let prog = [Instr::VFDotpEx {
+        fmt: FpFmt::H,
+        rd: fa(2),
+        rs1: fa(0),
+        rs2: fa(1),
+        rep: false,
+    }];
     run_program(&mut c, &prog);
     // 10 + 1.5*4 + 2*0.25 = 16.5, all exact in f32.
     assert_eq!(f32::from_bits(c.freg(fa(2))), 16.5);
@@ -303,7 +461,13 @@ fn fmacex_expands_without_conversions() {
     c.set_freg(fa(0), (0xffff_0000u32) | f16(3.0) as u32);
     c.set_freg(fa(1), (0xffff_0000u32) | f16(0.5) as u32);
     c.set_freg(fa(2), 1.0f32.to_bits());
-    let prog = [Instr::FMacEx { fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn }];
+    let prog = [Instr::FMacEx {
+        fmt: FpFmt::H,
+        rd: fa(2),
+        rs1: fa(0),
+        rs2: fa(1),
+        rm: Rm::Dyn,
+    }];
     run_program(&mut c, &prog);
     assert_eq!(f32::from_bits(c.freg(fa(2))), 2.5);
 }
@@ -315,8 +479,22 @@ fn vector_compare_writes_lane_mask() {
     c.set_freg(fa(0), pack16(1.0, 5.0));
     c.set_freg(fa(1), pack16(2.0, 2.0));
     let prog = [
-        Instr::VFCmp { op: VCmpOp::Lt, fmt: FpFmt::H, rd: a(0), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFCmp { op: VCmpOp::Ge, fmt: FpFmt::H, rd: a(1), rs1: fa(0), rs2: fa(1), rep: false },
+        Instr::VFCmp {
+            op: VCmpOp::Lt,
+            fmt: FpFmt::H,
+            rd: a(0),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFCmp {
+            op: VCmpOp::Ge,
+            fmt: FpFmt::H,
+            rd: a(1),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.xreg(a(0)), 0b01, "lane0: 1<2 true, lane1: 5<2 false");
@@ -329,8 +507,18 @@ fn vector_int_conversions() {
     let pack16 = |lo: f32, hi: f32| ((f16(hi) << 16) | f16(lo)) as u32;
     c.set_freg(fa(0), pack16(3.7, -2.2));
     let prog = [
-        Instr::VFCvtXF { fmt: FpFmt::H, rd: fa(1), rs1: fa(0), signed: true },
-        Instr::VFCvtFX { fmt: FpFmt::H, rd: fa(2), rs1: fa(1), signed: true },
+        Instr::VFCvtXF {
+            fmt: FpFmt::H,
+            rd: fa(1),
+            rs1: fa(0),
+            signed: true,
+        },
+        Instr::VFCvtFX {
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(1),
+            signed: true,
+        },
     ];
     run_program(&mut c, &prog);
     let ints = c.freg(fa(1));
@@ -347,7 +535,12 @@ fn vector_h_ah_conversion() {
     let mut ah = |v: f32| ops::from_f32(Format::BINARY16ALT, v, &mut env);
     let pack16 = |lo: u64, hi: u64| ((hi << 16) | lo) as u32;
     c.set_freg(fa(0), pack16(f16(1.5), f16(-3.0)));
-    let prog = [Instr::VFCvtFF { dst: FpFmt::Ah, src: FpFmt::H, rd: fa(1), rs1: fa(0) }];
+    let prog = [Instr::VFCvtFF {
+        dst: FpFmt::Ah,
+        src: FpFmt::H,
+        rd: fa(1),
+        rs1: fa(0),
+    }];
     run_program(&mut c, &prog);
     assert_eq!(c.freg(fa(1)) as u64 & 0xffff, ah(1.5));
     assert_eq!((c.freg(fa(1)) >> 16) as u64, ah(-3.0));
@@ -359,11 +552,33 @@ fn fflags_accrue_and_csr_access() {
     c.set_freg(fa(0), 1.0f32.to_bits());
     c.set_freg(fa(1), 0.0f32.to_bits());
     let prog = [
-        Instr::FOp { op: FpOp::Div, fmt: FpFmt::S, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn },
-        Instr::Csr { op: CsrOp::Rs, rd: a(0), src: CsrSrc::Reg(XReg::ZERO), csr: csr::FFLAGS },
+        Instr::FOp {
+            op: FpOp::Div,
+            fmt: FpFmt::S,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        },
+        Instr::Csr {
+            op: CsrOp::Rs,
+            rd: a(0),
+            src: CsrSrc::Reg(XReg::ZERO),
+            csr: csr::FFLAGS,
+        },
         // Clear flags, read again.
-        Instr::Csr { op: CsrOp::Rw, rd: a(1), src: CsrSrc::Imm(0), csr: csr::FFLAGS },
-        Instr::Csr { op: CsrOp::Rs, rd: a(2), src: CsrSrc::Reg(XReg::ZERO), csr: csr::FFLAGS },
+        Instr::Csr {
+            op: CsrOp::Rw,
+            rd: a(1),
+            src: CsrSrc::Imm(0),
+            csr: csr::FFLAGS,
+        },
+        Instr::Csr {
+            op: CsrOp::Rs,
+            rd: a(2),
+            src: CsrSrc::Reg(XReg::ZERO),
+            csr: csr::FFLAGS,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.xreg(a(0)), Flags::DZ.bits() as u32);
@@ -377,8 +592,22 @@ fn static_rounding_mode_in_instruction() {
     c.set_freg(fa(0), 1.0f32.to_bits());
     c.set_freg(fa(1), 3.0f32.to_bits());
     let prog = [
-        Instr::FOp { op: FpOp::Div, fmt: FpFmt::S, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Rdn },
-        Instr::FOp { op: FpOp::Div, fmt: FpFmt::S, rd: fa(3), rs1: fa(0), rs2: fa(1), rm: Rm::Rup },
+        Instr::FOp {
+            op: FpOp::Div,
+            fmt: FpFmt::S,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Rdn,
+        },
+        Instr::FOp {
+            op: FpOp::Div,
+            fmt: FpFmt::S,
+            rd: fa(3),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Rup,
+        },
     ];
     run_program(&mut c, &prog);
     let dn = f32::from_bits(c.freg(fa(2)));
@@ -393,12 +622,29 @@ fn dynamic_rounding_via_frm_csr() {
     c.set_freg(fa(0), 1.0f32.to_bits());
     c.set_freg(fa(1), 3.0f32.to_bits());
     let prog = [
-        Instr::Csr { op: CsrOp::Rw, rd: XReg::ZERO, src: CsrSrc::Imm(Rounding::Rup.to_frm()), csr: csr::FRM },
-        Instr::FOp { op: FpOp::Div, fmt: FpFmt::S, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn },
+        Instr::Csr {
+            op: CsrOp::Rw,
+            rd: XReg::ZERO,
+            src: CsrSrc::Imm(Rounding::Rup.to_frm()),
+            csr: csr::FRM,
+        },
+        Instr::FOp {
+            op: FpOp::Div,
+            fmt: FpFmt::S,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        },
     ];
     run_program(&mut c, &prog);
     let mut env = Env::new(Rounding::Rup);
-    let expect = ops::div(Format::BINARY32, 1.0f32.to_bits() as u64, 3.0f32.to_bits() as u64, &mut env);
+    let expect = ops::div(
+        Format::BINARY32,
+        1.0f32.to_bits() as u64,
+        3.0f32.to_bits() as u64,
+        &mut env,
+    );
     assert_eq!(c.freg(fa(2)) as u64, expect);
 }
 
@@ -408,7 +654,12 @@ fn cycle_counter_via_csr() {
     let prog = [
         li(a(0), 1),
         li(a(1), 2),
-        Instr::Csr { op: CsrOp::Rs, rd: a(2), src: CsrSrc::Reg(XReg::ZERO), csr: csr::CYCLE },
+        Instr::Csr {
+            op: CsrOp::Rs,
+            rd: a(2),
+            src: CsrSrc::Reg(XReg::ZERO),
+            csr: csr::CYCLE,
+        },
     ];
     run_program(&mut c, &prog);
     // Two 1-cycle ALU ops execute before the CSR read.
@@ -420,11 +671,29 @@ fn timing_memory_levels() {
     // The same program must take ~10×/100× more memory cycles at L2/L3.
     let mut cycles = Vec::new();
     for level in MemLevel::ALL {
-        let mut c = Cpu::new(SimConfig { mem_level: level, ..SimConfig::default() });
+        let mut c = Cpu::new(SimConfig {
+            mem_level: level,
+            ..SimConfig::default()
+        });
         let prog = [
-            Instr::Lui { rd: a(1), imm20: (DATA >> 12) as i32 },
-            Instr::Load { width: MemWidth::W, unsigned: false, rd: a(0), rs1: a(1), offset: 0 },
-            Instr::Load { width: MemWidth::W, unsigned: false, rd: a(2), rs1: a(1), offset: 4 },
+            Instr::Lui {
+                rd: a(1),
+                imm20: (DATA >> 12) as i32,
+            },
+            Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd: a(0),
+                rs1: a(1),
+                offset: 0,
+            },
+            Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd: a(2),
+                rs1: a(1),
+                offset: 4,
+            },
         ];
         run_program(&mut c, &prog);
         cycles.push(c.stats().cycles);
@@ -439,10 +708,22 @@ fn timing_memory_levels() {
 fn energy_grows_with_latency_level() {
     let mut energies = Vec::new();
     for level in MemLevel::ALL {
-        let mut c = Cpu::new(SimConfig { mem_level: level, ..SimConfig::default() });
+        let mut c = Cpu::new(SimConfig {
+            mem_level: level,
+            ..SimConfig::default()
+        });
         let prog = [
-            Instr::Lui { rd: a(1), imm20: (DATA >> 12) as i32 },
-            Instr::Load { width: MemWidth::W, unsigned: false, rd: a(0), rs1: a(1), offset: 0 },
+            Instr::Lui {
+                rd: a(1),
+                imm20: (DATA >> 12) as i32,
+            },
+            Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd: a(0),
+                rs1: a(1),
+                offset: 0,
+            },
         ];
         run_program(&mut c, &prog);
         energies.push(c.stats().energy_pj);
@@ -455,8 +736,21 @@ fn stats_breakdown_classifies() {
     let mut c = cpu();
     let prog = [
         li(a(0), 1),
-        Instr::VFOp { op: VfOp::Add, fmt: FpFmt::H, rd: fa(0), rs1: fa(0), rs2: fa(0), rep: false },
-        Instr::FMacEx { fmt: FpFmt::H, rd: fa(1), rs1: fa(0), rs2: fa(0), rm: Rm::Dyn },
+        Instr::VFOp {
+            op: VfOp::Add,
+            fmt: FpFmt::H,
+            rd: fa(0),
+            rs1: fa(0),
+            rs2: fa(0),
+            rep: false,
+        },
+        Instr::FMacEx {
+            fmt: FpFmt::H,
+            rd: fa(1),
+            rs1: fa(0),
+            rs2: fa(0),
+            rm: Rm::Dyn,
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.stats().class_count(InstrClass::IntAlu), 1);
@@ -474,7 +768,13 @@ fn traps_reported() {
         TEXT,
         &[
             li(a(1), 2),
-            Instr::Load { width: MemWidth::W, unsigned: false, rd: a(0), rs1: a(1), offset: 0 },
+            Instr::Load {
+                width: MemWidth::W,
+                unsigned: false,
+                rd: a(0),
+                rs1: a(1),
+                offset: 0,
+            },
         ],
     );
     assert_eq!(c.run(10), Err(SimError::Misaligned { addr: 2 }));
@@ -482,7 +782,10 @@ fn traps_reported() {
     let mut c = cpu();
     c.mem_mut().write_bytes(TEXT, &0xffff_ffffu32.to_le_bytes());
     c.set_pc(TEXT);
-    assert!(matches!(c.run(10), Err(SimError::IllegalInstruction { .. })));
+    assert!(matches!(
+        c.run(10),
+        Err(SimError::IllegalInstruction { .. })
+    ));
     // Breakpoint.
     let mut c = cpu();
     c.load_program(TEXT, &[Instr::Ebreak]);
@@ -491,16 +794,39 @@ fn traps_reported() {
     let mut c = cpu();
     c.load_program(
         TEXT,
-        &[Instr::Csr { op: CsrOp::Rw, rd: a(0), src: CsrSrc::Imm(0), csr: 0x123 }],
+        &[Instr::Csr {
+            op: CsrOp::Rw,
+            rd: a(0),
+            src: CsrSrc::Imm(0),
+            csr: 0x123,
+        }],
     );
-    assert_eq!(c.run(10), Err(SimError::UnknownCsr { csr: 0x123, pc: TEXT }));
+    assert_eq!(
+        c.run(10),
+        Err(SimError::UnknownCsr {
+            csr: 0x123,
+            pc: TEXT
+        })
+    );
     // Reserved dynamic rounding mode.
     let mut c = cpu();
     c.load_program(
         TEXT,
         &[
-            Instr::Csr { op: CsrOp::Rw, rd: XReg::ZERO, src: CsrSrc::Imm(5), csr: csr::FRM },
-            Instr::FOp { op: FpOp::Add, fmt: FpFmt::S, rd: fa(0), rs1: fa(0), rs2: fa(0), rm: Rm::Dyn },
+            Instr::Csr {
+                op: CsrOp::Rw,
+                rd: XReg::ZERO,
+                src: CsrSrc::Imm(5),
+                csr: csr::FRM,
+            },
+            Instr::FOp {
+                op: FpOp::Add,
+                fmt: FpFmt::S,
+                rd: fa(0),
+                rs1: fa(0),
+                rs2: fa(0),
+                rm: Rm::Dyn,
+            },
         ],
     );
     assert_eq!(c.run(10), Err(SimError::InvalidRounding { pc: TEXT + 4 }));
@@ -511,7 +837,12 @@ fn run_traced_observes_every_instruction() {
     let mut c = cpu();
     let prog = [
         li(a(0), 2),
-        Instr::Op { op: AluOp::Add, rd: a(0), rs1: a(0), rs2: a(0) },
+        Instr::Op {
+            op: AluOp::Add,
+            rd: a(0),
+            rs1: a(0),
+            rs2: a(0),
+        },
     ];
     let mut p = prog.to_vec();
     p.push(Instr::Ecall);
@@ -542,7 +873,13 @@ fn peek_does_not_execute() {
 fn instruction_limit() {
     let mut c = cpu();
     // Infinite loop.
-    c.load_program(TEXT, &[Instr::Jal { rd: XReg::ZERO, offset: 0 }]);
+    c.load_program(
+        TEXT,
+        &[Instr::Jal {
+            rd: XReg::ZERO,
+            offset: 0,
+        }],
+    );
     assert_eq!(c.run(100).unwrap(), ExitReason::InstructionLimit);
     assert_eq!(c.stats().instret, 100);
 }
@@ -552,10 +889,27 @@ fn fmv_moves_raw_bits() {
     let mut c = cpu();
     let prog = [
         li(a(0), 0x3c0), // will shift to make 0x3c00 (f16 1.0)
-        Instr::OpImm { op: AluOp::Sll, rd: a(0), rs1: a(0), imm: 4 },
-        Instr::FMvFX { fmt: FpFmt::H, rd: fa(0), rs1: a(0) },
-        Instr::FMvXF { fmt: FpFmt::H, rd: a(1), rs1: fa(0) },
-        Instr::FClass { fmt: FpFmt::H, rd: a(2), rs1: fa(0) },
+        Instr::OpImm {
+            op: AluOp::Sll,
+            rd: a(0),
+            rs1: a(0),
+            imm: 4,
+        },
+        Instr::FMvFX {
+            fmt: FpFmt::H,
+            rd: fa(0),
+            rs1: a(0),
+        },
+        Instr::FMvXF {
+            fmt: FpFmt::H,
+            rd: a(1),
+            rs1: fa(0),
+        },
+        Instr::FClass {
+            fmt: FpFmt::H,
+            rd: a(2),
+            rs1: fa(0),
+        },
     ];
     run_program(&mut c, &prog);
     assert_eq!(c.freg(fa(0)), 0xffff_3c00, "NaN-boxed on fmv.h.x");
@@ -573,17 +927,37 @@ fn f8_scalar_and_b16alt_range() {
     c.set_freg(fa(1), 0xffff_0000 | big as u32);
     let prog = [
         // b16alt handles 1e30 * 2 fine (bfloat range).
-        Instr::FOp { op: FpOp::Add, fmt: FpFmt::Ah, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn },
+        Instr::FOp {
+            op: FpOp::Add,
+            fmt: FpFmt::Ah,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        },
         // b8 65504 doesn't exist: convert f32 1e6 to b8 → inf (OF).
-        Instr::FMvFX { fmt: FpFmt::S, rd: fa(3), rs1: a(3) },
-        Instr::FCvtFF { dst: FpFmt::B, src: FpFmt::S, rd: fa(4), rs1: fa(3), rm: Rm::Dyn },
+        Instr::FMvFX {
+            fmt: FpFmt::S,
+            rd: fa(3),
+            rs1: a(3),
+        },
+        Instr::FCvtFF {
+            dst: FpFmt::B,
+            src: FpFmt::S,
+            rd: fa(4),
+            rs1: fa(3),
+            rm: Rm::Dyn,
+        },
     ];
     c.set_xreg(a(3), 1e6f32.to_bits());
     // set_xreg before load_program is fine; run resets nothing.
     run_program(&mut c, &prog);
     let sum = c.freg(fa(2)) as u64 & 0xffff;
     // big is 1e30 rounded to bfloat16; doubling is exact (exponent bump).
-    assert_eq!(ops::to_f64(Format::BINARY16ALT, sum), 2.0 * ops::to_f64(Format::BINARY16ALT, big));
+    assert_eq!(
+        ops::to_f64(Format::BINARY16ALT, sum),
+        2.0 * ops::to_f64(Format::BINARY16ALT, big)
+    );
     let b8 = c.freg(fa(4)) as u64 & 0xff;
     assert_eq!(b8, Format::BINARY8.infinity(false));
     assert!(c.fflags().contains(Flags::OF));

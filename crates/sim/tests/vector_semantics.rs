@@ -43,7 +43,9 @@ fn pack16(lo: f32, hi: f32) -> u32 {
 }
 
 fn pack8(vals: [f32; 4]) -> u32 {
-    vals.iter().enumerate().fold(0u32, |acc, (i, v)| acc | ((b8(*v) as u32) << (8 * i)))
+    vals.iter()
+        .enumerate()
+        .fold(0u32, |acc, (i, v)| acc | ((b8(*v) as u32) << (8 * i)))
 }
 
 fn lanes16(reg: u32) -> [u64; 2] {
@@ -54,11 +56,25 @@ fn lanes16(reg: u32) -> [u64; 2] {
 fn vector_min_max_with_nan_lanes() {
     let mut c = cpu();
     let qnan = Format::BINARY16.quiet_nan() as u32;
-    c.set_freg(fa(0), (qnan << 16) | pack16(3.0, 0.0) as u32 & 0xffff); // [3.0, qNaN]
+    c.set_freg(fa(0), (qnan << 16) | pack16(3.0, 0.0) & 0xffff); // [3.0, qNaN]
     c.set_freg(fa(1), pack16(5.0, -2.0));
     let prog = [
-        Instr::VFOp { op: VfOp::Min, fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFOp { op: VfOp::Max, fmt: FpFmt::H, rd: fa(3), rs1: fa(0), rs2: fa(1), rep: false },
+        Instr::VFOp {
+            op: VfOp::Min,
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFOp {
+            op: VfOp::Max,
+            fmt: FpFmt::H,
+            rd: fa(3),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
     ];
     run(&mut c, &prog);
     // minNum semantics per lane: NaN lane yields the other operand.
@@ -72,9 +88,30 @@ fn vector_sign_injection_lanewise() {
     c.set_freg(fa(0), pack16(1.5, -2.5));
     c.set_freg(fa(1), pack16(-1.0, 1.0));
     let prog = [
-        Instr::VFOp { op: VfOp::Sgnj, fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFOp { op: VfOp::Sgnjn, fmt: FpFmt::H, rd: fa(3), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFOp { op: VfOp::Sgnjx, fmt: FpFmt::H, rd: fa(4), rs1: fa(0), rs2: fa(1), rep: false },
+        Instr::VFOp {
+            op: VfOp::Sgnj,
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFOp {
+            op: VfOp::Sgnjn,
+            fmt: FpFmt::H,
+            rd: fa(3),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFOp {
+            op: VfOp::Sgnjx,
+            fmt: FpFmt::H,
+            rd: fa(4),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
     ];
     run(&mut c, &prog);
     assert_eq!(lanes16(c.freg(fa(2))), [h(-1.5), h(2.5)]);
@@ -88,8 +125,19 @@ fn vector_div_and_sqrt() {
     c.set_freg(fa(0), pack16(9.0, 1.0));
     c.set_freg(fa(1), pack16(4.0, 8.0));
     let prog = [
-        Instr::VFOp { op: VfOp::Div, fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFSqrt { fmt: FpFmt::H, rd: fa(3), rs1: fa(0) },
+        Instr::VFOp {
+            op: VfOp::Div,
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFSqrt {
+            fmt: FpFmt::H,
+            rd: fa(3),
+            rs1: fa(0),
+        },
     ];
     run(&mut c, &prog);
     assert_eq!(lanes16(c.freg(fa(2))), [h(2.25), h(0.125)]);
@@ -103,8 +151,21 @@ fn replicated_compare_and_dotp() {
     c.set_freg(fa(1), pack16(2.0, 99.0)); // lane 0 (2.0) replicated
     c.set_freg(fa(2), 0f32.to_bits());
     let prog = [
-        Instr::VFCmp { op: VCmpOp::Lt, fmt: FpFmt::H, rd: a(0), rs1: fa(0), rs2: fa(1), rep: true },
-        Instr::VFDotpEx { fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: true },
+        Instr::VFCmp {
+            op: VCmpOp::Lt,
+            fmt: FpFmt::H,
+            rd: a(0),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: true,
+        },
+        Instr::VFDotpEx {
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: true,
+        },
     ];
     run(&mut c, &prog);
     assert_eq!(c.xreg(a(0)), 0b01, "1<2 true, 3<2 false");
@@ -116,8 +177,18 @@ fn vector_unsigned_conversions() {
     let mut c = cpu();
     c.set_freg(fa(0), pack16(3.6, 250.0));
     let prog = [
-        Instr::VFCvtXF { fmt: FpFmt::H, rd: fa(1), rs1: fa(0), signed: false },
-        Instr::VFCvtFX { fmt: FpFmt::H, rd: fa(2), rs1: fa(1), signed: false },
+        Instr::VFCvtXF {
+            fmt: FpFmt::H,
+            rd: fa(1),
+            rs1: fa(0),
+            signed: false,
+        },
+        Instr::VFCvtFX {
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(1),
+            signed: false,
+        },
     ];
     run(&mut c, &prog);
     let ints = c.freg(fa(1));
@@ -127,7 +198,15 @@ fn vector_unsigned_conversions() {
     // Negative values clamp to 0 for unsigned conversion.
     let mut c = cpu();
     c.set_freg(fa(0), pack16(-3.0, 7.0));
-    run(&mut c, &[Instr::VFCvtXF { fmt: FpFmt::H, rd: fa(1), rs1: fa(0), signed: false }]);
+    run(
+        &mut c,
+        &[Instr::VFCvtXF {
+            fmt: FpFmt::H,
+            rd: fa(1),
+            rs1: fa(0),
+            signed: false,
+        }],
+    );
     assert_eq!(c.freg(fa(1)) & 0xffff, 0);
     assert_eq!(c.freg(fa(1)) >> 16, 7);
 }
@@ -139,9 +218,29 @@ fn four_lane_f8_family() {
     c.set_freg(fa(1), pack8([4.0, 2.0, 1.0, 0.5]));
     c.set_freg(fa(2), 0f32.to_bits());
     let prog = [
-        Instr::VFOp { op: VfOp::Max, fmt: FpFmt::B, rd: fa(3), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFCmp { op: VCmpOp::Ge, fmt: FpFmt::B, rd: a(0), rs1: fa(0), rs2: fa(1), rep: false },
-        Instr::VFDotpEx { fmt: FpFmt::B, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false },
+        Instr::VFOp {
+            op: VfOp::Max,
+            fmt: FpFmt::B,
+            rd: fa(3),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFCmp {
+            op: VCmpOp::Ge,
+            fmt: FpFmt::B,
+            rd: a(0),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
+        Instr::VFDotpEx {
+            fmt: FpFmt::B,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        },
     ];
     run(&mut c, &prog);
     let out = c.freg(fa(3));
@@ -171,10 +270,10 @@ fn fma_variants_signs() {
         rm: Rm::Dyn,
     };
     for (op, expect) in [
-        (FmaOp::Madd, 7.0f32),   // 3*2 + 1
-        (FmaOp::Msub, 5.0),      // 3*2 - 1
-        (FmaOp::Nmsub, -5.0),    // -(3*2) + 1
-        (FmaOp::Nmadd, -7.0),    // -(3*2) - 1
+        (FmaOp::Madd, 7.0f32), // 3*2 + 1
+        (FmaOp::Msub, 5.0),    // 3*2 - 1
+        (FmaOp::Nmsub, -5.0),  // -(3*2) + 1
+        (FmaOp::Nmadd, -7.0),  // -(3*2) - 1
     ] {
         let mut c2 = c.clone_state();
         run(&mut c2, &[mk(op)]);
@@ -208,7 +307,13 @@ fn fmulex_expands_exactly() {
     c.set_freg(fa(1), 0xffff_ff00 | b8(0.125) as u32);
     run(
         &mut c,
-        &[Instr::FMulEx { fmt: FpFmt::B, rd: fa(2), rs1: fa(0), rs2: fa(1), rm: Rm::Dyn }],
+        &[Instr::FMulEx {
+            fmt: FpFmt::B,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rm: Rm::Dyn,
+        }],
     );
     assert_eq!(f32::from_bits(c.freg(fa(2))), 0.375);
     assert!(c.fflags().is_empty(), "expanding multiply of b8 is exact");
@@ -219,8 +324,18 @@ fn vector_h_to_ah_and_back_round_trips_common_values() {
     let mut c = cpu();
     c.set_freg(fa(0), pack16(1.5, -0.25)); // exactly representable in both
     let prog = [
-        Instr::VFCvtFF { dst: FpFmt::Ah, src: FpFmt::H, rd: fa(1), rs1: fa(0) },
-        Instr::VFCvtFF { dst: FpFmt::H, src: FpFmt::Ah, rd: fa(2), rs1: fa(1) },
+        Instr::VFCvtFF {
+            dst: FpFmt::Ah,
+            src: FpFmt::H,
+            rd: fa(1),
+            rs1: fa(0),
+        },
+        Instr::VFCvtFF {
+            dst: FpFmt::H,
+            src: FpFmt::Ah,
+            rd: fa(2),
+            rs1: fa(1),
+        },
     ];
     run(&mut c, &prog);
     assert_eq!(c.freg(fa(2)), c.freg(fa(0)));
@@ -269,7 +384,11 @@ fn vfcmp_writes_zero_for_false_everywhere() {
             rep: false,
         }],
     );
-    assert_eq!(c.xreg(a(0)), 0, "equal lanes: mask fully cleared, no stale bits");
+    assert_eq!(
+        c.xreg(a(0)),
+        0,
+        "equal lanes: mask fully cleared, no stale bits"
+    );
 }
 
 #[test]
@@ -281,7 +400,14 @@ fn vfmin_quiet_nan_flags() {
     c.set_freg(fa(1), pack16(0.5, 2.0));
     run(
         &mut c,
-        &[Instr::VFOp { op: VfOp::Min, fmt: FpFmt::H, rd: fa(2), rs1: fa(0), rs2: fa(1), rep: false }],
+        &[Instr::VFOp {
+            op: VfOp::Min,
+            fmt: FpFmt::H,
+            rd: fa(2),
+            rs1: fa(0),
+            rs2: fa(1),
+            rep: false,
+        }],
     );
     assert_eq!(lanes16(c.freg(fa(2))), [h(0.5), h(2.0)]);
     assert!(c.fflags().contains(smallfloat_softfp::Flags::NV));

@@ -24,8 +24,13 @@ pub enum Rounding {
 
 impl Rounding {
     /// All five rounding modes, in `frm` encoding order.
-    pub const ALL: [Rounding; 5] =
-        [Rounding::Rne, Rounding::Rtz, Rounding::Rdn, Rounding::Rup, Rounding::Rmm];
+    pub const ALL: [Rounding; 5] = [
+        Rounding::Rne,
+        Rounding::Rtz,
+        Rounding::Rdn,
+        Rounding::Rup,
+        Rounding::Rmm,
+    ];
 
     /// Decode a RISC-V `frm` field value.
     ///
@@ -160,7 +165,10 @@ pub struct Env {
 impl Env {
     /// Create an environment with the given rounding mode and clear flags.
     pub fn new(rm: Rounding) -> Env {
-        Env { rm, flags: Flags::NONE }
+        Env {
+            rm,
+            flags: Flags::NONE,
+        }
     }
 
     /// Clear the accrued flags, returning the previous value.

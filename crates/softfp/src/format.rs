@@ -35,15 +35,30 @@ pub struct Format {
 
 impl Format {
     /// The paper's `binary8` smallFloat format: 1s + 5e + 2m (E5M2).
-    pub const BINARY8: Format = Format { exp_bits: 5, man_bits: 2 };
+    pub const BINARY8: Format = Format {
+        exp_bits: 5,
+        man_bits: 2,
+    };
     /// IEEE 754 binary16 (half precision): 1s + 5e + 10m.
-    pub const BINARY16: Format = Format { exp_bits: 5, man_bits: 10 };
+    pub const BINARY16: Format = Format {
+        exp_bits: 5,
+        man_bits: 10,
+    };
     /// The paper's `binary16alt` format (bfloat16 layout): 1s + 8e + 7m.
-    pub const BINARY16ALT: Format = Format { exp_bits: 8, man_bits: 7 };
+    pub const BINARY16ALT: Format = Format {
+        exp_bits: 8,
+        man_bits: 7,
+    };
     /// IEEE 754 binary32 (single precision): 1s + 8e + 23m.
-    pub const BINARY32: Format = Format { exp_bits: 8, man_bits: 23 };
+    pub const BINARY32: Format = Format {
+        exp_bits: 8,
+        man_bits: 23,
+    };
     /// IEEE 754 binary64 (double precision): 1s + 11e + 52m.
-    pub const BINARY64: Format = Format { exp_bits: 11, man_bits: 52 };
+    pub const BINARY64: Format = Format {
+        exp_bits: 11,
+        man_bits: 52,
+    };
 
     /// Create a custom format.
     ///
@@ -216,7 +231,13 @@ impl Format {
 
 impl fmt::Debug for Format {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Format({}: 1s+{}e+{}m)", self.name(), self.exp_bits, self.man_bits)
+        write!(
+            f,
+            "Format({}: 1s+{}e+{}m)",
+            self.name(),
+            self.exp_bits,
+            self.man_bits
+        )
     }
 }
 
@@ -247,12 +268,27 @@ mod tests {
     fn canonical_constants_match_ieee() {
         // Cross-checked against the host's f32/f64.
         assert_eq!(Format::BINARY32.quiet_nan(), 0x7fc0_0000);
-        assert_eq!(Format::BINARY32.infinity(false), f32::INFINITY.to_bits() as u64);
-        assert_eq!(Format::BINARY32.infinity(true), f32::NEG_INFINITY.to_bits() as u64);
-        assert_eq!(Format::BINARY32.max_finite(false), f32::MAX.to_bits() as u64);
-        assert_eq!(Format::BINARY32.min_normal(), f32::MIN_POSITIVE.to_bits() as u64);
+        assert_eq!(
+            Format::BINARY32.infinity(false),
+            f32::INFINITY.to_bits() as u64
+        );
+        assert_eq!(
+            Format::BINARY32.infinity(true),
+            f32::NEG_INFINITY.to_bits() as u64
+        );
+        assert_eq!(
+            Format::BINARY32.max_finite(false),
+            f32::MAX.to_bits() as u64
+        );
+        assert_eq!(
+            Format::BINARY32.min_normal(),
+            f32::MIN_POSITIVE.to_bits() as u64
+        );
         assert_eq!(Format::BINARY32.one(), 1f32.to_bits() as u64);
-        assert_eq!(Format::BINARY64.quiet_nan(), f64::NAN.to_bits() & !(1 << 63));
+        assert_eq!(
+            Format::BINARY64.quiet_nan(),
+            f64::NAN.to_bits() & !(1 << 63)
+        );
         assert_eq!(Format::BINARY64.one(), 1f64.to_bits());
     }
 

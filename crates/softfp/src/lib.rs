@@ -71,7 +71,7 @@ pub mod nanbox {
     ///
     /// Panics if `reg_bits` is 0 or greater than 64.
     pub fn boxed(fmt: Format, bits: u64, reg_bits: u32) -> u64 {
-        assert!(reg_bits >= 1 && reg_bits <= 64, "register width out of range");
+        assert!((1..=64).contains(&reg_bits), "register width out of range");
         let v = bits & fmt.mask();
         if fmt.width() >= reg_bits {
             return v;
@@ -94,7 +94,7 @@ pub mod nanbox {
     ///
     /// Panics if `reg_bits` is 0 or greater than 64.
     pub fn unboxed(fmt: Format, reg: u64, reg_bits: u32) -> u64 {
-        assert!(reg_bits >= 1 && reg_bits <= 64, "register width out of range");
+        assert!((1..=64).contains(&reg_bits), "register width out of range");
         if fmt.width() >= reg_bits {
             return reg & fmt.mask();
         }

@@ -62,7 +62,11 @@ fn add_finite(fmt: Format, ua: &Unpacked, ub: &Unpacked, env: &mut Env) -> u64 {
     let man = fmt.man_bits() as i32;
     // Order by magnitude; significands are normalized so the (exp, sig)
     // lexicographic order matches magnitude order.
-    let (hi, lo) = if (ua.exp, ua.sig) >= (ub.exp, ub.sig) { (ua, ub) } else { (ub, ua) };
+    let (hi, lo) = if (ua.exp, ua.sig) >= (ub.exp, ub.sig) {
+        (ua, ub)
+    } else {
+        (ub, ua)
+    };
     const G: u32 = 3; // guard bits
     let d = (hi.exp - lo.exp) as u32;
     let mhi = (hi.sig as u128) << G;
@@ -104,7 +108,14 @@ pub fn mul(fmt: Format, a: u64, b: u64, env: &mut Env) -> u64 {
     }
     let man = fmt.man_bits() as i32;
     let m = ua.sig as u128 * ub.sig as u128;
-    round_pack(fmt, sign, ua.exp + ub.exp - 2 * man, m, env.rm, &mut env.flags)
+    round_pack(
+        fmt,
+        sign,
+        ua.exp + ub.exp - 2 * man,
+        m,
+        env.rm,
+        &mut env.flags,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -213,8 +224,7 @@ fn fma_inner(fmt: Format, a: u64, b: u64, c: u64, env: &mut Env) -> u64 {
     let ua = unpack(fmt, a);
     let ub = unpack(fmt, b);
     let uc = unpack(fmt, c);
-    let inf_times_zero =
-        (ua.is_inf() && ub.is_zero()) || (ua.is_zero() && ub.is_inf());
+    let inf_times_zero = (ua.is_inf() && ub.is_zero()) || (ua.is_zero() && ub.is_inf());
     if ua.is_nan() || ub.is_nan() || uc.is_nan() {
         if inf_times_zero {
             // 0 × ∞ is invalid even when the addend is a quiet NaN
@@ -381,7 +391,11 @@ fn minmax(fmt: Format, a: u64, b: u64, env: &mut Env, want_min: bool) -> u64 {
     if ka == kb {
         // Equal magnitude: distinguish ±0 — min prefers -0, max prefers +0.
         let a_neg = fmt.is_negative(a);
-        return if a_neg == want_min { a & fmt.mask() } else { b & fmt.mask() };
+        return if a_neg == want_min {
+            a & fmt.mask()
+        } else {
+            b & fmt.mask()
+        };
     }
     if (ka < kb) == want_min {
         a & fmt.mask()
@@ -479,7 +493,14 @@ pub fn cvt_f_f(dst: Format, src: Format, bits: u64, env: &mut Env) -> u64 {
     if u.is_zero() {
         return dst.zero(u.sign);
     }
-    round_pack(dst, u.sign, u.exp - src.man_bits() as i32, u.sig as u128, env.rm, &mut env.flags)
+    round_pack(
+        dst,
+        u.sign,
+        u.exp - src.man_bits() as i32,
+        u.sig as u128,
+        env.rm,
+        &mut env.flags,
+    )
 }
 
 /// Convert a float to an integer of `width` bits (8, 16, 32 or 64), signed
@@ -496,7 +517,10 @@ pub fn cvt_f_f(dst: Format, src: Format, bits: u64, env: &mut Env) -> u64 {
 ///
 /// Panics if `width` is not one of 8, 16, 32, 64.
 pub fn to_int(fmt: Format, bits: u64, signed: bool, width: u32, env: &mut Env) -> u64 {
-    assert!(matches!(width, 8 | 16 | 32 | 64), "unsupported integer width {width}");
+    assert!(
+        matches!(width, 8 | 16 | 32 | 64),
+        "unsupported integer width {width}"
+    );
     let (min, max): (i128, i128) = if signed {
         (-(1i128 << (width - 1)), (1i128 << (width - 1)) - 1)
     } else {
@@ -506,7 +530,12 @@ pub fn to_int(fmt: Format, bits: u64, signed: bool, width: u32, env: &mut Env) -
         if width == 64 {
             v as u64
         } else {
-            (v as u64) & ((1u64 << width) - 1) | if signed && v < 0 { !((1u64 << width) - 1) } else { 0 }
+            (v as u64) & ((1u64 << width) - 1)
+                | if signed && v < 0 {
+                    !((1u64 << width) - 1)
+                } else {
+                    0
+                }
         }
     };
     let u = unpack(fmt, bits);
@@ -572,7 +601,14 @@ pub fn to_int(fmt: Format, bits: u64, signed: bool, width: u32, env: &mut Env) -
 /// Convert a signed integer to a float, rounding per `env.rm`.
 pub fn from_i64(fmt: Format, v: i64, env: &mut Env) -> u64 {
     let sign = v < 0;
-    round_pack(fmt, sign, 0, v.unsigned_abs() as u128, env.rm, &mut env.flags)
+    round_pack(
+        fmt,
+        sign,
+        0,
+        v.unsigned_abs() as u128,
+        env.rm,
+        &mut env.flags,
+    )
 }
 
 /// Convert an unsigned integer to a float, rounding per `env.rm`.
@@ -679,7 +715,10 @@ mod tests {
         let mut e = env();
         assert_eq!(mul(B32, f32b(3.0), f32b(-7.0), &mut e), f32b(-21.0));
         assert_eq!(mul(B32, f32b(0.0), f32b(-7.0), &mut e), f32b(-0.0));
-        assert_eq!(mul(B32, B32.infinity(false), f32b(0.0), &mut e), B32.quiet_nan());
+        assert_eq!(
+            mul(B32, B32.infinity(false), f32b(0.0), &mut e),
+            B32.quiet_nan()
+        );
         assert!(e.flags.contains(Flags::NV));
     }
 
@@ -736,7 +775,11 @@ mod tests {
         // fused: a*a - (unfused product) = the rounding error = 2^-46.
         let err = fmsub(B32, a, a, prod_unfused, &mut e);
         let expect = (2f64).powi(-46);
-        assert_eq!(to_f64(B32, err), expect, "fma must expose the exact rounding error");
+        assert_eq!(
+            to_f64(B32, err),
+            expect,
+            "fma must expose the exact rounding error"
+        );
     }
 
     #[test]
@@ -754,11 +797,20 @@ mod tests {
         assert!(e.flags.contains(Flags::NV));
         let mut e = env();
         // 0*5 + c → c exactly.
-        assert_eq!(fmadd(B32, f32b(0.0), f32b(5.0), f32b(2.5), &mut e), f32b(2.5));
+        assert_eq!(
+            fmadd(B32, f32b(0.0), f32b(5.0), f32b(2.5), &mut e),
+            f32b(2.5)
+        );
         // 0*5 + (-0): signs differ → +0 (RNE).
-        assert_eq!(fmadd(B32, f32b(0.0), f32b(5.0), f32b(-0.0), &mut e), f32b(0.0));
+        assert_eq!(
+            fmadd(B32, f32b(0.0), f32b(5.0), f32b(-0.0), &mut e),
+            f32b(0.0)
+        );
         // (-0)*5 + (-0): signs agree → -0.
-        assert_eq!(fmadd(B32, f32b(-0.0), f32b(5.0), f32b(-0.0), &mut e), f32b(-0.0));
+        assert_eq!(
+            fmadd(B32, f32b(-0.0), f32b(5.0), f32b(-0.0), &mut e),
+            f32b(-0.0)
+        );
     }
 
     #[test]
@@ -772,7 +824,11 @@ mod tests {
         // Subtractive far case: c - tiny rounds to nextafter(c, -inf)?
         let mut e = Env::new(Rounding::Rdn);
         let r = fmadd(B32, f32b(-1e-30), f32b(1e-3), big, &mut e);
-        assert_eq!(r, big - 1, "RDN pulls one ulp down when subtracting a tiny product");
+        assert_eq!(
+            r,
+            big - 1,
+            "RDN pulls one ulp down when subtracting a tiny product"
+        );
     }
 
     #[test]
@@ -803,7 +859,10 @@ mod tests {
         assert_eq!(fmax(B32, f32b(-0.0), f32b(0.0), &mut e), f32b(0.0));
         assert_eq!(fmin(B32, B32.quiet_nan(), f32b(3.0), &mut e), f32b(3.0));
         assert!(e.flags.is_empty(), "qNaN in min is quiet");
-        assert_eq!(fmin(B32, B32.quiet_nan(), B32.quiet_nan(), &mut e), B32.quiet_nan());
+        assert_eq!(
+            fmin(B32, B32.quiet_nan(), B32.quiet_nan(), &mut e),
+            B32.quiet_nan()
+        );
         let snan = 0x7f80_0001u64;
         assert_eq!(fmax(B32, snan, f32b(3.0), &mut e), f32b(3.0));
         assert!(e.flags.contains(Flags::NV));
@@ -853,7 +912,10 @@ mod tests {
         assert!(e.flags.contains(Flags::NX));
         // 70000 overflows b16 → inf, OF.
         let mut e = env();
-        assert_eq!(cvt_f_f(B16, B32, f32b(70000.0), &mut e), B16.infinity(false));
+        assert_eq!(
+            cvt_f_f(B16, B32, f32b(70000.0), &mut e),
+            B16.infinity(false)
+        );
         assert!(e.flags.contains(Flags::OF));
         // sNaN narrows to canonical qNaN + NV.
         let mut e = env();
@@ -886,11 +948,17 @@ mod tests {
         assert_eq!(to_int(B32, f32b(-3.2), true, 32, &mut e) as i64, -4);
         // NaN → max positive, NV.
         let mut e = env();
-        assert_eq!(to_int(B32, B32.quiet_nan(), true, 32, &mut e) as i64, i32::MAX as i64);
+        assert_eq!(
+            to_int(B32, B32.quiet_nan(), true, 32, &mut e) as i64,
+            i32::MAX as i64
+        );
         assert!(e.flags.contains(Flags::NV));
         // -inf signed → min.
         let mut e = env();
-        assert_eq!(to_int(B32, B32.infinity(true), true, 32, &mut e) as i64, i32::MIN as i64);
+        assert_eq!(
+            to_int(B32, B32.infinity(true), true, 32, &mut e) as i64,
+            i32::MIN as i64
+        );
         // negative → unsigned clamps to 0 with NV.
         let mut e = env();
         assert_eq!(to_int(B32, f32b(-1.5), false, 32, &mut e), 0);
@@ -901,12 +969,18 @@ mod tests {
         assert!(e.flags.contains(Flags::NX) && !e.flags.contains(Flags::NV));
         // 2^40 overflows i32 → clamp max, NV.
         let mut e = env();
-        assert_eq!(to_int(B32, f32b(1.1e12), true, 32, &mut e) as i64, i32::MAX as i64);
+        assert_eq!(
+            to_int(B32, f32b(1.1e12), true, 32, &mut e) as i64,
+            i32::MAX as i64
+        );
         assert!(e.flags.contains(Flags::NV));
         // 16-bit width for vector conversions.
         let mut e = env();
         assert_eq!(to_int(B16, B16.one(), true, 16, &mut e), 1);
-        assert_eq!(to_int(B16, from_f64(B16, -40000.0, &mut e), true, 16, &mut e) as i64, i16::MIN as i64);
+        assert_eq!(
+            to_int(B16, from_f64(B16, -40000.0, &mut e), true, 16, &mut e) as i64,
+            i16::MIN as i64
+        );
     }
 
     #[test]

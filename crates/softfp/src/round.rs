@@ -85,7 +85,11 @@ pub(crate) fn round_pack(
             Rounding::Rdn => sign,
             Rounding::Rup => !sign,
         };
-        return if to_inf { fmt.infinity(sign) } else { fmt.max_finite(sign) };
+        return if to_inf {
+            fmt.infinity(sign)
+        } else {
+            fmt.max_finite(sign)
+        };
     }
 
     // --- Normal result. ---
@@ -215,7 +219,7 @@ mod tests {
     #[test]
     fn round_pack_overflow_modes() {
         let fmt = Format::BINARY8; // emax = 15, max finite 1.75*2^15
-        // 2^16 overflows.
+                                   // 2^16 overflows.
         for (rm, neg, expect_inf) in [
             (Rounding::Rne, false, true),
             (Rounding::Rmm, false, true),
@@ -227,8 +231,11 @@ mod tests {
         ] {
             let mut f = Flags::NONE;
             let bits = round_pack(fmt, neg, 16, 1, rm, &mut f);
-            let expect =
-                if expect_inf { fmt.infinity(neg) } else { fmt.max_finite(neg) };
+            let expect = if expect_inf {
+                fmt.infinity(neg)
+            } else {
+                fmt.max_finite(neg)
+            };
             assert_eq!(bits, expect, "rm={rm:?} neg={neg}");
             assert!(f.contains(Flags::OF | Flags::NX));
         }
@@ -295,7 +302,10 @@ mod tests {
     fn round_pack_zero_mantissa() {
         let fmt = Format::BINARY32;
         let mut f = Flags::NONE;
-        assert_eq!(round_pack(fmt, true, 0, 0, Rounding::Rne, &mut f), fmt.zero(true));
+        assert_eq!(
+            round_pack(fmt, true, 0, 0, Rounding::Rne, &mut f),
+            fmt.zero(true)
+        );
         assert!(f.is_empty());
     }
 

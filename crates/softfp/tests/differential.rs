@@ -1,60 +1,69 @@
 //! Differential tests: our generic soft-float vs the host's IEEE 754
-//! hardware for binary32 and binary64 at round-to-nearest-even.
+//! hardware for binary32 and binary64 at round-to-nearest-even, plus the
+//! smallFloat formats cross-checked through *exact* widening to f32.
 //!
 //! The host is assumed IEEE-conformant (x86-64/AArch64 both are, and Rust
 //! does not enable FTZ/DAZ). NaN results are compared by NaN-ness only:
 //! RISC-V mandates the canonical quiet NaN while hosts propagate payloads.
+//!
+//! Inputs come from the seeded PRNG in `smallfloat-devtools`; every failing
+//! case replays from the seed the runner prints.
 
-use proptest::prelude::*;
-use smallfloat_softfp::{ops, Env, Format, Rounding};
+use smallfloat_devtools::{prop, Rng};
+use smallfloat_softfp::{ops, Env, Flags, Format, Rounding};
 
 fn env() -> Env {
     Env::new(Rounding::Rne)
 }
 
-/// Bit patterns biased towards interesting values.
-fn f32_bits() -> impl Strategy<Value = u32> {
-    prop_oneof![
-        4 => any::<u32>(),
-        1 => Just(0u32),
-        1 => Just(0x8000_0000),
-        1 => Just(0x7f80_0000), // +inf
-        1 => Just(0xff80_0000), // -inf
-        1 => Just(0x7fc0_0000), // qNaN
-        1 => Just(0x7f80_0001), // sNaN
-        1 => Just(0x0000_0001), // min subnormal
-        1 => Just(0x007f_ffff), // max subnormal
-        1 => Just(0x0080_0000), // min normal
-        1 => Just(0x7f7f_ffff), // max finite
-        1 => Just(0x3f80_0000), // 1.0
-        1 => Just(0x3f80_0001), // 1.0 + ulp
+/// Bit patterns biased towards interesting binary32 values.
+fn f32_bits(rng: &mut Rng) -> u32 {
+    match rng.weighted(&[4, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2, 2]) {
+        0 => rng.u32(),
+        1 => 0u32,
+        2 => 0x8000_0000,
+        3 => 0x7f80_0000,  // +inf
+        4 => 0xff80_0000,  // -inf
+        5 => 0x7fc0_0000,  // qNaN
+        6 => 0x7f80_0001,  // sNaN
+        7 => 0x0000_0001,  // min subnormal
+        8 => 0x007f_ffff,  // max subnormal
+        9 => 0x0080_0000,  // min normal
+        10 => 0x7f7f_ffff, // max finite
+        11 => 0x3f80_0000, // 1.0
+        12 => 0x3f80_0001, // 1.0 + ulp
         // Values with small exponents (dense cancellation region).
-        2 => (0u32..0x100).prop_map(|m| 0x3f80_0000 | m),
+        13 => 0x3f80_0000 | (rng.below(0x100) as u32),
         // Random sign/exponent-near-bias values.
-        2 => (any::<u32>(), 120u32..136).prop_map(|(m, e)| {
+        _ => {
+            let m = rng.u32();
+            let e = 120 + rng.below(16) as u32;
             (m & 0x807f_ffff) | (e << 23)
-        }),
-    ]
+        }
+    }
 }
 
-fn f64_bits() -> impl Strategy<Value = u64> {
-    prop_oneof![
-        4 => any::<u64>(),
-        1 => Just(0u64),
-        1 => Just(1u64 << 63),
-        1 => Just(f64::INFINITY.to_bits()),
-        1 => Just(f64::NEG_INFINITY.to_bits()),
-        1 => Just(0x7ff8_0000_0000_0000), // qNaN
-        1 => Just(0x7ff0_0000_0000_0001), // sNaN
-        1 => Just(1u64),                  // min subnormal
-        1 => Just(0x000f_ffff_ffff_ffff), // max subnormal
-        1 => Just(0x0010_0000_0000_0000), // min normal
-        1 => Just(f64::MAX.to_bits()),
-        1 => Just(1f64.to_bits()),
-        2 => (any::<u64>(), 1016u64..1032).prop_map(|(m, e)| {
+/// Bit patterns biased towards interesting binary64 values.
+fn f64_bits(rng: &mut Rng) -> u64 {
+    match rng.weighted(&[4, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1, 2]) {
+        0 => rng.u64(),
+        1 => 0u64,
+        2 => 1u64 << 63,
+        3 => f64::INFINITY.to_bits(),
+        4 => f64::NEG_INFINITY.to_bits(),
+        5 => 0x7ff8_0000_0000_0000, // qNaN
+        6 => 0x7ff0_0000_0000_0001, // sNaN
+        7 => 1u64,                  // min subnormal
+        8 => 0x000f_ffff_ffff_ffff, // max subnormal
+        9 => 0x0010_0000_0000_0000, // min normal
+        10 => f64::MAX.to_bits(),
+        11 => 1f64.to_bits(),
+        _ => {
+            let m = rng.u64();
+            let e = 1016 + rng.below(16);
             (m & 0x800f_ffff_ffff_ffff) | (e << 52)
-        }),
-    ]
+        }
+    }
 }
 
 /// Compare our result against the host's, treating any-NaN-vs-canonical-NaN
@@ -79,133 +88,310 @@ fn check64(ours: u64, host: f64) {
     if host.is_nan() {
         assert_eq!(ours, fmt.quiet_nan(), "expected canonical NaN");
     } else {
-        assert_eq!(ours, host.to_bits(), "ours={:e} host={:e}", ops::to_f64(fmt, ours), host);
+        assert_eq!(
+            ours,
+            host.to_bits(),
+            "ours={:e} host={:e}",
+            ops::to_f64(fmt, ours),
+            host
+        );
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(4096))]
-
-    #[test]
-    fn add_matches_host_f32(a in f32_bits(), b in f32_bits()) {
+#[test]
+fn add_sub_matches_host_f32() {
+    prop::cases("add_sub_matches_host_f32", 8192, |rng| {
+        let (a, b) = (f32_bits(rng), f32_bits(rng));
         let host = f32::from_bits(a) + f32::from_bits(b);
-        check32(ops::add(Format::BINARY32, a as u64, b as u64, &mut env()), host);
-    }
-
-    #[test]
-    fn sub_matches_host_f32(a in f32_bits(), b in f32_bits()) {
+        check32(
+            ops::add(Format::BINARY32, a as u64, b as u64, &mut env()),
+            host,
+        );
         let host = f32::from_bits(a) - f32::from_bits(b);
-        check32(ops::sub(Format::BINARY32, a as u64, b as u64, &mut env()), host);
-    }
+        check32(
+            ops::sub(Format::BINARY32, a as u64, b as u64, &mut env()),
+            host,
+        );
+    });
+}
 
-    #[test]
-    fn mul_matches_host_f32(a in f32_bits(), b in f32_bits()) {
+#[test]
+fn mul_div_matches_host_f32() {
+    prop::cases("mul_div_matches_host_f32", 8192, |rng| {
+        let (a, b) = (f32_bits(rng), f32_bits(rng));
         let host = f32::from_bits(a) * f32::from_bits(b);
-        check32(ops::mul(Format::BINARY32, a as u64, b as u64, &mut env()), host);
-    }
-
-    #[test]
-    fn div_matches_host_f32(a in f32_bits(), b in f32_bits()) {
+        check32(
+            ops::mul(Format::BINARY32, a as u64, b as u64, &mut env()),
+            host,
+        );
         let host = f32::from_bits(a) / f32::from_bits(b);
-        check32(ops::div(Format::BINARY32, a as u64, b as u64, &mut env()), host);
-    }
+        check32(
+            ops::div(Format::BINARY32, a as u64, b as u64, &mut env()),
+            host,
+        );
+    });
+}
 
-    #[test]
-    fn sqrt_matches_host_f32(a in f32_bits()) {
+#[test]
+fn sqrt_matches_host_f32() {
+    prop::cases("sqrt_matches_host_f32", 8192, |rng| {
+        let a = f32_bits(rng);
         let host = f32::from_bits(a).sqrt();
         check32(ops::sqrt(Format::BINARY32, a as u64, &mut env()), host);
-    }
+    });
+}
 
-    #[test]
-    fn fma_matches_host_f32(a in f32_bits(), b in f32_bits(), c in f32_bits()) {
+#[test]
+fn fma_matches_host_f32() {
+    prop::cases("fma_matches_host_f32", 8192, |rng| {
+        let (a, b, c) = (f32_bits(rng), f32_bits(rng), f32_bits(rng));
         let host = f32::from_bits(a).mul_add(f32::from_bits(b), f32::from_bits(c));
-        check32(ops::fmadd(Format::BINARY32, a as u64, b as u64, c as u64, &mut env()), host);
-    }
+        check32(
+            ops::fmadd(Format::BINARY32, a as u64, b as u64, c as u64, &mut env()),
+            host,
+        );
+    });
+}
 
-    #[test]
-    fn add_matches_host_f64(a in f64_bits(), b in f64_bits()) {
-        let host = f64::from_bits(a) + f64::from_bits(b);
-        check64(ops::add(Format::BINARY64, a, b, &mut env()), host);
-    }
-
-    #[test]
-    fn mul_matches_host_f64(a in f64_bits(), b in f64_bits()) {
-        let host = f64::from_bits(a) * f64::from_bits(b);
-        check64(ops::mul(Format::BINARY64, a, b, &mut env()), host);
-    }
-
-    #[test]
-    fn div_matches_host_f64(a in f64_bits(), b in f64_bits()) {
-        let host = f64::from_bits(a) / f64::from_bits(b);
-        check64(ops::div(Format::BINARY64, a, b, &mut env()), host);
-    }
-
-    #[test]
-    fn sqrt_matches_host_f64(a in f64_bits()) {
-        let host = f64::from_bits(a).sqrt();
-        check64(ops::sqrt(Format::BINARY64, a, &mut env()), host);
-    }
-
-    #[test]
-    fn fma_matches_host_f64(a in f64_bits(), b in f64_bits(), c in f64_bits()) {
+#[test]
+fn add_mul_div_sqrt_fma_match_host_f64() {
+    prop::cases("add_mul_div_sqrt_fma_match_host_f64", 8192, |rng| {
+        let (a, b, c) = (f64_bits(rng), f64_bits(rng), f64_bits(rng));
+        check64(
+            ops::add(Format::BINARY64, a, b, &mut env()),
+            f64::from_bits(a) + f64::from_bits(b),
+        );
+        check64(
+            ops::mul(Format::BINARY64, a, b, &mut env()),
+            f64::from_bits(a) * f64::from_bits(b),
+        );
+        check64(
+            ops::div(Format::BINARY64, a, b, &mut env()),
+            f64::from_bits(a) / f64::from_bits(b),
+        );
+        check64(
+            ops::sqrt(Format::BINARY64, a, &mut env()),
+            f64::from_bits(a).sqrt(),
+        );
         let host = f64::from_bits(a).mul_add(f64::from_bits(b), f64::from_bits(c));
         check64(ops::fmadd(Format::BINARY64, a, b, c, &mut env()), host);
-    }
+    });
+}
 
-    #[test]
-    fn narrowing_f64_to_f32_matches_host(a in f64_bits()) {
-        let host = f64::from_bits(a) as f32; // Rust float casts round to nearest-even
-        check32(ops::cvt_f_f(Format::BINARY32, Format::BINARY64, a, &mut env()), host);
-    }
+#[test]
+fn conversions_match_host() {
+    prop::cases("conversions_match_host", 8192, |rng| {
+        let a64 = f64_bits(rng);
+        let host = f64::from_bits(a64) as f32; // Rust float casts round to nearest-even
+        check32(
+            ops::cvt_f_f(Format::BINARY32, Format::BINARY64, a64, &mut env()),
+            host,
+        );
+        let a32 = f32_bits(rng);
+        let host = f32::from_bits(a32) as f64;
+        check64(
+            ops::cvt_f_f(Format::BINARY64, Format::BINARY32, a32 as u64, &mut env()),
+            host,
+        );
+    });
+}
 
-    #[test]
-    fn widening_f32_to_f64_matches_host(a in f32_bits()) {
-        let host = f32::from_bits(a) as f64;
-        check64(ops::cvt_f_f(Format::BINARY64, Format::BINARY32, a as u64, &mut env()), host);
-    }
-
-    #[test]
-    fn comparisons_match_host_f32(a in f32_bits(), b in f32_bits()) {
+#[test]
+fn comparisons_match_host_f32() {
+    prop::cases("comparisons_match_host_f32", 8192, |rng| {
+        let (a, b) = (f32_bits(rng), f32_bits(rng));
         let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
-        prop_assert_eq!(ops::feq(Format::BINARY32, a as u64, b as u64, &mut env()), fa == fb);
-        prop_assert_eq!(ops::flt(Format::BINARY32, a as u64, b as u64, &mut env()), fa < fb);
-        prop_assert_eq!(ops::fle(Format::BINARY32, a as u64, b as u64, &mut env()), fa <= fb);
-    }
+        assert_eq!(
+            ops::feq(Format::BINARY32, a as u64, b as u64, &mut env()),
+            fa == fb
+        );
+        assert_eq!(
+            ops::flt(Format::BINARY32, a as u64, b as u64, &mut env()),
+            fa < fb
+        );
+        assert_eq!(
+            ops::fle(Format::BINARY32, a as u64, b as u64, &mut env()),
+            fa <= fb
+        );
+    });
+}
 
-    #[test]
-    fn to_int_matches_host_rtz_f32(a in f32_bits()) {
+#[test]
+fn to_int_matches_host_rtz_f32() {
+    prop::cases("to_int_matches_host_rtz_f32", 8192, |rng| {
+        let a = f32_bits(rng);
         let fa = f32::from_bits(a);
-        prop_assume!(!fa.is_nan()); // Rust saturating cast maps NaN to 0, RISC-V to max
+        if fa.is_nan() {
+            return; // Rust saturating cast maps NaN to 0, RISC-V to max
+        }
         let mut e = Env::new(Rounding::Rtz);
         let ours = ops::to_int(Format::BINARY32, a as u64, true, 32, &mut e) as i64 as i32;
-        prop_assert_eq!(ours, fa as i32); // Rust `as` = RTZ + saturation
+        assert_eq!(ours, fa as i32); // Rust `as` = RTZ + saturation
         let mut e = Env::new(Rounding::Rtz);
         let ours_u = ops::to_int(Format::BINARY32, a as u64, false, 32, &mut e) as u32;
-        prop_assert_eq!(ours_u, fa as u32);
-    }
+        assert_eq!(ours_u, fa as u32);
+    });
+}
 
-    #[test]
-    fn from_int_matches_host(v in any::<i64>()) {
-        let host = v as f32;
-        check32(ops::from_i64(Format::BINARY32, v, &mut env()), host);
-        let host64 = v as f64;
-        check64(ops::from_i64(Format::BINARY64, v, &mut env()), host64);
-    }
+#[test]
+fn from_int_matches_host() {
+    prop::cases("from_int_matches_host", 8192, |rng| {
+        let v = rng.u64() as i64;
+        check32(ops::from_i64(Format::BINARY32, v, &mut env()), v as f32);
+        check64(ops::from_i64(Format::BINARY64, v, &mut env()), v as f64);
+        let u = rng.u64();
+        check32(ops::from_u64(Format::BINARY32, u, &mut env()), u as f32);
+        check64(ops::from_u64(Format::BINARY64, u, &mut env()), u as f64);
+    });
+}
 
-    #[test]
-    fn from_uint_matches_host(v in any::<u64>()) {
-        check32(ops::from_u64(Format::BINARY32, v, &mut env()), v as f32);
-        check64(ops::from_u64(Format::BINARY64, v, &mut env()), v as f64);
+/// NaN propagation: any NaN operand (quiet or signaling) must produce the
+/// canonical quiet NaN, and a signaling NaN must raise NV.
+#[test]
+fn nan_propagation_and_nv_flag_f32() {
+    let fmt = Format::BINARY32;
+    let qnan = 0x7fc0_0000u64;
+    let snan = 0x7f80_0001u64;
+    let one = 0x3f80_0000u64;
+    for (a, b, want_nv) in [
+        (qnan, one, false),
+        (one, qnan, false),
+        (qnan, qnan, false),
+        (snan, one, true),
+        (one, snan, true),
+        (snan, qnan, true),
+    ] {
+        for op in [ops::add, ops::sub, ops::mul, ops::div] {
+            let mut e = env();
+            let r = op(fmt, a, b, &mut e);
+            assert_eq!(r, fmt.quiet_nan(), "a={a:08x} b={b:08x}");
+            assert_eq!(
+                e.flags.contains(Flags::NV),
+                want_nv,
+                "NV flag for a={a:08x} b={b:08x}: got {}",
+                e.flags
+            );
+        }
+    }
+    // Host agrees on NaN-ness for the same inputs.
+    assert!((f32::from_bits(qnan as u32) + 1.0).is_nan());
+}
+
+/// Exception-flag spot checks against known-answer binary32 vectors.
+#[test]
+fn flag_spot_checks_f32() {
+    let fmt = Format::BINARY32;
+    let max = 0x7f7f_ffffu64; // f32::MAX
+    let min_sub = 0x0000_0001u64;
+    let one = 0x3f80_0000u64;
+    let zero = 0x0000_0000u64;
+
+    // Overflow: MAX + MAX → +inf, OF|NX.
+    let mut e = env();
+    let r = ops::add(fmt, max, max, &mut e);
+    assert_eq!(r, fmt.infinity(false));
+    assert!(e.flags.contains(Flags::OF | Flags::NX), "got {}", e.flags);
+
+    // Division by zero: 1/0 → +inf, DZ only.
+    let mut e = env();
+    let r = ops::div(fmt, one, zero, &mut e);
+    assert_eq!(r, fmt.infinity(false));
+    assert_eq!(e.flags, Flags::DZ);
+
+    // 0/0 → NaN with NV (and no DZ).
+    let mut e = env();
+    let r = ops::div(fmt, zero, zero, &mut e);
+    assert_eq!(r, fmt.quiet_nan());
+    assert_eq!(e.flags, Flags::NV);
+
+    // Underflow: min_subnormal * 0.5 rounds to zero with UF|NX.
+    let half = 0x3f00_0000u64;
+    let mut e = env();
+    let r = ops::mul(fmt, min_sub, half, &mut e);
+    assert!(fmt.is_zero(r), "got {r:#x}");
+    assert!(e.flags.contains(Flags::UF | Flags::NX), "got {}", e.flags);
+
+    // sqrt(-1) → NaN, NV.
+    let neg_one = 0xbf80_0000u64;
+    let mut e = env();
+    let r = ops::sqrt(fmt, neg_one, &mut e);
+    assert_eq!(r, fmt.quiet_nan());
+    assert_eq!(e.flags, Flags::NV);
+
+    // Exact op: 1 + 1 raises nothing.
+    let mut e = env();
+    let r = ops::add(fmt, one, one, &mut e);
+    assert_eq!(r, 0x4000_0000);
+    assert!(e.flags.is_empty());
+}
+
+/// The smallFloat formats widen *exactly* into binary32 (every b8/b16/b16alt
+/// value is representable there), so host f32 arithmetic on the widened
+/// operands — rounded back through from_f64's double-rounding-free path —
+/// gives a cross-check reference for ops whose result is exact in f32.
+#[test]
+fn small_formats_cross_check_via_f32_widening() {
+    for fmt in [Format::BINARY8, Format::BINARY16, Format::BINARY16ALT] {
+        prop::cases(&format!("small_cross_check_{}", fmt.mask()), 8192, |rng| {
+            let a = rng.u64() & fmt.mask();
+            let b = rng.u64() & fmt.mask();
+            // Widening to f32 must be exact: no flags, and widening again to
+            // f64 agrees with the direct f64 reading.
+            let mut e = env();
+            let wa = ops::cvt_f_f(Format::BINARY32, fmt, a, &mut e);
+            let wb = ops::cvt_f_f(Format::BINARY32, fmt, b, &mut e);
+            if !fmt.is_nan(a) && !fmt.is_nan(b) {
+                // (signaling NaN operands legitimately raise NV)
+                assert!(
+                    e.flags.is_empty(),
+                    "widening must be exact, got {}",
+                    e.flags
+                );
+            }
+            let (fa, fb) = (f32::from_bits(wa as u32), f32::from_bits(wb as u32));
+            if !fmt.is_nan(a) {
+                assert_eq!(fa as f64, ops::to_f64(fmt, a), "widen a={a:#x}");
+            }
+            if !fmt.is_nan(b) {
+                assert_eq!(fb as f64, ops::to_f64(fmt, b), "widen b={b:#x}");
+            }
+            // Host-f32 add/mul on widened operands is exact for these tiny
+            // significands (≤11 bits; sums/products need ≤24), so one
+            // rounding into the small format must equal our direct op.
+            let mut e1 = env();
+            let sum = ops::add(fmt, a, b, &mut e1);
+            let host_sum = fa + fb;
+            if host_sum.is_nan() {
+                assert_eq!(sum, fmt.quiet_nan());
+            } else {
+                let mut e2 = env();
+                let expect =
+                    ops::cvt_f_f(fmt, Format::BINARY32, host_sum.to_bits() as u64, &mut e2);
+                assert_eq!(sum, expect, "add a={a:#x} b={b:#x}");
+            }
+            let mut e1 = env();
+            let prod = ops::mul(fmt, a, b, &mut e1);
+            let host_prod = fa * fb;
+            // Products of two 11-bit significands need ≤22 bits — exact in
+            // f32 unless the f32 exponent range itself overflows/underflows
+            // (possible for b16alt, which shares f32's exponent range).
+            let exact_in_f32 = host_prod.is_nan()
+                || (host_prod.is_finite()
+                    && (host_prod == 0.0 || host_prod.abs() >= f32::MIN_POSITIVE));
+            if host_prod.is_nan() {
+                assert_eq!(prod, fmt.quiet_nan());
+            } else if exact_in_f32 && fmt != Format::BINARY16ALT {
+                let mut e2 = env();
+                let expect =
+                    ops::cvt_f_f(fmt, Format::BINARY32, host_prod.to_bits() as u64, &mut e2);
+                assert_eq!(prod, expect, "mul a={a:#x} b={b:#x}");
+            }
+        });
     }
 }
 
-/// Exhaustive differential check of every binary16 value pair on a coarse
-/// lattice (full 2^32 pair space is too large; we sweep all 65536 values
-/// against a fixed set of partners) via the host's f32 (binary16 ops are
-/// exactly emulable in f32 only for add/sub/small mul — so instead check
-/// through f64 which holds binary16 products/quotients exactly before a
-/// single rounding... which double-rounds. Therefore: compare widening
-/// round-trip identity instead, which *is* exact).
+/// Exhaustive differential check of every binary16 value via the host's
+/// f32: the widening round-trip identity is exact.
 #[test]
 fn exhaustive_b16_widen_round_trip() {
     let b16 = Format::BINARY16;
@@ -228,13 +414,34 @@ fn exhaustive_b16_widen_round_trip() {
     }
 }
 
-/// Exhaustive check of all binary8 × binary8 pairs for add/mul/div against
+/// Exhaustive widening round-trip for binary16alt and binary8 through f32
+/// (both formats embed exactly).
+#[test]
+fn exhaustive_alt_and_b8_widen_round_trip() {
+    let b32 = Format::BINARY32;
+    for (fmt, top) in [(Format::BINARY16ALT, 0xffffu64), (Format::BINARY8, 0xffu64)] {
+        let mut e = env();
+        for bits in 0..=top {
+            let wide = ops::cvt_f_f(b32, fmt, bits, &mut e);
+            let back = ops::cvt_f_f(fmt, b32, wide, &mut e);
+            if fmt.is_nan(bits) {
+                assert_eq!(back, fmt.quiet_nan());
+            } else {
+                assert_eq!(back, bits, "bits=0x{bits:04x}");
+                assert_eq!(
+                    f32::from_bits(wide as u32) as f64,
+                    ops::to_f64(fmt, bits),
+                    "bits=0x{bits:04x}"
+                );
+            }
+        }
+    }
+}
+
+/// Exhaustive check of all binary8 × binary8 pairs for add/mul against
 /// an exact-rational reference through f64 (binary8 has ≤3 significant bits
 /// and tiny exponents: every add/mul result is exact in f64, and f64→b8
-/// single rounding equals the correctly rounded result; for div the f64
-/// quotient double-rounds only if the quotient needs >52 bits, impossible
-/// with 3-bit significands... 1/3 needs infinite bits — so for div we only
-/// require equality when the f64 quotient is exact).
+/// single rounding equals the correctly rounded result).
 #[test]
 fn exhaustive_b8_pairs() {
     let b8 = Format::BINARY8;
@@ -267,24 +474,18 @@ fn exhaustive_b8_pairs() {
     }
 }
 
-/// Randomly sampled binary16 pairs for add/sub/mul, checked against an
-/// exact-rational reference through f64: the f64 result of two binary16
-/// operands is exact (aligned 11-bit significands span < 40 bits; products
-/// need 22 bits), so converting it once into binary16 gives the correctly
-/// rounded answer in every rounding mode.
+/// Randomly sampled binary16 pairs for add/mul in all rounding modes,
+/// checked against an exact-rational reference through f64: the f64 result
+/// of two binary16 operands is exact (aligned 11-bit significands span
+/// < 40 bits; products need 22 bits), so converting it once into binary16
+/// gives the correctly rounded answer in every rounding mode.
 #[test]
 fn sampled_b16_pairs_all_rounding_modes() {
     let b16 = Format::BINARY16;
-    let mut state = 0x5EED_1234_5678_9ABCu64;
-    let mut next = || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        (state >> 48) as u64 & 0xffff
-    };
+    let mut rng = Rng::new(0x5EED_1234_5678_9ABC);
     for _ in 0..60_000 {
-        let a = next();
-        let b = next();
+        let a = rng.u64() & 0xffff;
+        let b = rng.u64() & 0xffff;
         let (fa, fb) = (ops::to_f64(b16, a), ops::to_f64(b16, b));
         for rm in Rounding::ALL {
             let mut env = Env::new(rm);
@@ -324,7 +525,6 @@ fn sampled_b16_pairs_all_rounding_modes() {
 /// Directed rounding-mode vectors with flag expectations.
 #[test]
 fn directed_rounding_vectors() {
-    use smallfloat_softfp::Flags;
     let b16 = Format::BINARY16;
     let one = b16.one();
     let ulp_half = {
@@ -334,7 +534,7 @@ fn directed_rounding_vectors() {
     };
     // (value, rm, expected, must_have_flags)
     let one_plus = one + 1; // nextafter(1.0)
-    let cases: Vec<(u64, u64, Rounding, u64, smallfloat_softfp::Flags)> = vec![
+    let cases: Vec<(u64, u64, Rounding, u64, Flags)> = vec![
         // 1 + 2^-11: exact tie at RNE → 1.0 (even), NX.
         (one, ulp_half, Rounding::Rne, one, Flags::NX),
         // RMM breaks ties away from zero.
@@ -346,15 +546,37 @@ fn directed_rounding_vectors() {
         // RDN truncates positive values.
         (one, ulp_half, Rounding::Rdn, one, Flags::NX),
         // Negative counterpart: -(1 + 2^-11) under RDN goes away from zero.
-        (b16.negate(one), b16.negate(ulp_half), Rounding::Rdn, b16.negate(one_plus), Flags::NX),
+        (
+            b16.negate(one),
+            b16.negate(ulp_half),
+            Rounding::Rdn,
+            b16.negate(one_plus),
+            Flags::NX,
+        ),
         // ...and under RUP towards zero.
-        (b16.negate(one), b16.negate(ulp_half), Rounding::Rup, b16.negate(one), Flags::NX),
+        (
+            b16.negate(one),
+            b16.negate(ulp_half),
+            Rounding::Rup,
+            b16.negate(one),
+            Flags::NX,
+        ),
         // Overflow at RTZ clamps to max finite with OF|NX.
-        (b16.max_finite(false), b16.max_finite(false), Rounding::Rtz, b16.max_finite(false),
-         Flags::OF | Flags::NX),
+        (
+            b16.max_finite(false),
+            b16.max_finite(false),
+            Rounding::Rtz,
+            b16.max_finite(false),
+            Flags::OF | Flags::NX,
+        ),
         // Overflow at RNE goes to infinity.
-        (b16.max_finite(false), b16.max_finite(false), Rounding::Rne, b16.infinity(false),
-         Flags::OF | Flags::NX),
+        (
+            b16.max_finite(false),
+            b16.max_finite(false),
+            Rounding::Rne,
+            b16.infinity(false),
+            Flags::OF | Flags::NX,
+        ),
     ];
     for (a, b, rm, expect, flags) in cases {
         let mut e = Env::new(rm);
@@ -375,8 +597,12 @@ fn fma_variants_consistent() {
     let fmt = Format::BINARY32;
     // Note: results must be nonzero — negation symmetry does not hold for
     // exact cancellation (both signs of the computation produce +0 at RNE).
-    let cases: &[(f32, f32, f32)] =
-        &[(1.5, 2.0, 3.0), (-1.5, 2.0, 3.5), (1e20, 1e20, -1e38), (0.1, 0.2, -0.02)];
+    let cases: &[(f32, f32, f32)] = &[
+        (1.5, 2.0, 3.0),
+        (-1.5, 2.0, 3.5),
+        (1e20, 1e20, -1e38),
+        (0.1, 0.2, -0.02),
+    ];
     for &(a, b, c) in cases {
         let (a, b, c) = (a.to_bits() as u64, b.to_bits() as u64, c.to_bits() as u64);
         let madd = ops::fmadd(fmt, a, b, c, &mut env());

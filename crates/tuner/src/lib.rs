@@ -50,7 +50,10 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> TunerConfig {
-        TunerConfig { candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah], max_error: 0.0 }
+        TunerConfig {
+            candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],
+            max_error: 0.0,
+        }
     }
 }
 
@@ -145,7 +148,12 @@ pub fn tune(
             let error = qor(&typed);
             evaluations += 1;
             let accepted = error <= config.max_error;
-            trace.push(TuneStep { name: name.clone(), tried: candidate, error, accepted });
+            trace.push(TuneStep {
+                name: name.clone(),
+                tried: candidate,
+                error,
+                accepted,
+            });
             if accepted {
                 assignment.insert(name.clone(), candidate);
                 break;
@@ -159,7 +167,11 @@ pub fn tune(
             (n, f)
         })
         .collect();
-    TuneResult { assignment, evaluations, trace }
+    TuneResult {
+        assignment,
+        evaluations,
+        trace,
+    }
 }
 
 /// Exhaustively search every assignment over `config.candidates ∪ {S}` and
@@ -199,8 +211,12 @@ pub fn tune_exhaustive(
         if accepted {
             let vec: Vec<(String, FpFmt)> =
                 names.iter().map(|n| (n.clone(), assignment[n])).collect();
-            let cost = TuneResult { assignment: vec.clone(), evaluations: 0, trace: vec![] }
-                .total_bits(base);
+            let cost = TuneResult {
+                assignment: vec.clone(),
+                evaluations: 0,
+                trace: vec![],
+            }
+            .total_bits(base);
             if best.as_ref().is_none_or(|(c, _)| cost < *c) {
                 for (n, f) in &vec {
                     trace.push(TuneStep {
@@ -217,7 +233,11 @@ pub fn tune_exhaustive(
     let assignment = best
         .map(|(_, a)| a)
         .unwrap_or_else(|| names.iter().map(|n| (n.clone(), FpFmt::S)).collect());
-    TuneResult { assignment, evaluations, trace }
+    TuneResult {
+        assignment,
+        evaluations,
+        trace,
+    }
 }
 
 #[cfg(test)]
@@ -252,7 +272,13 @@ mod tests {
         st.array_f64("y")
             .iter()
             .zip(golden)
-            .map(|(m, g)| if m.is_finite() { (m - g).abs() / g } else { 1.0 })
+            .map(|(m, g)| {
+                if m.is_finite() {
+                    (m - g).abs() / g
+                } else {
+                    1.0
+                }
+            })
             .fold(0.0f64, f64::max)
     }
 
@@ -267,16 +293,33 @@ mod tests {
         // binary16alt's range: the product is computed at x's type (the
         // constant adapts to its sibling), so even x cannot drop below it,
         // and y must store values up to 120000.
-        assert_eq!(result.assignment_for("y"), FpFmt::Ah, "trace:\n{}", result.trace_text());
-        assert_eq!(result.assignment_for("x"), FpFmt::Ah, "trace:\n{}", result.trace_text());
+        assert_eq!(
+            result.assignment_for("y"),
+            FpFmt::Ah,
+            "trace:\n{}",
+            result.trace_text()
+        );
+        assert_eq!(
+            result.assignment_for("x"),
+            FpFmt::Ah,
+            "trace:\n{}",
+            result.trace_text()
+        );
         assert!(result.evaluations >= 4);
     }
 
     #[test]
     fn strict_constraint_keeps_f32() {
-        let config = TunerConfig { candidates: vec![FpFmt::B, FpFmt::H], max_error: 0.0 };
+        let config = TunerConfig {
+            candidates: vec![FpFmt::B, FpFmt::H],
+            max_error: 0.0,
+        };
         let result = tune(&range_kernel(), &config, rel_error);
-        assert_eq!(result.assignment_for("y"), FpFmt::S, "no candidate is exact");
+        assert_eq!(
+            result.assignment_for("y"),
+            FpFmt::S,
+            "no candidate is exact"
+        );
     }
 
     #[test]
@@ -313,7 +356,10 @@ mod tests {
     fn exhaustive_falls_back_to_f32_when_nothing_fits() {
         let k = range_kernel();
         // Impossible constraint with no exact candidate.
-        let config = TunerConfig { candidates: vec![FpFmt::B], max_error: 0.0 };
+        let config = TunerConfig {
+            candidates: vec![FpFmt::B],
+            max_error: 0.0,
+        };
         let r = tune_exhaustive(&k, &config, rel_error);
         assert_eq!(r.assignment_for("x"), FpFmt::S);
         assert_eq!(r.assignment_for("y"), FpFmt::S);
@@ -322,7 +368,10 @@ mod tests {
     #[test]
     fn total_bits_accounts_array_sizes() {
         let k = range_kernel();
-        let config = TunerConfig { candidates: vec![FpFmt::H], max_error: 1.0 };
+        let config = TunerConfig {
+            candidates: vec![FpFmt::H],
+            max_error: 1.0,
+        };
         let result = tune(&k, &config, rel_error);
         // Both arrays at binary16: 4 elements × 16 bits × 2 arrays.
         assert_eq!(result.total_bits(&k), 2 * 4 * 16);

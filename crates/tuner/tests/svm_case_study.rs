@@ -39,13 +39,38 @@ fn strict_tuning_matches_paper_outcome() {
     };
     let result = tune(&base, &config, svm_qor(&svm));
     // Inputs, weights, biases and the scores array all drop to float16...
-    assert_eq!(result.assignment_for("x"), FpFmt::H, "trace:\n{}", result.trace_text());
-    assert_eq!(result.assignment_for("w"), FpFmt::H, "trace:\n{}", result.trace_text());
-    assert_eq!(result.assignment_for("bias"), FpFmt::H, "trace:\n{}", result.trace_text());
-    assert_eq!(result.assignment_for("scores"), FpFmt::H, "trace:\n{}", result.trace_text());
+    assert_eq!(
+        result.assignment_for("x"),
+        FpFmt::H,
+        "trace:\n{}",
+        result.trace_text()
+    );
+    assert_eq!(
+        result.assignment_for("w"),
+        FpFmt::H,
+        "trace:\n{}",
+        result.trace_text()
+    );
+    assert_eq!(
+        result.assignment_for("bias"),
+        FpFmt::H,
+        "trace:\n{}",
+        result.trace_text()
+    );
+    assert_eq!(
+        result.assignment_for("scores"),
+        FpFmt::H,
+        "trace:\n{}",
+        result.trace_text()
+    );
     // ...while the accumulator must keep binary32 (partial sums overflow
     // every 16-bit option under the zero-error constraint).
-    assert_eq!(result.assignment_for("acc"), FpFmt::S, "trace:\n{}", result.trace_text());
+    assert_eq!(
+        result.assignment_for("acc"),
+        FpFmt::S,
+        "trace:\n{}",
+        result.trace_text()
+    );
 }
 
 #[test]
@@ -72,7 +97,10 @@ fn relaxed_tuning_allows_alt_half_accumulator() {
 fn tuned_assignment_is_cheaper_than_float() {
     let svm = Svm::new();
     let base = svm.base_kernel();
-    let config = TunerConfig { candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah], max_error: 0.0 };
+    let config = TunerConfig {
+        candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],
+        max_error: 0.0,
+    };
     let result = tune(&base, &config, svm_qor(&svm));
     let all_f32_bits: usize = base
         .arrays

@@ -36,7 +36,7 @@
 
 use crate::ir::{expr_type, promote, BinOp, Bound, Expr, IdxExpr, Kernel, Stmt};
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{BranchCond, FpFmt, FReg, Instr, VfOp, XReg};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, Instr, VfOp, XReg};
 use smallfloat_softfp::{ops, Env, Rounding};
 use std::collections::HashMap;
 use std::fmt;
@@ -196,7 +196,8 @@ pub fn compile(kernel: &Kernel, opts: CodegenOptions) -> Result<Compiled, XccErr
     // Prologue: array bases and scalar initial values.
     for (i, a) in kernel.arrays.iter().enumerate() {
         let reg = XReg::new(BASE_POOL[i]);
-        cg.asm.la(reg, layout.entry(&a.name).expect("laid out").addr);
+        cg.asm
+            .la(reg, layout.entry(&a.name).expect("laid out").addr);
         cg.bases.insert(a.name.clone(), reg);
     }
     let mut scalar_regs = Vec::new();
@@ -213,7 +214,13 @@ pub fn compile(kernel: &Kernel, opts: CodegenOptions) -> Result<Compiled, XccErr
     cg.asm.ecall();
     let listing = cg.asm.listing();
     let program = cg.asm.assemble().expect("internal labels are consistent");
-    Ok(Compiled { program, layout, scalar_regs, listing, vectorized_loops: cg.vectorized })
+    Ok(Compiled {
+        program,
+        layout,
+        scalar_regs,
+        listing,
+        vectorized_loops: cg.vectorized,
+    })
 }
 
 /// The memory placement [`compile`] assigns to a kernel's arrays: packed
@@ -225,7 +232,12 @@ pub fn layout_of(kernel: &Kernel) -> DataLayout {
     let mut addr = DATA_BASE;
     for a in &kernel.arrays {
         let bytes = (a.len as u32) * (a.ty.width() / 8);
-        layout.entries.push(LayoutEntry { name: a.name.clone(), addr, len: a.len, ty: a.ty });
+        layout.entries.push(LayoutEntry {
+            name: a.name.clone(),
+            addr,
+            len: a.len,
+            ty: a.ty,
+        });
         addr += (bytes + 3) & !3;
     }
     layout
@@ -245,7 +257,10 @@ impl<'k> Cg<'k> {
     }
 
     fn stack(&self, depth: usize) -> Result<FReg, XccError> {
-        FP_STACK.get(depth).map(|&n| FReg::new(n)).ok_or(XccError::ExprTooDeep)
+        FP_STACK
+            .get(depth)
+            .map(|&n| FReg::new(n))
+            .ok_or(XccError::ExprTooDeep)
     }
 
     fn array_fmt(&self, name: &str) -> Result<FpFmt, XccError> {
@@ -396,7 +411,9 @@ impl<'k> Cg<'k> {
                 return false;
             }
             let terms = nonvar_terms(idx, var);
-            self.sr_ptrs.iter().any(|p| &p.array == array && p.terms == terms)
+            self.sr_ptrs
+                .iter()
+                .any(|p| &p.array == array && p.terms == terms)
         })
     }
 
@@ -419,7 +436,12 @@ impl<'k> Cg<'k> {
             let (base, disp) = self.addr_of(&array, &idx)?;
             let reg = FReg::new(FP_HOIST[self.hoists.len()]);
             self.asm.fload(fmt, reg, base, disp);
-            self.hoists.push(Hoist { array, idx, reg, fmt });
+            self.hoists.push(Hoist {
+                array,
+                idx,
+                reg,
+                fmt,
+            });
         }
         Ok(())
     }
@@ -437,7 +459,9 @@ impl<'k> Cg<'k> {
         let mut accesses = Vec::new();
         collect_loads(body, &mut accesses);
         collect_stores(body, &mut accesses);
-        let mut plan: Vec<(String, Vec<(String, i64)>, u32)> = Vec::new();
+        // (array name, non-induction index terms, element size in bytes)
+        type PlanEntry = (String, Vec<(String, i64)>, u32);
+        let mut plan: Vec<PlanEntry> = Vec::new();
         for (array, idx) in &accesses {
             if idx.coeff(var) != 1 {
                 continue;
@@ -457,7 +481,10 @@ impl<'k> Cg<'k> {
         }
         for (i, (array, terms, elem)) in plan.iter().enumerate() {
             let reg = XReg::new(SR_POOL[i]);
-            let init = IdxExpr { terms: terms.clone(), offset: lo };
+            let init = IdxExpr {
+                terms: terms.clone(),
+                offset: lo,
+            };
             let (base, disp) = self.addr_of(array, &init)?;
             self.asm.addi(reg, base, disp);
             self.sr_ptrs.push(SrPtr {
@@ -484,7 +511,12 @@ impl<'k> Cg<'k> {
         let elems: Vec<u32> = self
             .sr_ptrs
             .iter()
-            .map(|p| self.kernel.array_decl(&p.array).map(|a| a.ty.width() / 8).unwrap_or(4))
+            .map(|p| {
+                self.kernel
+                    .array_decl(&p.array)
+                    .map(|a| a.ty.width() / 8)
+                    .unwrap_or(4)
+            })
             .collect();
         for (p, elem) in self.sr_ptrs.iter_mut().zip(elems) {
             p.bump = (step_elems * elem as i64) as i32;
@@ -507,8 +539,10 @@ impl<'k> Cg<'k> {
         if let Some(svar) = self.sr_var.clone() {
             if idx.coeff(&svar) == 1 {
                 let terms = nonvar_terms(idx, &svar);
-                if let Some(p) =
-                    self.sr_ptrs.iter().find(|p| p.array == array && p.terms == terms)
+                if let Some(p) = self
+                    .sr_ptrs
+                    .iter()
+                    .find(|p| p.array == array && p.terms == terms)
                 {
                     let off = (idx.offset + self.sr_off_elems) * elem as i64;
                     return Ok((p.reg, off as i32));
@@ -587,10 +621,15 @@ impl<'k> Cg<'k> {
         match e {
             Expr::Load { array, idx } => {
                 let fmt = self.array_fmt(array)?;
-                if let Some(h) =
-                    self.hoists.iter().find(|h| &h.array == array && &h.idx == idx)
+                if let Some(h) = self
+                    .hoists
+                    .iter()
+                    .find(|h| &h.array == array && &h.idx == idx)
                 {
-                    return Ok(Val { reg: h.reg, fmt: h.fmt });
+                    return Ok(Val {
+                        reg: h.reg,
+                        fmt: h.fmt,
+                    });
                 }
                 let (base, disp) = self.addr_of(array, idx)?;
                 let dst = self.stack(depth)?;
@@ -647,7 +686,10 @@ impl<'k> Cg<'k> {
                     BinOp::Mul => self.asm.fmul(common, dst, ca.reg, cb.reg),
                     BinOp::Div => self.asm.fdiv(common, dst, ca.reg, cb.reg),
                 };
-                Ok(Val { reg: dst, fmt: common })
+                Ok(Val {
+                    reg: dst,
+                    fmt: common,
+                })
             }
         }
     }
@@ -681,12 +723,25 @@ impl<'k> Cg<'k> {
                         return None;
                     }
                     let vex = vectorize_expr(self.kernel, value, var, vfmt, l, lo, &mut hoists)?;
-                    items.push(VecItem::Map { array: array.clone(), idx: idx.clone(), vex });
+                    items.push(VecItem::Map {
+                        array: array.clone(),
+                        idx: idx.clone(),
+                        vex,
+                    });
                 }
                 Stmt::SetScalar { name, value } => {
                     // Pattern: name = name + rest.
-                    let Expr::Bin { op: BinOp::Add, lhs, rhs } = value else { return None };
-                    let Expr::Scalar(n2) = &**lhs else { return None };
+                    let Expr::Bin {
+                        op: BinOp::Add,
+                        lhs,
+                        rhs,
+                    } = value
+                    else {
+                        return None;
+                    };
+                    let Expr::Scalar(n2) = &**lhs else {
+                        return None;
+                    };
                     if n2 != name {
                         return None;
                     }
@@ -699,8 +754,7 @@ impl<'k> Cg<'k> {
                     if !check_lanes(&mut lanes, l) {
                         return None;
                     }
-                    let vex =
-                        vectorize_expr(self.kernel, rhs, var, elem_fmt, l, lo, &mut hoists)?;
+                    let vex = vectorize_expr(self.kernel, rhs, var, elem_fmt, l, lo, &mut hoists)?;
                     let wide = if acc_fmt == elem_fmt {
                         false
                     } else if acc_fmt == FpFmt::S {
@@ -708,7 +762,12 @@ impl<'k> Cg<'k> {
                     } else {
                         return None;
                     };
-                    items.push(VecItem::Reduce { name: name.clone(), elem_fmt, wide, vex });
+                    items.push(VecItem::Reduce {
+                        name: name.clone(),
+                        elem_fmt,
+                        wide,
+                        vex,
+                    });
                 }
             }
         }
@@ -716,7 +775,11 @@ impl<'k> Cg<'k> {
         if items.is_empty() || hoists.len() > 4 {
             return None;
         }
-        Some(VecPlan { lanes, items, hoists })
+        Some(VecPlan {
+            lanes,
+            items,
+            hoists,
+        })
     }
 
     fn emit_vector_loop(
@@ -775,7 +838,12 @@ impl<'k> Cg<'k> {
                     // A packed store of `lanes` elements is one 32-bit fsw.
                     self.asm.fstore(FpFmt::S, v, base, disp);
                 }
-                VecItem::Reduce { name, elem_fmt, wide, vex } => {
+                VecItem::Reduce {
+                    name,
+                    elem_fmt,
+                    wide,
+                    vex,
+                } => {
                     if *wide {
                         // Widening reduction: compute the lane vector, then
                         // extract + convert + accumulate every lane (the
@@ -790,7 +858,12 @@ impl<'k> Cg<'k> {
                             .expect("vacc allocated");
                         // vfmac straight into the accumulator when the body
                         // is a product; otherwise vfadd of the evaluated body.
-                        if let VExpr::Bin { op: BinOp::Mul, lhs, rhs } = vex {
+                        if let VExpr::Bin {
+                            op: BinOp::Mul,
+                            lhs,
+                            rhs,
+                        } = vex
+                        {
                             let a = self.vec_eval(lhs, *elem_fmt, stack_base)?;
                             let b = self.vec_eval(rhs, *elem_fmt, stack_base + 1)?;
                             self.asm.vfmac(*elem_fmt, vacc, a, b);
@@ -877,12 +950,22 @@ impl<'k> Cg<'k> {
                 // vector lowering bit-identical to the interpreter).
                 if *op == BinOp::Add {
                     let fused = match (&**lhs, &**rhs) {
-                        (x, VExpr::Bin { op: BinOp::Mul, lhs: m1, rhs: m2 }) => {
-                            Some((x, m1, m2))
-                        }
-                        (VExpr::Bin { op: BinOp::Mul, lhs: m1, rhs: m2 }, x) => {
-                            Some((x, m1, m2))
-                        }
+                        (
+                            x,
+                            VExpr::Bin {
+                                op: BinOp::Mul,
+                                lhs: m1,
+                                rhs: m2,
+                            },
+                        ) => Some((x, m1, m2)),
+                        (
+                            VExpr::Bin {
+                                op: BinOp::Mul,
+                                lhs: m1,
+                                rhs: m2,
+                            },
+                            x,
+                        ) => Some((x, m1, m2)),
                         _ => None,
                     };
                     if let Some((x, m1, m2)) = fused {
@@ -922,20 +1005,40 @@ struct VecPlan {
 }
 
 enum VecItem {
-    Map { array: String, idx: IdxExpr, vex: VExpr },
-    Reduce { name: String, elem_fmt: FpFmt, wide: bool, vex: VExpr },
+    Map {
+        array: String,
+        idx: IdxExpr,
+        vex: VExpr,
+    },
+    Reduce {
+        name: String,
+        elem_fmt: FpFmt,
+        wide: bool,
+        vex: VExpr,
+    },
 }
 
 enum VExpr {
-    Load { array: String, idx: IdxExpr },
+    Load {
+        array: String,
+        idx: IdxExpr,
+    },
     Splat(usize),
-    Bin { op: BinOp, lhs: Box<VExpr>, rhs: Box<VExpr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<VExpr>,
+        rhs: Box<VExpr>,
+    },
 }
 
 /// The index terms not involving `var`, in a canonical order.
 fn nonvar_terms(idx: &IdxExpr, var: &str) -> Vec<(String, i64)> {
-    let mut t: Vec<(String, i64)> =
-        idx.terms.iter().filter(|(v, _)| v != var).cloned().collect();
+    let mut t: Vec<(String, i64)> = idx
+        .terms
+        .iter()
+        .filter(|(v, _)| v != var)
+        .cloned()
+        .collect();
     t.sort();
     t
 }
@@ -1013,16 +1116,40 @@ fn vectorize_expr(
             if !unit_stride_ok(idx, var, lanes, lo) {
                 return None;
             }
-            Some(VExpr::Load { array: array.clone(), idx: idx.clone() })
+            Some(VExpr::Load {
+                array: array.clone(),
+                idx: idx.clone(),
+            })
         }
         Expr::Bin { op, lhs, rhs } => {
             let l = vectorize_expr(kernel, lhs, var, fmt, lanes, lo, hoists)?;
             let r = vectorize_expr(kernel, rhs, var, fmt, lanes, lo, hoists)?;
             // Two splats cannot happen: the whole expr would be invariant.
-            Some(VExpr::Bin { op: *op, lhs: Box::new(l), rhs: Box::new(r) })
+            Some(VExpr::Bin {
+                op: *op,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+            })
         }
         // A non-invariant Scalar/Const is impossible; treat defensively.
         _ => None,
+    }
+}
+
+impl PartialEq for Compiled {
+    fn eq(&self, other: &Self) -> bool {
+        self.program == other.program
+    }
+}
+
+impl fmt::Debug for Compiled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Compiled {{ {} instrs, {} vectorized loops }}",
+            self.program.len(),
+            self.vectorized_loops
+        )
     }
 }
 
@@ -1033,7 +1160,9 @@ mod tests {
 
     fn saxpy(ty: FpFmt, n: usize) -> Kernel {
         let mut k = Kernel::new("saxpy");
-        k.array("x", ty, n).array("y", ty, n).scalar("alpha", ty, 2.0);
+        k.array("x", ty, n)
+            .array("y", ty, n)
+            .scalar("alpha", ty, 2.0);
         k.body = vec![Stmt::for_(
             "i",
             0,
@@ -1099,7 +1228,9 @@ mod tests {
     fn reduction_wide_acc_extracts_lanes() {
         // f32 accumulator over f16 elements: Fig. 5 auto pattern.
         let mut k = Kernel::new("dot");
-        k.array("a", FpFmt::H, 8).array("b", FpFmt::H, 8).scalar("sum", FpFmt::S, 0.0);
+        k.array("a", FpFmt::H, 8)
+            .array("b", FpFmt::H, 8)
+            .scalar("sum", FpFmt::S, 0.0);
         k.body = vec![Stmt::for_(
             "i",
             0,
@@ -1112,14 +1243,19 @@ mod tests {
         let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmul.h"));
-        assert!(c.listing.contains("fcvt.s.h"), "per-lane conversions present");
+        assert!(
+            c.listing.contains("fcvt.s.h"),
+            "per-lane conversions present"
+        );
         assert!(c.listing.contains("srli"), "lane extraction shifts present");
     }
 
     #[test]
     fn reduction_same_type_uses_vfmac() {
         let mut k = Kernel::new("dot16");
-        k.array("a", FpFmt::H, 8).array("b", FpFmt::H, 8).scalar("sum", FpFmt::H, 0.0);
+        k.array("a", FpFmt::H, 8)
+            .array("b", FpFmt::H, 8)
+            .scalar("sum", FpFmt::H, 0.0);
         k.body = vec![Stmt::for_(
             "i",
             0,
@@ -1147,23 +1283,9 @@ mod tests {
         for i in 0..7 {
             k.array(&format!("a{i}"), FpFmt::S, 4);
         }
-        assert_eq!(compile(&k, CodegenOptions::default()), Err(XccError::TooManyArrays));
-    }
-}
-
-impl PartialEq for Compiled {
-    fn eq(&self, other: &Self) -> bool {
-        self.program == other.program
-    }
-}
-
-impl fmt::Debug for Compiled {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Compiled {{ {} instrs, {} vectorized loops }}",
-            self.program.len(),
-            self.vectorized_loops
-        )
+        assert_eq!(
+            compile(&k, CodegenOptions::default()),
+            Err(XccError::TooManyArrays)
+        );
     }
 }

@@ -33,7 +33,10 @@ impl TypedState {
             st.types.insert(a.name.clone(), a.ty);
         }
         for s in &kernel.scalars {
-            st.scalars.insert(s.name.clone(), ops::from_f64(s.ty.format(), s.init, &mut env));
+            st.scalars.insert(
+                s.name.clone(),
+                ops::from_f64(s.ty.format(), s.init, &mut env),
+            );
             st.types.insert(s.name.clone(), s.ty);
         }
         st
@@ -62,7 +65,10 @@ impl TypedState {
     /// Array contents widened to `f64`.
     pub fn array_f64(&self, name: &str) -> Vec<f64> {
         let ty = self.types[name];
-        self.arrays[name].iter().map(|&b| ops::to_f64(ty.format(), b)).collect()
+        self.arrays[name]
+            .iter()
+            .map(|&b| ops::to_f64(ty.format(), b))
+            .collect()
     }
 
     /// A scalar value widened to `f64`.
@@ -177,8 +183,12 @@ fn run_stmts_typed(
                 let ty = st.types[array];
                 let v = convert(v, f, ty, env);
                 let i = eval_idx(idx, vars) as usize;
-                let slot =
-                    st.arrays.get_mut(array).expect("array exists").get_mut(i).expect("in bounds");
+                let slot = st
+                    .arrays
+                    .get_mut(array)
+                    .expect("array exists")
+                    .get_mut(i)
+                    .expect("in bounds");
                 *slot = v;
             }
             Stmt::SetScalar { name, value } => {
@@ -293,7 +303,11 @@ pub fn run_f64(kernel: &Kernel, st: &mut F64State) {
 pub fn sqnr_db(golden: &[f64], measured: &[f64]) -> f64 {
     assert_eq!(golden.len(), measured.len(), "signal length mismatch");
     let signal: f64 = golden.iter().map(|s| s * s).sum();
-    let noise: f64 = golden.iter().zip(measured).map(|(s, m)| (s - m) * (s - m)).sum();
+    let noise: f64 = golden
+        .iter()
+        .zip(measured)
+        .map(|(s, m)| (s - m) * (s - m))
+        .sum();
     if noise == 0.0 {
         f64::INFINITY
     } else {
@@ -309,7 +323,9 @@ mod tests {
     fn saxpy_kernel(n: usize) -> Kernel {
         // y[i] = alpha * x[i] + y[i]
         let mut k = Kernel::new("saxpy");
-        k.array("x", FpFmt::S, n).array("y", FpFmt::S, n).scalar("alpha", FpFmt::S, 2.0);
+        k.array("x", FpFmt::S, n)
+            .array("y", FpFmt::S, n)
+            .scalar("alpha", FpFmt::S, 2.0);
         k.body = vec![Stmt::for_(
             "i",
             0,
@@ -389,7 +405,9 @@ mod tests {
         // acc (f32) += a[i] (f16) * b[i] (f16): product computed in f16,
         // sum in f32.
         let mut k = Kernel::new("dot");
-        k.array("a", FpFmt::H, 2).array("b", FpFmt::H, 2).scalar("acc", FpFmt::S, 0.0);
+        k.array("a", FpFmt::H, 2)
+            .array("b", FpFmt::H, 2)
+            .scalar("acc", FpFmt::S, 0.0);
         k.body = vec![Stmt::for_(
             "i",
             0,

@@ -21,12 +21,18 @@ pub struct IdxExpr {
 impl IdxExpr {
     /// A constant index.
     pub fn constant(offset: i64) -> IdxExpr {
-        IdxExpr { terms: Vec::new(), offset }
+        IdxExpr {
+            terms: Vec::new(),
+            offset,
+        }
     }
 
     /// A single-variable index `var + offset`.
     pub fn var(name: &str) -> IdxExpr {
-        IdxExpr { terms: vec![(name.to_string(), 1)], offset: 0 }
+        IdxExpr {
+            terms: vec![(name.to_string(), 1)],
+            offset: 0,
+        }
     }
 
     /// Build from `(var, coeff)` pairs plus an offset.
@@ -39,7 +45,11 @@ impl IdxExpr {
 
     /// The coefficient of `var` (0 if absent).
     pub fn coeff(&self, var: &str) -> i64 {
-        self.terms.iter().find(|(v, _)| v == var).map(|(_, c)| *c).unwrap_or(0)
+        self.terms
+            .iter()
+            .find(|(v, _)| v == var)
+            .map(|(_, c)| *c)
+            .unwrap_or(0)
     }
 
     /// True if `var` does not appear.
@@ -91,13 +101,20 @@ pub enum Expr {
     /// Literal constant (stored at the context's type).
     Const(f64),
     /// Binary operation.
-    Bin { op: BinOp, lhs: Box<Expr>, rhs: Box<Expr> },
+    Bin {
+        op: BinOp,
+        lhs: Box<Expr>,
+        rhs: Box<Expr>,
+    },
 }
 
 impl Expr {
     /// Load `array[idx]`.
     pub fn load(array: &str, idx: IdxExpr) -> Expr {
-        Expr::Load { array: array.to_string(), idx }
+        Expr::Load {
+            array: array.to_string(),
+            idx,
+        }
     }
 
     /// Reference a named scalar.
@@ -111,7 +128,11 @@ impl Expr {
     }
 
     fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
-        Expr::Bin { op, lhs: Box::new(lhs), rhs: Box::new(rhs) }
+        Expr::Bin {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        }
     }
 
     /// True if no [`Expr::Load`] or loop variable depends on `var`.
@@ -126,10 +147,8 @@ impl Expr {
     /// All array names referenced.
     pub fn arrays(&self, out: &mut Vec<String>) {
         match self {
-            Expr::Load { array, .. } => {
-                if !out.contains(array) {
-                    out.push(array.clone());
-                }
+            Expr::Load { array, .. } if !out.contains(array) => {
+                out.push(array.clone());
             }
             Expr::Bin { lhs, rhs, .. } => {
                 lhs.arrays(out);
@@ -182,12 +201,18 @@ pub struct Bound {
 impl Bound {
     /// A constant bound.
     pub fn constant(n: i64) -> Bound {
-        Bound { var: None, offset: n }
+        Bound {
+            var: None,
+            offset: n,
+        }
     }
 
     /// `var + offset` (e.g. `j < i+1` for a lower-triangular loop).
     pub fn var_plus(var: &str, offset: i64) -> Bound {
-        Bound { var: Some(var.to_string()), offset }
+        Bound {
+            var: Some(var.to_string()),
+            offset,
+        }
     }
 
     /// The constant value, if constant.
@@ -204,9 +229,18 @@ impl Bound {
 #[derive(Clone, Debug, PartialEq)]
 pub enum Stmt {
     /// `for var in lo..hi { body }` (hi exclusive).
-    For { var: String, lo: i64, hi: Bound, body: Vec<Stmt> },
+    For {
+        var: String,
+        lo: i64,
+        hi: Bound,
+        body: Vec<Stmt>,
+    },
     /// `array[idx] = value`.
-    Store { array: String, idx: IdxExpr, value: Expr },
+    Store {
+        array: String,
+        idx: IdxExpr,
+        value: Expr,
+    },
     /// `name = value` for a named scalar.
     SetScalar { name: String, value: Expr },
 }
@@ -214,17 +248,29 @@ pub enum Stmt {
 impl Stmt {
     /// Build a loop.
     pub fn for_(var: &str, lo: i64, hi: Bound, body: Vec<Stmt>) -> Stmt {
-        Stmt::For { var: var.to_string(), lo, hi, body }
+        Stmt::For {
+            var: var.to_string(),
+            lo,
+            hi,
+            body,
+        }
     }
 
     /// Build a store.
     pub fn store(array: &str, idx: IdxExpr, value: Expr) -> Stmt {
-        Stmt::Store { array: array.to_string(), idx, value }
+        Stmt::Store {
+            array: array.to_string(),
+            idx,
+            value,
+        }
     }
 
     /// Build a scalar assignment.
     pub fn set(name: &str, value: Expr) -> Stmt {
-        Stmt::SetScalar { name: name.to_string(), value }
+        Stmt::SetScalar {
+            name: name.to_string(),
+            value,
+        }
     }
 
     /// `name += value` (sugar for a reduction assignment).
@@ -261,18 +307,31 @@ pub struct Kernel {
 impl Kernel {
     /// Create an empty kernel.
     pub fn new(name: &str) -> Kernel {
-        Kernel { name: name.to_string(), arrays: Vec::new(), scalars: Vec::new(), body: Vec::new() }
+        Kernel {
+            name: name.to_string(),
+            arrays: Vec::new(),
+            scalars: Vec::new(),
+            body: Vec::new(),
+        }
     }
 
     /// Declare an array.
     pub fn array(&mut self, name: &str, ty: FpFmt, len: usize) -> &mut Kernel {
-        self.arrays.push(ArrayDecl { name: name.to_string(), ty, len });
+        self.arrays.push(ArrayDecl {
+            name: name.to_string(),
+            ty,
+            len,
+        });
         self
     }
 
     /// Declare a named scalar with an initial value.
     pub fn scalar(&mut self, name: &str, ty: FpFmt, init: f64) -> &mut Kernel {
-        self.scalars.push(ScalarDecl { name: name.to_string(), ty, init });
+        self.scalars.push(ScalarDecl {
+            name: name.to_string(),
+            ty,
+            init,
+        });
         self
     }
 
@@ -288,7 +347,9 @@ impl Kernel {
 
     /// Type of a storage name (array or scalar).
     pub fn type_of(&self, name: &str) -> Option<FpFmt> {
-        self.array_decl(name).map(|a| a.ty).or_else(|| self.scalar_decl(name).map(|s| s.ty))
+        self.array_decl(name)
+            .map(|a| a.ty)
+            .or_else(|| self.scalar_decl(name).map(|s| s.ty))
     }
 }
 
@@ -344,15 +405,32 @@ pub fn expr_type(kernel: &Kernel, e: &Expr) -> FpFmt {
 /// Both the typed interpreter and the code generator apply this rule, so
 /// they stay bit-identical (mirroring GCC's default `-ffp-contract=fast`).
 pub fn fma_pattern<'a>(kernel: &Kernel, e: &'a Expr) -> Option<(&'a Expr, &'a Expr, &'a Expr)> {
-    let Expr::Bin { op: BinOp::Add, lhs, rhs } = e else { return None };
+    let Expr::Bin {
+        op: BinOp::Add,
+        lhs,
+        rhs,
+    } = e
+    else {
+        return None;
+    };
     let t = expr_type(kernel, e);
     let ty_ok = |x: &Expr| matches!(x, Expr::Const(_)) || expr_type(kernel, x) == t;
-    if let Expr::Bin { op: BinOp::Mul, lhs: m1, rhs: m2 } = &**rhs {
+    if let Expr::Bin {
+        op: BinOp::Mul,
+        lhs: m1,
+        rhs: m2,
+    } = &**rhs
+    {
         if ty_ok(lhs) && ty_ok(m1) && ty_ok(m2) {
             return Some((m1, m2, lhs));
         }
     }
-    if let Expr::Bin { op: BinOp::Mul, lhs: m1, rhs: m2 } = &**lhs {
+    if let Expr::Bin {
+        op: BinOp::Mul,
+        lhs: m1,
+        rhs: m2,
+    } = &**lhs
+    {
         if ty_ok(rhs) && ty_ok(m1) && ty_ok(m2) {
             return Some((m1, m2, rhs));
         }
@@ -409,7 +487,9 @@ mod tests {
     #[test]
     fn fma_pattern_rules() {
         let mut k = Kernel::new("t");
-        k.array("a", FpFmt::H, 4).array("b", FpFmt::H, 4).scalar("acc", FpFmt::S, 0.0);
+        k.array("a", FpFmt::H, 4)
+            .array("b", FpFmt::H, 4)
+            .scalar("acc", FpFmt::S, 0.0);
         k.scalar("h", FpFmt::H, 0.0);
         let prod = Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i"));
         // Same-type accumulate: fusable.

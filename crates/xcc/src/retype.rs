@@ -61,7 +61,9 @@ mod tests {
     #[test]
     fn retype_selective() {
         let mut k = Kernel::new("k");
-        k.array("a", FpFmt::S, 4).array("b", FpFmt::S, 4).scalar("s", FpFmt::S, 0.0);
+        k.array("a", FpFmt::S, 4)
+            .array("b", FpFmt::S, 4)
+            .scalar("s", FpFmt::S, 0.0);
         let mut map = HashMap::new();
         map.insert("a".to_string(), FpFmt::H);
         map.insert("s".to_string(), FpFmt::Ah);

@@ -14,13 +14,16 @@ use smallfloat_xcc::codegen::{self, CodegenOptions};
 use smallfloat_xcc::interp::{run_f64, run_typed, F64State, TypedState};
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
 
+/// Array contents (as f64) and scalar register values after a run.
+type SimOutputs = (Vec<(String, Vec<f64>)>, Vec<(String, f64)>);
+
 /// Run a compiled kernel on the simulator with the given f64 inputs,
 /// returning each array's contents (as f64) and scalar register values.
 fn run_on_sim(
     kernel: &Kernel,
     compiled: &codegen::Compiled,
     inputs: &[(&str, Vec<f64>)],
-) -> (Vec<(String, Vec<f64>)>, Vec<(String, f64)>) {
+) -> SimOutputs {
     let mut cpu = Cpu::new(SimConfig::default());
     // Write inputs converted to each array's storage type.
     for (name, values) in inputs {
@@ -35,7 +38,11 @@ fn run_on_sim(
         }
     }
     cpu.load_program(codegen::TEXT_BASE, &compiled.program);
-    assert_eq!(cpu.run(50_000_000).unwrap(), ExitReason::Ecall, "kernel must exit via ecall");
+    assert_eq!(
+        cpu.run(50_000_000).unwrap(),
+        ExitReason::Ecall,
+        "kernel must exit via ecall"
+    );
     let mut arrays = Vec::new();
     for entry in &compiled.layout.entries {
         let bytes = entry.ty.width() / 8;
@@ -77,7 +84,9 @@ fn data(n: usize, seed: u64) -> Vec<f64> {
 
 fn saxpy(ty: FpFmt, n: usize) -> Kernel {
     let mut k = Kernel::new("saxpy");
-    k.array("x", ty, n).array("y", ty, n).scalar("alpha", ty, 1.5);
+    k.array("x", ty, n)
+        .array("y", ty, n)
+        .scalar("alpha", ty, 1.5);
     k.body = vec![Stmt::for_(
         "i",
         0,
@@ -94,7 +103,9 @@ fn saxpy(ty: FpFmt, n: usize) -> Kernel {
 
 fn dot(elem: FpFmt, acc: FpFmt, n: usize) -> Kernel {
     let mut k = Kernel::new("dot");
-    k.array("a", elem, n).array("b", elem, n).scalar("sum", acc, 0.0);
+    k.array("a", elem, n)
+        .array("b", elem, n)
+        .scalar("sum", acc, 0.0);
     k.body = vec![Stmt::for_(
         "i",
         0,
@@ -167,7 +178,10 @@ fn vectorized_reduction_close_to_golden() {
         run_f64(&k, &mut fs);
         let golden = fs.scalar("sum");
         let rel = (sum_sim - golden).abs() / golden.abs().max(1.0);
-        assert!(rel < tol, "elem {elem:?} acc {acc:?}: sim {sum_sim} vs golden {golden}");
+        assert!(
+            rel < tol,
+            "elem {elem:?} acc {acc:?}: sim {sum_sim} vs golden {golden}"
+        );
     }
 }
 
@@ -208,10 +222,17 @@ fn triangular_vectorized_loop_matches() {
     )];
     let inputs = vec![("c", data(n * n, 9))];
     let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
-    assert_eq!(compiled.vectorized_loops, 1, "triangular map must vectorize");
+    assert_eq!(
+        compiled.vectorized_loops, 1,
+        "triangular map must vectorize"
+    );
     let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
     let st = interp_typed(&k, &inputs);
-    assert_eq!(arrays[0].1, st.array_f64("c"), "bit-exact despite variable epilogue");
+    assert_eq!(
+        arrays[0].1,
+        st.array_f64("c"),
+        "bit-exact despite variable epilogue"
+    );
 }
 
 #[test]
@@ -258,7 +279,8 @@ fn vectorization_reduces_cycles() {
             let mut env = smallfloat_softfp::Env::new(smallfloat_softfp::Rounding::Rne);
             for (i, v) in values.iter().enumerate() {
                 let bits = ops::from_f64(entry.ty.format(), *v, &mut env) as u32;
-                cpu.mem_mut().write_bytes(entry.addr + 2 * i as u32, &(bits as u16).to_le_bytes());
+                cpu.mem_mut()
+                    .write_bytes(entry.addr + 2 * i as u32, &(bits as u16).to_le_bytes());
             }
         }
         cpu.load_program(codegen::TEXT_BASE, &compiled.program);

@@ -3,8 +3,11 @@
 //! random storage types) must behave identically under the typed
 //! interpreter and the simulator, for both the scalar and the vectorized
 //! lowering.
+//!
+//! Random shapes come from the seeded generator in `smallfloat-devtools`;
+//! failing cases replay from the seed the runner prints.
 
-use proptest::prelude::*;
+use smallfloat_devtools::{prop, Rng};
 use smallfloat_isa::FpFmt;
 use smallfloat_sim::{Cpu, ExitReason, SimConfig};
 use smallfloat_softfp::ops;
@@ -27,22 +30,26 @@ enum Shape {
     Triangular,
 }
 
-fn shape_strategy() -> impl Strategy<Value = Shape> {
-    prop_oneof![
-        ((-4i64..=4).prop_map(|o| o * 4), 0u8..4, 0u8..3)
-            .prop_map(|(offset_a, op1, op2)| Shape::Map1d { offset_a, op1, op2 }),
-        (0u8..4).prop_map(|op1| Shape::Map2d { op1 }),
-        (
-            prop::sample::select(vec![FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B]),
-            any::<bool>()
-        )
-            .prop_map(|(acc_ty, fuse_mul)| Shape::Reduce { acc_ty, fuse_mul }),
-        Just(Shape::Triangular),
-    ]
+fn any_shape(rng: &mut Rng) -> Shape {
+    match rng.below(4) {
+        0 => Shape::Map1d {
+            offset_a: rng.range_i64(-4, 5) * 4,
+            op1: rng.below(4) as u8,
+            op2: rng.below(3) as u8,
+        },
+        1 => Shape::Map2d {
+            op1: rng.below(4) as u8,
+        },
+        2 => Shape::Reduce {
+            acc_ty: rng.pick(&[FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B]),
+            fuse_mul: rng.bool(),
+        },
+        _ => Shape::Triangular,
+    }
 }
 
-fn ty_strategy() -> impl Strategy<Value = FpFmt> {
-    prop::sample::select(vec![FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B])
+fn any_ty(rng: &mut Rng) -> FpFmt {
+    rng.pick(&[FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B])
 }
 
 fn bin(op: u8, a: Expr, b: Expr) -> Expr {
@@ -58,7 +65,9 @@ fn build_kernel(shape: &Shape, ty: FpFmt) -> Kernel {
     let mut k = Kernel::new("fuzz");
     match shape {
         Shape::Map1d { offset_a, op1, op2 } => {
-            k.array("a", ty, N + 40).array("b", ty, N).array("dst", ty, N);
+            k.array("a", ty, N + 40)
+                .array("b", ty, N)
+                .array("dst", ty, N);
             k.scalar("s", ty, 1.5);
             // a is accessed at i + offset_a + 20 to keep indices positive.
             let a = Expr::load("a", IdxExpr::of(&[("i", 1)], offset_a + 20));
@@ -74,7 +83,11 @@ fn build_kernel(shape: &Shape, ty: FpFmt) -> Kernel {
         Shape::Map2d { op1 } => {
             k.array("a", ty, ROWS * N).array("dst", ty, ROWS * N);
             let idx = IdxExpr::of(&[("r", N as i64), ("i", 1)], 0);
-            let e = bin(*op1, Expr::load("a", idx.clone()), Expr::load("dst", idx.clone()));
+            let e = bin(
+                *op1,
+                Expr::load("a", idx.clone()),
+                Expr::load("dst", idx.clone()),
+            );
             k.body = vec![Stmt::for_(
                 "r",
                 0,
@@ -88,7 +101,9 @@ fn build_kernel(shape: &Shape, ty: FpFmt) -> Kernel {
             )];
         }
         Shape::Reduce { acc_ty, fuse_mul } => {
-            k.array("a", ty, N).array("b", ty, N).array("dst", *acc_ty, 1);
+            k.array("a", ty, N)
+                .array("b", ty, N)
+                .array("dst", *acc_ty, 1);
             k.scalar("acc", *acc_ty, 0.25);
             let a = Expr::load("a", IdxExpr::var("i"));
             let b = Expr::load("b", IdxExpr::var("i"));
@@ -153,7 +168,8 @@ fn run_on_sim(kernel: &Kernel, compiled: &codegen::Compiled, seed: u64) -> Typed
         for (j, v) in data.iter().enumerate() {
             let bits = ops::from_f64(a.ty.format(), *v, &mut env) as u32;
             let le = bits.to_le_bytes();
-            cpu.mem_mut().write_bytes(entry.addr + (j as u32) * bytes, &le[..bytes as usize]);
+            cpu.mem_mut()
+                .write_bytes(entry.addr + (j as u32) * bytes, &le[..bytes as usize]);
         }
     }
     cpu.load_program(codegen::TEXT_BASE, &compiled.program);
@@ -165,7 +181,10 @@ fn run_on_sim(kernel: &Kernel, compiled: &codegen::Compiled, seed: u64) -> Typed
         let bytes = a.ty.width() / 8;
         let vals: Vec<f64> = (0..a.len)
             .map(|j| {
-                let raw = cpu.mem().load(entry.addr + (j as u32) * bytes, bytes).expect("ok");
+                let raw = cpu
+                    .mem()
+                    .load(entry.addr + (j as u32) * bytes, bytes)
+                    .expect("ok");
                 ops::to_f64(a.ty.format(), raw as u64)
             })
             .collect();
@@ -174,13 +193,14 @@ fn run_on_sim(kernel: &Kernel, compiled: &codegen::Compiled, seed: u64) -> Typed
     out
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(160))]
-
-    /// Scalar lowering is bit-exact against the typed interpreter for
-    /// random kernels, types and data.
-    #[test]
-    fn scalar_lowering_bit_exact(shape in shape_strategy(), ty in ty_strategy(), seed in any::<u64>()) {
+/// Scalar lowering is bit-exact against the typed interpreter for
+/// random kernels, types and data.
+#[test]
+fn scalar_lowering_bit_exact() {
+    prop::cases("scalar_lowering_bit_exact", 160, |rng| {
+        let shape = any_shape(rng);
+        let ty = any_ty(rng);
+        let seed = rng.u64();
         let k = build_kernel(&shape, ty);
         let compiled = codegen::compile(&k, CodegenOptions { vectorize: false }).expect("compiles");
         let sim = run_on_sim(&k, &compiled, seed);
@@ -195,15 +215,24 @@ proptest! {
             // NaN-tolerant elementwise equality.
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
                 let eq = (g == w) || (g.is_nan() && w.is_nan());
-                prop_assert!(eq, "{}[{}]: sim {} vs interp {} ({shape:?} {ty:?})", a.name, i, g, w);
+                assert!(
+                    eq,
+                    "{}[{}]: sim {} vs interp {} ({shape:?} {ty:?})",
+                    a.name, i, g, w
+                );
             }
         }
-    }
+    });
+}
 
-    /// Vectorized maps are also bit-exact; vectorized reductions match the
-    /// interpreter within a reassociation tolerance.
-    #[test]
-    fn vectorized_lowering_matches(shape in shape_strategy(), ty in ty_strategy(), seed in any::<u64>()) {
+/// Vectorized maps are also bit-exact; vectorized reductions match the
+/// interpreter within a reassociation tolerance.
+#[test]
+fn vectorized_lowering_matches() {
+    prop::cases("vectorized_lowering_matches", 160, |rng| {
+        let shape = any_shape(rng);
+        let ty = any_ty(rng);
+        let seed = rng.u64();
         let k = build_kernel(&shape, ty);
         let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).expect("compiles");
         let sim = run_on_sim(&k, &compiled, seed);
@@ -228,7 +257,7 @@ proptest! {
                 })
                 .sum();
             let rel = match ty {
-                FpFmt::B => 0.20,  // 2 mantissa bits: up to ~12 % per step
+                FpFmt::B => 0.20, // 2 mantissa bits: up to ~12 % per step
                 _ => 0.01,
             };
             rel * sum_abs + 1e-9
@@ -244,20 +273,38 @@ proptest! {
                     // tiny formats; require both sides to be non-finite
                     // together only for maps.
                     if !is_reduction {
-                        prop_assert!(g.is_nan() && w.is_nan(),
-                            "{}[{}]: sim {} vs interp {}", a.name, i, g, w);
+                        assert!(
+                            g.is_nan() && w.is_nan(),
+                            "{}[{}]: sim {} vs interp {}",
+                            a.name,
+                            i,
+                            g,
+                            w
+                        );
                     }
                     continue;
                 }
                 if is_reduction {
-                    prop_assert!((g - w).abs() <= term_budget,
+                    assert!(
+                        (g - w).abs() <= term_budget,
                         "{}[{}]: sim {} vs interp {} budget {} ({shape:?} {ty:?})",
-                        a.name, i, g, w, term_budget);
+                        a.name,
+                        i,
+                        g,
+                        w,
+                        term_budget
+                    );
                 } else {
-                    prop_assert!(g == w,
-                        "{}[{}]: sim {} vs interp {} ({shape:?} {ty:?})", a.name, i, g, w);
+                    assert!(
+                        g == w,
+                        "{}[{}]: sim {} vs interp {} ({shape:?} {ty:?})",
+                        a.name,
+                        i,
+                        g,
+                        w
+                    );
                 }
             }
         }
-    }
+    });
 }

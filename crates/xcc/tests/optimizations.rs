@@ -9,7 +9,9 @@ use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
 
 fn dot_kernel(elem: FpFmt, acc: FpFmt, n: usize) -> Kernel {
     let mut k = Kernel::new("dot");
-    k.array("a", elem, n).array("b", elem, n).scalar("sum", acc, 0.0);
+    k.array("a", elem, n)
+        .array("b", elem, n)
+        .scalar("sum", acc, 0.0);
     k.body = vec![Stmt::for_(
         "i",
         0,
@@ -45,7 +47,8 @@ fn gemm_like(n: usize) -> Kernel {
                     "c",
                     IdxExpr::of(&[("i", nn), ("j", 1)], 0),
                     Expr::load("c", IdxExpr::of(&[("i", nn), ("j", 1)], 0))
-                        + Expr::scalar("alpha") * Expr::load("a", IdxExpr::of(&[("i", nn), ("k", 1)], 0))
+                        + Expr::scalar("alpha")
+                            * Expr::load("a", IdxExpr::of(&[("i", nn), ("k", 1)], 0))
                             * Expr::load("b", IdxExpr::of(&[("k", nn), ("j", 1)], 0)),
                 )],
             )],
@@ -56,10 +59,16 @@ fn gemm_like(n: usize) -> Kernel {
 
 #[test]
 fn scalar_baseline_is_fused_and_strength_reduced() {
-    let c = compile(&dot_kernel(FpFmt::S, FpFmt::S, 64), CodegenOptions { vectorize: false })
-        .unwrap();
+    let c = compile(
+        &dot_kernel(FpFmt::S, FpFmt::S, 64),
+        CodegenOptions { vectorize: false },
+    )
+    .unwrap();
     assert!(c.listing.contains("fmadd.s"), "contraction:\n{}", c.listing);
-    assert!(!c.listing.contains("fmul.s"), "no separate multiply remains");
+    assert!(
+        !c.listing.contains("fmul.s"),
+        "no separate multiply remains"
+    );
     // Induction pointers live in the SR pool (a6/a7/t4..t6) and are bumped.
     assert!(
         c.listing.contains("addi a6, a6, ") || c.listing.contains("addi a7, a7, "),
@@ -69,13 +78,19 @@ fn scalar_baseline_is_fused_and_strength_reduced() {
     // No per-iteration address rederivation: `slli` only appears before the
     // loop (pointer setup), not proportional to accesses.
     let slli_count = c.listing.matches("slli").count();
-    assert!(slli_count <= 2, "address math must be hoisted, found {slli_count} slli");
+    assert!(
+        slli_count <= 2,
+        "address math must be hoisted, found {slli_count} slli"
+    );
 }
 
 #[test]
 fn scalar_baseline_unrolls_even_const_trips() {
-    let c = compile(&dot_kernel(FpFmt::S, FpFmt::S, 64), CodegenOptions { vectorize: false })
-        .unwrap();
+    let c = compile(
+        &dot_kernel(FpFmt::S, FpFmt::S, 64),
+        CodegenOptions { vectorize: false },
+    )
+    .unwrap();
     // 2× unrolling: two fmadds, loop variable stepped by 2.
     assert_eq!(c.listing.matches("fmadd.s").count(), 2, "{}", c.listing);
     assert!(c.listing.contains("addi s0, s0, 2"), "{}", c.listing);
@@ -83,8 +98,11 @@ fn scalar_baseline_unrolls_even_const_trips() {
 
 #[test]
 fn odd_trip_count_blocks_unrolling() {
-    let c = compile(&dot_kernel(FpFmt::S, FpFmt::S, 63), CodegenOptions { vectorize: false })
-        .unwrap();
+    let c = compile(
+        &dot_kernel(FpFmt::S, FpFmt::S, 63),
+        CodegenOptions { vectorize: false },
+    )
+    .unwrap();
     assert_eq!(c.listing.matches("fmadd.s").count(), 1);
     assert!(c.listing.contains("addi s0, s0, 1"));
 }
@@ -109,7 +127,11 @@ fn triangular_bound_blocks_unrolling() {
         )],
     )];
     let c = compile(&k, CodegenOptions { vectorize: false }).unwrap();
-    assert!(c.listing.contains("addi s1, s1, 1"), "variable bound steps by 1:\n{}", c.listing);
+    assert!(
+        c.listing.contains("addi s1, s1, 1"),
+        "variable bound steps by 1:\n{}",
+        c.listing
+    );
 }
 
 #[test]
@@ -128,21 +150,30 @@ fn invariant_subexpression_hoisted_out_of_inner_loop() {
 #[test]
 fn vector_loop_keeps_conversion_chain_only_for_wide_acc() {
     // Wide accumulator: conversions present (the paper's auto inefficiency).
-    let wide =
-        compile(&dot_kernel(FpFmt::H, FpFmt::S, 64), CodegenOptions { vectorize: true }).unwrap();
+    let wide = compile(
+        &dot_kernel(FpFmt::H, FpFmt::S, 64),
+        CodegenOptions { vectorize: true },
+    )
+    .unwrap();
     assert!(wide.listing.contains("fcvt.s.h"), "{}", wide.listing);
     assert!(wide.listing.contains("srli"), "lane extraction");
     // Same-type accumulator: fused vfmac, no conversions in the main loop.
-    let same =
-        compile(&dot_kernel(FpFmt::H, FpFmt::H, 64), CodegenOptions { vectorize: true }).unwrap();
+    let same = compile(
+        &dot_kernel(FpFmt::H, FpFmt::H, 64),
+        CodegenOptions { vectorize: true },
+    )
+    .unwrap();
     assert!(same.listing.contains("vfmac.h"), "{}", same.listing);
     assert!(!same.listing.contains("fcvt.s.h"), "{}", same.listing);
 }
 
 #[test]
 fn vectorized_main_loop_also_uses_induction_pointers() {
-    let c = compile(&dot_kernel(FpFmt::H, FpFmt::H, 64), CodegenOptions { vectorize: true })
-        .unwrap();
+    let c = compile(
+        &dot_kernel(FpFmt::H, FpFmt::H, 64),
+        CodegenOptions { vectorize: true },
+    )
+    .unwrap();
     // Packed accesses bump by 4 bytes per vector iteration.
     assert!(
         c.listing.contains("addi a6, a6, 4"),
@@ -153,8 +184,11 @@ fn vectorized_main_loop_also_uses_induction_pointers() {
 
 #[test]
 fn epilogue_reuses_pointers_at_element_stride() {
-    let c = compile(&dot_kernel(FpFmt::H, FpFmt::H, 63), CodegenOptions { vectorize: true })
-        .unwrap();
+    let c = compile(
+        &dot_kernel(FpFmt::H, FpFmt::H, 63),
+        CodegenOptions { vectorize: true },
+    )
+    .unwrap();
     // Odd trip: the epilogue steps pointers by the 2-byte element size.
     assert!(
         c.listing.contains("addi a6, a6, 2"),
@@ -185,12 +219,22 @@ fn unrolled_scalar_matches_interpreter() {
         let entry = compiled.layout.entry(name).unwrap();
         for (i, v) in data.iter().enumerate() {
             let bits = ops::from_f64(FpFmt::H.format(), *v, &mut env) as u16;
-            cpu.mem_mut().write_bytes(entry.addr + 2 * i as u32, &bits.to_le_bytes());
+            cpu.mem_mut()
+                .write_bytes(entry.addr + 2 * i as u32, &bits.to_le_bytes());
         }
     }
     cpu.load_program(smallfloat_xcc::codegen::TEXT_BASE, &compiled.program);
     assert_eq!(cpu.run(100_000).unwrap(), ExitReason::Ecall);
-    let (_, reg) = compiled.scalar_regs.iter().find(|(n, _)| n == "sum").unwrap().clone();
+    let (_, reg) = compiled
+        .scalar_regs
+        .iter()
+        .find(|(n, _)| n == "sum")
+        .unwrap()
+        .clone();
     let got = f32::from_bits(cpu.freg(reg)) as f64;
-    assert_eq!(got, st.scalar_f64("sum"), "unrolled scalar code is bit-exact");
+    assert_eq!(
+        got,
+        st.scalar_f64("sum"),
+        "unrolled scalar code is bit-exact"
+    );
 }

@@ -15,7 +15,12 @@ fn main() {
         "{:<11} {:<7} {:<5} {:>10} {:>8} {:>9} {:>9}",
         "type", "vec", "mem", "cycles", "speedup", "energy", "SQNR(dB)"
     );
-    for prec in [Precision::F32, Precision::F16, Precision::F16Alt, Precision::F8] {
+    for prec in [
+        Precision::F32,
+        Precision::F16,
+        Precision::F16Alt,
+        Precision::F8,
+    ] {
         for mode in [VecMode::Scalar, VecMode::Auto, VecMode::Manual] {
             let sqnr = bench::sqnr(&gemm, &prec, mode);
             for level in MemLevel::ALL {

@@ -22,9 +22,10 @@ fn main() {
         error_rate(&st.array_f64("scores"), &svm.data().labels)
     };
 
-    for (label, max_error) in
-        [("strict: no classification errors", 0.0), ("relaxed: a few % errors allowed", 0.07)]
-    {
+    for (label, max_error) in [
+        ("strict: no classification errors", 0.0),
+        ("relaxed: a few % errors allowed", 0.07),
+    ] {
         println!("=== {label} ===");
         let config = TunerConfig {
             candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],

@@ -5,7 +5,7 @@
 
 use smallfloat::{Experiment, MemLevel, Precision, VecMode, F16, F8};
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{FpFmt, FReg, XReg};
+use smallfloat_isa::{FReg, FpFmt, XReg};
 use smallfloat_sim::{Cpu, SimConfig};
 
 fn main() {
@@ -39,7 +39,11 @@ fn main() {
     let lane0 = F16::from_bits(out as u16);
     let lane1 = F16::from_bits((out >> 16) as u16);
     println!("\nvfmul.h [4, 3] * [0.5, 2] = [{lane0}, {lane1}]");
-    println!("executed in {} cycles ({} instructions)", cpu.stats().cycles, cpu.stats().instret);
+    println!(
+        "executed in {} cycles ({} instructions)",
+        cpu.stats().cycles,
+        cpu.stats().instret
+    );
 
     // --- 3. A paper experiment in one expression ------------------------
     let report = Experiment::new("GEMM")

@@ -63,9 +63,7 @@ fn main() {
             row.iter().map(|v| *v as i64).collect::<Vec<_>>()
         );
     }
-    println!(
-        "\nThe mixed scheme (binary16 data, binary32 accumulator) keeps the"
-    );
+    println!("\nThe mixed scheme (binary16 data, binary32 accumulator) keeps the");
     println!("float classification exactly while running ~1.75x faster: the");
     println!("paper's transprecision headline.");
 }

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in one command.
+#
+#   scripts/check.sh          # build + tests (the CI tier-1 definition)
+#   scripts/check.sh --full   # also rustfmt + clippy + release test run
+#
+# The figure/table binaries and benches are exercised by the test suite;
+# BENCH_sim_dispatch.json is refreshed manually via
+#   SMALLFLOAT_BENCH_JSON=out.json cargo bench -p smallfloat-bench --bench sim_dispatch
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--full" ]]; then
+    echo "==> cargo fmt --check"
+    cargo fmt --check
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+    echo "==> cargo test --workspace --release -q"
+    cargo test --workspace --release -q
+fi
+
+echo "OK"

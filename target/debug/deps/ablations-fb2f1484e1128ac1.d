@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-fb2f1484e1128ac1.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-fb2f1484e1128ac1: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_text_pipeline-8723e6defc59c3ed.d: tests/asm_text_pipeline.rs
+
+/root/repo/target/debug/deps/asm_text_pipeline-8723e6defc59c3ed: tests/asm_text_pipeline.rs
+
+tests/asm_text_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/code_size-606c2695616aa494.d: crates/bench/src/bin/code_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcode_size-606c2695616aa494.rmeta: crates/bench/src/bin/code_size.rs Cargo.toml
+
+crates/bench/src/bin/code_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

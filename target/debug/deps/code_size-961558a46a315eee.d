@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/code_size-961558a46a315eee.d: crates/bench/src/bin/code_size.rs
+
+/root/repo/target/debug/deps/code_size-961558a46a315eee: crates/bench/src/bin/code_size.rs
+
+crates/bench/src/bin/code_size.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/codegen_sim-442f59cfdffd9545.d: crates/xcc/tests/codegen_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcodegen_sim-442f59cfdffd9545.rmeta: crates/xcc/tests/codegen_sim.rs Cargo.toml
+
+crates/xcc/tests/codegen_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

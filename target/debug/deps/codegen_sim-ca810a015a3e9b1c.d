@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/codegen_sim-ca810a015a3e9b1c.d: crates/xcc/tests/codegen_sim.rs
+
+/root/repo/target/debug/deps/codegen_sim-ca810a015a3e9b1c: crates/xcc/tests/codegen_sim.rs
+
+crates/xcc/tests/codegen_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-0b9e03010d38cb81.d: crates/softfp/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-0b9e03010d38cb81: crates/softfp/tests/differential.rs
+
+crates/softfp/tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-863afb9609452fd9.d: crates/softfp/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-863afb9609452fd9.rmeta: crates/softfp/tests/differential.rs Cargo.toml
+
+crates/softfp/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

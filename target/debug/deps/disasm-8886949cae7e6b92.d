@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/disasm-8886949cae7e6b92.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/debug/deps/disasm-8886949cae7e6b92: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

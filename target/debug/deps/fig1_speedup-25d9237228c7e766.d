@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_speedup-25d9237228c7e766.d: crates/bench/src/bin/fig1_speedup.rs
+
+/root/repo/target/debug/deps/fig1_speedup-25d9237228c7e766: crates/bench/src/bin/fig1_speedup.rs
+
+crates/bench/src/bin/fig1_speedup.rs:

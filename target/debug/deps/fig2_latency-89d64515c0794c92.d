@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2_latency-89d64515c0794c92.d: crates/bench/src/bin/fig2_latency.rs
+
+/root/repo/target/debug/deps/fig2_latency-89d64515c0794c92: crates/bench/src/bin/fig2_latency.rs
+
+crates/bench/src/bin/fig2_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_energy-85c663a0877afdf5.d: crates/bench/src/bin/fig3_energy.rs
+
+/root/repo/target/debug/deps/fig3_energy-85c663a0877afdf5: crates/bench/src/bin/fig3_energy.rs
+
+crates/bench/src/bin/fig3_energy.rs:

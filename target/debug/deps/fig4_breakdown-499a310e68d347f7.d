@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_breakdown-499a310e68d347f7.d: crates/bench/src/bin/fig4_breakdown.rs
+
+/root/repo/target/debug/deps/fig4_breakdown-499a310e68d347f7: crates/bench/src/bin/fig4_breakdown.rs
+
+crates/bench/src/bin/fig4_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_codegen-b161675406a584e3.d: crates/bench/src/bin/fig5_codegen.rs
+
+/root/repo/target/debug/deps/fig5_codegen-b161675406a584e3: crates/bench/src/bin/fig5_codegen.rs
+
+crates/bench/src/bin/fig5_codegen.rs:

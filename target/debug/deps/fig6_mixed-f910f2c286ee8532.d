@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_mixed-f910f2c286ee8532.d: crates/bench/src/bin/fig6_mixed.rs
+
+/root/repo/target/debug/deps/fig6_mixed-f910f2c286ee8532: crates/bench/src/bin/fig6_mixed.rs
+
+crates/bench/src/bin/fig6_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fuzz_codegen-a4a58a8cda04e8f9.d: crates/xcc/tests/fuzz_codegen.rs
+
+/root/repo/target/debug/deps/fuzz_codegen-a4a58a8cda04e8f9: crates/xcc/tests/fuzz_codegen.rs
+
+crates/xcc/tests/fuzz_codegen.rs:

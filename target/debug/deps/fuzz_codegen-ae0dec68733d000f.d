@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fuzz_codegen-ae0dec68733d000f.d: crates/xcc/tests/fuzz_codegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfuzz_codegen-ae0dec68733d000f.rmeta: crates/xcc/tests/fuzz_codegen.rs Cargo.toml
+
+crates/xcc/tests/fuzz_codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

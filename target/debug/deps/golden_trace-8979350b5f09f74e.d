@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-8979350b5f09f74e.d: crates/sim/tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-8979350b5f09f74e: crates/sim/tests/golden_trace.rs
+
+crates/sim/tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizations-4ad1d1ffd83cc328.d: crates/xcc/tests/optimizations.rs
+
+/root/repo/target/debug/deps/optimizations-4ad1d1ffd83cc328: crates/xcc/tests/optimizations.rs
+
+crates/xcc/tests/optimizations.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizations-ecbdb857770b8db5.d: crates/xcc/tests/optimizations.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizations-ecbdb857770b8db5.rmeta: crates/xcc/tests/optimizations.rs Cargo.toml
+
+crates/xcc/tests/optimizations.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

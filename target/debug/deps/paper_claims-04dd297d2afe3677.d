@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-04dd297d2afe3677.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-04dd297d2afe3677: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predecode-4d86c8218967fb9c.d: crates/sim/tests/predecode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredecode-4d86c8218967fb9c.rmeta: crates/sim/tests/predecode.rs Cargo.toml
+
+crates/sim/tests/predecode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

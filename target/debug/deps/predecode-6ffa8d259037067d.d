@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predecode-6ffa8d259037067d.d: crates/sim/tests/predecode.rs
+
+/root/repo/target/debug/deps/predecode-6ffa8d259037067d: crates/sim/tests/predecode.rs
+
+crates/sim/tests/predecode.rs:

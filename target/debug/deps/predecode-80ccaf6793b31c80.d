@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predecode-80ccaf6793b31c80.d: crates/sim/tests/predecode.rs
+
+/root/repo/target/debug/deps/predecode-80ccaf6793b31c80: crates/sim/tests/predecode.rs
+
+crates/sim/tests/predecode.rs:

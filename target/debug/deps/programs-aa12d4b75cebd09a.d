@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/programs-aa12d4b75cebd09a.d: crates/sim/tests/programs.rs
+
+/root/repo/target/debug/deps/programs-aa12d4b75cebd09a: crates/sim/tests/programs.rs
+
+crates/sim/tests/programs.rs:

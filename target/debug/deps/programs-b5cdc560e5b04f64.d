@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/programs-b5cdc560e5b04f64.d: crates/sim/tests/programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprograms-b5cdc560e5b04f64.rmeta: crates/sim/tests/programs.rs Cargo.toml
+
+crates/sim/tests/programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-0c2f4cba2dc88362.d: crates/softfp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-0c2f4cba2dc88362.rmeta: crates/softfp/tests/properties.rs Cargo.toml
+
+crates/softfp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

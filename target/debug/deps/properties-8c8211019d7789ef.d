@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8c8211019d7789ef.d: crates/softfp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8c8211019d7789ef: crates/softfp/tests/properties.rs
+
+crates/softfp/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/roundtrip-07f47000bd419f66.d: crates/isa/tests/roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libroundtrip-07f47000bd419f66.rmeta: crates/isa/tests/roundtrip.rs Cargo.toml
+
+crates/isa/tests/roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/roundtrip-b653926606d007e1.d: crates/isa/tests/roundtrip.rs
+
+/root/repo/target/debug/deps/roundtrip-b653926606d007e1: crates/isa/tests/roundtrip.rs
+
+crates/isa/tests/roundtrip.rs:

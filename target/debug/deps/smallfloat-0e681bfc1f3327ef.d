@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat-0e681bfc1f3327ef.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat-0e681bfc1f3327ef.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smallfloat-9b583ad57073d0ea.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/smallfloat-9b583ad57073d0ea: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

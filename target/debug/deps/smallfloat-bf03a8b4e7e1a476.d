@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smallfloat-bf03a8b4e7e1a476.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat-bf03a8b4e7e1a476.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat-bf03a8b4e7e1a476.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smallfloat_asm-078d4ffebf80059f.d: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/debug/deps/smallfloat_asm-078d4ffebf80059f: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:

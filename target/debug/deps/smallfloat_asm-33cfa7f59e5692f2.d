@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smallfloat_asm-33cfa7f59e5692f2.d: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/debug/deps/libsmallfloat_asm-33cfa7f59e5692f2.rlib: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/debug/deps/libsmallfloat_asm-33cfa7f59e5692f2.rmeta: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:

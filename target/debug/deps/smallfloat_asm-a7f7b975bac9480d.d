@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smallfloat_asm-a7f7b975bac9480d.d: crates/asm/src/lib.rs crates/asm/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_asm-a7f7b975bac9480d.rmeta: crates/asm/src/lib.rs crates/asm/src/parse.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smallfloat_asm-c901698f3cc8752f.d: crates/asm/src/lib.rs crates/asm/src/parse.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_asm-c901698f3cc8752f.rmeta: crates/asm/src/lib.rs crates/asm/src/parse.rs Cargo.toml
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

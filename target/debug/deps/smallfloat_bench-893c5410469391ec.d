@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/smallfloat_bench-893c5410469391ec.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+/root/repo/target/debug/deps/smallfloat_bench-893c5410469391ec: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/codesize.rs:
+crates/bench/src/par.rs:

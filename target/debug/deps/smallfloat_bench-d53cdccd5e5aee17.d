@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smallfloat_bench-d53cdccd5e5aee17.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+/root/repo/target/debug/deps/libsmallfloat_bench-d53cdccd5e5aee17.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+/root/repo/target/debug/deps/libsmallfloat_bench-d53cdccd5e5aee17.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/codesize.rs:
+crates/bench/src/par.rs:

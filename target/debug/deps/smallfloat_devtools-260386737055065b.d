@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smallfloat_devtools-260386737055065b.d: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_devtools-260386737055065b.rmeta: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs Cargo.toml
+
+crates/devtools/src/lib.rs:
+crates/devtools/src/bench.rs:
+crates/devtools/src/prop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smallfloat_devtools-63bae2336ba109ec.d: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+/root/repo/target/debug/deps/smallfloat_devtools-63bae2336ba109ec: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+crates/devtools/src/lib.rs:
+crates/devtools/src/bench.rs:
+crates/devtools/src/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat_devtools-ad5bcbe58813d101.d: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+/root/repo/target/debug/deps/libsmallfloat_devtools-ad5bcbe58813d101.rlib: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+/root/repo/target/debug/deps/libsmallfloat_devtools-ad5bcbe58813d101.rmeta: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+crates/devtools/src/lib.rs:
+crates/devtools/src/bench.rs:
+crates/devtools/src/prop.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/smallfloat_isa-5e30f5543bb099cb.d: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_isa-5e30f5543bb099cb.rmeta: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs Cargo.toml
+
+crates/isa/src/lib.rs:
+crates/isa/src/compress.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/fmt.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/csr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

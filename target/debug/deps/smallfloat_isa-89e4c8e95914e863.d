@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smallfloat_isa-89e4c8e95914e863.d: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+/root/repo/target/debug/deps/libsmallfloat_isa-89e4c8e95914e863.rlib: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+/root/repo/target/debug/deps/libsmallfloat_isa-89e4c8e95914e863.rmeta: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/compress.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/fmt.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/csr.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smallfloat_kernels-fc55f53e8f9fae1e.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+
+/root/repo/target/debug/deps/smallfloat_kernels-fc55f53e8f9fae1e: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/bench.rs:
+crates/kernels/src/polybench.rs:
+crates/kernels/src/polybench_extra.rs:
+crates/kernels/src/runner.rs:
+crates/kernels/src/svm.rs:

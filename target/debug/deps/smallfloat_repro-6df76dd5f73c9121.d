@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smallfloat_repro-6df76dd5f73c9121.d: src/lib.rs
+
+/root/repo/target/debug/deps/smallfloat_repro-6df76dd5f73c9121: src/lib.rs
+
+src/lib.rs:

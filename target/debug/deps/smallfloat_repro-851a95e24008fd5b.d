@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smallfloat_repro-851a95e24008fd5b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_repro-851a95e24008fd5b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_repro-851a95e24008fd5b.rmeta: src/lib.rs
+
+src/lib.rs:

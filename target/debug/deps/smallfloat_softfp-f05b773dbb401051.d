@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smallfloat_softfp-f05b773dbb401051.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_softfp-f05b773dbb401051.rmeta: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs Cargo.toml
+
+crates/softfp/src/lib.rs:
+crates/softfp/src/env.rs:
+crates/softfp/src/format.rs:
+crates/softfp/src/round.rs:
+crates/softfp/src/unpack.rs:
+crates/softfp/src/ops.rs:
+crates/softfp/src/wrappers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat_tuner-1cb4f2ff8a6128df.d: crates/tuner/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_tuner-1cb4f2ff8a6128df.rmeta: crates/tuner/src/lib.rs Cargo.toml
+
+crates/tuner/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

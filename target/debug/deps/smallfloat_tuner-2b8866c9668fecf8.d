@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat_tuner-2b8866c9668fecf8.d: crates/tuner/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_tuner-2b8866c9668fecf8.rmeta: crates/tuner/src/lib.rs Cargo.toml
+
+crates/tuner/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

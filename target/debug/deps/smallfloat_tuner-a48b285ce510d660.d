@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smallfloat_tuner-a48b285ce510d660.d: crates/tuner/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_tuner-a48b285ce510d660.rlib: crates/tuner/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_tuner-a48b285ce510d660.rmeta: crates/tuner/src/lib.rs
+
+crates/tuner/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smallfloat_tuner-d5ef5587a54abc6f.d: crates/tuner/src/lib.rs
+
+/root/repo/target/debug/deps/smallfloat_tuner-d5ef5587a54abc6f: crates/tuner/src/lib.rs
+
+crates/tuner/src/lib.rs:

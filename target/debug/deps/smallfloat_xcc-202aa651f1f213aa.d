@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat_xcc-202aa651f1f213aa.d: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/debug/deps/smallfloat_xcc-202aa651f1f213aa: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+crates/xcc/src/lib.rs:
+crates/xcc/src/codegen.rs:
+crates/xcc/src/interp.rs:
+crates/xcc/src/ir.rs:
+crates/xcc/src/retype.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smallfloat_xcc-908d48634cf96bba.d: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/debug/deps/libsmallfloat_xcc-908d48634cf96bba.rlib: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/debug/deps/libsmallfloat_xcc-908d48634cf96bba.rmeta: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+crates/xcc/src/lib.rs:
+crates/xcc/src/codegen.rs:
+crates/xcc/src/interp.rs:
+crates/xcc/src/ir.rs:
+crates/xcc/src/retype.rs:

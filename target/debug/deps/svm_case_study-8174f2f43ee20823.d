@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/svm_case_study-8174f2f43ee20823.d: crates/tuner/tests/svm_case_study.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsvm_case_study-8174f2f43ee20823.rmeta: crates/tuner/tests/svm_case_study.rs Cargo.toml
+
+crates/tuner/tests/svm_case_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

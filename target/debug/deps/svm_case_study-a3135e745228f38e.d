@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/svm_case_study-a3135e745228f38e.d: crates/tuner/tests/svm_case_study.rs
+
+/root/repo/target/debug/deps/svm_case_study-a3135e745228f38e: crates/tuner/tests/svm_case_study.rs
+
+crates/tuner/tests/svm_case_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_ops-bcdef87a3e43d070.d: crates/bench/src/bin/table1_ops.rs
+
+/root/repo/target/debug/deps/table1_ops-bcdef87a3e43d070: crates/bench/src/bin/table1_ops.rs
+
+crates/bench/src/bin/table1_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_lanes-db39b72b37dcd03f.d: crates/bench/src/bin/table2_lanes.rs
+
+/root/repo/target/debug/deps/table2_lanes-db39b72b37dcd03f: crates/bench/src/bin/table2_lanes.rs
+
+crates/bench/src/bin/table2_lanes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_sqnr-2cca58558d949543.d: crates/bench/src/bin/table3_sqnr.rs
+
+/root/repo/target/debug/deps/table3_sqnr-2cca58558d949543: crates/bench/src/bin/table3_sqnr.rs
+
+crates/bench/src/bin/table3_sqnr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vector_semantics-2bb2bb7c7f6c0ad9.d: crates/sim/tests/vector_semantics.rs
+
+/root/repo/target/debug/deps/vector_semantics-2bb2bb7c7f6c0ad9: crates/sim/tests/vector_semantics.rs
+
+crates/sim/tests/vector_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/workloads-88b61ad1f67a6445.d: crates/kernels/tests/workloads.rs Cargo.toml
+
+/root/repo/target/debug/deps/libworkloads-88b61ad1f67a6445.rmeta: crates/kernels/tests/workloads.rs Cargo.toml
+
+crates/kernels/tests/workloads.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

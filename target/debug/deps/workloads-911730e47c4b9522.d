@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workloads-911730e47c4b9522.d: crates/kernels/tests/workloads.rs
+
+/root/repo/target/debug/deps/workloads-911730e47c4b9522: crates/kernels/tests/workloads.rs
+
+crates/kernels/tests/workloads.rs:

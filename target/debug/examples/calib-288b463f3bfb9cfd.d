@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calib-288b463f3bfb9cfd.d: crates/kernels/examples/calib.rs
+
+/root/repo/target/debug/examples/calib-288b463f3bfb9cfd: crates/kernels/examples/calib.rs
+
+crates/kernels/examples/calib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calib-e949b643cb17a007.d: crates/kernels/examples/calib.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalib-e949b643cb17a007.rmeta: crates/kernels/examples/calib.rs Cargo.toml
+
+crates/kernels/examples/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

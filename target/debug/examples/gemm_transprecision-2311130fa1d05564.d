@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemm_transprecision-2311130fa1d05564.d: examples/gemm_transprecision.rs
+
+/root/repo/target/debug/examples/gemm_transprecision-2311130fa1d05564: examples/gemm_transprecision.rs
+
+examples/gemm_transprecision.rs:

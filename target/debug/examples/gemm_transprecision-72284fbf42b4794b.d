@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gemm_transprecision-72284fbf42b4794b.d: examples/gemm_transprecision.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgemm_transprecision-72284fbf42b4794b.rmeta: examples/gemm_transprecision.rs Cargo.toml
+
+examples/gemm_transprecision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_tuning-aa7a14a580b15377.d: examples/precision_tuning.rs
+
+/root/repo/target/debug/examples/precision_tuning-aa7a14a580b15377: examples/precision_tuning.rs
+
+examples/precision_tuning.rs:

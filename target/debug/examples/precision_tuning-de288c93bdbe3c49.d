@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/precision_tuning-de288c93bdbe3c49.d: examples/precision_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprecision_tuning-de288c93bdbe3c49.rmeta: examples/precision_tuning.rs Cargo.toml
+
+examples/precision_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

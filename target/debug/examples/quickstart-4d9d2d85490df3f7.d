@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4d9d2d85490df3f7.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4d9d2d85490df3f7: examples/quickstart.rs
+
+examples/quickstart.rs:

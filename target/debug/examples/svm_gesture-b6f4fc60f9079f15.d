@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/svm_gesture-b6f4fc60f9079f15.d: examples/svm_gesture.rs
+
+/root/repo/target/debug/examples/svm_gesture-b6f4fc60f9079f15: examples/svm_gesture.rs
+
+examples/svm_gesture.rs:

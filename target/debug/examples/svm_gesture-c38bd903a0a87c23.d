@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/svm_gesture-c38bd903a0a87c23.d: examples/svm_gesture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsvm_gesture-c38bd903a0a87c23.rmeta: examples/svm_gesture.rs Cargo.toml
+
+examples/svm_gesture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

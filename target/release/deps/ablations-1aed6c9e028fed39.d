@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1aed6c9e028fed39.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1aed6c9e028fed39: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

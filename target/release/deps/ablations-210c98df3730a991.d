@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-210c98df3730a991.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-210c98df3730a991: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

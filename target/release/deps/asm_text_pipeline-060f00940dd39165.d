@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/asm_text_pipeline-060f00940dd39165.d: tests/asm_text_pipeline.rs
+
+/root/repo/target/release/deps/asm_text_pipeline-060f00940dd39165: tests/asm_text_pipeline.rs
+
+tests/asm_text_pipeline.rs:

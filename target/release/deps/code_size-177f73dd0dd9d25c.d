@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/code_size-177f73dd0dd9d25c.d: crates/bench/src/bin/code_size.rs
+
+/root/repo/target/release/deps/code_size-177f73dd0dd9d25c: crates/bench/src/bin/code_size.rs
+
+crates/bench/src/bin/code_size.rs:

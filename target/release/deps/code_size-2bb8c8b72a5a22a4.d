@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/code_size-2bb8c8b72a5a22a4.d: crates/bench/src/bin/code_size.rs
+
+/root/repo/target/release/deps/code_size-2bb8c8b72a5a22a4: crates/bench/src/bin/code_size.rs
+
+crates/bench/src/bin/code_size.rs:

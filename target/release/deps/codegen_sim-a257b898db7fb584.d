@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/codegen_sim-a257b898db7fb584.d: crates/xcc/tests/codegen_sim.rs
+
+/root/repo/target/release/deps/codegen_sim-a257b898db7fb584: crates/xcc/tests/codegen_sim.rs
+
+crates/xcc/tests/codegen_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/differential-cd7c39e88c2c76b3.d: crates/softfp/tests/differential.rs
+
+/root/repo/target/release/deps/differential-cd7c39e88c2c76b3: crates/softfp/tests/differential.rs
+
+crates/softfp/tests/differential.rs:

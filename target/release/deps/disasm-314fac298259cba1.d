@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disasm-314fac298259cba1.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/release/deps/disasm-314fac298259cba1: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

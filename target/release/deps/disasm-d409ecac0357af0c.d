@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disasm-d409ecac0357af0c.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/release/deps/disasm-d409ecac0357af0c: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_speedup-0e48f16661830181.d: crates/bench/src/bin/fig1_speedup.rs
+
+/root/repo/target/release/deps/fig1_speedup-0e48f16661830181: crates/bench/src/bin/fig1_speedup.rs
+
+crates/bench/src/bin/fig1_speedup.rs:

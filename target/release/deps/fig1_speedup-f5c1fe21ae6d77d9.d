@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_speedup-f5c1fe21ae6d77d9.d: crates/bench/src/bin/fig1_speedup.rs
+
+/root/repo/target/release/deps/fig1_speedup-f5c1fe21ae6d77d9: crates/bench/src/bin/fig1_speedup.rs
+
+crates/bench/src/bin/fig1_speedup.rs:

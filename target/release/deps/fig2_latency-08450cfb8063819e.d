@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_latency-08450cfb8063819e.d: crates/bench/src/bin/fig2_latency.rs
+
+/root/repo/target/release/deps/fig2_latency-08450cfb8063819e: crates/bench/src/bin/fig2_latency.rs
+
+crates/bench/src/bin/fig2_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_latency-bc8cc07f957367cc.d: crates/bench/src/bin/fig2_latency.rs
+
+/root/repo/target/release/deps/fig2_latency-bc8cc07f957367cc: crates/bench/src/bin/fig2_latency.rs
+
+crates/bench/src/bin/fig2_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_energy-b5b91f656e922c1b.d: crates/bench/src/bin/fig3_energy.rs
+
+/root/repo/target/release/deps/fig3_energy-b5b91f656e922c1b: crates/bench/src/bin/fig3_energy.rs
+
+crates/bench/src/bin/fig3_energy.rs:

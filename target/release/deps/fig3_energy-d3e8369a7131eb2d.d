@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_energy-d3e8369a7131eb2d.d: crates/bench/src/bin/fig3_energy.rs
+
+/root/repo/target/release/deps/fig3_energy-d3e8369a7131eb2d: crates/bench/src/bin/fig3_energy.rs
+
+crates/bench/src/bin/fig3_energy.rs:

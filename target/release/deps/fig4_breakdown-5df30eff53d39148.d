@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_breakdown-5df30eff53d39148.d: crates/bench/src/bin/fig4_breakdown.rs
+
+/root/repo/target/release/deps/fig4_breakdown-5df30eff53d39148: crates/bench/src/bin/fig4_breakdown.rs
+
+crates/bench/src/bin/fig4_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_breakdown-d019b13a27fbbde6.d: crates/bench/src/bin/fig4_breakdown.rs
+
+/root/repo/target/release/deps/fig4_breakdown-d019b13a27fbbde6: crates/bench/src/bin/fig4_breakdown.rs
+
+crates/bench/src/bin/fig4_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_codegen-146c79c306a582f8.d: crates/bench/src/bin/fig5_codegen.rs
+
+/root/repo/target/release/deps/fig5_codegen-146c79c306a582f8: crates/bench/src/bin/fig5_codegen.rs
+
+crates/bench/src/bin/fig5_codegen.rs:

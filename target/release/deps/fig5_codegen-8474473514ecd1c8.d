@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_codegen-8474473514ecd1c8.d: crates/bench/src/bin/fig5_codegen.rs
+
+/root/repo/target/release/deps/fig5_codegen-8474473514ecd1c8: crates/bench/src/bin/fig5_codegen.rs
+
+crates/bench/src/bin/fig5_codegen.rs:

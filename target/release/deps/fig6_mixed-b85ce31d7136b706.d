@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_mixed-b85ce31d7136b706.d: crates/bench/src/bin/fig6_mixed.rs
+
+/root/repo/target/release/deps/fig6_mixed-b85ce31d7136b706: crates/bench/src/bin/fig6_mixed.rs
+
+crates/bench/src/bin/fig6_mixed.rs:

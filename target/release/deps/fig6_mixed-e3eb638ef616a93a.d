@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_mixed-e3eb638ef616a93a.d: crates/bench/src/bin/fig6_mixed.rs
+
+/root/repo/target/release/deps/fig6_mixed-e3eb638ef616a93a: crates/bench/src/bin/fig6_mixed.rs
+
+crates/bench/src/bin/fig6_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fuzz_codegen-31c81ca04a9f187d.d: crates/xcc/tests/fuzz_codegen.rs
+
+/root/repo/target/release/deps/fuzz_codegen-31c81ca04a9f187d: crates/xcc/tests/fuzz_codegen.rs
+
+crates/xcc/tests/fuzz_codegen.rs:

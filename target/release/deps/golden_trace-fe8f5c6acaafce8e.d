@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_trace-fe8f5c6acaafce8e.d: crates/sim/tests/golden_trace.rs
+
+/root/repo/target/release/deps/golden_trace-fe8f5c6acaafce8e: crates/sim/tests/golden_trace.rs
+
+crates/sim/tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim

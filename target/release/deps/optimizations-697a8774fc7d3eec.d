@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/optimizations-697a8774fc7d3eec.d: crates/xcc/tests/optimizations.rs
+
+/root/repo/target/release/deps/optimizations-697a8774fc7d3eec: crates/xcc/tests/optimizations.rs
+
+crates/xcc/tests/optimizations.rs:

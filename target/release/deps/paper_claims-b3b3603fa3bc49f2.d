@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-b3b3603fa3bc49f2.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-b3b3603fa3bc49f2: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predecode-35cff2a4c7bc12ba.d: crates/sim/tests/predecode.rs
+
+/root/repo/target/release/deps/predecode-35cff2a4c7bc12ba: crates/sim/tests/predecode.rs
+
+crates/sim/tests/predecode.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/programs-67f1cfdff21f8d50.d: crates/sim/tests/programs.rs
+
+/root/repo/target/release/deps/programs-67f1cfdff21f8d50: crates/sim/tests/programs.rs
+
+crates/sim/tests/programs.rs:

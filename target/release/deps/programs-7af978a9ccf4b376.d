@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/programs-7af978a9ccf4b376.d: crates/sim/tests/programs.rs
+
+/root/repo/target/release/deps/programs-7af978a9ccf4b376: crates/sim/tests/programs.rs
+
+crates/sim/tests/programs.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-66c3f62595802007.d: crates/softfp/tests/properties.rs
+
+/root/repo/target/release/deps/properties-66c3f62595802007: crates/softfp/tests/properties.rs
+
+crates/softfp/tests/properties.rs:

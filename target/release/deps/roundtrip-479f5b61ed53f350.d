@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/roundtrip-479f5b61ed53f350.d: crates/isa/tests/roundtrip.rs
+
+/root/repo/target/release/deps/roundtrip-479f5b61ed53f350: crates/isa/tests/roundtrip.rs
+
+crates/isa/tests/roundtrip.rs:

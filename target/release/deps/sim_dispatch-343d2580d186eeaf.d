@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_dispatch-343d2580d186eeaf.d: crates/bench/benches/sim_dispatch.rs
+
+/root/repo/target/release/deps/sim_dispatch-343d2580d186eeaf: crates/bench/benches/sim_dispatch.rs
+
+crates/bench/benches/sim_dispatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smallfloat-23bf45333043ca7e.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/smallfloat-23bf45333043ca7e: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat-a68fd3827bbbb14e.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat-a68fd3827bbbb14e.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat-a68fd3827bbbb14e.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

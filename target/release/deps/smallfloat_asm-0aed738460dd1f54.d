@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/smallfloat_asm-0aed738460dd1f54.d: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/release/deps/libsmallfloat_asm-0aed738460dd1f54.rlib: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/release/deps/libsmallfloat_asm-0aed738460dd1f54.rmeta: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:

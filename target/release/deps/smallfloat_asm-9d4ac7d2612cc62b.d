@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/smallfloat_asm-9d4ac7d2612cc62b.d: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/release/deps/smallfloat_asm-9d4ac7d2612cc62b: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/smallfloat_bench-307de1e7b9117ddb.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+/root/repo/target/release/deps/smallfloat_bench-307de1e7b9117ddb: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/codesize.rs:
+crates/bench/src/par.rs:

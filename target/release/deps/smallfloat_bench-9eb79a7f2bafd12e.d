@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/smallfloat_bench-9eb79a7f2bafd12e.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+/root/repo/target/release/deps/libsmallfloat_bench-9eb79a7f2bafd12e.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+/root/repo/target/release/deps/libsmallfloat_bench-9eb79a7f2bafd12e.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/par.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/codesize.rs:
+crates/bench/src/par.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat_devtools-6d152e9adaf19821.d: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+/root/repo/target/release/deps/smallfloat_devtools-6d152e9adaf19821: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+crates/devtools/src/lib.rs:
+crates/devtools/src/bench.rs:
+crates/devtools/src/prop.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/smallfloat_devtools-bcae9c706c192041.d: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+/root/repo/target/release/deps/libsmallfloat_devtools-bcae9c706c192041.rlib: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+/root/repo/target/release/deps/libsmallfloat_devtools-bcae9c706c192041.rmeta: crates/devtools/src/lib.rs crates/devtools/src/bench.rs crates/devtools/src/prop.rs
+
+crates/devtools/src/lib.rs:
+crates/devtools/src/bench.rs:
+crates/devtools/src/prop.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/smallfloat_isa-77fd9a4f782e1546.d: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+/root/repo/target/release/deps/smallfloat_isa-77fd9a4f782e1546: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/compress.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/fmt.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/csr.rs:

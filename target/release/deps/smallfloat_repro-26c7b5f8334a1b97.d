@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat_repro-26c7b5f8334a1b97.d: src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_repro-26c7b5f8334a1b97.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_repro-26c7b5f8334a1b97.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smallfloat_repro-ec1ae6b823cc27d7.d: src/lib.rs
+
+/root/repo/target/release/deps/smallfloat_repro-ec1ae6b823cc27d7: src/lib.rs
+
+src/lib.rs:

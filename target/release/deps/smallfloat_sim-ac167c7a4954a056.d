@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/smallfloat_sim-ac167c7a4954a056.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+/root/repo/target/release/deps/smallfloat_sim-ac167c7a4954a056: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/energy.rs:
+crates/sim/src/exec.rs:
+crates/sim/src/mem.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smallfloat_tuner-b704a5ea39286ede.d: crates/tuner/src/lib.rs
+
+/root/repo/target/release/deps/smallfloat_tuner-b704a5ea39286ede: crates/tuner/src/lib.rs
+
+crates/tuner/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat_tuner-e82cba0a2c9e941d.d: crates/tuner/src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_tuner-e82cba0a2c9e941d.rlib: crates/tuner/src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_tuner-e82cba0a2c9e941d.rmeta: crates/tuner/src/lib.rs
+
+crates/tuner/src/lib.rs:

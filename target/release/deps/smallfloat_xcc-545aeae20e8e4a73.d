@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/smallfloat_xcc-545aeae20e8e4a73.d: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/release/deps/libsmallfloat_xcc-545aeae20e8e4a73.rlib: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/release/deps/libsmallfloat_xcc-545aeae20e8e4a73.rmeta: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+crates/xcc/src/lib.rs:
+crates/xcc/src/codegen.rs:
+crates/xcc/src/interp.rs:
+crates/xcc/src/ir.rs:
+crates/xcc/src/retype.rs:

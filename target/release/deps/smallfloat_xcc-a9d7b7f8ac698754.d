@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/smallfloat_xcc-a9d7b7f8ac698754.d: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/release/deps/smallfloat_xcc-a9d7b7f8ac698754: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+crates/xcc/src/lib.rs:
+crates/xcc/src/codegen.rs:
+crates/xcc/src/interp.rs:
+crates/xcc/src/ir.rs:
+crates/xcc/src/retype.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/svm_case_study-556cb53843c853da.d: crates/tuner/tests/svm_case_study.rs
+
+/root/repo/target/release/deps/svm_case_study-556cb53843c853da: crates/tuner/tests/svm_case_study.rs
+
+crates/tuner/tests/svm_case_study.rs:

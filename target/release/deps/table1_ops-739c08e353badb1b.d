@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_ops-739c08e353badb1b.d: crates/bench/src/bin/table1_ops.rs
+
+/root/repo/target/release/deps/table1_ops-739c08e353badb1b: crates/bench/src/bin/table1_ops.rs
+
+crates/bench/src/bin/table1_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_ops-89315a46b2d8427c.d: crates/bench/src/bin/table1_ops.rs
+
+/root/repo/target/release/deps/table1_ops-89315a46b2d8427c: crates/bench/src/bin/table1_ops.rs
+
+crates/bench/src/bin/table1_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_lanes-2df4ae0cfbf7be37.d: crates/bench/src/bin/table2_lanes.rs
+
+/root/repo/target/release/deps/table2_lanes-2df4ae0cfbf7be37: crates/bench/src/bin/table2_lanes.rs
+
+crates/bench/src/bin/table2_lanes.rs:

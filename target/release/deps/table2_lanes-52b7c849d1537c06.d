@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_lanes-52b7c849d1537c06.d: crates/bench/src/bin/table2_lanes.rs
+
+/root/repo/target/release/deps/table2_lanes-52b7c849d1537c06: crates/bench/src/bin/table2_lanes.rs
+
+crates/bench/src/bin/table2_lanes.rs:

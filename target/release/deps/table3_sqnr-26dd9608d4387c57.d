@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_sqnr-26dd9608d4387c57.d: crates/bench/src/bin/table3_sqnr.rs
+
+/root/repo/target/release/deps/table3_sqnr-26dd9608d4387c57: crates/bench/src/bin/table3_sqnr.rs
+
+crates/bench/src/bin/table3_sqnr.rs:

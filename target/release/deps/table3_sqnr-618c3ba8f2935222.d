@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_sqnr-618c3ba8f2935222.d: crates/bench/src/bin/table3_sqnr.rs
+
+/root/repo/target/release/deps/table3_sqnr-618c3ba8f2935222: crates/bench/src/bin/table3_sqnr.rs
+
+crates/bench/src/bin/table3_sqnr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_probe-300523281cc0ab59.d: crates/sim/tests/timing_probe.rs
+
+/root/repo/target/release/deps/timing_probe-300523281cc0ab59: crates/sim/tests/timing_probe.rs
+
+crates/sim/tests/timing_probe.rs:

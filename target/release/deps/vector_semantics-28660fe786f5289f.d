@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vector_semantics-28660fe786f5289f.d: crates/sim/tests/vector_semantics.rs
+
+/root/repo/target/release/deps/vector_semantics-28660fe786f5289f: crates/sim/tests/vector_semantics.rs
+
+crates/sim/tests/vector_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vector_semantics-c244cb750a3a7d53.d: crates/sim/tests/vector_semantics.rs
+
+/root/repo/target/release/deps/vector_semantics-c244cb750a3a7d53: crates/sim/tests/vector_semantics.rs
+
+crates/sim/tests/vector_semantics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/workloads-2a3eec24298d8075.d: crates/kernels/tests/workloads.rs
+
+/root/repo/target/release/deps/workloads-2a3eec24298d8075: crates/kernels/tests/workloads.rs
+
+crates/kernels/tests/workloads.rs:

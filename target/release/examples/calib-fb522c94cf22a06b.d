@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calib-fb522c94cf22a06b.d: crates/kernels/examples/calib.rs
+
+/root/repo/target/release/examples/calib-fb522c94cf22a06b: crates/kernels/examples/calib.rs
+
+crates/kernels/examples/calib.rs:

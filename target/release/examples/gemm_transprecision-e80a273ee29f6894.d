@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gemm_transprecision-e80a273ee29f6894.d: examples/gemm_transprecision.rs
+
+/root/repo/target/release/examples/gemm_transprecision-e80a273ee29f6894: examples/gemm_transprecision.rs
+
+examples/gemm_transprecision.rs:

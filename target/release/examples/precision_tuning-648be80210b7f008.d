@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precision_tuning-648be80210b7f008.d: examples/precision_tuning.rs
+
+/root/repo/target/release/examples/precision_tuning-648be80210b7f008: examples/precision_tuning.rs
+
+examples/precision_tuning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-cd92aa7e781e3b1a.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-cd92aa7e781e3b1a: examples/quickstart.rs
+
+examples/quickstart.rs:

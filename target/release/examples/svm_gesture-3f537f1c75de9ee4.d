@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/svm_gesture-3f537f1c75de9ee4.d: examples/svm_gesture.rs
+
+/root/repo/target/release/examples/svm_gesture-3f537f1c75de9ee4: examples/svm_gesture.rs
+
+examples/svm_gesture.rs:

@@ -50,8 +50,7 @@ fn textual_program_round_trips_generated_code() {
     let mut reparsed = Vec::new();
     for instr in &compiled.program {
         let text = instr.to_string();
-        let back = smallfloat_asm::parse_line(&text)
-            .unwrap_or_else(|e| panic!("`{text}`: {e}"));
+        let back = smallfloat_asm::parse_line(&text).unwrap_or_else(|e| panic!("`{text}`: {e}"));
         reparsed.push(back);
     }
     assert_eq!(reparsed, compiled.program);

@@ -18,14 +18,38 @@ fn avg(vals: impl Iterator<Item = f64>) -> f64 {
 fn fig1_aggregate_bands() {
     let rows = paper::fig1_speedups();
     assert!(paper::all_reports_fig1_sane(&rows));
-    let a16 = avg(rows.iter().filter(|r| r.type_label.starts_with("float16")).map(|r| r.auto));
-    let m16 = avg(rows.iter().filter(|r| r.type_label.starts_with("float16")).map(|r| r.manual));
-    let a8 = avg(rows.iter().filter(|r| r.type_label == "float8").map(|r| r.auto));
-    let m8 = avg(rows.iter().filter(|r| r.type_label == "float8").map(|r| r.manual));
-    assert!((1.15..=1.8).contains(&a16), "16-bit auto avg {a16} (paper: 1.34-1.64)");
-    assert!((1.35..=2.0).contains(&m16), "16-bit manual avg {m16} (paper: ~1.5)");
-    assert!((1.8..=2.9).contains(&a8), "float8 auto avg {a8} (paper: 2.18)");
-    assert!((2.2..=3.6).contains(&m8), "float8 manual avg {m8} (paper: 2.35)");
+    let a16 = avg(rows
+        .iter()
+        .filter(|r| r.type_label.starts_with("float16"))
+        .map(|r| r.auto));
+    let m16 = avg(rows
+        .iter()
+        .filter(|r| r.type_label.starts_with("float16"))
+        .map(|r| r.manual));
+    let a8 = avg(rows
+        .iter()
+        .filter(|r| r.type_label == "float8")
+        .map(|r| r.auto));
+    let m8 = avg(rows
+        .iter()
+        .filter(|r| r.type_label == "float8")
+        .map(|r| r.manual));
+    assert!(
+        (1.15..=1.8).contains(&a16),
+        "16-bit auto avg {a16} (paper: 1.34-1.64)"
+    );
+    assert!(
+        (1.35..=2.0).contains(&m16),
+        "16-bit manual avg {m16} (paper: ~1.5)"
+    );
+    assert!(
+        (1.8..=2.9).contains(&a8),
+        "float8 auto avg {a8} (paper: 2.18)"
+    );
+    assert!(
+        (2.2..=3.6).contains(&m8),
+        "float8 manual avg {m8} (paper: 2.35)"
+    );
     assert!(m16 > a16 && m8 > a8, "manual must beat auto on average");
     assert!(a8 > a16 && m8 > m16, "binary8 must beat 16-bit types");
 }
@@ -36,8 +60,11 @@ fn fig1_aggregate_bands() {
 fn fig2_speedup_grows_with_latency_on_average() {
     let rows = paper::fig2_latency();
     for prec in ["float16", "float8"] {
-        let sel: Vec<&[f64; 3]> =
-            rows.iter().filter(|(_, t, _)| t == prec).map(|(_, _, s)| s).collect();
+        let sel: Vec<&[f64; 3]> = rows
+            .iter()
+            .filter(|(_, t, _)| t == prec)
+            .map(|(_, _, s)| s)
+            .collect();
         let l1 = avg(sel.iter().map(|s| s[0]));
         let l2 = avg(sel.iter().map(|s| s[1]));
         let l3 = avg(sel.iter().map(|s| s[2]));
@@ -55,14 +82,21 @@ fn fig2_speedup_grows_with_latency_on_average() {
 fn fig3_energy_savings_bands() {
     let rows = paper::fig3_energy();
     let saving = |prec: &str| {
-        1.0 - avg(
-            rows.iter().filter(|(_, t, _)| t == prec).map(|(_, _, e)| e[0]),
-        )
+        1.0 - avg(rows
+            .iter()
+            .filter(|(_, t, _)| t == prec)
+            .map(|(_, _, e)| e[0]))
     };
     let s16 = saving("float16");
     let s8 = saving("float8");
-    assert!((0.25..=0.55).contains(&s16), "16-bit energy saving {s16} (paper: 0.30)");
-    assert!((0.45..=0.75).contains(&s8), "binary8 energy saving {s8} (paper: 0.50)");
+    assert!(
+        (0.25..=0.55).contains(&s16),
+        "16-bit energy saving {s16} (paper: 0.30)"
+    );
+    assert!(
+        (0.45..=0.75).contains(&s8),
+        "binary8 energy saving {s8} (paper: 0.50)"
+    );
     assert!(s8 > s16, "binary8 must save more than 16-bit");
     assert!(
         s8 < 2.0 * s16 + 0.05,
@@ -90,8 +124,16 @@ fn table3_sqnr_ordering() {
         }
         assert!(s16 > sah, "{}: b16 {s16} !> b16alt {sah}", w.name());
         assert!(sah > s8, "{}: b16alt {sah} !> b8 {s8}", w.name());
-        assert!(s8 < 25.0, "{}: binary8 must be marginal, got {s8} dB", w.name());
-        assert!(s16 > 40.0, "{}: binary16 must be usable, got {s16} dB", w.name());
+        assert!(
+            s8 < 25.0,
+            "{}: binary8 must be marginal, got {s8} dB",
+            w.name()
+        );
+        assert!(
+            s16 > 40.0,
+            "{}: binary16 must be usable, got {s16} dB",
+            w.name()
+        );
     }
 }
 
@@ -112,7 +154,10 @@ fn fig4_auto_overhead_eats_margin() {
         auto.cycles,
         orig.cycles
     );
-    assert!(manual.cycles * 3 < orig.cycles * 2, "manual must win by >1.5x");
+    assert!(
+        manual.cycles * 3 < orig.cycles * 2,
+        "manual must win by >1.5x"
+    );
     // The overhead is visible as extra ALU + conversion + move instructions.
     use smallfloat_isa::InstrClass;
     let overhead = |s: &smallfloat_sim::Stats| {
@@ -120,7 +165,10 @@ fn fig4_auto_overhead_eats_margin() {
             + s.class_count(InstrClass::FpCvt)
             + s.class_count(InstrClass::FpMove)
     };
-    assert!(overhead(&auto) > 2 * overhead(&orig), "auto must show the ALU/cvt bloat");
+    assert!(
+        overhead(&auto) > 2 * overhead(&orig),
+        "auto must show the ALU/cvt bloat"
+    );
     assert!(overhead(&manual) < overhead(&orig), "manual must not");
 }
 
@@ -136,10 +184,23 @@ fn fig6_mixed_matches_f16_speed_and_float_accuracy() {
     let f16 = bench::run(&svm, &Precision::F16, VecMode::Manual, MemLevel::L1);
     let mx = bench::run(&svm, &mixed, VecMode::Manual, MemLevel::L1);
     let ratio = mx.stats.cycles as f64 / f16.stats.cycles as f64;
-    assert!((0.85..=1.15).contains(&ratio), "mixed ≈ float16 speed, ratio {ratio}");
-    assert_eq!(error_rate(&mx.arrays["scores"], &labels), 0.0, "mixed = float accuracy");
-    assert!(error_rate(&f16.arrays["scores"], &labels) > 0.1, "uniform f16 loses accuracy");
-    assert!(mx.stats.energy_pj < 0.75 * base.stats.energy_pj, "mixed saves energy");
+    assert!(
+        (0.85..=1.15).contains(&ratio),
+        "mixed ≈ float16 speed, ratio {ratio}"
+    );
+    assert_eq!(
+        error_rate(&mx.arrays["scores"], &labels),
+        0.0,
+        "mixed = float accuracy"
+    );
+    assert!(
+        error_rate(&f16.arrays["scores"], &labels) > 0.1,
+        "uniform f16 loses accuracy"
+    );
+    assert!(
+        mx.stats.energy_pj < 0.75 * base.stats.energy_pj,
+        "mixed saves energy"
+    );
 }
 
 /// The full cross-stack consistency loop: interpreter, scalar codegen and
@@ -152,7 +213,9 @@ fn cross_stack_bit_exactness() {
 
     let n = 24usize;
     let mut k = Kernel::new("mixed_axpy");
-    k.array("x", FpFmt::H, n).array("y", FpFmt::Ah, n).scalar("acc", FpFmt::S, 0.0);
+    k.array("x", FpFmt::H, n)
+        .array("y", FpFmt::Ah, n)
+        .scalar("acc", FpFmt::S, 0.0);
     k.body = vec![Stmt::for_(
         "i",
         0,
@@ -181,6 +244,14 @@ fn cross_stack_bit_exactness() {
         &[("x".to_string(), xs), ("y".to_string(), ys)],
         MemLevel::L1,
     );
-    assert_eq!(result.arrays["y"], st.array_f64("y"), "array outputs bit-exact");
-    assert_eq!(result.scalars["acc"], st.scalar_f64("acc"), "scalar outputs bit-exact");
+    assert_eq!(
+        result.arrays["y"],
+        st.array_f64("y"),
+        "array outputs bit-exact"
+    );
+    assert_eq!(
+        result.scalars["acc"],
+        st.scalar_f64("acc"),
+        "scalar outputs bit-exact"
+    );
 }
