@@ -1,7 +1,14 @@
 //! Throughput of the soft-float core across formats and operations.
+//!
+//! Every scalar operation is measured twice — through the generic
+//! runtime-`Format` reference (`ops`, the `/ref` rows) and through the
+//! fast-path dispatch (`fast`: binary8 tables + monomorphized kernels, the
+//! `/fast` rows) — so a single run yields the before/after pair recorded in
+//! `BENCH_softfp_ops.json`. A `batch` section compares per-lane reference
+//! loops against the whole-register SIMD helpers the simulator executes.
 
 use smallfloat_devtools::bench::Harness;
-use smallfloat_softfp::{ops, Env, Format, Rounding};
+use smallfloat_softfp::{batch, fast, ops, Env, Format, Rounding};
 use std::hint::black_box;
 
 fn formats() -> [(&'static str, Format); 4] {
@@ -24,28 +31,57 @@ fn operands(fmt: Format) -> Vec<(u64, u64)> {
         .collect()
 }
 
+/// Packed 32-bit vector registers with the same value corpus, two binary16
+/// (or binary16alt) lanes or four binary8 lanes per register.
+fn packed_operands(fmt: Format) -> Vec<(u32, u32)> {
+    let scalars = operands(fmt);
+    let w = fmt.width();
+    let lanes = 32 / w;
+    scalars
+        .chunks(lanes as usize)
+        .map(|chunk| {
+            let mut va = 0u32;
+            let mut vb = 0u32;
+            for (i, &(a, b)) in chunk.iter().enumerate() {
+                va |= (a as u32) << (i as u32 * w);
+                vb |= (b as u32) << (i as u32 * w);
+            }
+            (va, vb)
+        })
+        .collect()
+}
+
 fn main() {
     let mut h = Harness::new("softfp");
+
+    // Scalar ops: generic reference vs fast-path dispatch, same corpus.
     for (name, fmt) in formats() {
         let data = operands(fmt);
         h.throughput(data.len() as u64);
-        h.bench(&format!("add/{name}"), || {
-            let mut env = Env::new(Rounding::Rne);
-            let mut acc = 0u64;
-            for &(x, y) in &data {
-                acc ^= ops::add(fmt, black_box(x), black_box(y), &mut env);
-            }
-            acc
-        });
-        h.bench(&format!("mul/{name}"), || {
-            let mut env = Env::new(Rounding::Rne);
-            let mut acc = 0u64;
-            for &(x, y) in &data {
-                acc ^= ops::mul(fmt, black_box(x), black_box(y), &mut env);
-            }
-            acc
-        });
-        h.bench(&format!("fmadd/{name}"), || {
+        macro_rules! pair2 {
+            ($op:literal, $refop:path, $fastop:path) => {
+                h.bench(&format!("{}/{name}/ref", $op), || {
+                    let mut env = Env::new(Rounding::Rne);
+                    let mut acc = 0u64;
+                    for &(x, y) in &data {
+                        acc ^= $refop(fmt, black_box(x), black_box(y), &mut env);
+                    }
+                    acc
+                });
+                h.bench(&format!("{}/{name}/fast", $op), || {
+                    let mut env = Env::new(Rounding::Rne);
+                    let mut acc = 0u64;
+                    for &(x, y) in &data {
+                        acc ^= $fastop(fmt, black_box(x), black_box(y), &mut env);
+                    }
+                    acc
+                });
+            };
+        }
+        pair2!("add", ops::add, fast::add);
+        pair2!("mul", ops::mul, fast::mul);
+        pair2!("div", ops::div, fast::div);
+        h.bench(&format!("fmadd/{name}/ref"), || {
             let mut env = Env::new(Rounding::Rne);
             let mut acc = fmt.one();
             for &(x, y) in &data {
@@ -53,14 +89,107 @@ fn main() {
             }
             acc
         });
-        h.bench(&format!("div/{name}"), || {
+        h.bench(&format!("fmadd/{name}/fast"), || {
             let mut env = Env::new(Rounding::Rne);
-            let mut acc = 0u64;
+            let mut acc = fmt.one();
             for &(x, y) in &data {
-                acc ^= ops::div(fmt, black_box(x), black_box(y), &mut env);
+                acc = fast::fmadd(fmt, black_box(x), black_box(y), acc, &mut env);
             }
             acc
         });
     }
+
+    // Batched lane helpers: per-lane reference loop vs whole-register call.
+    // Throughput counts *lanes*, so rows are comparable across widths.
+    let v16 = packed_operands(Format::BINARY16);
+    h.throughput(v16.len() as u64 * 2);
+    h.bench("vadd2/f16/ref", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v16 {
+            let (va, vb) = (black_box(va), black_box(vb));
+            let lo = ops::add(
+                Format::BINARY16,
+                (va & 0xffff) as u64,
+                (vb & 0xffff) as u64,
+                &mut env,
+            );
+            let hi = ops::add(
+                Format::BINARY16,
+                (va >> 16) as u64,
+                (vb >> 16) as u64,
+                &mut env,
+            );
+            acc ^= (hi as u32) << 16 | lo as u32;
+        }
+        acc
+    });
+    h.bench("vadd2/f16/fast", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v16 {
+            acc ^= batch::vadd2_f16(black_box(va), black_box(vb), &mut env);
+        }
+        acc
+    });
+    h.bench("vfma2/f16/fast", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v16 {
+            acc = batch::vfma2_f16(black_box(va), black_box(vb), acc, &mut env);
+        }
+        acc
+    });
+    h.bench("vdotpex2/f16/fast", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v16 {
+            acc = batch::vdotpex2_f16(acc, black_box(va), black_box(vb), false, &mut env);
+        }
+        acc
+    });
+
+    let v8 = packed_operands(Format::BINARY8);
+    h.throughput(v8.len() as u64 * 4);
+    h.bench("vadd4/f8/ref", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v8 {
+            let (va, vb) = (black_box(va), black_box(vb));
+            let mut r = 0u32;
+            for lane in 0..4 {
+                let a = (va >> (lane * 8)) as u64 & 0xff;
+                let b = (vb >> (lane * 8)) as u64 & 0xff;
+                r |= (ops::add(Format::BINARY8, a, b, &mut env) as u32) << (lane * 8);
+            }
+            acc ^= r;
+        }
+        acc
+    });
+    h.bench("vadd4/f8/fast", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v8 {
+            acc ^= batch::vadd4_f8(black_box(va), black_box(vb), &mut env);
+        }
+        acc
+    });
+    h.bench("vfma4/f8/fast", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v8 {
+            acc = batch::vfma4_f8(black_box(va), black_box(vb), acc, &mut env);
+        }
+        acc
+    });
+    h.bench("vdotpex4/f8/fast", || {
+        let mut env = Env::new(Rounding::Rne);
+        let mut acc = 0u32;
+        for &(va, vb) in &v8 {
+            acc = batch::vdotpex4_f8(acc, black_box(va), black_box(vb), false, &mut env);
+        }
+        acc
+    });
+
     h.finish();
 }

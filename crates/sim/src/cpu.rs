@@ -4,7 +4,7 @@ use crate::energy::EnergyModel;
 use crate::mem::Memory;
 use crate::stats::Stats;
 use crate::timing::{MemLevel, TimingModel};
-use smallfloat_isa::{decode, decode_compressed, encode, FReg, Instr, XReg};
+use smallfloat_isa::{decode, decode_compressed, encode, FReg, Instr, InstrClass, XReg};
 use smallfloat_softfp::{Flags, Rounding};
 use std::fmt;
 
@@ -109,6 +109,12 @@ pub struct Cpu {
     /// Set by [`Cpu::mem_mut`]; the next fetch conservatively discards the
     /// whole window before dispatching.
     pred_dirty: bool,
+    /// Per-class op energy at the configured memory level, indexed by
+    /// `InstrClass::index()` — the same values `EnergyModel::op_energy`
+    /// returns, cached so retirement accounting is one load per
+    /// instruction. Rebuilt whenever the configuration changes
+    /// ([`Cpu::new`] / [`Cpu::reset_with`]; `config` has no other mutator).
+    pub(crate) energy_by_class: [f64; smallfloat_isa::InstrClass::ALL.len()],
 }
 
 impl fmt::Debug for Cpu {
@@ -125,6 +131,7 @@ impl Cpu {
     /// Create a CPU with zeroed registers and memory.
     pub fn new(config: SimConfig) -> Cpu {
         let mem = Memory::new(config.mem_size);
+        let energy_by_class = Cpu::energy_table(&config);
         Cpu {
             config,
             mem,
@@ -137,7 +144,16 @@ impl Cpu {
             pred: Vec::new(),
             pred_base: 0,
             pred_dirty: false,
+            energy_by_class,
         }
+    }
+
+    fn energy_table(config: &SimConfig) -> [f64; InstrClass::ALL.len()] {
+        let mut table = [0.0; InstrClass::ALL.len()];
+        for class in InstrClass::ALL {
+            table[class.index()] = config.energy.class_energy(class, config.mem_level);
+        }
+        table
     }
 
     /// Reset architectural state — registers, PC, `fcsr`, statistics,
@@ -166,6 +182,7 @@ impl Cpu {
         if config.mem_size != self.mem.size() {
             self.mem = Memory::new(config.mem_size);
         }
+        self.energy_by_class = Cpu::energy_table(&config);
         self.config = config;
         self.reset();
     }

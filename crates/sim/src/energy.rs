@@ -86,12 +86,20 @@ impl EnergyModel {
     /// Energy of one instruction (excluding the per-cycle idle component,
     /// which the CPU accrues from the timing model).
     pub fn op_energy(&self, instr: &Instr, level: MemLevel) -> f64 {
+        self.class_energy(instr.class(), level)
+    }
+
+    /// Energy of one instruction of class `class` — the per-class constant
+    /// behind [`EnergyModel::op_energy`]. The interpreter caches these in a
+    /// class-indexed table so the per-instruction accounting is one load
+    /// instead of a class match per retired instruction.
+    pub fn class_energy(&self, class: InstrClass, level: MemLevel) -> f64 {
         let mem = self.mem_access[match level {
             MemLevel::L1 => 0,
             MemLevel::L2 => 1,
             MemLevel::L3 => 2,
         }];
-        match instr.class() {
+        match class {
             InstrClass::IntAlu => self.int_alu,
             InstrClass::IntMul => self.int_mul,
             InstrClass::IntDiv => self.int_div,

@@ -5,7 +5,7 @@ use smallfloat_isa::{
     csr, vector_lanes, AluOp, BranchCond, CmpOp, CpkHalf, CsrOp, CsrSrc, FmaOp, FpFmt, FpOp, Instr,
     MemWidth, MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp,
 };
-use smallfloat_softfp::{nanbox, ops, Env, Format, Rounding};
+use smallfloat_softfp::{batch, fast, ops, Env, Format, Rounding};
 
 const FLEN: u32 = 32;
 
@@ -16,12 +16,34 @@ fn resolve_rm(cpu: &Cpu, rm: Rm, pc: u32) -> Result<Rounding, SimError> {
     }
 }
 
+// `unbox`/`write_boxed` are the FLEN = 32 specialization of
+// `nanbox::unboxed`/`nanbox::boxed`: the generic helpers recompute the
+// format mask and upper-bit pattern per call, which shows up on the
+// scalar FP dispatch hot path. Width checks here are against the fixed
+// 32-bit register, so binary32 is a plain move and the narrow formats
+// reduce to one compare (or one OR) with a constant.
+
 fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
-    nanbox::unboxed(fmt.format(), cpu.freg(r) as u64, FLEN)
+    let reg = cpu.freg(r);
+    let (upper, mask) = match fmt {
+        FpFmt::S => return reg as u64,
+        FpFmt::H | FpFmt::Ah => (0xffff_0000u32, 0xffffu32),
+        FpFmt::B => (0xffff_ff00u32, 0xffu32),
+    };
+    if reg & upper == upper {
+        (reg & mask) as u64
+    } else {
+        fmt.format().quiet_nan()
+    }
 }
 
 fn write_boxed(cpu: &mut Cpu, fmt: FpFmt, r: smallfloat_isa::FReg, bits: u64) {
-    cpu.set_freg(r, nanbox::boxed(fmt.format(), bits, FLEN) as u32);
+    let boxed = match fmt {
+        FpFmt::S => bits as u32,
+        FpFmt::H | FpFmt::Ah => (bits as u32 & 0xffff) | 0xffff_0000,
+        FpFmt::B => (bits as u32 & 0xff) | 0xffff_ff00,
+    };
+    cpu.set_freg(r, boxed);
 }
 
 fn lanes_of(fmt: FpFmt, pc: u32) -> Result<(u32, u32), SimError> {
@@ -31,8 +53,51 @@ fn lanes_of(fmt: FpFmt, pc: u32) -> Result<(u32, u32), SimError> {
     }
 }
 
-fn get_lane(reg: u32, i: u32, w: u32) -> u64 {
-    ((reg >> (i * w)) as u64) & ((1u64 << w) - 1)
+/// Lane layout of a vectorizable format at `FLEN = 32`, mapping to the
+/// matching batched helper family in `smallfloat_softfp::batch`.
+#[derive(Clone, Copy)]
+enum VecFmt {
+    /// 2 × binary16
+    H,
+    /// 2 × binary16alt
+    Ah,
+    /// 4 × binary8
+    B,
+}
+
+fn vec_fmt(fmt: FpFmt, pc: u32) -> Result<VecFmt, SimError> {
+    match fmt {
+        FpFmt::H => Ok(VecFmt::H),
+        FpFmt::Ah => Ok(VecFmt::Ah),
+        FpFmt::B => Ok(VecFmt::B),
+        FpFmt::S => Err(SimError::VectorUnsupported { pc }),
+    }
+}
+
+fn lane_op(op: VfOp) -> batch::LaneOp {
+    match op {
+        VfOp::Add => batch::LaneOp::Add,
+        VfOp::Sub => batch::LaneOp::Sub,
+        VfOp::Mul => batch::LaneOp::Mul,
+        VfOp::Div => batch::LaneOp::Div,
+        VfOp::Min => batch::LaneOp::Min,
+        VfOp::Max => batch::LaneOp::Max,
+        VfOp::Mac => batch::LaneOp::Mac,
+        VfOp::Sgnj => batch::LaneOp::Sgnj,
+        VfOp::Sgnjn => batch::LaneOp::Sgnjn,
+        VfOp::Sgnjx => batch::LaneOp::Sgnjx,
+    }
+}
+
+fn lane_cmp(op: VCmpOp) -> batch::LaneCmp {
+    match op {
+        VCmpOp::Eq => batch::LaneCmp::Eq,
+        VCmpOp::Ne => batch::LaneCmp::Ne,
+        VCmpOp::Lt => batch::LaneCmp::Lt,
+        VCmpOp::Le => batch::LaneCmp::Le,
+        VCmpOp::Gt => batch::LaneCmp::Gt,
+        VCmpOp::Ge => batch::LaneCmp::Ge,
+    }
 }
 
 fn set_lane(reg: u32, i: u32, w: u32, v: u64) -> u32 {
@@ -52,16 +117,19 @@ fn sext(v: u32, bits: u32) -> u32 {
 /// format, so no flags can be raised.
 fn widen_to_s(fmt: FpFmt, bits: u64) -> u64 {
     let mut env = Env::new(Rounding::Rne);
-    ops::cvt_f_f(Format::BINARY32, fmt.format(), bits, &mut env)
+    fast::cvt_f_f(Format::BINARY32, fmt.format(), bits, &mut env)
 }
 
 pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitReason>, SimError> {
     let pc = cpu.pc;
-    let t = cpu.config.timing;
-    let mem_lat = cpu.config.mem_level.latency();
     let mut next_pc = pc.wrapping_add(len);
-    let mut cycles = t.int_alu;
+    let mut cycles = cpu.config.timing.int_alu;
     let mut exit = None;
+    // One environment per retired instruction: arms that round set `rm`,
+    // flags accrue across lanes and drain into `fflags` once after the
+    // match (trapping arms return early and leave `fflags` untouched,
+    // as before).
+    let mut env = Env::new(Rounding::Rne);
 
     match instr {
         // ----- RV32I -----
@@ -72,13 +140,13 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
         Instr::Jal { rd, offset } => {
             cpu.set_xreg(rd, pc.wrapping_add(len));
             next_pc = pc.wrapping_add(offset as u32);
-            cycles = t.jump;
+            cycles = cpu.config.timing.jump;
         }
         Instr::Jalr { rd, rs1, offset } => {
             let target = cpu.xreg(rs1).wrapping_add(offset as u32) & !1;
             cpu.set_xreg(rd, pc.wrapping_add(len));
             next_pc = target;
-            cycles = t.jump;
+            cycles = cpu.config.timing.jump;
         }
         Instr::Branch {
             cond,
@@ -98,9 +166,9 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             };
             if taken {
                 next_pc = pc.wrapping_add(offset as u32);
-                cycles = t.branch_taken;
+                cycles = cpu.config.timing.branch_taken;
             } else {
-                cycles = t.branch_not_taken;
+                cycles = cpu.config.timing.branch_not_taken;
             }
         }
         Instr::Load {
@@ -118,7 +186,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
                 sext(raw, width.bytes() * 8)
             };
             cpu.set_xreg(rd, v);
-            cycles = mem_lat;
+            cycles = cpu.config.mem_level.latency();
         }
         Instr::Store {
             width,
@@ -129,7 +197,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let addr = cpu.xreg(rs1).wrapping_add(offset as u32);
             cpu.mem.store(addr, width.bytes(), cpu.xreg(rs2))?;
             cpu.invalidate_code(addr, width.bytes());
-            cycles = mem_lat;
+            cycles = cpu.config.mem_level.latency();
         }
         Instr::OpImm { op, rd, rs1, imm } => {
             let v = alu(op, cpu.xreg(rs1), imm as u32);
@@ -150,8 +218,10 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let v = muldiv(op, a, b);
             cpu.set_xreg(rd, v);
             cycles = match op {
-                MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => t.int_mul,
-                _ => t.int_div,
+                MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => {
+                    cpu.config.timing.int_mul
+                }
+                _ => cpu.config.timing.int_div,
             };
         }
 
@@ -189,7 +259,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let bytes = fmt.width() / 8;
             let raw = cpu.mem.load(addr, bytes)? as u64;
             write_boxed(cpu, fmt, rd, raw);
-            cycles = mem_lat;
+            cycles = cpu.config.mem_level.latency();
         }
         Instr::FStore {
             fmt,
@@ -201,7 +271,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let bytes = fmt.width() / 8;
             cpu.mem.store(addr, bytes, cpu.freg(rs2))?;
             cpu.invalidate_code(addr, bytes);
-            cycles = mem_lat;
+            cycles = cpu.config.mem_level.latency();
         }
 
         // ----- Scalar FP arithmetic -----
@@ -213,26 +283,28 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs2,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            env.rm = resolve_rm(cpu, rm, pc)?;
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
             let f = fmt.format();
             let r = match op {
-                FpOp::Add => ops::add(f, a, b, &mut env),
-                FpOp::Sub => ops::sub(f, a, b, &mut env),
-                FpOp::Mul => ops::mul(f, a, b, &mut env),
-                FpOp::Div => ops::div(f, a, b, &mut env),
+                FpOp::Add => fast::add(f, a, b, &mut env),
+                FpOp::Sub => fast::sub(f, a, b, &mut env),
+                FpOp::Mul => fast::mul(f, a, b, &mut env),
+                FpOp::Div => fast::div(f, a, b, &mut env),
             };
             write_boxed(cpu, fmt, rd, r);
-            cpu.fflags.set(env.flags);
-            cycles = if op == FpOp::Div { t.fp_div } else { t.fp_op };
+            cycles = if op == FpOp::Div {
+                cpu.config.timing.fp_div
+            } else {
+                cpu.config.timing.fp_op
+            };
         }
         Instr::FSqrt { fmt, rd, rs1, rm } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
-            let r = ops::sqrt(fmt.format(), unbox(cpu, fmt, rs1), &mut env);
+            env.rm = resolve_rm(cpu, rm, pc)?;
+            let r = fast::sqrt(fmt.format(), unbox(cpu, fmt, rs1), &mut env);
             write_boxed(cpu, fmt, rd, r);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_sqrt;
+            cycles = cpu.config.timing.fp_sqrt;
         }
         Instr::FSgnj {
             kind,
@@ -245,12 +317,12 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let b = unbox(cpu, fmt, rs2);
             let f = fmt.format();
             let r = match kind {
-                SgnjKind::Sgnj => ops::fsgnj(f, a, b),
-                SgnjKind::Sgnjn => ops::fsgnjn(f, a, b),
-                SgnjKind::Sgnjx => ops::fsgnjx(f, a, b),
+                SgnjKind::Sgnj => fast::fsgnj(f, a, b),
+                SgnjKind::Sgnjn => fast::fsgnjn(f, a, b),
+                SgnjKind::Sgnjx => fast::fsgnjx(f, a, b),
             };
             write_boxed(cpu, fmt, rd, r);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FMinMax {
             op,
@@ -259,16 +331,14 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs1,
             rs2,
         } => {
-            let mut env = Env::new(Rounding::Rne);
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
             let r = match op {
-                MinMaxOp::Min => ops::fmin(fmt.format(), a, b, &mut env),
-                MinMaxOp::Max => ops::fmax(fmt.format(), a, b, &mut env),
+                MinMaxOp::Min => fast::fmin(fmt.format(), a, b, &mut env),
+                MinMaxOp::Max => fast::fmax(fmt.format(), a, b, &mut env),
             };
             write_boxed(cpu, fmt, rd, r);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FFma {
             op,
@@ -279,20 +349,19 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs3,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            env.rm = resolve_rm(cpu, rm, pc)?;
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
             let c = unbox(cpu, fmt, rs3);
             let f = fmt.format();
             let r = match op {
-                FmaOp::Madd => ops::fmadd(f, a, b, c, &mut env),
-                FmaOp::Msub => ops::fmsub(f, a, b, c, &mut env),
-                FmaOp::Nmsub => ops::fnmsub(f, a, b, c, &mut env),
-                FmaOp::Nmadd => ops::fnmadd(f, a, b, c, &mut env),
+                FmaOp::Madd => fast::fmadd(f, a, b, c, &mut env),
+                FmaOp::Msub => fast::fmsub(f, a, b, c, &mut env),
+                FmaOp::Nmsub => fast::fnmsub(f, a, b, c, &mut env),
+                FmaOp::Nmadd => fast::fnmadd(f, a, b, c, &mut env),
             };
             write_boxed(cpu, fmt, rd, r);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FCmp {
             op,
@@ -301,31 +370,29 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs1,
             rs2,
         } => {
-            let mut env = Env::new(Rounding::Rne);
             let a = unbox(cpu, fmt, rs1);
             let b = unbox(cpu, fmt, rs2);
             let f = fmt.format();
             let r = match op {
-                CmpOp::Eq => ops::feq(f, a, b, &mut env),
-                CmpOp::Lt => ops::flt(f, a, b, &mut env),
-                CmpOp::Le => ops::fle(f, a, b, &mut env),
+                CmpOp::Eq => fast::feq(f, a, b, &mut env),
+                CmpOp::Lt => fast::flt(f, a, b, &mut env),
+                CmpOp::Le => fast::fle(f, a, b, &mut env),
             };
             cpu.set_xreg(rd, r as u32);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FClass { fmt, rd, rs1 } => {
-            cpu.set_xreg(rd, ops::classify(fmt.format(), unbox(cpu, fmt, rs1)));
-            cycles = t.fp_op;
+            cpu.set_xreg(rd, fast::classify(fmt.format(), unbox(cpu, fmt, rs1)));
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FMvXF { fmt, rd, rs1 } => {
             let raw = (cpu.freg(rs1) as u64 & fmt.format().mask()) as u32;
             cpu.set_xreg(rd, sext(raw, fmt.width()));
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FMvFX { fmt, rd, rs1 } => {
             write_boxed(cpu, fmt, rd, cpu.xreg(rs1) as u64 & fmt.format().mask());
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FCvtFF {
             dst,
@@ -334,11 +401,10 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs1,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
-            let r = ops::cvt_f_f(dst.format(), src.format(), unbox(cpu, src, rs1), &mut env);
+            env.rm = resolve_rm(cpu, rm, pc)?;
+            let r = fast::cvt_f_f(dst.format(), src.format(), unbox(cpu, src, rs1), &mut env);
             write_boxed(cpu, dst, rd, r);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FCvtFI {
             fmt,
@@ -347,11 +413,10 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             signed,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            env.rm = resolve_rm(cpu, rm, pc)?;
             let r = ops::to_int(fmt.format(), unbox(cpu, fmt, rs1), signed, 32, &mut env);
             cpu.set_xreg(rd, r as u32);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FCvtIF {
             fmt,
@@ -360,7 +425,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             signed,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            env.rm = resolve_rm(cpu, rm, pc)?;
             let x = cpu.xreg(rs1);
             let r = if signed {
                 ops::from_i64(fmt.format(), x as i32 as i64, &mut env)
@@ -368,8 +433,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
                 ops::from_u64(fmt.format(), x as u64, &mut env)
             };
             write_boxed(cpu, fmt, rd, r);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
 
         // ----- Xfaux scalar expanding -----
@@ -380,13 +444,12 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs2,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            env.rm = resolve_rm(cpu, rm, pc)?;
             let a = widen_to_s(fmt, unbox(cpu, fmt, rs1));
             let b = widen_to_s(fmt, unbox(cpu, fmt, rs2));
-            let r = ops::mul(Format::BINARY32, a, b, &mut env);
+            let r = fast::mul(Format::BINARY32, a, b, &mut env);
             cpu.set_freg(rd, r as u32);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::FMacEx {
             fmt,
@@ -395,14 +458,13 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs2,
             rm,
         } => {
-            let mut env = Env::new(resolve_rm(cpu, rm, pc)?);
+            env.rm = resolve_rm(cpu, rm, pc)?;
             let a = widen_to_s(fmt, unbox(cpu, fmt, rs1));
             let b = widen_to_s(fmt, unbox(cpu, fmt, rs2));
             let acc = cpu.freg(rd) as u64;
-            let r = ops::fmadd(Format::BINARY32, a, b, acc, &mut env);
+            let r = fast::fmadd(Format::BINARY32, a, b, acc, &mut env);
             cpu.set_freg(rd, r as u32);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
 
         // ----- Xfvec -----
@@ -414,48 +476,35 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs2,
             rep,
         } => {
-            let (n, w) = lanes_of(fmt, pc)?;
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
+            let vf = vec_fmt(fmt, pc)?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let va = cpu.freg(rs1);
             let vb = cpu.freg(rs2);
             let vd = cpu.freg(rd);
-            let f = fmt.format();
-            let mut out = vd;
-            for i in 0..n {
-                let a = get_lane(va, i, w);
-                let b = get_lane(vb, if rep { 0 } else { i }, w);
-                let r = match op {
-                    VfOp::Add => ops::add(f, a, b, &mut env),
-                    VfOp::Sub => ops::sub(f, a, b, &mut env),
-                    VfOp::Mul => ops::mul(f, a, b, &mut env),
-                    VfOp::Div => ops::div(f, a, b, &mut env),
-                    VfOp::Min => ops::fmin(f, a, b, &mut env),
-                    VfOp::Max => ops::fmax(f, a, b, &mut env),
-                    VfOp::Mac => ops::fmadd(f, a, b, get_lane(vd, i, w), &mut env),
-                    VfOp::Sgnj => ops::fsgnj(f, a, b),
-                    VfOp::Sgnjn => ops::fsgnjn(f, a, b),
-                    VfOp::Sgnjx => ops::fsgnjx(f, a, b),
-                };
-                out = set_lane(out, i, w, r);
-            }
+            let lop = lane_op(op);
+            let out = match vf {
+                VecFmt::H => batch::vfop2_f16(lop, va, vb, vd, rep, &mut env),
+                VecFmt::Ah => batch::vfop2_f16alt(lop, va, vb, vd, rep, &mut env),
+                VecFmt::B => batch::vfop4_f8(lop, va, vb, vd, rep, &mut env),
+            };
             cpu.set_freg(rd, out);
-            cpu.fflags.set(env.flags);
-            cycles = if op == VfOp::Div { t.fp_div } else { t.fp_op };
+            cycles = if op == VfOp::Div {
+                cpu.config.timing.fp_div
+            } else {
+                cpu.config.timing.fp_op
+            };
         }
         Instr::VFSqrt { fmt, rd, rs1 } => {
-            let (n, w) = lanes_of(fmt, pc)?;
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
+            let vf = vec_fmt(fmt, pc)?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let va = cpu.freg(rs1);
-            let mut out = cpu.freg(rd);
-            for i in 0..n {
-                let r = ops::sqrt(fmt.format(), get_lane(va, i, w), &mut env);
-                out = set_lane(out, i, w, r);
-            }
+            let out = match vf {
+                VecFmt::H => batch::vsqrt2_f16(va, &mut env),
+                VecFmt::Ah => batch::vsqrt2_f16alt(va, &mut env),
+                VecFmt::B => batch::vsqrt4_f8(va, &mut env),
+            };
             cpu.set_freg(rd, out);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_sqrt;
+            cycles = cpu.config.timing.fp_sqrt;
         }
         Instr::VFCmp {
             op,
@@ -465,49 +514,31 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs2,
             rep,
         } => {
-            let (n, w) = lanes_of(fmt, pc)?;
-            let mut env = Env::new(Rounding::Rne);
+            let vf = vec_fmt(fmt, pc)?;
             let va = cpu.freg(rs1);
             let vb = cpu.freg(rs2);
-            let f = fmt.format();
-            let mut mask = 0u32;
-            for i in 0..n {
-                let a = get_lane(va, i, w);
-                let b = get_lane(vb, if rep { 0 } else { i }, w);
-                let r = match op {
-                    VCmpOp::Eq => ops::feq(f, a, b, &mut env),
-                    VCmpOp::Ne => {
-                        // NaN != x is true (IEEE unordered), quiet like feq.
-                        let nan = f.is_nan(a) || f.is_nan(b);
-                        nan || !ops::feq(f, a, b, &mut env)
-                    }
-                    VCmpOp::Lt => ops::flt(f, a, b, &mut env),
-                    VCmpOp::Le => ops::fle(f, a, b, &mut env),
-                    VCmpOp::Gt => ops::flt(f, b, a, &mut env),
-                    VCmpOp::Ge => ops::fle(f, b, a, &mut env),
-                };
-                mask |= (r as u32) << i;
-            }
+            let lop = lane_cmp(op);
+            let mask = match vf {
+                VecFmt::H => batch::vcmp2_f16(lop, va, vb, rep, &mut env),
+                VecFmt::Ah => batch::vcmp2_f16alt(lop, va, vb, rep, &mut env),
+                VecFmt::B => batch::vcmp4_f8(lop, va, vb, rep, &mut env),
+            };
             cpu.set_xreg(rd, mask);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::VFCvtFF { dst, src, rd, rs1 } => {
             if dst.width() != src.width() {
                 return Err(SimError::VectorUnsupported { pc });
             }
-            let (n, w) = lanes_of(dst, pc)?;
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
+            let vf = vec_fmt(dst, pc)?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let va = cpu.freg(rs1);
-            let mut out = cpu.freg(rd);
-            for i in 0..n {
-                let r = ops::cvt_f_f(dst.format(), src.format(), get_lane(va, i, w), &mut env);
-                out = set_lane(out, i, w, r);
-            }
+            let out = match vf {
+                VecFmt::H | VecFmt::Ah => batch::vcvt2_ff(dst.format(), src.format(), va, &mut env),
+                VecFmt::B => batch::vcvt4_ff(dst.format(), src.format(), va, &mut env),
+            };
             cpu.set_freg(rd, out);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::VFCvtXF {
             fmt,
@@ -515,18 +546,15 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs1,
             signed,
         } => {
-            let (n, w) = lanes_of(fmt, pc)?;
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
+            let vf = vec_fmt(fmt, pc)?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let va = cpu.freg(rs1);
-            let mut out = cpu.freg(rd);
-            for i in 0..n {
-                let r = ops::to_int(fmt.format(), get_lane(va, i, w), signed, w, &mut env);
-                out = set_lane(out, i, w, r & ((1 << w) - 1));
-            }
+            let out = match vf {
+                VecFmt::H | VecFmt::Ah => batch::vcvt2_x_f(fmt.format(), va, signed, &mut env),
+                VecFmt::B => batch::vcvt4_x_f8(va, signed, &mut env),
+            };
             cpu.set_freg(rd, out);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::VFCvtFX {
             fmt,
@@ -534,23 +562,15 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs1,
             signed,
         } => {
-            let (n, w) = lanes_of(fmt, pc)?;
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
+            let vf = vec_fmt(fmt, pc)?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let va = cpu.freg(rs1);
-            let mut out = cpu.freg(rd);
-            for i in 0..n {
-                let raw = get_lane(va, i, w) as u32;
-                let r = if signed {
-                    ops::from_i64(fmt.format(), sext(raw, w) as i32 as i64, &mut env)
-                } else {
-                    ops::from_u64(fmt.format(), raw as u64, &mut env)
-                };
-                out = set_lane(out, i, w, r);
-            }
+            let out = match vf {
+                VecFmt::H | VecFmt::Ah => batch::vcvt2_f_x(fmt.format(), va, signed, &mut env),
+                VecFmt::B => batch::vcvt4_f8_x(va, signed, &mut env),
+            };
             cpu.set_freg(rd, out);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::VFCpk {
             fmt,
@@ -567,15 +587,14 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             if base + 1 >= n {
                 return Err(SimError::VectorUnsupported { pc });
             }
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
-            let a = ops::cvt_f_f(
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let a = fast::cvt_f_f(
                 fmt.format(),
                 Format::BINARY32,
                 cpu.freg(rs1) as u64,
                 &mut env,
             );
-            let b = ops::cvt_f_f(
+            let b = fast::cvt_f_f(
                 fmt.format(),
                 Format::BINARY32,
                 cpu.freg(rs2) as u64,
@@ -585,8 +604,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             out = set_lane(out, base, w, a);
             out = set_lane(out, base + 1, w, b);
             cpu.set_freg(rd, out);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            cycles = cpu.config.timing.fp_op;
         }
         Instr::VFDotpEx {
             fmt,
@@ -595,31 +613,31 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             rs2,
             rep,
         } => {
-            let (n, w) = lanes_of(fmt, pc)?;
-            let frm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
-            let mut env = Env::new(frm);
+            let vf = vec_fmt(fmt, pc)?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
             let va = cpu.freg(rs1);
             let vb = cpu.freg(rs2);
-            // Accumulate lane products into the binary32 destination, lane 0
+            // Lane products accumulate into the binary32 destination, lane 0
             // first, each step a single-rounding FMA (FPnew SDOTP order).
-            let mut acc = cpu.freg(rd) as u64;
-            for i in 0..n {
-                let a = widen_to_s(fmt, get_lane(va, i, w));
-                let b = widen_to_s(fmt, get_lane(vb, if rep { 0 } else { i }, w));
-                acc = ops::fmadd(Format::BINARY32, a, b, acc, &mut env);
-            }
-            cpu.set_freg(rd, acc as u32);
-            cpu.fflags.set(env.flags);
-            cycles = t.fp_op;
+            let acc = cpu.freg(rd);
+            let out = match vf {
+                VecFmt::H => batch::vdotpex2_f16(acc, va, vb, rep, &mut env),
+                VecFmt::Ah => batch::vdotpex2_f16alt(acc, va, vb, rep, &mut env),
+                VecFmt::B => batch::vdotpex4_f8(acc, va, vb, rep, &mut env),
+            };
+            cpu.set_freg(rd, out);
+            cycles = cpu.config.timing.fp_op;
         }
     }
 
-    // ----- Accounting -----
-    cpu.stats.count(instr.class(), cycles);
+    // ----- Flag drain + accounting -----
+    cpu.fflags.set(env.flags);
+    let class = instr.class();
+    cpu.stats.count(class, cycles);
     cpu.stats.instret += 1;
     cpu.stats.cycles += cycles;
-    cpu.stats.energy_pj += cpu.config.energy.op_energy(&instr, cpu.config.mem_level)
-        + cpu.config.energy.idle_per_cycle * cycles as f64;
+    cpu.stats.energy_pj +=
+        cpu.energy_by_class[class.index()] + cpu.config.energy.idle_per_cycle * cycles as f64;
     cpu.pc = next_pc;
     Ok(exit)
 }
@@ -736,9 +754,6 @@ mod tests {
     #[test]
     fn lane_accessors() {
         let reg = 0xaabb_ccdd;
-        assert_eq!(get_lane(reg, 0, 16), 0xccdd);
-        assert_eq!(get_lane(reg, 1, 16), 0xaabb);
-        assert_eq!(get_lane(reg, 2, 8), 0xbb);
         assert_eq!(set_lane(reg, 1, 16, 0x1122), 0x1122_ccdd);
         assert_eq!(set_lane(reg, 0, 8, 0xff), 0xaabb_ccff);
     }

@@ -1,0 +1,544 @@
+//! Batched SIMD lane helpers: whole-register vector entry points.
+//!
+//! The simulator's Xfvec instructions operate on packed 32-bit FP registers
+//! (2×16-bit or 4×8-bit lanes at `FLEN = 32`). These helpers take the packed
+//! register(s), run every lane through the fast path of [`crate::fast`]
+//! (binary8 lanes through the exhaustive tables of `crate::tables`, fetched
+//! **once** per vector op; 16-bit lanes through the monomorphized kernels of
+//! `crate::kernels`), share a single [`Env`], and return the packed result
+//! with all lanes' exception flags ORed into it — replacing the simulator's
+//! former per-lane `get_lane` → generic scalar op → `set_lane` loop.
+//!
+//! Lane semantics mirror the scalar reference exactly (the differential and
+//! simulator test suites enforce this):
+//!
+//! * `rep` replicates operand lane 0 of `b` across all lanes (the `.R`
+//!   vector-scalar instruction variants);
+//! * [`LaneOp::Mac`] reads the addend lanes from the *original* destination
+//!   register value;
+//! * [`LaneCmp::Ne`] is quiet and true for unordered operands, and — like
+//!   the interpreter's reference loop — does not consult `feq` (and thus
+//!   raises no flag) when either operand is any NaN;
+//! * the widening dot-product helpers convert lanes to binary32 exactly as
+//!   the interpreter's scalar path does, discarding the conversion's flags,
+//!   then chain single-rounding binary32 FMAs lane 0 first (FPnew SDOTP
+//!   accumulation order).
+//!
+//! Named convenience wrappers ([`vadd2_f16`], [`vfma4_f8`], …) are
+//! re-exported from [`crate::ops`] for discoverability next to the scalar
+//! entry points.
+
+use crate::env::Env;
+use crate::fast;
+use crate::format::Format;
+use crate::kernels as k;
+use crate::ops;
+use crate::tables;
+
+/// Two-operand (plus destination-addend) lane operation of the `vfop`
+/// family, matching the simulator's `VfOp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// IEEE 754-2008 `minNum`
+    Min,
+    /// IEEE 754-2008 `maxNum`
+    Max,
+    /// Fused `a * b + d` where `d` is the destination lane
+    Mac,
+    /// Sign injection
+    Sgnj,
+    /// Negated sign injection
+    Sgnjn,
+    /// XORed sign injection
+    Sgnjx,
+}
+
+/// Per-lane comparison predicate, matching the simulator's `VCmpOp`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneCmp {
+    /// Quiet equality
+    Eq,
+    /// Quiet inequality (true for unordered)
+    Ne,
+    /// Signaling less-than
+    Lt,
+    /// Signaling less-or-equal
+    Le,
+    /// Signaling greater-than
+    Gt,
+    /// Signaling greater-or-equal
+    Ge,
+}
+
+// ---------------------------------------------------------------------------
+// Lane extraction
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn lo16(v: u32) -> u64 {
+    (v & 0xffff) as u64
+}
+
+#[inline(always)]
+fn hi16(v: u32) -> u64 {
+    (v >> 16) as u64
+}
+
+#[inline(always)]
+fn pack16(lo: u64, hi: u64) -> u32 {
+    (lo as u32 & 0xffff) | ((hi as u32) << 16)
+}
+
+#[inline(always)]
+fn lane8(v: u32, i: u32) -> u64 {
+    ((v >> (8 * i)) & 0xff) as u64
+}
+
+#[inline(always)]
+fn pack8(l: [u64; 4]) -> u32 {
+    (l[0] as u32 & 0xff)
+        | ((l[1] as u32 & 0xff) << 8)
+        | ((l[2] as u32 & 0xff) << 16)
+        | ((l[3] as u32) << 24)
+}
+
+// ---------------------------------------------------------------------------
+// vfop: two 16-bit lanes (monomorphized) and four 8-bit lanes (tables)
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn lane_op_k<const E: u32, const M: u32>(op: LaneOp, a: u64, b: u64, d: u64, env: &mut Env) -> u64 {
+    match op {
+        LaneOp::Add => k::add::<E, M>(a, b, env),
+        LaneOp::Sub => k::sub::<E, M>(a, b, env),
+        LaneOp::Mul => k::mul::<E, M>(a, b, env),
+        LaneOp::Div => k::div::<E, M>(a, b, env),
+        LaneOp::Min => k::fmin::<E, M>(a, b, env),
+        LaneOp::Max => k::fmax::<E, M>(a, b, env),
+        LaneOp::Mac => k::fma::<E, M>(a, b, d, env),
+        LaneOp::Sgnj => k::fsgnj::<E, M>(a, b),
+        LaneOp::Sgnjn => k::fsgnjn::<E, M>(a, b),
+        LaneOp::Sgnjx => k::fsgnjx::<E, M>(a, b),
+    }
+}
+
+#[inline(always)]
+fn vfop2<const E: u32, const M: u32>(
+    op: LaneOp,
+    va: u32,
+    vb: u32,
+    vd: u32,
+    rep: bool,
+    env: &mut Env,
+) -> u32 {
+    let b0 = lo16(vb);
+    let b1 = if rep { b0 } else { hi16(vb) };
+    let r0 = lane_op_k::<E, M>(op, lo16(va), b0, lo16(vd), env);
+    let r1 = lane_op_k::<E, M>(op, hi16(va), b1, hi16(vd), env);
+    pack16(r0, r1)
+}
+
+/// `vfop` on two binary16 lanes. `vd` supplies the addend lanes for
+/// [`LaneOp::Mac`] (ignored otherwise).
+#[inline]
+pub fn vfop2_f16(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut Env) -> u32 {
+    vfop2::<5, 10>(op, va, vb, vd, rep, env)
+}
+
+/// `vfop` on two binary16alt lanes.
+#[inline]
+pub fn vfop2_f16alt(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut Env) -> u32 {
+    vfop2::<8, 7>(op, va, vb, vd, rep, env)
+}
+
+/// `vfop` on four binary8 lanes. Add/sub/mul/div fetch the exhaustive
+/// lookup table once and do four O(1) loads; the remaining ops use the
+/// monomorphized binary8 kernels.
+#[inline]
+pub fn vfop4_f8(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut Env) -> u32 {
+    let bl = |i: u32| -> u64 {
+        if rep {
+            lane8(vb, 0)
+        } else {
+            lane8(vb, i)
+        }
+    };
+    match op {
+        LaneOp::Add | LaneOp::Sub | LaneOp::Mul | LaneOp::Div => {
+            let (t, bflip) = match op {
+                LaneOp::Add => (tables::add_table(env.rm), 0u64),
+                LaneOp::Sub => (tables::add_table(env.rm), 0x80),
+                LaneOp::Mul => (tables::mul_table(env.rm), 0),
+                _ => (tables::div_table(env.rm), 0),
+            };
+            pack8([
+                tables::bin_lookup(t, lane8(va, 0), bl(0) ^ bflip, env),
+                tables::bin_lookup(t, lane8(va, 1), bl(1) ^ bflip, env),
+                tables::bin_lookup(t, lane8(va, 2), bl(2) ^ bflip, env),
+                tables::bin_lookup(t, lane8(va, 3), bl(3) ^ bflip, env),
+            ])
+        }
+        _ => pack8([
+            lane_op_k::<5, 2>(op, lane8(va, 0), bl(0), lane8(vd, 0), env),
+            lane_op_k::<5, 2>(op, lane8(va, 1), bl(1), lane8(vd, 1), env),
+            lane_op_k::<5, 2>(op, lane8(va, 2), bl(2), lane8(vd, 2), env),
+            lane_op_k::<5, 2>(op, lane8(va, 3), bl(3), lane8(vd, 3), env),
+        ]),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Vector comparisons (lane mask results)
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn lane_cmp_k<const E: u32, const M: u32>(op: LaneCmp, a: u64, b: u64, env: &mut Env) -> bool {
+    match op {
+        LaneCmp::Eq => k::feq::<E, M>(a, b, env),
+        LaneCmp::Ne => {
+            // NaN != x is true (IEEE unordered), quiet like feq. The
+            // short-circuit skips feq for NaN operands, matching the
+            // interpreter's reference loop flag-for-flag.
+            let nan = k::is_nan_bits::<E, M>(a) || k::is_nan_bits::<E, M>(b);
+            nan || !k::feq::<E, M>(a, b, env)
+        }
+        LaneCmp::Lt => k::flt::<E, M>(a, b, env),
+        LaneCmp::Le => k::fle::<E, M>(a, b, env),
+        LaneCmp::Gt => k::flt::<E, M>(b, a, env),
+        LaneCmp::Ge => k::fle::<E, M>(b, a, env),
+    }
+}
+
+#[inline(always)]
+fn vcmp2<const E: u32, const M: u32>(
+    op: LaneCmp,
+    va: u32,
+    vb: u32,
+    rep: bool,
+    env: &mut Env,
+) -> u32 {
+    let b0 = lo16(vb);
+    let b1 = if rep { b0 } else { hi16(vb) };
+    u32::from(lane_cmp_k::<E, M>(op, lo16(va), b0, env))
+        | (u32::from(lane_cmp_k::<E, M>(op, hi16(va), b1, env)) << 1)
+}
+
+/// Lane-mask comparison of two binary16 lanes (bit `i` = lane `i` result).
+#[inline]
+pub fn vcmp2_f16(op: LaneCmp, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+    vcmp2::<5, 10>(op, va, vb, rep, env)
+}
+
+/// Lane-mask comparison of two binary16alt lanes.
+#[inline]
+pub fn vcmp2_f16alt(op: LaneCmp, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+    vcmp2::<8, 7>(op, va, vb, rep, env)
+}
+
+/// Lane-mask comparison of four binary8 lanes.
+#[inline]
+pub fn vcmp4_f8(op: LaneCmp, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+    let mut mask = 0u32;
+    let mut i = 0;
+    while i < 4 {
+        let b = if rep { lane8(vb, 0) } else { lane8(vb, i) };
+        mask |= u32::from(lane_cmp_k::<5, 2>(op, lane8(va, i), b, env)) << i;
+        i += 1;
+    }
+    mask
+}
+
+// ---------------------------------------------------------------------------
+// Vector sqrt
+// ---------------------------------------------------------------------------
+
+/// Square root of two binary16 lanes.
+#[inline]
+pub fn vsqrt2_f16(va: u32, env: &mut Env) -> u32 {
+    pack16(
+        k::sqrt::<5, 10>(lo16(va), env),
+        k::sqrt::<5, 10>(hi16(va), env),
+    )
+}
+
+/// Square root of two binary16alt lanes.
+#[inline]
+pub fn vsqrt2_f16alt(va: u32, env: &mut Env) -> u32 {
+    pack16(
+        k::sqrt::<8, 7>(lo16(va), env),
+        k::sqrt::<8, 7>(hi16(va), env),
+    )
+}
+
+/// Square root of four binary8 lanes (table-driven).
+#[inline]
+pub fn vsqrt4_f8(va: u32, env: &mut Env) -> u32 {
+    pack8([
+        tables::sqrt(lane8(va, 0), env),
+        tables::sqrt(lane8(va, 1), env),
+        tables::sqrt(lane8(va, 2), env),
+        tables::sqrt(lane8(va, 3), env),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Vector conversions
+// ---------------------------------------------------------------------------
+
+/// Same-width float-to-float conversion of two 16-bit lanes
+/// (binary16 ↔ binary16alt, or identity).
+#[inline]
+pub fn vcvt2_ff(dst: Format, src: Format, va: u32, env: &mut Env) -> u32 {
+    pack16(
+        fast::cvt_f_f(dst, src, lo16(va), env),
+        fast::cvt_f_f(dst, src, hi16(va), env),
+    )
+}
+
+/// Float-to-float conversion of four 8-bit lanes (binary8 → binary8).
+#[inline]
+pub fn vcvt4_ff(dst: Format, src: Format, va: u32, env: &mut Env) -> u32 {
+    pack8([
+        fast::cvt_f_f(dst, src, lane8(va, 0), env),
+        fast::cvt_f_f(dst, src, lane8(va, 1), env),
+        fast::cvt_f_f(dst, src, lane8(va, 2), env),
+        fast::cvt_f_f(dst, src, lane8(va, 3), env),
+    ])
+}
+
+#[inline(always)]
+fn sext_lane(v: u32, bits: u32) -> u32 {
+    (((v << (32 - bits)) as i32) >> (32 - bits)) as u32
+}
+
+/// Float-to-integer conversion of two 16-bit lanes of `fmt` into two 16-bit
+/// integer lanes (clamping, `NV` on NaN/out-of-range as in `ops::to_int`).
+#[inline]
+pub fn vcvt2_x_f(fmt: Format, va: u32, signed: bool, env: &mut Env) -> u32 {
+    let r0 = ops::to_int(fmt, lo16(va), signed, 16, env);
+    let r1 = ops::to_int(fmt, hi16(va), signed, 16, env);
+    pack16(r0 & 0xffff, r1 & 0xffff)
+}
+
+/// Float-to-integer conversion of four binary8 lanes into 8-bit lanes.
+#[inline]
+pub fn vcvt4_x_f8(va: u32, signed: bool, env: &mut Env) -> u32 {
+    pack8([
+        ops::to_int(Format::BINARY8, lane8(va, 0), signed, 8, env) & 0xff,
+        ops::to_int(Format::BINARY8, lane8(va, 1), signed, 8, env) & 0xff,
+        ops::to_int(Format::BINARY8, lane8(va, 2), signed, 8, env) & 0xff,
+        ops::to_int(Format::BINARY8, lane8(va, 3), signed, 8, env) & 0xff,
+    ])
+}
+
+/// Integer-to-float conversion of two 16-bit integer lanes into `fmt`.
+#[inline]
+pub fn vcvt2_f_x(fmt: Format, va: u32, signed: bool, env: &mut Env) -> u32 {
+    let cv = |raw: u32, env: &mut Env| -> u64 {
+        if signed {
+            ops::from_i64(fmt, sext_lane(raw, 16) as i32 as i64, env)
+        } else {
+            ops::from_u64(fmt, raw as u64, env)
+        }
+    };
+    let r0 = cv(lo16(va) as u32, env);
+    let r1 = cv(hi16(va) as u32, env);
+    pack16(r0, r1)
+}
+
+/// Integer-to-float conversion of four 8-bit integer lanes into binary8.
+#[inline]
+pub fn vcvt4_f8_x(va: u32, signed: bool, env: &mut Env) -> u32 {
+    let cv = |raw: u32, env: &mut Env| -> u64 {
+        if signed {
+            ops::from_i64(Format::BINARY8, sext_lane(raw, 8) as i32 as i64, env)
+        } else {
+            ops::from_u64(Format::BINARY8, raw as u64, env)
+        }
+    };
+    let l = [
+        cv(lane8(va, 0) as u32, env),
+        cv(lane8(va, 1) as u32, env),
+        cv(lane8(va, 2) as u32, env),
+        cv(lane8(va, 3) as u32, env),
+    ];
+    pack8(l)
+}
+
+// ---------------------------------------------------------------------------
+// Widening dot-product accumulate (vfdotpex)
+// ---------------------------------------------------------------------------
+
+macro_rules! dotpex2 {
+    ($name:ident, $se:literal, $sm:literal, $doc:literal) => {
+        #[doc = $doc]
+        ///
+        /// Accumulates both lane products into the binary32 accumulator,
+        /// lane 0 first, each step a single-rounding FMA (FPnew SDOTP
+        /// order). Lane widening is exact; its (at most `NV`-on-sNaN) flags
+        /// are discarded, matching the interpreter's scalar widening path.
+        #[inline]
+        pub fn $name(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+            let mut scratch = Env::new(env.rm);
+            let a0 = k::cvt::<$se, $sm, 8, 23>(lo16(va), &mut scratch);
+            let a1 = k::cvt::<$se, $sm, 8, 23>(hi16(va), &mut scratch);
+            let b0 = k::cvt::<$se, $sm, 8, 23>(lo16(vb), &mut scratch);
+            let b1 = if rep {
+                b0
+            } else {
+                k::cvt::<$se, $sm, 8, 23>(hi16(vb), &mut scratch)
+            };
+            let acc = k::fma::<8, 23>(a0, b0, acc as u64, env);
+            k::fma::<8, 23>(a1, b1, acc, env) as u32
+        }
+    };
+}
+
+dotpex2!(
+    vdotpex2_f16,
+    5,
+    10,
+    "Widening dot-product accumulate of two binary16 lane pairs into a binary32 accumulator."
+);
+dotpex2!(
+    vdotpex2_f16alt,
+    8,
+    7,
+    "Widening dot-product accumulate of two binary16alt lane pairs into a binary32 accumulator."
+);
+
+/// Widening dot-product accumulate of four binary8 lane pairs into a
+/// binary32 accumulator (lane 0 first, single-rounding FMA chain; exact
+/// widening flags discarded as in the interpreter's scalar path).
+#[inline]
+pub fn vdotpex4_f8(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+    let mut scratch = Env::new(env.rm);
+    let wide = |i: u32, v: u32, scratch: &mut Env| -> u64 {
+        tables::cvt_widen(Format::BINARY32, lane8(v, i), scratch)
+    };
+    let mut acc = acc as u64;
+    let b0 = wide(0, vb, &mut scratch);
+    let mut i = 0;
+    while i < 4 {
+        let a = wide(i, va, &mut scratch);
+        let b = if rep { b0 } else { wide(i, vb, &mut scratch) };
+        acc = k::fma::<8, 23>(a, b, acc, env);
+        i += 1;
+    }
+    acc as u32
+}
+
+// ---------------------------------------------------------------------------
+// Named convenience wrappers (re-exported from `ops`)
+// ---------------------------------------------------------------------------
+
+/// Packed `a + b` on two binary16 lanes.
+#[inline]
+pub fn vadd2_f16(va: u32, vb: u32, env: &mut Env) -> u32 {
+    vfop2_f16(LaneOp::Add, va, vb, 0, false, env)
+}
+
+/// Packed `a * b` on two binary16 lanes.
+#[inline]
+pub fn vmul2_f16(va: u32, vb: u32, env: &mut Env) -> u32 {
+    vfop2_f16(LaneOp::Mul, va, vb, 0, false, env)
+}
+
+/// Packed fused `a * b + d` on two binary16 lanes.
+#[inline]
+pub fn vfma2_f16(va: u32, vb: u32, vd: u32, env: &mut Env) -> u32 {
+    vfop2_f16(LaneOp::Mac, va, vb, vd, false, env)
+}
+
+/// Packed `a + b` on four binary8 lanes.
+#[inline]
+pub fn vadd4_f8(va: u32, vb: u32, env: &mut Env) -> u32 {
+    vfop4_f8(LaneOp::Add, va, vb, 0, false, env)
+}
+
+/// Packed `a * b` on four binary8 lanes.
+#[inline]
+pub fn vmul4_f8(va: u32, vb: u32, env: &mut Env) -> u32 {
+    vfop4_f8(LaneOp::Mul, va, vb, 0, false, env)
+}
+
+/// Packed fused `a * b + d` on four binary8 lanes.
+#[inline]
+pub fn vfma4_f8(va: u32, vb: u32, vd: u32, env: &mut Env) -> u32 {
+    vfop4_f8(LaneOp::Mac, va, vb, vd, false, env)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::Rounding;
+
+    fn env() -> Env {
+        Env::new(Rounding::Rne)
+    }
+
+    #[test]
+    fn vfop2_matches_scalar_lanes() {
+        let va = 0x4000_3c00; // [1.0, 2.0]
+        let vb = 0x3c00_4200; // [3.0, 1.0]
+        let mut e = env();
+        let sum = vadd2_f16(va, vb, &mut e);
+        let mut es = env();
+        let lo = ops::add(Format::BINARY16, 0x3c00, 0x4200, &mut es);
+        let hi = ops::add(Format::BINARY16, 0x4000, 0x3c00, &mut es);
+        assert_eq!(sum, (hi as u32) << 16 | lo as u32);
+        assert_eq!(e.flags, es.flags);
+    }
+
+    #[test]
+    fn rep_replicates_lane0() {
+        let va = 0x4400_4200; // [3.0, 4.0]
+        let vb = 0xdead_3c00; // lane0 = 1.0, lane1 = garbage (ignored)
+        let mut e = env();
+        let r = vfop2_f16(LaneOp::Add, va, vb, 0, true, &mut e);
+        assert_eq!(r & 0xffff, 0x4400); // 3+1
+        assert_eq!(r >> 16, 0x4500); // 4+1
+        assert!(e.flags.is_empty());
+    }
+
+    #[test]
+    fn mac_uses_original_destination_lanes() {
+        let va = 0x3c3c_3c3c; // four 1.0_b8
+        let vb = 0x3c3c_3c3c;
+        let vd = 0x40_3c_40_3c; // [1, 2, 1, 2]
+        let mut e = env();
+        let r = vfop4_f8(LaneOp::Mac, va, vb, vd, false, &mut e);
+        assert_eq!(r, 0x42_40_42_40); // [2, 3, 2, 3]
+    }
+
+    #[test]
+    fn ne_is_quiet_for_nan() {
+        // qNaN lane: Ne must report true without raising NV.
+        let va = 0x7e00_3c00;
+        let vb = 0x3c00_3c00;
+        let mut e = env();
+        let mask = vcmp2_f16(LaneCmp::Ne, va, vb, false, &mut e);
+        assert_eq!(mask, 0b10);
+        assert!(e.flags.is_empty());
+    }
+
+    #[test]
+    fn dotp_matches_reference_chain() {
+        let va = 0x4000_3c00; // [1.0, 2.0] b16
+        let vb = 0x4200_4400; // [4.0, 3.0] b16
+        let acc = 1f32.to_bits();
+        let mut e = env();
+        let r = vdotpex2_f16(acc, va, vb, false, &mut e);
+        // 1*4 + 2*3 + 1 = 11
+        assert_eq!(f32::from_bits(r), 11.0);
+        assert!(e.flags.is_empty());
+    }
+}

@@ -43,12 +43,23 @@
 //! let x = F16::from_f32(0.1) * F16::from_f32(10.0);
 //! assert!((x.to_f32() - 1.0).abs() < 1e-2);
 //! ```
+//!
+//! The entry points in [`ops`] are the *reference* implementation, generic
+//! over arbitrary layouts. [`fast`] provides bit- and flag-identical
+//! fast-path counterparts for the concrete paper formats (exhaustive
+//! binary8 lookup tables plus monomorphized `u64` kernels), and [`batch`]
+//! builds whole-register SIMD lane helpers on top of them for the
+//! simulator's packed vector unit.
 
 mod env;
 mod format;
+mod kernels;
 mod round;
+mod tables;
 mod unpack;
 
+pub mod batch;
+pub mod fast;
 pub mod ops;
 pub mod wrappers;
 

@@ -16,6 +16,12 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo bench --workspace --no-run"
+cargo bench --workspace --no-run
+
+echo "==> binary8 exhaustive differential suite (release)"
+cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> cargo fmt --check"
     cargo fmt --check

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastpath_b8_exhaustive-6929aab2c8321014.d: crates/softfp/tests/fastpath_b8_exhaustive.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastpath_b8_exhaustive-6929aab2c8321014.rmeta: crates/softfp/tests/fastpath_b8_exhaustive.rs Cargo.toml
+
+crates/softfp/tests/fastpath_b8_exhaustive.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastpath_b8_exhaustive-e2ac5617c247112b.d: crates/softfp/tests/fastpath_b8_exhaustive.rs
+
+/root/repo/target/debug/deps/fastpath_b8_exhaustive-e2ac5617c247112b: crates/softfp/tests/fastpath_b8_exhaustive.rs
+
+crates/softfp/tests/fastpath_b8_exhaustive.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fastpath_sampled-46972718327afa19.d: crates/softfp/tests/fastpath_sampled.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfastpath_sampled-46972718327afa19.rmeta: crates/softfp/tests/fastpath_sampled.rs Cargo.toml
+
+crates/softfp/tests/fastpath_sampled.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

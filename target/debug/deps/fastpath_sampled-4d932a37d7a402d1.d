@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fastpath_sampled-4d932a37d7a402d1.d: crates/softfp/tests/fastpath_sampled.rs
+
+/root/repo/target/debug/deps/fastpath_sampled-4d932a37d7a402d1: crates/softfp/tests/fastpath_sampled.rs
+
+crates/softfp/tests/fastpath_sampled.rs:

@@ -1,12 +1,16 @@
-/root/repo/target/debug/deps/smallfloat_softfp-f05b773dbb401051.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs Cargo.toml
+/root/repo/target/debug/deps/smallfloat_softfp-f05b773dbb401051.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmallfloat_softfp-f05b773dbb401051.rmeta: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs Cargo.toml
+/root/repo/target/debug/deps/libsmallfloat_softfp-f05b773dbb401051.rmeta: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs Cargo.toml
 
 crates/softfp/src/lib.rs:
 crates/softfp/src/env.rs:
 crates/softfp/src/format.rs:
+crates/softfp/src/kernels.rs:
 crates/softfp/src/round.rs:
+crates/softfp/src/tables.rs:
 crates/softfp/src/unpack.rs:
+crates/softfp/src/batch.rs:
+crates/softfp/src/fast.rs:
 crates/softfp/src/ops.rs:
 crates/softfp/src/wrappers.rs:
 Cargo.toml:

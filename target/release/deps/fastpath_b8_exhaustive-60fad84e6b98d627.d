@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastpath_b8_exhaustive-60fad84e6b98d627.d: crates/softfp/tests/fastpath_b8_exhaustive.rs
+
+/root/repo/target/release/deps/fastpath_b8_exhaustive-60fad84e6b98d627: crates/softfp/tests/fastpath_b8_exhaustive.rs
+
+crates/softfp/tests/fastpath_b8_exhaustive.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fastpath_sampled-e3ce44d6185454d6.d: crates/softfp/tests/fastpath_sampled.rs
+
+/root/repo/target/release/deps/fastpath_sampled-e3ce44d6185454d6: crates/softfp/tests/fastpath_sampled.rs
+
+crates/softfp/tests/fastpath_sampled.rs:

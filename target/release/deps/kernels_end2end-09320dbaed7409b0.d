@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_end2end-09320dbaed7409b0.d: crates/bench/benches/kernels_end2end.rs
+
+/root/repo/target/release/deps/kernels_end2end-09320dbaed7409b0: crates/bench/benches/kernels_end2end.rs
+
+crates/bench/benches/kernels_end2end.rs:

@@ -1,11 +1,15 @@
-/root/repo/target/release/deps/smallfloat_softfp-11745f2f00a0c229.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+/root/repo/target/release/deps/smallfloat_softfp-11745f2f00a0c229.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
 
-/root/repo/target/release/deps/smallfloat_softfp-11745f2f00a0c229: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+/root/repo/target/release/deps/smallfloat_softfp-11745f2f00a0c229: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
 
 crates/softfp/src/lib.rs:
 crates/softfp/src/env.rs:
 crates/softfp/src/format.rs:
+crates/softfp/src/kernels.rs:
 crates/softfp/src/round.rs:
+crates/softfp/src/tables.rs:
 crates/softfp/src/unpack.rs:
+crates/softfp/src/batch.rs:
+crates/softfp/src/fast.rs:
 crates/softfp/src/ops.rs:
 crates/softfp/src/wrappers.rs:

@@ -1,13 +1,17 @@
-/root/repo/target/release/deps/smallfloat_softfp-4a0a02d575005615.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+/root/repo/target/release/deps/smallfloat_softfp-4a0a02d575005615.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
 
-/root/repo/target/release/deps/libsmallfloat_softfp-4a0a02d575005615.rlib: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+/root/repo/target/release/deps/libsmallfloat_softfp-4a0a02d575005615.rlib: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
 
-/root/repo/target/release/deps/libsmallfloat_softfp-4a0a02d575005615.rmeta: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/round.rs crates/softfp/src/unpack.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+/root/repo/target/release/deps/libsmallfloat_softfp-4a0a02d575005615.rmeta: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
 
 crates/softfp/src/lib.rs:
 crates/softfp/src/env.rs:
 crates/softfp/src/format.rs:
+crates/softfp/src/kernels.rs:
 crates/softfp/src/round.rs:
+crates/softfp/src/tables.rs:
 crates/softfp/src/unpack.rs:
+crates/softfp/src/batch.rs:
+crates/softfp/src/fast.rs:
 crates/softfp/src/ops.rs:
 crates/softfp/src/wrappers.rs:

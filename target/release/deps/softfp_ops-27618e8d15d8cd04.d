@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/softfp_ops-27618e8d15d8cd04.d: crates/bench/benches/softfp_ops.rs
+
+/root/repo/target/release/deps/softfp_ops-27618e8d15d8cd04: crates/bench/benches/softfp_ops.rs
+
+crates/bench/benches/softfp_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/timing_scratch-19fb39d39530df32.d: crates/sim/tests/timing_scratch.rs
+
+/root/repo/target/release/deps/timing_scratch-19fb39d39530df32: crates/sim/tests/timing_scratch.rs
+
+crates/sim/tests/timing_scratch.rs:
