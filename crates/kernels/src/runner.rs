@@ -1,6 +1,6 @@
 //! Executing compiled kernels on the simulator.
 
-use smallfloat_sim::{Cpu, ExitReason, MemLevel, SimConfig, Stats};
+use smallfloat_sim::{hot_block_report, Cpu, ExitReason, HotBlock, MemLevel, SimConfig, Stats};
 use smallfloat_softfp::{ops, Env, Rounding};
 use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
 use smallfloat_xcc::ir::Kernel;
@@ -24,6 +24,11 @@ pub struct RunResult {
     pub arrays: HashMap<String, Vec<f64>>,
     /// Final values of named scalars, widened to `f64`.
     pub scalars: HashMap<String, f64>,
+    /// Top-10 basic blocks by dynamic instruction count, harvested right
+    /// after the run (empty when the block cache is disabled). Set
+    /// `SMALLFLOAT_HOT_BLOCKS=1` to also print the report, or use the
+    /// `runner` example's `--hot-blocks` flag.
+    pub hot_blocks: Vec<HotBlock>,
 }
 
 impl RunResult {
@@ -104,6 +109,15 @@ fn run_on(
         .run(200_000_000)
         .unwrap_or_else(|e| panic!("kernel trapped: {e}"));
     assert_eq!(exit, ExitReason::Ecall, "kernel must exit via ecall");
+    // Harvest the block profile before anything can invalidate the cache.
+    let hot_blocks = cpu.hot_blocks(10);
+    if std::env::var_os("SMALLFLOAT_HOT_BLOCKS").is_some_and(|v| v != "0") {
+        eprintln!(
+            "hot blocks for `{}`:\n{}",
+            kernel.name,
+            hot_block_report(&hot_blocks, cpu.stats().instret)
+        );
+    }
 
     let mut arrays = HashMap::new();
     for entry in &compiled.layout.entries {
@@ -128,6 +142,7 @@ fn run_on(
         stats: cpu.stats().clone(),
         arrays,
         scalars,
+        hot_blocks,
     }
 }
 

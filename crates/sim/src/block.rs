@@ -1,0 +1,1748 @@
+//! Basic-block micro-op cache: trace-compiled execution for the hot loop.
+//!
+//! PR 1 (predecode) removed decode cost and PR 2 (softfp fast paths)
+//! removed arithmetic cost, so the remaining per-retired-instruction tax
+//! is the giant `exec` match plus PC/stat/timing bookkeeping. This module
+//! removes it the way production simulators do: on first execution of a
+//! leader PC, the straight-line run up to the next control transfer is
+//! lowered into a compact array of *micro-ops* — pre-resolved operand
+//! indices, a pre-bound (monomorphized) semantic function per op, and
+//! pre-computed per-op cycle/energy costs — and subsequent executions
+//! replay the array with one aggregated stats commit per block.
+//!
+//! Bit-identity with the reference path is an invariant, not a goal:
+//!
+//! * `u64` counters (instret, cycles, per-class counts) are associative,
+//!   so the block commits them in bulk.
+//! * `energy_pj` is an `f64` running sum and f64 addition is *not*
+//!   associative, so every micro-op adds the exact per-instruction value
+//!   (`energy_by_class[class] + idle_per_cycle * cycles`) in retirement
+//!   order — the same value the reference path computes, evaluated once
+//!   at lowering time.
+//! * Trapping instructions retire nothing and leave `fflags`/`pc`
+//!   untouched, exactly like the early-return arms in `exec`: a handler
+//!   error commits only the preceding prefix and restores the trapping
+//!   PC.
+//! * CSR instructions read live `cycle`/`instret` counters, which would
+//!   be stale before the block commit, so they terminate block discovery
+//!   and always execute on the per-instruction path.
+//! * Stores invalidate overlapping blocks byte-precisely (and bump a
+//!   generation counter so a block that invalidates *itself* stops after
+//!   the current micro-op); `mem_mut`'s conservative window flush drops
+//!   every block.
+//!
+//! `SMALLFLOAT_NOBLOCKS=1` disables the cache for bisection.
+
+use crate::cpu::{Cpu, ExitReason, SimError};
+use crate::exec;
+use crate::stats::HotBlock;
+use smallfloat_isa::{
+    vector_lanes, AluOp, BranchCond, CmpOp, CpkHalf, FReg, FmaOp, FpFmt, FpOp, Instr, InstrClass,
+    MemWidth, MinMaxOp, MulDivOp, Rm, SgnjKind, VCmpOp, VfOp,
+};
+use smallfloat_softfp::{batch, fast, ops, Env, Format, Rounding};
+use std::sync::Arc;
+
+const FLEN: u32 = 32;
+
+/// Longest straight-line body lowered into one block. Caps lowering cost
+/// for degenerate branch-free code; runs past the cap chain into the
+/// block starting at the fall-through PC.
+const MAX_BODY: usize = 128;
+
+/// Slot-map sentinel: no block lowered at this leader yet.
+const SLOT_EMPTY: u32 = u32::MAX;
+/// Slot-map sentinel: lowering declined (undecoded leader, CSR leader);
+/// dispatch falls through to the per-instruction path without retrying
+/// until the slot's bytes change.
+const SLOT_NO_BLOCK: u32 = u32::MAX - 1;
+
+/// `MicroOp::rm` value selecting the dynamic rounding mode at run time;
+/// static modes are resolved to their `frm` encoding at lowering.
+const RM_DYN: u8 = 0xff;
+
+fn default_enabled() -> bool {
+    static NOBLOCKS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    !*NOBLOCKS.get_or_init(|| std::env::var_os("SMALLFLOAT_NOBLOCKS").is_some_and(|v| v == "1"))
+}
+
+pub(crate) type UopFn = fn(&mut Cpu, &MicroOp) -> Result<(), SimError>;
+
+/// One lowered instruction: semantic function plus pre-resolved operands
+/// and pre-computed retirement costs.
+pub(crate) struct MicroOp {
+    run: UopFn,
+    rd: u8,
+    rs1: u8,
+    rs2: u8,
+    rs3: u8,
+    /// Static rounding mode (`frm` encoding) or [`RM_DYN`].
+    rm: u8,
+    /// `InstrClass::index()` of the source instruction.
+    class: u8,
+    /// 1 iff this op can invalidate cached code (stores): only then does
+    /// replay need to re-check the cache generation.
+    inval: u8,
+    imm: i32,
+    /// Per-op payload: replicate-scalar flag for vector ops, base lane
+    /// for `vfcpk`.
+    aux: u32,
+    pc: u32,
+    cycles: u64,
+    /// The exact per-instruction energy the reference path would add.
+    energy: f64,
+}
+
+/// Control transfer terminating a block. Branch direction is the one
+/// genuinely data-dependent cost, so taken/not-taken cycle+energy pairs
+/// are both pre-computed.
+enum TailKind {
+    Jal {
+        rd: u8,
+        target: u32,
+    },
+    Jalr {
+        rd: u8,
+        rs1: u8,
+        offset: i32,
+    },
+    Branch {
+        cond: BranchCond,
+        rs1: u8,
+        rs2: u8,
+        target: u32,
+        not_cycles: u64,
+        not_energy: f64,
+    },
+    Ecall,
+    Ebreak,
+}
+
+struct Tail {
+    kind: TailKind,
+    pc: u32,
+    /// Fall-through PC (`pc + len`); also the link value for jumps.
+    next: u32,
+    class: u8,
+    /// Taken cycles for branches; fixed cost otherwise.
+    cycles: u64,
+    energy: f64,
+}
+
+/// A lowered basic block: straight-line micro-ops plus an optional
+/// control-transfer tail, with the associative parts of retirement
+/// accounting pre-aggregated.
+pub(crate) struct Block {
+    start: u32,
+    /// Exclusive byte end of the last lowered instruction (may reach two
+    /// bytes past the predecode window for a spanning final instruction).
+    end: u32,
+    uops: Box<[MicroOp]>,
+    tail: Option<Tail>,
+    /// Instructions retired by a full execution (body + tail).
+    retired: u64,
+    /// Total body cycles (tail cycles are data-dependent for branches).
+    body_cycles: u64,
+    /// Non-zero per-class body totals: `(class index, count, cycles)`.
+    class_counts: Box<[(u8, u32, u64)]>,
+}
+
+struct Entry {
+    block: Arc<Block>,
+    /// Dispatch count, for the hot-block profile.
+    execs: u64,
+    /// Slot-map index holding this block, cleared on kill.
+    leader_slot: usize,
+}
+
+/// The per-CPU cache: a slot map parallel to the predecode window
+/// (indexed by `(pc - pred_base) >> 1`) into an arena of blocks.
+pub(crate) struct BlockCache {
+    enabled: bool,
+    slots: Vec<u32>,
+    arena: Vec<Option<Entry>>,
+    free: Vec<u32>,
+    /// Bumped whenever any block is killed; executing blocks compare it
+    /// after every micro-op so self-modifying code stops replay at the
+    /// first possibly-stale op.
+    gen: u64,
+}
+
+impl BlockCache {
+    pub(crate) fn new() -> BlockCache {
+        BlockCache {
+            enabled: default_enabled(),
+            slots: Vec::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            gen: 0,
+        }
+    }
+
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.flush();
+    }
+
+    /// Rebuild the slot map for a predecode window of `slots` half-words,
+    /// dropping every cached block.
+    pub(crate) fn reset_window(&mut self, slots: usize) {
+        self.arena.clear();
+        self.free.clear();
+        self.slots.clear();
+        self.slots.resize(slots, SLOT_EMPTY);
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// Drop every cached block, keeping the window geometry (the
+    /// `mem_mut` conservative flush).
+    pub(crate) fn flush(&mut self) {
+        self.arena.clear();
+        self.free.clear();
+        self.slots.iter_mut().for_each(|s| *s = SLOT_EMPTY);
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// A lazily (re)filled predecode slot may unlock lowering that
+    /// previously declined; retry on the next dispatch.
+    pub(crate) fn slot_refilled(&mut self, slot: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            if *s == SLOT_NO_BLOCK {
+                *s = SLOT_EMPTY;
+            }
+        }
+    }
+
+    /// Kill every block whose instruction bytes overlap `[lo, hi)`.
+    pub(crate) fn invalidate_bytes(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        for idx in 0..self.arena.len() {
+            let overlaps = match &self.arena[idx] {
+                Some(e) => e.block.start < hi && e.block.end > lo,
+                None => false,
+            };
+            if overlaps {
+                self.kill(idx);
+            }
+        }
+    }
+
+    fn kill(&mut self, idx: usize) {
+        if let Some(e) = self.arena[idx].take() {
+            if let Some(s) = self.slots.get_mut(e.leader_slot) {
+                *s = SLOT_EMPTY;
+            }
+            self.free.push(idx as u32);
+            self.gen = self.gen.wrapping_add(1);
+        }
+    }
+
+    fn install(&mut self, slot: usize, block: Block) -> u32 {
+        let entry = Entry {
+            block: Arc::new(block),
+            execs: 0,
+            leader_slot: slot,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i as usize] = Some(entry);
+                i
+            }
+            None => {
+                self.arena.push(Some(entry));
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.slots[slot] = idx;
+        idx
+    }
+
+    /// Top-`n` live blocks by dynamic instruction count.
+    pub(crate) fn hot(&self, n: usize) -> Vec<HotBlock> {
+        let mut v: Vec<HotBlock> = self
+            .arena
+            .iter()
+            .flatten()
+            .filter(|e| e.execs > 0)
+            .map(|e| HotBlock {
+                start: e.block.start,
+                end: e.block.end,
+                instrs: e.block.retired as u32,
+                execs: e.execs,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.dynamic_instrs()
+                .cmp(&a.dynamic_instrs())
+                .then(a.start.cmp(&b.start))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+/// Outcome of one block-dispatch attempt.
+pub(crate) enum Dispatch {
+    /// The program exited (`ecall` tail).
+    Exit(ExitReason),
+    /// A block (or prefix of one) executed; `cpu.pc` is up to date.
+    Done,
+    /// No block here — take the per-instruction path for one step.
+    Fallback,
+}
+
+/// Try to execute the block starting at the current PC. `remaining` is
+/// the instruction budget left in the caller's `run` limit: a block that
+/// would overshoot it falls back to single-stepping so instruction-limit
+/// semantics match the reference path exactly.
+pub(crate) fn dispatch(cpu: &mut Cpu, remaining: u64) -> Result<Dispatch, SimError> {
+    let pc = cpu.pc;
+    if pc & 1 != 0 {
+        return Ok(Dispatch::Fallback);
+    }
+    let slot = (pc.wrapping_sub(cpu.pred_base) >> 1) as usize;
+    let tag = match cpu.blocks.slots.get(slot) {
+        Some(&t) => t,
+        None => return Ok(Dispatch::Fallback),
+    };
+    let idx = match tag {
+        SLOT_NO_BLOCK => return Ok(Dispatch::Fallback),
+        SLOT_EMPTY => match lower_block(cpu, pc, slot) {
+            Some(block) => cpu.blocks.install(slot, block),
+            None => {
+                cpu.blocks.slots[slot] = SLOT_NO_BLOCK;
+                return Ok(Dispatch::Fallback);
+            }
+        },
+        idx => idx,
+    };
+    let entry = cpu.blocks.arena[idx as usize]
+        .as_mut()
+        .expect("slot map points at a live block");
+    if entry.block.retired > remaining {
+        return Ok(Dispatch::Fallback);
+    }
+    entry.execs += 1;
+    let block = Arc::clone(&entry.block);
+    exec_block(cpu, &block)
+}
+
+fn exec_block(cpu: &mut Cpu, block: &Block) -> Result<Dispatch, SimError> {
+    let gen0 = cpu.blocks.gen;
+    let uops = &block.uops;
+    // f64 accumulation is order-sensitive: add the identical
+    // per-instruction value in the identical order. The running total is
+    // kept in a local (no handler touches `stats`), which keeps it in a
+    // register across the indirect calls; the add sequence — and thus
+    // every rounding — is exactly the reference path's.
+    let mut energy = cpu.stats.energy_pj;
+    for (i, u) in uops.iter().enumerate() {
+        if let Err(trap) = (u.run)(cpu, u) {
+            // Trapping instructions retire nothing: commit the prefix and
+            // leave the PC at the trapping instruction, like `exec`'s
+            // early returns.
+            cpu.stats.energy_pj = energy;
+            commit_prefix(cpu, block, i);
+            cpu.pc = u.pc;
+            return Err(trap);
+        }
+        energy += u.energy;
+        // Only stores can invalidate cached code, so only they need the
+        // generation re-check (possibly against this very block).
+        if u.inval != 0 && cpu.blocks.gen != gen0 {
+            // Commit what ran and resume on fresh lowering/decoding.
+            cpu.stats.energy_pj = energy;
+            commit_prefix(cpu, block, i + 1);
+            cpu.pc = match uops.get(i + 1) {
+                Some(next) => next.pc,
+                None => block.tail.as_ref().map_or(block.end, |t| t.pc),
+            };
+            return Ok(Dispatch::Done);
+        }
+    }
+    cpu.stats.energy_pj = energy;
+    commit_body(cpu, block);
+    match &block.tail {
+        Some(tail) => exec_tail(cpu, tail),
+        None => {
+            cpu.pc = block.end;
+            Ok(Dispatch::Done)
+        }
+    }
+}
+
+/// Per-op accounting for a partially executed body (trap or
+/// invalidation-abort); energy was already added per op.
+fn commit_prefix(cpu: &mut Cpu, block: &Block, n: usize) {
+    for u in &block.uops[..n] {
+        cpu.stats.bulk_count(u.class as usize, 1, u.cycles);
+        cpu.stats.cycles += u.cycles;
+    }
+    cpu.stats.instret += n as u64;
+}
+
+/// Aggregated accounting for a fully executed body — the single bulk
+/// commit that replaces per-instruction bookkeeping.
+fn commit_body(cpu: &mut Cpu, block: &Block) {
+    cpu.stats.instret += block.uops.len() as u64;
+    cpu.stats.cycles += block.body_cycles;
+    for &(class, n, cycles) in block.class_counts.iter() {
+        cpu.stats.bulk_count(class as usize, n as u64, cycles);
+    }
+}
+
+fn account(cpu: &mut Cpu, class: u8, cycles: u64, energy: f64) {
+    cpu.stats.bulk_count(class as usize, 1, cycles);
+    cpu.stats.instret += 1;
+    cpu.stats.cycles += cycles;
+    cpu.stats.energy_pj += energy;
+}
+
+fn exec_tail(cpu: &mut Cpu, t: &Tail) -> Result<Dispatch, SimError> {
+    match t.kind {
+        TailKind::Jal { rd, target } => {
+            set_xr(cpu, rd, t.next);
+            account(cpu, t.class, t.cycles, t.energy);
+            cpu.pc = target;
+            Ok(Dispatch::Done)
+        }
+        TailKind::Jalr { rd, rs1, offset } => {
+            // Read rs1 before linking: rd may alias rs1.
+            let target = xr(cpu, rs1).wrapping_add(offset as u32) & !1;
+            set_xr(cpu, rd, t.next);
+            account(cpu, t.class, t.cycles, t.energy);
+            cpu.pc = target;
+            Ok(Dispatch::Done)
+        }
+        TailKind::Branch {
+            cond,
+            rs1,
+            rs2,
+            target,
+            not_cycles,
+            not_energy,
+        } => {
+            let a = xr(cpu, rs1);
+            let b = xr(cpu, rs2);
+            let taken = match cond {
+                BranchCond::Eq => a == b,
+                BranchCond::Ne => a != b,
+                BranchCond::Lt => (a as i32) < (b as i32),
+                BranchCond::Ge => (a as i32) >= (b as i32),
+                BranchCond::Ltu => a < b,
+                BranchCond::Geu => a >= b,
+            };
+            if taken {
+                account(cpu, t.class, t.cycles, t.energy);
+                cpu.pc = target;
+            } else {
+                account(cpu, t.class, not_cycles, not_energy);
+                cpu.pc = t.next;
+            }
+            Ok(Dispatch::Done)
+        }
+        TailKind::Ecall => {
+            account(cpu, t.class, t.cycles, t.energy);
+            cpu.pc = t.next;
+            Ok(Dispatch::Exit(ExitReason::Ecall))
+        }
+        TailKind::Ebreak => {
+            cpu.pc = t.pc;
+            Err(SimError::Breakpoint { pc: t.pc })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+/// Walk the predecode window from `leader`, lowering straight-line
+/// instructions until a control transfer (tail), a CSR (barrier), an
+/// undecoded slot, the window edge, or [`MAX_BODY`]. Returns `None` when
+/// nothing at all can be lowered here.
+fn lower_block(cpu: &Cpu, leader: u32, leader_slot: usize) -> Option<Block> {
+    let mut uops: Vec<MicroOp> = Vec::new();
+    let mut tail = None;
+    let mut pc = leader;
+    let mut slot = leader_slot;
+    let mut end = leader;
+    while uops.len() < MAX_BODY {
+        let (instr, len) = match cpu.pred.get(slot) {
+            Some(&Some(hit)) => hit,
+            _ => break,
+        };
+        match instr {
+            Instr::Jal { .. }
+            | Instr::Jalr { .. }
+            | Instr::Branch { .. }
+            | Instr::Ecall
+            | Instr::Ebreak => {
+                tail = Some(lower_tail(cpu, pc, instr, len));
+                end = pc.wrapping_add(len);
+                break;
+            }
+            // CSR reads observe live cycle/instret counters, stale before
+            // the block commit: always interpret them.
+            Instr::Csr { .. } => break,
+            _ => {}
+        }
+        match lower_uop(cpu, pc, instr) {
+            Lowered::Op(u) => {
+                uops.push(u);
+                end = pc.wrapping_add(len);
+                pc = pc.wrapping_add(len);
+                slot += (len >> 1) as usize;
+            }
+            Lowered::Trap(u) => {
+                // Statically-detected trap (vector op on `.s`, bad lane
+                // selector): nothing after it ever executes.
+                uops.push(u);
+                end = pc.wrapping_add(len);
+                break;
+            }
+        }
+    }
+    if uops.is_empty() && tail.is_none() {
+        return None;
+    }
+    let mut body_cycles = 0u64;
+    let mut totals = [(0u32, 0u64); InstrClass::ALL.len()];
+    for u in &uops {
+        body_cycles += u.cycles;
+        totals[u.class as usize].0 += 1;
+        totals[u.class as usize].1 += u.cycles;
+    }
+    let class_counts: Box<[(u8, u32, u64)]> = totals
+        .iter()
+        .enumerate()
+        .filter(|(_, &(n, _))| n > 0)
+        .map(|(i, &(n, cycles))| (i as u8, n, cycles))
+        .collect();
+    let retired = uops.len() as u64 + u64::from(tail.is_some());
+    Some(Block {
+        start: leader,
+        end,
+        uops: uops.into_boxed_slice(),
+        tail,
+        retired,
+        body_cycles,
+        class_counts,
+    })
+}
+
+fn lower_tail(cpu: &Cpu, pc: u32, instr: Instr, len: u32) -> Tail {
+    let t = &cpu.config.timing;
+    let class = instr.class().index() as u8;
+    let e = |cycles: u64| {
+        cpu.energy_by_class[class as usize] + cpu.config.energy.idle_per_cycle * cycles as f64
+    };
+    let next = pc.wrapping_add(len);
+    match instr {
+        Instr::Jal { rd, offset } => Tail {
+            kind: TailKind::Jal {
+                rd: rd.num(),
+                target: pc.wrapping_add(offset as u32),
+            },
+            pc,
+            next,
+            class,
+            cycles: t.jump,
+            energy: e(t.jump),
+        },
+        Instr::Jalr { rd, rs1, offset } => Tail {
+            kind: TailKind::Jalr {
+                rd: rd.num(),
+                rs1: rs1.num(),
+                offset,
+            },
+            pc,
+            next,
+            class,
+            cycles: t.jump,
+            energy: e(t.jump),
+        },
+        Instr::Branch {
+            cond,
+            rs1,
+            rs2,
+            offset,
+        } => Tail {
+            kind: TailKind::Branch {
+                cond,
+                rs1: rs1.num(),
+                rs2: rs2.num(),
+                target: pc.wrapping_add(offset as u32),
+                not_cycles: t.branch_not_taken,
+                not_energy: e(t.branch_not_taken),
+            },
+            pc,
+            next,
+            class,
+            cycles: t.branch_taken,
+            energy: e(t.branch_taken),
+        },
+        Instr::Ecall => Tail {
+            kind: TailKind::Ecall,
+            pc,
+            next,
+            class,
+            cycles: t.int_alu,
+            energy: e(t.int_alu),
+        },
+        // `ebreak` traps without retiring; costs are never accounted.
+        Instr::Ebreak => Tail {
+            kind: TailKind::Ebreak,
+            pc,
+            next,
+            class,
+            cycles: 0,
+            energy: 0.0,
+        },
+        _ => unreachable!("not a block terminator"),
+    }
+}
+
+enum Lowered {
+    Op(MicroOp),
+    Trap(MicroOp),
+}
+
+/// Select the monomorphized handler instantiation for `$fmt`, appending
+/// its format code as the trailing const parameter (optionally after a
+/// leading const `$pre`).
+macro_rules! by_fmt {
+    ($fmt:expr, $name:ident) => {
+        match $fmt {
+            FpFmt::S => $name::<{ FpFmt::S as u8 }>,
+            FpFmt::Ah => $name::<{ FpFmt::Ah as u8 }>,
+            FpFmt::H => $name::<{ FpFmt::H as u8 }>,
+            FpFmt::B => $name::<{ FpFmt::B as u8 }>,
+        }
+    };
+    ($fmt:expr, $name:ident, $pre:expr) => {
+        match $fmt {
+            FpFmt::S => $name::<{ $pre }, { FpFmt::S as u8 }>,
+            FpFmt::Ah => $name::<{ $pre }, { FpFmt::Ah as u8 }>,
+            FpFmt::H => $name::<{ $pre }, { FpFmt::H as u8 }>,
+            FpFmt::B => $name::<{ $pre }, { FpFmt::B as u8 }>,
+        }
+    };
+}
+
+/// Like [`by_fmt!`] for vector handlers: `.s` never reaches a handler
+/// (lowering emits a trap micro-op first).
+macro_rules! by_vec {
+    ($fmt:expr, $name:ident) => {
+        match $fmt {
+            FpFmt::Ah => $name::<{ FpFmt::Ah as u8 }>,
+            FpFmt::H => $name::<{ FpFmt::H as u8 }>,
+            FpFmt::B => $name::<{ FpFmt::B as u8 }>,
+            FpFmt::S => unreachable!("vector op on .s lowers to a trap micro-op"),
+        }
+    };
+    ($fmt:expr, $name:ident, $pre:expr) => {
+        match $fmt {
+            FpFmt::Ah => $name::<{ $pre }, { FpFmt::Ah as u8 }>,
+            FpFmt::H => $name::<{ $pre }, { FpFmt::H as u8 }>,
+            FpFmt::B => $name::<{ $pre }, { FpFmt::B as u8 }>,
+            FpFmt::S => unreachable!("vector op on .s lowers to a trap micro-op"),
+        }
+    };
+}
+
+/// `fn $fn_name(op, fmt) -> UopFn` dispatch tables: one arm per op
+/// variant so the op id is a constant expression in each instantiation.
+macro_rules! op_fmt_fn {
+    ($fn_name:ident, $opty:ident, $handler:ident, $by:ident, [$($v:ident),+]) => {
+        fn $fn_name(op: $opty, fmt: FpFmt) -> UopFn {
+            match op {
+                $($opty::$v => $by!(fmt, $handler, $opty::$v as u8),)+
+            }
+        }
+    };
+}
+
+/// `fn $fn_name(op) -> UopFn` for integer op families.
+macro_rules! op_fn {
+    ($fn_name:ident, $opty:ident, $handler:ident, [$($v:ident),+]) => {
+        fn $fn_name(op: $opty) -> UopFn {
+            match op {
+                $($opty::$v => $handler::<{ $opty::$v as u8 }>,)+
+            }
+        }
+    };
+}
+
+/// Inverse of the `op as u8` const ids: folds to a constant inside each
+/// monomorphized handler. Pinned by `const_ids_round_trip`.
+macro_rules! from_u8_fn {
+    ($name:ident, $opty:ident, [$first:ident $(, $rest:ident)*]) => {
+        #[inline(always)]
+        fn $name(x: u8) -> $opty {
+            $(if x == $opty::$rest as u8 {
+                return $opty::$rest;
+            })*
+            let _ = x;
+            $opty::$first
+        }
+    };
+}
+
+from_u8_fn!(
+    aluop_of,
+    AluOp,
+    [Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And]
+);
+from_u8_fn!(
+    muldivop_of,
+    MulDivOp,
+    [Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu]
+);
+from_u8_fn!(fpop_of, FpOp, [Add, Sub, Mul, Div]);
+from_u8_fn!(sgnj_of, SgnjKind, [Sgnj, Sgnjn, Sgnjx]);
+from_u8_fn!(minmax_of, MinMaxOp, [Min, Max]);
+from_u8_fn!(fma_of, FmaOp, [Madd, Msub, Nmsub, Nmadd]);
+from_u8_fn!(cmp_of, CmpOp, [Eq, Lt, Le]);
+from_u8_fn!(vcmp_of, VCmpOp, [Eq, Ne, Lt, Le, Gt, Ge]);
+from_u8_fn!(
+    vfop_of,
+    VfOp,
+    [Add, Sub, Mul, Div, Min, Max, Mac, Sgnj, Sgnjn, Sgnjx]
+);
+
+#[inline(always)]
+fn fmt_of(x: u8) -> FpFmt {
+    match x & 0b11 {
+        0 => FpFmt::S,
+        1 => FpFmt::Ah,
+        2 => FpFmt::H,
+        _ => FpFmt::B,
+    }
+}
+
+op_fn!(
+    alu_ri_fn,
+    AluOp,
+    alu_ri,
+    [Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And]
+);
+op_fn!(
+    alu_rr_fn,
+    AluOp,
+    alu_rr,
+    [Add, Sub, Sll, Slt, Sltu, Xor, Srl, Sra, Or, And]
+);
+op_fn!(
+    muldiv_fn,
+    MulDivOp,
+    muldiv_rr,
+    [Mul, Mulh, Mulhsu, Mulhu, Div, Divu, Rem, Remu]
+);
+op_fmt_fn!(fop_fn, FpOp, fop, by_fmt, [Add, Sub, Mul, Div]);
+op_fmt_fn!(fsgnj_fn, SgnjKind, fsgnj, by_fmt, [Sgnj, Sgnjn, Sgnjx]);
+op_fmt_fn!(fminmax_fn, MinMaxOp, fminmax, by_fmt, [Min, Max]);
+op_fmt_fn!(ffma_fn, FmaOp, ffma, by_fmt, [Madd, Msub, Nmsub, Nmadd]);
+op_fmt_fn!(fcmp_fn, CmpOp, fcmp, by_fmt, [Eq, Lt, Le]);
+op_fmt_fn!(
+    vfop_fn,
+    VfOp,
+    vfop,
+    by_vec,
+    [Add, Sub, Mul, Div, Min, Max, Mac, Sgnj, Sgnjn, Sgnjx]
+);
+op_fmt_fn!(vfcmp_fn, VCmpOp, vfcmp, by_vec, [Eq, Ne, Lt, Le, Gt, Ge]);
+
+/// Resolve a static rounding mode at lowering time; [`RM_DYN`] defers to
+/// `fcsr.frm` at execution.
+fn lower_rm(rm: Rm) -> u8 {
+    match rm {
+        Rm::Dyn => RM_DYN,
+        other => other.resolve(Rounding::Rne).to_frm(),
+    }
+}
+
+fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
+    let t = &cpu.config.timing;
+    let mem_lat = cpu.config.mem_level.latency();
+    let class = instr.class().index() as u8;
+    let mut u = MicroOp {
+        run: nop,
+        rd: 0,
+        rs1: 0,
+        rs2: 0,
+        rs3: 0,
+        rm: 0,
+        class,
+        inval: 0,
+        imm: 0,
+        aux: 0,
+        pc,
+        cycles: t.int_alu,
+        energy: 0.0,
+    };
+    let mut trap = false;
+    match instr {
+        Instr::Lui { rd, imm20 } => {
+            u.run = const_x;
+            u.rd = rd.num();
+            u.imm = ((imm20 as u32) << 12) as i32;
+        }
+        Instr::Auipc { rd, imm20 } => {
+            u.run = const_x;
+            u.rd = rd.num();
+            u.imm = pc.wrapping_add((imm20 as u32) << 12) as i32;
+        }
+        Instr::OpImm { op, rd, rs1, imm } => {
+            u.run = alu_ri_fn(op);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.imm = imm;
+        }
+        Instr::Op { op, rd, rs1, rs2 } => {
+            u.run = alu_rr_fn(op);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+        }
+        Instr::Fence => u.run = nop,
+        Instr::MulDiv { op, rd, rs1, rs2 } => {
+            u.run = muldiv_fn(op);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.cycles = match op {
+                MulDivOp::Mul | MulDivOp::Mulh | MulDivOp::Mulhsu | MulDivOp::Mulhu => t.int_mul,
+                _ => t.int_div,
+            };
+        }
+        Instr::Load {
+            width,
+            unsigned,
+            rd,
+            rs1,
+            offset,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.imm = offset;
+            u.cycles = mem_lat;
+            u.run = match (width, unsigned || width == MemWidth::W) {
+                (MemWidth::B, false) => load_int::<1, 1>,
+                (MemWidth::B, true) => load_int::<1, 0>,
+                (MemWidth::H, false) => load_int::<2, 1>,
+                (MemWidth::H, true) => load_int::<2, 0>,
+                (MemWidth::W, _) => load_int::<4, 0>,
+            };
+        }
+        Instr::Store {
+            width,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.imm = offset;
+            u.cycles = mem_lat;
+            u.inval = 1;
+            u.run = match width {
+                MemWidth::B => store_int::<1>,
+                MemWidth::H => store_int::<2>,
+                MemWidth::W => store_int::<4>,
+            };
+        }
+        Instr::FLoad {
+            fmt,
+            rd,
+            rs1,
+            offset,
+        } => {
+            u.run = by_fmt!(fmt, load_fp);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.imm = offset;
+            u.cycles = mem_lat;
+        }
+        Instr::FStore {
+            fmt,
+            rs2,
+            rs1,
+            offset,
+        } => {
+            u.run = match fmt.width() / 8 {
+                4 => store_fp::<4>,
+                2 => store_fp::<2>,
+                _ => store_fp::<1>,
+            };
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.imm = offset;
+            u.cycles = mem_lat;
+            u.inval = 1;
+        }
+        Instr::FOp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm,
+        } => {
+            u.run = fop_fn(op, fmt);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.rm = lower_rm(rm);
+            u.cycles = if op == FpOp::Div { t.fp_div } else { t.fp_op };
+        }
+        Instr::FSqrt { fmt, rd, rs1, rm } => {
+            u.run = by_fmt!(fmt, fsqrt);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_sqrt;
+        }
+        Instr::FSgnj {
+            kind,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            u.run = fsgnj_fn(kind, fmt);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.cycles = t.fp_op;
+        }
+        Instr::FMinMax {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            u.run = fminmax_fn(op, fmt);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.cycles = t.fp_op;
+        }
+        Instr::FFma {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rs3,
+            rm,
+        } => {
+            u.run = ffma_fn(op, fmt);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.rs3 = rs3.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_op;
+        }
+        Instr::FCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            u.run = fcmp_fn(op, fmt);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.cycles = t.fp_op;
+        }
+        Instr::FClass { fmt, rd, rs1 } => {
+            u.run = by_fmt!(fmt, fclass);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.cycles = t.fp_op;
+        }
+        Instr::FMvXF { fmt, rd, rs1 } => {
+            u.run = by_fmt!(fmt, fmv_xf);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.cycles = t.fp_op;
+        }
+        Instr::FMvFX { fmt, rd, rs1 } => {
+            u.run = by_fmt!(fmt, fmv_fx);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.cycles = t.fp_op;
+        }
+        Instr::FCvtFF {
+            dst,
+            src,
+            rd,
+            rs1,
+            rm,
+        } => {
+            u.run = match dst {
+                FpFmt::S => by_fmt!(src, fcvt_ff, FpFmt::S as u8),
+                FpFmt::Ah => by_fmt!(src, fcvt_ff, FpFmt::Ah as u8),
+                FpFmt::H => by_fmt!(src, fcvt_ff, FpFmt::H as u8),
+                FpFmt::B => by_fmt!(src, fcvt_ff, FpFmt::B as u8),
+            };
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_op;
+        }
+        Instr::FCvtFI {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            rm,
+        } => {
+            u.run = if signed {
+                by_fmt!(fmt, fcvt_fi, 1)
+            } else {
+                by_fmt!(fmt, fcvt_fi, 0)
+            };
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_op;
+        }
+        Instr::FCvtIF {
+            fmt,
+            rd,
+            rs1,
+            signed,
+            rm,
+        } => {
+            u.run = if signed {
+                by_fmt!(fmt, fcvt_if, 1)
+            } else {
+                by_fmt!(fmt, fcvt_if, 0)
+            };
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_op;
+        }
+        Instr::FMulEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm,
+        } => {
+            u.run = by_fmt!(fmt, fmulex);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_op;
+        }
+        Instr::FMacEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rm,
+        } => {
+            u.run = by_fmt!(fmt, fmacex);
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.rm = lower_rm(rm);
+            u.cycles = t.fp_op;
+        }
+        Instr::VFOp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.aux = u32::from(rep);
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = vfop_fn(op, fmt);
+                u.cycles = if op == VfOp::Div { t.fp_div } else { t.fp_op };
+            }
+        }
+        Instr::VFSqrt { fmt, rd, rs1 } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = by_vec!(fmt, vfsqrt);
+                u.cycles = t.fp_sqrt;
+            }
+        }
+        Instr::VFCmp {
+            op,
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.aux = u32::from(rep);
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = vfcmp_fn(op, fmt);
+                u.cycles = t.fp_op;
+            }
+        }
+        Instr::VFCvtFF { dst, src, rd, rs1 } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            if dst.width() != src.width() || dst == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = match (dst, src) {
+                    (FpFmt::H, FpFmt::H) => vfcvt_ff16::<{ FpFmt::H as u8 }, { FpFmt::H as u8 }>,
+                    (FpFmt::H, FpFmt::Ah) => vfcvt_ff16::<{ FpFmt::H as u8 }, { FpFmt::Ah as u8 }>,
+                    (FpFmt::Ah, FpFmt::H) => vfcvt_ff16::<{ FpFmt::Ah as u8 }, { FpFmt::H as u8 }>,
+                    (FpFmt::Ah, FpFmt::Ah) => {
+                        vfcvt_ff16::<{ FpFmt::Ah as u8 }, { FpFmt::Ah as u8 }>
+                    }
+                    (FpFmt::B, FpFmt::B) => vfcvt_ff8,
+                    _ => unreachable!("equal-width pairs only"),
+                };
+                u.cycles = t.fp_op;
+            }
+        }
+        Instr::VFCvtXF {
+            fmt,
+            rd,
+            rs1,
+            signed,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = if signed {
+                    by_vec!(fmt, vfcvt_xf, 1)
+                } else {
+                    by_vec!(fmt, vfcvt_xf, 0)
+                };
+                u.cycles = t.fp_op;
+            }
+        }
+        Instr::VFCvtFX {
+            fmt,
+            rd,
+            rs1,
+            signed,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = if signed {
+                    by_vec!(fmt, vfcvt_fx, 1)
+                } else {
+                    by_vec!(fmt, vfcvt_fx, 0)
+                };
+                u.cycles = t.fp_op;
+            }
+        }
+        Instr::VFCpk {
+            fmt,
+            half,
+            rd,
+            rs1,
+            rs2,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            let base = match half {
+                CpkHalf::A => 0,
+                CpkHalf::B => 2,
+            };
+            match vector_lanes(FLEN, fmt) {
+                Some(n) if base + 1 < n => {
+                    u.run = by_vec!(fmt, vfcpk);
+                    u.aux = base;
+                    u.cycles = t.fp_op;
+                }
+                _ => trap = true,
+            }
+        }
+        Instr::VFDotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.aux = u32::from(rep);
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = by_vec!(fmt, vfdotpex);
+                u.cycles = t.fp_op;
+            }
+        }
+        Instr::Jal { .. }
+        | Instr::Jalr { .. }
+        | Instr::Branch { .. }
+        | Instr::Ecall
+        | Instr::Ebreak
+        | Instr::Csr { .. } => unreachable!("terminators and barriers are handled by lower_block"),
+    }
+    if trap {
+        u.run = trap_vec;
+        Lowered::Trap(u)
+    } else {
+        u.energy = cpu.energy_by_class[class as usize]
+            + cpu.config.energy.idle_per_cycle * u.cycles as f64;
+        Lowered::Op(u)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Handlers
+// ---------------------------------------------------------------------------
+
+#[inline(always)]
+fn xr(cpu: &Cpu, r: u8) -> u32 {
+    cpu.x[(r & 31) as usize]
+}
+
+#[inline(always)]
+fn set_xr(cpu: &mut Cpu, r: u8, v: u32) {
+    if r != 0 {
+        cpu.x[(r & 31) as usize] = v;
+    }
+}
+
+#[inline(always)]
+fn fr(cpu: &Cpu, r: u8) -> u32 {
+    cpu.f[(r & 31) as usize]
+}
+
+#[inline(always)]
+fn set_fr(cpu: &mut Cpu, r: u8, v: u32) {
+    cpu.f[(r & 31) as usize] = v;
+}
+
+#[inline(always)]
+fn freg(r: u8) -> FReg {
+    FReg::new(r & 31)
+}
+
+#[inline(always)]
+fn dyn_rm(cpu: &Cpu, pc: u32) -> Result<Rounding, SimError> {
+    cpu.frm().ok_or(SimError::InvalidRounding { pc })
+}
+
+#[inline(always)]
+fn uop_rm(cpu: &Cpu, u: &MicroOp) -> Result<Rounding, SimError> {
+    if u.rm == RM_DYN {
+        dyn_rm(cpu, u.pc)
+    } else {
+        Ok(Rounding::from_frm(u.rm).unwrap_or(Rounding::Rne))
+    }
+}
+
+fn nop(_cpu: &mut Cpu, _u: &MicroOp) -> Result<(), SimError> {
+    Ok(())
+}
+
+/// Statically-detected `VectorUnsupported` (vector op on `.s`, lane
+/// selector out of range): trap without side effects, like the reference
+/// early returns.
+fn trap_vec(_cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    Err(SimError::VectorUnsupported { pc: u.pc })
+}
+
+fn const_x(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    set_xr(cpu, u.rd, u.imm as u32);
+    Ok(())
+}
+
+fn alu_ri<const OP: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let v = exec::alu(aluop_of(OP), xr(cpu, u.rs1), u.imm as u32);
+    set_xr(cpu, u.rd, v);
+    Ok(())
+}
+
+fn alu_rr<const OP: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let v = exec::alu(aluop_of(OP), xr(cpu, u.rs1), xr(cpu, u.rs2));
+    set_xr(cpu, u.rd, v);
+    Ok(())
+}
+
+fn muldiv_rr<const OP: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let v = exec::muldiv(muldivop_of(OP), xr(cpu, u.rs1), xr(cpu, u.rs2));
+    set_xr(cpu, u.rd, v);
+    Ok(())
+}
+
+fn load_int<const BYTES: u32, const SG: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let addr = xr(cpu, u.rs1).wrapping_add(u.imm as u32);
+    let raw = cpu.mem.load(addr, BYTES)?;
+    let v = if SG == 1 {
+        exec::sext(raw, BYTES * 8)
+    } else {
+        raw
+    };
+    set_xr(cpu, u.rd, v);
+    Ok(())
+}
+
+fn store_int<const BYTES: u32>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let addr = xr(cpu, u.rs1).wrapping_add(u.imm as u32);
+    cpu.mem.store(addr, BYTES, xr(cpu, u.rs2))?;
+    cpu.invalidate_code(addr, BYTES);
+    Ok(())
+}
+
+fn load_fp<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let addr = xr(cpu, u.rs1).wrapping_add(u.imm as u32);
+    let raw = cpu.mem.load(addr, fmt.width() / 8)? as u64;
+    exec::write_boxed(cpu, fmt, freg(u.rd), raw);
+    Ok(())
+}
+
+fn store_fp<const BYTES: u32>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let addr = xr(cpu, u.rs1).wrapping_add(u.imm as u32);
+    cpu.mem.store(addr, BYTES, fr(cpu, u.rs2))?;
+    cpu.invalidate_code(addr, BYTES);
+    Ok(())
+}
+
+fn fop<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let a = exec::unbox(cpu, fmt, freg(u.rs1));
+    let b = exec::unbox(cpu, fmt, freg(u.rs2));
+    let f = fmt.format();
+    let r = match fpop_of(OP) {
+        FpOp::Add => fast::add(f, a, b, &mut env),
+        FpOp::Sub => fast::sub(f, a, b, &mut env),
+        FpOp::Mul => fast::mul(f, a, b, &mut env),
+        FpOp::Div => fast::div(f, a, b, &mut env),
+    };
+    exec::write_boxed(cpu, fmt, freg(u.rd), r);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fsqrt<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let r = fast::sqrt(fmt.format(), exec::unbox(cpu, fmt, freg(u.rs1)), &mut env);
+    exec::write_boxed(cpu, fmt, freg(u.rd), r);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fsgnj<const K: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let a = exec::unbox(cpu, fmt, freg(u.rs1));
+    let b = exec::unbox(cpu, fmt, freg(u.rs2));
+    let f = fmt.format();
+    let r = match sgnj_of(K) {
+        SgnjKind::Sgnj => fast::fsgnj(f, a, b),
+        SgnjKind::Sgnjn => fast::fsgnjn(f, a, b),
+        SgnjKind::Sgnjx => fast::fsgnjx(f, a, b),
+    };
+    exec::write_boxed(cpu, fmt, freg(u.rd), r);
+    Ok(())
+}
+
+fn fminmax<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(Rounding::Rne);
+    let a = exec::unbox(cpu, fmt, freg(u.rs1));
+    let b = exec::unbox(cpu, fmt, freg(u.rs2));
+    let r = match minmax_of(OP) {
+        MinMaxOp::Min => fast::fmin(fmt.format(), a, b, &mut env),
+        MinMaxOp::Max => fast::fmax(fmt.format(), a, b, &mut env),
+    };
+    exec::write_boxed(cpu, fmt, freg(u.rd), r);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn ffma<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let a = exec::unbox(cpu, fmt, freg(u.rs1));
+    let b = exec::unbox(cpu, fmt, freg(u.rs2));
+    let c = exec::unbox(cpu, fmt, freg(u.rs3));
+    let f = fmt.format();
+    let r = match fma_of(OP) {
+        FmaOp::Madd => fast::fmadd(f, a, b, c, &mut env),
+        FmaOp::Msub => fast::fmsub(f, a, b, c, &mut env),
+        FmaOp::Nmsub => fast::fnmsub(f, a, b, c, &mut env),
+        FmaOp::Nmadd => fast::fnmadd(f, a, b, c, &mut env),
+    };
+    exec::write_boxed(cpu, fmt, freg(u.rd), r);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fcmp<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(Rounding::Rne);
+    let a = exec::unbox(cpu, fmt, freg(u.rs1));
+    let b = exec::unbox(cpu, fmt, freg(u.rs2));
+    let f = fmt.format();
+    let r = match cmp_of(OP) {
+        CmpOp::Eq => fast::feq(f, a, b, &mut env),
+        CmpOp::Lt => fast::flt(f, a, b, &mut env),
+        CmpOp::Le => fast::fle(f, a, b, &mut env),
+    };
+    set_xr(cpu, u.rd, r as u32);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fclass<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let r = fast::classify(fmt.format(), exec::unbox(cpu, fmt, freg(u.rs1)));
+    set_xr(cpu, u.rd, r);
+    Ok(())
+}
+
+fn fmv_xf<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let raw = (fr(cpu, u.rs1) as u64 & fmt.format().mask()) as u32;
+    set_xr(cpu, u.rd, exec::sext(raw, fmt.width()));
+    Ok(())
+}
+
+fn fmv_fx<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    exec::write_boxed(
+        cpu,
+        fmt,
+        freg(u.rd),
+        xr(cpu, u.rs1) as u64 & fmt.format().mask(),
+    );
+    Ok(())
+}
+
+fn fcvt_ff<const DST: u8, const SRC: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let (dst, src) = (fmt_of(DST), fmt_of(SRC));
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let r = fast::cvt_f_f(
+        dst.format(),
+        src.format(),
+        exec::unbox(cpu, src, freg(u.rs1)),
+        &mut env,
+    );
+    exec::write_boxed(cpu, dst, freg(u.rd), r);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fcvt_fi<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let r = ops::to_int(
+        fmt.format(),
+        exec::unbox(cpu, fmt, freg(u.rs1)),
+        SG == 1,
+        32,
+        &mut env,
+    );
+    set_xr(cpu, u.rd, r as u32);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fcvt_if<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let x = xr(cpu, u.rs1);
+    let r = if SG == 1 {
+        ops::from_i64(fmt.format(), x as i32 as i64, &mut env)
+    } else {
+        ops::from_u64(fmt.format(), x as u64, &mut env)
+    };
+    exec::write_boxed(cpu, fmt, freg(u.rd), r);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fmulex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let a = exec::widen_to_s(fmt, exec::unbox(cpu, fmt, freg(u.rs1)));
+    let b = exec::widen_to_s(fmt, exec::unbox(cpu, fmt, freg(u.rs2)));
+    let r = fast::mul(Format::BINARY32, a, b, &mut env);
+    set_fr(cpu, u.rd, r as u32);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn fmacex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let a = exec::widen_to_s(fmt, exec::unbox(cpu, fmt, freg(u.rs1)));
+    let b = exec::widen_to_s(fmt, exec::unbox(cpu, fmt, freg(u.rs2)));
+    let acc = fr(cpu, u.rd) as u64;
+    let r = fast::fmadd(Format::BINARY32, a, b, acc, &mut env);
+    set_fr(cpu, u.rd, r as u32);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfop<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let va = fr(cpu, u.rs1);
+    let vb = fr(cpu, u.rs2);
+    let vd = fr(cpu, u.rd);
+    let rep = u.aux != 0;
+    let lop = exec::lane_op(vfop_of(OP));
+    let out = match fmt {
+        FpFmt::H => batch::vfop2_f16(lop, va, vb, vd, rep, &mut env),
+        FpFmt::Ah => batch::vfop2_f16alt(lop, va, vb, vd, rep, &mut env),
+        FpFmt::B => batch::vfop4_f8(lop, va, vb, vd, rep, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfsqrt<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let va = fr(cpu, u.rs1);
+    let out = match fmt {
+        FpFmt::H => batch::vsqrt2_f16(va, &mut env),
+        FpFmt::Ah => batch::vsqrt2_f16alt(va, &mut env),
+        FpFmt::B => batch::vsqrt4_f8(va, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfcmp<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(Rounding::Rne);
+    let va = fr(cpu, u.rs1);
+    let vb = fr(cpu, u.rs2);
+    let rep = u.aux != 0;
+    let lop = exec::lane_cmp(vcmp_of(OP));
+    let mask = match fmt {
+        FpFmt::H => batch::vcmp2_f16(lop, va, vb, rep, &mut env),
+        FpFmt::Ah => batch::vcmp2_f16alt(lop, va, vb, rep, &mut env),
+        FpFmt::B => batch::vcmp4_f8(lop, va, vb, rep, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_xr(cpu, u.rd, mask);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfcvt_ff16<const DST: u8, const SRC: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let (dst, src) = (fmt_of(DST), fmt_of(SRC));
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let out = batch::vcvt2_ff(dst.format(), src.format(), fr(cpu, u.rs1), &mut env);
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfcvt_ff8(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let out = batch::vcvt4_ff(Format::BINARY8, Format::BINARY8, fr(cpu, u.rs1), &mut env);
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfcvt_xf<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let va = fr(cpu, u.rs1);
+    let out = match fmt {
+        FpFmt::H | FpFmt::Ah => batch::vcvt2_x_f(fmt.format(), va, SG == 1, &mut env),
+        FpFmt::B => batch::vcvt4_x_f8(va, SG == 1, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfcvt_fx<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let va = fr(cpu, u.rs1);
+    let out = match fmt {
+        FpFmt::H | FpFmt::Ah => batch::vcvt2_f_x(fmt.format(), va, SG == 1, &mut env),
+        FpFmt::B => batch::vcvt4_f8_x(va, SG == 1, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfcpk<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let w = fmt.width();
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let a = fast::cvt_f_f(
+        fmt.format(),
+        Format::BINARY32,
+        fr(cpu, u.rs1) as u64,
+        &mut env,
+    );
+    let b = fast::cvt_f_f(
+        fmt.format(),
+        Format::BINARY32,
+        fr(cpu, u.rs2) as u64,
+        &mut env,
+    );
+    let base = u.aux;
+    let mut out = fr(cpu, u.rd);
+    out = exec::set_lane(out, base, w, a);
+    out = exec::set_lane(out, base + 1, w, b);
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+fn vfdotpex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let va = fr(cpu, u.rs1);
+    let vb = fr(cpu, u.rs2);
+    let rep = u.aux != 0;
+    let acc = fr(cpu, u.rd);
+    let out = match fmt {
+        FpFmt::H => batch::vdotpex2_f16(acc, va, vb, rep, &mut env),
+        FpFmt::Ah => batch::vdotpex2_f16alt(acc, va, vb, rep, &mut env),
+        FpFmt::B => batch::vdotpex4_f8(acc, va, vb, rep, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The `op as u8` const ids used by the monomorphized handlers must
+    /// round-trip through the `*_of` inverses for every variant.
+    #[test]
+    fn const_ids_round_trip() {
+        for op in [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Sll,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Xor,
+            AluOp::Srl,
+            AluOp::Sra,
+            AluOp::Or,
+            AluOp::And,
+        ] {
+            assert_eq!(aluop_of(op as u8), op);
+        }
+        for op in [
+            MulDivOp::Mul,
+            MulDivOp::Mulh,
+            MulDivOp::Mulhsu,
+            MulDivOp::Mulhu,
+            MulDivOp::Div,
+            MulDivOp::Divu,
+            MulDivOp::Rem,
+            MulDivOp::Remu,
+        ] {
+            assert_eq!(muldivop_of(op as u8), op);
+        }
+        for op in [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div] {
+            assert_eq!(fpop_of(op as u8), op);
+        }
+        for op in [SgnjKind::Sgnj, SgnjKind::Sgnjn, SgnjKind::Sgnjx] {
+            assert_eq!(sgnj_of(op as u8), op);
+        }
+        for op in [MinMaxOp::Min, MinMaxOp::Max] {
+            assert_eq!(minmax_of(op as u8), op);
+        }
+        for op in [FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd] {
+            assert_eq!(fma_of(op as u8), op);
+        }
+        for op in [CmpOp::Eq, CmpOp::Lt, CmpOp::Le] {
+            assert_eq!(cmp_of(op as u8), op);
+        }
+        for op in [
+            VCmpOp::Eq,
+            VCmpOp::Ne,
+            VCmpOp::Lt,
+            VCmpOp::Le,
+            VCmpOp::Gt,
+            VCmpOp::Ge,
+        ] {
+            assert_eq!(vcmp_of(op as u8), op);
+        }
+        for op in [
+            VfOp::Add,
+            VfOp::Sub,
+            VfOp::Mul,
+            VfOp::Div,
+            VfOp::Min,
+            VfOp::Max,
+            VfOp::Mac,
+            VfOp::Sgnj,
+            VfOp::Sgnjn,
+            VfOp::Sgnjx,
+        ] {
+            assert_eq!(vfop_of(op as u8), op);
+        }
+        for fmt in FpFmt::ALL {
+            assert_eq!(fmt_of(fmt as u8), fmt);
+            assert_eq!(fmt as u8 as u32, fmt.code(), "const id must equal fmt code");
+        }
+    }
+
+    /// Static rounding modes resolve at lowering; `Dyn` stays dynamic.
+    #[test]
+    fn rm_lowering() {
+        assert_eq!(lower_rm(Rm::Dyn), RM_DYN);
+        assert_eq!(lower_rm(Rm::Rne), Rounding::Rne.to_frm());
+        assert_eq!(lower_rm(Rm::Rtz), Rounding::Rtz.to_frm());
+        assert_eq!(lower_rm(Rm::Rmm), Rounding::Rmm.to_frm());
+    }
+}

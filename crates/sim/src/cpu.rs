@@ -1,8 +1,9 @@
 //! CPU state, configuration and the fetch/execute loop.
 
+use crate::block::{BlockCache, Dispatch};
 use crate::energy::EnergyModel;
 use crate::mem::Memory;
-use crate::stats::Stats;
+use crate::stats::{HotBlock, Stats};
 use crate::timing::{MemLevel, TimingModel};
 use smallfloat_isa::{decode, decode_compressed, encode, FReg, Instr, InstrClass, XReg};
 use smallfloat_softfp::{Flags, Rounding};
@@ -104,11 +105,14 @@ pub struct Cpu {
     /// `(pc - pred_base) >> 1`. Half-word granularity covers RVC: a jump
     /// may legally land on any even address, including the middle of a
     /// 32-bit instruction.
-    pred: Vec<Option<(Instr, u32)>>,
-    pred_base: u32,
+    pub(crate) pred: Vec<Option<(Instr, u32)>>,
+    pub(crate) pred_base: u32,
     /// Set by [`Cpu::mem_mut`]; the next fetch conservatively discards the
-    /// whole window before dispatching.
+    /// whole window (and every cached block) before dispatching.
     pred_dirty: bool,
+    /// Basic-block micro-op cache over the predecode window (see
+    /// `block.rs`); [`Cpu::run`] dispatches whole blocks through it.
+    pub(crate) blocks: BlockCache,
     /// Per-class op energy at the configured memory level, indexed by
     /// `InstrClass::index()` — the same values `EnergyModel::op_energy`
     /// returns, cached so retirement accounting is one load per
@@ -144,6 +148,7 @@ impl Cpu {
             pred: Vec::new(),
             pred_base: 0,
             pred_dirty: false,
+            blocks: BlockCache::new(),
             energy_by_class,
         }
     }
@@ -174,6 +179,7 @@ impl Cpu {
         self.pred.clear();
         self.pred_base = 0;
         self.pred_dirty = false;
+        self.blocks.reset_window(0);
     }
 
     /// [`Cpu::reset`] plus a configuration swap, reusing the memory
@@ -222,6 +228,7 @@ impl Cpu {
                 self.pred[s] = Some(hit);
             }
         }
+        self.blocks.reset_window(slots);
     }
 
     /// Drop predecoded slots whose instruction bytes overlap the stored
@@ -241,6 +248,15 @@ impl Cpu {
         for slot in &mut self.pred[first..=last] {
             *slot = None;
         }
+        // "No block here" markers in the touched range were derived from
+        // the old bytes; retry lowering once the slots refill.
+        for slot in first..=last {
+            self.blocks.slot_refilled(slot);
+        }
+        // Blocks are killed byte-precisely (a block's final instruction
+        // may span up to two bytes past the window, which the slot clamp
+        // above does not cover).
+        self.blocks.invalidate_bytes(addr, addr.saturating_add(len));
     }
 
     /// Read an integer register (`x0` reads as 0).
@@ -348,12 +364,19 @@ impl Cpu {
         }
     }
 
-    fn fetch(&mut self) -> Result<(Instr, u32), SimError> {
-        let pc = self.pc;
+    /// Apply the pending conservative flush from [`Cpu::mem_mut`]: every
+    /// predecoded slot and every cached block may describe stale bytes.
+    fn sync_window(&mut self) {
         if self.pred_dirty {
             self.pred.iter_mut().for_each(|slot| *slot = None);
             self.pred_dirty = false;
+            self.blocks.flush();
         }
+    }
+
+    fn fetch(&mut self) -> Result<(Instr, u32), SimError> {
+        let pc = self.pc;
+        self.sync_window();
         // Odd PCs must fault before the slot lookup: their slot index
         // aliases the preceding even address.
         if pc & 1 == 0 {
@@ -366,6 +389,8 @@ impl Cpu {
             // the window re-enter the fast path once they decode again.
             if let Some(empty) = self.pred.get_mut(slot) {
                 *empty = Some(decoded);
+                // A refilled slot may also unlock block lowering there.
+                self.blocks.slot_refilled(slot);
             }
             Ok(decoded)
         } else {
@@ -429,16 +454,58 @@ impl Cpu {
 
     /// Run until `ecall`, a trap, or `max_instructions` retired.
     ///
+    /// Hot code executes through the basic-block micro-op cache (see
+    /// `block.rs`), falling back to the per-instruction path on misses;
+    /// both paths are bit-identical in architectural state, statistics
+    /// and energy. `SMALLFLOAT_NOBLOCKS=1` (or
+    /// [`Cpu::set_block_cache`]`(false)`) forces the per-instruction path.
+    ///
     /// # Errors
     ///
     /// Any [`SimError`] trap.
     pub fn run(&mut self, max_instructions: u64) -> Result<ExitReason, SimError> {
         let limit = self.stats.instret + max_instructions;
+        if self.blocks.enabled() {
+            while self.stats.instret < limit {
+                self.sync_window();
+                match crate::block::dispatch(self, limit - self.stats.instret)? {
+                    Dispatch::Exit(reason) => return Ok(reason),
+                    Dispatch::Done => continue,
+                    Dispatch::Fallback => {
+                        if let Some(reason) = self.step()? {
+                            return Ok(reason);
+                        }
+                    }
+                }
+            }
+            return Ok(ExitReason::InstructionLimit);
+        }
         while self.stats.instret < limit {
             if let Some(reason) = self.step()? {
                 return Ok(reason);
             }
         }
         Ok(ExitReason::InstructionLimit)
+    }
+
+    /// Enable or disable the basic-block micro-op cache (enabled by
+    /// default unless `SMALLFLOAT_NOBLOCKS=1`). Disabling also drops every
+    /// cached block, so re-enabling starts from an empty cache.
+    pub fn set_block_cache(&mut self, enabled: bool) {
+        self.blocks.set_enabled(enabled);
+    }
+
+    /// Whether the basic-block micro-op cache is enabled.
+    pub fn block_cache_enabled(&self) -> bool {
+        self.blocks.enabled()
+    }
+
+    /// Top-`n` cached blocks by dynamic instruction count
+    /// (`execs × block length`) — the hot-block profile. Counts cover
+    /// currently cached blocks: [`Cpu::reset`], code invalidation and
+    /// [`Cpu::mem_mut`] drop blocks along with their counters, so harvest
+    /// the profile right after the run of interest.
+    pub fn hot_blocks(&self, n: usize) -> Vec<HotBlock> {
+        self.blocks.hot(n)
     }
 }

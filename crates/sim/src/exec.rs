@@ -23,7 +23,8 @@ fn resolve_rm(cpu: &Cpu, rm: Rm, pc: u32) -> Result<Rounding, SimError> {
 // 32-bit register, so binary32 is a plain move and the narrow formats
 // reduce to one compare (or one OR) with a constant.
 
-fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
+#[inline(always)]
+pub(crate) fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
     let reg = cpu.freg(r);
     let (upper, mask) = match fmt {
         FpFmt::S => return reg as u64,
@@ -37,7 +38,8 @@ fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
     }
 }
 
-fn write_boxed(cpu: &mut Cpu, fmt: FpFmt, r: smallfloat_isa::FReg, bits: u64) {
+#[inline(always)]
+pub(crate) fn write_boxed(cpu: &mut Cpu, fmt: FpFmt, r: smallfloat_isa::FReg, bits: u64) {
     let boxed = match fmt {
         FpFmt::S => bits as u32,
         FpFmt::H | FpFmt::Ah => (bits as u32 & 0xffff) | 0xffff_0000,
@@ -74,7 +76,8 @@ fn vec_fmt(fmt: FpFmt, pc: u32) -> Result<VecFmt, SimError> {
     }
 }
 
-fn lane_op(op: VfOp) -> batch::LaneOp {
+#[inline(always)]
+pub(crate) fn lane_op(op: VfOp) -> batch::LaneOp {
     match op {
         VfOp::Add => batch::LaneOp::Add,
         VfOp::Sub => batch::LaneOp::Sub,
@@ -89,7 +92,8 @@ fn lane_op(op: VfOp) -> batch::LaneOp {
     }
 }
 
-fn lane_cmp(op: VCmpOp) -> batch::LaneCmp {
+#[inline(always)]
+pub(crate) fn lane_cmp(op: VCmpOp) -> batch::LaneCmp {
     match op {
         VCmpOp::Eq => batch::LaneCmp::Eq,
         VCmpOp::Ne => batch::LaneCmp::Ne,
@@ -100,12 +104,14 @@ fn lane_cmp(op: VCmpOp) -> batch::LaneCmp {
     }
 }
 
-fn set_lane(reg: u32, i: u32, w: u32, v: u64) -> u32 {
+#[inline(always)]
+pub(crate) fn set_lane(reg: u32, i: u32, w: u32, v: u64) -> u32 {
     let mask = (((1u64 << w) - 1) as u32) << (i * w);
     (reg & !mask) | (((v as u32) << (i * w)) & mask)
 }
 
-fn sext(v: u32, bits: u32) -> u32 {
+#[inline(always)]
+pub(crate) fn sext(v: u32, bits: u32) -> u32 {
     if bits >= 32 {
         v
     } else {
@@ -115,7 +121,8 @@ fn sext(v: u32, bits: u32) -> u32 {
 
 /// Widen a smallFloat bit pattern to binary32 — exact for every supported
 /// format, so no flags can be raised.
-fn widen_to_s(fmt: FpFmt, bits: u64) -> u64 {
+#[inline(always)]
+pub(crate) fn widen_to_s(fmt: FpFmt, bits: u64) -> u64 {
     let mut env = Env::new(Rounding::Rne);
     fast::cvt_f_f(Format::BINARY32, fmt.format(), bits, &mut env)
 }
@@ -642,7 +649,8 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
     Ok(exit)
 }
 
-fn alu(op: AluOp, a: u32, b: u32) -> u32 {
+#[inline(always)]
+pub(crate) fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -657,7 +665,8 @@ fn alu(op: AluOp, a: u32, b: u32) -> u32 {
     }
 }
 
-fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
+#[inline(always)]
+pub(crate) fn muldiv(op: MulDivOp, a: u32, b: u32) -> u32 {
     match op {
         MulDivOp::Mul => a.wrapping_mul(b),
         MulDivOp::Mulh => (((a as i32 as i64) * (b as i32 as i64)) >> 32) as u32,

@@ -31,6 +31,7 @@
 //! assert_eq!(cpu.xreg(XReg::a(0)), 42);
 //! ```
 
+mod block;
 mod cpu;
 mod energy;
 mod exec;
@@ -41,5 +42,5 @@ mod timing;
 pub use cpu::{Cpu, ExitReason, SimConfig, SimError};
 pub use energy::EnergyModel;
 pub use mem::Memory;
-pub use stats::Stats;
+pub use stats::{hot_block_report, HotBlock, Stats};
 pub use timing::{MemLevel, TimingModel};

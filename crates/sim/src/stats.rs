@@ -31,6 +31,14 @@ impl Stats {
         self.cycles_by_class[i] += cycles;
     }
 
+    /// Bulk-commit `n` instructions of one class in a single update — the
+    /// block path's aggregated equivalent of [`Stats::count`] (`u64`
+    /// counters are associative, unlike `energy_pj`).
+    pub(crate) fn bulk_count(&mut self, class_idx: usize, n: u64, cycles: u64) {
+        self.counts[class_idx] += n;
+        self.cycles_by_class[class_idx] += cycles;
+    }
+
     /// Instructions retired in a class.
     pub fn class_count(&self, class: InstrClass) -> u64 {
         self.counts[class_index(class)]
@@ -97,6 +105,59 @@ impl Stats {
 
 fn class_index(class: InstrClass) -> usize {
     class.index()
+}
+
+/// One entry of the basic-block profile: a cached block and how often it
+/// was dispatched. Produced by `Cpu::hot_blocks`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HotBlock {
+    /// Leader PC (first byte of the block).
+    pub start: u32,
+    /// Exclusive byte end of the block's last instruction.
+    pub end: u32,
+    /// Instructions retired by one full execution of the block.
+    pub instrs: u32,
+    /// Times the block was dispatched.
+    pub execs: u64,
+}
+
+impl HotBlock {
+    /// Dynamic instruction count attributed to this block.
+    pub fn dynamic_instrs(&self) -> u64 {
+        self.execs * u64::from(self.instrs)
+    }
+}
+
+/// Render a hot-block profile as a table: PC range, static length,
+/// execution count and share of `instret` (the run's total retired
+/// instructions).
+pub fn hot_block_report(blocks: &[HotBlock], instret: u64) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>21}  {:>6}  {:>12}  {:>14}  {:>6}",
+        "#", "pc range", "instrs", "execs", "dyn instrs", "%dyn"
+    );
+    for (i, b) in blocks.iter().enumerate() {
+        let share = if instret == 0 {
+            0.0
+        } else {
+            100.0 * b.dynamic_instrs() as f64 / instret as f64
+        };
+        let _ = writeln!(
+            out,
+            "{:>4}  0x{:08x}-0x{:08x}  {:>6}  {:>12}  {:>14}  {:>5.1}%",
+            i + 1,
+            b.start,
+            b.end,
+            b.instrs,
+            b.execs,
+            b.dynamic_instrs(),
+            share
+        );
+    }
+    out
 }
 
 impl fmt::Display for Stats {

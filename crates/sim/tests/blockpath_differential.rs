@@ -1,0 +1,136 @@
+//! Differential gate for the basic-block micro-op cache: every benchmark
+//! kernel (the paper's Polybench suite + SVM), at every precision variant
+//! and vectorization mode, is executed twice — block cache **on** and
+//! **off** — and the two runs must be *bit-identical*: same final memory
+//! image, register files, pc, `fflags`, per-class statistics and
+//! bit-exact `energy_pj` (f64 addition is not associative, so energy is
+//! the most sensitive witness that the block path retires in reference
+//! order).
+//!
+//! A rotating one-variant-per-workload subset runs in every profile; the
+//! full precision × mode grid is release-only (`scripts/check.sh` runs it
+//! via the release test pass).
+
+use smallfloat_isa::FpFmt;
+use smallfloat_kernels::bench::{build, suite, Precision, VecMode, Workload};
+use smallfloat_sim::{Cpu, ExitReason, SimConfig};
+use smallfloat_softfp::{ops, Env, Rounding};
+use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
+
+/// Load inputs + program and run to `ecall`, exactly as the kernels
+/// runner does, with the block cache forced on or off.
+fn run_path(
+    cpu: &mut Cpu,
+    compiled: &Compiled,
+    inputs: &[(String, Vec<f64>)],
+    blocks: bool,
+    label: &str,
+) {
+    cpu.reset();
+    cpu.set_block_cache(blocks);
+    let mut env = Env::new(Rounding::Rne);
+    for (name, values) in inputs {
+        let entry = compiled
+            .layout
+            .entry(name)
+            .unwrap_or_else(|| panic!("input `{name}` is not a kernel array"));
+        let bytes = entry.ty.width() / 8;
+        for (i, v) in values.iter().enumerate() {
+            let bits = ops::from_f64(entry.ty.format(), *v, &mut env) as u32;
+            let le = bits.to_le_bytes();
+            cpu.mem_mut()
+                .write_bytes(entry.addr + (i as u32) * bytes, &le[..bytes as usize]);
+        }
+    }
+    cpu.load_program(TEXT_BASE, &compiled.program);
+    let exit = cpu
+        .run(200_000_000)
+        .unwrap_or_else(|e| panic!("{label}: kernel trapped: {e}"));
+    assert_eq!(exit, ExitReason::Ecall, "{label}: must exit via ecall");
+    if blocks {
+        assert!(
+            !cpu.hot_blocks(1).is_empty(),
+            "{label}: block cache was on but dispatched no blocks"
+        );
+    }
+}
+
+/// Assert the two CPUs are architecturally and statistically identical.
+fn assert_identical(label: &str, on: &Cpu, off: &Cpu) {
+    assert_eq!(on.pc(), off.pc(), "{label}: pc");
+    for r in 0..32u8 {
+        assert_eq!(
+            on.xreg(smallfloat_isa::XReg::new(r)),
+            off.xreg(smallfloat_isa::XReg::new(r)),
+            "{label}: x{r}"
+        );
+        assert_eq!(
+            on.freg(smallfloat_isa::FReg::new(r)),
+            off.freg(smallfloat_isa::FReg::new(r)),
+            "{label}: f{r}"
+        );
+    }
+    assert_eq!(on.fflags(), off.fflags(), "{label}: fflags");
+    assert_eq!(on.stats(), off.stats(), "{label}: stats");
+    assert_eq!(
+        on.stats().energy_pj.to_bits(),
+        off.stats().energy_pj.to_bits(),
+        "{label}: energy_pj must be bit-exact"
+    );
+    assert!(
+        on.mem().read_bytes(0, on.mem().size()) == off.mem().read_bytes(0, off.mem().size()),
+        "{label}: final memory images diverged"
+    );
+}
+
+fn check(w: &dyn Workload, prec: &Precision, mode: VecMode) {
+    let (_typed, compiled) = build(w, prec, mode);
+    let inputs = w.inputs();
+    let label = format!("{} {} {}", w.name(), prec.label(), mode.label());
+    let config = SimConfig::default();
+    let mut on = Cpu::new(config.clone());
+    let mut off = Cpu::new(config);
+    run_path(&mut on, &compiled, &inputs, true, &label);
+    run_path(&mut off, &compiled, &inputs, false, &label);
+    assert_identical(&label, &on, &off);
+}
+
+/// The precision variants under test: the four uniform ones plus one
+/// mixed assignment (first array widened to binary32 over a binary16
+/// default), which exercises cross-format conversion uops.
+fn precisions(w: &dyn Workload) -> Vec<Precision> {
+    let mut v = Precision::UNIFORM.to_vec();
+    if let Some(a) = w.base_kernel().arrays.first() {
+        v.push(Precision::Mixed {
+            default: FpFmt::H,
+            assignment: vec![(a.name.clone(), FpFmt::S)],
+        });
+    }
+    v
+}
+
+/// Fast rotating subset: one (precision, mode) pair per workload, chosen
+/// so all five precisions and all three modes appear across the suite.
+#[test]
+fn block_path_matches_reference_subset() {
+    for (i, w) in suite().iter().enumerate() {
+        let precs = precisions(w.as_ref());
+        let prec = &precs[i % precs.len()];
+        let mode = VecMode::ALL[i % VecMode::ALL.len()];
+        check(w.as_ref(), prec, mode);
+    }
+}
+
+/// The full grid: every workload × every precision × every mode, both
+/// paths. Release-only (the debug build runs the subset above).
+#[cfg(not(debug_assertions))]
+#[test]
+fn block_path_matches_reference_full_grid() {
+    for w in suite() {
+        for prec in precisions(w.as_ref()) {
+            for mode in VecMode::ALL {
+                check(w.as_ref(), &prec, mode);
+            }
+        }
+    }
+}

@@ -83,3 +83,54 @@ fn trace_matches_golden_file() {
         "execution trace diverged from {path}\n--- expected ---\n{want}\n--- actual ---\n{trace}"
     );
 }
+
+/// The same golden program executed through [`Cpu::run`] with the block
+/// cache on must land in exactly the state the per-instruction traced
+/// reference produces: registers, pc, `fflags`, statistics and bit-exact
+/// energy. This is the golden-trace gate for the block-dispatch path
+/// (`run_traced` never uses blocks, so it *is* the reference).
+#[test]
+fn block_path_matches_traced_reference() {
+    let program = program();
+
+    let mut reference = Cpu::new(SimConfig::default());
+    reference.load_program(TEXT, &program);
+    let ref_exit = reference
+        .run_traced(1000, |_, _| {})
+        .expect("reference run must not trap");
+
+    let mut blocked = Cpu::new(SimConfig::default());
+    blocked.set_block_cache(true);
+    blocked.load_program(TEXT, &program);
+    let exit = blocked.run(1000).expect("block-path run must not trap");
+
+    assert_eq!(exit, ref_exit);
+    assert_eq!(exit, ExitReason::Ecall);
+    assert!(
+        !blocked.hot_blocks(1).is_empty(),
+        "the golden program must actually dispatch through blocks"
+    );
+    assert_eq!(blocked.pc(), reference.pc(), "pc");
+    for r in 0..32u8 {
+        assert_eq!(
+            blocked.xreg(XReg::new(r)),
+            reference.xreg(XReg::new(r)),
+            "x{r}"
+        );
+        assert_eq!(
+            blocked.freg(FReg::new(r)),
+            reference.freg(FReg::new(r)),
+            "f{r}"
+        );
+    }
+    assert_eq!(blocked.fflags(), reference.fflags(), "fflags");
+    assert_eq!(blocked.stats(), reference.stats(), "stats");
+    assert_eq!(
+        blocked.stats().energy_pj.to_bits(),
+        reference.stats().energy_pj.to_bits(),
+        "energy_pj must be bit-exact"
+    );
+    // And the trace-pinned architectural anchors hold on the block path.
+    assert_eq!(blocked.freg(FReg::new(1)) & 0xffff, 0x4400);
+    assert_eq!(blocked.xreg(XReg::t(0)), 0x4400_4400);
+}

@@ -266,6 +266,137 @@ fn halfword_store_into_upper_half_invalidates_spanning_instr() {
     assert_eq!(cpu.xreg(a0), 7, "the patched upper half must take effect");
 }
 
+/// A word store whose four bytes end exactly at the predecode window end
+/// — covering the *last* half-word slot — must invalidate that slot.
+/// This pins the `hi == win_end` boundary of `invalidate_code` (the last
+/// slot is indexed through `hi - 1`; an off-by-one would leave it stale),
+/// on both the block-dispatch and the per-instruction paths.
+#[test]
+fn word_store_covering_last_window_slot_invalidates() {
+    let a0 = XReg::new(10);
+    let new = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 7,
+    });
+    for blocks in [true, false] {
+        // Five setup words, then the victim as the *final* word of the
+        // window, patched in place by the executed store.
+        let target = BASE + 5 * 4;
+        let mut program = store_word_program(target, new);
+        program.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        }); // victim, occupying the window's last two slots
+        let mut cpu = Cpu::new(SimConfig {
+            mem_size: 1 << 20,
+            ..SimConfig::default()
+        });
+        cpu.set_block_cache(blocks);
+        cpu.load_program(BASE, &program);
+        let win_end = BASE + program.len() as u32 * 4;
+        // After the (patched) victim the pc falls off the window onto
+        // zeroed memory, which decodes as an illegal compressed word.
+        let err = cpu.run(100).expect_err("falls off the window end");
+        assert_eq!(
+            err,
+            SimError::IllegalInstruction {
+                word: 0,
+                pc: win_end
+            },
+            "blocks={blocks}"
+        );
+        assert_eq!(
+            cpu.xreg(a0),
+            7,
+            "stale final slot must not execute (blocks={blocks})"
+        );
+    }
+}
+
+/// The window's last slot may cache an instruction that *spans* two bytes
+/// past the window end (decode reads straight from memory, not from the
+/// window). A word store entirely outside the window that rewrites those
+/// spanned bytes must still drop the slot — the backward −2 extension of
+/// `invalidate_code` reaches it even though `addr ≥ win_end`.
+#[test]
+fn store_past_window_end_invalidates_spanning_last_slot() {
+    let a0 = XReg::new(10);
+    let old = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 1,
+    });
+    let new = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 7,
+    });
+    assert_eq!(
+        old & 0xffff,
+        new & 0xffff,
+        "these encodings differ only in the upper half"
+    );
+    for blocks in [true, false] {
+        // Window: 4 setup words, the store, a jal into the last slot, and
+        // one padding word (never executed) whose upper half will hold the
+        // spanning instruction's low half.
+        let win_end = BASE + 7 * 4;
+        let mut program = store_word_program(win_end, new >> 16);
+        program.push(Instr::Jal {
+            rd: XReg::ZERO,
+            offset: 6,
+        }); // from BASE+20 into the mid-word slot at win_end-2
+        program.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::ZERO,
+            rs1: XReg::ZERO,
+            imm: 0,
+        }); // padding
+        let mut cpu = Cpu::new(SimConfig {
+            mem_size: 1 << 20,
+            ..SimConfig::default()
+        });
+        cpu.set_block_cache(blocks);
+        cpu.load_program(BASE, &program);
+        assert_eq!(win_end, BASE + program.len() as u32 * 4);
+        // Plant the spanning instruction: low half in the window's last
+        // slot, high half in the two bytes just past the window.
+        cpu.mem_mut().write_bytes(win_end - 2, &old.to_le_bytes());
+        // Warm that slot so the store has something stale to invalidate.
+        cpu.set_pc(win_end - 2);
+        let victim = Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        };
+        assert_eq!(cpu.peek_decoded(), Ok((victim, 4)));
+        cpu.set_pc(BASE);
+        // The store at `win_end` patches the spanned high half to imm=7;
+        // the jal then lands on the slot, which must re-decode.
+        let err = cpu.run(100).expect_err("falls off past the spanning instr");
+        assert_eq!(
+            err,
+            SimError::IllegalInstruction {
+                word: 0,
+                pc: win_end + 2
+            },
+            "blocks={blocks}"
+        );
+        assert_eq!(
+            cpu.xreg(a0),
+            7,
+            "stale spanning slot must not execute (blocks={blocks})"
+        );
+    }
+}
+
 /// Rewriting code through `mem_mut` between steps is picked up by the
 /// next fetch (conservative whole-window flush).
 #[test]

@@ -5,8 +5,11 @@
 #   scripts/check.sh --full   # also rustfmt + clippy + release test run
 #
 # The figure/table binaries and benches are exercised by the test suite;
-# BENCH_sim_dispatch.json is refreshed manually via
-#   SMALLFLOAT_BENCH_JSON=out.json cargo bench -p smallfloat-bench --bench sim_dispatch
+# BENCH_sim_dispatch.json / BENCH_sim_blocks.json are refreshed manually via
+#   SMALLFLOAT_BENCH_JSON=out.json cargo bench -p smallfloat-bench --bench <name>
+#
+# The basic-block micro-op cache is on by default; SMALLFLOAT_NOBLOCKS=1 is
+# the escape hatch forcing every Cpu::run onto the per-instruction path.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +24,9 @@ cargo bench --workspace --no-run
 
 echo "==> binary8 exhaustive differential suite (release)"
 cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive
+
+echo "==> block-path differential grid + golden trace, block cache on (release)"
+cargo test --release -q -p smallfloat-sim --test blockpath_differential --test golden_trace
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> cargo fmt --check"

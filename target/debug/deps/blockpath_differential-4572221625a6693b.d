@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/blockpath_differential-4572221625a6693b.d: crates/sim/tests/blockpath_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libblockpath_differential-4572221625a6693b.rmeta: crates/sim/tests/blockpath_differential.rs Cargo.toml
+
+crates/sim/tests/blockpath_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

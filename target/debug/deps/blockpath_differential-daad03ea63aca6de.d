@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/blockpath_differential-daad03ea63aca6de.d: crates/sim/tests/blockpath_differential.rs
+
+/root/repo/target/debug/deps/blockpath_differential-daad03ea63aca6de: crates/sim/tests/blockpath_differential.rs
+
+crates/sim/tests/blockpath_differential.rs:

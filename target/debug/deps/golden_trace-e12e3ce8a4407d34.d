@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/golden_trace-e12e3ce8a4407d34.d: crates/sim/tests/golden_trace.rs
+
+/root/repo/target/debug/deps/golden_trace-e12e3ce8a4407d34: crates/sim/tests/golden_trace.rs
+
+crates/sim/tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/golden_trace-e98491a99f940f41.d: crates/sim/tests/golden_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgolden_trace-e98491a99f940f41.rmeta: crates/sim/tests/golden_trace.rs Cargo.toml
+
+crates/sim/tests/golden_trace.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

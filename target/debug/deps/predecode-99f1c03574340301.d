@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/predecode-99f1c03574340301.d: crates/sim/tests/predecode.rs
+
+/root/repo/target/debug/deps/predecode-99f1c03574340301: crates/sim/tests/predecode.rs
+
+crates/sim/tests/predecode.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/predecode-afc34d23856b5f71.d: crates/sim/tests/predecode.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpredecode-afc34d23856b5f71.rmeta: crates/sim/tests/predecode.rs Cargo.toml
+
+crates/sim/tests/predecode.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

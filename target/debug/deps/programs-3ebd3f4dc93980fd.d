@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/programs-3ebd3f4dc93980fd.d: crates/sim/tests/programs.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprograms-3ebd3f4dc93980fd.rmeta: crates/sim/tests/programs.rs Cargo.toml
+
+crates/sim/tests/programs.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

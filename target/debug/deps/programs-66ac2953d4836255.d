@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/programs-66ac2953d4836255.d: crates/sim/tests/programs.rs
+
+/root/repo/target/debug/deps/programs-66ac2953d4836255: crates/sim/tests/programs.rs
+
+crates/sim/tests/programs.rs:

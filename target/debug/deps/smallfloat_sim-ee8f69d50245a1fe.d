@@ -1,8 +1,9 @@
-/root/repo/target/debug/deps/smallfloat_sim-ee8f69d50245a1fe.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/debug/deps/smallfloat_sim-ee8f69d50245a1fe.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
-/root/repo/target/debug/deps/smallfloat_sim-ee8f69d50245a1fe: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/debug/deps/smallfloat_sim-ee8f69d50245a1fe: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
 crates/sim/src/lib.rs:
+crates/sim/src/block.rs:
 crates/sim/src/cpu.rs:
 crates/sim/src/energy.rs:
 crates/sim/src/exec.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vector_semantics-9066477f1ae21b8e.d: crates/sim/tests/vector_semantics.rs
+
+/root/repo/target/debug/deps/vector_semantics-9066477f1ae21b8e: crates/sim/tests/vector_semantics.rs
+
+crates/sim/tests/vector_semantics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vector_semantics-e1600a944473b624.d: crates/sim/tests/vector_semantics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvector_semantics-e1600a944473b624.rmeta: crates/sim/tests/vector_semantics.rs Cargo.toml
+
+crates/sim/tests/vector_semantics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

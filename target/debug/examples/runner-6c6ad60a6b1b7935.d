@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/runner-6c6ad60a6b1b7935.d: crates/kernels/examples/runner.rs
+
+/root/repo/target/debug/examples/runner-6c6ad60a6b1b7935: crates/kernels/examples/runner.rs
+
+crates/kernels/examples/runner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/runner-91e8563f132c53e2.d: crates/kernels/examples/runner.rs Cargo.toml
+
+/root/repo/target/debug/examples/librunner-91e8563f132c53e2.rmeta: crates/kernels/examples/runner.rs Cargo.toml
+
+crates/kernels/examples/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

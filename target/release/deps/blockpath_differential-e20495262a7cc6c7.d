@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/blockpath_differential-e20495262a7cc6c7.d: crates/sim/tests/blockpath_differential.rs
+
+/root/repo/target/release/deps/blockpath_differential-e20495262a7cc6c7: crates/sim/tests/blockpath_differential.rs
+
+crates/sim/tests/blockpath_differential.rs:

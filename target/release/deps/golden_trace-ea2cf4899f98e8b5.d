@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/golden_trace-ea2cf4899f98e8b5.d: crates/sim/tests/golden_trace.rs
+
+/root/repo/target/release/deps/golden_trace-ea2cf4899f98e8b5: crates/sim/tests/golden_trace.rs
+
+crates/sim/tests/golden_trace.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim

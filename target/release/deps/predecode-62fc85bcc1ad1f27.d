@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/predecode-62fc85bcc1ad1f27.d: crates/sim/tests/predecode.rs
+
+/root/repo/target/release/deps/predecode-62fc85bcc1ad1f27: crates/sim/tests/predecode.rs
+
+crates/sim/tests/predecode.rs:

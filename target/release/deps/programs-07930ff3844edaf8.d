@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/programs-07930ff3844edaf8.d: crates/sim/tests/programs.rs
+
+/root/repo/target/release/deps/programs-07930ff3844edaf8: crates/sim/tests/programs.rs
+
+crates/sim/tests/programs.rs:

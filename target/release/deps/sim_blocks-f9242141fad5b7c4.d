@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_blocks-f9242141fad5b7c4.d: crates/bench/benches/sim_blocks.rs
+
+/root/repo/target/release/deps/sim_blocks-f9242141fad5b7c4: crates/bench/benches/sim_blocks.rs
+
+crates/bench/benches/sim_blocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vector_semantics-cfd9acac5d93cf90.d: crates/sim/tests/vector_semantics.rs
+
+/root/repo/target/release/deps/vector_semantics-cfd9acac5d93cf90: crates/sim/tests/vector_semantics.rs
+
+crates/sim/tests/vector_semantics.rs:

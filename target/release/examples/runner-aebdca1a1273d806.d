@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/runner-aebdca1a1273d806.d: crates/kernels/examples/runner.rs
+
+/root/repo/target/release/examples/runner-aebdca1a1273d806: crates/kernels/examples/runner.rs
+
+crates/kernels/examples/runner.rs:
