@@ -710,6 +710,29 @@ impl Assembler {
         self.vfop(VfOp::Mac, fmt, rd, rs1, rs2, false)
     }
 
+    /// `vfmac.r.fmt rd, rs1, rs2` — MAC with `rs2` lane 0 replicated
+    /// (the matrix-vector broadcast form).
+    pub fn vfmac_r(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Mac, fmt, rd, rs1, rs2, true)
+    }
+
+    /// `vfmin.fmt rd, rs1, rs2` — lane-wise IEEE `minNum`.
+    pub fn vfmin(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Min, fmt, rd, rs1, rs2, false)
+    }
+
+    /// `vfmax.fmt rd, rs1, rs2` — lane-wise IEEE `maxNum`.
+    pub fn vfmax(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Max, fmt, rd, rs1, rs2, false)
+    }
+
+    /// `vfmax.r.fmt rd, rs1, rs2` — `maxNum` against `rs2` lane 0
+    /// replicated across lanes (a one-instruction vector ReLU when `rs2`
+    /// holds zero in lane 0).
+    pub fn vfmax_r(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.vfop(VfOp::Max, fmt, rd, rs1, rs2, true)
+    }
+
     /// `vfcmp` lane-mask comparison.
     pub fn vfcmp(
         &mut self,
@@ -760,6 +783,18 @@ impl Assembler {
             rs1,
             rs2,
             rep: false,
+        })
+    }
+
+    /// `vfdotpex.r.s.fmt rd, rs1, rs2` — expanding dot product with `rs2`
+    /// lane 0 replicated (one weight row against a broadcast activation).
+    pub fn vfdotpex_r(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::VFDotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep: true,
         })
     }
 
@@ -905,5 +940,61 @@ mod tests {
             }
         ));
         assert!(matches!(prog[1], Instr::VFDotpEx { fmt: FpFmt::B, .. }));
+    }
+
+    #[test]
+    fn replicated_intrinsics_map_to_instructions() {
+        let (rd, rs1, rs2) = (FReg::new(3), FReg::new(4), FReg::new(5));
+        let mut asm = Assembler::new();
+        asm.vfdotpex_r(FpFmt::H, rd, rs1, rs2);
+        asm.vfmac_r(FpFmt::B, rd, rs1, rs2);
+        asm.vfmax(FpFmt::H, rd, rs1, rs2);
+        asm.vfmin(FpFmt::Ah, rd, rs1, rs2);
+        asm.vfmax_r(FpFmt::B, rd, rs1, rs2);
+        let prog = asm.assemble().unwrap();
+        assert!(matches!(
+            prog[0],
+            Instr::VFDotpEx {
+                fmt: FpFmt::H,
+                rep: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[1],
+            Instr::VFOp {
+                op: VfOp::Mac,
+                rep: true,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[2],
+            Instr::VFOp {
+                op: VfOp::Max,
+                rep: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[3],
+            Instr::VFOp {
+                op: VfOp::Min,
+                fmt: FpFmt::Ah,
+                ..
+            }
+        ));
+        assert!(matches!(
+            prog[4],
+            Instr::VFOp {
+                op: VfOp::Max,
+                rep: true,
+                ..
+            }
+        ));
+        // Each new convenience prints a mnemonic the parser accepts back.
+        for instr in &prog {
+            assert_eq!(parse_line(&instr.to_string()).unwrap(), *instr);
+        }
     }
 }

@@ -1,0 +1,18 @@
+//! Neural-network inference sweep (format × vectorization × memory level
+//! for both `smallfloat-nn` tasks, plus the tuned mixed assignment).
+//! Prints the table; `--json <path>` also writes the `BENCH_nn.json`
+//! record.
+
+use smallfloat_bench::nn::{nn_json, nn_render, nn_sweep};
+
+fn main() {
+    let (rows, tunes) = nn_sweep();
+    print!("{}", nn_render(&rows, &tunes));
+    let mut args = std::env::args().skip(1);
+    if let (Some(flag), Some(path)) = (args.next(), args.next()) {
+        if flag == "--json" {
+            std::fs::write(&path, nn_json(&rows, &tunes)).expect("JSON written");
+            eprintln!("wrote {path}");
+        }
+    }
+}

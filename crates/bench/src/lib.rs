@@ -9,6 +9,7 @@
 
 pub mod ablation;
 pub mod codesize;
+pub mod nn;
 pub mod par;
 
 use smallfloat::{kernels, MemLevel, Precision, VecMode};

@@ -1,0 +1,223 @@
+//! Neural-network inference sweep: cycles, energy and accuracy for both
+//! `smallfloat-nn` tasks across format × vectorization × memory level,
+//! plus the tuner-derived mixed assignment. The `nn_table` binary renders
+//! the table and exports the committed `BENCH_nn.json` record — every
+//! number is a deterministic simulator output, so the file regenerates
+//! bit-identically.
+
+use smallfloat::{MemLevel, VecMode};
+use smallfloat_isa::FpFmt;
+use smallfloat_nn::qor::accuracy;
+use smallfloat_nn::{infer_sim, tune_network, uniform_assignment, Assignment, NetTune};
+use smallfloat_tuner::TunerConfig;
+use std::fmt::Write as _;
+
+/// One cell of the sweep.
+#[derive(Clone, Debug)]
+pub struct NnRow {
+    /// Network name (`MLP` / `CNN`).
+    pub network: String,
+    /// Precision scheme: a uniform format name or `tuned`.
+    pub precision: String,
+    /// Vectorization mode.
+    pub mode: VecMode,
+    /// Memory level the run simulated.
+    pub mem: MemLevel,
+    /// Total simulated cycles over the evaluation set.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instret: u64,
+    /// Total energy (pJ).
+    pub energy_pj: f64,
+    /// Top-1 accuracy on the task's evaluation set.
+    pub accuracy: f64,
+}
+
+/// Lower-case paper-style name of a format.
+pub fn fmt_name(fmt: FpFmt) -> &'static str {
+    match fmt {
+        FpFmt::S => "binary32",
+        FpFmt::H => "binary16",
+        FpFmt::Ah => "binary16alt",
+        FpFmt::B => "binary8",
+    }
+}
+
+fn mode_name(mode: VecMode) -> &'static str {
+    match mode {
+        VecMode::Scalar => "scalar",
+        VecMode::Auto => "auto",
+        VecMode::Manual => "manual",
+    }
+}
+
+fn mem_name(mem: MemLevel) -> &'static str {
+    match mem {
+        MemLevel::L1 => "L1",
+        MemLevel::L2 => "L2",
+        MemLevel::L3 => "L3",
+    }
+}
+
+/// The full sweep: for each network, the four uniform formats plus the
+/// tuned assignment, at every vectorization mode and memory level.
+/// Returns the rows and the per-network tuner outcomes.
+pub fn nn_sweep() -> (Vec<NnRow>, Vec<(String, NetTune)>) {
+    let config = TunerConfig::default();
+    let mut rows = Vec::new();
+    let mut tunes = Vec::new();
+    for (net, ds) in [smallfloat_nn::mlp(), smallfloat_nn::cnn()] {
+        let tuned = tune_network(&net, &ds, &config);
+        let mut schemes: Vec<(String, Assignment)> = [FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B]
+            .into_iter()
+            .map(|f| (fmt_name(f).to_string(), uniform_assignment(&net, f)))
+            .collect();
+        schemes.push(("tuned".to_string(), tuned.assignment()));
+        tunes.push((net.name.to_string(), tuned));
+        for (precision, assignment) in &schemes {
+            for mode in [VecMode::Scalar, VecMode::Auto, VecMode::Manual] {
+                for mem in [MemLevel::L1, MemLevel::L2, MemLevel::L3] {
+                    let r = infer_sim(&net, &ds.inputs, assignment, mode, mem);
+                    rows.push(NnRow {
+                        network: net.name.to_string(),
+                        precision: precision.clone(),
+                        mode,
+                        mem,
+                        cycles: r.cycles,
+                        instret: r.instret,
+                        energy_pj: r.energy_pj,
+                        accuracy: accuracy(&r.predictions, &ds.labels),
+                    });
+                }
+            }
+        }
+    }
+    (rows, tunes)
+}
+
+/// Human-readable table of the sweep (speedup/energy relative to each
+/// network's binary32-scalar-L1 baseline).
+pub fn nn_render(rows: &[NnRow], tunes: &[(String, NetTune)]) -> String {
+    let mut out = String::new();
+    for (name, tune) in tunes {
+        let base = rows
+            .iter()
+            .find(|r| {
+                r.network == *name
+                    && r.precision == "binary32"
+                    && r.mode == VecMode::Scalar
+                    && r.mem == MemLevel::L1
+            })
+            .expect("baseline row present");
+        writeln!(
+            out,
+            "{name} — tuned: {} (accuracy {:.4}, churn {:.4})",
+            tune.assignment()
+                .iter()
+                .map(|(n, f)| format!("{n}={}", fmt_name(*f)))
+                .collect::<Vec<_>>()
+                .join(" "),
+            tune.accuracy,
+            tune.churn
+        )
+        .unwrap();
+        writeln!(
+            out,
+            "{:<12} {:>6} {:>4} {:>10} {:>10} {:>8} {:>8} {:>9}",
+            "precision", "mode", "mem", "cycles", "instret", "speedup", "energy", "accuracy"
+        )
+        .unwrap();
+        for r in rows.iter().filter(|r| r.network == *name) {
+            writeln!(
+                out,
+                "{:<12} {:>6} {:>4} {:>10} {:>10} {:>7.2}x {:>8.3} {:>8.1}%",
+                r.precision,
+                mode_name(r.mode),
+                mem_name(r.mem),
+                r.cycles,
+                r.instret,
+                base.cycles as f64 / r.cycles as f64,
+                r.energy_pj / base.energy_pj,
+                r.accuracy * 100.0
+            )
+            .unwrap();
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The committed `BENCH_nn.json` record (no external serializer, as in
+/// `smallfloat-devtools`). Deterministic: regenerating must reproduce the
+/// checked-in file byte for byte.
+pub fn nn_json(rows: &[NnRow], tunes: &[(String, NetTune)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"nn_inference\",\n");
+    out.push_str(
+        "  \"unit\": \"total simulated cycles / retired instructions / energy (pJ) over each task's 64-sample evaluation set; accuracy is top-1 on the same set\",\n",
+    );
+    out.push_str(
+        "  \"methodology\": \"cargo run --release -p smallfloat-bench --bin nn_table -- --json BENCH_nn.json. Both smallfloat-nn tasks (MLP 64-32-16-4, CNN 1x8x8 conv-pool-4) run end-to-end on the cycle-accurate simulator at the four uniform formats plus the tuner-derived per-layer mixed assignment, at every vectorization mode (scalar, auto-vectorized, hand-written intrinsics) and memory level (L1/L2/L3). All numbers are deterministic simulator outputs: the file must regenerate byte-identically.\",\n",
+    );
+    out.push_str("  \"tuned\": {\n");
+    for (i, (name, tune)) in tunes.iter().enumerate() {
+        writeln!(
+            out,
+            "    \"{name}\": {{\"assignment\": {{{}}}, \"accuracy\": {}, \"churn\": {}, \"evaluations\": {}}}{}",
+            tune.assignment()
+                .iter()
+                .map(|(n, f)| format!("\"{n}\": \"{}\"", fmt_name(*f)))
+                .collect::<Vec<_>>()
+                .join(", "),
+            json_f64(tune.accuracy),
+            json_f64(tune.churn),
+            tune.result.evaluations,
+            if i + 1 < tunes.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        writeln!(
+            out,
+            "    {{\"network\": \"{}\", \"precision\": \"{}\", \"mode\": \"{}\", \"mem\": \"{}\", \"cycles\": {}, \"instret\": {}, \"energy_pj\": {}, \"accuracy\": {}}}{}",
+            r.network,
+            r.precision,
+            mode_name(r.mode),
+            mem_name(r.mem),
+            r.cycles,
+            r.instret,
+            json_f64(r.energy_pj),
+            json_f64(r.accuracy),
+            if i + 1 < rows.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Finite `f64` as JSON: integral values get a `.0` so the field parses
+/// as a float everywhere.
+fn json_f64(v: f64) -> String {
+    if v == v.trunc() {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_floats_stay_floats() {
+        assert_eq!(json_f64(1.0), "1.0");
+        assert_eq!(json_f64(0.984375), "0.984375");
+        assert_eq!(json_f64(1234567.0), "1234567.0");
+    }
+}

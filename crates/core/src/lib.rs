@@ -6,7 +6,8 @@
 //! (`binary16`, `binary16alt`, `binary8`), the Xf16/Xf16alt/Xf8/Xfvec/Xfaux
 //! RISC-V ISA extensions, a RISCY-like core simulator with timing and
 //! energy models, compiler support (auto-vectorization and intrinsics), the
-//! Polybench + SVM evaluation workloads, and automatic precision tuning.
+//! Polybench + SVM evaluation workloads, a neural-network inference
+//! subsystem, and automatic precision tuning.
 //!
 //! This facade crate re-exports every subsystem and provides the high-level
 //! experiment API used by the examples and by the benchmark harness that
@@ -29,6 +30,7 @@
 pub use smallfloat_asm as asm;
 pub use smallfloat_isa as isa;
 pub use smallfloat_kernels as kernels;
+pub use smallfloat_nn as nn;
 pub use smallfloat_sim as sim;
 pub use smallfloat_softfp as softfp;
 pub use smallfloat_tuner as tuner;

@@ -9,7 +9,7 @@
 //! * [`prop`] — a property-test runner: N deterministic cases per
 //!   property, failure reports that print the case seed so a failing
 //!   input can be replayed in isolation;
-//! * [`bench`] — a wall-clock benchmark harness with warmup, multiple
+//! * [`mod@bench`] — a wall-clock benchmark harness with warmup, multiple
 //!   samples, median/mean reporting, throughput support and JSON export.
 //!
 //! Everything is deterministic by construction: the same seed always

@@ -466,6 +466,76 @@ fn compressed_decode_total() {
     });
 }
 
+/// The exact instruction forms the hand-vectorized NN kernels emit through
+/// the `Assembler` conveniences (`vfdotpex_r`, `vfmac_r`, `vfmax`/`vfmin`
+/// and their `.r` forms, both `vfcpk` halves) round-trip through
+/// encode/decode at every packed format, and the replicated dot product
+/// prints its documented mnemonic.
+#[test]
+fn nn_intrinsic_forms_round_trip() {
+    let (rd, rs1, rs2) = (FReg::new(3), FReg::new(14), FReg::new(27));
+    for fmt in FpFmt::SMALL {
+        for rep in [false, true] {
+            let forms = [
+                Instr::VFDotpEx {
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rep,
+                },
+                Instr::VFOp {
+                    op: VfOp::Mac,
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rep,
+                },
+                Instr::VFOp {
+                    op: VfOp::Max,
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rep,
+                },
+                Instr::VFOp {
+                    op: VfOp::Min,
+                    fmt,
+                    rd,
+                    rs1,
+                    rs2,
+                    rep,
+                },
+            ];
+            for i in forms {
+                let word = encode(&i);
+                assert_eq!(decode(word), Ok(i), "word=0x{word:08x}");
+            }
+        }
+        for half in [CpkHalf::A, CpkHalf::B] {
+            let i = Instr::VFCpk {
+                fmt,
+                half,
+                rd,
+                rs1,
+                rs2,
+            };
+            let word = encode(&i);
+            assert_eq!(decode(word), Ok(i), "word=0x{word:08x}");
+        }
+    }
+    let dotp_r = Instr::VFDotpEx {
+        fmt: FpFmt::B,
+        rd,
+        rs1,
+        rs2,
+        rep: true,
+    };
+    assert_eq!(dotp_r.to_string(), "vfdotpex.r.s.b ft3, fa4, fs11");
+}
+
 /// Every smallFloat instruction stays clear of the RV32IMF opcode space:
 /// vector ops use the funct7[6:5]=10 prefix in OP, and the OP-FP fmt slots
 /// reuse only D/Q encodings (not implemented here).

@@ -12,10 +12,12 @@
 //! and QoR (SQNR / classification-accuracy) measurement.
 
 pub mod bench;
+pub mod mg;
 pub mod polybench;
 pub mod polybench_extra;
 pub mod runner;
 pub mod svm;
 
 pub use bench::{Benchmark, Precision, VecMode};
+pub use mg::Mg;
 pub use runner::{run_compiled, RunResult};

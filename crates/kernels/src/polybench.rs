@@ -8,10 +8,9 @@
 //! `fcvt`+`fadd` chains, and constants splatted once with `vfcpk`.
 
 use crate::bench::Workload;
-use smallfloat_asm::Assembler;
+use crate::mg::Mg;
 use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
-use smallfloat_softfp::{ops, Env, Rounding};
-use smallfloat_xcc::codegen::{layout_of, Compiled, DataLayout};
+use smallfloat_xcc::codegen::Compiled;
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
 
 // Integer registers used by manual code.
@@ -36,102 +35,6 @@ const VCONST: FReg = FReg::new(5);
 const FC32A: FReg = FReg::new(6);
 const FC32B: FReg = FReg::new(7);
 const FCFMT: FReg = FReg::new(8);
-
-/// Shared state for hand-written (manually vectorized) code generators.
-pub(crate) struct Mg {
-    pub asm: Assembler,
-    pub layout: DataLayout,
-    pub fmt: FpFmt,
-    pub lanes: u32,
-    labels: usize,
-}
-
-impl Mg {
-    /// Start a manual build for a kernel whose arrays all share one
-    /// SIMD-capable format. Returns `None` otherwise (binary32 kernels have
-    /// no manual variant at FLEN=32; callers fall back to scalar code).
-    pub fn try_new(kernel: &Kernel) -> Option<Mg> {
-        let fmt = kernel.arrays.first()?.ty;
-        if kernel.arrays.iter().any(|a| a.ty != fmt) {
-            return None;
-        }
-        let lanes = fmt.lanes(32)?;
-        Some(Mg {
-            asm: Assembler::new(),
-            layout: layout_of(kernel),
-            fmt,
-            lanes,
-            labels: 0,
-        })
-    }
-
-    pub(crate) fn label(&mut self, tag: &str) -> String {
-        self.labels += 1;
-        format!(".M{}_{}", self.labels, tag)
-    }
-
-    pub(crate) fn elem(&self) -> u32 {
-        self.fmt.width() / 8
-    }
-
-    pub(crate) fn addr(&self, name: &str) -> u32 {
-        self.layout.entry(name).expect("declared array").addr
-    }
-
-    /// Materialize an `f32` constant into an FP register.
-    pub(crate) fn f32_const(&mut self, dst: FReg, v: f64) {
-        let bits = (v as f32).to_bits();
-        self.asm.li(T0, bits as i32);
-        self.asm.fmv_f(FpFmt::S, dst, T0);
-    }
-
-    /// Materialize a constant at the kernel format.
-    pub(crate) fn fmt_const(&mut self, dst: FReg, v: f64) {
-        let mut env = Env::new(Rounding::Rne);
-        let bits = ops::from_f64(self.fmt.format(), v, &mut env) as u32;
-        self.asm.li(T0, bits as i32);
-        self.asm.fmv_f(self.fmt, dst, T0);
-    }
-
-    /// Splat the binary32 value in `src32` across all lanes of `dst`.
-    pub(crate) fn splat(&mut self, dst: FReg, src32: FReg) {
-        self.asm.vfcpk_a(self.fmt, dst, src32, src32);
-        if self.lanes == 4 {
-            self.asm.vfcpk_b(self.fmt, dst, src32, src32);
-        }
-    }
-
-    /// A pointer-bumped loop over `[start, end)` in steps of `step` bytes:
-    /// `ptr` must hold `start` and `end_reg` the end address.
-    pub(crate) fn ptr_loop(
-        &mut self,
-        ptr: XReg,
-        end_reg: XReg,
-        bumps: &[(XReg, i32)],
-        body: impl FnOnce(&mut Mg),
-    ) {
-        let head = self.label("loop");
-        self.asm.label(&head);
-        body(self);
-        for &(r, step) in bumps {
-            self.asm.addi(r, r, step);
-        }
-        self.asm.branch(BranchCond::Ltu, ptr, end_reg, &head);
-    }
-
-    pub(crate) fn finish(mut self) -> Compiled {
-        self.asm.ecall();
-        let listing = self.asm.listing();
-        let program = self.asm.assemble().expect("manual code labels consistent");
-        Compiled {
-            program,
-            layout: self.layout,
-            scalar_regs: Vec::new(),
-            listing,
-            vectorized_loops: 0,
-        }
-    }
-}
 
 fn idx2(v1: &str, c1: i64, v2: &str) -> IdxExpr {
     IdxExpr::of(&[(v1, c1), (v2, 1)], 0)

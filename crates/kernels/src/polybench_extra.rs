@@ -3,7 +3,8 @@
 //! evaluation; not part of [`crate::bench::suite`]).
 
 use crate::bench::Workload;
-use crate::polybench::{gen_data, Mg};
+use crate::mg::Mg;
+use crate::polybench::gen_data;
 use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
 use smallfloat_xcc::codegen::Compiled;
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};

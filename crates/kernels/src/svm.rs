@@ -22,7 +22,7 @@
 //!   classification exactly — the paper's headline mixed-precision result.
 
 use crate::bench::Workload;
-use crate::polybench::Mg;
+use crate::mg::Mg;
 use smallfloat_isa::{BranchCond, FReg, FpFmt, XReg};
 use smallfloat_xcc::codegen::Compiled;
 use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};

@@ -1,0 +1,49 @@
+//! Calibration harness (dev aid): prints per-format accuracy, tuned
+//! assignments and cycle counts for both tasks.
+
+use smallfloat_isa::FpFmt;
+use smallfloat_kernels::VecMode;
+use smallfloat_nn::qor::{accuracy, argmax};
+use smallfloat_nn::{cnn, infer_sim, infer_typed, mlp, tune_network, uniform_assignment};
+use smallfloat_sim::MemLevel;
+use smallfloat_tuner::TunerConfig;
+
+fn main() {
+    for (net, ds) in [mlp(), cnn()] {
+        println!("== {} ==", net.name);
+        for fmt in [FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B] {
+            let a = uniform_assignment(&net, fmt);
+            let outs = infer_typed(&net, &ds.inputs, &a);
+            let preds: Vec<usize> = outs.iter().map(|o| argmax(o)).collect();
+            println!(
+                "  {:?} typed accuracy = {}",
+                fmt,
+                accuracy(&preds, &ds.labels)
+            );
+        }
+        let t = tune_network(&net, &ds, &TunerConfig::default());
+        println!("  tuner trace:\n{}", t.result.trace_text());
+        println!(
+            "  tuned: {:?} acc={} churn={}",
+            t.result.assignment, t.accuracy, t.churn
+        );
+        for mode in [VecMode::Scalar, VecMode::Auto, VecMode::Manual] {
+            let a = uniform_assignment(&net, FpFmt::H);
+            let inf = infer_sim(&net, &ds.inputs, &a, mode, MemLevel::L1);
+            let acc = accuracy(&inf.predictions, &ds.labels);
+            println!(
+                "  H {:?}: cycles={} energy={:.0}pJ acc={}",
+                mode, inf.cycles, inf.energy_pj, acc
+            );
+        }
+        for mode in [VecMode::Scalar, VecMode::Auto, VecMode::Manual] {
+            let a = uniform_assignment(&net, FpFmt::B);
+            let inf = infer_sim(&net, &ds.inputs, &a, mode, MemLevel::L1);
+            let acc = accuracy(&inf.predictions, &ds.labels);
+            println!(
+                "  B {:?}: cycles={} energy={:.0}pJ acc={}",
+                mode, inf.cycles, inf.energy_pj, acc
+            );
+        }
+    }
+}

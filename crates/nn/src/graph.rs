@@ -1,0 +1,503 @@
+//! Layer graph, deterministic weight/data generators and the `f64`
+//! reference forward pass.
+//!
+//! A [`Network`] is a straight-line sequence of [`Layer`]s — the shapes the
+//! paper's §V-B near-sensor inference pipelines are built from: dense
+//! (fully-connected) layers, 3×3 valid convolutions, ReLU and 2×2 max-pool.
+//! Everything is generated deterministically from fixed seeds so QoR
+//! results (accuracy, tuned assignments) are exactly reproducible across
+//! runs and machines.
+//!
+//! The classifier head of each network is *calibrated*, not trained: the
+//! hidden layers are fixed random projections (with ReLU nonlinearities)
+//! and the final dense layer implements a nearest-prototype rule
+//! (`w_c = 2·φ_c`, `b_c = −‖φ_c‖²`, so `score_c = ‖h‖² − ‖h − φ_c‖²` up to
+//! a class-independent term), where `φ_c` is the `f64` feature vector of
+//! the noiseless class prototype. This gives a deterministic network that
+//! classifies the synthetic test set perfectly at `f64`, leaving precision
+//! effects — the object of study — as the only error source.
+
+/// One layer of a straight-line inference network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Layer {
+    /// Fully-connected: `y[o] = Σ_i w[o·inp+i]·x[i] + bias[o]`.
+    Dense {
+        /// Unique layer name (the tuner's variable name).
+        name: &'static str,
+        /// Input features.
+        inp: usize,
+        /// Output features.
+        out: usize,
+    },
+    /// 3×3 valid convolution over a `in_ch × h × w` input volume.
+    Conv2d {
+        /// Unique layer name.
+        name: &'static str,
+        /// Input channels.
+        in_ch: usize,
+        /// Output channels (filters).
+        out_ch: usize,
+        /// Input height.
+        h: usize,
+        /// Input width.
+        w: usize,
+    },
+    /// Element-wise `max(x, 0)` over a length-`len` activation vector.
+    Relu {
+        /// Unique layer name.
+        name: &'static str,
+        /// Per-sample activation length.
+        len: usize,
+    },
+    /// 2×2 max-pool with stride 2 over a `ch × h × w` volume (`h`, `w`
+    /// even).
+    MaxPool2 {
+        /// Unique layer name.
+        name: &'static str,
+        /// Channels (pooled independently).
+        ch: usize,
+        /// Input height (even).
+        h: usize,
+        /// Input width (even).
+        w: usize,
+    },
+}
+
+/// Convolution kernel size (3×3, valid padding).
+pub const CONV_K: usize = 3;
+
+impl Layer {
+    /// The layer's unique name (doubles as the tuner variable name).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Layer::Dense { name, .. }
+            | Layer::Conv2d { name, .. }
+            | Layer::Relu { name, .. }
+            | Layer::MaxPool2 { name, .. } => name,
+        }
+    }
+
+    /// Per-sample input length.
+    pub fn in_len(&self) -> usize {
+        match self {
+            Layer::Dense { inp, .. } => *inp,
+            Layer::Conv2d { in_ch, h, w, .. } => in_ch * h * w,
+            Layer::Relu { len, .. } => *len,
+            Layer::MaxPool2 { ch, h, w, .. } => ch * h * w,
+        }
+    }
+
+    /// Per-sample output length.
+    pub fn out_len(&self) -> usize {
+        match self {
+            Layer::Dense { out, .. } => *out,
+            Layer::Conv2d {
+                out_ch, h, w: wd, ..
+            } => out_ch * (h - CONV_K + 1) * (wd - CONV_K + 1),
+            Layer::Relu { len, .. } => *len,
+            Layer::MaxPool2 { ch, h, w, .. } => ch * (h / 2) * (w / 2),
+        }
+    }
+
+    /// `(weights, biases)` element counts, `(0, 0)` for parameterless
+    /// layers.
+    pub fn param_lens(&self) -> (usize, usize) {
+        match self {
+            Layer::Dense { inp, out, .. } => (inp * out, *out),
+            Layer::Conv2d { in_ch, out_ch, .. } => (out_ch * in_ch * CONV_K * CONV_K, *out_ch),
+            _ => (0, 0),
+        }
+    }
+
+    /// Storage-cost element count for the tuner's `total_bits` metric:
+    /// parameters for weighted layers, the activation tensor for the rest.
+    pub fn cost_elems(&self) -> usize {
+        let (w, b) = self.param_lens();
+        if w > 0 {
+            w + b
+        } else {
+            self.out_len()
+        }
+    }
+
+    /// Whether the lowered kernel processes the whole batch in one launch
+    /// (convolutions run per-sample: their 6-deep loop nest uses up the
+    /// code generator's loop budget).
+    pub fn batched(&self) -> bool {
+        !matches!(self, Layer::Conv2d { .. })
+    }
+}
+
+/// A layer's parameters (empty for parameterless layers).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Params {
+    /// Flattened weights (`out × inp` or `out_ch × in_ch × 3 × 3`).
+    pub w: Vec<f64>,
+    /// Per-output biases.
+    pub bias: Vec<f64>,
+}
+
+/// A straight-line inference network with its (generated) parameters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Network {
+    /// Display name.
+    pub name: &'static str,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+    /// Per-layer parameters, aligned with `layers`.
+    pub params: Vec<Params>,
+}
+
+/// The deterministic synthetic classification set a network is evaluated
+/// on.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Dataset {
+    /// Per-sample input vectors.
+    pub inputs: Vec<Vec<f64>>,
+    /// Ground-truth labels.
+    pub labels: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+/// Samples per evaluation set.
+pub const SAMPLES: usize = 64;
+/// Classes in both synthetic tasks.
+pub const CLASSES: usize = 4;
+
+/// `xorshift64*`-style generator in `[0, 1)` (same idiom as the SVM and
+/// Polybench data generators — deterministic and platform-independent).
+fn rng01(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// `n` deterministic values uniform in `±amp`.
+fn uniform(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+    let mut s = seed;
+    (0..n).map(|_| amp * (2.0 * rng01(&mut s) - 1.0)).collect()
+}
+
+/// One layer of the `f64` reference forward pass. Loop order mirrors the
+/// lowered kernels exactly (`o` outer / `i` inner for dense; `f, oy, ox`
+/// outer and `c, ky, kx` inner for conv), so this matches the
+/// `run_f64` interpretation of the lowered kernels bit-for-bit.
+pub fn layer_forward_f64(layer: &Layer, params: &Params, x: &[f64]) -> Vec<f64> {
+    assert_eq!(x.len(), layer.in_len(), "{}: input length", layer.name());
+    match layer {
+        Layer::Dense { inp, out, .. } => (0..*out)
+            .map(|o| {
+                let mut acc = 0.0;
+                for (i, xi) in x.iter().enumerate() {
+                    acc += params.w[o * inp + i] * xi;
+                }
+                acc + params.bias[o]
+            })
+            .collect(),
+        Layer::Conv2d {
+            in_ch,
+            out_ch,
+            h,
+            w,
+            ..
+        } => {
+            let (oh, ow) = (h - CONV_K + 1, w - CONV_K + 1);
+            let mut y = Vec::with_capacity(out_ch * oh * ow);
+            for f in 0..*out_ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0.0;
+                        for c in 0..*in_ch {
+                            for ky in 0..CONV_K {
+                                for kx in 0..CONV_K {
+                                    let wv =
+                                        params.w[((f * in_ch + c) * CONV_K + ky) * CONV_K + kx];
+                                    let xv = x[c * h * w + (oy + ky) * w + (ox + kx)];
+                                    acc += wv * xv;
+                                }
+                            }
+                        }
+                        y.push(acc + params.bias[f]);
+                    }
+                }
+            }
+            y
+        }
+        Layer::Relu { .. } => x.iter().map(|v| v.max(0.0)).collect(),
+        Layer::MaxPool2 { ch, h, w, .. } => {
+            let (oh, ow) = (h / 2, w / 2);
+            let mut y = Vec::with_capacity(ch * oh * ow);
+            for p in 0..*ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let at =
+                            |dy: usize, dx: usize| x[p * h * w + (2 * oy + dy) * w + 2 * ox + dx];
+                        y.push(at(0, 0).max(at(0, 1)).max(at(1, 0).max(at(1, 1))));
+                    }
+                }
+            }
+            y
+        }
+    }
+}
+
+/// Full `f64` reference forward pass: the output of every layer in order
+/// (the QoR golden signal for per-layer SQNR and the churn reference for
+/// the tuner).
+pub fn forward_f64(net: &Network, x: &[f64]) -> Vec<Vec<f64>> {
+    let mut acts = Vec::with_capacity(net.layers.len());
+    let mut cur = x.to_vec();
+    for (layer, params) in net.layers.iter().zip(&net.params) {
+        cur = layer_forward_f64(layer, params, &cur);
+        acts.push(cur.clone());
+    }
+    acts
+}
+
+/// Calibrate the final dense layer as a nearest-prototype classifier on
+/// the `f64` features of the class prototypes (see module docs). The last
+/// layer of `net` must be a [`Layer::Dense`] with `out == prototypes.len()`.
+fn calibrate_head(net: &mut Network, prototypes: &[Vec<f64>]) {
+    let last = net.layers.len() - 1;
+    let Layer::Dense { inp, out, .. } = net.layers[last] else {
+        panic!("head must be dense");
+    };
+    assert_eq!(out, prototypes.len());
+    let mut w = Vec::with_capacity(out * inp);
+    let mut bias = Vec::with_capacity(out);
+    for proto in prototypes {
+        let mut h = proto.clone();
+        for (layer, params) in net.layers[..last].iter().zip(&net.params[..last]) {
+            h = layer_forward_f64(layer, params, &h);
+        }
+        assert_eq!(h.len(), inp, "feature length");
+        bias.push(-h.iter().map(|v| v * v).sum::<f64>());
+        w.extend(h.iter().map(|v| 2.0 * v));
+    }
+    net.params[last] = Params { w, bias };
+}
+
+/// Sample `SAMPLES` inputs as class prototypes plus uniform `±noise`
+/// jitter. The amplitude is chosen per task so that `f64` classification
+/// is perfect while the margins are tight enough for binary8's 2-bit
+/// mantissa to start flipping predictions — the regime the
+/// mixed-precision tuner is for.
+fn sample_inputs(prototypes: &[Vec<f64>], seed: u64, noise: f64) -> Dataset {
+    let dim = prototypes[0].len();
+    let mut s = seed;
+    let mut inputs = Vec::with_capacity(SAMPLES);
+    let mut labels = Vec::with_capacity(SAMPLES);
+    for i in 0..SAMPLES {
+        let c = i % CLASSES;
+        let x: Vec<f64> = (0..dim)
+            .map(|j| prototypes[c][j] + noise * (2.0 * rng01(&mut s) - 1.0))
+            .collect();
+        inputs.push(x);
+        labels.push(c);
+    }
+    Dataset {
+        inputs,
+        labels,
+        classes: CLASSES,
+    }
+}
+
+/// The 3-layer MLP task: 64 inputs → 32 → 16 → 4 classes, ReLU between
+/// dense layers. Class prototypes are a shared *carrier* profile (a
+/// deterministic modular pattern in `[0.45, 0.80]`) plus a small
+/// Walsh-signed class component (`±DELTA` with mutually orthogonal sign
+/// patterns) — so most of each input's magnitude carries no class
+/// information, and binary8's coarse mantissa grid (relative steps up to
+/// 12.5 %) erodes the class signal while binary16 keeps it comfortably.
+/// Hidden weights are random projections scaled `≈ 1.5/√fan_in` so
+/// activations stay `O(1)` at every depth (inside every smallFloat
+/// format's range — precision, not range, is what the formats trade
+/// here).
+pub fn mlp() -> (Network, Dataset) {
+    const IN: usize = 64;
+    const H1: usize = 32;
+    const H2: usize = 16;
+    let layers = vec![
+        Layer::Dense {
+            name: "fc1",
+            inp: IN,
+            out: H1,
+        },
+        Layer::Relu {
+            name: "relu1",
+            len: H1,
+        },
+        Layer::Dense {
+            name: "fc2",
+            inp: H1,
+            out: H2,
+        },
+        Layer::Relu {
+            name: "relu2",
+            len: H2,
+        },
+        Layer::Dense {
+            name: "fc3",
+            inp: H2,
+            out: CLASSES,
+        },
+    ];
+    let params = vec![
+        Params {
+            w: uniform(H1 * IN, 0x6D4C_0001, 1.5 / (IN as f64).sqrt()),
+            bias: uniform(H1, 0x6D4C_0002, 0.1),
+        },
+        Params::default(),
+        Params {
+            w: uniform(H2 * H1, 0x6D4C_0003, 1.5 / (H1 as f64).sqrt()),
+            bias: uniform(H2, 0x6D4C_0004, 0.1),
+        },
+        Params::default(),
+        Params::default(), // calibrated below
+    ];
+    // Class signal amplitude over the carrier; see the doc comment.
+    const DELTA: f64 = 0.06;
+    let prototypes: Vec<Vec<f64>> = (0..CLASSES)
+        .map(|c| {
+            (0..IN)
+                .map(|j| {
+                    let carrier = 0.45 + 0.35 * ((j * 7) % 11) as f64 / 10.0;
+                    // Walsh sign: parity of input-index bit `c` — the four
+                    // class patterns are pairwise orthogonal over 0..64.
+                    let sign = if j >> c & 1 == 0 { 1.0 } else { -1.0 };
+                    carrier + DELTA * sign
+                })
+                .collect()
+        })
+        .collect();
+    let mut net = Network {
+        name: "MLP",
+        layers,
+        params,
+    };
+    calibrate_head(&mut net, &prototypes);
+    (net, sample_inputs(&prototypes, 0x6D4C_00DA, 0.04))
+}
+
+/// The small CNN task: 1×8×8 images → 3×3 conv (4 filters) → ReLU → 2×2
+/// max-pool → dense 36→4. Class prototypes are the four canonical 8×8
+/// texture patterns (horizontal stripes, vertical stripes, checkerboard,
+/// centre blob) with levels 0.2/0.8 — distinguishable by 3×3 receptive
+/// fields.
+pub fn cnn() -> (Network, Dataset) {
+    const C: usize = 1;
+    const F: usize = 4;
+    const H: usize = 8;
+    const W: usize = 8;
+    const POOLED: usize = F * (H - 2) / 2 * ((W - 2) / 2);
+    let layers = vec![
+        Layer::Conv2d {
+            name: "conv1",
+            in_ch: C,
+            out_ch: F,
+            h: H,
+            w: W,
+        },
+        Layer::Relu {
+            name: "relu1",
+            len: F * (H - 2) * (W - 2),
+        },
+        Layer::MaxPool2 {
+            name: "pool1",
+            ch: F,
+            h: H - 2,
+            w: W - 2,
+        },
+        Layer::Dense {
+            name: "fc1",
+            inp: POOLED,
+            out: CLASSES,
+        },
+    ];
+    let params = vec![
+        Params {
+            w: uniform(F * C * CONV_K * CONV_K, 0xC4A_0001, 0.6),
+            bias: uniform(F, 0xC4A_0002, 0.1),
+        },
+        Params::default(),
+        Params::default(),
+        Params::default(), // calibrated below
+    ];
+    let prototypes: Vec<Vec<f64>> = (0..CLASSES)
+        .map(|c| {
+            (0..H * W)
+                .map(|t| {
+                    let (y, x) = (t / W, t % W);
+                    let on = match c {
+                        0 => y % 2 == 0,                                 // horizontal stripes
+                        1 => x % 2 == 0,                                 // vertical stripes
+                        2 => (x + y) % 2 == 0,                           // checkerboard
+                        _ => (2..6).contains(&x) && (2..6).contains(&y), // centre blob
+                    };
+                    if on {
+                        0.8
+                    } else {
+                        0.2
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut net = Network {
+        name: "CNN",
+        layers,
+        params,
+    };
+    calibrate_head(&mut net, &prototypes);
+    (net, sample_inputs(&prototypes, 0xC4A_00DA, 0.11))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::qor::argmax;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let (n1, d1) = mlp();
+        let (n2, d2) = mlp();
+        assert_eq!(n1, n2);
+        assert_eq!(d1, d2);
+        let (c1, e1) = cnn();
+        let (c2, e2) = cnn();
+        assert_eq!(c1, c2);
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn shapes_chain() {
+        for (net, ds) in [mlp(), cnn()] {
+            let mut len = ds.inputs[0].len();
+            for layer in &net.layers {
+                assert_eq!(layer.in_len(), len, "{}: chain", layer.name());
+                len = layer.out_len();
+            }
+            assert_eq!(len, ds.classes, "{}: head width", net.name);
+        }
+    }
+
+    #[test]
+    fn f64_classification_is_perfect() {
+        // The data is engineered to be separable at full precision; only
+        // reduced-precision arithmetic may introduce errors.
+        for (net, ds) in [mlp(), cnn()] {
+            let mut correct = 0;
+            for (x, label) in ds.inputs.iter().zip(&ds.labels) {
+                let acts = forward_f64(&net, x);
+                if argmax(acts.last().unwrap()) == *label {
+                    correct += 1;
+                }
+            }
+            assert_eq!(correct, SAMPLES, "{}: f64 must be error-free", net.name);
+        }
+    }
+}

@@ -1,0 +1,569 @@
+//! Lowering network layers onto the `smallfloat-xcc` loop-nest IR, plus
+//! hand-vectorized (intrinsic) variants.
+//!
+//! Each layer becomes one [`Kernel`] over arrays `x`, `y` (and `w`,
+//! `bias` for weighted layers) with a binary32 scalar accumulator `acc`
+//! where a reduction exists. Per-layer precision is applied through the
+//! ordinary retype pass ([`layer_precision`]), so a layer can be assigned
+//! binary32 / binary16 / binary16alt / binary8 independently; the
+//! accumulator stays binary32 (the expanding-accumulation convention the
+//! Xfaux `fmacex`/`vfdotpex` operations exist for).
+//!
+//! What auto-vectorizes and what does not is part of the evaluation story:
+//!
+//! * dense inner products and ReLU maps vectorize (packed-SIMD friendly:
+//!   unit stride, lane-aligned rows);
+//! * the 3×3 convolution's window walk (`…·9 + ky·3 + kx` addressing) and
+//!   the stride-2 max-pool are *not* lane-aligned — the Xfvec extension
+//!   has no shuffle/gather, so the auto-vectorizer correctly refuses and
+//!   the hand-written variants below use scalar pointer bumping with
+//!   `fmacex` (conv) or even-aligned packed `vfmax` row maxima (pool)
+//!   instead.
+
+use crate::graph::{Layer, Params, CONV_K};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, MinMaxOp, XReg};
+use smallfloat_kernels::{Mg, Precision, VecMode};
+use smallfloat_xcc::codegen::{compile, CodegenOptions, Compiled};
+use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
+
+const F0: FReg = FReg::new(0);
+const F1: FReg = FReg::new(1);
+const F2: FReg = FReg::new(2);
+const F3: FReg = FReg::new(3);
+const F4: FReg = FReg::new(4);
+const T0: XReg = XReg::new(5);
+const T1: XReg = XReg::new(29);
+const END_A: XReg = XReg::new(6);
+const END_B: XReg = XReg::new(7);
+const END_C: XReg = XReg::new(28);
+const P_X: XReg = XReg::new(18);
+const P_W: XReg = XReg::new(19);
+const P_B: XReg = XReg::new(20);
+const P_Y: XReg = XReg::new(21);
+const P_J: XReg = XReg::new(22);
+
+/// The binary32 base kernel for `batch` samples of a layer (convolutions
+/// require `batch == 1`, see [`Layer::batched`]).
+pub fn layer_kernel(layer: &Layer, batch: usize) -> Kernel {
+    let mut k = Kernel::new(layer.name());
+    let b = batch as i64;
+    match layer {
+        Layer::Dense { inp, out, .. } => {
+            let (i_n, o_n) = (*inp as i64, *out as i64);
+            k.array("x", FpFmt::S, batch * inp)
+                .array("w", FpFmt::S, out * inp)
+                .array("bias", FpFmt::S, *out)
+                .array("y", FpFmt::S, batch * out)
+                .scalar("acc", FpFmt::S, 0.0);
+            k.body = vec![Stmt::for_(
+                "n",
+                0,
+                Bound::constant(b),
+                vec![Stmt::for_(
+                    "o",
+                    0,
+                    Bound::constant(o_n),
+                    vec![
+                        Stmt::set("acc", Expr::lit(0.0)),
+                        Stmt::for_(
+                            "i",
+                            0,
+                            Bound::constant(i_n),
+                            vec![Stmt::accum(
+                                "acc",
+                                Expr::load("w", IdxExpr::of(&[("o", i_n), ("i", 1)], 0))
+                                    * Expr::load("x", IdxExpr::of(&[("n", i_n), ("i", 1)], 0)),
+                            )],
+                        ),
+                        Stmt::store(
+                            "y",
+                            IdxExpr::of(&[("n", o_n), ("o", 1)], 0),
+                            Expr::scalar("acc") + Expr::load("bias", IdxExpr::var("o")),
+                        ),
+                    ],
+                )],
+            )];
+        }
+        Layer::Conv2d {
+            in_ch,
+            out_ch,
+            h,
+            w,
+            ..
+        } => {
+            assert_eq!(batch, 1, "conv kernels are lowered per sample");
+            let (c_n, f_n) = (*in_ch as i64, *out_ch as i64);
+            let (h_n, w_n) = (*h as i64, *w as i64);
+            let kk = CONV_K as i64;
+            let (oh, ow) = (h_n - kk + 1, w_n - kk + 1);
+            k.array("x", FpFmt::S, in_ch * h * w)
+                .array("w", FpFmt::S, out_ch * in_ch * CONV_K * CONV_K)
+                .array("bias", FpFmt::S, *out_ch)
+                .array("y", FpFmt::S, layer.out_len())
+                .scalar("acc", FpFmt::S, 0.0);
+            let w_idx = IdxExpr::of(
+                &[("f", c_n * kk * kk), ("c", kk * kk), ("ky", kk), ("kx", 1)],
+                0,
+            );
+            let x_idx = IdxExpr::of(
+                &[
+                    ("c", h_n * w_n),
+                    ("oy", w_n),
+                    ("ky", w_n),
+                    ("ox", 1),
+                    ("kx", 1),
+                ],
+                0,
+            );
+            let mac = Stmt::accum("acc", Expr::load("w", w_idx) * Expr::load("x", x_idx));
+            k.body = vec![Stmt::for_(
+                "f",
+                0,
+                Bound::constant(f_n),
+                vec![Stmt::for_(
+                    "oy",
+                    0,
+                    Bound::constant(oh),
+                    vec![Stmt::for_(
+                        "ox",
+                        0,
+                        Bound::constant(ow),
+                        vec![
+                            Stmt::set("acc", Expr::lit(0.0)),
+                            Stmt::for_(
+                                "c",
+                                0,
+                                Bound::constant(c_n),
+                                vec![Stmt::for_(
+                                    "ky",
+                                    0,
+                                    Bound::constant(kk),
+                                    vec![Stmt::for_("kx", 0, Bound::constant(kk), vec![mac])],
+                                )],
+                            ),
+                            Stmt::store(
+                                "y",
+                                IdxExpr::of(&[("f", oh * ow), ("oy", ow), ("ox", 1)], 0),
+                                Expr::scalar("acc") + Expr::load("bias", IdxExpr::var("f")),
+                            ),
+                        ],
+                    )],
+                )],
+            )];
+        }
+        Layer::Relu { len, .. } => {
+            let total = batch * len;
+            k.array("x", FpFmt::S, total).array("y", FpFmt::S, total);
+            k.body = vec![Stmt::for_(
+                "t",
+                0,
+                Bound::constant(total as i64),
+                vec![Stmt::store(
+                    "y",
+                    IdxExpr::var("t"),
+                    Expr::load("x", IdxExpr::var("t")).max(Expr::lit(0.0)),
+                )],
+            )];
+        }
+        Layer::MaxPool2 { ch, h, w, .. } => {
+            let planes = (batch * ch) as i64;
+            let (h_n, w_n) = (*h as i64, *w as i64);
+            let (oh, ow) = (h_n / 2, w_n / 2);
+            k.array("x", FpFmt::S, batch * layer.in_len()).array(
+                "y",
+                FpFmt::S,
+                batch * layer.out_len(),
+            );
+            let win = |dy: i64, dx: i64| {
+                Expr::load(
+                    "x",
+                    IdxExpr::of(
+                        &[("p", h_n * w_n), ("oy", 2 * w_n), ("ox", 2)],
+                        dy * w_n + dx,
+                    ),
+                )
+            };
+            k.body = vec![Stmt::for_(
+                "p",
+                0,
+                Bound::constant(planes),
+                vec![Stmt::for_(
+                    "oy",
+                    0,
+                    Bound::constant(oh),
+                    vec![Stmt::for_(
+                        "ox",
+                        0,
+                        Bound::constant(ow),
+                        vec![Stmt::store(
+                            "y",
+                            IdxExpr::of(&[("p", oh * ow), ("oy", ow), ("ox", 1)], 0),
+                            win(0, 0).max(win(0, 1)).max(win(1, 0).max(win(1, 1))),
+                        )],
+                    )],
+                )],
+            )];
+        }
+    }
+    k
+}
+
+/// The [`Precision`] that assigns a layer's data format: arrays at `fmt`,
+/// reduction accumulator kept binary32 (a no-op map entry for layers
+/// without one).
+pub fn layer_precision(fmt: FpFmt) -> Precision {
+    if fmt == FpFmt::S {
+        Precision::F32
+    } else {
+        Precision::Mixed {
+            default: fmt,
+            assignment: vec![("acc".to_string(), FpFmt::S)],
+        }
+    }
+}
+
+/// Input binding for [`smallfloat_kernels::run_compiled`] / the typed
+/// interpreter: the layer's parameters plus the sample data `x` (and a
+/// zeroed output).
+pub fn layer_inputs(
+    layer: &Layer,
+    params: &Params,
+    x: &[f64],
+    batch: usize,
+) -> Vec<(String, Vec<f64>)> {
+    let mut v = vec![("x".to_string(), x.to_vec())];
+    let (wl, bl) = layer.param_lens();
+    if wl > 0 {
+        assert_eq!(params.w.len(), wl);
+        assert_eq!(params.bias.len(), bl);
+        v.push(("w".to_string(), params.w.clone()));
+        v.push(("bias".to_string(), params.bias.clone()));
+    }
+    v.push(("y".to_string(), vec![0.0; batch * layer.out_len()]));
+    v
+}
+
+/// Build the typed kernel and its lowering for one layer at `fmt`/`mode`
+/// (`Manual` falls back to plain scalar code when [`manual_layer`] does
+/// not apply, mirroring `smallfloat_kernels::bench::build`).
+///
+/// # Panics
+///
+/// Panics if compilation fails (layer kernels are sized within the code
+/// generator's register pools).
+pub fn build_layer(layer: &Layer, batch: usize, fmt: FpFmt, mode: VecMode) -> (Kernel, Compiled) {
+    let typed = layer_precision(fmt).apply(&layer_kernel(layer, batch));
+    let compiled = match mode {
+        VecMode::Scalar => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
+        VecMode::Auto => compile(&typed, CodegenOptions { vectorize: true }).expect("compiles"),
+        VecMode::Manual => match manual_layer(layer, &typed, batch) {
+            Some(c) => c,
+            None => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
+        },
+    };
+    (typed, compiled)
+}
+
+/// Hand-written intrinsic implementation of one typed layer, or `None`
+/// when it does not apply (binary32 data, lane-misaligned shapes, or a
+/// non-binary32 accumulator).
+pub fn manual_layer(layer: &Layer, typed: &Kernel, batch: usize) -> Option<Compiled> {
+    if typed.scalar_decl("acc").is_some_and(|s| s.ty != FpFmt::S) {
+        return None; // expanding ops accumulate at binary32 only
+    }
+    match layer {
+        Layer::Dense { inp, out, .. } => manual_dense(typed, batch, *inp, *out),
+        Layer::Conv2d {
+            in_ch,
+            out_ch,
+            h,
+            w,
+            ..
+        } => manual_conv(typed, *in_ch, *out_ch, *h, *w),
+        Layer::Relu { len, .. } => manual_relu(typed, batch * len),
+        Layer::MaxPool2 { ch, h, w, .. } => manual_pool(typed, batch * ch, *h, *w),
+    }
+}
+
+/// Dense layer via `vfdotpex` (the paper's Fig. 5 listing): packed loads
+/// of a weight row and the sample vector, expanding dot-product into a
+/// binary32 accumulator. Requires lane-aligned rows (`inp % lanes == 0`).
+fn manual_dense(typed: &Kernel, batch: usize, inp: usize, out: usize) -> Option<Compiled> {
+    let mut m = Mg::try_new(typed)?;
+    if !inp.is_multiple_of(m.lanes as usize) {
+        return None;
+    }
+    let fmt = m.fmt;
+    let e = m.elem() as i32;
+    let row = inp as i32 * e;
+    m.asm.la(P_X, m.addr("x"));
+    m.asm.la(P_Y, m.addr("y"));
+    m.asm.li(T0, batch as i32 * row);
+    m.asm.add(END_A, P_X, T0);
+    let ln = m.label("sample");
+    m.asm.label(&ln);
+    {
+        m.asm.la(P_W, m.addr("w"));
+        m.asm.la(P_B, m.addr("bias"));
+        m.asm.li(T0, out as i32 * row);
+        m.asm.add(END_B, P_W, T0);
+        let lo = m.label("out");
+        m.asm.label(&lo);
+        {
+            m.asm.mv(P_J, P_X);
+            m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
+            m.asm.addi(END_C, P_W, row);
+            m.ptr_loop(P_W, END_C, &[(P_W, 4), (P_J, 4)], |m| {
+                m.asm.fload(FpFmt::S, F1, P_W, 0);
+                m.asm.fload(FpFmt::S, F2, P_J, 0);
+                m.asm.vfdotpex(fmt, F0, F1, F2);
+            });
+            m.asm.fload(fmt, F1, P_B, 0);
+            m.asm.addi(P_B, P_B, e);
+            m.asm.fcvt(FpFmt::S, fmt, F1, F1);
+            m.asm.fadd(FpFmt::S, F0, F0, F1);
+            m.asm.fcvt(fmt, FpFmt::S, F0, F0);
+            m.asm.fstore(fmt, F0, P_Y, 0);
+            m.asm.addi(P_Y, P_Y, e);
+        }
+        m.asm.branch(BranchCond::Ltu, P_W, END_B, &lo);
+    }
+    m.asm.addi(P_X, P_X, row);
+    m.asm.branch(BranchCond::Ltu, P_X, END_A, &ln);
+    Some(m.finish())
+}
+
+/// ReLU via the replicated-operand `vfmax.r`: one packed load, one vector
+/// max against a zero splat, one packed store per `lanes` elements.
+fn manual_relu(typed: &Kernel, total: usize) -> Option<Compiled> {
+    let mut m = Mg::try_new(typed)?;
+    if !total.is_multiple_of(m.lanes as usize) {
+        return None;
+    }
+    let fmt = m.fmt;
+    m.asm.la(P_X, m.addr("x"));
+    m.asm.la(P_Y, m.addr("y"));
+    m.asm.li(T0, total as i32 * m.elem() as i32);
+    m.asm.add(END_A, P_X, T0);
+    m.asm.fmv_f(FpFmt::S, F3, XReg::ZERO); // +0.0 in every lane (and lane 0)
+    m.ptr_loop(P_X, END_A, &[(P_X, 4), (P_Y, 4)], |m| {
+        m.asm.fload(FpFmt::S, F1, P_X, 0);
+        m.asm.vfmax_r(fmt, F1, F1, F3); // one-instruction vector ReLU
+        m.asm.fstore(FpFmt::S, F1, P_Y, 0);
+    });
+    Some(m.finish())
+}
+
+/// 2×2 max-pool for 2-lane formats: the two elements of each window row
+/// are lane-adjacent and even-aligned, so each window is a packed load per
+/// row, a lane-wise `vfmax`, and a horizontal max of the surviving pair.
+/// 4-lane binary8 would straddle window boundaries (no shuffles in the
+/// ISA), so it falls back.
+fn manual_pool(typed: &Kernel, planes: usize, h: usize, w: usize) -> Option<Compiled> {
+    let mut m = Mg::try_new(typed)?;
+    if m.lanes != 2 || !w.is_multiple_of(2) || !h.is_multiple_of(2) {
+        return None;
+    }
+    let fmt = m.fmt;
+    let e = m.elem() as i32;
+    let row = w as i32 * e;
+    m.asm.la(P_X, m.addr("x"));
+    m.asm.la(P_Y, m.addr("y"));
+    m.asm.li(T0, (planes * (h / 2) * (w / 2)) as i32 * e);
+    m.asm.add(END_A, P_Y, T0);
+    let lp = m.label("rowpair");
+    m.asm.label(&lp);
+    {
+        // One output row: OW windows, each 2×2. `P_X` walks row 2·oy; row
+        // 2·oy+1 is reached with a displacement.
+        m.asm.addi(END_B, P_X, row);
+        m.ptr_loop(P_X, END_B, &[(P_X, 2 * e), (P_Y, e)], |m| {
+            m.asm.fload(FpFmt::S, F1, P_X, 0);
+            m.asm.fload(FpFmt::S, F2, P_X, row);
+            m.asm.vfmax(fmt, F1, F1, F2); // column-wise max of the window
+            m.asm.fmv_x(FpFmt::S, T1, F1);
+            m.asm.fmv_f(fmt, F3, T1); // lane 0
+            m.asm.srli(T1, T1, fmt.width() as i32);
+            m.asm.fmv_f(fmt, F4, T1); // lane 1
+            m.asm.fminmax(fmt, MinMaxOp::Max, F3, F3, F4);
+            m.asm.fstore(fmt, F3, P_Y, 0);
+        });
+    }
+    m.asm.addi(P_X, P_X, row); // skip the odd row the windows consumed
+    m.asm.branch(BranchCond::Ltu, P_Y, END_A, &lp);
+    Some(m.finish())
+}
+
+/// 3×3 convolution via `fmacex`: the window walk is fully unrolled into
+/// displacement-addressed loads (no inner-loop overhead, no address
+/// arithmetic) with scalar expanding MACs into a binary32 accumulator —
+/// the Xfaux answer to a loop the packed-SIMD ISA cannot vectorize.
+fn manual_conv(
+    typed: &Kernel,
+    in_ch: usize,
+    out_ch: usize,
+    h: usize,
+    w: usize,
+) -> Option<Compiled> {
+    let mut m = Mg::try_new(typed)?;
+    let fmt = m.fmt;
+    let e = m.elem() as i32;
+    let (oh, ow) = (h - CONV_K + 1, w - CONV_K + 1);
+    let filt = (in_ch * CONV_K * CONV_K) as i32 * e;
+    let row = w as i32 * e;
+    m.asm.la(P_W, m.addr("w"));
+    m.asm.la(P_B, m.addr("bias"));
+    m.asm.la(P_Y, m.addr("y"));
+    m.asm.li(T0, out_ch as i32 * filt);
+    m.asm.add(END_A, P_W, T0);
+    let lf = m.label("filter");
+    m.asm.label(&lf);
+    {
+        m.asm.la(P_X, m.addr("x"));
+        m.asm.li(T0, oh as i32 * row);
+        m.asm.add(END_B, P_X, T0); // input row limit for window bases
+        let loy = m.label("oy");
+        m.asm.label(&loy);
+        {
+            m.asm.mv(P_J, P_X);
+            m.asm.addi(END_C, P_J, ow as i32 * e);
+            m.ptr_loop(P_J, END_C, &[(P_J, e)], |m| {
+                m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
+                for c in 0..in_ch {
+                    for ky in 0..CONV_K {
+                        for kx in 0..CONV_K {
+                            let wd = ((c * CONV_K + ky) * CONV_K + kx) as i32 * e;
+                            let xd = (c * h * w + ky * w + kx) as i32 * e;
+                            m.asm.fload(fmt, F1, P_W, wd);
+                            m.asm.fload(fmt, F2, P_J, xd);
+                            m.asm.fmacex(fmt, F0, F1, F2);
+                        }
+                    }
+                }
+                m.asm.fload(fmt, F1, P_B, 0);
+                m.asm.fcvt(FpFmt::S, fmt, F1, F1);
+                m.asm.fadd(FpFmt::S, F0, F0, F1);
+                m.asm.fcvt(fmt, FpFmt::S, F0, F0);
+                m.asm.fstore(fmt, F0, P_Y, 0);
+                m.asm.addi(P_Y, P_Y, e);
+            });
+        }
+        m.asm.addi(P_X, P_X, row);
+        m.asm.branch(BranchCond::Ltu, P_X, END_B, &loy);
+    }
+    m.asm.addi(P_W, P_W, filt);
+    m.asm.addi(P_B, P_B, e);
+    m.asm.branch(BranchCond::Ltu, P_W, END_A, &lf);
+    Some(m.finish())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{forward_f64, layer_forward_f64, mlp};
+    use smallfloat_xcc::interp::{run_f64, F64State};
+
+    /// Every layer kind's lowered kernel must reproduce the host `f64`
+    /// forward pass exactly under the `f64` interpreter (same loop order,
+    /// same operations).
+    #[test]
+    fn lowered_kernels_match_reference_forward() {
+        let (net, ds) = crate::graph::cnn();
+        let mut x = ds.inputs[0].clone();
+        for (layer, params) in net.layers.iter().zip(&net.params) {
+            let k = layer_kernel(layer, 1);
+            let mut st = F64State::for_kernel(&k);
+            for (name, vals) in layer_inputs(layer, params, &x, 1) {
+                st.set_array(&name, &vals);
+            }
+            run_f64(&k, &mut st);
+            let expect = layer_forward_f64(layer, params, &x);
+            assert_eq!(st.array("y"), &expect[..], "{}", layer.name());
+            x = expect;
+        }
+    }
+
+    /// Batched lowering computes every sample (sample-major output).
+    #[test]
+    fn batched_dense_matches_per_sample() {
+        let (net, ds) = mlp();
+        let layer = &net.layers[0];
+        let params = &net.params[0];
+        let n = 3;
+        let flat: Vec<f64> = ds.inputs[..n].iter().flatten().copied().collect();
+        let k = layer_kernel(layer, n);
+        let mut st = F64State::for_kernel(&k);
+        for (name, vals) in layer_inputs(layer, params, &flat, n) {
+            st.set_array(&name, &vals);
+        }
+        run_f64(&k, &mut st);
+        let expect: Vec<f64> = ds.inputs[..n]
+            .iter()
+            .flat_map(|x| layer_forward_f64(layer, params, x))
+            .collect();
+        assert_eq!(st.array("y"), &expect[..]);
+    }
+
+    /// The vectorization story: dense and ReLU auto-vectorize, conv and
+    /// pool do not (lane alignment), and every layer has the expected
+    /// manual availability at binary16.
+    #[test]
+    fn vectorization_applicability() {
+        let (net, _) = crate::graph::cnn();
+        let mut auto_vec = Vec::new();
+        let mut manual = Vec::new();
+        for layer in &net.layers {
+            let batch = if layer.batched() { 4 } else { 1 };
+            let (typed, auto) = build_layer(layer, batch, FpFmt::H, VecMode::Auto);
+            auto_vec.push((layer.name(), auto.vectorized_loops > 0));
+            manual.push((layer.name(), manual_layer(layer, &typed, batch).is_some()));
+        }
+        assert_eq!(
+            auto_vec,
+            [
+                ("conv1", false), // 9/3-strided window walk: not lane-aligned
+                ("relu1", true),
+                ("pool1", false), // stride-2 loads
+                ("fc1", true),
+            ]
+        );
+        assert_eq!(
+            manual,
+            [
+                ("conv1", true),
+                ("relu1", true),
+                ("pool1", true),
+                ("fc1", true)
+            ]
+        );
+    }
+
+    /// Manual ReLU and max-pool are exact (max is not rounded), so they
+    /// must agree bit-for-bit with the scalar lowering on the simulator.
+    #[test]
+    fn manual_exact_layers_match_scalar_on_sim() {
+        use smallfloat_kernels::run_compiled;
+        use smallfloat_sim::MemLevel;
+        let (net, ds) = crate::graph::cnn();
+        let x0 = &ds.inputs[0];
+        let acts = forward_f64(&net, x0);
+        for (idx, fmt) in [(1usize, FpFmt::H), (2usize, FpFmt::Ah)] {
+            let layer = &net.layers[idx];
+            let params = &net.params[idx];
+            let xin = &acts[idx - 1];
+            let (typed, scalar) = build_layer(layer, 1, fmt, VecMode::Scalar);
+            let man = manual_layer(layer, &typed, 1).expect("manual applies");
+            let inputs = layer_inputs(layer, params, xin, 1);
+            let a = run_compiled(&typed, &scalar, &inputs, MemLevel::L1);
+            let b = run_compiled(&typed, &man, &inputs, MemLevel::L1);
+            assert_eq!(a.arrays["y"], b.arrays["y"], "{}", layer.name());
+            assert!(
+                b.stats.cycles < a.stats.cycles,
+                "{}: manual should be faster ({} vs {})",
+                layer.name(),
+                b.stats.cycles,
+                a.stats.cycles
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Classification quality metrics: softmax/argmax head, accuracy and
+//! prediction churn.
+//!
+//! The smallFloat ISA has no transcendental instructions, so the softmax
+//! head runs on the host over the `f64` read-back of the final layer —
+//! exactly where a near-sensor deployment would hand scores to a
+//! microcontroller runtime. Softmax is strictly monotone, so `argmax` of
+//! the scores and of the probabilities agree; probabilities are exposed
+//! for calibration-style inspection only.
+
+/// Numerically-stable softmax.
+pub fn softmax(scores: &[f64]) -> Vec<f64> {
+    let m = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = scores.iter().map(|s| (s - m).exp()).collect();
+    let z: f64 = exps.iter().sum();
+    exps.iter().map(|e| e / z).collect()
+}
+
+/// Index of the maximum score (ties break low; NaN scores lose against
+/// any number, as in the SVM workload's classifier).
+pub fn argmax(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (c, &v) in scores.iter().enumerate() {
+        if v > scores[best] || scores[best].is_nan() {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Top-1 accuracy of per-sample predictions against ground truth.
+pub fn accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len());
+    let hit = predictions
+        .iter()
+        .zip(labels)
+        .filter(|(p, l)| p == l)
+        .count();
+    hit as f64 / labels.len() as f64
+}
+
+/// Prediction churn: the fraction of samples whose predicted class
+/// differs between two runs (the tuner's QoR error metric — degradation
+/// relative to the `f64` reference, not to the possibly-imperfect ground
+/// truth).
+pub fn churn(a: &[usize], b: &[usize]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    let moved = a.iter().zip(b).filter(|(x, y)| x != y).count();
+    moved as f64 / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_is_a_distribution_and_preserves_argmax() {
+        let s = [1.0, 3.0, -2.0, 0.5];
+        let p = softmax(&s);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert_eq!(argmax(&p), argmax(&s));
+        assert_eq!(argmax(&s), 1);
+    }
+
+    #[test]
+    fn argmax_handles_nan_and_ties() {
+        assert_eq!(argmax(&[f64::NAN, 1.0, 1.0]), 1, "first of a tie wins");
+        assert_eq!(argmax(&[0.5, f64::NAN]), 0);
+    }
+
+    #[test]
+    fn accuracy_and_churn() {
+        assert_eq!(accuracy(&[0, 1, 2, 3], &[0, 1, 2, 2]), 0.75);
+        assert_eq!(churn(&[0, 1, 2, 3], &[0, 1, 2, 3]), 0.0);
+        assert_eq!(churn(&[0, 1], &[1, 0]), 1.0);
+    }
+}

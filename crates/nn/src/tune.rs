@@ -1,0 +1,101 @@
+//! Per-layer mixed-precision tuning via the `smallfloat-tuner` greedy
+//! search.
+//!
+//! The tuner operates on kernel variable names. To tune a *network* we
+//! build a [`proxy_kernel`] that declares one array per layer — named
+//! after the layer, sized by its storage cost — and hand it to
+//! [`smallfloat_tuner::tune`]. The tuner retypes proxy arrays; the QoR
+//! callback reads the per-layer formats back off the proxy, runs the whole
+//! network through the typed interpreter at that assignment, and reports
+//! prediction churn against the `f64` reference. The resulting
+//! `TuneResult::assignment` therefore *is* the per-layer format map, and
+//! `total_bits` prices it by real parameter/activation storage.
+
+use crate::graph::{Dataset, Network};
+use crate::infer::{infer_typed, reference_predictions, Assignment};
+use crate::qor::{accuracy, argmax, churn};
+use smallfloat_isa::FpFmt;
+use smallfloat_tuner::{tune, TuneResult, TunerConfig};
+use smallfloat_xcc::ir::Kernel;
+
+/// One binary32 array per layer, named after it and sized by
+/// [`crate::graph::Layer::cost_elems`] — the tuner's view of the network.
+pub fn proxy_kernel(net: &Network) -> Kernel {
+    let mut k = Kernel::new(net.name);
+    for layer in &net.layers {
+        k.array(layer.name(), FpFmt::S, layer.cost_elems());
+    }
+    k
+}
+
+/// A tuned network: the greedy trace plus the end metrics of the chosen
+/// assignment.
+#[derive(Clone, Debug)]
+pub struct NetTune {
+    /// The raw tuner outcome (assignment, trace, evaluation count).
+    pub result: TuneResult,
+    /// Top-1 accuracy of the tuned assignment on the data set (typed
+    /// interpreter).
+    pub accuracy: f64,
+    /// Prediction churn of the tuned assignment against the `f64`
+    /// reference.
+    pub churn: f64,
+}
+
+impl NetTune {
+    /// The tuned per-layer assignment (every layer appears).
+    pub fn assignment(&self) -> Assignment {
+        self.result.assignment.clone()
+    }
+}
+
+/// Greedily derive a per-layer format assignment whose prediction churn
+/// against the `f64` reference stays within `config.max_error`. Layers
+/// are visited in network order; candidates are tried cheapest-first
+/// (the default `[B, H, Ah]`), falling back to binary32 when all fail —
+/// the same protocol the paper's §V-C precision-tuning study applies to
+/// kernel variables.
+pub fn tune_network(net: &Network, ds: &Dataset, config: &TunerConfig) -> NetTune {
+    let reference = reference_predictions(net, &ds.inputs);
+    let proxy = proxy_kernel(net);
+    let result = tune(&proxy, config, |typed_proxy| {
+        let assignment: Assignment = net
+            .layers
+            .iter()
+            .map(|l| {
+                (
+                    l.name().to_string(),
+                    typed_proxy.type_of(l.name()).expect("proxy declares layer"),
+                )
+            })
+            .collect();
+        let outs = infer_typed(net, &ds.inputs, &assignment);
+        let preds: Vec<usize> = outs.iter().map(|o| argmax(o)).collect();
+        churn(&preds, &reference)
+    });
+    let outs = infer_typed(net, &ds.inputs, &result.assignment);
+    let preds: Vec<usize> = outs.iter().map(|o| argmax(o)).collect();
+    NetTune {
+        churn: churn(&preds, &reference),
+        accuracy: accuracy(&preds, &ds.labels),
+        result,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_mirrors_layers() {
+        let (net, _) = crate::graph::mlp();
+        let proxy = proxy_kernel(&net);
+        assert_eq!(proxy.arrays.len(), net.layers.len());
+        assert_eq!(proxy.array_decl("fc1").unwrap().len, 64 * 32 + 32);
+        assert_eq!(proxy.array_decl("relu1").unwrap().len, 32);
+        assert_eq!(
+            smallfloat_xcc::retype::tunable_names(&proxy),
+            ["fc1", "relu1", "fc2", "relu2", "fc3"]
+        );
+    }
+}

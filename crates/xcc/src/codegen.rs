@@ -36,7 +36,7 @@
 
 use crate::ir::{expr_type, promote, BinOp, Bound, Expr, IdxExpr, Kernel, Stmt};
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{BranchCond, FReg, FpFmt, Instr, VfOp, XReg};
+use smallfloat_isa::{BranchCond, FReg, FpFmt, Instr, MinMaxOp, VfOp, XReg};
 use smallfloat_softfp::{ops, Env, Rounding};
 use std::collections::HashMap;
 use std::fmt;
@@ -685,6 +685,7 @@ impl<'k> Cg<'k> {
                     BinOp::Sub => self.asm.fsub(common, dst, ca.reg, cb.reg),
                     BinOp::Mul => self.asm.fmul(common, dst, ca.reg, cb.reg),
                     BinOp::Div => self.asm.fdiv(common, dst, ca.reg, cb.reg),
+                    BinOp::Max => self.asm.fminmax(common, MinMaxOp::Max, dst, ca.reg, cb.reg),
                 };
                 Ok(Val {
                     reg: dst,
@@ -990,6 +991,7 @@ impl<'k> Cg<'k> {
                     BinOp::Sub => VfOp::Sub,
                     BinOp::Mul => VfOp::Mul,
                     BinOp::Div => VfOp::Div,
+                    BinOp::Max => VfOp::Max,
                 };
                 self.asm.vfop(vop, fmt, dst, a, b, false);
                 Ok(dst)
@@ -1269,6 +1271,29 @@ mod tests {
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmac.h"), "listing:\n{}", c.listing);
         assert!(!c.listing.contains("fcvt.s.h"), "no widening conversions");
+    }
+
+    #[test]
+    fn relu_max_lowers_scalar_and_vector() {
+        // y[i] = max(x[i], 0) — the NN ReLU shape.
+        let mut k = Kernel::new("relu");
+        k.array("x", FpFmt::H, 8).array("y", FpFmt::H, 8);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(8),
+            vec![Stmt::store(
+                "y",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")).max(Expr::lit(0.0)),
+            )],
+        )];
+        let c = compile(&k, CodegenOptions { vectorize: false }).unwrap();
+        assert!(c.listing.contains("fmax.h"), "listing:\n{}", c.listing);
+        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        assert_eq!(c.vectorized_loops, 1);
+        assert!(c.listing.contains("vfmax.h"), "listing:\n{}", c.listing);
+        assert!(c.listing.contains("vfcpk.a.h.s"), "zero splat hoisted");
     }
 
     #[test]

@@ -147,6 +147,7 @@ fn eval_typed(
                 crate::ir::BinOp::Sub => ops::sub(f, ca, cb, env),
                 crate::ir::BinOp::Mul => ops::mul(f, ca, cb, env),
                 crate::ir::BinOp::Div => ops::div(f, ca, cb, env),
+                crate::ir::BinOp::Max => ops::fmax(f, ca, cb, env),
             };
             (r, common)
         }
@@ -263,6 +264,7 @@ fn eval_f64(st: &F64State, vars: &HashMap<String, i64>, e: &Expr) -> f64 {
                 crate::ir::BinOp::Sub => a - b,
                 crate::ir::BinOp::Mul => a * b,
                 crate::ir::BinOp::Div => a / b,
+                crate::ir::BinOp::Max => a.max(b),
             }
         }
     }
@@ -422,6 +424,32 @@ mod tests {
         ts.set_array("b", &[7.0, 11.0]);
         run_typed(&k, &mut ts);
         assert_eq!(ts.scalar_f64("acc"), 76.0);
+    }
+
+    #[test]
+    fn max_op_evaluates_in_both_interpreters() {
+        // y[i] = max(x[i], 0): ReLU at binary16.
+        let mut k = Kernel::new("relu");
+        k.array("x", FpFmt::H, 4).array("y", FpFmt::H, 4);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(4),
+            vec![Stmt::store(
+                "y",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")).max(Expr::lit(0.0)),
+            )],
+        )];
+        let x = [-2.0, -0.5, 0.0, 3.0];
+        let mut ts = TypedState::for_kernel(&k);
+        ts.set_array("x", &x);
+        run_typed(&k, &mut ts);
+        assert_eq!(ts.array_f64("y"), vec![0.0, 0.0, 0.0, 3.0]);
+        let mut fs = F64State::for_kernel(&k);
+        fs.set_array("x", &x);
+        run_f64(&k, &mut fs);
+        assert_eq!(fs.array("y"), &[0.0, 0.0, 0.0, 3.0]);
     }
 
     #[test]

@@ -89,6 +89,9 @@ pub enum BinOp {
     Sub,
     Mul,
     Div,
+    /// IEEE 754-2008 `maxNum` — the ReLU / max-pool primitive. Lowers to
+    /// `fmax.fmt` scalar and lane-wise `vfmax.fmt` vector instructions.
+    Max,
 }
 
 /// An arithmetic expression.
@@ -125,6 +128,11 @@ impl Expr {
     /// A literal.
     pub fn lit(v: f64) -> Expr {
         Expr::Const(v)
+    }
+
+    /// `maxNum(self, rhs)` (no operator to overload — a named builder).
+    pub fn max(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Max, self, rhs)
     }
 
     fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {

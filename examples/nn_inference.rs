@@ -1,0 +1,106 @@
+//! Neural-network inference on the smallFloat core (paper §V-B): the
+//! synthetic MLP classifier at a binary32 baseline versus the
+//! tuner-derived per-layer mixed-precision assignment, comparing cycles,
+//! energy and accuracy — the svm_gesture story, one level up the stack.
+//!
+//! Run with: `cargo run --release --example nn_inference`
+
+use smallfloat::{FpFmt, MemLevel, VecMode};
+use smallfloat_nn::qor::accuracy;
+use smallfloat_nn::{infer_sim, mlp, tune_network, uniform_assignment, Assignment};
+use smallfloat_tuner::TunerConfig;
+
+fn main() {
+    let (net, ds) = mlp();
+    println!(
+        "synthetic classification task: {} samples x {} features, {} classes",
+        ds.inputs.len(),
+        ds.inputs[0].len(),
+        ds.classes
+    );
+    println!(
+        "network `{}`: {}",
+        net.name,
+        net.layers
+            .iter()
+            .map(|l| format!("{}({}->{})", l.name(), l.in_len(), l.out_len()))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+
+    // Derive the per-layer assignment with the greedy tuner (binary8
+    // first, then binary16 / binary16alt, binary32 as the fallback).
+    let tuned = tune_network(&net, &ds, &TunerConfig::default());
+    println!("\ntuner trace:\n{}", tuned.result.trace_text());
+    println!(
+        "tuned assignment ({} evaluations): {}",
+        tuned.result.evaluations,
+        tuned
+            .assignment()
+            .iter()
+            .map(|(n, f)| format!("{n}={f:?}"))
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+
+    let baseline = uniform_assignment(&net, FpFmt::S);
+    let half = uniform_assignment(&net, FpFmt::H);
+    let schemes: Vec<(&str, &Assignment, VecMode)> = vec![
+        ("binary32 scalar", &baseline, VecMode::Scalar),
+        ("binary16 scalar", &half, VecMode::Scalar),
+        ("binary16 manual-SIMD", &half, VecMode::Manual),
+        ("tuned scalar", &tuned.result.assignment, VecMode::Scalar),
+        ("tuned auto-SIMD", &tuned.result.assignment, VecMode::Auto),
+        (
+            "tuned manual-SIMD",
+            &tuned.result.assignment,
+            VecMode::Manual,
+        ),
+    ];
+
+    let base = infer_sim(&net, &ds.inputs, &baseline, VecMode::Scalar, MemLevel::L1);
+    println!(
+        "\n{:<22} {:>10} {:>8} {:>9} {:>9}",
+        "scheme", "cycles", "speedup", "energy", "accuracy"
+    );
+    for (label, assignment, mode) in schemes {
+        let r = infer_sim(&net, &ds.inputs, assignment, mode, MemLevel::L1);
+        println!(
+            "{:<22} {:>10} {:>7.2}x {:>9.3} {:>8.1}%",
+            label,
+            r.cycles,
+            base.cycles as f64 / r.cycles as f64,
+            r.energy_pj / base.energy_pj,
+            accuracy(&r.predictions, &ds.labels) * 100.0
+        );
+    }
+
+    // Per-layer attribution of the winning configuration.
+    let r = infer_sim(
+        &net,
+        &ds.inputs,
+        &tuned.result.assignment,
+        VecMode::Manual,
+        MemLevel::L1,
+    );
+    println!("\nper-layer breakdown (tuned, manual SIMD):");
+    println!(
+        "{:<8} {:>10} {:>10} {:>12} {:>10}",
+        "layer", "format", "cycles", "energy(pJ)", "SQNR(dB)"
+    );
+    for l in &r.layers {
+        println!(
+            "{:<8} {:>10} {:>10} {:>12.0} {:>10.1}",
+            l.name,
+            format!("{:?}", l.fmt),
+            l.stats.cycles,
+            l.stats.energy_pj,
+            l.sqnr_db
+        );
+    }
+    println!("\nThe tuner pins the dot-product layers to binary16 (binary8's 2-bit");
+    println!("mantissa breaks the classification) while the ReLUs stay binary8;");
+    println!("with the expanding vfdotpex/vfmax.r intrinsics the tuned network");
+    println!("matches float accuracy at a fraction of the baseline cycles and");
+    println!("energy — the paper's transprecision headline, end to end.");
+}

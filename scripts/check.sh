@@ -28,6 +28,12 @@ cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive
 echo "==> block-path differential grid + golden trace, block cache on (release)"
 cargo test --release -q -p smallfloat-sim --test blockpath_differential --test golden_trace
 
+echo "==> vdotpex4_f8 exhaustive differential suite (release)"
+cargo test --release -q -p smallfloat-softfp --test vdotpex4_f8_differential
+
+echo "==> nn QoR regression suite (release: end-to-end formats/modes, manual-SIMD floors, pinned tuned assignments)"
+cargo test --release -q -p smallfloat-nn
+
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> cargo fmt --check"
     cargo fmt --check
@@ -35,6 +41,8 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
     echo "==> cargo test --workspace --release -q"
     cargo test --workspace --release -q
+    echo "==> cargo doc --no-deps --workspace (warnings are errors)"
+    RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 fi
 
 echo "OK"

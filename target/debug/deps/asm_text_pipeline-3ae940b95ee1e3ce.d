@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/asm_text_pipeline-3ae940b95ee1e3ce.d: tests/asm_text_pipeline.rs
+
+/root/repo/target/debug/deps/asm_text_pipeline-3ae940b95ee1e3ce: tests/asm_text_pipeline.rs
+
+tests/asm_text_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/asm_text_pipeline-f300e18d33a5ad11.d: tests/asm_text_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasm_text_pipeline-f300e18d33a5ad11.rmeta: tests/asm_text_pipeline.rs Cargo.toml
+
+tests/asm_text_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

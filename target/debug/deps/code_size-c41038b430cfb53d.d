@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/code_size-c41038b430cfb53d.d: crates/bench/src/bin/code_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcode_size-c41038b430cfb53d.rmeta: crates/bench/src/bin/code_size.rs Cargo.toml
+
+crates/bench/src/bin/code_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

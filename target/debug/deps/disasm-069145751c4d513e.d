@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disasm-069145751c4d513e.d: crates/bench/src/bin/disasm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisasm-069145751c4d513e.rmeta: crates/bench/src/bin/disasm.rs Cargo.toml
+
+crates/bench/src/bin/disasm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

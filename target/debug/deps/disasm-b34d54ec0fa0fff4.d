@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/disasm-b34d54ec0fa0fff4.d: crates/bench/src/bin/disasm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdisasm-b34d54ec0fa0fff4.rmeta: crates/bench/src/bin/disasm.rs Cargo.toml
+
+crates/bench/src/bin/disasm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_speedup-0d6ca13f352e0ea7.d: crates/bench/src/bin/fig1_speedup.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_speedup-0d6ca13f352e0ea7.rmeta: crates/bench/src/bin/fig1_speedup.rs Cargo.toml
+
+crates/bench/src/bin/fig1_speedup.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

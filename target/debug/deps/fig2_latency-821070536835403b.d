@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_latency-821070536835403b.d: crates/bench/src/bin/fig2_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_latency-821070536835403b.rmeta: crates/bench/src/bin/fig2_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig2_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig2_latency-a3c06c94e5a8188f.d: crates/bench/src/bin/fig2_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig2_latency-a3c06c94e5a8188f.rmeta: crates/bench/src/bin/fig2_latency.rs Cargo.toml
+
+crates/bench/src/bin/fig2_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_energy-6cf56946b7b549ab.d: crates/bench/src/bin/fig3_energy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_energy-6cf56946b7b549ab.rmeta: crates/bench/src/bin/fig3_energy.rs Cargo.toml
+
+crates/bench/src/bin/fig3_energy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_breakdown-a0e45eb8bedcf4ef.d: crates/bench/src/bin/fig4_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_breakdown-a0e45eb8bedcf4ef.rmeta: crates/bench/src/bin/fig4_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig4_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_breakdown-d28664ceae84742f.d: crates/bench/src/bin/fig4_breakdown.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_breakdown-d28664ceae84742f.rmeta: crates/bench/src/bin/fig4_breakdown.rs Cargo.toml
+
+crates/bench/src/bin/fig4_breakdown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_codegen-7b23311ef3dce12e.d: crates/bench/src/bin/fig5_codegen.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_codegen-7b23311ef3dce12e.rmeta: crates/bench/src/bin/fig5_codegen.rs Cargo.toml
+
+crates/bench/src/bin/fig5_codegen.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

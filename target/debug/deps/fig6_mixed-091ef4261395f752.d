@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_mixed-091ef4261395f752.d: crates/bench/src/bin/fig6_mixed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_mixed-091ef4261395f752.rmeta: crates/bench/src/bin/fig6_mixed.rs Cargo.toml
+
+crates/bench/src/bin/fig6_mixed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

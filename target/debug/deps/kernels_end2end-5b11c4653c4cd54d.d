@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/kernels_end2end-5b11c4653c4cd54d.d: crates/bench/benches/kernels_end2end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libkernels_end2end-5b11c4653c4cd54d.rmeta: crates/bench/benches/kernels_end2end.rs Cargo.toml
+
+crates/bench/benches/kernels_end2end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nn_table-8c9a15b52db55295.d: crates/bench/src/bin/nn_table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnn_table-8c9a15b52db55295.rmeta: crates/bench/src/bin/nn_table.rs Cargo.toml
+
+crates/bench/src/bin/nn_table.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

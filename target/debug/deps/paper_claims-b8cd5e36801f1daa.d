@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-b8cd5e36801f1daa.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-b8cd5e36801f1daa: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_blocks-87a018650f82adbc.d: crates/bench/benches/sim_blocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_blocks-87a018650f82adbc.rmeta: crates/bench/benches/sim_blocks.rs Cargo.toml
+
+crates/bench/benches/sim_blocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

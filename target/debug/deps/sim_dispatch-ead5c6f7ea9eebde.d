@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_dispatch-ead5c6f7ea9eebde.d: crates/bench/benches/sim_dispatch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_dispatch-ead5c6f7ea9eebde.rmeta: crates/bench/benches/sim_dispatch.rs Cargo.toml
+
+crates/bench/benches/sim_dispatch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

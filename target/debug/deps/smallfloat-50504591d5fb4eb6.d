@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat-50504591d5fb4eb6.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat-50504591d5fb4eb6.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

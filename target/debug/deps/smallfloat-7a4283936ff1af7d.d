@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smallfloat-7a4283936ff1af7d.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat-7a4283936ff1af7d.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

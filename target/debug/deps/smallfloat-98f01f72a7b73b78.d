@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smallfloat-98f01f72a7b73b78.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat-98f01f72a7b73b78.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat-98f01f72a7b73b78.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/smallfloat_asm-9df81993eca7e07f.d: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+/root/repo/target/debug/deps/libsmallfloat_asm-9df81993eca7e07f.rmeta: crates/asm/src/lib.rs crates/asm/src/parse.rs
+
+crates/asm/src/lib.rs:
+crates/asm/src/parse.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/smallfloat_isa-e68269aa03cfd1e1.d: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+/root/repo/target/debug/deps/libsmallfloat_isa-e68269aa03cfd1e1.rmeta: crates/isa/src/lib.rs crates/isa/src/compress.rs crates/isa/src/decode.rs crates/isa/src/disasm.rs crates/isa/src/encode.rs crates/isa/src/fmt.rs crates/isa/src/instr.rs crates/isa/src/reg.rs crates/isa/src/csr.rs
+
+crates/isa/src/lib.rs:
+crates/isa/src/compress.rs:
+crates/isa/src/decode.rs:
+crates/isa/src/disasm.rs:
+crates/isa/src/encode.rs:
+crates/isa/src/fmt.rs:
+crates/isa/src/instr.rs:
+crates/isa/src/reg.rs:
+crates/isa/src/csr.rs:

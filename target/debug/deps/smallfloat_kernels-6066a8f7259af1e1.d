@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/smallfloat_kernels-6066a8f7259af1e1.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+
+/root/repo/target/debug/deps/libsmallfloat_kernels-6066a8f7259af1e1.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/bench.rs:
+crates/kernels/src/mg.rs:
+crates/kernels/src/polybench.rs:
+crates/kernels/src/polybench_extra.rs:
+crates/kernels/src/runner.rs:
+crates/kernels/src/svm.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/smallfloat_kernels-8122d30bd9bb6d17.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
+/root/repo/target/debug/deps/smallfloat_kernels-8122d30bd9bb6d17.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmallfloat_kernels-8122d30bd9bb6d17.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
+/root/repo/target/debug/deps/libsmallfloat_kernels-8122d30bd9bb6d17.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/bench.rs:
+crates/kernels/src/mg.rs:
 crates/kernels/src/polybench.rs:
 crates/kernels/src/polybench_extra.rs:
 crates/kernels/src/runner.rs:

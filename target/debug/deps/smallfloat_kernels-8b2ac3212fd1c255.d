@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/smallfloat_kernels-8b2ac3212fd1c255.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/debug/deps/smallfloat_kernels-8b2ac3212fd1c255.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
-/root/repo/target/debug/deps/libsmallfloat_kernels-8b2ac3212fd1c255.rlib: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/debug/deps/libsmallfloat_kernels-8b2ac3212fd1c255.rlib: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
-/root/repo/target/debug/deps/libsmallfloat_kernels-8b2ac3212fd1c255.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/debug/deps/libsmallfloat_kernels-8b2ac3212fd1c255.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/bench.rs:
+crates/kernels/src/mg.rs:
 crates/kernels/src/polybench.rs:
 crates/kernels/src/polybench_extra.rs:
 crates/kernels/src/runner.rs:

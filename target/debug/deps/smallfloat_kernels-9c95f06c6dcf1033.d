@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/smallfloat_kernels-9c95f06c6dcf1033.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
+/root/repo/target/debug/deps/smallfloat_kernels-9c95f06c6dcf1033.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmallfloat_kernels-9c95f06c6dcf1033.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
+/root/repo/target/debug/deps/libsmallfloat_kernels-9c95f06c6dcf1033.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs Cargo.toml
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/bench.rs:
+crates/kernels/src/mg.rs:
 crates/kernels/src/polybench.rs:
 crates/kernels/src/polybench_extra.rs:
 crates/kernels/src/runner.rs:

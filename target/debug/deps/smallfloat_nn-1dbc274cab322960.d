@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/smallfloat_nn-1dbc274cab322960.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+/root/repo/target/debug/deps/libsmallfloat_nn-1dbc274cab322960.rlib: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+/root/repo/target/debug/deps/libsmallfloat_nn-1dbc274cab322960.rmeta: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/infer.rs:
+crates/nn/src/lower.rs:
+crates/nn/src/qor.rs:
+crates/nn/src/tune.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/smallfloat_nn-887cadb2cd2d5198.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+/root/repo/target/debug/deps/smallfloat_nn-887cadb2cd2d5198: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/infer.rs:
+crates/nn/src/lower.rs:
+crates/nn/src/qor.rs:
+crates/nn/src/tune.rs:

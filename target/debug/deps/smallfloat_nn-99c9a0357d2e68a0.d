@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/smallfloat_nn-99c9a0357d2e68a0.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_nn-99c9a0357d2e68a0.rmeta: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/infer.rs:
+crates/nn/src/lower.rs:
+crates/nn/src/qor.rs:
+crates/nn/src/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smallfloat_repro-04aba03ab17b877e.d: src/lib.rs
+
+/root/repo/target/debug/deps/smallfloat_repro-04aba03ab17b877e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/smallfloat_repro-9b6685945d9001d4.d: src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_repro-9b6685945d9001d4.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_repro-9b6685945d9001d4.rmeta: src/lib.rs
+
+src/lib.rs:

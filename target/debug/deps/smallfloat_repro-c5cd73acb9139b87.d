@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat_repro-c5cd73acb9139b87.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmallfloat_repro-c5cd73acb9139b87.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

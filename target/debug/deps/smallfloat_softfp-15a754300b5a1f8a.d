@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/smallfloat_softfp-15a754300b5a1f8a.d: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+
+/root/repo/target/debug/deps/libsmallfloat_softfp-15a754300b5a1f8a.rmeta: crates/softfp/src/lib.rs crates/softfp/src/env.rs crates/softfp/src/format.rs crates/softfp/src/kernels.rs crates/softfp/src/round.rs crates/softfp/src/tables.rs crates/softfp/src/unpack.rs crates/softfp/src/batch.rs crates/softfp/src/fast.rs crates/softfp/src/ops.rs crates/softfp/src/wrappers.rs
+
+crates/softfp/src/lib.rs:
+crates/softfp/src/env.rs:
+crates/softfp/src/format.rs:
+crates/softfp/src/kernels.rs:
+crates/softfp/src/round.rs:
+crates/softfp/src/tables.rs:
+crates/softfp/src/unpack.rs:
+crates/softfp/src/batch.rs:
+crates/softfp/src/fast.rs:
+crates/softfp/src/ops.rs:
+crates/softfp/src/wrappers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/smallfloat_tuner-cc2832fa1584c0ec.d: crates/tuner/src/lib.rs
+
+/root/repo/target/debug/deps/libsmallfloat_tuner-cc2832fa1584c0ec.rmeta: crates/tuner/src/lib.rs
+
+crates/tuner/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/smallfloat_xcc-87897ac47fbf74d1.d: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+/root/repo/target/debug/deps/libsmallfloat_xcc-87897ac47fbf74d1.rmeta: crates/xcc/src/lib.rs crates/xcc/src/codegen.rs crates/xcc/src/interp.rs crates/xcc/src/ir.rs crates/xcc/src/retype.rs
+
+crates/xcc/src/lib.rs:
+crates/xcc/src/codegen.rs:
+crates/xcc/src/interp.rs:
+crates/xcc/src/ir.rs:
+crates/xcc/src/retype.rs:

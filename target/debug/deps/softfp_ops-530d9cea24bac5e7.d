@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/softfp_ops-530d9cea24bac5e7.d: crates/bench/benches/softfp_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsoftfp_ops-530d9cea24bac5e7.rmeta: crates/bench/benches/softfp_ops.rs Cargo.toml
+
+crates/bench/benches/softfp_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_ops-4c3f9e4d0b920c9e.d: crates/bench/src/bin/table1_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_ops-4c3f9e4d0b920c9e.rmeta: crates/bench/src/bin/table1_ops.rs Cargo.toml
+
+crates/bench/src/bin/table1_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

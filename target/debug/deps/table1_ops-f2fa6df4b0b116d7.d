@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_ops-f2fa6df4b0b116d7.d: crates/bench/src/bin/table1_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_ops-f2fa6df4b0b116d7.rmeta: crates/bench/src/bin/table1_ops.rs Cargo.toml
+
+crates/bench/src/bin/table1_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

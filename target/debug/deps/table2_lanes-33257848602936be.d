@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_lanes-33257848602936be.d: crates/bench/src/bin/table2_lanes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_lanes-33257848602936be.rmeta: crates/bench/src/bin/table2_lanes.rs Cargo.toml
+
+crates/bench/src/bin/table2_lanes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_lanes-d4e75155f1a1a4de.d: crates/bench/src/bin/table2_lanes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_lanes-d4e75155f1a1a4de.rmeta: crates/bench/src/bin/table2_lanes.rs Cargo.toml
+
+crates/bench/src/bin/table2_lanes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

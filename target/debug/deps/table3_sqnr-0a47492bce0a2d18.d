@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_sqnr-0a47492bce0a2d18.d: crates/bench/src/bin/table3_sqnr.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_sqnr-0a47492bce0a2d18.rmeta: crates/bench/src/bin/table3_sqnr.rs Cargo.toml
+
+crates/bench/src/bin/table3_sqnr.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/vdotpex4_f8_differential-09f1ea16be3650c7.d: crates/softfp/tests/vdotpex4_f8_differential.rs
+
+/root/repo/target/debug/deps/vdotpex4_f8_differential-09f1ea16be3650c7: crates/softfp/tests/vdotpex4_f8_differential.rs
+
+crates/softfp/tests/vdotpex4_f8_differential.rs:

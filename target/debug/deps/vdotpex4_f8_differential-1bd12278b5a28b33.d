@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vdotpex4_f8_differential-1bd12278b5a28b33.d: crates/softfp/tests/vdotpex4_f8_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvdotpex4_f8_differential-1bd12278b5a28b33.rmeta: crates/softfp/tests/vdotpex4_f8_differential.rs Cargo.toml
+
+crates/softfp/tests/vdotpex4_f8_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calib-73844a356f99584e.d: crates/nn/examples/calib.rs
+
+/root/repo/target/debug/examples/calib-73844a356f99584e: crates/nn/examples/calib.rs
+
+crates/nn/examples/calib.rs:

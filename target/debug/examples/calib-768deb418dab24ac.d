@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calib-768deb418dab24ac.d: crates/nn/examples/calib.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalib-768deb418dab24ac.rmeta: crates/nn/examples/calib.rs Cargo.toml
+
+crates/nn/examples/calib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gemm_transprecision-3beecc6464299d4c.d: examples/gemm_transprecision.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgemm_transprecision-3beecc6464299d4c.rmeta: examples/gemm_transprecision.rs Cargo.toml
+
+examples/gemm_transprecision.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

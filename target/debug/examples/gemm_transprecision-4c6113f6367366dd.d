@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gemm_transprecision-4c6113f6367366dd.d: examples/gemm_transprecision.rs
+
+/root/repo/target/debug/examples/gemm_transprecision-4c6113f6367366dd: examples/gemm_transprecision.rs
+
+examples/gemm_transprecision.rs:

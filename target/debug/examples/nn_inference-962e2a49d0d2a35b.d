@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/nn_inference-962e2a49d0d2a35b.d: examples/nn_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnn_inference-962e2a49d0d2a35b.rmeta: examples/nn_inference.rs Cargo.toml
+
+examples/nn_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

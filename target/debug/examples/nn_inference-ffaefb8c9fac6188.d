@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nn_inference-ffaefb8c9fac6188.d: examples/nn_inference.rs
+
+/root/repo/target/debug/examples/nn_inference-ffaefb8c9fac6188: examples/nn_inference.rs
+
+examples/nn_inference.rs:

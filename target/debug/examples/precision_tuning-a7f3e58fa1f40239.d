@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/precision_tuning-a7f3e58fa1f40239.d: examples/precision_tuning.rs
+
+/root/repo/target/debug/examples/precision_tuning-a7f3e58fa1f40239: examples/precision_tuning.rs
+
+examples/precision_tuning.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/precision_tuning-d9a7c5d2ba3086f9.d: examples/precision_tuning.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprecision_tuning-d9a7c5d2ba3086f9.rmeta: examples/precision_tuning.rs Cargo.toml
+
+examples/precision_tuning.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e448849b63cebfb0.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e448849b63cebfb0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/svm_gesture-4081989e00ccc437.d: examples/svm_gesture.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsvm_gesture-4081989e00ccc437.rmeta: examples/svm_gesture.rs Cargo.toml
+
+examples/svm_gesture.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/svm_gesture-587acd3091c79ff7.d: examples/svm_gesture.rs
+
+/root/repo/target/debug/examples/svm_gesture-587acd3091c79ff7: examples/svm_gesture.rs
+
+examples/svm_gesture.rs:

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["smallfloat_isa",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"smallfloat_isa/enum.FpFmt.html\" title=\"enum smallfloat_isa::FpFmt\">FpFmt</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"enum\" href=\"smallfloat_isa/enum.InstrClass.html\" title=\"enum smallfloat_isa::InstrClass\">InstrClass</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"smallfloat_isa/struct.FReg.html\" title=\"struct smallfloat_isa::FReg\">FReg</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/cmp/trait.Ord.html\" title=\"trait core::cmp::Ord\">Ord</a> for <a class=\"struct\" href=\"smallfloat_isa/struct.XReg.html\" title=\"struct smallfloat_isa::XReg\">XReg</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[1017]}

@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["smallfloat_softfp",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a> for <a class=\"struct\" href=\"smallfloat_softfp/wrappers/struct.Bf16.html\" title=\"struct smallfloat_softfp::wrappers::Bf16\">Bf16</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a> for <a class=\"struct\" href=\"smallfloat_softfp/wrappers/struct.F8.html\" title=\"struct smallfloat_softfp::wrappers::F8\">F8</a>",0],["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/arith/trait.SubAssign.html\" title=\"trait core::ops::arith::SubAssign\">SubAssign</a> for <a class=\"struct\" href=\"smallfloat_softfp/wrappers/struct.F16.html\" title=\"struct smallfloat_softfp::wrappers::F16\">F16</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[923]}

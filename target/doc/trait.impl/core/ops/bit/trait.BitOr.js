@@ -1,0 +1,9 @@
+(function() {
+    const implementors = Object.fromEntries([["smallfloat_softfp",[["impl <a class=\"trait\" href=\"https://doc.rust-lang.org/1.95.0/core/ops/bit/trait.BitOr.html\" title=\"trait core::ops::bit::BitOr\">BitOr</a> for <a class=\"struct\" href=\"smallfloat_softfp/struct.Flags.html\" title=\"struct smallfloat_softfp::Flags\">Flags</a>",0]]]]);
+    if (window.register_implementors) {
+        window.register_implementors(implementors);
+    } else {
+        window.pending_implementors = implementors;
+    }
+})()
+//{"start":59,"fragment_lengths":[294]}

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-5f257d2d106c3fcc.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-5f257d2d106c3fcc: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-73022f2db4ea385d.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-73022f2db4ea385d: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/asm_text_pipeline-8c0792fb89b507f7.d: tests/asm_text_pipeline.rs
+
+/root/repo/target/release/deps/asm_text_pipeline-8c0792fb89b507f7: tests/asm_text_pipeline.rs
+
+tests/asm_text_pipeline.rs:

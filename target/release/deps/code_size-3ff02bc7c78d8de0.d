@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/code_size-3ff02bc7c78d8de0.d: crates/bench/src/bin/code_size.rs
+
+/root/repo/target/release/deps/code_size-3ff02bc7c78d8de0: crates/bench/src/bin/code_size.rs
+
+crates/bench/src/bin/code_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/code_size-860aeea503eaa855.d: crates/bench/src/bin/code_size.rs
+
+/root/repo/target/release/deps/code_size-860aeea503eaa855: crates/bench/src/bin/code_size.rs
+
+crates/bench/src/bin/code_size.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disasm-1bd406b1223f6a67.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/release/deps/disasm-1bd406b1223f6a67: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/disasm-21aee5e9a498460b.d: crates/bench/src/bin/disasm.rs
+
+/root/repo/target/release/deps/disasm-21aee5e9a498460b: crates/bench/src/bin/disasm.rs
+
+crates/bench/src/bin/disasm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_speedup-c25d9c5b583c5d4d.d: crates/bench/src/bin/fig1_speedup.rs
+
+/root/repo/target/release/deps/fig1_speedup-c25d9c5b583c5d4d: crates/bench/src/bin/fig1_speedup.rs
+
+crates/bench/src/bin/fig1_speedup.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_speedup-e734a293a4f956b3.d: crates/bench/src/bin/fig1_speedup.rs
+
+/root/repo/target/release/deps/fig1_speedup-e734a293a4f956b3: crates/bench/src/bin/fig1_speedup.rs
+
+crates/bench/src/bin/fig1_speedup.rs:

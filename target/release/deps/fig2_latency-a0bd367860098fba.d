@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_latency-a0bd367860098fba.d: crates/bench/src/bin/fig2_latency.rs
+
+/root/repo/target/release/deps/fig2_latency-a0bd367860098fba: crates/bench/src/bin/fig2_latency.rs
+
+crates/bench/src/bin/fig2_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2_latency-d3a455754fc94b3e.d: crates/bench/src/bin/fig2_latency.rs
+
+/root/repo/target/release/deps/fig2_latency-d3a455754fc94b3e: crates/bench/src/bin/fig2_latency.rs
+
+crates/bench/src/bin/fig2_latency.rs:

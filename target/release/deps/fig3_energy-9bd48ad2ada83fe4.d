@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_energy-9bd48ad2ada83fe4.d: crates/bench/src/bin/fig3_energy.rs
+
+/root/repo/target/release/deps/fig3_energy-9bd48ad2ada83fe4: crates/bench/src/bin/fig3_energy.rs
+
+crates/bench/src/bin/fig3_energy.rs:

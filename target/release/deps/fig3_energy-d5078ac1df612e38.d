@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_energy-d5078ac1df612e38.d: crates/bench/src/bin/fig3_energy.rs
+
+/root/repo/target/release/deps/fig3_energy-d5078ac1df612e38: crates/bench/src/bin/fig3_energy.rs
+
+crates/bench/src/bin/fig3_energy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_breakdown-45208a7f549843aa.d: crates/bench/src/bin/fig4_breakdown.rs
+
+/root/repo/target/release/deps/fig4_breakdown-45208a7f549843aa: crates/bench/src/bin/fig4_breakdown.rs
+
+crates/bench/src/bin/fig4_breakdown.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_breakdown-fd1827a3361fbc5a.d: crates/bench/src/bin/fig4_breakdown.rs
+
+/root/repo/target/release/deps/fig4_breakdown-fd1827a3361fbc5a: crates/bench/src/bin/fig4_breakdown.rs
+
+crates/bench/src/bin/fig4_breakdown.rs:

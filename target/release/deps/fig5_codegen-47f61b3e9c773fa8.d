@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_codegen-47f61b3e9c773fa8.d: crates/bench/src/bin/fig5_codegen.rs
+
+/root/repo/target/release/deps/fig5_codegen-47f61b3e9c773fa8: crates/bench/src/bin/fig5_codegen.rs
+
+crates/bench/src/bin/fig5_codegen.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_codegen-8247df299471a019.d: crates/bench/src/bin/fig5_codegen.rs
+
+/root/repo/target/release/deps/fig5_codegen-8247df299471a019: crates/bench/src/bin/fig5_codegen.rs
+
+crates/bench/src/bin/fig5_codegen.rs:

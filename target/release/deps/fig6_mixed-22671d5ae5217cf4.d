@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_mixed-22671d5ae5217cf4.d: crates/bench/src/bin/fig6_mixed.rs
+
+/root/repo/target/release/deps/fig6_mixed-22671d5ae5217cf4: crates/bench/src/bin/fig6_mixed.rs
+
+crates/bench/src/bin/fig6_mixed.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_mixed-4cb4b7bee749213e.d: crates/bench/src/bin/fig6_mixed.rs
+
+/root/repo/target/release/deps/fig6_mixed-4cb4b7bee749213e: crates/bench/src/bin/fig6_mixed.rs
+
+crates/bench/src/bin/fig6_mixed.rs:

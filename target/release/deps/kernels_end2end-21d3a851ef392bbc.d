@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_end2end-21d3a851ef392bbc.d: crates/bench/benches/kernels_end2end.rs
+
+/root/repo/target/release/deps/kernels_end2end-21d3a851ef392bbc: crates/bench/benches/kernels_end2end.rs
+
+crates/bench/benches/kernels_end2end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nn_table-202ebbdf905dcad8.d: crates/bench/src/bin/nn_table.rs
+
+/root/repo/target/release/deps/nn_table-202ebbdf905dcad8: crates/bench/src/bin/nn_table.rs
+
+crates/bench/src/bin/nn_table.rs:

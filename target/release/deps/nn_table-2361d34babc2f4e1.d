@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nn_table-2361d34babc2f4e1.d: crates/bench/src/bin/nn_table.rs
+
+/root/repo/target/release/deps/nn_table-2361d34babc2f4e1: crates/bench/src/bin/nn_table.rs
+
+crates/bench/src/bin/nn_table.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nn_table-648d8adc3ed3174a.d: crates/bench/src/bin/nn_table.rs
+
+/root/repo/target/release/deps/nn_table-648d8adc3ed3174a: crates/bench/src/bin/nn_table.rs
+
+crates/bench/src/bin/nn_table.rs:

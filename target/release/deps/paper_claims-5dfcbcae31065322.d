@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_claims-5dfcbcae31065322.d: tests/paper_claims.rs
+
+/root/repo/target/release/deps/paper_claims-5dfcbcae31065322: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_blocks-9e08527ebe569701.d: crates/bench/benches/sim_blocks.rs
+
+/root/repo/target/release/deps/sim_blocks-9e08527ebe569701: crates/bench/benches/sim_blocks.rs
+
+crates/bench/benches/sim_blocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_dispatch-81d64ff20d97d067.d: crates/bench/benches/sim_dispatch.rs
+
+/root/repo/target/release/deps/sim_dispatch-81d64ff20d97d067: crates/bench/benches/sim_dispatch.rs
+
+crates/bench/benches/sim_dispatch.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smallfloat-066a6c8ef746b717.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/smallfloat-066a6c8ef746b717: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat-c3930a5d25224e87.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat-c3930a5d25224e87.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat-c3930a5d25224e87.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

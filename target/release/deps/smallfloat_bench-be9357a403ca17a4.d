@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/smallfloat_bench-be9357a403ca17a4.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+
+/root/repo/target/release/deps/libsmallfloat_bench-be9357a403ca17a4.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+
+/root/repo/target/release/deps/libsmallfloat_bench-be9357a403ca17a4.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/ablation.rs:
+crates/bench/src/codesize.rs:
+crates/bench/src/nn.rs:
+crates/bench/src/par.rs:

@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/smallfloat_kernels-4d2541acfd46d4b0.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/release/deps/smallfloat_kernels-4d2541acfd46d4b0.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
-/root/repo/target/release/deps/smallfloat_kernels-4d2541acfd46d4b0: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/release/deps/smallfloat_kernels-4d2541acfd46d4b0: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/bench.rs:
+crates/kernels/src/mg.rs:
 crates/kernels/src/polybench.rs:
 crates/kernels/src/polybench_extra.rs:
 crates/kernels/src/runner.rs:

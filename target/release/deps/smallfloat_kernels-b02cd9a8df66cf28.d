@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/smallfloat_kernels-b02cd9a8df66cf28.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/release/deps/smallfloat_kernels-b02cd9a8df66cf28.d: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
-/root/repo/target/release/deps/libsmallfloat_kernels-b02cd9a8df66cf28.rlib: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/release/deps/libsmallfloat_kernels-b02cd9a8df66cf28.rlib: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
-/root/repo/target/release/deps/libsmallfloat_kernels-b02cd9a8df66cf28.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
+/root/repo/target/release/deps/libsmallfloat_kernels-b02cd9a8df66cf28.rmeta: crates/kernels/src/lib.rs crates/kernels/src/bench.rs crates/kernels/src/mg.rs crates/kernels/src/polybench.rs crates/kernels/src/polybench_extra.rs crates/kernels/src/runner.rs crates/kernels/src/svm.rs
 
 crates/kernels/src/lib.rs:
 crates/kernels/src/bench.rs:
+crates/kernels/src/mg.rs:
 crates/kernels/src/polybench.rs:
 crates/kernels/src/polybench_extra.rs:
 crates/kernels/src/runner.rs:

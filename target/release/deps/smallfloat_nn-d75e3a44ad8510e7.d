@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/smallfloat_nn-d75e3a44ad8510e7.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+/root/repo/target/release/deps/libsmallfloat_nn-d75e3a44ad8510e7.rlib: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+/root/repo/target/release/deps/libsmallfloat_nn-d75e3a44ad8510e7.rmeta: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/infer.rs:
+crates/nn/src/lower.rs:
+crates/nn/src/qor.rs:
+crates/nn/src/tune.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/smallfloat_nn-f4f82e687e21b63b.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+/root/repo/target/release/deps/smallfloat_nn-f4f82e687e21b63b: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/infer.rs crates/nn/src/lower.rs crates/nn/src/qor.rs crates/nn/src/tune.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/infer.rs:
+crates/nn/src/lower.rs:
+crates/nn/src/qor.rs:
+crates/nn/src/tune.rs:

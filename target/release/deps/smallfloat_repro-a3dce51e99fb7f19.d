@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat_repro-a3dce51e99fb7f19.d: src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_repro-a3dce51e99fb7f19.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_repro-a3dce51e99fb7f19.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/smallfloat_repro-ad99587d1c3b8fb2.d: src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_repro-ad99587d1c3b8fb2.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libsmallfloat_repro-ad99587d1c3b8fb2.rmeta: src/lib.rs
+
+src/lib.rs:

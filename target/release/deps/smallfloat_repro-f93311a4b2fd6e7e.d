@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/smallfloat_repro-f93311a4b2fd6e7e.d: src/lib.rs
+
+/root/repo/target/release/deps/smallfloat_repro-f93311a4b2fd6e7e: src/lib.rs
+
+src/lib.rs:

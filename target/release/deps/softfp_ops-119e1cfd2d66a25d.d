@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/softfp_ops-119e1cfd2d66a25d.d: crates/bench/benches/softfp_ops.rs
+
+/root/repo/target/release/deps/softfp_ops-119e1cfd2d66a25d: crates/bench/benches/softfp_ops.rs
+
+crates/bench/benches/softfp_ops.rs:

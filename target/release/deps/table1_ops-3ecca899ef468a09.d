@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_ops-3ecca899ef468a09.d: crates/bench/src/bin/table1_ops.rs
+
+/root/repo/target/release/deps/table1_ops-3ecca899ef468a09: crates/bench/src/bin/table1_ops.rs
+
+crates/bench/src/bin/table1_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_ops-d5b8284862bd2651.d: crates/bench/src/bin/table1_ops.rs
+
+/root/repo/target/release/deps/table1_ops-d5b8284862bd2651: crates/bench/src/bin/table1_ops.rs
+
+crates/bench/src/bin/table1_ops.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_lanes-3aab09e1964cf7b3.d: crates/bench/src/bin/table2_lanes.rs
+
+/root/repo/target/release/deps/table2_lanes-3aab09e1964cf7b3: crates/bench/src/bin/table2_lanes.rs
+
+crates/bench/src/bin/table2_lanes.rs:

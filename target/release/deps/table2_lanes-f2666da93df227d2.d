@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_lanes-f2666da93df227d2.d: crates/bench/src/bin/table2_lanes.rs
+
+/root/repo/target/release/deps/table2_lanes-f2666da93df227d2: crates/bench/src/bin/table2_lanes.rs
+
+crates/bench/src/bin/table2_lanes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_sqnr-3ac4bed9802c95a9.d: crates/bench/src/bin/table3_sqnr.rs
+
+/root/repo/target/release/deps/table3_sqnr-3ac4bed9802c95a9: crates/bench/src/bin/table3_sqnr.rs
+
+crates/bench/src/bin/table3_sqnr.rs:

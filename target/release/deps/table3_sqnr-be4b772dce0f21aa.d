@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_sqnr-be4b772dce0f21aa.d: crates/bench/src/bin/table3_sqnr.rs
+
+/root/repo/target/release/deps/table3_sqnr-be4b772dce0f21aa: crates/bench/src/bin/table3_sqnr.rs
+
+crates/bench/src/bin/table3_sqnr.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vdotpex4_f8_differential-98622d62fd285dc4.d: crates/softfp/tests/vdotpex4_f8_differential.rs
+
+/root/repo/target/release/deps/vdotpex4_f8_differential-98622d62fd285dc4: crates/softfp/tests/vdotpex4_f8_differential.rs
+
+crates/softfp/tests/vdotpex4_f8_differential.rs:

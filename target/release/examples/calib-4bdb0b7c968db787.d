@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/calib-4bdb0b7c968db787.d: crates/nn/examples/calib.rs
+
+/root/repo/target/release/examples/calib-4bdb0b7c968db787: crates/nn/examples/calib.rs
+
+crates/nn/examples/calib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/gemm_transprecision-fcb6bdcc8faa41ba.d: examples/gemm_transprecision.rs
+
+/root/repo/target/release/examples/gemm_transprecision-fcb6bdcc8faa41ba: examples/gemm_transprecision.rs
+
+examples/gemm_transprecision.rs:

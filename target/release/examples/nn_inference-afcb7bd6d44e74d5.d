@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nn_inference-afcb7bd6d44e74d5.d: examples/nn_inference.rs
+
+/root/repo/target/release/examples/nn_inference-afcb7bd6d44e74d5: examples/nn_inference.rs
+
+examples/nn_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/nn_inference-b8a3d4929d5be73b.d: examples/nn_inference.rs
+
+/root/repo/target/release/examples/nn_inference-b8a3d4929d5be73b: examples/nn_inference.rs
+
+examples/nn_inference.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/precision_tuning-192ac96b31c75589.d: examples/precision_tuning.rs
+
+/root/repo/target/release/examples/precision_tuning-192ac96b31c75589: examples/precision_tuning.rs
+
+examples/precision_tuning.rs:

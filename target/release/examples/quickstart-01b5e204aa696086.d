@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-01b5e204aa696086.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-01b5e204aa696086: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/svm_gesture-a8048add92af2ddf.d: examples/svm_gesture.rs
+
+/root/repo/target/release/examples/svm_gesture-a8048add92af2ddf: examples/svm_gesture.rs
+
+examples/svm_gesture.rs:
