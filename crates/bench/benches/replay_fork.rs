@@ -1,0 +1,67 @@
+//! Snapshot-fork cost vs run-from-reset on segment re-evaluation — the
+//! speedup that makes fleet-scale replay affordable. A deep segment of a
+//! recorded GEMM run is re-evaluated two ways:
+//!
+//! * `fork`: `Cpu::restore` the segment's start snapshot and run just the
+//!   segment (copy-on-write page table clone, no memory copies), vs
+//! * `reset`: reset the CPU, reload the workload, and run from the
+//!   beginning up to the segment end — what re-evaluation costs without
+//!   snapshots.
+//!
+//! Run with `cargo bench --bench replay_fork`; set
+//! `SMALLFLOAT_BENCH_JSON=BENCH_replay.json` to write the committed
+//! record. The fork path must come out ≥ 5x faster (it replays ~one
+//! segment instead of the whole prefix).
+
+use smallfloat_bench::replay::SNAP_EVERY;
+use smallfloat_devtools::bench::Harness;
+use smallfloat_kernels::bench::{build, Precision, VecMode, Workload};
+use smallfloat_kernels::polybench::Gemm;
+use smallfloat_kernels::runner::load_workload;
+use smallfloat_sim::replay::record_run;
+use smallfloat_sim::{Cpu, SimConfig};
+
+fn main() {
+    let mut h = Harness::new("replay_fork");
+
+    let gemm = Gemm { n: 32 };
+    let (_typed, compiled) = build(&gemm, &Precision::F16, VecMode::Auto);
+    let inputs = gemm.inputs();
+
+    // Reference recording with the fleet's default snapshot interval.
+    let mut rec_cpu = Cpu::new(SimConfig::default());
+    rec_cpu.set_block_cache(false);
+    load_workload(&mut rec_cpu, &compiled, &inputs);
+    let recording = record_run(&mut rec_cpu, 200_000_000, SNAP_EVERY).expect("records");
+    let segments = recording.segments();
+    let seg = segments.last().expect("at least one segment");
+    let seg_len = seg.instructions();
+    let prefix = seg.start.instret();
+    eprintln!(
+        "  re-evaluating the last segment: {seg_len} instrs after a {prefix}-instr prefix ({} segments total)",
+        segments.len()
+    );
+
+    let mut cpu = Cpu::new(SimConfig::default());
+    h.throughput(seg_len);
+    h.bench("fork_restore_and_run_segment", || {
+        cpu.restore(seg.start);
+        cpu.run(seg_len).expect("replays");
+        cpu.stats().instret
+    });
+    h.bench("reset_reload_and_run_from_start", || {
+        cpu.reset();
+        load_workload(&mut cpu, &compiled, &inputs);
+        cpu.run(prefix + seg_len).expect("replays");
+        cpu.stats().instret
+    });
+
+    let r = h.results();
+    let speedup = r[1].median_ns / r[0].median_ns;
+    eprintln!("  snapshot fork speedup over run-from-reset: {speedup:.1}x");
+    assert!(
+        speedup >= 5.0,
+        "snapshot fork must be >=5x cheaper than run-from-reset (got {speedup:.1}x)"
+    );
+    h.finish();
+}

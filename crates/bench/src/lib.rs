@@ -11,6 +11,7 @@ pub mod ablation;
 pub mod codesize;
 pub mod nn;
 pub mod par;
+pub mod replay;
 
 use smallfloat::{kernels, MemLevel, Precision, VecMode};
 use smallfloat_isa::{vector_lanes, FpFmt, InstrClass};

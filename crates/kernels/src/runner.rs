@@ -83,12 +83,18 @@ pub fn run_compiled(
     })
 }
 
-fn run_on(
-    cpu: &mut Cpu,
-    kernel: &Kernel,
-    compiled: &Compiled,
-    inputs: &[(String, Vec<f64>)],
-) -> RunResult {
+/// Load `compiled`'s input arrays and program text into `cpu`, leaving the
+/// PC at the entry point — the exact pre-run state, ready for `Cpu::run`.
+///
+/// Inputs are quantized into each array's storage type, the same way
+/// [`run_compiled`] does it (which is this function followed by a run and
+/// read-back). Exposed so record-replay harnesses can set up a workload,
+/// snapshot it, and drive execution themselves.
+///
+/// # Panics
+///
+/// Panics on an unknown input name or a size mismatch.
+pub fn load_workload(cpu: &mut Cpu, compiled: &Compiled, inputs: &[(String, Vec<f64>)]) {
     let mut env = Env::new(Rounding::Rne);
     for (name, values) in inputs {
         let entry = compiled
@@ -105,6 +111,15 @@ fn run_on(
         }
     }
     cpu.load_program(TEXT_BASE, &compiled.program);
+}
+
+fn run_on(
+    cpu: &mut Cpu,
+    kernel: &Kernel,
+    compiled: &Compiled,
+    inputs: &[(String, Vec<f64>)],
+) -> RunResult {
+    load_workload(cpu, compiled, inputs);
     let exit = cpu
         .run(200_000_000)
         .unwrap_or_else(|e| panic!("kernel trapped: {e}"));

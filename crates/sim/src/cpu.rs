@@ -231,6 +231,15 @@ impl Cpu {
         self.blocks.reset_window(slots);
     }
 
+    /// Rebuild the predecode window from current memory contents — the
+    /// snapshot-restore entry point (see `snapshot.rs`). Resetting the
+    /// window also drops every cached block and advances the block-cache
+    /// generation, so nothing decoded before the restore can execute after
+    /// it.
+    pub(crate) fn repredecode(&mut self, base: u32, len_bytes: u32) {
+        self.predecode(base, len_bytes);
+    }
+
     /// Drop predecoded slots whose instruction bytes overlap the stored
     /// range `[addr, addr + len)`. A 32-bit instruction *starting* up to
     /// two bytes before `addr` can span the stored bytes, so the window
@@ -304,6 +313,13 @@ impl Cpu {
     /// Set the dynamic rounding mode.
     pub fn set_frm(&mut self, rm: Rounding) {
         self.frm_raw = rm.to_frm();
+    }
+
+    /// Overwrite the accrued FP exception flags. Harness-level state
+    /// surgery (snapshot property tests, debugger frontends); simulated
+    /// programs accrue flags through execution instead.
+    pub fn set_fflags(&mut self, flags: Flags) {
+        self.fflags = flags;
     }
 
     /// Execution statistics so far.

@@ -36,11 +36,14 @@ mod cpu;
 mod energy;
 mod exec;
 mod mem;
+pub mod replay;
+mod snapshot;
 mod stats;
 mod timing;
 
 pub use cpu::{Cpu, ExitReason, SimConfig, SimError};
 pub use energy::EnergyModel;
-pub use mem::Memory;
+pub use mem::{MemSnapshot, Memory, PAGE_SIZE};
+pub use snapshot::{CpuSnapshot, SnapshotError};
 pub use stats::{hot_block_report, HotBlock, Stats};
 pub use timing::{MemLevel, TimingModel};

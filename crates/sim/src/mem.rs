@@ -1,57 +1,110 @@
-//! Flat little-endian byte-addressable memory.
+//! Paged copy-on-write little-endian byte-addressable memory.
+//!
+//! Memory is a flat 32-bit address space backed by 4 KiB pages behind
+//! `Arc`s. Unwritten pages have no backing at all (they read as zero), so
+//! a freshly constructed multi-megabyte memory costs one pointer per page
+//! slot, not one byte per byte. Taking a [`MemSnapshot`] clones the page
+//! *table* — O(pages) reference-count bumps, no data copies — and the
+//! first store to any shared page after that copies just that page
+//! (`Arc::make_mut`). This is what makes `Cpu::snapshot`/`Cpu::restore`
+//! cheap enough to fork one warmed-up machine state into thousands of
+//! replay segments (see `replay.rs` and DESIGN.md §14).
 
 use crate::cpu::SimError;
+use std::sync::Arc;
 
-/// Simulator memory: a flat little-endian byte array starting at address 0.
+/// Bytes per copy-on-write page. Aligned accesses (≤ 4 bytes) never cross
+/// a page boundary, so the hot load/store paths index exactly one page.
+pub const PAGE_SIZE: usize = 4096;
+const PAGE_SHIFT: u32 = PAGE_SIZE.trailing_zeros();
+
+type Page = Arc<[u8; PAGE_SIZE]>;
+
+static ZERO_PAGE: [u8; PAGE_SIZE] = [0; PAGE_SIZE];
+
+/// Simulator memory: a flat little-endian byte array starting at address 0,
+/// stored as copy-on-write pages (`None` = an all-zero page with no
+/// backing).
 ///
 /// Natural alignment is enforced on every access — misalignment in generated
 /// code is always a bug we want surfaced, not silently tolerated.
 #[derive(Clone)]
 pub struct Memory {
-    bytes: Vec<u8>,
-    /// Written-range watermarks (`dirty_lo..dirty_hi`, exclusive end).
-    /// [`Memory::clear`] zeroes only this range, which makes resetting a
-    /// large memory between experiment runs proportional to the bytes
-    /// actually touched instead of the configured size.
-    dirty_lo: usize,
-    dirty_hi: usize,
+    pages: Vec<Option<Page>>,
+    size: usize,
+    /// Bumped on [`Memory::clear`] and [`Memory::restore`] — the events
+    /// after which any cache derived from memory contents (predecode
+    /// slots, lowered blocks) may be stale. `Cpu::restore` keys its
+    /// conservative cache invalidation off this counter.
+    generation: u64,
+}
+
+/// A point-in-time copy of a [`Memory`]: the shared page table. Cheap to
+/// take (refcount bumps only), cheap to hold (pages are shared with every
+/// other snapshot and with the live memory until someone writes).
+#[derive(Clone)]
+pub struct MemSnapshot {
+    pages: Vec<Option<Page>>,
+    size: usize,
 }
 
 impl std::fmt::Debug for Memory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Memory({} bytes)", self.bytes.len())
+        write!(
+            f,
+            "Memory({} bytes, {} resident pages)",
+            self.size,
+            self.resident_pages()
+        )
     }
 }
 
+fn page_count(size: usize) -> usize {
+    size.div_ceil(PAGE_SIZE)
+}
+
 impl Memory {
-    /// Allocate `size` bytes of zeroed memory.
+    /// Allocate `size` bytes of zeroed memory (lazily: no page is backed
+    /// until written).
     pub fn new(size: usize) -> Memory {
         Memory {
-            bytes: vec![0; size],
-            dirty_lo: usize::MAX,
-            dirty_hi: 0,
+            pages: vec![None; page_count(size)],
+            size,
+            generation: 0,
         }
     }
 
     /// Total size in bytes.
     pub fn size(&self) -> usize {
-        self.bytes.len()
+        self.size
     }
 
-    /// Zero every byte written since construction or the last clear,
-    /// keeping the allocation. O(bytes written), not O(size).
+    /// Number of pages currently holding data (written since the last
+    /// clear/restore lineage began). Diagnostics only.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.iter().filter(|p| p.is_some()).count()
+    }
+
+    /// Monotonic counter bumped by [`Memory::clear`] and
+    /// [`Memory::restore`]: if it changed, any cache derived from memory
+    /// contents must be treated as stale.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Zero the whole memory. Uniquely-owned pages are zeroed in place
+    /// (keeping their allocation for the next run); shared pages are
+    /// dropped back to the zero representation. O(resident pages).
     pub fn clear(&mut self) {
-        if self.dirty_lo < self.dirty_hi {
-            self.bytes[self.dirty_lo..self.dirty_hi].fill(0);
+        for slot in &mut self.pages {
+            if let Some(p) = slot {
+                match Arc::get_mut(p) {
+                    Some(buf) => buf.fill(0),
+                    None => *slot = None,
+                }
+            }
         }
-        self.dirty_lo = usize::MAX;
-        self.dirty_hi = 0;
-    }
-
-    #[inline]
-    fn mark_dirty(&mut self, a: usize, len: usize) {
-        self.dirty_lo = self.dirty_lo.min(a);
-        self.dirty_hi = self.dirty_hi.max(a + len);
+        self.generation += 1;
     }
 
     fn check(&self, addr: u32, len: u32) -> Result<usize, SimError> {
@@ -59,10 +112,29 @@ impl Memory {
         if len > 1 && !addr.is_multiple_of(len) {
             return Err(SimError::Misaligned { addr });
         }
-        if a + len as usize > self.bytes.len() {
+        if a + len as usize > self.size {
             return Err(SimError::OutOfBounds { addr });
         }
         Ok(a)
+    }
+
+    /// The backing bytes of the page containing offset `a` (the shared
+    /// zero page when unbacked).
+    #[inline]
+    fn page(&self, a: usize) -> &[u8; PAGE_SIZE] {
+        match &self.pages[a >> PAGE_SHIFT] {
+            Some(p) => p,
+            None => &ZERO_PAGE,
+        }
+    }
+
+    /// Writable backing for the page containing offset `a`, materializing
+    /// zero pages and copy-on-write-splitting shared ones.
+    #[inline]
+    fn page_mut(&mut self, a: usize) -> &mut [u8; PAGE_SIZE] {
+        let slot = &mut self.pages[a >> PAGE_SHIFT];
+        let p = slot.get_or_insert_with(|| Arc::new([0u8; PAGE_SIZE]));
+        Arc::make_mut(p)
     }
 
     /// Load `len` ∈ {1, 2, 4} bytes, zero-extended.
@@ -73,15 +145,12 @@ impl Memory {
     /// [`SimError::OutOfBounds`] past the end of memory.
     pub fn load(&self, addr: u32, len: u32) -> Result<u32, SimError> {
         let a = self.check(addr, len)?;
+        let page = self.page(a);
+        let o = a & (PAGE_SIZE - 1);
         Ok(match len {
-            1 => self.bytes[a] as u32,
-            2 => u16::from_le_bytes([self.bytes[a], self.bytes[a + 1]]) as u32,
-            4 => u32::from_le_bytes([
-                self.bytes[a],
-                self.bytes[a + 1],
-                self.bytes[a + 2],
-                self.bytes[a + 3],
-            ]),
+            1 => page[o] as u32,
+            2 => u16::from_le_bytes([page[o], page[o + 1]]) as u32,
+            4 => u32::from_le_bytes([page[o], page[o + 1], page[o + 2], page[o + 3]]),
             _ => unreachable!("unsupported access width"),
         })
     }
@@ -93,11 +162,12 @@ impl Memory {
     /// Same conditions as [`Memory::load`].
     pub fn store(&mut self, addr: u32, len: u32, value: u32) -> Result<(), SimError> {
         let a = self.check(addr, len)?;
-        self.mark_dirty(a, len as usize);
+        let page = self.page_mut(a);
+        let o = a & (PAGE_SIZE - 1);
         match len {
-            1 => self.bytes[a] = value as u8,
-            2 => self.bytes[a..a + 2].copy_from_slice(&(value as u16).to_le_bytes()),
-            4 => self.bytes[a..a + 4].copy_from_slice(&value.to_le_bytes()),
+            1 => page[o] = value as u8,
+            2 => page[o..o + 2].copy_from_slice(&(value as u16).to_le_bytes()),
+            4 => page[o..o + 4].copy_from_slice(&value.to_le_bytes()),
             _ => unreachable!("unsupported access width"),
         }
         Ok(())
@@ -109,20 +179,131 @@ impl Memory {
     ///
     /// Panics if the range exceeds the memory size.
     pub fn write_bytes(&mut self, addr: u32, data: &[u8]) {
-        let a = addr as usize;
-        self.mark_dirty(a, data.len());
-        self.bytes[a..a + data.len()].copy_from_slice(data);
+        let mut a = addr as usize;
+        assert!(a + data.len() <= self.size, "write_bytes out of range");
+        let mut data = data;
+        while !data.is_empty() {
+            let o = a & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - o).min(data.len());
+            self.page_mut(a)[o..o + n].copy_from_slice(&data[..n]);
+            a += n;
+            data = &data[n..];
+        }
     }
 
-    /// Read a byte slice out of memory.
+    /// Read a byte range out of memory.
     ///
     /// # Panics
     ///
     /// Panics if the range exceeds the memory size.
-    pub fn read_bytes(&self, addr: u32, len: usize) -> &[u8] {
-        let a = addr as usize;
-        &self.bytes[a..a + len]
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        let mut a = addr as usize;
+        assert!(a + len <= self.size, "read_bytes out of range");
+        let mut out = Vec::with_capacity(len);
+        let mut remaining = len;
+        while remaining > 0 {
+            let o = a & (PAGE_SIZE - 1);
+            let n = (PAGE_SIZE - o).min(remaining);
+            out.extend_from_slice(&self.page(a)[o..o + n]);
+            a += n;
+            remaining -= n;
+        }
+        out
     }
+
+    /// Whole-memory logical equality. Pages shared between the two tables
+    /// (the common case after copy-on-write forks) compare by pointer.
+    pub fn bytes_eq(&self, other: &Memory) -> bool {
+        self.size == other.size && pages_eq(&self.pages, &other.pages)
+    }
+
+    /// Take a point-in-time snapshot: O(pages) refcount bumps.
+    pub fn snapshot(&self) -> MemSnapshot {
+        MemSnapshot {
+            pages: self.pages.clone(),
+            size: self.size,
+        }
+    }
+
+    /// Restore a previously taken snapshot (adopting its size if it
+    /// differs) and bump the generation counter.
+    pub fn restore(&mut self, snap: &MemSnapshot) {
+        self.pages.clone_from(&snap.pages);
+        self.size = snap.size;
+        self.generation += 1;
+    }
+}
+
+fn page_bytes(p: &Option<Page>) -> &[u8; PAGE_SIZE] {
+    match p {
+        Some(p) => p,
+        None => &ZERO_PAGE,
+    }
+}
+
+fn pages_eq(a: &[Option<Page>], b: &[Option<Page>]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| match (x, y) {
+            (Some(p), Some(q)) if Arc::ptr_eq(p, q) => true,
+            (None, None) => true,
+            _ => page_bytes(x) == page_bytes(y),
+        })
+}
+
+impl MemSnapshot {
+    /// Snapshot size in bytes.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Logical equality against another snapshot (pointer-compare shared
+    /// pages, byte-compare the rest).
+    pub fn bytes_eq(&self, other: &MemSnapshot) -> bool {
+        self.size == other.size && pages_eq(&self.pages, &other.pages)
+    }
+
+    /// Serialize: size, then each non-zero page as `(index, raw bytes)` —
+    /// the compact on-disk form (DESIGN.md §14).
+    pub(crate) fn write_to(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.size as u64).to_le_bytes());
+        let nonzero: Vec<(usize, &Page)> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i, p)))
+            .filter(|(_, p)| ***p != ZERO_PAGE)
+            .collect();
+        out.extend_from_slice(&(nonzero.len() as u64).to_le_bytes());
+        for (i, p) in nonzero {
+            out.extend_from_slice(&(i as u64).to_le_bytes());
+            out.extend_from_slice(&**p);
+        }
+    }
+
+    /// Deserialize a [`MemSnapshot::write_to`] image, advancing `pos`.
+    pub(crate) fn read_from(buf: &[u8], pos: &mut usize) -> Option<MemSnapshot> {
+        let size = read_u64(buf, pos)? as usize;
+        let n = read_u64(buf, pos)? as usize;
+        let slots = page_count(size);
+        let mut pages: Vec<Option<Page>> = vec![None; slots];
+        for _ in 0..n {
+            let idx = read_u64(buf, pos)? as usize;
+            if idx >= slots || buf.len() < *pos + PAGE_SIZE {
+                return None;
+            }
+            let mut page = [0u8; PAGE_SIZE];
+            page.copy_from_slice(&buf[*pos..*pos + PAGE_SIZE]);
+            *pos += PAGE_SIZE;
+            pages[idx] = Some(Arc::new(page));
+        }
+        Some(MemSnapshot { pages, size })
+    }
+}
+
+pub(crate) fn read_u64(buf: &[u8], pos: &mut usize) -> Option<u64> {
+    let bytes = buf.get(*pos..*pos + 8)?;
+    *pos += 8;
+    Some(u64::from_le_bytes(bytes.try_into().unwrap()))
 }
 
 #[cfg(test)]
@@ -164,16 +345,80 @@ mod tests {
     }
 
     #[test]
-    fn clear_zeroes_written_range_only_but_fully() {
+    fn byte_slices_across_page_boundary() {
+        let mut m = Memory::new(3 * PAGE_SIZE);
+        let data: Vec<u8> = (0..PAGE_SIZE + 100).map(|i| i as u8).collect();
+        let base = (PAGE_SIZE - 50) as u32;
+        m.write_bytes(base, &data);
+        assert_eq!(m.read_bytes(base, data.len()), data);
+        // 50 bytes on page 0, all of page 1, 50 bytes on page 2.
+        assert_eq!(m.resident_pages(), 3);
+    }
+
+    #[test]
+    fn clear_zeroes_everything() {
         let mut m = Memory::new(64);
         m.store(8, 4, 0xdead_beef).unwrap();
         m.write_bytes(40, &[7; 3]);
         m.clear();
         assert_eq!(m.read_bytes(0, 64), &[0; 64]);
-        // Clear twice is idempotent, and the watermark restarts.
+        // Clear twice is idempotent.
         m.clear();
         m.store(0, 1, 0xff).unwrap();
         m.clear();
         assert_eq!(m.load(0, 1).unwrap(), 0);
+    }
+
+    #[test]
+    fn snapshot_is_copy_on_write() {
+        let mut m = Memory::new(4 * PAGE_SIZE);
+        m.store(0, 4, 11).unwrap();
+        m.store(PAGE_SIZE as u32, 4, 22).unwrap();
+        let snap = m.snapshot();
+        // Post-snapshot writes must not leak into the snapshot.
+        m.store(0, 4, 99).unwrap();
+        m.store(2 * PAGE_SIZE as u32, 4, 33).unwrap();
+        assert_eq!(m.load(0, 4).unwrap(), 99);
+        let mut back = Memory::new(4 * PAGE_SIZE);
+        back.restore(&snap);
+        assert_eq!(back.load(0, 4).unwrap(), 11);
+        assert_eq!(back.load(PAGE_SIZE as u32, 4).unwrap(), 22);
+        assert_eq!(back.load(2 * PAGE_SIZE as u32, 4).unwrap(), 0);
+        assert!(!m.bytes_eq(&back));
+        m.restore(&snap);
+        assert!(m.bytes_eq(&back));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_bytes() {
+        let mut m = Memory::new(4 * PAGE_SIZE);
+        m.write_bytes(10, &[1, 2, 3, 4]);
+        m.store((2 * PAGE_SIZE + 8) as u32, 4, 0xfeed).unwrap();
+        let snap = m.snapshot();
+        let mut buf = Vec::new();
+        snap.write_to(&mut buf);
+        let mut pos = 0;
+        let back = MemSnapshot::read_from(&buf, &mut pos).expect("parses");
+        assert_eq!(pos, buf.len());
+        assert!(snap.bytes_eq(&back));
+        // An explicitly zeroed page serializes away (compactness).
+        m.clear();
+        let mut buf2 = Vec::new();
+        m.snapshot().write_to(&mut buf2);
+        assert!(buf2.len() < 32);
+    }
+
+    #[test]
+    fn generation_tracks_clear_and_restore() {
+        let mut m = Memory::new(64);
+        let g0 = m.generation();
+        m.store(0, 4, 1).unwrap();
+        assert_eq!(m.generation(), g0, "plain stores do not bump");
+        let snap = m.snapshot();
+        m.clear();
+        assert!(m.generation() > g0);
+        let g1 = m.generation();
+        m.restore(&snap);
+        assert!(m.generation() > g1);
     }
 }

@@ -15,8 +15,8 @@ pub struct Stats {
     pub instret: u64,
     /// Total energy in picojoules (per-op energies + idle × cycles).
     pub energy_pj: f64,
-    counts: [u64; InstrClass::ALL.len()],
-    cycles_by_class: [u64; InstrClass::ALL.len()],
+    pub(crate) counts: [u64; InstrClass::ALL.len()],
+    pub(crate) cycles_by_class: [u64; InstrClass::ALL.len()],
 }
 
 impl Stats {

@@ -13,9 +13,9 @@
 
 use smallfloat_isa::FpFmt;
 use smallfloat_kernels::bench::{build, suite, Precision, VecMode, Workload};
+use smallfloat_kernels::runner::load_workload;
 use smallfloat_sim::{Cpu, ExitReason, SimConfig};
-use smallfloat_softfp::{ops, Env, Rounding};
-use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
+use smallfloat_xcc::codegen::Compiled;
 
 /// Load inputs + program and run to `ecall`, exactly as the kernels
 /// runner does, with the block cache forced on or off.
@@ -28,21 +28,7 @@ fn run_path(
 ) {
     cpu.reset();
     cpu.set_block_cache(blocks);
-    let mut env = Env::new(Rounding::Rne);
-    for (name, values) in inputs {
-        let entry = compiled
-            .layout
-            .entry(name)
-            .unwrap_or_else(|| panic!("input `{name}` is not a kernel array"));
-        let bytes = entry.ty.width() / 8;
-        for (i, v) in values.iter().enumerate() {
-            let bits = ops::from_f64(entry.ty.format(), *v, &mut env) as u32;
-            let le = bits.to_le_bytes();
-            cpu.mem_mut()
-                .write_bytes(entry.addr + (i as u32) * bytes, &le[..bytes as usize]);
-        }
-    }
-    cpu.load_program(TEXT_BASE, &compiled.program);
+    load_workload(cpu, compiled, inputs);
     let exit = cpu
         .run(200_000_000)
         .unwrap_or_else(|e| panic!("{label}: kernel trapped: {e}"));
@@ -78,7 +64,7 @@ fn assert_identical(label: &str, on: &Cpu, off: &Cpu) {
         "{label}: energy_pj must be bit-exact"
     );
     assert!(
-        on.mem().read_bytes(0, on.mem().size()) == off.mem().read_bytes(0, off.mem().size()),
+        on.mem().bytes_eq(off.mem()),
         "{label}: final memory images diverged"
     );
 }

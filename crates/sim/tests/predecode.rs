@@ -435,6 +435,187 @@ fn mem_mut_flushes_predecoded_window() {
     assert_eq!(cpu.xreg(a0), 41);
 }
 
+/// Restoring a snapshot taken *before* a self-modifying store must kill
+/// the predecoded slot (and any cached block) the store refilled: after
+/// the restore, memory holds the OLD victim bytes again, and executing at
+/// the victim address must run the old instruction — a stale slot from
+/// the post-store world would run the new one.
+#[test]
+fn restore_before_self_modifying_store_executes_old_code() {
+    let a0 = XReg::new(10);
+    let new_word = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 7,
+    });
+    for blocks in [true, false] {
+        let target = BASE + 5 * 4;
+        let mut program = store_word_program(target, new_word);
+        program.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        }); // victim: old says +1, the store patches it to +7
+        program.push(Instr::Ecall);
+        let mut cpu = Cpu::new(SimConfig {
+            mem_size: 1 << 20,
+            ..SimConfig::default()
+        });
+        cpu.set_block_cache(blocks);
+        cpu.load_program(BASE, &program);
+        let snap = cpu.snapshot();
+
+        // First run: the store patches the victim; caches now hold +7.
+        cpu.run(100).expect("first run to ecall");
+        assert_eq!(cpu.xreg(a0), 7, "patched victim ran (blocks={blocks})");
+
+        // Rewind to before the store ever executed, jump straight to the
+        // victim: the restored memory says +1, and so must execution.
+        cpu.restore(&snap);
+        cpu.set_pc(target);
+        cpu.run(2).expect("victim + ecall");
+        assert_eq!(
+            cpu.xreg(a0),
+            1,
+            "restore must invalidate the stale patched slot (blocks={blocks})"
+        );
+    }
+}
+
+/// The PR 3 straddle hazard across a restore boundary: the window's last
+/// slot caches an instruction *spanning* two bytes past the window end.
+/// The program patches those spanned bytes (killing the slot, which then
+/// refills with the NEW spanning instruction). Restoring a pre-patch
+/// snapshot must bring back the OLD spanning instruction — in decode
+/// (`peek_decoded`) and in execution, on both engines.
+#[test]
+fn restore_rewinds_patched_spanning_last_slot() {
+    let a0 = XReg::new(10);
+    let old = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 1,
+    });
+    let new = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 7,
+    });
+    for blocks in [true, false] {
+        let win_end = BASE + 7 * 4;
+        let mut program = store_word_program(win_end, new >> 16);
+        program.push(Instr::Jal {
+            rd: XReg::ZERO,
+            offset: 6,
+        });
+        program.push(Instr::OpImm {
+            op: AluOp::Add,
+            rd: XReg::ZERO,
+            rs1: XReg::ZERO,
+            imm: 0,
+        });
+        let mut cpu = Cpu::new(SimConfig {
+            mem_size: 1 << 20,
+            ..SimConfig::default()
+        });
+        cpu.set_block_cache(blocks);
+        cpu.load_program(BASE, &program);
+        // Plant the OLD spanning instruction across the window end and
+        // warm its slot, exactly like the non-restore straddle test.
+        cpu.mem_mut().write_bytes(win_end - 2, &old.to_le_bytes());
+        cpu.set_pc(win_end - 2);
+        let victim = Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        };
+        assert_eq!(cpu.peek_decoded(), Ok((victim, 4)));
+        cpu.set_pc(BASE);
+        let snap = cpu.snapshot();
+
+        // Run: the store patches the spanned high half, the jal lands on
+        // the slot, the NEW instruction executes.
+        let err = cpu.run(100).expect_err("falls off past the spanning instr");
+        assert_eq!(
+            err,
+            SimError::IllegalInstruction {
+                word: 0,
+                pc: win_end + 2
+            },
+            "blocks={blocks}"
+        );
+        assert_eq!(
+            cpu.xreg(a0),
+            7,
+            "patched spanning instr ran (blocks={blocks})"
+        );
+
+        // Rewind. The spanned bytes are OLD again; the warm slot from the
+        // patched world must not survive the restore.
+        cpu.restore(&snap);
+        cpu.set_pc(win_end - 2);
+        assert_eq!(
+            cpu.peek_decoded(),
+            Ok((victim, 4)),
+            "restored slot must re-decode the old spanning bytes (blocks={blocks})"
+        );
+        let err = cpu.run(100).expect_err("falls off past the spanning instr");
+        assert_eq!(
+            err,
+            SimError::IllegalInstruction {
+                word: 0,
+                pc: win_end + 2
+            },
+            "blocks={blocks}"
+        );
+        assert_eq!(
+            cpu.xreg(a0),
+            1,
+            "restore must rewind the spanning patch (blocks={blocks})"
+        );
+    }
+}
+
+/// Restoring across a `mem_mut` rewrite: the conservative whole-window
+/// flush and the restore interact — a snapshot taken before the rewrite,
+/// restored after it, must execute the original code.
+#[test]
+fn restore_rewinds_mem_mut_rewrite() {
+    let a0 = XReg::new(10);
+    let mut cpu = Cpu::new(SimConfig {
+        mem_size: 1 << 20,
+        ..SimConfig::default()
+    });
+    let program = vec![
+        Instr::OpImm {
+            op: AluOp::Add,
+            rd: a0,
+            rs1: a0,
+            imm: 1,
+        },
+        Instr::Ecall,
+    ];
+    cpu.load_program(BASE, &program);
+    let snap = cpu.snapshot();
+    let patched = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a0,
+        rs1: a0,
+        imm: 40,
+    });
+    cpu.mem_mut().write_bytes(BASE, &patched.to_le_bytes());
+    cpu.run(10).expect("patched run");
+    assert_eq!(cpu.xreg(a0), 40);
+    cpu.restore(&snap);
+    cpu.run(10).expect("restored run");
+    assert_eq!(cpu.xreg(a0), 1, "restored code must be the original");
+}
+
 /// Misaligned pcs fault identically with a warm or cold window, and never
 /// alias a neighbouring slot.
 #[test]

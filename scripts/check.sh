@@ -28,6 +28,12 @@ cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive
 echo "==> block-path differential grid + golden trace, block cache on (release)"
 cargo test --release -q -p smallfloat-sim --test blockpath_differential --test golden_trace
 
+echo "==> snapshot/restore + record-replay gates (release)"
+cargo test --release -q -p smallfloat-sim --test snapshot_roundtrip --test replay
+
+echo "==> replay fleet: rotating subset (segment-parallel differential testrunner)"
+cargo run --release -q -p smallfloat-bench --bin testrunner
+
 echo "==> vdotpex4_f8 exhaustive differential suite (release)"
 cargo test --release -q -p smallfloat-softfp --test vdotpex4_f8_differential
 
@@ -41,6 +47,8 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
     echo "==> cargo test --workspace --release -q"
     cargo test --workspace --release -q
+    echo "==> replay fleet: full workload x precision x mode grid"
+    cargo run --release -q -p smallfloat-bench --bin testrunner -- --full
     echo "==> cargo doc --no-deps --workspace (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 fi

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/replay-0b45b85584b87707.d: crates/sim/tests/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay-0b45b85584b87707.rmeta: crates/sim/tests/replay.rs Cargo.toml
+
+crates/sim/tests/replay.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/replay_fork-909fc2b332d29858.d: crates/bench/benches/replay_fork.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreplay_fork-909fc2b332d29858.rmeta: crates/bench/benches/replay_fork.rs Cargo.toml
+
+crates/bench/benches/replay_fork.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/smallfloat_bench-0e20fdbb01cd86e5.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/debug/deps/smallfloat_bench-0e20fdbb01cd86e5.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
-/root/repo/target/debug/deps/libsmallfloat_bench-0e20fdbb01cd86e5.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/debug/deps/libsmallfloat_bench-0e20fdbb01cd86e5.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/codesize.rs:
 crates/bench/src/nn.rs:
 crates/bench/src/par.rs:
+crates/bench/src/replay.rs:

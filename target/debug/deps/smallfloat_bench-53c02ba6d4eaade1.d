@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/smallfloat_bench-53c02ba6d4eaade1.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/debug/deps/smallfloat_bench-53c02ba6d4eaade1.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
-/root/repo/target/debug/deps/libsmallfloat_bench-53c02ba6d4eaade1.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/debug/deps/libsmallfloat_bench-53c02ba6d4eaade1.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
-/root/repo/target/debug/deps/libsmallfloat_bench-53c02ba6d4eaade1.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/debug/deps/libsmallfloat_bench-53c02ba6d4eaade1.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/codesize.rs:
 crates/bench/src/nn.rs:
 crates/bench/src/par.rs:
+crates/bench/src/replay.rs:

@@ -1,12 +1,13 @@
-/root/repo/target/debug/deps/smallfloat_bench-7f019833b3321e29.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs Cargo.toml
+/root/repo/target/debug/deps/smallfloat_bench-7f019833b3321e29.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmallfloat_bench-7f019833b3321e29.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs Cargo.toml
+/root/repo/target/debug/deps/libsmallfloat_bench-7f019833b3321e29.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs Cargo.toml
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/codesize.rs:
 crates/bench/src/nn.rs:
 crates/bench/src/par.rs:
+crates/bench/src/replay.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/smallfloat_sim-8b917eddcc5de902.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/debug/deps/smallfloat_sim-8b917eddcc5de902.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
-/root/repo/target/debug/deps/libsmallfloat_sim-8b917eddcc5de902.rmeta: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/debug/deps/libsmallfloat_sim-8b917eddcc5de902.rmeta: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/block.rs:
@@ -8,5 +8,7 @@ crates/sim/src/cpu.rs:
 crates/sim/src/energy.rs:
 crates/sim/src/exec.rs:
 crates/sim/src/mem.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/snapshot.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/timing.rs:

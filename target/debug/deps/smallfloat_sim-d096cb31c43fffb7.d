@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/smallfloat_sim-d096cb31c43fffb7.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs Cargo.toml
+/root/repo/target/debug/deps/smallfloat_sim-d096cb31c43fffb7.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs Cargo.toml
 
-/root/repo/target/debug/deps/libsmallfloat_sim-d096cb31c43fffb7.rmeta: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs Cargo.toml
+/root/repo/target/debug/deps/libsmallfloat_sim-d096cb31c43fffb7.rmeta: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs Cargo.toml
 
 crates/sim/src/lib.rs:
 crates/sim/src/block.rs:
@@ -8,6 +8,8 @@ crates/sim/src/cpu.rs:
 crates/sim/src/energy.rs:
 crates/sim/src/exec.rs:
 crates/sim/src/mem.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/snapshot.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/timing.rs:
 Cargo.toml:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/snapshot_roundtrip-ba2ae9f370ec5a86.d: crates/sim/tests/snapshot_roundtrip.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsnapshot_roundtrip-ba2ae9f370ec5a86.rmeta: crates/sim/tests/snapshot_roundtrip.rs Cargo.toml
+
+crates/sim/tests/snapshot_roundtrip.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/testrunner-63da53097e44f3a7.d: crates/bench/src/bin/testrunner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtestrunner-63da53097e44f3a7.rmeta: crates/bench/src/bin/testrunner.rs Cargo.toml
+
+crates/bench/src/bin/testrunner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/testrunner-6c0a3859a9f221e2.d: crates/bench/src/bin/testrunner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtestrunner-6c0a3859a9f221e2.rmeta: crates/bench/src/bin/testrunner.rs Cargo.toml
+
+crates/bench/src/bin/testrunner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels_end2end-c6af5d9dbf9d9942.d: crates/bench/benches/kernels_end2end.rs
+
+/root/repo/target/release/deps/kernels_end2end-c6af5d9dbf9d9942: crates/bench/benches/kernels_end2end.rs
+
+crates/bench/benches/kernels_end2end.rs:

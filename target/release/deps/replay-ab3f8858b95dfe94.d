@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/replay-ab3f8858b95dfe94.d: crates/sim/tests/replay.rs
+
+/root/repo/target/release/deps/replay-ab3f8858b95dfe94: crates/sim/tests/replay.rs
+
+crates/sim/tests/replay.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/sim

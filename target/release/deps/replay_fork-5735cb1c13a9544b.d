@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/replay_fork-5735cb1c13a9544b.d: crates/bench/benches/replay_fork.rs
+
+/root/repo/target/release/deps/replay_fork-5735cb1c13a9544b: crates/bench/benches/replay_fork.rs
+
+crates/bench/benches/replay_fork.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_blocks-84b156fc79552476.d: crates/bench/benches/sim_blocks.rs
+
+/root/repo/target/release/deps/sim_blocks-84b156fc79552476: crates/bench/benches/sim_blocks.rs
+
+crates/bench/benches/sim_blocks.rs:

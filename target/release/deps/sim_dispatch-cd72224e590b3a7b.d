@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_dispatch-cd72224e590b3a7b.d: crates/bench/benches/sim_dispatch.rs
+
+/root/repo/target/release/deps/sim_dispatch-cd72224e590b3a7b: crates/bench/benches/sim_dispatch.rs
+
+crates/bench/benches/sim_dispatch.rs:

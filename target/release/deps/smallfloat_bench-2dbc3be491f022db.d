@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/smallfloat_bench-2dbc3be491f022db.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/release/deps/smallfloat_bench-2dbc3be491f022db.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
-/root/repo/target/release/deps/libsmallfloat_bench-2dbc3be491f022db.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/release/deps/libsmallfloat_bench-2dbc3be491f022db.rlib: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
-/root/repo/target/release/deps/libsmallfloat_bench-2dbc3be491f022db.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/release/deps/libsmallfloat_bench-2dbc3be491f022db.rmeta: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/codesize.rs:
 crates/bench/src/nn.rs:
 crates/bench/src/par.rs:
+crates/bench/src/replay.rs:

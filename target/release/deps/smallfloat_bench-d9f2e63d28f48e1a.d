@@ -1,9 +1,10 @@
-/root/repo/target/release/deps/smallfloat_bench-d9f2e63d28f48e1a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/release/deps/smallfloat_bench-d9f2e63d28f48e1a.d: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
-/root/repo/target/release/deps/smallfloat_bench-d9f2e63d28f48e1a: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs
+/root/repo/target/release/deps/smallfloat_bench-d9f2e63d28f48e1a: crates/bench/src/lib.rs crates/bench/src/ablation.rs crates/bench/src/codesize.rs crates/bench/src/nn.rs crates/bench/src/par.rs crates/bench/src/replay.rs
 
 crates/bench/src/lib.rs:
 crates/bench/src/ablation.rs:
 crates/bench/src/codesize.rs:
 crates/bench/src/nn.rs:
 crates/bench/src/par.rs:
+crates/bench/src/replay.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/smallfloat_sim-b2e7d37be6b44e8a.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/release/deps/smallfloat_sim-b2e7d37be6b44e8a.d: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
-/root/repo/target/release/deps/libsmallfloat_sim-b2e7d37be6b44e8a.rlib: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/release/deps/libsmallfloat_sim-b2e7d37be6b44e8a.rlib: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
-/root/repo/target/release/deps/libsmallfloat_sim-b2e7d37be6b44e8a.rmeta: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
+/root/repo/target/release/deps/libsmallfloat_sim-b2e7d37be6b44e8a.rmeta: crates/sim/src/lib.rs crates/sim/src/block.rs crates/sim/src/cpu.rs crates/sim/src/energy.rs crates/sim/src/exec.rs crates/sim/src/mem.rs crates/sim/src/replay.rs crates/sim/src/snapshot.rs crates/sim/src/stats.rs crates/sim/src/timing.rs
 
 crates/sim/src/lib.rs:
 crates/sim/src/block.rs:
@@ -10,5 +10,7 @@ crates/sim/src/cpu.rs:
 crates/sim/src/energy.rs:
 crates/sim/src/exec.rs:
 crates/sim/src/mem.rs:
+crates/sim/src/replay.rs:
+crates/sim/src/snapshot.rs:
 crates/sim/src/stats.rs:
 crates/sim/src/timing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/snapshot_roundtrip-e3ea1c2111cab500.d: crates/sim/tests/snapshot_roundtrip.rs
+
+/root/repo/target/release/deps/snapshot_roundtrip-e3ea1c2111cab500: crates/sim/tests/snapshot_roundtrip.rs
+
+crates/sim/tests/snapshot_roundtrip.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/softfp_ops-affa2edae4804a73.d: crates/bench/benches/softfp_ops.rs
+
+/root/repo/target/release/deps/softfp_ops-affa2edae4804a73: crates/bench/benches/softfp_ops.rs
+
+crates/bench/benches/softfp_ops.rs:

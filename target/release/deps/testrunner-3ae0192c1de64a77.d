@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/testrunner-3ae0192c1de64a77.d: crates/bench/src/bin/testrunner.rs
+
+/root/repo/target/release/deps/testrunner-3ae0192c1de64a77: crates/bench/src/bin/testrunner.rs
+
+crates/bench/src/bin/testrunner.rs:

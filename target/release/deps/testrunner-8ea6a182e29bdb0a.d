@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/testrunner-8ea6a182e29bdb0a.d: crates/bench/src/bin/testrunner.rs
+
+/root/repo/target/release/deps/testrunner-8ea6a182e29bdb0a: crates/bench/src/bin/testrunner.rs
+
+crates/bench/src/bin/testrunner.rs:
