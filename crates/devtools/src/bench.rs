@@ -1,10 +1,13 @@
 //! A small wall-clock benchmark harness (criterion stand-in).
 //!
 //! Each benchmark is warmed up, then timed over several samples of
-//! adaptively chosen iteration counts; the *median* sample is reported
-//! (robust against scheduler noise). Optional throughput (elements per
-//! iteration) turns times into rates. Results print as a table and can be
-//! exported as JSON for committed before/after records.
+//! adaptively chosen iteration counts; the *median* and *minimum*
+//! samples are both reported. The median is robust against scheduler
+//! noise, but on shared/virtualized hosts steal bursts inflate a random
+//! subset of samples, so throughput and cross-bench ratios use the
+//! minimum (noise floor). Optional throughput (elements per iteration)
+//! turns times into rates. Results print as a table and can be exported
+//! as JSON for committed before/after records.
 //!
 //! Used from `[[bench]]` targets with `harness = false`:
 //!
@@ -34,9 +37,14 @@ pub struct BenchResult {
     pub median_ns: f64,
     /// Mean time per iteration, nanoseconds.
     pub mean_ns: f64,
+    /// Minimum (noise-floor) time per iteration, nanoseconds. On a
+    /// shared or virtualized host, scheduler steal inflates a random
+    /// subset of samples; the minimum is the least-biased estimate of
+    /// the true cost, so ratios between paired benches should use it.
+    pub min_ns: f64,
     /// Elements processed per iteration (1 when no throughput was set).
     pub elements: u64,
-    /// Throughput in elements/second (from the median).
+    /// Throughput in elements/second (from the minimum sample).
     pub elems_per_sec: f64,
 }
 
@@ -67,36 +75,54 @@ impl Harness {
     /// Run one benchmark. The closure's return value is black-boxed so the
     /// optimizer cannot delete the measured work.
     pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) {
-        // Warmup, and estimate the cost of one iteration.
-        let warm_start = Instant::now();
-        let mut warm_iters = 0u64;
-        while warm_start.elapsed() < WARMUP || warm_iters == 0 {
-            black_box(f());
-            warm_iters += 1;
-        }
-        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
-        let iters = ((SAMPLE_TARGET.as_nanos() as f64 / est_ns).ceil() as u64).max(1);
-
+        let iters = estimate_iters(&mut f);
         let mut samples_ns = Vec::with_capacity(SAMPLES);
         for _ in 0..SAMPLES {
-            let t = Instant::now();
-            for _ in 0..iters {
-                black_box(f());
-            }
-            samples_ns.push(t.elapsed().as_nanos() as f64 / iters as f64);
+            samples_ns.push(one_sample(&mut f, iters));
         }
+        self.record(name, &mut samples_ns);
+    }
+
+    /// Run two benchmarks as an interleaved pair: timed samples alternate
+    /// A, B, A, B, … so slow drift and scheduler/steal noise land on both
+    /// sides roughly equally. Use this when the quantity of interest is
+    /// the *ratio* between the two (e.g. engine-on vs engine-off) — with
+    /// sequential measurement a noise burst during one side's samples
+    /// shows up as a phantom speedup or slowdown.
+    pub fn bench_pair<TA, TB>(
+        &mut self,
+        name_a: &str,
+        mut fa: impl FnMut() -> TA,
+        name_b: &str,
+        mut fb: impl FnMut() -> TB,
+    ) {
+        let iters_a = estimate_iters(&mut fa);
+        let iters_b = estimate_iters(&mut fb);
+        let mut samples_a = Vec::with_capacity(SAMPLES);
+        let mut samples_b = Vec::with_capacity(SAMPLES);
+        for _ in 0..SAMPLES {
+            samples_a.push(one_sample(&mut fa, iters_a));
+            samples_b.push(one_sample(&mut fb, iters_b));
+        }
+        self.record(name_a, &mut samples_a);
+        self.record(name_b, &mut samples_b);
+    }
+
+    fn record(&mut self, name: &str, samples_ns: &mut [f64]) {
         samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let median_ns = samples_ns[SAMPLES / 2];
-        let mean_ns = samples_ns.iter().sum::<f64>() / SAMPLES as f64;
-        let elems_per_sec = self.elements as f64 / (median_ns * 1e-9);
+        let min_ns = samples_ns[0];
+        let median_ns = samples_ns[samples_ns.len() / 2];
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let elems_per_sec = self.elements as f64 / (min_ns * 1e-9);
         eprintln!(
-            "  {:<24} {:>12.1} ns/iter   {:>14.0} elem/s",
-            name, median_ns, elems_per_sec
+            "  {:<24} {:>12.1} ns/iter (min {:>10.1})   {:>14.0} elem/s",
+            name, median_ns, min_ns, elems_per_sec
         );
         self.results.push(BenchResult {
             name: name.to_string(),
             median_ns,
             mean_ns,
+            min_ns,
             elements: self.elements,
             elems_per_sec,
         });
@@ -117,10 +143,11 @@ impl Harness {
         for (i, r) in self.results.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \
-                 \"elements\": {}, \"elems_per_sec\": {:.0}}}{}\n",
+                 \"min_ns\": {:.1}, \"elements\": {}, \"elems_per_sec\": {:.0}}}{}\n",
                 r.name,
                 r.median_ns,
                 r.mean_ns,
+                r.min_ns,
                 r.elements,
                 r.elems_per_sec,
                 if i + 1 < self.results.len() { "," } else { "" }
@@ -145,6 +172,28 @@ impl Harness {
             }
         }
     }
+}
+
+/// Warm a closure up and pick the per-sample iteration count that hits
+/// [`SAMPLE_TARGET`].
+fn estimate_iters<T>(f: &mut impl FnMut() -> T) -> u64 {
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u64;
+    while warm_start.elapsed() < WARMUP || warm_iters == 0 {
+        black_box(f());
+        warm_iters += 1;
+    }
+    let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+    ((SAMPLE_TARGET.as_nanos() as f64 / est_ns).ceil() as u64).max(1)
+}
+
+/// One timed sample: `iters` black-boxed calls, returning ns/iteration.
+fn one_sample<T>(f: &mut impl FnMut() -> T, iters: u64) -> f64 {
+    let t = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    t.elapsed().as_nanos() as f64 / iters as f64
 }
 
 #[cfg(test)]

@@ -1,6 +1,8 @@
 //! Executing compiled kernels on the simulator.
 
-use smallfloat_sim::{hot_block_report, Cpu, ExitReason, HotBlock, MemLevel, SimConfig, Stats};
+use smallfloat_sim::{
+    hot_block_report, Cpu, ExitReason, HotBlock, MemLevel, SimConfig, Stats, TraceStats,
+};
 use smallfloat_softfp::{ops, Env, Rounding};
 use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
 use smallfloat_xcc::ir::Kernel;
@@ -29,6 +31,13 @@ pub struct RunResult {
     /// `SMALLFLOAT_HOT_BLOCKS=1` to also print the report, or use the
     /// `runner` example's `--hot-blocks` flag.
     pub hot_blocks: Vec<HotBlock>,
+    /// Top-10 superblock traces by dynamic instruction count (empty when
+    /// the trace tier is disabled). Reported alongside `hot_blocks`.
+    pub hot_traces: Vec<HotBlock>,
+    /// Trace-tier diagnostics: formation/invalidation tallies, in-trace
+    /// coverage and fusion hits by kind. Set `SMALLFLOAT_TRACE_STATS=1` to
+    /// also print the report after every simulated run.
+    pub trace: TraceStats,
 }
 
 impl RunResult {
@@ -124,13 +133,23 @@ fn run_on(
         .run(200_000_000)
         .unwrap_or_else(|e| panic!("kernel trapped: {e}"));
     assert_eq!(exit, ExitReason::Ecall, "kernel must exit via ecall");
-    // Harvest the block profile before anything can invalidate the cache.
+    // Harvest the block/trace profiles before anything can invalidate the
+    // caches.
     let hot_blocks = cpu.hot_blocks(10);
+    let hot_traces = cpu.hot_traces(10);
+    let trace = cpu.trace_stats().clone();
     if std::env::var_os("SMALLFLOAT_HOT_BLOCKS").is_some_and(|v| v != "0") {
         eprintln!(
             "hot blocks for `{}`:\n{}",
             kernel.name,
             hot_block_report(&hot_blocks, cpu.stats().instret)
+        );
+    }
+    if std::env::var_os("SMALLFLOAT_TRACE_STATS").is_some_and(|v| v != "0") {
+        eprintln!(
+            "trace stats for `{}`:\n{}",
+            kernel.name,
+            trace.report(cpu.stats().instret)
         );
     }
 
@@ -158,6 +177,8 @@ fn run_on(
         arrays,
         scalars,
         hot_blocks,
+        hot_traces,
+        trace,
     }
 }
 

@@ -59,7 +59,7 @@ const SLOT_NO_BLOCK: u32 = u32::MAX - 1;
 
 /// `MicroOp::rm` value selecting the dynamic rounding mode at run time;
 /// static modes are resolved to their `frm` encoding at lowering.
-const RM_DYN: u8 = 0xff;
+pub(crate) const RM_DYN: u8 = 0xff;
 
 fn default_enabled() -> bool {
     static NOBLOCKS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
@@ -70,33 +70,34 @@ pub(crate) type UopFn = fn(&mut Cpu, &MicroOp) -> Result<(), SimError>;
 
 /// One lowered instruction: semantic function plus pre-resolved operands
 /// and pre-computed retirement costs.
+#[derive(Clone, Copy)]
 pub(crate) struct MicroOp {
-    run: UopFn,
-    rd: u8,
-    rs1: u8,
-    rs2: u8,
-    rs3: u8,
+    pub(crate) run: UopFn,
+    pub(crate) rd: u8,
+    pub(crate) rs1: u8,
+    pub(crate) rs2: u8,
+    pub(crate) rs3: u8,
     /// Static rounding mode (`frm` encoding) or [`RM_DYN`].
-    rm: u8,
+    pub(crate) rm: u8,
     /// `InstrClass::index()` of the source instruction.
-    class: u8,
+    pub(crate) class: u8,
     /// 1 iff this op can invalidate cached code (stores): only then does
     /// replay need to re-check the cache generation.
-    inval: u8,
-    imm: i32,
+    pub(crate) inval: u8,
+    pub(crate) imm: i32,
     /// Per-op payload: replicate-scalar flag for vector ops, base lane
     /// for `vfcpk`.
-    aux: u32,
-    pc: u32,
-    cycles: u64,
+    pub(crate) aux: u32,
+    pub(crate) pc: u32,
+    pub(crate) cycles: u64,
     /// The exact per-instruction energy the reference path would add.
-    energy: f64,
+    pub(crate) energy: f64,
 }
 
 /// Control transfer terminating a block. Branch direction is the one
 /// genuinely data-dependent cost, so taken/not-taken cycle+energy pairs
 /// are both pre-computed.
-enum TailKind {
+pub(crate) enum TailKind {
     Jal {
         rd: u8,
         target: u32,
@@ -118,15 +119,15 @@ enum TailKind {
     Ebreak,
 }
 
-struct Tail {
-    kind: TailKind,
-    pc: u32,
+pub(crate) struct Tail {
+    pub(crate) kind: TailKind,
+    pub(crate) pc: u32,
     /// Fall-through PC (`pc + len`); also the link value for jumps.
-    next: u32,
-    class: u8,
+    pub(crate) next: u32,
+    pub(crate) class: u8,
     /// Taken cycles for branches; fixed cost otherwise.
-    cycles: u64,
-    energy: f64,
+    pub(crate) cycles: u64,
+    pub(crate) energy: f64,
 }
 
 /// A lowered basic block: straight-line micro-ops plus an optional
@@ -166,7 +167,16 @@ pub(crate) struct BlockCache {
     /// after every micro-op so self-modifying code stops replay at the
     /// first possibly-stale op.
     gen: u64,
+    /// Leader PC of a block whose dispatch count just crossed the trace
+    /// promotion threshold; `Cpu::run` takes it and attempts trace
+    /// formation (see `trace.rs`).
+    promote: Option<u32>,
 }
+
+/// Dispatch count at which a block is (re-)nominated for trace promotion.
+/// Fires on every multiple so blocks killed by invalidation get
+/// re-promoted once they run hot again.
+const PROMOTE_EVERY: u64 = 32;
 
 impl BlockCache {
     pub(crate) fn new() -> BlockCache {
@@ -176,7 +186,12 @@ impl BlockCache {
             arena: Vec::new(),
             free: Vec::new(),
             gen: 0,
+            promote: None,
         }
+    }
+
+    pub(crate) fn take_promotion(&mut self) -> Option<u32> {
+        self.promote.take()
     }
 
     pub(crate) fn enabled(&self) -> bool {
@@ -329,7 +344,11 @@ pub(crate) fn dispatch(cpu: &mut Cpu, remaining: u64) -> Result<Dispatch, SimErr
         return Ok(Dispatch::Fallback);
     }
     entry.execs += 1;
+    let hot = entry.execs.is_multiple_of(PROMOTE_EVERY);
     let block = Arc::clone(&entry.block);
+    if hot {
+        cpu.blocks.promote = Some(pc);
+    }
     exec_block(cpu, &block)
 }
 
@@ -537,7 +556,7 @@ fn lower_block(cpu: &Cpu, leader: u32, leader_slot: usize) -> Option<Block> {
     })
 }
 
-fn lower_tail(cpu: &Cpu, pc: u32, instr: Instr, len: u32) -> Tail {
+pub(crate) fn lower_tail(cpu: &Cpu, pc: u32, instr: Instr, len: u32) -> Tail {
     let t = &cpu.config.timing;
     let class = instr.class().index() as u8;
     let e = |cycles: u64| {
@@ -609,7 +628,7 @@ fn lower_tail(cpu: &Cpu, pc: u32, instr: Instr, len: u32) -> Tail {
     }
 }
 
-enum Lowered {
+pub(crate) enum Lowered {
     Op(MicroOp),
     Trap(MicroOp),
 }
@@ -768,7 +787,7 @@ fn lower_rm(rm: Rm) -> u8 {
     }
 }
 
-fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
+pub(crate) fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
     let t = &cpu.config.timing;
     let mem_lat = cpu.config.mem_level.latency();
     let class = instr.class().index() as u8;
@@ -1075,6 +1094,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
             u.rs1 = rs1.num();
             u.rs2 = rs2.num();
             u.aux = u32::from(rep);
+            u.rm = RM_DYN;
             if fmt == FpFmt::S {
                 trap = true;
             } else {
@@ -1085,6 +1105,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
         Instr::VFSqrt { fmt, rd, rs1 } => {
             u.rd = rd.num();
             u.rs1 = rs1.num();
+            u.rm = RM_DYN;
             if fmt == FpFmt::S {
                 trap = true;
             } else {
@@ -1114,6 +1135,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
         Instr::VFCvtFF { dst, src, rd, rs1 } => {
             u.rd = rd.num();
             u.rs1 = rs1.num();
+            u.rm = RM_DYN;
             if dst.width() != src.width() || dst == FpFmt::S {
                 trap = true;
             } else {
@@ -1138,6 +1160,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
         } => {
             u.rd = rd.num();
             u.rs1 = rs1.num();
+            u.rm = RM_DYN;
             if fmt == FpFmt::S {
                 trap = true;
             } else {
@@ -1157,6 +1180,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
         } => {
             u.rd = rd.num();
             u.rs1 = rs1.num();
+            u.rm = RM_DYN;
             if fmt == FpFmt::S {
                 trap = true;
             } else {
@@ -1178,6 +1202,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
             u.rd = rd.num();
             u.rs1 = rs1.num();
             u.rs2 = rs2.num();
+            u.rm = RM_DYN;
             let base = match half {
                 CpkHalf::A => 0,
                 CpkHalf::B => 2,
@@ -1202,6 +1227,7 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
             u.rs1 = rs1.num();
             u.rs2 = rs2.num();
             u.aux = u32::from(rep);
+            u.rm = RM_DYN;
             if fmt == FpFmt::S {
                 trap = true;
             } else {
@@ -1231,12 +1257,12 @@ fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
 // ---------------------------------------------------------------------------
 
 #[inline(always)]
-fn xr(cpu: &Cpu, r: u8) -> u32 {
+pub(crate) fn xr(cpu: &Cpu, r: u8) -> u32 {
     cpu.x[(r & 31) as usize]
 }
 
 #[inline(always)]
-fn set_xr(cpu: &mut Cpu, r: u8, v: u32) {
+pub(crate) fn set_xr(cpu: &mut Cpu, r: u8, v: u32) {
     if r != 0 {
         cpu.x[(r & 31) as usize] = v;
     }
@@ -1263,7 +1289,7 @@ fn dyn_rm(cpu: &Cpu, pc: u32) -> Result<Rounding, SimError> {
 }
 
 #[inline(always)]
-fn uop_rm(cpu: &Cpu, u: &MicroOp) -> Result<Rounding, SimError> {
+pub(crate) fn uop_rm(cpu: &Cpu, u: &MicroOp) -> Result<Rounding, SimError> {
     if u.rm == RM_DYN {
         dyn_rm(cpu, u.pc)
     } else {
@@ -1287,7 +1313,7 @@ fn const_x(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     Ok(())
 }
 
-fn alu_ri<const OP: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn alu_ri<const OP: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let v = exec::alu(aluop_of(OP), xr(cpu, u.rs1), u.imm as u32);
     set_xr(cpu, u.rd, v);
     Ok(())
@@ -1324,7 +1350,7 @@ fn store_int<const BYTES: u32>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimErro
     Ok(())
 }
 
-fn load_fp<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn load_fp<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
     let addr = xr(cpu, u.rs1).wrapping_add(u.imm as u32);
     let raw = cpu.mem.load(addr, fmt.width() / 8)? as u64;
@@ -1393,7 +1419,7 @@ fn fminmax<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), 
     Ok(())
 }
 
-fn ffma<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn ffma<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
     let mut env = Env::new(uop_rm(cpu, u)?);
     let a = exec::unbox(cpu, fmt, freg(u.rs1));
@@ -1506,7 +1532,7 @@ fn fmulex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     Ok(())
 }
 
-fn fmacex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn fmacex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
     let mut env = Env::new(uop_rm(cpu, u)?);
     let a = exec::widen_to_s(fmt, exec::unbox(cpu, fmt, freg(u.rs1)));
@@ -1518,9 +1544,9 @@ fn fmacex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     Ok(())
 }
 
-fn vfop<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn vfop<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let va = fr(cpu, u.rs1);
     let vb = fr(cpu, u.rs2);
     let vd = fr(cpu, u.rd);
@@ -1539,7 +1565,7 @@ fn vfop<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), Sim
 
 fn vfsqrt<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let va = fr(cpu, u.rs1);
     let out = match fmt {
         FpFmt::H => batch::vsqrt2_f16(va, &mut env),
@@ -1572,7 +1598,7 @@ fn vfcmp<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), Si
 
 fn vfcvt_ff16<const DST: u8, const SRC: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let (dst, src) = (fmt_of(DST), fmt_of(SRC));
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let out = batch::vcvt2_ff(dst.format(), src.format(), fr(cpu, u.rs1), &mut env);
     set_fr(cpu, u.rd, out);
     cpu.fflags.set(env.flags);
@@ -1580,7 +1606,7 @@ fn vfcvt_ff16<const DST: u8, const SRC: u8>(cpu: &mut Cpu, u: &MicroOp) -> Resul
 }
 
 fn vfcvt_ff8(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let out = batch::vcvt4_ff(Format::BINARY8, Format::BINARY8, fr(cpu, u.rs1), &mut env);
     set_fr(cpu, u.rd, out);
     cpu.fflags.set(env.flags);
@@ -1589,7 +1615,7 @@ fn vfcvt_ff8(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
 
 fn vfcvt_xf<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let va = fr(cpu, u.rs1);
     let out = match fmt {
         FpFmt::H | FpFmt::Ah => batch::vcvt2_x_f(fmt.format(), va, SG == 1, &mut env),
@@ -1603,7 +1629,7 @@ fn vfcvt_xf<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(),
 
 fn vfcvt_fx<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let va = fr(cpu, u.rs1);
     let out = match fmt {
         FpFmt::H | FpFmt::Ah => batch::vcvt2_f_x(fmt.format(), va, SG == 1, &mut env),
@@ -1615,10 +1641,10 @@ fn vfcvt_fx<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(),
     Ok(())
 }
 
-fn vfcpk<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn vfcpk<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
     let w = fmt.width();
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let a = fast::cvt_f_f(
         fmt.format(),
         Format::BINARY32,
@@ -1640,9 +1666,9 @@ fn vfcpk<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     Ok(())
 }
 
-fn vfdotpex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+pub(crate) fn vfdotpex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let fmt = fmt_of(F);
-    let mut env = Env::new(dyn_rm(cpu, u.pc)?);
+    let mut env = Env::new(uop_rm(cpu, u)?);
     let va = fr(cpu, u.rs1);
     let vb = fr(cpu, u.rs2);
     let rep = u.aux != 0;

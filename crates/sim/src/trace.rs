@@ -1,0 +1,1545 @@
+//! Trace-level superblock engine: micro-op fusion and constant
+//! specialization on top of the basic-block cache.
+//!
+//! The block cache (`block.rs`) still pays a fixed dispatch tax per basic
+//! block: window sync, slot lookup, an `Arc` clone, a bulk stats commit
+//! and a tail transfer — for a 5-instruction GEMM inner loop that tax is
+//! on the order of the loop body itself. This module removes it the way
+//! trace-compiling simulators do:
+//!
+//! * **Superblock formation.** When a block's dispatch count crosses the
+//!   promotion threshold, lowering restarts at its leader and follows the
+//!   *predicted* path across control transfers — backward branches
+//!   predicted taken, forward branches not-taken, `jal` followed — until
+//!   the walk revisits a PC already in the trace. The revisit becomes an
+//!   internal zero-cost `Goto` back-edge, so a hot loop iterates entirely
+//!   inside one op array without re-entering dispatch.
+//! * **Micro-op fusion.** A peephole pass over the lowered stream fuses
+//!   compare+branch (an ALU op folded into the guard), load+op (`flw` +
+//!   `vfdotpex`/`vfmac`/`fmadd`/`fmacex`), `vfcpk` pack pairs and
+//!   adjacent ALU ops. Fused handlers call the monomorphized block
+//!   handlers *directly* (no function-pointer indirection), and per-fused
+//!   op costs are the exact per-constituent values committed in
+//!   retirement order, so `Stats` and `energy_pj` stay bit-identical.
+//! * **Constant specialization.** Immediates, operand indices and format
+//!   parameters are pre-resolved exactly as in block lowering; in
+//!   addition the *dynamic rounding mode* observed at formation time is
+//!   folded into each `RM_DYN` micro-op. A trace records the raw `frm` it
+//!   specialized against and dispatch re-checks it, which is sound
+//!   because CSR writes terminate formation — `frm` cannot change inside
+//!   a trace.
+//! * **Tiered promotion + invalidation.** Blocks promote to traces after
+//!   [`block`]-side hotness counting; traces die via their own generation
+//!   counter on byte-precise `invalidate_code` overlap (per-range, since
+//!   a superblock covers disjoint PC intervals), on the conservative
+//!   `mem_mut` flush, and on window resets (including snapshot restore).
+//!
+//! Bit-identity invariants mirror `block.rs`: `energy_pj` is added
+//! per-instruction in retirement order from a register-resident
+//! accumulator; `u64` counters commit in bulk at *checkpoints* (the
+//! back-edge and every exit) using either a precomputed steady-loop total
+//! or an on-the-fly walk of the retired segment; traps retire nothing and
+//! leave the PC at the trapping instruction; stores re-check the trace
+//! generation so self-modifying code aborts before executing a stale op.
+//!
+//! `SMALLFLOAT_NOTRACES=1` (or `Cpu::set_trace_cache(false)`) disables
+//! the tier for bisection; [`set_trace_override`] forces it globally for
+//! harnesses that cannot reach every thread-local `Cpu`.
+
+use crate::block::{self, Dispatch, Lowered, MicroOp, TailKind, RM_DYN};
+use crate::cpu::{Cpu, SimError};
+use crate::stats::HotBlock;
+use smallfloat_isa::{AluOp, BranchCond, FmaOp, FpFmt, Instr, VfOp};
+use smallfloat_softfp::Rounding;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+
+/// Longest op array formed for one trace (superblock cap).
+const MAX_TRACE_OPS: usize = 192;
+
+/// Slot-map sentinel: no trace formed at this leader yet.
+const SLOT_EMPTY: u32 = u32::MAX;
+/// Slot-map sentinel: formation declined; do not retry until the slot's
+/// bytes change.
+const SLOT_NO_TRACE: u32 = u32::MAX - 1;
+
+fn default_enabled() -> bool {
+    static NOTRACES: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    !*NOTRACES.get_or_init(|| std::env::var_os("SMALLFLOAT_NOTRACES").is_some_and(|v| v == "1"))
+}
+
+static TRACE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Process-wide override of the per-CPU trace-cache flag: `Some(on)`
+/// forces every `Cpu` in the process, `None` restores per-CPU control.
+/// Benchmarks and harnesses that run simulations on worker threads (e.g.
+/// thread-local CPUs inside the kernels runner) use this to A/B the trace
+/// tier without plumbing a flag through every layer.
+pub fn set_trace_override(force: Option<bool>) {
+    let v = match force {
+        None => 0,
+        Some(false) => 1,
+        Some(true) => 2,
+    };
+    TRACE_OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+fn trace_override() -> Option<bool> {
+    match TRACE_OVERRIDE.load(Ordering::Relaxed) {
+        1 => Some(false),
+        2 => Some(true),
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diagnostics
+// ---------------------------------------------------------------------------
+
+/// Number of [`FusionKind`] variants.
+pub const FUSION_KINDS: usize = 6;
+
+/// The fused-idiom classes the peephole recognizes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FusionKind {
+    /// ALU/load op folded into the following control transfer (branch
+    /// guard or resolved `jal`).
+    CmpBranch = 0,
+    /// FP load feeding a SIMD op (`flw` + `vfdotpex`/`vfmac`).
+    LoadVec = 1,
+    /// FP load feeding a scalar FMA (`fl*` + `fmadd`/`fmacex`).
+    LoadFp = 2,
+    /// Adjacent `vfcpk` lane packs.
+    VecPack = 3,
+    /// Adjacent integer ALU ops (pointer/counter bumps); an inline run
+    /// of `n` add-immediates counts as `n - 1` hits.
+    AluPair = 4,
+    /// Any other adjacent trap-ordered pair (mixed load/ALU/FP): executed
+    /// by the generic two-call handler, which still halves dispatch-loop
+    /// iterations.
+    Other = 5,
+}
+
+impl FusionKind {
+    /// All kinds, indexable by `kind as usize`.
+    pub const ALL: [FusionKind; FUSION_KINDS] = [
+        FusionKind::CmpBranch,
+        FusionKind::LoadVec,
+        FusionKind::LoadFp,
+        FusionKind::VecPack,
+        FusionKind::AluPair,
+        FusionKind::Other,
+    ];
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            FusionKind::CmpBranch => "op+branch",
+            FusionKind::LoadVec => "load+vec",
+            FusionKind::LoadFp => "load+fma",
+            FusionKind::VecPack => "cpk-pair",
+            FusionKind::AluPair => "alu-pair",
+            FusionKind::Other => "other-pair",
+        }
+    }
+}
+
+/// Trace-tier diagnostics, kept *outside* [`crate::Stats`] so engine
+/// tiers stay `Stats`-identical. Cleared with the statistics
+/// (`Cpu::reset` / `Cpu::reset_stats`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Hot blocks nominated for trace formation.
+    pub promotions: u64,
+    /// Traces successfully formed and installed.
+    pub formed: u64,
+    /// Formation attempts rejected (no loop/branch crossed, too short).
+    pub rejected: u64,
+    /// Traces killed by code invalidation.
+    pub invalidated: u64,
+    /// Trace dispatches (entries into the trace executor).
+    pub execs: u64,
+    /// Instructions retired from inside traces.
+    pub retired: u64,
+    /// Fused ops created at formation, by [`FusionKind`].
+    pub fusions_formed: [u64; FUSION_KINDS],
+    /// Fused ops executed, by [`FusionKind`].
+    pub fusion_hits: [u64; FUSION_KINDS],
+}
+
+impl TraceStats {
+    /// Fraction of `instret` retired from inside traces.
+    pub fn coverage(&self, instret: u64) -> f64 {
+        if instret == 0 {
+            0.0
+        } else {
+            self.retired as f64 / instret as f64
+        }
+    }
+
+    /// Total dynamic fused-op executions.
+    pub fn fusion_hits_total(&self) -> u64 {
+        self.fusion_hits.iter().sum()
+    }
+
+    /// Render the diagnostics as a short report.
+    pub fn report(&self, instret: u64) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "traces: {} formed / {} promoted ({} rejected, {} invalidated)",
+            self.formed, self.promotions, self.rejected, self.invalidated
+        );
+        let _ = writeln!(
+            out,
+            "  execs: {}  retired-in-trace: {} ({:.1}% coverage)",
+            self.execs,
+            self.retired,
+            100.0 * self.coverage(instret)
+        );
+        for k in FusionKind::ALL {
+            let i = k as usize;
+            if self.fusions_formed[i] > 0 || self.fusion_hits[i] > 0 {
+                let _ = writeln!(
+                    out,
+                    "  fusion {:>10}: {:>4} formed  {:>12} hits",
+                    k.label(),
+                    self.fusions_formed[i],
+                    self.fusion_hits[i]
+                );
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace IR
+// ---------------------------------------------------------------------------
+
+type PairFn = fn(&mut Cpu, &PairOp) -> PairOut;
+
+/// Outcome of a fused pair: both constituents retired, or a trap in one
+/// of them (the first constituent retires before a second-leg trap,
+/// exactly as on the reference path).
+enum PairOut {
+    Ok,
+    TrapA(SimError),
+    TrapB(SimError),
+}
+
+/// Two fused micro-ops executed by one handler call.
+struct PairOp {
+    run: PairFn,
+    a: MicroOp,
+    b: MicroOp,
+    kind: u8,
+}
+
+/// Sentinel for [`GuardOp::goto_to`]: the guard is not a merged loop
+/// back-edge.
+const GOTO_NONE: u32 = u32::MAX;
+
+/// A conditional branch inside a trace, with its predicted direction.
+/// Staying on-trace costs the predicted direction's cycles/energy; the
+/// other direction exits the trace at `off_pc` with the other cost.
+struct GuardOp {
+    /// Optional ALU/load op fused into the guard (compare+branch idiom).
+    pre: Option<MicroOp>,
+    cond: BranchCond,
+    rs1: u8,
+    rs2: u8,
+    expect_taken: bool,
+    class: u8,
+    /// On-trace successor when it is the trace's loop back-edge
+    /// ([`GOTO_NONE`] otherwise): the guard runs the `Goto` checkpoint
+    /// inline, saving one dispatch step per loop iteration.
+    goto_to: u32,
+    pc: u32,
+    off_pc: u32,
+    on_cycles: u64,
+    off_cycles: u64,
+    on_energy: f64,
+    off_energy: f64,
+}
+
+/// A `jal` resolved inside the trace: link + cost, then fall through to
+/// the next op (formation continued lowering at the jump target).
+struct JumpOp {
+    /// Optional ALU/load op fused into the jump (loop-bump idiom).
+    pre: Option<MicroOp>,
+    pc: u32,
+    rd: u8,
+    link: u32,
+    class: u8,
+    cycles: u64,
+    energy: f64,
+}
+
+enum TraceOp {
+    /// Plain lowered instruction, identical to the block tier's.
+    Op(MicroOp),
+    /// Fused pair.
+    Pair(PairOp),
+    /// Run of ≥ 2 consecutive `addi`-shaped ops (pointer/counter bumps),
+    /// executed inline by the trace loop: no dispatch step and no
+    /// indirect call per constituent. Add-immediates are trap-free and
+    /// store-free, so the run has no exit paths of its own.
+    Chain(Box<[MicroOp]>),
+    /// Conditional branch with a predicted on-trace direction.
+    Guard(GuardOp),
+    /// Unconditional jump resolved into the trace.
+    Jump(JumpOp),
+    /// Loop-closing back-edge: a zero-cost internal transfer to an
+    /// earlier op (the next PC was already lowered into this trace).
+    /// Also the bulk-commit checkpoint and budget re-check point.
+    Goto(u32),
+    /// Leave the trace with the PC set to the first un-lowered
+    /// instruction (indirect jump, CSR, ecall/ebreak, window edge, cap).
+    Exit(u32),
+}
+
+/// Precomputed retirement totals of the steady loop segment
+/// `[start, end)` — the associative parts of one loop iteration,
+/// committed in O(1) at each back-edge crossing.
+struct SegTotals {
+    start: u32,
+    end: u32,
+    retired: u64,
+    cycles: u64,
+    class: Box<[(u8, u32, u64)]>,
+    fusion: [u32; FUSION_KINDS],
+}
+
+/// A formed trace.
+struct Trace {
+    /// Byte ranges of every lowered source instruction (merged); the
+    /// byte-precise invalidation footprint.
+    ranges: Vec<(u32, u32)>,
+    ops: Box<[TraceOp]>,
+    /// Upper bound on instructions retired between two checkpoints; the
+    /// instruction-budget entry/continue condition.
+    max_linear: u64,
+    /// Raw `fcsr.frm` the trace's `RM_DYN` ops were specialized against;
+    /// dispatch falls back to the block tier when it differs.
+    frm_expect: u8,
+    /// Steady-loop totals for the (single) back-edge, if any.
+    steady: Option<SegTotals>,
+    /// Fused ops created at formation, by kind.
+    fusions_formed: [u32; FUSION_KINDS],
+}
+
+struct Entry {
+    trace: Arc<Trace>,
+    execs: u64,
+    leader_slot: usize,
+    start: u32,
+    end: u32,
+}
+
+/// Reusable formation scratch. Workloads that reload program text re-form
+/// their traces on every load, so formation cost is itself hot: the
+/// visited table is epoch-stamped instead of cleared, making each
+/// formation O(path length) rather than O(window).
+#[derive(Default)]
+struct FormScratch {
+    /// Per-predecode-slot `(epoch, raw index)`; valid iff `.0` equals the
+    /// current epoch.
+    seen: Vec<(u32, u32)>,
+    epoch: u32,
+}
+
+impl FormScratch {
+    /// Start a formation pass: bump the epoch (lazily invalidating every
+    /// stale entry) and make sure the table covers the window.
+    fn begin(&mut self, slots: usize) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrap: physically clear once every 2^32 formations.
+            self.seen.iter_mut().for_each(|e| *e = (0, 0));
+            self.epoch = 1;
+        }
+        if self.seen.len() < slots {
+            self.seen.resize(slots, (0, 0));
+        }
+    }
+
+    fn get(&self, slot: usize) -> Option<u32> {
+        match self.seen.get(slot) {
+            Some(&(e, idx)) if e == self.epoch => Some(idx),
+            _ => None,
+        }
+    }
+
+    fn set(&mut self, slot: usize, idx: u32) {
+        self.seen[slot] = (self.epoch, idx);
+    }
+}
+
+/// The per-CPU trace cache: a slot map parallel to the predecode window
+/// into an arena of traces, mirroring [`block::BlockCache`].
+pub(crate) struct TraceCache {
+    enabled: bool,
+    slots: Vec<u32>,
+    arena: Vec<Option<Entry>>,
+    free: Vec<u32>,
+    /// Bumped whenever any trace is killed; executing traces compare it
+    /// after stores so self-modifying code aborts before a stale op.
+    pub(crate) gen: u64,
+    pub(crate) rstats: TraceStats,
+    form: FormScratch,
+}
+
+impl TraceCache {
+    pub(crate) fn new() -> TraceCache {
+        TraceCache {
+            enabled: default_enabled(),
+            slots: Vec::new(),
+            arena: Vec::new(),
+            free: Vec::new(),
+            gen: 0,
+            rstats: TraceStats::default(),
+            form: FormScratch::default(),
+        }
+    }
+
+    pub(crate) fn enabled_flag(&self) -> bool {
+        self.enabled
+    }
+
+    /// The effective enablement: the process-wide override, if set, wins
+    /// over the per-CPU flag.
+    pub(crate) fn effective_enabled(&self) -> bool {
+        trace_override().unwrap_or(self.enabled)
+    }
+
+    pub(crate) fn set_enabled(&mut self, on: bool) {
+        self.enabled = on;
+        self.flush();
+    }
+
+    /// Rebuild the slot map for a predecode window of `slots` half-words,
+    /// dropping every trace.
+    pub(crate) fn reset_window(&mut self, slots: usize) {
+        self.arena.clear();
+        self.free.clear();
+        self.slots.clear();
+        self.slots.resize(slots, SLOT_EMPTY);
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// Drop every trace, keeping the window geometry.
+    pub(crate) fn flush(&mut self) {
+        self.arena.clear();
+        self.free.clear();
+        self.slots.iter_mut().for_each(|s| *s = SLOT_EMPTY);
+        self.gen = self.gen.wrapping_add(1);
+    }
+
+    /// A refilled predecode slot may unlock formation that previously
+    /// declined.
+    pub(crate) fn slot_refilled(&mut self, slot: usize) {
+        if let Some(s) = self.slots.get_mut(slot) {
+            if *s == SLOT_NO_TRACE {
+                *s = SLOT_EMPTY;
+            }
+        }
+    }
+
+    /// Kill every trace whose lowered instruction bytes overlap
+    /// `[lo, hi)` — checked per disjoint range, since a superblock covers
+    /// non-contiguous PC intervals.
+    pub(crate) fn invalidate_bytes(&mut self, lo: u32, hi: u32) {
+        if lo >= hi {
+            return;
+        }
+        for idx in 0..self.arena.len() {
+            let overlaps = match &self.arena[idx] {
+                Some(e) => e.trace.ranges.iter().any(|&(a, b)| a < hi && b > lo),
+                None => false,
+            };
+            if overlaps {
+                self.kill(idx);
+            }
+        }
+    }
+
+    fn kill(&mut self, idx: usize) {
+        if let Some(e) = self.arena[idx].take() {
+            if let Some(s) = self.slots.get_mut(e.leader_slot) {
+                *s = SLOT_EMPTY;
+            }
+            self.free.push(idx as u32);
+            self.gen = self.gen.wrapping_add(1);
+            self.rstats.invalidated += 1;
+        }
+    }
+
+    fn install(&mut self, slot: usize, leader: u32, trace: Trace) {
+        let end = trace.ranges.iter().map(|&(_, b)| b).max().unwrap_or(leader);
+        let entry = Entry {
+            trace: Arc::new(trace),
+            execs: 0,
+            leader_slot: slot,
+            start: leader,
+            end,
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.arena[i as usize] = Some(entry);
+                i
+            }
+            None => {
+                self.arena.push(Some(entry));
+                (self.arena.len() - 1) as u32
+            }
+        };
+        self.slots[slot] = idx;
+    }
+
+    /// Top-`n` live traces by entry count (reported through the
+    /// [`HotBlock`] shape: `instrs` is the per-pass retirement bound).
+    pub(crate) fn hot(&self, n: usize) -> Vec<HotBlock> {
+        let mut v: Vec<HotBlock> = self
+            .arena
+            .iter()
+            .flatten()
+            .filter(|e| e.execs > 0)
+            .map(|e| HotBlock {
+                start: e.start,
+                end: e.end,
+                instrs: e.trace.max_linear as u32,
+                execs: e.execs,
+            })
+            .collect();
+        v.sort_by(|a, b| {
+            b.dynamic_instrs()
+                .cmp(&a.dynamic_instrs())
+                .then(a.start.cmp(&b.start))
+        });
+        v.truncate(n);
+        v
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch + execution
+// ---------------------------------------------------------------------------
+
+/// Try to execute the trace anchored at the current PC.
+pub(crate) fn dispatch(cpu: &mut Cpu, remaining: u64) -> Result<Dispatch, SimError> {
+    let pc = cpu.pc;
+    if pc & 1 != 0 {
+        return Ok(Dispatch::Fallback);
+    }
+    let slot = (pc.wrapping_sub(cpu.pred_base) >> 1) as usize;
+    let idx = match cpu.traces.slots.get(slot) {
+        Some(&t) if t != SLOT_EMPTY && t != SLOT_NO_TRACE => t,
+        _ => return Ok(Dispatch::Fallback),
+    };
+    let entry = cpu.traces.arena[idx as usize]
+        .as_mut()
+        .expect("slot map points at a live trace");
+    // Constant-specialization guard (rounding mode changed between runs)
+    // and instruction-budget guard: both fall back to the block tier,
+    // whose semantics are budget-exact.
+    if entry.trace.frm_expect != cpu.frm_raw || entry.trace.max_linear > remaining {
+        return Ok(Dispatch::Fallback);
+    }
+    entry.execs += 1;
+    let trace = Arc::clone(&entry.trace);
+    cpu.traces.rstats.execs += 1;
+    exec_trace(cpu, &trace, remaining)
+}
+
+/// PC of the instruction an op index resolves to (following one `Goto`).
+fn op_pc(tr: &Trace, idx: usize) -> u32 {
+    fn direct(op: &TraceOp) -> u32 {
+        match op {
+            TraceOp::Op(u) => u.pc,
+            TraceOp::Pair(p) => p.a.pc,
+            TraceOp::Chain(c) => c[0].pc,
+            TraceOp::Guard(g) => g.pre.as_ref().map_or(g.pc, |p| p.pc),
+            TraceOp::Jump(j) => j.pre.as_ref().map_or(j.pc, |p| p.pc),
+            TraceOp::Exit(pc) => *pc,
+            TraceOp::Goto(_) => unreachable!("goto targets a real op"),
+        }
+    }
+    match &tr.ops[idx] {
+        TraceOp::Goto(t) => direct(&tr.ops[*t as usize]),
+        op => direct(op),
+    }
+}
+
+/// Bulk-commit the associative accounting of executed ops `[s, e)` by
+/// walking them; per-op energy was already added in retirement order.
+/// Returns the instructions retired.
+fn walk_commit(cpu: &mut Cpu, tr: &Trace, s: usize, e: usize) -> u64 {
+    let mut retired = 0u64;
+    let mut cycles = 0u64;
+    for op in &tr.ops[s..e] {
+        match op {
+            TraceOp::Op(u) => {
+                cpu.stats.bulk_count(u.class as usize, 1, u.cycles);
+                cycles += u.cycles;
+                retired += 1;
+            }
+            TraceOp::Pair(p) => {
+                cpu.stats.bulk_count(p.a.class as usize, 1, p.a.cycles);
+                cpu.stats.bulk_count(p.b.class as usize, 1, p.b.cycles);
+                cycles += p.a.cycles + p.b.cycles;
+                retired += 2;
+                cpu.traces.rstats.fusion_hits[p.kind as usize] += 1;
+            }
+            TraceOp::Chain(c) => {
+                for u in c.iter() {
+                    cpu.stats.bulk_count(u.class as usize, 1, u.cycles);
+                    cycles += u.cycles;
+                }
+                retired += c.len() as u64;
+                cpu.traces.rstats.fusion_hits[FusionKind::AluPair as usize] += c.len() as u64 - 1;
+            }
+            TraceOp::Guard(g) => {
+                if let Some(pre) = &g.pre {
+                    cpu.stats.bulk_count(pre.class as usize, 1, pre.cycles);
+                    cycles += pre.cycles;
+                    retired += 1;
+                    cpu.traces.rstats.fusion_hits[FusionKind::CmpBranch as usize] += 1;
+                }
+                cpu.stats.bulk_count(g.class as usize, 1, g.on_cycles);
+                cycles += g.on_cycles;
+                retired += 1;
+            }
+            TraceOp::Jump(j) => {
+                if let Some(pre) = &j.pre {
+                    cpu.stats.bulk_count(pre.class as usize, 1, pre.cycles);
+                    cycles += pre.cycles;
+                    retired += 1;
+                    cpu.traces.rstats.fusion_hits[FusionKind::CmpBranch as usize] += 1;
+                }
+                cpu.stats.bulk_count(j.class as usize, 1, j.cycles);
+                cycles += j.cycles;
+                retired += 1;
+            }
+            TraceOp::Goto(_) | TraceOp::Exit(_) => {}
+        }
+    }
+    cpu.stats.instret += retired;
+    cpu.stats.cycles += cycles;
+    retired
+}
+
+/// Commit `rounds` deferred steady-loop segments in one multiplied bulk
+/// add — every counter is a `u64` sum, so `n` identical segment commits
+/// equal one commit of `n×` the totals (per-op energy was already added
+/// in retirement order as the rounds executed).
+fn flush_steady(cpu: &mut Cpu, tr: &Trace, rounds: u64) {
+    if rounds == 0 {
+        return;
+    }
+    let t = tr
+        .steady
+        .as_ref()
+        .expect("deferred rounds only accumulate against steady totals");
+    cpu.stats.instret += t.retired * rounds;
+    cpu.stats.cycles += t.cycles * rounds;
+    for &(c, n, cy) in t.class.iter() {
+        cpu.stats
+            .bulk_count(c as usize, u64::from(n) * rounds, cy * rounds);
+    }
+    for k in 0..FUSION_KINDS {
+        cpu.traces.rstats.fusion_hits[k] += u64::from(t.fusion[k]) * rounds;
+    }
+}
+
+fn exec_trace(cpu: &mut Cpu, tr: &Trace, remaining: u64) -> Result<Dispatch, SimError> {
+    let gen0 = cpu.traces.gen;
+    // As in `exec_block`: the f64 energy accumulator stays in a local so
+    // the add sequence (and every rounding) is exactly the reference
+    // path's, flushed at each exit.
+    let mut energy = cpu.stats.energy_pj;
+    let mut i: usize = 0;
+    let mut path_start: usize = 0;
+    // Instructions committed (or deferred as steady rounds) at earlier
+    // checkpoints this entry.
+    let mut committed: u64 = 0;
+    // Steady-loop segments whose bulk commit is deferred: each is the
+    // identical `SegTotals`, so `n` rounds commit as one multiplied add
+    // at whichever exit ends the entry (`flush_steady`).
+    let mut rounds: u64 = 0;
+    loop {
+        match &tr.ops[i] {
+            TraceOp::Op(u) => {
+                if let Err(trap) = (u.run)(cpu, u) {
+                    cpu.stats.energy_pj = energy;
+                    flush_steady(cpu, tr, rounds);
+                    let r = walk_commit(cpu, tr, path_start, i);
+                    cpu.traces.rstats.retired += committed + r;
+                    cpu.pc = u.pc;
+                    return Err(trap);
+                }
+                energy += u.energy;
+                if u.inval != 0 && cpu.traces.gen != gen0 {
+                    // The store invalidated some trace (possibly this
+                    // one): commit what ran and resume on fresh state.
+                    cpu.stats.energy_pj = energy;
+                    flush_steady(cpu, tr, rounds);
+                    let r = walk_commit(cpu, tr, path_start, i + 1);
+                    cpu.traces.rstats.retired += committed + r;
+                    cpu.pc = op_pc(tr, i + 1);
+                    return Ok(Dispatch::Done);
+                }
+                i += 1;
+            }
+            TraceOp::Pair(p) => match (p.run)(cpu, p) {
+                PairOut::Ok => {
+                    energy += p.a.energy;
+                    energy += p.b.energy;
+                    i += 1;
+                }
+                PairOut::TrapA(trap) => {
+                    cpu.stats.energy_pj = energy;
+                    flush_steady(cpu, tr, rounds);
+                    let r = walk_commit(cpu, tr, path_start, i);
+                    cpu.traces.rstats.retired += committed + r;
+                    cpu.pc = p.a.pc;
+                    return Err(trap);
+                }
+                PairOut::TrapB(trap) => {
+                    // The first constituent retired; the second did not.
+                    energy += p.a.energy;
+                    cpu.stats.energy_pj = energy;
+                    flush_steady(cpu, tr, rounds);
+                    let r = walk_commit(cpu, tr, path_start, i);
+                    cpu.stats.bulk_count(p.a.class as usize, 1, p.a.cycles);
+                    cpu.stats.instret += 1;
+                    cpu.stats.cycles += p.a.cycles;
+                    cpu.traces.rstats.retired += committed + r + 1;
+                    cpu.pc = p.b.pc;
+                    return Err(trap);
+                }
+            },
+            TraceOp::Chain(c) => {
+                for u in c.iter() {
+                    let v = block::xr(cpu, u.rs1).wrapping_add(u.imm as u32);
+                    block::set_xr(cpu, u.rd, v);
+                    energy += u.energy;
+                }
+                i += 1;
+            }
+            TraceOp::Guard(g) => {
+                if let Some(pre) = &g.pre {
+                    if let Err(trap) = (pre.run)(cpu, pre) {
+                        cpu.stats.energy_pj = energy;
+                        flush_steady(cpu, tr, rounds);
+                        let r = walk_commit(cpu, tr, path_start, i);
+                        cpu.traces.rstats.retired += committed + r;
+                        cpu.pc = pre.pc;
+                        return Err(trap);
+                    }
+                    energy += pre.energy;
+                }
+                let a = block::xr(cpu, g.rs1);
+                let b = block::xr(cpu, g.rs2);
+                let taken = match g.cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lt => (a as i32) < (b as i32),
+                    BranchCond::Ge => (a as i32) >= (b as i32),
+                    BranchCond::Ltu => a < b,
+                    BranchCond::Geu => a >= b,
+                };
+                if taken == g.expect_taken {
+                    energy += g.on_energy;
+                    if g.goto_to == GOTO_NONE {
+                        i += 1;
+                    } else {
+                        // Merged loop back-edge: this guard's on-trace
+                        // successor is the trace's `Goto`, so run the
+                        // checkpoint inline instead of dispatching it.
+                        // The segment end `i + 1` (past this guard) is
+                        // exactly the `Goto`'s op index, matching the
+                        // precomputed steady totals.
+                        match &tr.steady {
+                            Some(st)
+                                if st.start as usize == path_start && st.end as usize == i + 1 =>
+                            {
+                                rounds += 1;
+                                committed += st.retired;
+                            }
+                            _ => committed += walk_commit(cpu, tr, path_start, i + 1),
+                        }
+                        if remaining - committed < tr.max_linear {
+                            cpu.stats.energy_pj = energy;
+                            flush_steady(cpu, tr, rounds);
+                            cpu.traces.rstats.retired += committed;
+                            cpu.pc = op_pc(tr, g.goto_to as usize);
+                            return Ok(Dispatch::Done);
+                        }
+                        i = g.goto_to as usize;
+                        path_start = i;
+                    }
+                } else {
+                    // Off-trace exit: the branch itself (and any fused
+                    // pre-op) retires with the other direction's cost.
+                    energy += g.off_energy;
+                    cpu.stats.energy_pj = energy;
+                    flush_steady(cpu, tr, rounds);
+                    let prefix = walk_commit(cpu, tr, path_start, i);
+                    let mut extra = 0u64;
+                    if let Some(pre) = &g.pre {
+                        cpu.stats.bulk_count(pre.class as usize, 1, pre.cycles);
+                        cpu.stats.cycles += pre.cycles;
+                        extra += 1;
+                        cpu.traces.rstats.fusion_hits[FusionKind::CmpBranch as usize] += 1;
+                    }
+                    cpu.stats.bulk_count(g.class as usize, 1, g.off_cycles);
+                    cpu.stats.cycles += g.off_cycles;
+                    extra += 1;
+                    cpu.stats.instret += extra;
+                    cpu.traces.rstats.retired += committed + prefix + extra;
+                    cpu.pc = g.off_pc;
+                    return Ok(Dispatch::Done);
+                }
+            }
+            TraceOp::Jump(j) => {
+                if let Some(pre) = &j.pre {
+                    if let Err(trap) = (pre.run)(cpu, pre) {
+                        cpu.stats.energy_pj = energy;
+                        flush_steady(cpu, tr, rounds);
+                        let r = walk_commit(cpu, tr, path_start, i);
+                        cpu.traces.rstats.retired += committed + r;
+                        cpu.pc = pre.pc;
+                        return Err(trap);
+                    }
+                    energy += pre.energy;
+                }
+                block::set_xr(cpu, j.rd, j.link);
+                energy += j.energy;
+                i += 1;
+            }
+            TraceOp::Goto(t) => {
+                // Checkpoint: account the completed segment — deferred as
+                // one more steady round when it matches the precomputed
+                // totals, bulk-committed by walking otherwise — re-check
+                // the instruction budget, and loop without re-dispatching.
+                match &tr.steady {
+                    Some(st) if st.start as usize == path_start && st.end as usize == i => {
+                        rounds += 1;
+                        committed += st.retired;
+                    }
+                    _ => committed += walk_commit(cpu, tr, path_start, i),
+                }
+                if remaining - committed < tr.max_linear {
+                    cpu.stats.energy_pj = energy;
+                    flush_steady(cpu, tr, rounds);
+                    cpu.traces.rstats.retired += committed;
+                    cpu.pc = op_pc(tr, *t as usize);
+                    return Ok(Dispatch::Done);
+                }
+                i = *t as usize;
+                path_start = i;
+            }
+            TraceOp::Exit(pc) => {
+                cpu.stats.energy_pj = energy;
+                flush_steady(cpu, tr, rounds);
+                let r = walk_commit(cpu, tr, path_start, i);
+                cpu.traces.rstats.retired += committed + r;
+                cpu.pc = *pc;
+                return Ok(Dispatch::Done);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fused handlers
+// ---------------------------------------------------------------------------
+
+/// Fallback fused executor: two indirect constituent calls (still saves
+/// the dispatch-loop iteration between them).
+fn pair_generic(cpu: &mut Cpu, p: &PairOp) -> PairOut {
+    if let Err(e) = (p.a.run)(cpu, &p.a) {
+        return PairOut::TrapA(e);
+    }
+    match (p.b.run)(cpu, &p.b) {
+        Ok(()) => PairOut::Ok,
+        Err(e) => PairOut::TrapB(e),
+    }
+}
+
+/// Two add-immediates (pointer/counter bumps): branch-free, trap-free.
+fn fused_addi_addi(cpu: &mut Cpu, p: &PairOp) -> PairOut {
+    let v = block::xr(cpu, p.a.rs1).wrapping_add(p.a.imm as u32);
+    block::set_xr(cpu, p.a.rd, v);
+    let v = block::xr(cpu, p.b.rs1).wrapping_add(p.b.imm as u32);
+    block::set_xr(cpu, p.b.rd, v);
+    PairOut::Ok
+}
+
+macro_rules! fused2 {
+    ($name:ident, $a:path, $b:path) => {
+        fn $name(cpu: &mut Cpu, p: &PairOp) -> PairOut {
+            if let Err(e) = $a(cpu, &p.a) {
+                return PairOut::TrapA(e);
+            }
+            match $b(cpu, &p.b) {
+                Ok(()) => PairOut::Ok,
+                Err(e) => PairOut::TrapB(e),
+            }
+        }
+    };
+}
+
+const S: u8 = FpFmt::S as u8;
+const AH: u8 = FpFmt::Ah as u8;
+const H: u8 = FpFmt::H as u8;
+const B: u8 = FpFmt::B as u8;
+const MAC: u8 = VfOp::Mac as u8;
+const MADD: u8 = FmaOp::Madd as u8;
+
+fused2!(flw_dotp_ah, block::load_fp::<S>, block::vfdotpex::<AH>);
+fused2!(flw_dotp_h, block::load_fp::<S>, block::vfdotpex::<H>);
+fused2!(flw_dotp_b, block::load_fp::<S>, block::vfdotpex::<B>);
+fused2!(flw_mac_ah, block::load_fp::<S>, block::vfop::<MAC, AH>);
+fused2!(flw_mac_h, block::load_fp::<S>, block::vfop::<MAC, H>);
+fused2!(flw_mac_b, block::load_fp::<S>, block::vfop::<MAC, B>);
+fused2!(fl_fmadd_s, block::load_fp::<S>, block::ffma::<MADD, S>);
+fused2!(fl_fmadd_ah, block::load_fp::<AH>, block::ffma::<MADD, AH>);
+fused2!(fl_fmadd_h, block::load_fp::<H>, block::ffma::<MADD, H>);
+fused2!(fl_fmadd_b, block::load_fp::<B>, block::ffma::<MADD, B>);
+fused2!(fl_macex_s, block::load_fp::<S>, block::fmacex::<S>);
+fused2!(fl_macex_ah, block::load_fp::<AH>, block::fmacex::<AH>);
+fused2!(fl_macex_h, block::load_fp::<H>, block::fmacex::<H>);
+fused2!(fl_macex_b, block::load_fp::<B>, block::fmacex::<B>);
+fused2!(cpk_cpk_ah, block::vfcpk::<AH>, block::vfcpk::<AH>);
+fused2!(cpk_cpk_h, block::vfcpk::<H>, block::vfcpk::<H>);
+fused2!(cpk_cpk_b, block::vfcpk::<B>, block::vfcpk::<B>);
+
+// ---------------------------------------------------------------------------
+// Formation
+// ---------------------------------------------------------------------------
+
+/// Fusion-relevant shape of a lowered op, derived from the source
+/// instruction at formation time.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Tag {
+    /// `addi`-shaped (reg + imm, trap-free).
+    AddI,
+    /// Any other integer ALU op.
+    Alu,
+    /// FP load of the given format.
+    LoadFp(FpFmt),
+    /// `vfdotpex` of the given format.
+    VecDotp(FpFmt),
+    /// `vfmac` of the given format.
+    VecMac(FpFmt),
+    /// Scalar `fmadd` of the given format.
+    FmaMadd(FpFmt),
+    /// `fmacex` of the given format.
+    MacEx(FpFmt),
+    /// `vfcpk` of the given format.
+    Cpk(FpFmt),
+    /// Any other fusable op (pure computation or load).
+    Fusable,
+    /// Never fused: stores (generation re-check must stay per-op) and
+    /// statically-trapping ops.
+    Barrier,
+}
+
+fn tag_of(instr: &Instr) -> Tag {
+    match instr {
+        Instr::OpImm { op: AluOp::Add, .. } => Tag::AddI,
+        Instr::OpImm { .. } | Instr::Op { .. } | Instr::Lui { .. } | Instr::Auipc { .. } => {
+            Tag::Alu
+        }
+        Instr::FLoad { fmt, .. } => Tag::LoadFp(*fmt),
+        Instr::VFDotpEx { fmt, .. } => Tag::VecDotp(*fmt),
+        Instr::VFOp {
+            op: VfOp::Mac, fmt, ..
+        } => Tag::VecMac(*fmt),
+        Instr::FFma {
+            op: FmaOp::Madd,
+            fmt,
+            ..
+        } => Tag::FmaMadd(*fmt),
+        Instr::FMacEx { fmt, .. } => Tag::MacEx(*fmt),
+        Instr::VFCpk { fmt, .. } => Tag::Cpk(*fmt),
+        Instr::Store { .. } | Instr::FStore { .. } => Tag::Barrier,
+        _ => Tag::Fusable,
+    }
+}
+
+/// Select the fused handler and kind for an adjacent op pair, or `None`
+/// when fusing would not pay.
+fn select_pair(ta: Tag, tb: Tag) -> Option<(PairFn, FusionKind)> {
+    use FpFmt::*;
+    let f = match (ta, tb) {
+        (Tag::LoadFp(S), Tag::VecDotp(vf)) => match vf {
+            Ah => flw_dotp_ah,
+            H => flw_dotp_h,
+            B => flw_dotp_b,
+            S => return None,
+        },
+        (Tag::LoadFp(S), Tag::VecMac(vf)) => match vf {
+            Ah => flw_mac_ah,
+            H => flw_mac_h,
+            B => flw_mac_b,
+            S => return None,
+        },
+        (Tag::LoadFp(lf), Tag::FmaMadd(ff)) if lf == ff => match ff {
+            S => fl_fmadd_s,
+            Ah => fl_fmadd_ah,
+            H => fl_fmadd_h,
+            B => fl_fmadd_b,
+        },
+        (Tag::LoadFp(lf), Tag::MacEx(ff)) if lf == ff => match ff {
+            S => fl_macex_s,
+            Ah => fl_macex_ah,
+            H => fl_macex_h,
+            B => fl_macex_b,
+        },
+        (Tag::Cpk(fa), Tag::Cpk(fb)) if fa == fb => match fa {
+            Ah => cpk_cpk_ah,
+            H => cpk_cpk_h,
+            B => cpk_cpk_b,
+            S => return None,
+        },
+        (Tag::AddI, Tag::AddI) => fused_addi_addi,
+        // Any other adjacent straight-line pair fuses through the generic
+        // two-op handler: no specialized kernel, but one trace-op step
+        // instead of two (the caller has already excluded barriers,
+        // stores, and join targets).
+        _ => pair_generic,
+    };
+    let kind = match (ta, tb) {
+        (_, Tag::VecDotp(_) | Tag::VecMac(_)) => FusionKind::LoadVec,
+        (_, Tag::FmaMadd(_) | Tag::MacEx(_)) => FusionKind::LoadFp,
+        (Tag::Cpk(_), Tag::Cpk(_)) => FusionKind::VecPack,
+        (Tag::AddI | Tag::Alu, Tag::AddI | Tag::Alu) => FusionKind::AluPair,
+        _ => FusionKind::Other,
+    };
+    Some((f, kind))
+}
+
+/// A fusion opportunity at one raw-op position: fold the op into the
+/// following guard or jump, or pair it with the following straight-line
+/// op.
+enum Plan {
+    FoldGuard,
+    FoldJump,
+    Pair(PairFn, FusionKind),
+}
+
+impl Plan {
+    /// Specialized fusions (rank 2) beat generic pairing (rank 1): the
+    /// one-step lookahead in the fusion pass skips a generic pair that
+    /// would swallow the first constituent of a specialized one — e.g.
+    /// `flw; flw; vfmac` pairs the second load with the MAC, not the
+    /// first load.
+    fn rank(&self) -> u8 {
+        match self {
+            Plan::Pair(_, FusionKind::Other) => 1,
+            _ => 2,
+        }
+    }
+}
+
+/// What fusion, if any, position `i` could start. `join` positions must
+/// stay addressable (jump targets) and are never swallowed as a second
+/// constituent.
+fn plan_at(raw: &[RawOp], i: usize, join: &[u32]) -> Option<Plan> {
+    if i + 1 >= raw.len() || join.contains(&((i + 1) as u32)) {
+        return None;
+    }
+    let ta = match (&raw[i].op, raw[i].tag) {
+        (TraceOp::Op(u), t) if t != Tag::Barrier && u.inval == 0 => t,
+        _ => return None,
+    };
+    match &raw[i + 1].op {
+        TraceOp::Guard(_) => Some(Plan::FoldGuard),
+        TraceOp::Jump(j) if j.pre.is_none() => Some(Plan::FoldJump),
+        TraceOp::Op(ub) if raw[i + 1].tag != Tag::Barrier && ub.inval == 0 => {
+            select_pair(ta, raw[i + 1].tag).map(|(run, kind)| Plan::Pair(run, kind))
+        }
+        _ => None,
+    }
+}
+
+/// Attempt trace formation for a pending block promotion (if any).
+/// Called from `Cpu::run` after a block dispatch completed.
+pub(crate) fn maybe_form(cpu: &mut Cpu) {
+    let Some(leader) = cpu.blocks.take_promotion() else {
+        return;
+    };
+    if leader & 1 != 0 {
+        return;
+    }
+    let slot = (leader.wrapping_sub(cpu.pred_base) >> 1) as usize;
+    match cpu.traces.slots.get(slot) {
+        Some(&t) if t == SLOT_EMPTY => {}
+        _ => return,
+    }
+    cpu.traces.rstats.promotions += 1;
+    // The scratch moves out of the cache for the duration of the pass so
+    // `form` can borrow the whole `Cpu` immutably.
+    let mut scratch = std::mem::take(&mut cpu.traces.form);
+    let formed = form(cpu, leader, &mut scratch);
+    cpu.traces.form = scratch;
+    match formed {
+        Some(trace) => {
+            cpu.traces.rstats.formed += 1;
+            for k in 0..FUSION_KINDS {
+                cpu.traces.rstats.fusions_formed[k] += u64::from(trace.fusions_formed[k]);
+            }
+            cpu.traces.install(slot, leader, trace);
+        }
+        None => {
+            cpu.traces.rstats.rejected += 1;
+            cpu.traces.slots[slot] = SLOT_NO_TRACE;
+        }
+    }
+}
+
+/// One raw (pre-fusion) op with its formation metadata.
+struct RawOp {
+    op: TraceOp,
+    tag: Tag,
+}
+
+/// Walk the predicted hot path from `entry`, lowering across control
+/// transfers until the path revisits itself (loop), leaves the window,
+/// or hits a barrier; then run the peephole fusion pass and precompute
+/// the steady-loop totals.
+fn form(cpu: &Cpu, entry: u32, visited: &mut FormScratch) -> Option<Trace> {
+    let frm0 = cpu.frm_raw;
+    let frm_valid = Rounding::from_frm(frm0).is_some();
+    let mut raw: Vec<RawOp> = Vec::new();
+    // Predecode-slot -> raw index of the op lowered at that pc (for loop
+    // closure); slot-indexed so the check is O(1) per step instead of a
+    // scan — formation runs on the hot path when workloads reload
+    // program text.
+    visited.begin(cpu.pred.len());
+    let mut ranges: Vec<(u32, u32)> = Vec::new();
+    let mut pc = entry;
+    let mut goto_target: Option<u32> = None;
+    loop {
+        let vslot = (pc.wrapping_sub(cpu.pred_base) >> 1) as usize;
+        if let Some(idx) = visited.get(vslot) {
+            // The predicted path re-entered the trace: close the loop
+            // with a zero-cost internal back-edge.
+            goto_target = Some(idx);
+            raw.push(RawOp {
+                op: TraceOp::Goto(idx),
+                tag: Tag::Barrier,
+            });
+            break;
+        }
+        if raw.len() >= MAX_TRACE_OPS {
+            raw.push(RawOp {
+                op: TraceOp::Exit(pc),
+                tag: Tag::Barrier,
+            });
+            break;
+        }
+        // In-window slots that are merely empty (lazily evicted by a recent
+        // code store, not yet refetched) are re-decoded straight from memory:
+        // `decode_at` is the reference decode the predecode fast path must
+        // agree with, and keeping such pcs inside the trace is what lets
+        // `invalidate_bytes` see later stores to them. Out-of-window pcs end
+        // the trace: `Cpu::invalidate_code` returns before reaching the trace
+        // cache for stores outside the window, so trace bodies must never
+        // cover bytes the window does not.
+        let (instr, len) = match cpu.pred.get(vslot) {
+            Some(&Some(hit)) => hit,
+            Some(&None) => match cpu.decode_at(pc) {
+                Ok(hit) => hit,
+                Err(_) => {
+                    raw.push(RawOp {
+                        op: TraceOp::Exit(pc),
+                        tag: Tag::Barrier,
+                    });
+                    break;
+                }
+            },
+            None => {
+                raw.push(RawOp {
+                    op: TraceOp::Exit(pc),
+                    tag: Tag::Barrier,
+                });
+                break;
+            }
+        };
+        match instr {
+            Instr::Jalr { .. } | Instr::Ecall | Instr::Ebreak | Instr::Csr { .. } => {
+                raw.push(RawOp {
+                    op: TraceOp::Exit(pc),
+                    tag: Tag::Barrier,
+                });
+                break;
+            }
+            Instr::Jal { rd, offset } => {
+                let tail = block::lower_tail(cpu, pc, instr, len);
+                let target = pc.wrapping_add(offset as u32);
+                visited.set(vslot, raw.len() as u32);
+                ranges.push((pc, pc.wrapping_add(len)));
+                raw.push(RawOp {
+                    op: TraceOp::Jump(JumpOp {
+                        pre: None,
+                        pc,
+                        rd: rd.num(),
+                        link: tail.next,
+                        class: tail.class,
+                        cycles: tail.cycles,
+                        energy: tail.energy,
+                    }),
+                    tag: Tag::Barrier,
+                });
+                pc = target;
+            }
+            Instr::Branch { cond, rs1, rs2, .. } => {
+                let tail = block::lower_tail(cpu, pc, instr, len);
+                let (target, not_cycles, not_energy) = match tail.kind {
+                    TailKind::Branch {
+                        target,
+                        not_cycles,
+                        not_energy,
+                        ..
+                    } => (target, not_cycles, not_energy),
+                    _ => unreachable!("branch lowers to a branch tail"),
+                };
+                // Predict backward taken (loops), forward not-taken.
+                let expect_taken = target <= pc;
+                let (on_pc, off_pc) = if expect_taken {
+                    (target, tail.next)
+                } else {
+                    (tail.next, target)
+                };
+                let (on_cycles, on_energy, off_cycles, off_energy) = if expect_taken {
+                    (tail.cycles, tail.energy, not_cycles, not_energy)
+                } else {
+                    (not_cycles, not_energy, tail.cycles, tail.energy)
+                };
+                visited.set(vslot, raw.len() as u32);
+                ranges.push((pc, pc.wrapping_add(len)));
+                raw.push(RawOp {
+                    op: TraceOp::Guard(GuardOp {
+                        pre: None,
+                        cond,
+                        rs1: rs1.num(),
+                        rs2: rs2.num(),
+                        expect_taken,
+                        class: tail.class,
+                        goto_to: GOTO_NONE,
+                        pc,
+                        off_pc,
+                        on_cycles,
+                        off_cycles,
+                        on_energy,
+                        off_energy,
+                    }),
+                    tag: Tag::Barrier,
+                });
+                pc = on_pc;
+            }
+            _ => match block::lower_uop(cpu, pc, instr) {
+                Lowered::Op(mut u) => {
+                    if frm_valid && u.rm == RM_DYN {
+                        // Constant specialization: fold the observed frm
+                        // into the op (sound: frm cannot change inside a
+                        // trace, and dispatch guards the entry value).
+                        u.rm = frm0;
+                    }
+                    let tag = tag_of(&instr);
+                    visited.set(vslot, raw.len() as u32);
+                    ranges.push((pc, pc.wrapping_add(len)));
+                    raw.push(RawOp {
+                        op: TraceOp::Op(u),
+                        tag,
+                    });
+                    pc = pc.wrapping_add(len);
+                }
+                Lowered::Trap(u) => {
+                    visited.set(vslot, raw.len() as u32);
+                    ranges.push((pc, pc.wrapping_add(len)));
+                    raw.push(RawOp {
+                        op: TraceOp::Op(u),
+                        tag: Tag::Barrier,
+                    });
+                    raw.push(RawOp {
+                        op: TraceOp::Exit(pc),
+                        tag: Tag::Barrier,
+                    });
+                    break;
+                }
+            },
+        }
+    }
+    // Viability: the trace must extend past plain block coverage —
+    // either loop internally or cross at least one control transfer.
+    // Non-looping traces need some length to amortize the entry cost;
+    // looping ones repay it however tight (a 2-instruction countdown
+    // loop is the trace tier's best case, not a degenerate one).
+    let crosses = raw.iter().any(|r| {
+        matches!(
+            r.op,
+            TraceOp::Guard(_) | TraceOp::Jump(_) | TraceOp::Goto(_)
+        )
+    });
+    if !crosses || raw.len() < if goto_target.is_some() { 3 } else { 4 } {
+        return None;
+    }
+
+    // Peephole fusion. Indices shift as ops merge, so jump targets are
+    // remapped through `map`; ops that are join targets (the trace entry
+    // and the back-edge target) must stay addressable and are never
+    // swallowed as a second constituent.
+    let mut join: Vec<u32> = vec![0];
+    if let Some(t) = goto_target {
+        join.push(t);
+    }
+    let mut ops: Vec<TraceOp> = Vec::with_capacity(raw.len());
+    let mut map: Vec<u32> = vec![0; raw.len()];
+    let mut fusions_formed = [0u32; FUSION_KINDS];
+    let mut i = 0usize;
+    while i < raw.len() {
+        map[i] = ops.len() as u32;
+        // Maximal run of `addi`-shaped ops collapses to one inline
+        // `Chain` step (runs break at join targets, which must stay
+        // addressable).
+        if raw[i].tag == Tag::AddI && matches!(raw[i].op, TraceOp::Op(_)) {
+            let mut j = i + 1;
+            while j < raw.len()
+                && raw[j].tag == Tag::AddI
+                && matches!(raw[j].op, TraceOp::Op(_))
+                && !join.contains(&(j as u32))
+            {
+                j += 1;
+            }
+            if j - i >= 2 {
+                let links: Box<[MicroOp]> = raw[i..j]
+                    .iter()
+                    .map(|r| match &r.op {
+                        TraceOp::Op(u) => copy_uop(u),
+                        _ => unreachable!("run members are plain ops"),
+                    })
+                    .collect();
+                for m in map.iter_mut().take(j).skip(i) {
+                    *m = ops.len() as u32;
+                }
+                ops.push(TraceOp::Chain(links));
+                fusions_formed[FusionKind::AluPair as usize] += (j - i - 1) as u32;
+                i = j;
+                continue;
+            }
+        }
+        // One-step lookahead: a generic pair yields when the next
+        // position could start a specialized fusion instead.
+        let fuse = plan_at(&raw, i, &join)
+            .filter(|p| p.rank() > 1 || plan_at(&raw, i + 1, &join).is_none_or(|q| q.rank() <= 1));
+        let Some(plan) = fuse else {
+            ops.push(take_op(&mut raw[i].op));
+            i += 1;
+            continue;
+        };
+        match plan {
+            Plan::FoldGuard => {
+                // Fold the op into the guard (op+branch).
+                let (TraceOp::Op(u), TraceOp::Guard(g)) = (&raw[i].op, &raw[i + 1].op) else {
+                    unreachable!()
+                };
+                ops.push(TraceOp::Guard(GuardOp {
+                    pre: Some(copy_uop(u)),
+                    ..copy_guard(g)
+                }));
+                fusions_formed[FusionKind::CmpBranch as usize] += 1;
+            }
+            Plan::FoldJump => {
+                // Fold the op into the resolved jump (op+jal).
+                let (TraceOp::Op(u), TraceOp::Jump(j)) = (&raw[i].op, &raw[i + 1].op) else {
+                    unreachable!()
+                };
+                ops.push(TraceOp::Jump(JumpOp {
+                    pre: Some(copy_uop(u)),
+                    ..copy_jump(j)
+                }));
+                fusions_formed[FusionKind::CmpBranch as usize] += 1;
+            }
+            Plan::Pair(run, kind) => {
+                let (TraceOp::Op(ua), TraceOp::Op(ub)) = (&raw[i].op, &raw[i + 1].op) else {
+                    unreachable!()
+                };
+                ops.push(TraceOp::Pair(PairOp {
+                    run,
+                    a: copy_uop(ua),
+                    b: copy_uop(ub),
+                    kind: kind as u8,
+                }));
+                fusions_formed[kind as usize] += 1;
+            }
+        }
+        map[i + 1] = map[i];
+        i += 2;
+    }
+    // Remap the back-edge through the fusion index map.
+    for op in ops.iter_mut() {
+        if let TraceOp::Goto(t) = op {
+            *t = map[*t as usize];
+        }
+    }
+    // Merge the back-edge into the preceding guard when it is the
+    // guard's on-trace successor: the guard then runs the checkpoint
+    // inline and the `Goto` op becomes an unreachable anchor.
+    if let [.., TraceOp::Guard(g), TraceOp::Goto(t)] = &mut ops[..] {
+        g.goto_to = *t;
+    }
+
+    let max_linear: u64 = ops.iter().map(retire_count).sum();
+    // Precompute the steady-loop totals for the back-edge segment.
+    let steady = goto_target.map(|t| {
+        let start = map[t as usize] as usize;
+        let end = ops.len() - 1; // the Goto is the last op
+        seg_totals(&ops, start, end)
+    });
+
+    ranges.sort_unstable();
+    let mut merged: Vec<(u32, u32)> = Vec::new();
+    for (lo, hi) in ranges {
+        match merged.last_mut() {
+            Some(last) if lo <= last.1 => last.1 = last.1.max(hi),
+            _ => merged.push((lo, hi)),
+        }
+    }
+
+    Some(Trace {
+        ranges: merged,
+        ops: ops.into_boxed_slice(),
+        max_linear,
+        frm_expect: frm0,
+        steady,
+        fusions_formed,
+    })
+}
+
+fn retire_count(op: &TraceOp) -> u64 {
+    match op {
+        TraceOp::Op(_) => 1,
+        TraceOp::Jump(j) => 1 + u64::from(j.pre.is_some()),
+        TraceOp::Pair(_) => 2,
+        TraceOp::Chain(c) => c.len() as u64,
+        TraceOp::Guard(g) => 1 + u64::from(g.pre.is_some()),
+        TraceOp::Goto(_) | TraceOp::Exit(_) => 0,
+    }
+}
+
+fn seg_totals(ops: &[TraceOp], start: usize, end: usize) -> SegTotals {
+    let mut retired = 0u64;
+    let mut cycles = 0u64;
+    let mut class = [(0u32, 0u64); 64];
+    let mut fusion = [0u32; FUSION_KINDS];
+    let add = |c: u8, cy: u64, class: &mut [(u32, u64); 64]| {
+        class[c as usize].0 += 1;
+        class[c as usize].1 += cy;
+    };
+    for op in &ops[start..end] {
+        match op {
+            TraceOp::Op(u) => {
+                add(u.class, u.cycles, &mut class);
+                cycles += u.cycles;
+                retired += 1;
+            }
+            TraceOp::Pair(p) => {
+                add(p.a.class, p.a.cycles, &mut class);
+                add(p.b.class, p.b.cycles, &mut class);
+                cycles += p.a.cycles + p.b.cycles;
+                retired += 2;
+                fusion[p.kind as usize] += 1;
+            }
+            TraceOp::Chain(c) => {
+                for u in c.iter() {
+                    add(u.class, u.cycles, &mut class);
+                    cycles += u.cycles;
+                }
+                retired += c.len() as u64;
+                fusion[FusionKind::AluPair as usize] += c.len() as u32 - 1;
+            }
+            TraceOp::Guard(g) => {
+                if let Some(pre) = &g.pre {
+                    add(pre.class, pre.cycles, &mut class);
+                    cycles += pre.cycles;
+                    retired += 1;
+                    fusion[FusionKind::CmpBranch as usize] += 1;
+                }
+                add(g.class, g.on_cycles, &mut class);
+                cycles += g.on_cycles;
+                retired += 1;
+            }
+            TraceOp::Jump(j) => {
+                if let Some(pre) = &j.pre {
+                    add(pre.class, pre.cycles, &mut class);
+                    cycles += pre.cycles;
+                    retired += 1;
+                    fusion[FusionKind::CmpBranch as usize] += 1;
+                }
+                add(j.class, j.cycles, &mut class);
+                cycles += j.cycles;
+                retired += 1;
+            }
+            TraceOp::Goto(_) | TraceOp::Exit(_) => {}
+        }
+    }
+    let class: Box<[(u8, u32, u64)]> = class
+        .iter()
+        .enumerate()
+        .filter(|(_, &(n, _))| n > 0)
+        .map(|(i, &(n, cy))| (i as u8, n, cy))
+        .collect();
+    SegTotals {
+        start: start as u32,
+        end: end as u32,
+        retired,
+        cycles,
+        class,
+        fusion,
+    }
+}
+
+fn copy_uop(u: &MicroOp) -> MicroOp {
+    *u
+}
+
+fn copy_guard(g: &GuardOp) -> GuardOp {
+    GuardOp {
+        pre: None,
+        cond: g.cond,
+        rs1: g.rs1,
+        rs2: g.rs2,
+        expect_taken: g.expect_taken,
+        class: g.class,
+        goto_to: g.goto_to,
+        pc: g.pc,
+        off_pc: g.off_pc,
+        on_cycles: g.on_cycles,
+        off_cycles: g.off_cycles,
+        on_energy: g.on_energy,
+        off_energy: g.off_energy,
+    }
+}
+
+fn copy_jump(j: &JumpOp) -> JumpOp {
+    JumpOp {
+        pre: None,
+        pc: j.pc,
+        rd: j.rd,
+        link: j.link,
+        class: j.class,
+        cycles: j.cycles,
+        energy: j.energy,
+    }
+}
+
+/// Move an op out of the raw list, leaving a placeholder.
+fn take_op(slot: &mut TraceOp) -> TraceOp {
+    std::mem::replace(slot, TraceOp::Exit(0))
+}

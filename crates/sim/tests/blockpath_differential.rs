@@ -1,44 +1,85 @@
-//! Differential gate for the basic-block micro-op cache: every benchmark
+//! Differential gate for the cached execution engines: every benchmark
 //! kernel (the paper's Polybench suite + SVM), at every precision variant
-//! and vectorization mode, is executed twice — block cache **on** and
-//! **off** — and the two runs must be *bit-identical*: same final memory
-//! image, register files, pc, `fflags`, per-class statistics and
-//! bit-exact `energy_pj` (f64 addition is not associative, so energy is
-//! the most sensitive witness that the block path retires in reference
-//! order).
+//! and vectorization mode, is executed on all three tiers — reference
+//! interpreter, basic-block micro-op cache, and trace/superblock engine —
+//! and the runs must be *bit-identical*: same final memory image,
+//! register files, pc, `fflags`, per-class statistics and bit-exact
+//! `energy_pj` (f64 addition is not associative, so energy is the most
+//! sensitive witness that the cached paths retire in reference order).
 //!
 //! A rotating one-variant-per-workload subset runs in every profile; the
 //! full precision × mode grid is release-only (`scripts/check.sh` runs it
 //! via the release test pass).
+//!
+//! Trace-specific regressions ride along: a loop whose own body is
+//! patched by a store inside the trace (invalidation + mid-trace abort),
+//! a snapshot-restore rewind landing inside a formed trace, and replay
+//! determinism with the trace engine on.
 
-use smallfloat_isa::FpFmt;
+use smallfloat_asm::Assembler;
+use smallfloat_isa::{encode, AluOp, FpFmt, Instr, XReg};
 use smallfloat_kernels::bench::{build, suite, Precision, VecMode, Workload};
 use smallfloat_kernels::runner::load_workload;
+use smallfloat_sim::replay::record_run;
 use smallfloat_sim::{Cpu, ExitReason, SimConfig};
 use smallfloat_xcc::codegen::Compiled;
 
+/// The execution tier under test.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Per-instruction interpreter (blocks and traces off).
+    Reference,
+    /// Basic-block micro-op cache only.
+    Blocks,
+    /// Full tiered engine: traces over blocks.
+    Traces,
+}
+
+impl Engine {
+    fn label(self) -> &'static str {
+        match self {
+            Engine::Reference => "reference",
+            Engine::Blocks => "blocks",
+            Engine::Traces => "traces",
+        }
+    }
+
+    fn apply(self, cpu: &mut Cpu) {
+        cpu.set_block_cache(self != Engine::Reference);
+        cpu.set_trace_cache(self == Engine::Traces);
+    }
+}
+
 /// Load inputs + program and run to `ecall`, exactly as the kernels
-/// runner does, with the block cache forced on or off.
+/// runner does, on the given engine tier. Returns the instructions
+/// retired from inside traces (0 for the other tiers).
 fn run_path(
     cpu: &mut Cpu,
     compiled: &Compiled,
     inputs: &[(String, Vec<f64>)],
-    blocks: bool,
+    engine: Engine,
     label: &str,
-) {
+) -> u64 {
     cpu.reset();
-    cpu.set_block_cache(blocks);
+    engine.apply(cpu);
     load_workload(cpu, compiled, inputs);
     let exit = cpu
         .run(200_000_000)
-        .unwrap_or_else(|e| panic!("{label}: kernel trapped: {e}"));
-    assert_eq!(exit, ExitReason::Ecall, "{label}: must exit via ecall");
-    if blocks {
+        .unwrap_or_else(|e| panic!("{label} [{}]: kernel trapped: {e}", engine.label()));
+    assert_eq!(
+        exit,
+        ExitReason::Ecall,
+        "{label} [{}]: must exit via ecall",
+        engine.label()
+    );
+    if engine != Engine::Reference {
         assert!(
             !cpu.hot_blocks(1).is_empty(),
-            "{label}: block cache was on but dispatched no blocks"
+            "{label} [{}]: block cache was on but dispatched no blocks",
+            engine.label()
         );
     }
+    cpu.trace_stats().retired
 }
 
 /// Assert the two CPUs are architecturally and statistically identical.
@@ -69,16 +110,29 @@ fn assert_identical(label: &str, on: &Cpu, off: &Cpu) {
     );
 }
 
-fn check(w: &dyn Workload, prec: &Precision, mode: VecMode) {
+/// Run one grid cell on all three tiers and compare each cached tier
+/// against the reference. Returns the trace tier's in-trace retirement
+/// count so callers can assert the trace engine actually engaged.
+fn check(w: &dyn Workload, prec: &Precision, mode: VecMode) -> u64 {
     let (_typed, compiled) = build(w, prec, mode);
     let inputs = w.inputs();
     let label = format!("{} {} {}", w.name(), prec.label(), mode.label());
     let config = SimConfig::default();
-    let mut on = Cpu::new(config.clone());
-    let mut off = Cpu::new(config);
-    run_path(&mut on, &compiled, &inputs, true, &label);
-    run_path(&mut off, &compiled, &inputs, false, &label);
-    assert_identical(&label, &on, &off);
+    let mut reference = Cpu::new(config.clone());
+    let mut blocks = Cpu::new(config.clone());
+    let mut traces = Cpu::new(config);
+    run_path(
+        &mut reference,
+        &compiled,
+        &inputs,
+        Engine::Reference,
+        &label,
+    );
+    run_path(&mut blocks, &compiled, &inputs, Engine::Blocks, &label);
+    let in_trace = run_path(&mut traces, &compiled, &inputs, Engine::Traces, &label);
+    assert_identical(&format!("{label} [blocks]"), &blocks, &reference);
+    assert_identical(&format!("{label} [traces]"), &traces, &reference);
+    in_trace
 }
 
 /// The precision variants under test: the four uniform ones plus one
@@ -98,25 +152,229 @@ fn precisions(w: &dyn Workload) -> Vec<Precision> {
 /// Fast rotating subset: one (precision, mode) pair per workload, chosen
 /// so all five precisions and all three modes appear across the suite.
 #[test]
-fn block_path_matches_reference_subset() {
+fn engine_tiers_match_reference_subset() {
+    let mut in_trace_total = 0u64;
     for (i, w) in suite().iter().enumerate() {
         let precs = precisions(w.as_ref());
         let prec = &precs[i % precs.len()];
         let mode = VecMode::ALL[i % VecMode::ALL.len()];
-        check(w.as_ref(), prec, mode);
+        in_trace_total += check(w.as_ref(), prec, mode);
     }
+    assert!(
+        in_trace_total > 0,
+        "trace engine retired no instructions across the whole subset"
+    );
 }
 
-/// The full grid: every workload × every precision × every mode, both
-/// paths. Release-only (the debug build runs the subset above).
+/// The full grid: every workload × every precision × every mode, all
+/// three tiers. Release-only (the debug build runs the subset above).
 #[cfg(not(debug_assertions))]
 #[test]
-fn block_path_matches_reference_full_grid() {
+fn engine_tiers_match_reference_full_grid() {
+    let mut in_trace_total = 0u64;
     for w in suite() {
         for prec in precisions(w.as_ref()) {
             for mode in VecMode::ALL {
-                check(w.as_ref(), &prec, mode);
+                in_trace_total += check(w.as_ref(), &prec, mode);
             }
         }
+    }
+    assert!(
+        in_trace_total > 0,
+        "trace engine retired no instructions across the whole grid"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Trace-specific regressions
+// ---------------------------------------------------------------------------
+
+const TEXT: u32 = 0x1000;
+
+fn small_config() -> SimConfig {
+    SimConfig {
+        mem_size: 1 << 20,
+        ..SimConfig::default()
+    }
+}
+
+/// A hot loop whose own body is rewritten by a store *inside the loop*:
+/// the payload instruction toggles between `addi a2, a2, 1` and
+/// `addi a2, a2, 2` every iteration. The trace engine must abort at the
+/// store (generation re-check), kill the overlapped trace byte-precisely,
+/// and re-form later — while staying bit-identical to the reference
+/// interpreter throughout.
+#[test]
+fn store_into_own_trace_body_stays_bit_identical() {
+    let iters = 400;
+    let (s0, t0, t1, t2, a2) = (XReg::s(0), XReg::t(0), XReg::t(1), XReg::t(2), XReg::a(2));
+    let mut asm = Assembler::new();
+    asm.li(s0, iters);
+    asm.label("loop");
+    let payload_index = asm.len();
+    asm.addi(a2, a2, 1); // the patch target
+    asm.sw(t0, t1, 0); // patch the payload for the NEXT iteration
+    asm.push(Instr::Op {
+        op: AluOp::Xor,
+        rd: t0,
+        rs1: t0,
+        rs2: t2,
+    });
+    asm.addi(s0, s0, -1);
+    asm.bnez("loop", s0);
+    asm.ecall();
+    let prog = asm.assemble().expect("fixed program assembles");
+    // `load_program` encodes each instruction at 4 bytes.
+    let payload_addr = TEXT + 4 * payload_index as u32;
+    let enc1 = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a2,
+        rs1: a2,
+        imm: 1,
+    });
+    let enc2 = encode(&Instr::OpImm {
+        op: AluOp::Add,
+        rd: a2,
+        rs1: a2,
+        imm: 2,
+    });
+
+    let run = |engine: Engine| -> Cpu {
+        let mut cpu = Cpu::new(small_config());
+        engine.apply(&mut cpu);
+        cpu.load_program(TEXT, &prog);
+        // The patch-target address and toggle words come in from the host:
+        // the first store writes enc2 (flipping the payload to +2), each
+        // later one alternates.
+        cpu.set_xreg(t1, payload_addr);
+        cpu.set_xreg(t0, enc2);
+        cpu.set_xreg(t2, enc1 ^ enc2);
+        let exit = cpu
+            .run(1_000_000)
+            .expect("self-patching loop must not trap");
+        assert_eq!(exit, ExitReason::Ecall);
+        cpu
+    };
+    let reference = run(Engine::Reference);
+    // The payload alternates +1, +2, +1, ... over `iters` iterations.
+    let expect = (iters as u32).div_ceil(2) + (iters as u32 / 2) * 2;
+    assert_eq!(reference.xreg(a2), expect, "self-patching loop semantics");
+    let blocks = run(Engine::Blocks);
+    let traces = run(Engine::Traces);
+    assert_identical("self-patch [blocks]", &blocks, &reference);
+    assert_identical("self-patch [traces]", &traces, &reference);
+    let ts = traces.trace_stats();
+    assert!(ts.formed > 0, "the hot self-patching loop must form traces");
+    assert!(
+        ts.invalidated > 0,
+        "each in-trace store into the trace body must kill the trace"
+    );
+    assert!(
+        ts.retired > 0,
+        "aborted trace entries still retire a prefix"
+    );
+}
+
+/// A clean hot loop for the snapshot/replay regressions: scalar +
+/// SIMD binary16 math, memory traffic and control flow.
+fn hot_loop(iters: i32) -> Vec<Instr> {
+    let mut asm = Assembler::new();
+    let (i, t0, ptr) = (XReg::s(0), XReg::t(0), XReg::t(1));
+    let (f0, f1, f2) = (
+        smallfloat_isa::FReg::new(0),
+        smallfloat_isa::FReg::new(1),
+        smallfloat_isa::FReg::new(2),
+    );
+    asm.li(t0, 0x3c00);
+    asm.fmv_f(FpFmt::H, f0, t0);
+    asm.fmv_f(FpFmt::H, f1, t0);
+    asm.li(t0, 0x3c003c00u32 as i32);
+    asm.fmv_f(FpFmt::S, f2, t0);
+    asm.la(ptr, 0x8000);
+    asm.li(i, iters);
+    asm.label("loop");
+    asm.fload(FpFmt::S, f2, ptr, 0);
+    asm.vfmac(FpFmt::H, f2, f0, f1);
+    asm.fstore(FpFmt::S, f2, ptr, 0);
+    asm.addi(ptr, ptr, 4);
+    asm.addi(i, i, -1);
+    asm.bnez("loop", i);
+    asm.ecall();
+    asm.assemble().expect("fixed program assembles")
+}
+
+/// Stop mid-run with traces formed, snapshot, finish; then rewind via
+/// restore — landing on a PC inside the formed trace's footprint — and
+/// finish again. Both completions (and a reference completion from the
+/// same snapshot) must be bit-identical.
+#[test]
+fn snapshot_restore_rewind_lands_inside_formed_trace() {
+    let mut cpu = Cpu::new(small_config());
+    Engine::Traces.apply(&mut cpu);
+    cpu.load_program(TEXT, &hot_loop(2_000));
+    // Odd budget so the stop lands mid-loop-body, well past trace warmup.
+    let exit = cpu.run(4_321).expect("no trap");
+    assert_eq!(exit, ExitReason::InstructionLimit);
+    assert!(
+        cpu.trace_stats().formed > 0,
+        "warmup must have formed the loop trace"
+    );
+    let mid = cpu.snapshot();
+    let exit = cpu.run(1_000_000).expect("no trap");
+    assert_eq!(exit, ExitReason::Ecall);
+    let finished_a = cpu.snapshot();
+
+    // Rewind the same CPU into the middle of the (now re-dropped) trace.
+    cpu.restore(&mid);
+    let exit = cpu.run(1_000_000).expect("no trap");
+    assert_eq!(exit, ExitReason::Ecall);
+    let finished_b = cpu.snapshot();
+    assert!(
+        finished_a.state_eq(&finished_b),
+        "rewound trace-engine run diverged in {}",
+        finished_a.first_difference(&finished_b).unwrap_or("?")
+    );
+
+    // And a reference interpreter from the same snapshot.
+    let mut reference = Cpu::new(small_config());
+    Engine::Reference.apply(&mut reference);
+    reference.restore(&mid);
+    let exit = reference.run(1_000_000).expect("no trap");
+    assert_eq!(exit, ExitReason::Ecall);
+    let finished_c = reference.snapshot();
+    assert!(
+        finished_a.state_eq(&finished_c),
+        "trace engine diverged from reference after restore in {}",
+        finished_a.first_difference(&finished_c).unwrap_or("?")
+    );
+}
+
+/// Recording a run on the trace engine is deterministic and produces the
+/// same log and snapshots as a reference-interpreter recording.
+#[test]
+fn replay_recording_is_identical_with_traces_on() {
+    let record = |engine: Engine| {
+        let mut cpu = Cpu::new(small_config());
+        engine.apply(&mut cpu);
+        cpu.load_program(TEXT, &hot_loop(300));
+        record_run(&mut cpu, 1_000_000, 128).expect("recording must not trap")
+    };
+    let a = record(Engine::Traces);
+    let b = record(Engine::Traces);
+    let r = record(Engine::Reference);
+    assert_eq!(a.exit, ExitReason::Ecall);
+    assert_eq!(a.log, b.log, "trace-engine recording must be deterministic");
+    assert_eq!(a.log.to_bytes(), b.log.to_bytes());
+    assert_eq!(
+        a.log, r.log,
+        "trace-engine recording must match the reference interpreter"
+    );
+    assert_eq!(a.snaps.len(), r.snaps.len());
+    for (i, (sa, sr)) in a.snaps.iter().zip(&r.snaps).enumerate() {
+        assert!(
+            sa.state_eq(sr),
+            "snapshot {i} differs from reference in {}",
+            sa.first_difference(sr).unwrap_or("nothing?!")
+        );
     }
 }

@@ -5,11 +5,13 @@
 #   scripts/check.sh --full   # also rustfmt + clippy + release test run
 #
 # The figure/table binaries and benches are exercised by the test suite;
-# BENCH_sim_dispatch.json / BENCH_sim_blocks.json are refreshed manually via
+# BENCH_sim_dispatch.json / BENCH_sim_blocks.json / BENCH_sim_traces.json are
+# refreshed manually via
 #   SMALLFLOAT_BENCH_JSON=out.json cargo bench -p smallfloat-bench --bench <name>
 #
-# The basic-block micro-op cache is on by default; SMALLFLOAT_NOBLOCKS=1 is
-# the escape hatch forcing every Cpu::run onto the per-instruction path.
+# The basic-block micro-op cache and the superblock trace tier stacked on it
+# are both on by default; SMALLFLOAT_NOBLOCKS=1 forces every Cpu::run onto the
+# per-instruction path and SMALLFLOAT_NOTRACES=1 disables just the trace tier.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -25,13 +27,13 @@ cargo bench --workspace --no-run
 echo "==> binary8 exhaustive differential suite (release)"
 cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive
 
-echo "==> block-path differential grid + golden trace, block cache on (release)"
+echo "==> three-tier differential grid (reference vs blocks vs traces) + golden trace (release)"
 cargo test --release -q -p smallfloat-sim --test blockpath_differential --test golden_trace
 
 echo "==> snapshot/restore + record-replay gates (release)"
 cargo test --release -q -p smallfloat-sim --test snapshot_roundtrip --test replay
 
-echo "==> replay fleet: rotating subset (segment-parallel differential testrunner)"
+echo "==> replay fleet: rotating subset, alternating engine tiers (segment-parallel differential testrunner)"
 cargo run --release -q -p smallfloat-bench --bin testrunner
 
 echo "==> vdotpex4_f8 exhaustive differential suite (release)"
@@ -47,7 +49,7 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo clippy --workspace --all-targets -- -D warnings
     echo "==> cargo test --workspace --release -q"
     cargo test --workspace --release -q
-    echo "==> replay fleet: full workload x precision x mode grid"
+    echo "==> replay fleet: full workload x precision x mode grid, both engine tiers"
     cargo run --release -q -p smallfloat-bench --bin testrunner -- --full
     echo "==> cargo doc --no-deps --workspace (warnings are errors)"
     RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
