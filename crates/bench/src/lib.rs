@@ -12,6 +12,7 @@ pub mod codesize;
 pub mod nn;
 pub mod par;
 pub mod replay;
+pub mod serving;
 
 use smallfloat::{kernels, MemLevel, Precision, VecMode};
 use smallfloat_isa::{vector_lanes, FpFmt, InstrClass};

@@ -36,7 +36,7 @@ fn worker_count(tasks: usize) -> usize {
     if forced != 0 {
         return forced.min(tasks.max(1));
     }
-    if std::env::var_os("SMALLFLOAT_SERIAL").is_some_and(|v| v == "1") {
+    if smallfloat_sim::env::serial() {
         return 1;
     }
     std::thread::available_parallelism()

@@ -165,6 +165,9 @@ impl Harness {
             self.group,
             self.results.len()
         );
+        // Parsed locally rather than via `smallfloat_sim::env`: devtools
+        // sits below the simulator in the dependency order (sim dev-depends
+        // on this crate). The README table still documents it.
         if let Ok(path) = std::env::var("SMALLFLOAT_BENCH_JSON") {
             if !path.is_empty() {
                 std::fs::write(&path, self.to_json()).expect("bench JSON written");

@@ -10,13 +10,18 @@
 //!   property, failure reports that print the case seed so a failing
 //!   input can be replayed in isolation;
 //! * [`mod@bench`] — a wall-clock benchmark harness with warmup, multiple
-//!   samples, median/mean reporting, throughput support and JSON export.
+//!   samples, median/mean reporting, throughput support and JSON export;
+//! * [`stats`] — order statistics (nearest-rank [`percentile`]) for the
+//!   serving harness's latency reporting.
 //!
 //! Everything is deterministic by construction: the same seed always
 //! produces the same case sequence, on every platform.
 
 pub mod bench;
 pub mod prop;
+pub mod stats;
+
+pub use stats::percentile;
 
 /// A seeded pseudo-random generator (SplitMix64).
 ///

@@ -1,0 +1,43 @@
+//! Order statistics for benchmark reporting.
+
+/// Nearest-rank percentile of `samples` (`p` in `[0, 100]`): the smallest
+/// value with at least `p`% of the samples at or below it. Deterministic
+/// and exact — no interpolation — so percentile latencies of integral
+/// cycle counts stay integral and bit-reproducible.
+///
+/// # Panics
+///
+/// Panics on an empty sample set or `p` outside `[0, 100]`.
+pub fn percentile<T: Copy + Ord>(samples: &[T], p: f64) -> T {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    assert!((0.0..=100.0).contains(&p), "percentile {p} out of range");
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.max(1) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::percentile;
+
+    #[test]
+    fn nearest_rank_matches_by_hand() {
+        let v = [15u64, 20, 35, 40, 50];
+        assert_eq!(percentile(&v, 0.0), 15);
+        assert_eq!(percentile(&v, 30.0), 20);
+        assert_eq!(percentile(&v, 40.0), 20);
+        assert_eq!(percentile(&v, 50.0), 35);
+        assert_eq!(percentile(&v, 100.0), 50);
+        assert_eq!(percentile(&[7u64], 99.0), 7);
+    }
+
+    #[test]
+    fn order_independent() {
+        let a = [9u64, 1, 5, 3, 7];
+        let b = [1u64, 3, 5, 7, 9];
+        for p in [0.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&a, p), percentile(&b, p));
+        }
+    }
+}

@@ -29,11 +29,13 @@ pub mod graph;
 pub mod infer;
 pub mod lower;
 pub mod qor;
+pub mod serve;
 pub mod tune;
 
 pub use graph::{cnn, mlp, Dataset, Layer, Network, Params};
 pub use infer::{infer_sim, infer_typed, uniform_assignment, Assignment, Inference, LayerRun};
 pub use lower::{build_layer, layer_kernel, layer_precision, manual_layer};
+pub use serve::{ServeOutput, ServingModel};
 pub use tune::{proxy_kernel, tune_network, NetTune};
 
 // Heavy end-to-end regressions (full evaluation set on the simulator,

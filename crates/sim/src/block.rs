@@ -62,8 +62,7 @@ const SLOT_NO_BLOCK: u32 = u32::MAX - 1;
 pub(crate) const RM_DYN: u8 = 0xff;
 
 fn default_enabled() -> bool {
-    static NOBLOCKS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    !*NOBLOCKS.get_or_init(|| std::env::var_os("SMALLFLOAT_NOBLOCKS").is_some_and(|v| v == "1"))
+    !crate::env::noblocks()
 }
 
 pub(crate) type UopFn = fn(&mut Cpu, &MicroOp) -> Result<(), SimError>;

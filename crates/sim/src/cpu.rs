@@ -2,7 +2,7 @@
 
 use crate::block::{BlockCache, Dispatch};
 use crate::energy::EnergyModel;
-use crate::mem::Memory;
+use crate::mem::{MemSnapshot, Memory};
 use crate::stats::{HotBlock, Stats};
 use crate::timing::{MemLevel, TimingModel};
 use crate::trace::{TraceCache, TraceStats};
@@ -277,6 +277,42 @@ impl Cpu {
         // disjoint ranges across its superblock path).
         self.blocks.invalidate_bytes(addr, addr.saturating_add(len));
         self.traces.invalidate_bytes(addr, addr.saturating_add(len));
+    }
+
+    /// Whether the live predecode window — and with it every cached block
+    /// and trace, which are lowered from the same bytes — still describes
+    /// `mem`'s contents over `[base, base + len_bytes)` exactly. True only
+    /// when the geometry matches, no conservative [`Cpu::mem_mut`] flush
+    /// is pending, and the code bytes (plus the up-to-two bytes a final
+    /// instruction may span past the window) are identical. This is the
+    /// warm-restore probe: forks off one warmed snapshot keep their
+    /// lowered blocks, formed traces and profitability decisions.
+    pub(crate) fn window_matches(&self, base: u32, len_bytes: u32, mem: &MemSnapshot) -> bool {
+        !self.pred_dirty
+            && len_bytes > 0
+            && self.pred_base == base
+            && (self.pred.len() as u32) * 2 == len_bytes
+            && self.mem.range_eq(
+                mem,
+                base,
+                (len_bytes as usize + 2).min(self.mem.size().saturating_sub(base as usize)),
+            )
+    }
+
+    /// Copy bytes into memory with byte-precise code invalidation — the
+    /// same invalidation stores executed by the simulated program get, so
+    /// predecode slots, lowered blocks and formed traces are dropped only
+    /// where actually overwritten. Writes that never touch the code
+    /// window (input arrays, descriptors) leave the warmed caches intact;
+    /// the conservative alternative is writing through [`Cpu::mem_mut`],
+    /// which flushes the whole window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the memory size.
+    pub fn write_data(&mut self, addr: u32, data: &[u8]) {
+        self.mem.write_bytes(addr, data);
+        self.invalidate_code(addr, data.len() as u32);
     }
 
     /// Read an integer register (`x0` reads as 0).

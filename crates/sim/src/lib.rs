@@ -34,6 +34,7 @@
 mod block;
 mod cpu;
 mod energy;
+pub mod env;
 mod exec;
 mod mem;
 pub mod replay;

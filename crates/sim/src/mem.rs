@@ -217,6 +217,36 @@ impl Memory {
         self.size == other.size && pages_eq(&self.pages, &other.pages)
     }
 
+    /// Byte-range equality against a snapshot: pointer-compare pages
+    /// shared between the two tables (the common case after copy-on-write
+    /// forks), byte-compare the overlapping slice of the rest. The cheap
+    /// "has this code window changed?" probe behind warm restores
+    /// (`Cpu::restore` keeps predecode/block/trace caches when the code
+    /// bytes are unchanged). Out-of-range in either side compares unequal.
+    pub fn range_eq(&self, snap: &MemSnapshot, addr: u32, len: usize) -> bool {
+        let a = addr as usize;
+        let end = match a.checked_add(len) {
+            Some(e) if e <= self.size && e <= snap.size => e,
+            _ => return false,
+        };
+        if len == 0 {
+            return true;
+        }
+        let (p0, p1) = (a >> PAGE_SHIFT, (end - 1) >> PAGE_SHIFT);
+        (p0..=p1).all(|pi| match (&self.pages[pi], &snap.pages[pi]) {
+            (Some(p), Some(q)) if Arc::ptr_eq(p, q) => true,
+            (x, y) => {
+                let lo = if pi == p0 { a & (PAGE_SIZE - 1) } else { 0 };
+                let hi = if pi == p1 {
+                    ((end - 1) & (PAGE_SIZE - 1)) + 1
+                } else {
+                    PAGE_SIZE
+                };
+                page_bytes(x)[lo..hi] == page_bytes(y)[lo..hi]
+            }
+        })
+    }
+
     /// Take a point-in-time snapshot: O(pages) refcount bumps.
     pub fn snapshot(&self) -> MemSnapshot {
         MemSnapshot {
@@ -260,6 +290,26 @@ impl MemSnapshot {
     /// pages, byte-compare the rest).
     pub fn bytes_eq(&self, other: &MemSnapshot) -> bool {
         self.size == other.size && pages_eq(&self.pages, &other.pages)
+    }
+
+    /// Copy out `len` bytes starting at `addr` (zero pages read as
+    /// zeroes) — the read-back primitive for captured results.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the snapshot size.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        let mut a = addr as usize;
+        assert!(a + len <= self.size, "read_bytes out of range");
+        let mut out = Vec::with_capacity(len);
+        while out.len() < len {
+            let page = page_bytes(&self.pages[a >> PAGE_SHIFT]);
+            let off = a & (PAGE_SIZE - 1);
+            let take = (PAGE_SIZE - off).min(len - out.len());
+            out.extend_from_slice(&page[off..off + take]);
+            a += take;
+        }
+        out
     }
 
     /// Serialize: size, then each non-zero page as `(index, raw bytes)` —

@@ -278,11 +278,22 @@ impl Cpu {
         self.frm_raw = snap.frm_raw;
         self.fflags = snap.fflags;
         self.stats = snap.stats.clone();
+        // Warm-restore probe *before* the memory swap: the live caches
+        // describe the live memory, so if the snapshot's code window holds
+        // the same bytes (cheap to check — code pages of a fork are still
+        // pointer-shared with the snapshot), they describe the restored
+        // memory too and survive. Typical for request forks off one
+        // warmed image; anything else falls through to the conservative
+        // rebuild.
+        let keep = self.window_matches(snap.pred_base, snap.pred_len_bytes, &snap.mem);
         self.mem.restore(&snap.mem);
-        // Re-predecode the captured window over the restored bytes; this
-        // also resets the block cache for the new window (bumping its
-        // generation), which is the conservative invalidation that makes
-        // restore safe against self-modifying-code history.
-        self.repredecode(snap.pred_base, snap.pred_len_bytes);
+        if !keep {
+            // Re-predecode the captured window over the restored bytes;
+            // this also resets the block cache for the new window
+            // (bumping its generation), which is the conservative
+            // invalidation that makes restore safe against
+            // self-modifying-code history.
+            self.repredecode(snap.pred_base, snap.pred_len_bytes);
+        }
     }
 }

@@ -39,6 +39,23 @@ impl Stats {
         self.cycles_by_class[class_idx] += cycles;
     }
 
+    /// Accumulate another statistics block into this one, field by field
+    /// (counter addition plus `energy_pj` float addition, in argument
+    /// order — callers that need bit-exact totals must merge in a fixed
+    /// order). This is the rollup primitive for multi-run and multi-core
+    /// aggregation.
+    pub fn merge(&mut self, other: &Stats) {
+        self.cycles += other.cycles;
+        self.instret += other.instret;
+        self.energy_pj += other.energy_pj;
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        for (a, b) in self.cycles_by_class.iter_mut().zip(&other.cycles_by_class) {
+            *a += b;
+        }
+    }
+
     /// Instructions retired in a class.
     pub fn class_count(&self, class: InstrClass) -> u64 {
         self.counts[class_index(class)]

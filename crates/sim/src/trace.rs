@@ -64,8 +64,43 @@ const SLOT_EMPTY: u32 = u32::MAX;
 const SLOT_NO_TRACE: u32 = u32::MAX - 1;
 
 fn default_enabled() -> bool {
-    static NOTRACES: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
-    !*NOTRACES.get_or_init(|| std::env::var_os("SMALLFLOAT_NOTRACES").is_some_and(|v| v == "1"))
+    !crate::env::notraces()
+}
+
+/// Profitability window: entries observed before a trace can be demoted.
+/// Long enough that the side-exit profile is representative, short enough
+/// that an adverse trace stops hurting early in a run.
+const PROFIT_MIN_EXECS: u64 = 16;
+
+/// Demotion threshold: average instructions retired per trace entry below
+/// which the block tier is faster. A trace entry pays for checkpoint and
+/// commit machinery that a block dispatch does not; measured on the conv
+/// adverse case, entries averaging ~70 retired instructions still lose to
+/// blocks (their superblocks are short, `max_linear` ≤ 62, so entry cost
+/// is never amortized), while the traces that win — steady loops, which
+/// is what the tier exists for — stay in-trace across iterations and
+/// retire hundreds to thousands per entry.
+///
+/// The flat threshold applies to straight-line superblocks. A trace that
+/// closed a loop back-edge is judged against its own round size instead
+/// (see [`profit_floor`]): a tiny inner loop retiring 3 instructions per
+/// round and ~27 per entry amortizes its entry cost over ~9 round
+/// commits and beats per-iteration block dispatch, even though 27 is far
+/// below the flat floor. What marks a looping trace as adverse is not a
+/// short payload but failing to *stay* in its steady loop — entries that
+/// side-exit before averaging two rounds are re-entry churn, the conv
+/// pattern.
+const PROFIT_MIN_RETIRED_PER_EXEC: u64 = 128;
+
+/// The per-entry retirement floor a trace must sustain to stay promoted:
+/// two steady rounds for a looping trace (capped by the flat floor, so a
+/// huge round body cannot lower the bar to a single entry-and-exit), the
+/// flat [`PROFIT_MIN_RETIRED_PER_EXEC`] for a straight-line superblock.
+fn profit_floor(trace: &Trace) -> u64 {
+    match &trace.steady {
+        Some(seg) => (2 * seg.retired).min(PROFIT_MIN_RETIRED_PER_EXEC),
+        None => PROFIT_MIN_RETIRED_PER_EXEC,
+    }
 }
 
 static TRACE_OVERRIDE: AtomicU8 = AtomicU8::new(0);
@@ -157,6 +192,9 @@ pub struct TraceStats {
     pub rejected: u64,
     /// Traces killed by code invalidation.
     pub invalidated: u64,
+    /// Traces demoted by the profitability check (their slots are
+    /// blacklisted so the block tier runs the code instead).
+    pub demoted: u64,
     /// Trace dispatches (entries into the trace executor).
     pub execs: u64,
     /// Instructions retired from inside traces.
@@ -188,8 +226,8 @@ impl TraceStats {
         let mut out = String::new();
         let _ = writeln!(
             out,
-            "traces: {} formed / {} promoted ({} rejected, {} invalidated)",
-            self.formed, self.promotions, self.rejected, self.invalidated
+            "traces: {} formed / {} promoted ({} rejected, {} invalidated, {} demoted)",
+            self.formed, self.promotions, self.rejected, self.invalidated, self.demoted
         );
         let _ = writeln!(
             out,
@@ -333,6 +371,10 @@ struct Trace {
 struct Entry {
     trace: Arc<Trace>,
     execs: u64,
+    /// Instructions retired across all entries into this trace — the
+    /// profitability numerator (`retired / execs` is the average payload
+    /// per dispatch).
+    retired: u64,
     leader_slot: usize,
     start: u32,
     end: u32,
@@ -476,11 +518,30 @@ impl TraceCache {
         }
     }
 
+    /// Kill an unprofitable trace and blacklist its leader slot
+    /// (`SLOT_NO_TRACE`, so formation is not retried until the slot's
+    /// bytes change): its observed side-exit profile retires too little
+    /// per entry to pay for the trace entry/checkpoint overhead, and the
+    /// block tier runs the same code faster. Demotion never changes
+    /// architectural state — only which engine tier executes.
+    fn demote(&mut self, idx: usize) {
+        if let Some(e) = self.arena[idx].take() {
+            let slot = e.leader_slot;
+            self.free.push(idx as u32);
+            self.gen = self.gen.wrapping_add(1);
+            self.rstats.demoted += 1;
+            if let Some(s) = self.slots.get_mut(slot) {
+                *s = SLOT_NO_TRACE;
+            }
+        }
+    }
+
     fn install(&mut self, slot: usize, leader: u32, trace: Trace) {
         let end = trace.ranges.iter().map(|&(_, b)| b).max().unwrap_or(leader);
         let entry = Entry {
             trace: Arc::new(trace),
             execs: 0,
+            retired: 0,
             leader_slot: slot,
             start: leader,
             end,
@@ -550,7 +611,26 @@ pub(crate) fn dispatch(cpu: &mut Cpu, remaining: u64) -> Result<Dispatch, SimErr
     entry.execs += 1;
     let trace = Arc::clone(&entry.trace);
     cpu.traces.rstats.execs += 1;
-    exec_trace(cpu, &trace, remaining)
+    let retired_before = cpu.traces.rstats.retired;
+    let out = exec_trace(cpu, &trace, remaining);
+    // Profitability: attribute this entry's retirement to the trace and
+    // demote it once an observation window shows the average payload per
+    // dispatch cannot pay for trace entry overhead (the nn_cnn adverse
+    // case: conv loops re-enter through many distinct branch paths, so
+    // almost every entry side-exits after a handful of instructions).
+    // The entry is re-looked-up because a self-invalidating trace may
+    // already have been killed during execution.
+    let delta = cpu.traces.rstats.retired.wrapping_sub(retired_before);
+    if let Some(Some(entry)) = cpu.traces.arena.get_mut(idx as usize) {
+        if Arc::ptr_eq(&entry.trace, &trace) {
+            entry.retired += delta;
+            if entry.execs >= PROFIT_MIN_EXECS && entry.retired < entry.execs * profit_floor(&trace)
+            {
+                cpu.traces.demote(idx as usize);
+            }
+        }
+    }
+    out
 }
 
 /// PC of the instruction an op index resolves to (following one `Goto`).

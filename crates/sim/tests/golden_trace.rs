@@ -72,7 +72,7 @@ fn trace_matches_golden_file() {
     assert_eq!(cpu.xreg(XReg::t(0)), 0x4400_4400, "packed pair read back");
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/golden_trace.txt");
-    if std::env::var_os("SMALLFLOAT_BLESS").is_some() {
+    if smallfloat_sim::env::bless() {
         std::fs::write(path, &trace).expect("write blessed trace");
         return;
     }

@@ -181,7 +181,7 @@ fn replay_log_matches_golden_file() {
     assert_eq!(recording.exit, ExitReason::Ecall);
     let bytes = recording.log.to_bytes();
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/data/replay_log.bin");
-    if std::env::var_os("SMALLFLOAT_BLESS").is_some() {
+    if smallfloat_sim::env::bless() {
         std::fs::write(path, &bytes).expect("write blessed replay log");
         return;
     }

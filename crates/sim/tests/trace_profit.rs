@@ -1,0 +1,103 @@
+//! Trace-tier profitability gates: a trace whose entries mostly
+//! side-exit (the nn_cnn adverse pattern — a loop re-entered through
+//! alternating branch paths) must be demoted to the block tier, a trace
+//! that runs its steady loop must not, and demotion must never change
+//! architectural state.
+
+use smallfloat_asm::Assembler;
+use smallfloat_isa::{Instr, XReg};
+use smallfloat_sim::{Cpu, ExitReason, SimConfig};
+
+const TEXT: u32 = 0x1000;
+
+fn run(program: &[Instr], traces: bool) -> Cpu {
+    let mut cpu = Cpu::new(SimConfig::default());
+    cpu.set_trace_cache(traces);
+    cpu.load_program(TEXT, program);
+    let exit = cpu.run(10_000_000).expect("program must not trap");
+    assert_eq!(exit, ExitReason::Ecall);
+    cpu
+}
+
+/// A hot loop whose body forks on the counter's parity: whichever path a
+/// trace is formed along, the guard fails every other iteration after a
+/// two-instruction prefix, so the average payload per trace entry stays
+/// far below the demotion threshold.
+fn alternating_loop(iters: i32) -> Vec<Instr> {
+    let (i, acc, t0) = (XReg::s(0), XReg::s(1), XReg::t(0));
+    let mut asm = Assembler::new();
+    asm.li(i, iters);
+    asm.li(acc, 0);
+    asm.label("loop");
+    asm.andi(t0, i, 1);
+    asm.beqz("even", t0);
+    asm.addi(acc, acc, 3);
+    asm.j("join");
+    asm.label("even");
+    asm.addi(acc, acc, 5);
+    asm.label("join");
+    asm.addi(i, i, -1);
+    asm.bnez("loop", i);
+    asm.ecall();
+    asm.assemble().expect("fixed program assembles")
+}
+
+/// The same loop without the parity fork: the trace's steady loop runs
+/// to the counter's end, so it is emphatically profitable.
+fn straight_loop(iters: i32) -> Vec<Instr> {
+    let (i, acc) = (XReg::s(0), XReg::s(1));
+    let mut asm = Assembler::new();
+    asm.li(i, iters);
+    asm.li(acc, 0);
+    asm.label("loop");
+    asm.addi(acc, acc, 3);
+    asm.addi(acc, acc, 5);
+    asm.addi(i, i, -1);
+    asm.bnez("loop", i);
+    asm.ecall();
+    asm.assemble().expect("fixed program assembles")
+}
+
+#[test]
+fn side_exiting_trace_is_demoted() {
+    let iters = 5_000;
+    let cpu = run(&alternating_loop(iters), true);
+    let want = (iters / 2) * 3 + (iters / 2) * 5; // odd + even visits
+    assert_eq!(cpu.xreg(XReg::s(1)), want as u32);
+    let ts = cpu.trace_stats();
+    assert!(ts.formed >= 1, "the hot loop must form a trace: {ts:?}");
+    assert!(
+        ts.demoted >= 1,
+        "an always-side-exiting trace must be demoted: {ts:?}"
+    );
+}
+
+#[test]
+fn steady_loop_trace_is_not_demoted() {
+    let iters = 5_000;
+    let cpu = run(&straight_loop(iters), true);
+    assert_eq!(cpu.xreg(XReg::s(1)), (iters * 8) as u32);
+    let ts = cpu.trace_stats();
+    assert!(ts.formed >= 1, "the hot loop must form a trace: {ts:?}");
+    assert_eq!(ts.demoted, 0, "a profitable loop must stay a trace: {ts:?}");
+    assert!(
+        ts.retired > ts.execs * 100,
+        "the steady loop must dominate retirement: {ts:?}"
+    );
+}
+
+/// Demotion is a pure engine-tier decision: the run with traces (and a
+/// demotion firing mid-run) must land bit-identically on the trace-less
+/// reference, including cycles, fflags and energy.
+#[test]
+fn demotion_preserves_architectural_state() {
+    let with = run(&alternating_loop(4_000), true);
+    assert!(with.trace_stats().demoted >= 1, "demotion must fire");
+    let without = run(&alternating_loop(4_000), false);
+    let (a, b) = (with.snapshot(), without.snapshot());
+    assert!(
+        a.state_eq(&b),
+        "engine tiers diverged in {}",
+        a.first_difference(&b).unwrap_or("nothing?!")
+    );
+}

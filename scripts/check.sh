@@ -8,6 +8,8 @@
 # BENCH_sim_dispatch.json / BENCH_sim_blocks.json / BENCH_sim_traces.json are
 # refreshed manually via
 #   SMALLFLOAT_BENCH_JSON=out.json cargo bench -p smallfloat-bench --bench <name>
+# and BENCH_serving.json via
+#   cargo run --release -p smallfloat-bench --bin serve_bench -- --json BENCH_serving.json
 #
 # The basic-block micro-op cache and the superblock trace tier stacked on it
 # are both on by default; SMALLFLOAT_NOBLOCKS=1 forces every Cpu::run onto the
@@ -41,6 +43,14 @@ cargo test --release -q -p smallfloat-softfp --test vdotpex4_f8_differential
 
 echo "==> nn QoR regression suite (release: end-to-end formats/modes, manual-SIMD floors, pinned tuned assignments)"
 cargo test --release -q -p smallfloat-nn
+
+echo "==> cluster + trace-profitability gates (release)"
+cargo test --release -q -p smallfloat-cluster
+cargo test --release -q -p smallfloat-sim --test trace_profit --test concurrent_forks
+cargo test --release -q -p smallfloat-bench --test nn_trace_regression
+
+echo "==> serving smoke: small batch on 1 and 2 cores, every request replayed on the single-core reference"
+cargo run --release -q -p smallfloat-bench --bin serve_bench -- --smoke
 
 if [[ "${1:-}" == "--full" ]]; then
     echo "==> cargo fmt --check"
