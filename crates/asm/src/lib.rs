@@ -436,20 +436,23 @@ impl Assembler {
 
     // --------------- scalar FP ---------------
 
-    /// Format-directed FP load (`flw`/`flh`/`flb`).
+    /// Format-directed FP load (`flw`/`flh`/`flb`). Loads are bit moves,
+    /// so alt-bank formats canonicalize to the width's canonical format
+    /// (`Ab` → `flb`, exactly as decode would return it).
     pub fn fload(&mut self, fmt: FpFmt, rd: FReg, rs1: XReg, offset: i32) -> &mut Assembler {
         self.push(Instr::FLoad {
-            fmt,
+            fmt: fmt.mem_fmt(),
             rd,
             rs1,
             offset,
         })
     }
 
-    /// Format-directed FP store (`fsw`/`fsh`/`fsb`).
+    /// Format-directed FP store (`fsw`/`fsh`/`fsb`), canonicalized per
+    /// width like [`Assembler::fload`].
     pub fn fstore(&mut self, fmt: FpFmt, rs2: FReg, rs1: XReg, offset: i32) -> &mut Assembler {
         self.push(Instr::FStore {
-            fmt,
+            fmt: fmt.mem_fmt(),
             rs2,
             rs1,
             offset,
@@ -790,6 +793,31 @@ impl Assembler {
     /// lane 0 replicated (one weight row against a broadcast activation).
     pub fn vfdotpex_r(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
         self.push(Instr::VFDotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep: true,
+        })
+    }
+
+    /// `vfsdotpex.wide.fmt rd, rs1, rs2` — ExSdotp-style expanding
+    /// sum-of-dot-products: destination lane `j` (twice the source width)
+    /// accumulates `rs1[2j]*rs2[2j] + rs1[2j+1]*rs2[2j+1]`.
+    pub fn vfsdotpex(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::VFSdotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep: false,
+        })
+    }
+
+    /// `vfsdotpex.r.wide.fmt rd, rs1, rs2` — [`Assembler::vfsdotpex`]
+    /// with `rs2` lane 0 replicated.
+    pub fn vfsdotpex_r(&mut self, fmt: FpFmt, rd: FReg, rs1: FReg, rs2: FReg) -> &mut Assembler {
+        self.push(Instr::VFSdotpEx {
             fmt,
             rd,
             rs1,

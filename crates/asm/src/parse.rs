@@ -103,13 +103,8 @@ fn mem_operand(tok: &str) -> PResult<(i32, XReg)> {
 }
 
 fn fmt_suffix(tok: &str) -> PResult<FpFmt> {
-    match tok {
-        "s" => Ok(FpFmt::S),
-        "h" => Ok(FpFmt::H),
-        "ah" => Ok(FpFmt::Ah),
-        "b" => Ok(FpFmt::B),
-        _ => Err(ParseError::new(format!("unknown format suffix `.{tok}`"))),
-    }
+    FpFmt::from_suffix(tok)
+        .ok_or_else(|| ParseError::new(format!("unknown format suffix `.{tok}`")))
 }
 
 fn rm_operand(tok: &str) -> PResult<Rm> {
@@ -659,6 +654,32 @@ pub fn parse_line(line: &str) -> PResult<Instr> {
                 rep,
             })
         }
+        ("vfsdotpex", rest_suffix) => {
+            // `vfsdotpex[.r].{wide}.{fmt}`: the destination-format infix
+            // must be the source format's exact widening.
+            let (rep, wide, f) = match rest_suffix {
+                ["r", w, f] => (true, w, f),
+                [w, f] => (false, w, f),
+                _ => return Err(ParseError::new(format!("bad suffixes on `{mnem}`"))),
+            };
+            expect_operands(&ops, 3, mnem)?;
+            let fmt = fmt_suffix(f)?;
+            match fmt.widen() {
+                Some(exp) if exp.suffix() == *wide => {}
+                _ => {
+                    return Err(ParseError::new(format!(
+                        "`.{wide}` is not the widening of `.{f}` in `{mnem}`"
+                    )))
+                }
+            }
+            Ok(Instr::VFSdotpEx {
+                fmt,
+                rd: freg(ops[0])?,
+                rs1: freg(ops[1])?,
+                rs2: freg(ops[2])?,
+                rep,
+            })
+        }
         _ => Err(ParseError::new(format!("unknown mnemonic `{mnem}`"))),
     }
 }
@@ -763,6 +784,56 @@ mod tests {
                 rs2: FReg::new(3),
             }
         );
+    }
+
+    #[test]
+    fn parses_ab_and_vfsdotpex_forms() {
+        // binary8alt scalar ops: the `.ab` suffix selects the alt bank.
+        assert_eq!(
+            parse_line("fadd.ab ft0, ft1, ft2").unwrap(),
+            Instr::FOp {
+                op: FpOp::Add,
+                fmt: FpFmt::Ab,
+                rd: FReg::new(0),
+                rs1: FReg::new(1),
+                rs2: FReg::new(2),
+                rm: Rm::Dyn,
+            }
+        );
+        // Cross-bank 8-bit conversion mnemonics in both directions.
+        assert_eq!(
+            parse_line("fcvt.ab.b ft0, ft1").unwrap(),
+            Instr::FCvtFF {
+                dst: FpFmt::Ab,
+                src: FpFmt::B,
+                rd: FReg::new(0),
+                rs1: FReg::new(1),
+                rm: Rm::Dyn,
+            }
+        );
+        // vfsdotpex names both the wide destination and the lane format;
+        // plain and replicated forms at a 16-bit and an alt-bank 8-bit
+        // lane format.
+        for (text, fmt, rep) in [
+            ("vfsdotpex.s.h ft0, ft1, ft2", FpFmt::H, false),
+            ("vfsdotpex.r.h.b ft0, ft1, ft2", FpFmt::B, true),
+            ("vfsdotpex.h.ab ft0, ft1, ft2", FpFmt::Ab, false),
+        ] {
+            assert_eq!(
+                parse_line(text).unwrap(),
+                Instr::VFSdotpEx {
+                    fmt,
+                    rd: FReg::new(0),
+                    rs1: FReg::new(1),
+                    rs2: FReg::new(2),
+                    rep,
+                },
+                "{text}"
+            );
+        }
+        // Display → parse closes the loop for the alt-bank form.
+        let i = parse_line("vfsdotpex.r.h.ab fa0, fa1, fa2").unwrap();
+        assert_eq!(parse_line(&i.to_string()).unwrap(), i);
     }
 
     #[test]

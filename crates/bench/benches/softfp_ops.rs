@@ -186,7 +186,14 @@ fn main() {
         let mut env = Env::new(Rounding::Rne);
         let mut acc = 0u32;
         for &(va, vb) in &v8 {
-            acc = batch::vdotpex4_f8(acc, black_box(va), black_box(vb), false, &mut env);
+            acc = batch::vdotpex4_f8(
+                Format::BINARY8,
+                acc,
+                black_box(va),
+                black_box(vb),
+                false,
+                &mut env,
+            );
         }
         acc
     });

@@ -470,7 +470,14 @@ pub fn fig5_codegen() -> String {
             Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i")),
         )],
     )];
-    let auto = compile(&k, CodegenOptions { vectorize: true }).expect("compiles");
+    let auto = compile(
+        &k,
+        CodegenOptions {
+            vectorize: true,
+            ..Default::default()
+        },
+    )
+    .expect("compiles");
 
     // Manual: Fig. 5 right — vfmul + two __macex per packed pair becomes
     // one vfdotpex per pair here (the Xfaux dot product fuses both MACs).

@@ -33,14 +33,65 @@ pub struct NnRow {
     pub accuracy: f64,
 }
 
-/// Lower-case paper-style name of a format.
+/// Lower-case paper-style name of a format (the registry's IEEE name).
 pub fn fmt_name(fmt: FpFmt) -> &'static str {
-    match fmt {
-        FpFmt::S => "binary32",
-        FpFmt::H => "binary16",
-        FpFmt::Ah => "binary16alt",
-        FpFmt::B => "binary8",
+    fmt.name()
+}
+
+/// One point of a network's accuracy-vs-energy frontier: a uniform format
+/// at the deployment configuration (manual vectorization, L1).
+#[derive(Clone, Debug)]
+pub struct FrontierPoint {
+    /// Uniform format name.
+    pub precision: String,
+    /// Total energy (pJ) over the evaluation set.
+    pub energy_pj: f64,
+    /// Top-1 accuracy.
+    pub accuracy: f64,
+    /// True when no other uniform format reaches higher accuracy at
+    /// equal-or-lower energy (Pareto-optimal).
+    pub pareto: bool,
+}
+
+/// The per-network accuracy-vs-energy frontier over the uniform formats,
+/// taken at manual vectorization and L1 (energy-ascending order).
+pub fn nn_frontier(rows: &[NnRow]) -> Vec<(String, Vec<FrontierPoint>)> {
+    let mut nets: Vec<String> = Vec::new();
+    for r in rows {
+        if !nets.contains(&r.network) {
+            nets.push(r.network.clone());
+        }
     }
+    nets.into_iter()
+        .map(|net| {
+            let pts: Vec<&NnRow> = rows
+                .iter()
+                .filter(|r| {
+                    r.network == net
+                        && r.precision != "tuned"
+                        && r.mode == VecMode::Manual
+                        && r.mem == MemLevel::L1
+                })
+                .collect();
+            let mut v: Vec<FrontierPoint> = pts
+                .iter()
+                .map(|r| {
+                    let dominated = pts.iter().any(|o| {
+                        (o.energy_pj < r.energy_pj && o.accuracy >= r.accuracy)
+                            || (o.energy_pj <= r.energy_pj && o.accuracy > r.accuracy)
+                    });
+                    FrontierPoint {
+                        precision: r.precision.clone(),
+                        energy_pj: r.energy_pj,
+                        accuracy: r.accuracy,
+                        pareto: !dominated,
+                    }
+                })
+                .collect();
+            v.sort_by(|a, b| a.energy_pj.total_cmp(&b.energy_pj));
+            (net, v)
+        })
+        .collect()
 }
 
 fn mode_name(mode: VecMode) -> &'static str {
@@ -68,7 +119,7 @@ pub fn nn_sweep() -> (Vec<NnRow>, Vec<(String, NetTune)>) {
     let mut tunes = Vec::new();
     for (net, ds) in [smallfloat_nn::mlp(), smallfloat_nn::cnn()] {
         let tuned = tune_network(&net, &ds, &config);
-        let mut schemes: Vec<(String, Assignment)> = [FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B]
+        let mut schemes: Vec<(String, Assignment)> = FpFmt::ALL
             .into_iter()
             .map(|f| (fmt_name(f).to_string(), uniform_assignment(&net, f)))
             .collect();
@@ -121,6 +172,23 @@ pub fn nn_render(rows: &[NnRow], tunes: &[(String, NetTune)]) -> String {
             tune.churn
         )
         .unwrap();
+        if let Some((_, pts)) = nn_frontier(rows).iter().find(|(n, _)| n == name) {
+            writeln!(
+                out,
+                "{name} — frontier (manual @ L1): {}",
+                pts.iter()
+                    .map(|p| format!(
+                        "{}{} {:.1}% {:.0}pJ",
+                        p.precision,
+                        if p.pareto { "*" } else { "" },
+                        p.accuracy * 100.0,
+                        p.energy_pj
+                    ))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            )
+            .unwrap();
+        }
         writeln!(
             out,
             "{:<12} {:>6} {:>4} {:>10} {:>10} {:>8} {:>8} {:>9}",
@@ -158,7 +226,7 @@ pub fn nn_json(rows: &[NnRow], tunes: &[(String, NetTune)]) -> String {
         "  \"unit\": \"total simulated cycles / retired instructions / energy (pJ) over each task's 64-sample evaluation set; accuracy is top-1 on the same set\",\n",
     );
     out.push_str(
-        "  \"methodology\": \"cargo run --release -p smallfloat-bench --bin nn_table -- --json BENCH_nn.json. Both smallfloat-nn tasks (MLP 64-32-16-4, CNN 1x8x8 conv-pool-4) run end-to-end on the cycle-accurate simulator at the four uniform formats plus the tuner-derived per-layer mixed assignment, at every vectorization mode (scalar, auto-vectorized, hand-written intrinsics) and memory level (L1/L2/L3). All numbers are deterministic simulator outputs: the file must regenerate byte-identically.\",\n",
+        "  \"methodology\": \"cargo run --release -p smallfloat-bench --bin nn_table -- --json BENCH_nn.json. Both smallfloat-nn tasks (MLP 64-32-16-4, CNN 1x8x8 conv-pool-4) run end-to-end on the cycle-accurate simulator at the five registry formats (binary32, binary16, binary16alt, binary8 E5M2, binary8alt E4M3) plus the tuner-derived per-layer mixed assignment, at every vectorization mode (scalar, auto-vectorized, hand-written intrinsics) and memory level (L1/L2/L3). The frontier section lists each network's accuracy-vs-energy points over the uniform formats at the deployment configuration (manual, L1), flagging the Pareto-optimal ones. All numbers are deterministic simulator outputs: the file must regenerate byte-identically.\",\n",
     );
     out.push_str("  \"tuned\": {\n");
     for (i, (name, tune)) in tunes.iter().enumerate() {
@@ -174,6 +242,30 @@ pub fn nn_json(rows: &[NnRow], tunes: &[(String, NetTune)]) -> String {
             json_f64(tune.churn),
             tune.result.evaluations,
             if i + 1 < tunes.len() { "," } else { "" }
+        )
+        .unwrap();
+    }
+    out.push_str("  },\n");
+    out.push_str("  \"frontier\": {\n");
+    let frontier = nn_frontier(rows);
+    for (i, (name, pts)) in frontier.iter().enumerate() {
+        writeln!(out, "    \"{name}\": [").unwrap();
+        for (j, p) in pts.iter().enumerate() {
+            writeln!(
+                out,
+                "      {{\"precision\": \"{}\", \"energy_pj\": {}, \"accuracy\": {}, \"pareto\": {}}}{}",
+                p.precision,
+                json_f64(p.energy_pj),
+                json_f64(p.accuracy),
+                p.pareto,
+                if j + 1 < pts.len() { "," } else { "" }
+            )
+            .unwrap();
+        }
+        writeln!(
+            out,
+            "    ]{}",
+            if i + 1 < frontier.len() { "," } else { "" }
         )
         .unwrap();
     }
@@ -219,5 +311,43 @@ mod tests {
         assert_eq!(json_f64(1.0), "1.0");
         assert_eq!(json_f64(0.984375), "0.984375");
         assert_eq!(json_f64(1234567.0), "1234567.0");
+    }
+
+    #[test]
+    fn frontier_marks_pareto_points() {
+        let row = |precision: &str, energy_pj: f64, accuracy: f64| NnRow {
+            network: "N".to_string(),
+            precision: precision.to_string(),
+            mode: VecMode::Manual,
+            mem: MemLevel::L1,
+            cycles: 1,
+            instret: 1,
+            energy_pj,
+            accuracy,
+        };
+        let rows = vec![
+            row("binary8", 1.0, 0.25), // dominated: binary8alt ties energy, wins accuracy
+            row("binary8alt", 1.0, 0.5), // pareto
+            row("binary16", 2.0, 1.0), // pareto
+            row("binary32", 4.0, 1.0), // dominated by binary16
+            row("tuned", 0.5, 1.0),    // mixed assignments stay off the uniform frontier
+        ];
+        let frontier = nn_frontier(&rows);
+        assert_eq!(frontier.len(), 1);
+        let (net, pts) = &frontier[0];
+        assert_eq!(net, "N");
+        let flags: Vec<(&str, bool)> = pts
+            .iter()
+            .map(|p| (p.precision.as_str(), p.pareto))
+            .collect();
+        assert_eq!(
+            flags,
+            [
+                ("binary8", false),
+                ("binary8alt", true),
+                ("binary16", true),
+                ("binary32", false),
+            ]
+        );
     }
 }

@@ -187,7 +187,7 @@ impl FleetReport {
     }
 }
 
-/// The precision variants the fleet covers: the four uniform ones plus a
+/// The precision variants the fleet covers: the five uniform ones plus a
 /// mixed assignment (first array widened to binary32 over a binary16
 /// default), matching the block-path differential gate.
 pub fn precisions(w: &dyn Workload) -> Vec<Precision> {

@@ -110,6 +110,33 @@ fn rm_field(w: u32) -> Result<Rm, DecodeError> {
     Rm::from_code(funct3(w)).ok_or_else(|| DecodeError::full(w))
 }
 
+/// The (format, rounding mode) of rounded FP ops. funct3 carries the rm
+/// field, with the reserved rm code `101` repurposed as the alt-bank
+/// selector over `code` (alt-bank formats are dynamic-rounding only).
+fn fp_fmt_rm(w: u32, code: u32) -> Result<(FpFmt, Rm), DecodeError> {
+    if funct3(w) == 0b101 {
+        let fmt = FpFmt::from_code_alt(code, true).ok_or_else(|| DecodeError::full(w))?;
+        Ok((fmt, Rm::Dyn))
+    } else {
+        Ok((FpFmt::from_code(code), rm_field(w)?))
+    }
+}
+
+/// The (format, low funct3 bits) of unrounded FP ops: funct3 bit 2 is the
+/// alt-bank selector, the low two bits select the operation variant.
+fn fp_fmt_fixed(w: u32) -> Result<(FpFmt, u32), DecodeError> {
+    let alt = funct3(w) & 0b100 != 0;
+    let fmt = FpFmt::from_code_alt(funct7(w) & 0b11, alt).ok_or_else(|| DecodeError::full(w))?;
+    Ok((fmt, funct3(w) & 0b011))
+}
+
+/// The source format of a float-to-float conversion: the rs2 slot carries
+/// the fmt code in its low two bits and the alt-bank selector in bit 2.
+fn cvt_src_fmt(w: u32) -> Result<FpFmt, DecodeError> {
+    let field = (w >> 20) & 0x1f;
+    FpFmt::from_code_alt(field & 0b11, field & 0b100 != 0).ok_or_else(|| DecodeError::full(w))
+}
+
 /// Decode a 32-bit instruction word.
 ///
 /// # Errors
@@ -248,12 +275,9 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
             }
         }
         OPC_LOAD_FP => {
-            let fmt = match funct3(w) {
-                0b000 => FpFmt::B,
-                0b001 => FpFmt::H, // 16-bit loads are format-agnostic; H is canonical
-                0b010 => FpFmt::S,
-                _ => return Err(err()),
-            };
+            // Loads are format-agnostic; the canonical format per width
+            // (B, H, S) represents them after decode.
+            let fmt = FpFmt::from_mem_code(funct3(w)).ok_or_else(err)?;
             Ok(Instr::FLoad {
                 fmt,
                 rd: frd(w),
@@ -262,12 +286,7 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
             })
         }
         OPC_STORE_FP => {
-            let fmt = match funct3(w) {
-                0b000 => FpFmt::B,
-                0b001 => FpFmt::H,
-                0b010 => FpFmt::S,
-                _ => return Err(err()),
-            };
+            let fmt = FpFmt::from_mem_code(funct3(w)).ok_or_else(err)?;
             Ok(Instr::FStore {
                 fmt,
                 rs2: frs2(w),
@@ -282,14 +301,15 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
                 OPC_NMSUB => FmaOp::Nmsub,
                 _ => FmaOp::Nmadd,
             };
+            let (fmt, rm) = fp_fmt_rm(w, (w >> 25) & 0b11)?;
             Ok(Instr::FFma {
                 op,
-                fmt: FpFmt::from_code((w >> 25) & 0b11),
+                fmt,
                 rd: frd(w),
                 rs1: frs1(w),
                 rs2: frs2(w),
                 rs3: frs3(w),
-                rm: rm_field(w)?,
+                rm,
             })
         }
         OPC_OP_FP => decode_op_fp(w),
@@ -300,7 +320,8 @@ pub fn decode(w: u32) -> Result<Instr, DecodeError> {
 fn decode_op(w: u32) -> Result<Instr, DecodeError> {
     let err = || DecodeError::full(w);
     let f7 = funct7(w);
-    if f7 >> 5 == 0b10 {
+    // funct7[6:5] = 10 is the base-bank vector prefix, 11 the alt bank.
+    if f7 >> 5 >= 0b10 {
         return decode_vector(w);
     }
     if f7 == 0b0000001 {
@@ -345,7 +366,8 @@ fn decode_op(w: u32) -> Result<Instr, DecodeError> {
 fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
     let err = || DecodeError::full(w);
     let vecop = funct7(w) & 0x1f;
-    let fmt = FpFmt::from_code(funct3(w) >> 1);
+    let alt = funct7(w) >> 5 == 0b11;
+    let fmt = FpFmt::from_code_alt(funct3(w) >> 1, alt).ok_or_else(err)?;
     let rep = funct3(w) & 1 == 1;
     let simple = |op| {
         Ok(Instr::VFOp {
@@ -398,7 +420,7 @@ fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
             if rep {
                 return Err(err());
             }
-            let src = FpFmt::from_code((w >> 20) & 0b11);
+            let src = cvt_src_fmt(w)?;
             Ok(Instr::VFCvtFF {
                 dst: fmt,
                 src,
@@ -452,6 +474,19 @@ fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
             rs2: frs2(w),
             rep,
         }),
+        V_SDOTPEX => {
+            // The destination must be expressible as wider lanes.
+            if fmt.widen().is_none() {
+                return Err(err());
+            }
+            Ok(Instr::VFSdotpEx {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rep,
+            })
+        }
         _ => Err(err()),
     }
 }
@@ -459,7 +494,7 @@ fn decode_vector(w: u32) -> Result<Instr, DecodeError> {
 fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
     let err = || DecodeError::full(w);
     let f5 = funct7(w) >> 2;
-    let fmt = FpFmt::from_code(funct7(w) & 0b11);
+    let code = funct7(w) & 0b11;
     let rs2field = (w >> 20) & 0x1f;
     match f5 {
         F5_ADD | F5_SUB | F5_MUL | F5_DIV => {
@@ -469,31 +504,34 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 F5_MUL => FpOp::Mul,
                 _ => FpOp::Div,
             };
+            let (fmt, rm) = fp_fmt_rm(w, code)?;
             Ok(Instr::FOp {
                 op,
                 fmt,
                 rd: frd(w),
                 rs1: frs1(w),
                 rs2: frs2(w),
-                rm: rm_field(w)?,
+                rm,
             })
         }
         F5_SQRT => {
             if rs2field != 0 {
                 return Err(err());
             }
+            let (fmt, rm) = fp_fmt_rm(w, code)?;
             Ok(Instr::FSqrt {
                 fmt,
                 rd: frd(w),
                 rs1: frs1(w),
-                rm: rm_field(w)?,
+                rm,
             })
         }
         F5_SGNJ => {
-            let kind = match funct3(w) {
-                0b000 => SgnjKind::Sgnj,
-                0b001 => SgnjKind::Sgnjn,
-                0b010 => SgnjKind::Sgnjx,
+            let (fmt, f3) = fp_fmt_fixed(w)?;
+            let kind = match f3 {
+                0b00 => SgnjKind::Sgnj,
+                0b01 => SgnjKind::Sgnjn,
+                0b10 => SgnjKind::Sgnjx,
                 _ => return Err(err()),
             };
             Ok(Instr::FSgnj {
@@ -505,9 +543,10 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
             })
         }
         F5_MINMAX => {
-            let op = match funct3(w) {
-                0b000 => MinMaxOp::Min,
-                0b001 => MinMaxOp::Max,
+            let (fmt, f3) = fp_fmt_fixed(w)?;
+            let op = match f3 {
+                0b00 => MinMaxOp::Min,
+                0b01 => MinMaxOp::Max,
                 _ => return Err(err()),
             };
             Ok(Instr::FMinMax {
@@ -518,32 +557,42 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
                 rs2: frs2(w),
             })
         }
-        F5_MULEX => Ok(Instr::FMulEx {
-            fmt,
-            rd: frd(w),
-            rs1: frs1(w),
-            rs2: frs2(w),
-            rm: rm_field(w)?,
-        }),
-        F5_MACEX => Ok(Instr::FMacEx {
-            fmt,
-            rd: frd(w),
-            rs1: frs1(w),
-            rs2: frs2(w),
-            rm: rm_field(w)?,
-        }),
-        F5_CVT_FF => Ok(Instr::FCvtFF {
-            dst: fmt,
-            src: FpFmt::from_code(rs2field & 0b11),
-            rd: frd(w),
-            rs1: frs1(w),
-            rm: rm_field(w)?,
-        }),
+        F5_MULEX => {
+            let (fmt, rm) = fp_fmt_rm(w, code)?;
+            Ok(Instr::FMulEx {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rm,
+            })
+        }
+        F5_MACEX => {
+            let (fmt, rm) = fp_fmt_rm(w, code)?;
+            Ok(Instr::FMacEx {
+                fmt,
+                rd: frd(w),
+                rs1: frs1(w),
+                rs2: frs2(w),
+                rm,
+            })
+        }
+        F5_CVT_FF => {
+            let (dst, rm) = fp_fmt_rm(w, code)?;
+            Ok(Instr::FCvtFF {
+                dst,
+                src: cvt_src_fmt(w)?,
+                rd: frd(w),
+                rs1: frs1(w),
+                rm,
+            })
+        }
         F5_CMP => {
-            let op = match funct3(w) {
-                0b000 => CmpOp::Le,
-                0b001 => CmpOp::Lt,
-                0b010 => CmpOp::Eq,
+            let (fmt, f3) = fp_fmt_fixed(w)?;
+            let op = match f3 {
+                0b00 => CmpOp::Le,
+                0b01 => CmpOp::Lt,
+                0b10 => CmpOp::Eq,
                 _ => return Err(err()),
             };
             Ok(Instr::FCmp {
@@ -558,37 +607,40 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
             if rs2field > 1 {
                 return Err(err());
             }
+            let (fmt, rm) = fp_fmt_rm(w, code)?;
             Ok(Instr::FCvtFI {
                 fmt,
                 rd: xrd(w),
                 rs1: frs1(w),
                 signed: rs2field == 0,
-                rm: rm_field(w)?,
+                rm,
             })
         }
         F5_CVT_IF => {
             if rs2field > 1 {
                 return Err(err());
             }
+            let (fmt, rm) = fp_fmt_rm(w, code)?;
             Ok(Instr::FCvtIF {
                 fmt,
                 rd: frd(w),
                 rs1: xrs1(w),
                 signed: rs2field == 0,
-                rm: rm_field(w)?,
+                rm,
             })
         }
         F5_MV_X => {
             if rs2field != 0 {
                 return Err(err());
             }
-            match funct3(w) {
-                0b000 => Ok(Instr::FMvXF {
+            let (fmt, f3) = fp_fmt_fixed(w)?;
+            match f3 {
+                0b00 => Ok(Instr::FMvXF {
                     fmt,
                     rd: xrd(w),
                     rs1: frs1(w),
                 }),
-                0b001 => Ok(Instr::FClass {
+                0b01 => Ok(Instr::FClass {
                     fmt,
                     rd: xrd(w),
                     rs1: frs1(w),
@@ -597,7 +649,8 @@ fn decode_op_fp(w: u32) -> Result<Instr, DecodeError> {
             }
         }
         F5_MV_F => {
-            if rs2field != 0 || funct3(w) != 0 {
+            let (fmt, f3) = fp_fmt_fixed(w)?;
+            if rs2field != 0 || f3 != 0 {
                 return Err(err());
             }
             Ok(Instr::FMvFX {

@@ -350,16 +350,26 @@ impl fmt::Display for Instr {
             } => {
                 write!(f, "vfdotpex{}.s.{fmt} {rd}, {rs1}, {rs2}", rep_infix(rep))
             }
+            Instr::VFSdotpEx {
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rep,
+            } => {
+                let wide = fmt.widen().unwrap_or(fmt);
+                write!(
+                    f,
+                    "vfsdotpex{}.{wide}.{fmt} {rd}, {rs1}, {rs2}",
+                    rep_infix(rep)
+                )
+            }
         }
     }
 }
 
 fn mem_suffix(fmt: crate::fmt::FpFmt) -> &'static str {
-    match fmt {
-        crate::fmt::FpFmt::S => "w",
-        crate::fmt::FpFmt::H | crate::fmt::FpFmt::Ah => "h",
-        crate::fmt::FpFmt::B => "b",
-    }
+    fmt.mem_suffix()
 }
 
 fn rep_infix(rep: bool) -> &'static str {

@@ -68,6 +68,7 @@ pub(crate) const V_CVT_FXU: u32 = 0b10101; // unsigned int lanes → float
 pub(crate) const V_CPK_A: u32 = 0b10110;
 pub(crate) const V_CPK_B: u32 = 0b10111;
 pub(crate) const V_DOTPEX: u32 = 0b11000;
+pub(crate) const V_SDOTPEX: u32 = 0b11001;
 
 fn rd(r: impl Into<usize>) -> u32 {
     (r.into() as u32) << 7
@@ -132,8 +133,38 @@ fn fp_funct7(funct5: u32, fmt: FpFmt) -> u32 {
     funct7((funct5 << 2) | fmt.code())
 }
 
-fn vec_funct7(vecop: u32) -> u32 {
-    funct7(0b10_00000 | (vecop & 0x1f))
+/// The rm funct3 field of rounded scalar FP ops. Alt-bank formats carry
+/// their selector in the rm slot (the reserved code `101`) and are
+/// therefore dynamic-rounding only.
+fn fp_rm_funct3(fmt: FpFmt, rm: Rm) -> u32 {
+    if fmt.alt_bank() {
+        assert!(
+            rm == Rm::Dyn,
+            "alt-bank format {fmt} has no rounding-mode field (dynamic rounding only)"
+        );
+        funct3(0b101)
+    } else {
+        funct3(rm.code())
+    }
+}
+
+/// The funct3 field of unrounded scalar FP ops (sign-injection, min/max,
+/// compares, moves, classify): bit 2 is the alt-bank selector.
+fn fp_fixed_funct3(fmt: FpFmt, f3: u32) -> u32 {
+    funct3(f3 | if fmt.alt_bank() { 0b100 } else { 0 })
+}
+
+/// The rs2-slot source-format field of float-to-float conversions: bit 2
+/// is the alt-bank selector for the *source* format.
+fn cvt_src_field(src: FpFmt) -> u32 {
+    (src.code() | if src.alt_bank() { 0b100 } else { 0 }) << 20
+}
+
+/// Vector ops live under the unused `funct7[6:5]` prefixes of OP: `10` for
+/// the base format bank, `11` for the alt bank.
+fn vec_funct7(vecop: u32, fmt: FpFmt) -> u32 {
+    let prefix: u32 = if fmt.alt_bank() { 0b11 } else { 0b10 };
+    funct7((prefix << 5) | (vecop & 0x1f))
 }
 
 fn vec_funct3(fmt: FpFmt, rep: bool) -> u32 {
@@ -170,11 +201,9 @@ fn store_funct3(width: MemWidth) -> u32 {
 }
 
 fn fp_mem_funct3(fmt: FpFmt) -> u32 {
-    funct3(match fmt {
-        FpFmt::B => 0b000,
-        FpFmt::H | FpFmt::Ah => 0b001, // both 16-bit formats share flh/fsh
-        FpFmt::S => 0b010,
-    })
+    // Loads/stores are format-agnostic bit moves: all formats of one width
+    // share the funct3 code (flh serves H and Ah, flb serves B and Ab).
+    funct3(fmt.mem_code())
 }
 
 /// Encode an instruction into its 32-bit word.
@@ -308,14 +337,14 @@ pub fn encode(instr: &Instr) -> u32 {
                 FpOp::Mul => F5_MUL,
                 FpOp::Div => F5_DIV,
             };
-            OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(f5, fmt)
+            OPC_OP_FP | rd(d) | fp_rm_funct3(fmt, rm) | rs1(r1) | rs2(r2) | fp_funct7(f5, fmt)
         }
         Instr::FSqrt {
             fmt,
             rd: d,
             rs1: r1,
             rm,
-        } => OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | fp_funct7(F5_SQRT, fmt),
+        } => OPC_OP_FP | rd(d) | fp_rm_funct3(fmt, rm) | rs1(r1) | fp_funct7(F5_SQRT, fmt),
         Instr::FSgnj {
             kind,
             fmt,
@@ -328,7 +357,12 @@ pub fn encode(instr: &Instr) -> u32 {
                 SgnjKind::Sgnjn => 0b001,
                 SgnjKind::Sgnjx => 0b010,
             };
-            OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_SGNJ, fmt)
+            OPC_OP_FP
+                | rd(d)
+                | fp_fixed_funct3(fmt, f3)
+                | rs1(r1)
+                | rs2(r2)
+                | fp_funct7(F5_SGNJ, fmt)
         }
         Instr::FMinMax {
             op,
@@ -341,7 +375,12 @@ pub fn encode(instr: &Instr) -> u32 {
                 MinMaxOp::Min => 0b000,
                 MinMaxOp::Max => 0b001,
             };
-            OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_MINMAX, fmt)
+            OPC_OP_FP
+                | rd(d)
+                | fp_fixed_funct3(fmt, f3)
+                | rs1(r1)
+                | rs2(r2)
+                | fp_funct7(F5_MINMAX, fmt)
         }
         Instr::FFma {
             op,
@@ -359,7 +398,7 @@ pub fn encode(instr: &Instr) -> u32 {
                 FmaOp::Nmadd => OPC_NMADD,
             };
             opc | rd(d)
-                | funct3(rm.code())
+                | fp_rm_funct3(fmt, rm)
                 | rs1(r1)
                 | rs2(r2)
                 | (fmt.code() << 25)
@@ -377,23 +416,28 @@ pub fn encode(instr: &Instr) -> u32 {
                 CmpOp::Lt => 0b001,
                 CmpOp::Eq => 0b010,
             };
-            OPC_OP_FP | rd(d) | funct3(f3) | rs1(r1) | rs2(r2) | fp_funct7(F5_CMP, fmt)
+            OPC_OP_FP
+                | rd(d)
+                | fp_fixed_funct3(fmt, f3)
+                | rs1(r1)
+                | rs2(r2)
+                | fp_funct7(F5_CMP, fmt)
         }
         Instr::FClass {
             fmt,
             rd: d,
             rs1: r1,
-        } => OPC_OP_FP | rd(d) | funct3(0b001) | rs1(r1) | fp_funct7(F5_MV_X, fmt),
+        } => OPC_OP_FP | rd(d) | fp_fixed_funct3(fmt, 0b001) | rs1(r1) | fp_funct7(F5_MV_X, fmt),
         Instr::FMvXF {
             fmt,
             rd: d,
             rs1: r1,
-        } => OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_X, fmt),
+        } => OPC_OP_FP | rd(d) | fp_fixed_funct3(fmt, 0b000) | rs1(r1) | fp_funct7(F5_MV_X, fmt),
         Instr::FMvFX {
             fmt,
             rd: d,
             rs1: r1,
-        } => OPC_OP_FP | rd(d) | funct3(0b000) | rs1(r1) | fp_funct7(F5_MV_F, fmt),
+        } => OPC_OP_FP | rd(d) | fp_fixed_funct3(fmt, 0b000) | rs1(r1) | fp_funct7(F5_MV_F, fmt),
         Instr::FCvtFF {
             dst,
             src,
@@ -403,9 +447,9 @@ pub fn encode(instr: &Instr) -> u32 {
         } => {
             OPC_OP_FP
                 | rd(d)
-                | funct3(rm.code())
+                | fp_rm_funct3(dst, rm)
                 | rs1(r1)
-                | (src.code() << 20)
+                | cvt_src_field(src)
                 | fp_funct7(F5_CVT_FF, dst)
         }
         Instr::FCvtFI {
@@ -418,7 +462,7 @@ pub fn encode(instr: &Instr) -> u32 {
             let sel = u32::from(!signed); // rs2 field: 0 = w, 1 = wu
             OPC_OP_FP
                 | rd(d)
-                | funct3(rm.code())
+                | fp_rm_funct3(fmt, rm)
                 | rs1(r1)
                 | (sel << 20)
                 | fp_funct7(F5_CVT_FI, fmt)
@@ -433,7 +477,7 @@ pub fn encode(instr: &Instr) -> u32 {
             let sel = u32::from(!signed);
             OPC_OP_FP
                 | rd(d)
-                | funct3(rm.code())
+                | fp_rm_funct3(fmt, rm)
                 | rs1(r1)
                 | (sel << 20)
                 | fp_funct7(F5_CVT_IF, fmt)
@@ -446,14 +490,18 @@ pub fn encode(instr: &Instr) -> u32 {
             rs1: r1,
             rs2: r2,
             rm,
-        } => OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MULEX, fmt),
+        } => {
+            OPC_OP_FP | rd(d) | fp_rm_funct3(fmt, rm) | rs1(r1) | rs2(r2) | fp_funct7(F5_MULEX, fmt)
+        }
         Instr::FMacEx {
             fmt,
             rd: d,
             rs1: r1,
             rs2: r2,
             rm,
-        } => OPC_OP_FP | rd(d) | funct3(rm.code()) | rs1(r1) | rs2(r2) | fp_funct7(F5_MACEX, fmt),
+        } => {
+            OPC_OP_FP | rd(d) | fp_rm_funct3(fmt, rm) | rs1(r1) | rs2(r2) | fp_funct7(F5_MACEX, fmt)
+        }
 
         // ----- Xfvec -----
         Instr::VFOp {
@@ -476,13 +524,13 @@ pub fn encode(instr: &Instr) -> u32 {
                 VfOp::Sgnjn => V_SGNJN,
                 VfOp::Sgnjx => V_SGNJX,
             };
-            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop)
+            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop, fmt)
         }
         Instr::VFSqrt {
             fmt,
             rd: d,
             rs1: r1,
-        } => OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(V_SQRT),
+        } => OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(V_SQRT, fmt),
         Instr::VFCmp {
             op,
             fmt,
@@ -499,7 +547,7 @@ pub fn encode(instr: &Instr) -> u32 {
                 VCmpOp::Gt => V_GT,
                 VCmpOp::Ge => V_GE,
             };
-            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop)
+            OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(vop, fmt)
         }
         Instr::VFCvtFF {
             dst,
@@ -511,8 +559,8 @@ pub fn encode(instr: &Instr) -> u32 {
                 | rd(d)
                 | vec_funct3(dst, false)
                 | rs1(r1)
-                | (src.code() << 20)
-                | vec_funct7(V_CVT_FF)
+                | cvt_src_field(src)
+                | vec_funct7(V_CVT_FF, dst)
         }
         Instr::VFCvtXF {
             fmt,
@@ -521,7 +569,7 @@ pub fn encode(instr: &Instr) -> u32 {
             signed,
         } => {
             let vop = if signed { V_CVT_XF } else { V_CVT_XUF };
-            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop)
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop, fmt)
         }
         Instr::VFCvtFX {
             fmt,
@@ -530,7 +578,7 @@ pub fn encode(instr: &Instr) -> u32 {
             signed,
         } => {
             let vop = if signed { V_CVT_FX } else { V_CVT_FXU };
-            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop)
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | vec_funct7(vop, fmt)
         }
         Instr::VFCpk {
             fmt,
@@ -543,7 +591,7 @@ pub fn encode(instr: &Instr) -> u32 {
                 CpkHalf::A => V_CPK_A,
                 CpkHalf::B => V_CPK_B,
             };
-            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | rs2(r2) | vec_funct7(vop)
+            OPC_OP | rd(d) | vec_funct3(fmt, false) | rs1(r1) | rs2(r2) | vec_funct7(vop, fmt)
         }
         Instr::VFDotpEx {
             fmt,
@@ -551,7 +599,14 @@ pub fn encode(instr: &Instr) -> u32 {
             rs1: r1,
             rs2: r2,
             rep,
-        } => OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(V_DOTPEX),
+        } => OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(V_DOTPEX, fmt),
+        Instr::VFSdotpEx {
+            fmt,
+            rd: d,
+            rs1: r1,
+            rs2: r2,
+            rep,
+        } => OPC_OP | rd(d) | vec_funct3(fmt, rep) | rs1(r1) | rs2(r2) | vec_funct7(V_SDOTPEX, fmt),
     }
 }
 

@@ -478,6 +478,20 @@ pub enum Instr {
         rs2: FReg,
         rep: bool,
     },
+    /// Expanding sum-of-dot-products (Xfaux, ExSdotp-style): the
+    /// destination is a vector of lanes twice as wide as `fmt`
+    /// ([`FpFmt::widen`]); lane `j` accumulates the dot product of source
+    /// lane pair `2j, 2j+1`:
+    /// `rd[j] += rs1[2j]*rs2[2j] + rs1[2j+1]*rs2[2j+1]`,
+    /// evaluated as two chained fused multiply-adds in the wide format
+    /// (even lane first). `rep` replicates lane 0 of `rs2`.
+    VFSdotpEx {
+        fmt: FpFmt,
+        rd: FReg,
+        rs1: FReg,
+        rs2: FReg,
+        rep: bool,
+    },
 }
 
 /// Instruction classes used for cycle/energy accounting and the paper's
@@ -512,12 +526,16 @@ pub enum InstrClass {
     FpAh,
     /// Scalar binary8 arithmetic.
     FpB,
+    /// Scalar binary8alt (E4M3) arithmetic.
+    FpAb,
     /// Vector (SIMD) binary16 arithmetic.
     FpVecH,
     /// Vector binary16alt arithmetic.
     FpVecAh,
     /// Vector binary8 arithmetic.
     FpVecB,
+    /// Vector binary8alt (E4M3) arithmetic.
+    FpVecAb,
     /// Conversions (scalar and vector, incl. float↔int).
     FpCvt,
     /// Cast-and-pack operations.
@@ -534,7 +552,7 @@ pub enum InstrClass {
 
 impl InstrClass {
     /// All classes, in display order.
-    pub const ALL: [InstrClass; 23] = [
+    pub const ALL: [InstrClass; 25] = [
         InstrClass::IntAlu,
         InstrClass::IntMul,
         InstrClass::IntDiv,
@@ -549,9 +567,11 @@ impl InstrClass {
         InstrClass::FpH,
         InstrClass::FpAh,
         InstrClass::FpB,
+        InstrClass::FpAb,
         InstrClass::FpVecH,
         InstrClass::FpVecAh,
         InstrClass::FpVecB,
+        InstrClass::FpVecAb,
         InstrClass::FpCvt,
         InstrClass::FpCpk,
         InstrClass::FpExpand,
@@ -584,9 +604,11 @@ impl InstrClass {
             InstrClass::FpH => "fp16",
             InstrClass::FpAh => "fp16alt",
             InstrClass::FpB => "fp8",
+            InstrClass::FpAb => "fp8alt",
             InstrClass::FpVecH => "vec-fp16",
             InstrClass::FpVecAh => "vec-fp16alt",
             InstrClass::FpVecB => "vec-fp8",
+            InstrClass::FpVecAb => "vec-fp8alt",
             InstrClass::FpCvt => "fp-cvt",
             InstrClass::FpCpk => "fp-cpk",
             InstrClass::FpExpand => "fp-expand",
@@ -594,24 +616,6 @@ impl InstrClass {
             InstrClass::Csr => "csr",
             InstrClass::System => "system",
         }
-    }
-}
-
-fn scalar_class(fmt: FpFmt) -> InstrClass {
-    match fmt {
-        FpFmt::S => InstrClass::FpS,
-        FpFmt::H => InstrClass::FpH,
-        FpFmt::Ah => InstrClass::FpAh,
-        FpFmt::B => InstrClass::FpB,
-    }
-}
-
-fn vector_class(fmt: FpFmt) -> InstrClass {
-    match fmt {
-        FpFmt::H => InstrClass::FpVecH,
-        FpFmt::Ah => InstrClass::FpVecAh,
-        // S has no vector form at FLEN=32; classify defensively with B.
-        FpFmt::B | FpFmt::S => InstrClass::FpVecB,
     }
 }
 
@@ -640,17 +644,17 @@ impl Instr {
             | Instr::FSqrt { fmt, .. }
             | Instr::FSgnj { fmt, .. }
             | Instr::FMinMax { fmt, .. }
-            | Instr::FFma { fmt, .. } => scalar_class(*fmt),
+            | Instr::FFma { fmt, .. } => fmt.scalar_class(),
             Instr::FCmp { .. } | Instr::VFCmp { .. } => InstrClass::FpCmp,
             Instr::FClass { .. } | Instr::FMvXF { .. } | Instr::FMvFX { .. } => InstrClass::FpMove,
             Instr::FCvtFF { .. } | Instr::FCvtFI { .. } | Instr::FCvtIF { .. } => InstrClass::FpCvt,
             Instr::FMulEx { .. } | Instr::FMacEx { .. } => InstrClass::FpExpand,
-            Instr::VFOp { fmt, .. } | Instr::VFSqrt { fmt, .. } => vector_class(*fmt),
+            Instr::VFOp { fmt, .. } | Instr::VFSqrt { fmt, .. } => fmt.vector_class(),
             Instr::VFCvtFF { .. } | Instr::VFCvtXF { .. } | Instr::VFCvtFX { .. } => {
                 InstrClass::FpCvt
             }
             Instr::VFCpk { .. } => InstrClass::FpCpk,
-            Instr::VFDotpEx { .. } => InstrClass::FpExpand,
+            Instr::VFDotpEx { .. } | Instr::VFSdotpEx { .. } => InstrClass::FpExpand,
         }
     }
 

@@ -9,6 +9,7 @@
 //! * **Xf16** — scalar binary16 (IEEE half) operations,
 //! * **Xf16alt** — scalar binary16alt (bfloat16 layout) operations,
 //! * **Xf8** — scalar binary8 (E5M2) operations,
+//! * **Xf8alt** — scalar binary8alt (FP8 E4M3) operations,
 //! * **Xfvec** — packed-SIMD versions of all scalar FP operations for every
 //!   format narrower than `FLEN`, vector conversions and *cast-and-pack*,
 //! * **Xfaux** — expanding operations (`fmulex`/`fmacex`/`vfdotpex`) that
@@ -33,6 +34,24 @@
 //! operations live in the `OP` major opcode with the otherwise-unused
 //! `funct7[6:5] = 10` prefix, exactly as the paper's "previously unused
 //! prefix in the RISC-V OP opcode".
+//!
+//! A fifth format, binary8alt (FP8 E4M3, `.ab`), is *banked* onto B's fmt
+//! code `11` through an alt-bank selector, mirroring how PULP banks
+//! FP16alt onto FP16 encodings: rounded scalar ops select the alt bank
+//! with the reserved rm code `101` (making alt-bank formats
+//! dynamic-rounding only), unrounded scalar ops with funct3 bit 2,
+//! float-to-float conversion *sources* with bit 2 of the rs2-slot format
+//! field, and vector ops with the second unused OP prefix
+//! `funct7[6:5] = 11`. Loads/stores are width-generic bit moves and
+//! canonicalize per width (`flb` serves both B and Ab, like `flh` for
+//! H/Ah). The per-format facts live in a single registry table
+//! ([`FpFmt`]), so downstream layers never match on formats themselves.
+//!
+//! The Xfaux family also includes `vfsdotpex` (ExSdotp-style expanding
+//! sum-of-dot-products, [`Instr::VFSdotpEx`]): lane `j` of the
+//! double-width destination accumulates `rs1[2j]*rs2[2j] +
+//! rs1[2j+1]*rs2[2j+1]` via two chained fused multiply-adds in the wide
+//! format, giving 2×b16→b32 and 4×b8→2×b16 forms at FLEN=32.
 //!
 //! ```
 //! use smallfloat_isa::{decode, encode, FpFmt, FpOp, FReg, Instr, Rm};

@@ -28,6 +28,16 @@ fn rm(rng: &mut Rng) -> Rm {
     rng.pick(&[Rm::Rne, Rm::Rtz, Rm::Rdn, Rm::Rup, Rm::Rmm, Rm::Dyn])
 }
 
+/// A rounding mode valid for `fmt`: alt-bank formats carry the bank
+/// selector in the rm slot and are dynamic-rounding only.
+fn rm_for(rng: &mut Rng, fmt: FpFmt) -> Rm {
+    if fmt.alt_bank() {
+        Rm::Dyn
+    } else {
+        rm(rng)
+    }
+}
+
 fn imm12(rng: &mut Rng) -> i32 {
     rng.range_i32(-2048, 2048)
 }
@@ -71,7 +81,7 @@ fn alu_op_reg(rng: &mut Rng) -> AluOp {
 
 /// Generate any encodable instruction form with random fields.
 fn any_instr(rng: &mut Rng) -> Instr {
-    match rng.below(31) {
+    match rng.below(32) {
         0 => Instr::Lui {
             rd: xreg(rng),
             imm20: rng.range_i32(0, 0x10_0000),
@@ -189,20 +199,26 @@ fn any_instr(rng: &mut Rng) -> Instr {
             rs1: xreg(rng),
             offset: imm12(rng),
         },
-        16 => Instr::FOp {
-            op: rng.pick(&[FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div]),
-            fmt: fpfmt(rng),
-            rd: freg(rng),
-            rs1: freg(rng),
-            rs2: freg(rng),
-            rm: rm(rng),
-        },
-        17 => Instr::FSqrt {
-            fmt: fpfmt(rng),
-            rd: freg(rng),
-            rs1: freg(rng),
-            rm: rm(rng),
-        },
+        16 => {
+            let fmt = fpfmt(rng);
+            Instr::FOp {
+                op: rng.pick(&[FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div]),
+                fmt,
+                rd: freg(rng),
+                rs1: freg(rng),
+                rs2: freg(rng),
+                rm: rm_for(rng, fmt),
+            }
+        }
+        17 => {
+            let fmt = fpfmt(rng);
+            Instr::FSqrt {
+                fmt,
+                rd: freg(rng),
+                rs1: freg(rng),
+                rm: rm_for(rng, fmt),
+            }
+        }
         18 => Instr::FSgnj {
             kind: rng.pick(&[SgnjKind::Sgnj, SgnjKind::Sgnjn, SgnjKind::Sgnjx]),
             fmt: fpfmt(rng),
@@ -217,15 +233,18 @@ fn any_instr(rng: &mut Rng) -> Instr {
             rs1: freg(rng),
             rs2: freg(rng),
         },
-        20 => Instr::FFma {
-            op: rng.pick(&[FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd]),
-            fmt: fpfmt(rng),
-            rd: freg(rng),
-            rs1: freg(rng),
-            rs2: freg(rng),
-            rs3: freg(rng),
-            rm: rm(rng),
-        },
+        20 => {
+            let fmt = fpfmt(rng);
+            Instr::FFma {
+                op: rng.pick(&[FmaOp::Madd, FmaOp::Msub, FmaOp::Nmsub, FmaOp::Nmadd]),
+                fmt,
+                rd: freg(rng),
+                rs1: freg(rng),
+                rs2: freg(rng),
+                rs3: freg(rng),
+                rm: rm_for(rng, fmt),
+            }
+        }
         21 => {
             let half = match rng.below(5) {
                 0 => {
@@ -268,43 +287,53 @@ fn any_instr(rng: &mut Rng) -> Instr {
                 rs2: freg(rng),
             }
         }
-        22 => Instr::FCvtFF {
-            dst: fpfmt(rng),
-            src: fpfmt(rng),
-            rd: freg(rng),
-            rs1: freg(rng),
-            rm: rm(rng),
-        },
-        23 => Instr::FCvtFI {
-            fmt: fpfmt(rng),
-            rd: xreg(rng),
-            rs1: freg(rng),
-            signed: rng.bool(),
-            rm: rm(rng),
-        },
-        24 => Instr::FCvtIF {
-            fmt: fpfmt(rng),
-            rd: freg(rng),
-            rs1: xreg(rng),
-            signed: rng.bool(),
-            rm: rm(rng),
-        },
+        22 => {
+            let dst = fpfmt(rng);
+            Instr::FCvtFF {
+                dst,
+                src: fpfmt(rng),
+                rd: freg(rng),
+                rs1: freg(rng),
+                rm: rm_for(rng, dst),
+            }
+        }
+        23 => {
+            let fmt = fpfmt(rng);
+            Instr::FCvtFI {
+                fmt,
+                rd: xreg(rng),
+                rs1: freg(rng),
+                signed: rng.bool(),
+                rm: rm_for(rng, fmt),
+            }
+        }
+        24 => {
+            let fmt = fpfmt(rng);
+            Instr::FCvtIF {
+                fmt,
+                rd: freg(rng),
+                rs1: xreg(rng),
+                signed: rng.bool(),
+                rm: rm_for(rng, fmt),
+            }
+        }
         25 => {
+            let fmt = small_fmt(rng);
             if rng.bool() {
                 Instr::FMulEx {
-                    fmt: small_fmt(rng),
+                    fmt,
                     rd: freg(rng),
                     rs1: freg(rng),
                     rs2: freg(rng),
-                    rm: rm(rng),
+                    rm: rm_for(rng, fmt),
                 }
             } else {
                 Instr::FMacEx {
-                    fmt: small_fmt(rng),
+                    fmt,
                     rd: freg(rng),
                     rs1: freg(rng),
                     rs2: freg(rng),
-                    rm: rm(rng),
+                    rm: rm_for(rng, fmt),
                 }
             }
         }
@@ -353,7 +382,12 @@ fn any_instr(rng: &mut Rng) -> Instr {
             }
         }
         28 => {
-            let (dst, src) = rng.pick(&[(FpFmt::H, FpFmt::Ah), (FpFmt::Ah, FpFmt::H)]);
+            let (dst, src) = rng.pick(&[
+                (FpFmt::H, FpFmt::Ah),
+                (FpFmt::Ah, FpFmt::H),
+                (FpFmt::B, FpFmt::Ab),
+                (FpFmt::Ab, FpFmt::B),
+            ]);
             Instr::VFCvtFF {
                 dst,
                 src,
@@ -378,7 +412,14 @@ fn any_instr(rng: &mut Rng) -> Instr {
                 }
             }
         }
-        _ => Instr::VFDotpEx {
+        30 => Instr::VFDotpEx {
+            fmt: small_fmt(rng),
+            rd: freg(rng),
+            rs1: freg(rng),
+            rs2: freg(rng),
+            rep: rng.bool(),
+        },
+        _ => Instr::VFSdotpEx {
             fmt: small_fmt(rng),
             rd: freg(rng),
             rs1: freg(rng),
@@ -534,6 +575,102 @@ fn nn_intrinsic_forms_round_trip() {
         rep: true,
     };
     assert_eq!(dotp_r.to_string(), "vfdotpex.r.s.b ft3, fa4, fs11");
+}
+
+/// Directed coverage for the binary8alt (`.ab`) alt-bank encodings and the
+/// expanding sum-of-dot-products: every `.ab` scalar/vector form must
+/// round-trip, print its `.ab` mnemonic, and stay distinguishable from the
+/// same-code binary8 (`.b`) encoding it shares the fmt slot with — the two
+/// differ only in the alt-bank selector bit.
+#[test]
+fn ab_mnemonics_and_vfsdotpex_round_trip() {
+    let (rd, rs1, rs2) = (FReg::new(2), FReg::new(11), FReg::new(29));
+
+    // Scalar alt-bank ops carry the bank selector in the rm slot, so they
+    // are dynamic-rounding only; each must print `.ab` and differ from its
+    // `.b` twin by encoding, not just by Display.
+    for op in [FpOp::Add, FpOp::Sub, FpOp::Mul, FpOp::Div] {
+        let ab = Instr::FOp {
+            op,
+            fmt: FpFmt::Ab,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        };
+        let b = Instr::FOp {
+            op,
+            fmt: FpFmt::B,
+            rd,
+            rs1,
+            rs2,
+            rm: Rm::Dyn,
+        };
+        let word = encode(&ab);
+        assert_eq!(decode(word), Ok(ab), "word=0x{word:08x}");
+        assert_ne!(word, encode(&b), "alt-bank bit must separate .ab from .b");
+        assert!(ab.to_string().contains(".ab "), "{ab}");
+    }
+
+    // Cross-bank scalar conversions in both directions, and the widening
+    // conversion out of the alt bank.
+    for (dst, src) in [
+        (FpFmt::B, FpFmt::Ab),
+        (FpFmt::Ab, FpFmt::B),
+        (FpFmt::S, FpFmt::Ab),
+        (FpFmt::Ab, FpFmt::S),
+    ] {
+        let i = Instr::FCvtFF {
+            dst,
+            src,
+            rd,
+            rs1,
+            rm: Rm::Dyn,
+        };
+        let word = encode(&i);
+        assert_eq!(decode(word), Ok(i), "word=0x{word:08x}");
+    }
+
+    // vfsdotpex at every packed format: the mnemonic names both the wide
+    // destination format and the source lane format, and the `.ab`/`.b`
+    // pair again differs only by the vector alt-bank prefix.
+    for fmt in FpFmt::SMALL {
+        for rep in [false, true] {
+            let i = Instr::VFSdotpEx {
+                fmt,
+                rd,
+                rs1,
+                rs2,
+                rep,
+            };
+            let word = encode(&i);
+            assert_eq!(decode(word), Ok(i), "word=0x{word:08x}");
+            let wide = fmt.widen().unwrap();
+            let want = format!(
+                "vfsdotpex{}.{}.{} {rd}, {rs1}, {rs2}",
+                if rep { ".r" } else { "" },
+                wide.suffix(),
+                fmt.suffix()
+            );
+            assert_eq!(i.to_string(), want);
+        }
+    }
+    let ab = Instr::VFSdotpEx {
+        fmt: FpFmt::Ab,
+        rd,
+        rs1,
+        rs2,
+        rep: false,
+    };
+    let b = Instr::VFSdotpEx {
+        fmt: FpFmt::B,
+        rd,
+        rs1,
+        rs2,
+        rep: false,
+    };
+    assert_ne!(encode(&ab), encode(&b));
+    assert_eq!(ab.to_string(), "vfsdotpex.h.ab ft2, fa1, ft9");
 }
 
 /// Every smallFloat instruction stays clear of the RV32IMF opcode space:

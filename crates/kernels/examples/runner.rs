@@ -10,7 +10,7 @@
 //!
 //! Arguments (all optional, any order): a workload name (SVM, GEMM, ATAX,
 //! SYRK, SYR2K, FDTD2D), a precision label (float, float16, float16alt,
-//! float8) and a mode label (scalar, auto, manual). Defaults:
+//! float8, float8alt) and a mode label (scalar, auto, manual). Defaults:
 //! `GEMM float16 auto`. `SMALLFLOAT_HOT_BLOCKS=1` /
 //! `SMALLFLOAT_TRACE_STATS=1` force the respective report for every
 //! simulated run regardless of the flag; `SMALLFLOAT_NOTRACES=1` disables
@@ -27,14 +27,13 @@ fn main() {
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--hot-blocks" => hot = true,
-            "float" => prec = Precision::F32,
-            "float16" => prec = Precision::F16,
-            "float16alt" => prec = Precision::F16Alt,
-            "float8" => prec = Precision::F8,
             "scalar" => mode = VecMode::Scalar,
             "auto" => mode = VecMode::Auto,
             "manual" => mode = VecMode::Manual,
-            other => workload = other.to_uppercase(),
+            other => match Precision::from_label(other) {
+                Some(p) => prec = p,
+                None => workload = other.to_uppercase(),
+            },
         }
     }
     let benchmarks = suite();

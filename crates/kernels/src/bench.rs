@@ -25,18 +25,12 @@ pub trait Workload {
     fn manual(&self, typed: &Kernel) -> Option<Compiled>;
 }
 
-/// A precision variant: uniform storage type or an explicit per-variable
-/// assignment (the tuner's output).
-#[derive(Clone, Debug, PartialEq)]
+/// A precision variant: uniform storage at one registry format or an
+/// explicit per-variable assignment (the tuner's output).
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Precision {
-    /// Everything binary32 — the paper's `float` baseline.
-    F32,
-    /// Everything binary16 (`float16`).
-    F16,
-    /// Everything binary16alt (`float16alt`).
-    F16Alt,
-    /// Everything binary8 (`float8`).
-    F8,
+    /// Everything stored at one registry format.
+    Uniform(FpFmt),
     /// Mixed precision: explicit name → type map; unnamed variables keep
     /// the uniform `default`.
     Mixed {
@@ -45,33 +39,46 @@ pub enum Precision {
     },
 }
 
+#[allow(non_upper_case_globals)]
 impl Precision {
-    /// The four uniform variants.
-    pub const UNIFORM: [Precision; 4] = [
+    /// Everything binary32 — the paper's `float` baseline.
+    pub const F32: Precision = Precision::Uniform(FpFmt::S);
+    /// Everything binary16 (`float16`).
+    pub const F16: Precision = Precision::Uniform(FpFmt::H);
+    /// Everything binary16alt (`float16alt`).
+    pub const F16Alt: Precision = Precision::Uniform(FpFmt::Ah);
+    /// Everything binary8 E5M2 (`float8`).
+    pub const F8: Precision = Precision::Uniform(FpFmt::B);
+    /// Everything binary8alt E4M3 (`float8alt`).
+    pub const F8Alt: Precision = Precision::Uniform(FpFmt::Ab);
+
+    /// The uniform variants, one per registry format: the binary32
+    /// baseline first, then the smallFloat types in table order.
+    pub const UNIFORM: [Precision; 5] = [
         Precision::F32,
         Precision::F16,
         Precision::F16Alt,
         Precision::F8,
+        Precision::F8Alt,
     ];
 
-    /// Short label for tables.
+    /// Short label for tables (the registry's C-level type name).
     pub fn label(&self) -> String {
         match self {
-            Precision::F32 => "float".to_string(),
-            Precision::F16 => "float16".to_string(),
-            Precision::F16Alt => "float16alt".to_string(),
-            Precision::F8 => "float8".to_string(),
+            Precision::Uniform(f) => f.cname().to_string(),
             Precision::Mixed { .. } => "mixed".to_string(),
         }
+    }
+
+    /// Parse a table label back into a uniform precision.
+    pub fn from_label(s: &str) -> Option<Precision> {
+        FpFmt::from_cname(s).map(Precision::Uniform)
     }
 
     /// Apply to a base kernel.
     pub fn apply(&self, base: &Kernel) -> Kernel {
         match self {
-            Precision::F32 => retype::retype_all(base, FpFmt::S),
-            Precision::F16 => retype::retype_all(base, FpFmt::H),
-            Precision::F16Alt => retype::retype_all(base, FpFmt::Ah),
-            Precision::F8 => retype::retype_all(base, FpFmt::B),
+            Precision::Uniform(f) => retype::retype_all(base, *f),
             Precision::Mixed {
                 default,
                 assignment,
@@ -135,11 +142,32 @@ pub fn suite() -> Vec<Benchmark> {
 pub fn build(w: &dyn Workload, prec: &Precision, mode: VecMode) -> (Kernel, Compiled) {
     let typed = prec.apply(&w.base_kernel());
     let compiled = match mode {
-        VecMode::Scalar => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
-        VecMode::Auto => compile(&typed, CodegenOptions { vectorize: true }).expect("compiles"),
+        VecMode::Scalar => compile(
+            &typed,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .expect("compiles"),
+        VecMode::Auto => compile(
+            &typed,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .expect("compiles"),
         VecMode::Manual => match w.manual(&typed) {
             Some(c) => c,
-            None => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
+            None => compile(
+                &typed,
+                CodegenOptions {
+                    vectorize: false,
+                    ..Default::default()
+                },
+            )
+            .expect("compiles"),
         },
     };
     (typed, compiled)

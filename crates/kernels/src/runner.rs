@@ -340,7 +340,14 @@ mod tests {
                 Expr::load("x", IdxExpr::var("i")) * Expr::lit(2.0),
             )],
         )];
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let r = run_compiled(
             &k,
             &c,

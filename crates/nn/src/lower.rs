@@ -5,20 +5,22 @@
 //! `bias` for weighted layers) with a binary32 scalar accumulator `acc`
 //! where a reduction exists. Per-layer precision is applied through the
 //! ordinary retype pass ([`layer_precision`]), so a layer can be assigned
-//! binary32 / binary16 / binary16alt / binary8 independently; the
-//! accumulator stays binary32 (the expanding-accumulation convention the
-//! Xfaux `fmacex`/`vfdotpex` operations exist for).
+//! any registry format independently; the accumulator stays binary32
+//! (the expanding-accumulation convention the Xfaux `fmacex`/`vfsdotpex`
+//! operations exist for).
 //!
 //! What auto-vectorizes and what does not is part of the evaluation story:
 //!
 //! * dense inner products and ReLU maps vectorize (packed-SIMD friendly:
-//!   unit stride, lane-aligned rows);
+//!   unit stride, lane-aligned rows); the manual dense rows accumulate
+//!   through the expanding sum-of-dot-products `vfsdotpex`;
 //! * the 3×3 convolution's window walk (`…·9 + ky·3 + kx` addressing) and
 //!   the stride-2 max-pool are *not* lane-aligned — the Xfvec extension
-//!   has no shuffle/gather, so the auto-vectorizer correctly refuses and
-//!   the hand-written variants below use scalar pointer bumping with
-//!   `fmacex` (conv) or even-aligned packed `vfmax` row maxima (pool)
-//!   instead.
+//!   has no shuffle/gather, so the auto-vectorizer correctly refuses. The
+//!   hand-written conv strip-mines window pairs so the 16-bit formats can
+//!   still accumulate through `vfsdotpex` (binary8's 1-byte window stride
+//!   cannot keep packed loads aligned and stays on scalar `fmacex`), and
+//!   the pool uses even-aligned packed `vfmax` row maxima.
 
 use crate::graph::{Layer, Params, CONV_K};
 use smallfloat_isa::{BranchCond, FReg, FpFmt, MinMaxOp, XReg};
@@ -31,6 +33,7 @@ const F1: FReg = FReg::new(1);
 const F2: FReg = FReg::new(2);
 const F3: FReg = FReg::new(3);
 const F4: FReg = FReg::new(4);
+const F5: FReg = FReg::new(5);
 const T0: XReg = XReg::new(5);
 const T1: XReg = XReg::new(29);
 const END_A: XReg = XReg::new(6);
@@ -254,11 +257,32 @@ pub fn layer_inputs(
 pub fn build_layer(layer: &Layer, batch: usize, fmt: FpFmt, mode: VecMode) -> (Kernel, Compiled) {
     let typed = layer_precision(fmt).apply(&layer_kernel(layer, batch));
     let compiled = match mode {
-        VecMode::Scalar => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
-        VecMode::Auto => compile(&typed, CodegenOptions { vectorize: true }).expect("compiles"),
+        VecMode::Scalar => compile(
+            &typed,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .expect("compiles"),
+        VecMode::Auto => compile(
+            &typed,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .expect("compiles"),
         VecMode::Manual => match manual_layer(layer, &typed, batch) {
             Some(c) => c,
-            None => compile(&typed, CodegenOptions { vectorize: false }).expect("compiles"),
+            None => compile(
+                &typed,
+                CodegenOptions {
+                    vectorize: false,
+                    ..Default::default()
+                },
+            )
+            .expect("compiles"),
         },
     };
     (typed, compiled)
@@ -285,15 +309,20 @@ pub fn manual_layer(layer: &Layer, typed: &Kernel, batch: usize) -> Option<Compi
     }
 }
 
-/// Dense layer via `vfdotpex` (the paper's Fig. 5 listing): packed loads
-/// of a weight row and the sample vector, expanding dot-product into a
-/// binary32 accumulator. Requires lane-aligned rows (`inp % lanes == 0`).
+/// Dense layer via the expanding sum-of-dot-products `vfsdotpex` (the
+/// ExSdotp shape of the paper's Fig. 5 listing): packed loads of a weight
+/// row and the sample vector, each lane pair accumulating at double
+/// width. 16-bit formats sum straight into the binary32 accumulator; the
+/// 8-bit formats keep two packed binary16 partial sums that are drained
+/// into binary32 after the row. Requires lane-aligned rows
+/// (`inp % lanes == 0`).
 fn manual_dense(typed: &Kernel, batch: usize, inp: usize, out: usize) -> Option<Compiled> {
     let mut m = Mg::try_new(typed)?;
     if !inp.is_multiple_of(m.lanes as usize) {
         return None;
     }
     let fmt = m.fmt;
+    let wide = fmt.widen()?;
     let e = m.elem() as i32;
     let row = inp as i32 * e;
     m.asm.la(P_X, m.addr("x"));
@@ -316,8 +345,19 @@ fn manual_dense(typed: &Kernel, batch: usize, inp: usize, out: usize) -> Option<
             m.ptr_loop(P_W, END_C, &[(P_W, 4), (P_J, 4)], |m| {
                 m.asm.fload(FpFmt::S, F1, P_W, 0);
                 m.asm.fload(FpFmt::S, F2, P_J, 0);
-                m.asm.vfdotpex(fmt, F0, F1, F2);
+                m.asm.vfsdotpex(fmt, F0, F1, F2);
             });
+            if wide != FpFmt::S {
+                // F0 holds two packed `wide` partial sums: fold them into
+                // one binary32 value before the bias add.
+                m.asm.fmv_x(FpFmt::S, T1, F0);
+                m.asm.fmv_f(wide, F3, T1);
+                m.asm.srli(T1, T1, wide.width() as i32);
+                m.asm.fmv_f(wide, F4, T1);
+                m.asm.fcvt(FpFmt::S, wide, F3, F3);
+                m.asm.fcvt(FpFmt::S, wide, F4, F4);
+                m.asm.fadd(FpFmt::S, F0, F3, F4);
+            }
             m.asm.fload(fmt, F1, P_B, 0);
             m.asm.addi(P_B, P_B, e);
             m.asm.fcvt(FpFmt::S, fmt, F1, F1);
@@ -394,10 +434,23 @@ fn manual_pool(typed: &Kernel, planes: usize, h: usize, w: usize) -> Option<Comp
     Some(m.finish())
 }
 
-/// 3×3 convolution via `fmacex`: the window walk is fully unrolled into
+/// First FP register of the hoisted conv filter-tap bank (4 registers per
+/// unrolled `(channel, window row)`: packed pairs `w0w1`/`w1w2` plus the
+/// `w0`/`w2` scalars).
+const WREG_BASE: u8 = 8;
+
+/// 3×3 convolution: the window walk is fully unrolled into
 /// displacement-addressed loads (no inner-loop overhead, no address
-/// arithmetic) with scalar expanding MACs into a binary32 accumulator —
-/// the Xfaux answer to a loop the packed-SIMD ISA cannot vectorize.
+/// arithmetic), accumulating into binary32.
+///
+/// For 2-lane formats the output row is strip-mined two windows at a time
+/// so that every packed input load lands on a 4-byte boundary, the filter
+/// taps are hoisted into registers once per filter (pairs built with
+/// `vfcpk`, which sidesteps the 2-byte-aligned tap addresses in the
+/// weight array), and each window row then accumulates through one
+/// `vfsdotpex` plus one `fmacex` per window. The 4-lane binary8 formats
+/// keep the scalar `fmacex` walk: their window base moves in 1-byte steps
+/// and the ISA has no shuffles, so packed loads cannot stay aligned.
 fn manual_conv(
     typed: &Kernel,
     in_ch: usize,
@@ -411,6 +464,23 @@ fn manual_conv(
     let (oh, ow) = (h - CONV_K + 1, w - CONV_K + 1);
     let filt = (in_ch * CONV_K * CONV_K) as i32 * e;
     let row = w as i32 * e;
+    // The paired-window path needs lane pairs, an even split of each
+    // output row, aligned packed input loads (even image rows keep the
+    // channel and row strides 4-byte multiples) and a register budget for
+    // the hoisted taps.
+    let paired = m.lanes == 2
+        && ow.is_multiple_of(2)
+        && w.is_multiple_of(2)
+        && u32::from(WREG_BASE) + 4 * (in_ch * CONV_K) as u32 <= 32;
+    let wregs = |c: usize, ky: usize| {
+        let r = WREG_BASE + 4 * (c * CONV_K + ky) as u8;
+        (
+            FReg::new(r),     // lanes (w0, w1)
+            FReg::new(r + 1), // lanes (w1, w2)
+            FReg::new(r + 2), // w0 scalar
+            FReg::new(r + 3), // w2 scalar
+        )
+    };
     m.asm.la(P_W, m.addr("w"));
     m.asm.la(P_B, m.addr("bias"));
     m.asm.la(P_Y, m.addr("y"));
@@ -419,6 +489,24 @@ fn manual_conv(
     let lf = m.label("filter");
     m.asm.label(&lf);
     {
+        if paired {
+            // Hoist the filter taps: the scalars feed `fmacex` directly,
+            // the binary32 copies feed the `vfcpk` pair packs.
+            for c in 0..in_ch {
+                for ky in 0..CONV_K {
+                    let (wp01, wp12, w0, w2) = wregs(c, ky);
+                    let wd = ((c * CONV_K + ky) * CONV_K) as i32 * e;
+                    m.asm.fload(fmt, w0, P_W, wd);
+                    m.asm.fload(fmt, F1, P_W, wd + e);
+                    m.asm.fload(fmt, w2, P_W, wd + 2 * e);
+                    m.asm.fcvt(FpFmt::S, fmt, F2, w0);
+                    m.asm.fcvt(FpFmt::S, fmt, F3, F1);
+                    m.asm.fcvt(FpFmt::S, fmt, F4, w2);
+                    m.asm.vfcpk_a(fmt, wp01, F2, F3);
+                    m.asm.vfcpk_a(fmt, wp12, F3, F4);
+                }
+            }
+        }
         m.asm.la(P_X, m.addr("x"));
         m.asm.li(T0, oh as i32 * row);
         m.asm.add(END_B, P_X, T0); // input row limit for window bases
@@ -427,26 +515,55 @@ fn manual_conv(
         {
             m.asm.mv(P_J, P_X);
             m.asm.addi(END_C, P_J, ow as i32 * e);
-            m.ptr_loop(P_J, END_C, &[(P_J, e)], |m| {
-                m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
-                for c in 0..in_ch {
-                    for ky in 0..CONV_K {
-                        for kx in 0..CONV_K {
-                            let wd = ((c * CONV_K + ky) * CONV_K + kx) as i32 * e;
-                            let xd = (c * h * w + ky * w + kx) as i32 * e;
-                            m.asm.fload(fmt, F1, P_W, wd);
-                            m.asm.fload(fmt, F2, P_J, xd);
-                            m.asm.fmacex(fmt, F0, F1, F2);
+            if paired {
+                m.ptr_loop(P_J, END_C, &[(P_J, 2 * e)], |m| {
+                    m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO); // even window
+                    m.asm.fmv_f(FpFmt::S, F5, XReg::ZERO); // odd window
+                    for c in 0..in_ch {
+                        for ky in 0..CONV_K {
+                            let (wp01, wp12, w0, w2) = wregs(c, ky);
+                            let xd = (c * h * w + ky * w) as i32 * e;
+                            m.asm.fload(FpFmt::S, F1, P_J, xd); // x[b], x[b+1]
+                            m.asm.fload(FpFmt::S, F2, P_J, xd + 2 * e); // x[b+2], x[b+3]
+                            m.asm.vfsdotpex(fmt, F0, wp01, F1);
+                            m.asm.fmacex(fmt, F0, w2, F2); // x[b+2] is lane 0
+                            m.asm.vfsdotpex(fmt, F5, wp12, F2);
+                            m.asm.fload(fmt, F3, P_J, xd + e); // x[b+1] scalar
+                            m.asm.fmacex(fmt, F5, w0, F3);
                         }
                     }
-                }
-                m.asm.fload(fmt, F1, P_B, 0);
-                m.asm.fcvt(FpFmt::S, fmt, F1, F1);
-                m.asm.fadd(FpFmt::S, F0, F0, F1);
-                m.asm.fcvt(fmt, FpFmt::S, F0, F0);
-                m.asm.fstore(fmt, F0, P_Y, 0);
-                m.asm.addi(P_Y, P_Y, e);
-            });
+                    m.asm.fload(fmt, F1, P_B, 0);
+                    m.asm.fcvt(FpFmt::S, fmt, F1, F1);
+                    m.asm.fadd(FpFmt::S, F0, F0, F1);
+                    m.asm.fcvt(fmt, FpFmt::S, F0, F0);
+                    m.asm.fstore(fmt, F0, P_Y, 0);
+                    m.asm.fadd(FpFmt::S, F5, F5, F1);
+                    m.asm.fcvt(fmt, FpFmt::S, F5, F5);
+                    m.asm.fstore(fmt, F5, P_Y, e);
+                    m.asm.addi(P_Y, P_Y, 2 * e);
+                });
+            } else {
+                m.ptr_loop(P_J, END_C, &[(P_J, e)], |m| {
+                    m.asm.fmv_f(FpFmt::S, F0, XReg::ZERO);
+                    for c in 0..in_ch {
+                        for ky in 0..CONV_K {
+                            for kx in 0..CONV_K {
+                                let wd = ((c * CONV_K + ky) * CONV_K + kx) as i32 * e;
+                                let xd = (c * h * w + ky * w + kx) as i32 * e;
+                                m.asm.fload(fmt, F1, P_W, wd);
+                                m.asm.fload(fmt, F2, P_J, xd);
+                                m.asm.fmacex(fmt, F0, F1, F2);
+                            }
+                        }
+                    }
+                    m.asm.fload(fmt, F1, P_B, 0);
+                    m.asm.fcvt(FpFmt::S, fmt, F1, F1);
+                    m.asm.fadd(FpFmt::S, F0, F0, F1);
+                    m.asm.fcvt(fmt, FpFmt::S, F0, F0);
+                    m.asm.fstore(fmt, F0, P_Y, 0);
+                    m.asm.addi(P_Y, P_Y, e);
+                });
+            }
         }
         m.asm.addi(P_X, P_X, row);
         m.asm.branch(BranchCond::Ltu, P_X, END_B, &loy);

@@ -642,6 +642,7 @@ macro_rules! by_fmt {
             FpFmt::Ah => $name::<{ FpFmt::Ah as u8 }>,
             FpFmt::H => $name::<{ FpFmt::H as u8 }>,
             FpFmt::B => $name::<{ FpFmt::B as u8 }>,
+            FpFmt::Ab => $name::<{ FpFmt::Ab as u8 }>,
         }
     };
     ($fmt:expr, $name:ident, $pre:expr) => {
@@ -650,6 +651,7 @@ macro_rules! by_fmt {
             FpFmt::Ah => $name::<{ $pre }, { FpFmt::Ah as u8 }>,
             FpFmt::H => $name::<{ $pre }, { FpFmt::H as u8 }>,
             FpFmt::B => $name::<{ $pre }, { FpFmt::B as u8 }>,
+            FpFmt::Ab => $name::<{ $pre }, { FpFmt::Ab as u8 }>,
         }
     };
 }
@@ -662,6 +664,7 @@ macro_rules! by_vec {
             FpFmt::Ah => $name::<{ FpFmt::Ah as u8 }>,
             FpFmt::H => $name::<{ FpFmt::H as u8 }>,
             FpFmt::B => $name::<{ FpFmt::B as u8 }>,
+            FpFmt::Ab => $name::<{ FpFmt::Ab as u8 }>,
             FpFmt::S => unreachable!("vector op on .s lowers to a trap micro-op"),
         }
     };
@@ -670,6 +673,7 @@ macro_rules! by_vec {
             FpFmt::Ah => $name::<{ $pre }, { FpFmt::Ah as u8 }>,
             FpFmt::H => $name::<{ $pre }, { FpFmt::H as u8 }>,
             FpFmt::B => $name::<{ $pre }, { FpFmt::B as u8 }>,
+            FpFmt::Ab => $name::<{ $pre }, { FpFmt::Ab as u8 }>,
             FpFmt::S => unreachable!("vector op on .s lowers to a trap micro-op"),
         }
     };
@@ -735,12 +739,16 @@ from_u8_fn!(
     [Add, Sub, Mul, Div, Min, Max, Mac, Sgnj, Sgnjn, Sgnjx]
 );
 
+/// Inverse of the `fmt as u8` const ids — the enum *discriminant*, not
+/// the encoding `fmt` code (they diverge for `Ab`, which banks onto B's
+/// code). Pinned by `const_ids_round_trip`.
 #[inline(always)]
 fn fmt_of(x: u8) -> FpFmt {
-    match x & 0b11 {
+    match x {
         0 => FpFmt::S,
         1 => FpFmt::Ah,
         2 => FpFmt::H,
+        4 => FpFmt::Ab,
         _ => FpFmt::B,
     }
 }
@@ -1013,6 +1021,7 @@ pub(crate) fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
                 FpFmt::Ah => by_fmt!(src, fcvt_ff, FpFmt::Ah as u8),
                 FpFmt::H => by_fmt!(src, fcvt_ff, FpFmt::H as u8),
                 FpFmt::B => by_fmt!(src, fcvt_ff, FpFmt::B as u8),
+                FpFmt::Ab => by_fmt!(src, fcvt_ff, FpFmt::Ab as u8),
             };
             u.rd = rd.num();
             u.rs1 = rs1.num();
@@ -1145,7 +1154,10 @@ pub(crate) fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
                     (FpFmt::Ah, FpFmt::Ah) => {
                         vfcvt_ff16::<{ FpFmt::Ah as u8 }, { FpFmt::Ah as u8 }>
                     }
-                    (FpFmt::B, FpFmt::B) => vfcvt_ff8,
+                    (FpFmt::B, FpFmt::B) => vfcvt_ff8::<{ FpFmt::B as u8 }, { FpFmt::B as u8 }>,
+                    (FpFmt::B, FpFmt::Ab) => vfcvt_ff8::<{ FpFmt::B as u8 }, { FpFmt::Ab as u8 }>,
+                    (FpFmt::Ab, FpFmt::B) => vfcvt_ff8::<{ FpFmt::Ab as u8 }, { FpFmt::B as u8 }>,
+                    (FpFmt::Ab, FpFmt::Ab) => vfcvt_ff8::<{ FpFmt::Ab as u8 }, { FpFmt::Ab as u8 }>,
                     _ => unreachable!("equal-width pairs only"),
                 };
                 u.cycles = t.fp_op;
@@ -1231,6 +1243,25 @@ pub(crate) fn lower_uop(cpu: &Cpu, pc: u32, instr: Instr) -> Lowered {
                 trap = true;
             } else {
                 u.run = by_vec!(fmt, vfdotpex);
+                u.cycles = t.fp_op;
+            }
+        }
+        Instr::VFSdotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
+            u.rd = rd.num();
+            u.rs1 = rs1.num();
+            u.rs2 = rs2.num();
+            u.aux = u32::from(rep);
+            u.rm = RM_DYN;
+            if fmt == FpFmt::S {
+                trap = true;
+            } else {
+                u.run = by_vec!(fmt, vfsdotpex);
                 u.cycles = t.fp_op;
             }
         }
@@ -1554,7 +1585,7 @@ pub(crate) fn vfop<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Res
     let out = match fmt {
         FpFmt::H => batch::vfop2_f16(lop, va, vb, vd, rep, &mut env),
         FpFmt::Ah => batch::vfop2_f16alt(lop, va, vb, vd, rep, &mut env),
-        FpFmt::B => batch::vfop4_f8(lop, va, vb, vd, rep, &mut env),
+        FpFmt::B | FpFmt::Ab => batch::vfop4_f8(fmt.format(), lop, va, vb, vd, rep, &mut env),
         FpFmt::S => unreachable!(),
     };
     set_fr(cpu, u.rd, out);
@@ -1569,7 +1600,7 @@ fn vfsqrt<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
     let out = match fmt {
         FpFmt::H => batch::vsqrt2_f16(va, &mut env),
         FpFmt::Ah => batch::vsqrt2_f16alt(va, &mut env),
-        FpFmt::B => batch::vsqrt4_f8(va, &mut env),
+        FpFmt::B | FpFmt::Ab => batch::vsqrt4_f8(fmt.format(), va, &mut env),
         FpFmt::S => unreachable!(),
     };
     set_fr(cpu, u.rd, out);
@@ -1587,7 +1618,7 @@ fn vfcmp<const OP: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), Si
     let mask = match fmt {
         FpFmt::H => batch::vcmp2_f16(lop, va, vb, rep, &mut env),
         FpFmt::Ah => batch::vcmp2_f16alt(lop, va, vb, rep, &mut env),
-        FpFmt::B => batch::vcmp4_f8(lop, va, vb, rep, &mut env),
+        FpFmt::B | FpFmt::Ab => batch::vcmp4_f8(fmt.format(), lop, va, vb, rep, &mut env),
         FpFmt::S => unreachable!(),
     };
     set_xr(cpu, u.rd, mask);
@@ -1604,9 +1635,10 @@ fn vfcvt_ff16<const DST: u8, const SRC: u8>(cpu: &mut Cpu, u: &MicroOp) -> Resul
     Ok(())
 }
 
-fn vfcvt_ff8(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+fn vfcvt_ff8<const DST: u8, const SRC: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let (dst, src) = (fmt_of(DST), fmt_of(SRC));
     let mut env = Env::new(uop_rm(cpu, u)?);
-    let out = batch::vcvt4_ff(Format::BINARY8, Format::BINARY8, fr(cpu, u.rs1), &mut env);
+    let out = batch::vcvt4_ff(dst.format(), src.format(), fr(cpu, u.rs1), &mut env);
     set_fr(cpu, u.rd, out);
     cpu.fflags.set(env.flags);
     Ok(())
@@ -1618,7 +1650,7 @@ fn vfcvt_xf<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(),
     let va = fr(cpu, u.rs1);
     let out = match fmt {
         FpFmt::H | FpFmt::Ah => batch::vcvt2_x_f(fmt.format(), va, SG == 1, &mut env),
-        FpFmt::B => batch::vcvt4_x_f8(va, SG == 1, &mut env),
+        FpFmt::B | FpFmt::Ab => batch::vcvt4_x_f8(fmt.format(), va, SG == 1, &mut env),
         FpFmt::S => unreachable!(),
     };
     set_fr(cpu, u.rd, out);
@@ -1632,7 +1664,7 @@ fn vfcvt_fx<const SG: u8, const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(),
     let va = fr(cpu, u.rs1);
     let out = match fmt {
         FpFmt::H | FpFmt::Ah => batch::vcvt2_f_x(fmt.format(), va, SG == 1, &mut env),
-        FpFmt::B => batch::vcvt4_f8_x(va, SG == 1, &mut env),
+        FpFmt::B | FpFmt::Ab => batch::vcvt4_f8_x(fmt.format(), va, SG == 1, &mut env),
         FpFmt::S => unreachable!(),
     };
     set_fr(cpu, u.rd, out);
@@ -1675,7 +1707,28 @@ pub(crate) fn vfdotpex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), Si
     let out = match fmt {
         FpFmt::H => batch::vdotpex2_f16(acc, va, vb, rep, &mut env),
         FpFmt::Ah => batch::vdotpex2_f16alt(acc, va, vb, rep, &mut env),
-        FpFmt::B => batch::vdotpex4_f8(acc, va, vb, rep, &mut env),
+        FpFmt::B | FpFmt::Ab => batch::vdotpex4_f8(fmt.format(), acc, va, vb, rep, &mut env),
+        FpFmt::S => unreachable!(),
+    };
+    set_fr(cpu, u.rd, out);
+    cpu.fflags.set(env.flags);
+    Ok(())
+}
+
+pub(crate) fn vfsdotpex<const F: u8>(cpu: &mut Cpu, u: &MicroOp) -> Result<(), SimError> {
+    let fmt = fmt_of(F);
+    let mut env = Env::new(uop_rm(cpu, u)?);
+    let va = fr(cpu, u.rs1);
+    let vb = fr(cpu, u.rs2);
+    let rep = u.aux != 0;
+    let acc = fr(cpu, u.rd);
+    let out = match fmt {
+        FpFmt::H => batch::vsdotp2_f16(acc, va, vb, rep, &mut env),
+        FpFmt::Ah => batch::vsdotp2_f16alt(acc, va, vb, rep, &mut env),
+        FpFmt::B | FpFmt::Ab => {
+            let wide = fmt.widen().expect("8-bit formats widen").format();
+            batch::vsdotp4_f8(fmt.format(), wide, acc, va, vb, rep, &mut env)
+        }
         FpFmt::S => unreachable!(),
     };
     set_fr(cpu, u.rd, out);
@@ -1757,8 +1810,7 @@ mod tests {
             assert_eq!(vfop_of(op as u8), op);
         }
         for fmt in FpFmt::ALL {
-            assert_eq!(fmt_of(fmt as u8), fmt);
-            assert_eq!(fmt as u8 as u32, fmt.code(), "const id must equal fmt code");
+            assert_eq!(fmt_of(fmt as u8), fmt, "const id is the enum discriminant");
         }
     }
 

@@ -108,9 +108,9 @@ impl EnergyModel {
             InstrClass::FpMove | InstrClass::FpCmp => self.fp_misc,
             InstrClass::FpS => self.fp32,
             InstrClass::FpH | InstrClass::FpAh => self.fp16,
-            InstrClass::FpB => self.fp8,
+            InstrClass::FpB | InstrClass::FpAb => self.fp8,
             InstrClass::FpVecH | InstrClass::FpVecAh => self.vec16,
-            InstrClass::FpVecB => self.vec8,
+            InstrClass::FpVecB | InstrClass::FpVecAb => self.vec8,
             InstrClass::FpCvt => self.cvt,
             InstrClass::FpCpk => self.cpk,
             InstrClass::FpExpand => self.expand,

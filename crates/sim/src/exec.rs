@@ -26,10 +26,10 @@ fn resolve_rm(cpu: &Cpu, rm: Rm, pc: u32) -> Result<Rounding, SimError> {
 #[inline(always)]
 pub(crate) fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
     let reg = cpu.freg(r);
-    let (upper, mask) = match fmt {
-        FpFmt::S => return reg as u64,
-        FpFmt::H | FpFmt::Ah => (0xffff_0000u32, 0xffffu32),
-        FpFmt::B => (0xffff_ff00u32, 0xffu32),
+    let (upper, mask) = match fmt.width() {
+        32 => return reg as u64,
+        16 => (0xffff_0000u32, 0xffffu32),
+        _ => (0xffff_ff00u32, 0xffu32),
     };
     if reg & upper == upper {
         (reg & mask) as u64
@@ -40,10 +40,10 @@ pub(crate) fn unbox(cpu: &Cpu, fmt: FpFmt, r: smallfloat_isa::FReg) -> u64 {
 
 #[inline(always)]
 pub(crate) fn write_boxed(cpu: &mut Cpu, fmt: FpFmt, r: smallfloat_isa::FReg, bits: u64) {
-    let boxed = match fmt {
-        FpFmt::S => bits as u32,
-        FpFmt::H | FpFmt::Ah => (bits as u32 & 0xffff) | 0xffff_0000,
-        FpFmt::B => (bits as u32 & 0xff) | 0xffff_ff00,
+    let boxed = match fmt.width() {
+        32 => bits as u32,
+        16 => (bits as u32 & 0xffff) | 0xffff_0000,
+        _ => (bits as u32 & 0xff) | 0xffff_ff00,
     };
     cpu.set_freg(r, boxed);
 }
@@ -57,22 +57,22 @@ fn lanes_of(fmt: FpFmt, pc: u32) -> Result<(u32, u32), SimError> {
 
 /// Lane layout of a vectorizable format at `FLEN = 32`, mapping to the
 /// matching batched helper family in `smallfloat_softfp::batch`.
-#[derive(Clone, Copy)]
+#[derive(Clone, Copy, PartialEq)]
 enum VecFmt {
     /// 2 × binary16
     H,
     /// 2 × binary16alt
     Ah,
-    /// 4 × binary8
-    B,
+    /// 4 × binary8 (E5M2 or E4M3; the softfp `Format` disambiguates)
+    B8,
 }
 
 fn vec_fmt(fmt: FpFmt, pc: u32) -> Result<VecFmt, SimError> {
-    match fmt {
-        FpFmt::H => Ok(VecFmt::H),
-        FpFmt::Ah => Ok(VecFmt::Ah),
-        FpFmt::B => Ok(VecFmt::B),
-        FpFmt::S => Err(SimError::VectorUnsupported { pc }),
+    match (fmt.width(), fmt) {
+        (16, FpFmt::Ah) => Ok(VecFmt::Ah),
+        (16, _) => Ok(VecFmt::H),
+        (8, _) => Ok(VecFmt::B8),
+        _ => Err(SimError::VectorUnsupported { pc }),
     }
 }
 
@@ -492,7 +492,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let out = match vf {
                 VecFmt::H => batch::vfop2_f16(lop, va, vb, vd, rep, &mut env),
                 VecFmt::Ah => batch::vfop2_f16alt(lop, va, vb, vd, rep, &mut env),
-                VecFmt::B => batch::vfop4_f8(lop, va, vb, vd, rep, &mut env),
+                VecFmt::B8 => batch::vfop4_f8(fmt.format(), lop, va, vb, vd, rep, &mut env),
             };
             cpu.set_freg(rd, out);
             cycles = if op == VfOp::Div {
@@ -508,7 +508,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let out = match vf {
                 VecFmt::H => batch::vsqrt2_f16(va, &mut env),
                 VecFmt::Ah => batch::vsqrt2_f16alt(va, &mut env),
-                VecFmt::B => batch::vsqrt4_f8(va, &mut env),
+                VecFmt::B8 => batch::vsqrt4_f8(fmt.format(), va, &mut env),
             };
             cpu.set_freg(rd, out);
             cycles = cpu.config.timing.fp_sqrt;
@@ -528,7 +528,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let mask = match vf {
                 VecFmt::H => batch::vcmp2_f16(lop, va, vb, rep, &mut env),
                 VecFmt::Ah => batch::vcmp2_f16alt(lop, va, vb, rep, &mut env),
-                VecFmt::B => batch::vcmp4_f8(lop, va, vb, rep, &mut env),
+                VecFmt::B8 => batch::vcmp4_f8(fmt.format(), lop, va, vb, rep, &mut env),
             };
             cpu.set_xreg(rd, mask);
             cycles = cpu.config.timing.fp_op;
@@ -542,7 +542,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let va = cpu.freg(rs1);
             let out = match vf {
                 VecFmt::H | VecFmt::Ah => batch::vcvt2_ff(dst.format(), src.format(), va, &mut env),
-                VecFmt::B => batch::vcvt4_ff(dst.format(), src.format(), va, &mut env),
+                VecFmt::B8 => batch::vcvt4_ff(dst.format(), src.format(), va, &mut env),
             };
             cpu.set_freg(rd, out);
             cycles = cpu.config.timing.fp_op;
@@ -558,7 +558,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let va = cpu.freg(rs1);
             let out = match vf {
                 VecFmt::H | VecFmt::Ah => batch::vcvt2_x_f(fmt.format(), va, signed, &mut env),
-                VecFmt::B => batch::vcvt4_x_f8(va, signed, &mut env),
+                VecFmt::B8 => batch::vcvt4_x_f8(fmt.format(), va, signed, &mut env),
             };
             cpu.set_freg(rd, out);
             cycles = cpu.config.timing.fp_op;
@@ -574,7 +574,7 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let va = cpu.freg(rs1);
             let out = match vf {
                 VecFmt::H | VecFmt::Ah => batch::vcvt2_f_x(fmt.format(), va, signed, &mut env),
-                VecFmt::B => batch::vcvt4_f8_x(va, signed, &mut env),
+                VecFmt::B8 => batch::vcvt4_f8_x(fmt.format(), va, signed, &mut env),
             };
             cpu.set_freg(rd, out);
             cycles = cpu.config.timing.fp_op;
@@ -630,7 +630,33 @@ pub(crate) fn exec(cpu: &mut Cpu, instr: Instr, len: u32) -> Result<Option<ExitR
             let out = match vf {
                 VecFmt::H => batch::vdotpex2_f16(acc, va, vb, rep, &mut env),
                 VecFmt::Ah => batch::vdotpex2_f16alt(acc, va, vb, rep, &mut env),
-                VecFmt::B => batch::vdotpex4_f8(acc, va, vb, rep, &mut env),
+                VecFmt::B8 => batch::vdotpex4_f8(fmt.format(), acc, va, vb, rep, &mut env),
+            };
+            cpu.set_freg(rd, out);
+            cycles = cpu.config.timing.fp_op;
+        }
+        Instr::VFSdotpEx {
+            fmt,
+            rd,
+            rs1,
+            rs2,
+            rep,
+        } => {
+            let vf = vec_fmt(fmt, pc)?;
+            let wide = fmt.widen().ok_or(SimError::VectorUnsupported { pc })?;
+            env.rm = cpu.frm().ok_or(SimError::InvalidRounding { pc })?;
+            let va = cpu.freg(rs1);
+            let vb = cpu.freg(rs2);
+            // Destination lane j (width 2w) accumulates the product pair
+            // a[2j]*b[2j] + a[2j+1]*b[2j+1] as two chained single-rounding
+            // FMAs in the wide format, even lane first (ExSdotp order).
+            let acc = cpu.freg(rd);
+            let out = match vf {
+                VecFmt::H => batch::vsdotp2_f16(acc, va, vb, rep, &mut env),
+                VecFmt::Ah => batch::vsdotp2_f16alt(acc, va, vb, rep, &mut env),
+                VecFmt::B8 => {
+                    batch::vsdotp4_f8(fmt.format(), wide.format(), acc, va, vb, rep, &mut env)
+                }
             };
             cpu.set_freg(rd, out);
             cycles = cpu.config.timing.fp_op;

@@ -976,15 +976,22 @@ const S: u8 = FpFmt::S as u8;
 const AH: u8 = FpFmt::Ah as u8;
 const H: u8 = FpFmt::H as u8;
 const B: u8 = FpFmt::B as u8;
+const AB: u8 = FpFmt::Ab as u8;
 const MAC: u8 = VfOp::Mac as u8;
 const MADD: u8 = FmaOp::Madd as u8;
 
 fused2!(flw_dotp_ah, block::load_fp::<S>, block::vfdotpex::<AH>);
 fused2!(flw_dotp_h, block::load_fp::<S>, block::vfdotpex::<H>);
 fused2!(flw_dotp_b, block::load_fp::<S>, block::vfdotpex::<B>);
+fused2!(flw_dotp_ab, block::load_fp::<S>, block::vfdotpex::<AB>);
+fused2!(flw_sdotp_ah, block::load_fp::<S>, block::vfsdotpex::<AH>);
+fused2!(flw_sdotp_h, block::load_fp::<S>, block::vfsdotpex::<H>);
+fused2!(flw_sdotp_b, block::load_fp::<S>, block::vfsdotpex::<B>);
+fused2!(flw_sdotp_ab, block::load_fp::<S>, block::vfsdotpex::<AB>);
 fused2!(flw_mac_ah, block::load_fp::<S>, block::vfop::<MAC, AH>);
 fused2!(flw_mac_h, block::load_fp::<S>, block::vfop::<MAC, H>);
 fused2!(flw_mac_b, block::load_fp::<S>, block::vfop::<MAC, B>);
+fused2!(flw_mac_ab, block::load_fp::<S>, block::vfop::<MAC, AB>);
 fused2!(fl_fmadd_s, block::load_fp::<S>, block::ffma::<MADD, S>);
 fused2!(fl_fmadd_ah, block::load_fp::<AH>, block::ffma::<MADD, AH>);
 fused2!(fl_fmadd_h, block::load_fp::<H>, block::ffma::<MADD, H>);
@@ -996,6 +1003,7 @@ fused2!(fl_macex_b, block::load_fp::<B>, block::fmacex::<B>);
 fused2!(cpk_cpk_ah, block::vfcpk::<AH>, block::vfcpk::<AH>);
 fused2!(cpk_cpk_h, block::vfcpk::<H>, block::vfcpk::<H>);
 fused2!(cpk_cpk_b, block::vfcpk::<B>, block::vfcpk::<B>);
+fused2!(cpk_cpk_ab, block::vfcpk::<AB>, block::vfcpk::<AB>);
 
 // ---------------------------------------------------------------------------
 // Formation
@@ -1013,6 +1021,8 @@ enum Tag {
     LoadFp(FpFmt),
     /// `vfdotpex` of the given format.
     VecDotp(FpFmt),
+    /// `vfsdotpex` of the given format.
+    VecSdotp(FpFmt),
     /// `vfmac` of the given format.
     VecMac(FpFmt),
     /// Scalar `fmadd` of the given format.
@@ -1036,6 +1046,7 @@ fn tag_of(instr: &Instr) -> Tag {
         }
         Instr::FLoad { fmt, .. } => Tag::LoadFp(*fmt),
         Instr::VFDotpEx { fmt, .. } => Tag::VecDotp(*fmt),
+        Instr::VFSdotpEx { fmt, .. } => Tag::VecSdotp(*fmt),
         Instr::VFOp {
             op: VfOp::Mac, fmt, ..
         } => Tag::VecMac(*fmt),
@@ -1060,12 +1071,21 @@ fn select_pair(ta: Tag, tb: Tag) -> Option<(PairFn, FusionKind)> {
             Ah => flw_dotp_ah,
             H => flw_dotp_h,
             B => flw_dotp_b,
+            Ab => flw_dotp_ab,
+            S => return None,
+        },
+        (Tag::LoadFp(S), Tag::VecSdotp(vf)) => match vf {
+            Ah => flw_sdotp_ah,
+            H => flw_sdotp_h,
+            B => flw_sdotp_b,
+            Ab => flw_sdotp_ab,
             S => return None,
         },
         (Tag::LoadFp(S), Tag::VecMac(vf)) => match vf {
             Ah => flw_mac_ah,
             H => flw_mac_h,
             B => flw_mac_b,
+            Ab => flw_mac_ab,
             S => return None,
         },
         (Tag::LoadFp(lf), Tag::FmaMadd(ff)) if lf == ff => match ff {
@@ -1073,17 +1093,22 @@ fn select_pair(ta: Tag, tb: Tag) -> Option<(PairFn, FusionKind)> {
             Ah => fl_fmadd_ah,
             H => fl_fmadd_h,
             B => fl_fmadd_b,
+            // Loads canonicalize `Ab` to `B`, so an Ab op never pairs
+            // with a matching-format load.
+            Ab => return None,
         },
         (Tag::LoadFp(lf), Tag::MacEx(ff)) if lf == ff => match ff {
             S => fl_macex_s,
             Ah => fl_macex_ah,
             H => fl_macex_h,
             B => fl_macex_b,
+            Ab => return None,
         },
         (Tag::Cpk(fa), Tag::Cpk(fb)) if fa == fb => match fa {
             Ah => cpk_cpk_ah,
             H => cpk_cpk_h,
             B => cpk_cpk_b,
+            Ab => cpk_cpk_ab,
             S => return None,
         },
         (Tag::AddI, Tag::AddI) => fused_addi_addi,
@@ -1094,7 +1119,7 @@ fn select_pair(ta: Tag, tb: Tag) -> Option<(PairFn, FusionKind)> {
         _ => pair_generic,
     };
     let kind = match (ta, tb) {
-        (_, Tag::VecDotp(_) | Tag::VecMac(_)) => FusionKind::LoadVec,
+        (_, Tag::VecDotp(_) | Tag::VecSdotp(_) | Tag::VecMac(_)) => FusionKind::LoadVec,
         (_, Tag::FmaMadd(_) | Tag::MacEx(_)) => FusionKind::LoadFp,
         (Tag::Cpk(_), Tag::Cpk(_)) => FusionKind::VecPack,
         (Tag::AddI | Tag::Alu, Tag::AddI | Tag::Alu) => FusionKind::AluPair,

@@ -135,7 +135,7 @@ fn check(w: &dyn Workload, prec: &Precision, mode: VecMode) -> u64 {
     in_trace
 }
 
-/// The precision variants under test: the four uniform ones plus one
+/// The precision variants under test: the five uniform ones plus one
 /// mixed assignment (first array widened to binary32 over a binary16
 /// default), which exercises cross-format conversion uops.
 fn precisions(w: &dyn Workload) -> Vec<Precision> {
@@ -150,7 +150,7 @@ fn precisions(w: &dyn Workload) -> Vec<Precision> {
 }
 
 /// Fast rotating subset: one (precision, mode) pair per workload, chosen
-/// so all five precisions and all three modes appear across the suite.
+/// so all six precisions and all three modes appear across the suite.
 #[test]
 fn engine_tiers_match_reference_subset() {
     let mut in_trace_total = 0u64;
@@ -195,6 +195,77 @@ fn small_config() -> SimConfig {
     SimConfig {
         mem_size: 1 << 20,
         ..SimConfig::default()
+    }
+}
+
+/// The expanding sum-of-dot-products on all three tiers: a hot loop walks
+/// a deterministic bit-pattern generator through both `vfsdotpex`
+/// operand registers (hitting normals, subnormals, infinities and NaNs in
+/// the packed lanes) at every packed format — 2×16-bit lanes expanding to
+/// binary32 and 4×8-bit lanes (both banks) expanding to packed binary16 —
+/// in plain and replicated forms. Block and trace tiers must stay
+/// bit-identical to the reference, including `fflags` and energy.
+#[test]
+fn vfsdotpex_all_formats_stay_bit_identical() {
+    for fmt in FpFmt::SMALL {
+        let (s0, t0, t1, t2, t3) = (XReg::s(0), XReg::t(0), XReg::t(1), XReg::t(2), XReg::t(3));
+        let (f0, f1, f2, f3) = (
+            smallfloat_isa::FReg::new(0),
+            smallfloat_isa::FReg::new(1),
+            smallfloat_isa::FReg::new(2),
+            smallfloat_isa::FReg::new(3),
+        );
+        let mut asm = Assembler::new();
+        asm.li(s0, 600);
+        asm.li(t0, 0x1357_9bdfu32 as i32); // pattern seed
+        asm.li(t2, 0x0101_4047); // odd step: lanes sweep exponent fields
+        asm.li(t3, 0x5a5a_7c3cu32 as i32); // xor mask: second operand stream
+        asm.li(t1, 0);
+        asm.fmv_f(FpFmt::S, f0, t1); // accumulators start at +0 lanes
+        asm.fmv_f(FpFmt::S, f3, t1);
+        asm.label("loop");
+        asm.push(Instr::Op {
+            op: AluOp::Add,
+            rd: t0,
+            rs1: t0,
+            rs2: t2,
+        });
+        asm.push(Instr::Op {
+            op: AluOp::Xor,
+            rd: t1,
+            rs1: t0,
+            rs2: t3,
+        });
+        asm.fmv_f(FpFmt::S, f1, t0);
+        asm.fmv_f(FpFmt::S, f2, t1);
+        asm.vfsdotpex(fmt, f0, f1, f2);
+        asm.vfsdotpex_r(fmt, f3, f1, f2);
+        asm.addi(s0, s0, -1);
+        asm.bnez("loop", s0);
+        asm.ecall();
+        let prog = asm.assemble().expect("vfsdotpex loop assembles");
+
+        let run = |engine: Engine| -> Cpu {
+            let mut cpu = Cpu::new(small_config());
+            engine.apply(&mut cpu);
+            cpu.load_program(TEXT, &prog);
+            let exit = cpu.run(1_000_000).expect("vfsdotpex loop must not trap");
+            assert_eq!(exit, ExitReason::Ecall, "{fmt:?}");
+            cpu
+        };
+        let reference = run(Engine::Reference);
+        assert_ne!(
+            reference.freg(f0),
+            0,
+            "{fmt:?}: the accumulator must have moved"
+        );
+        let blocks = run(Engine::Blocks);
+        let traces = run(Engine::Traces);
+        assert_identical(&format!("vfsdotpex {fmt:?} [blocks]"), &blocks, &reference);
+        assert_identical(&format!("vfsdotpex {fmt:?} [traces]"), &traces, &reference);
+        let ts = traces.trace_stats();
+        assert!(ts.formed > 0, "{fmt:?}: hot loop must form traces");
+        assert!(ts.retired > 0, "{fmt:?}: traces must retire");
     }
 }
 

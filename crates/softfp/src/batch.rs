@@ -159,11 +159,30 @@ pub fn vfop2_f16alt(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut 
     vfop2::<8, 7>(op, va, vb, vd, rep, env)
 }
 
-/// `vfop` on four binary8 lanes. Add/sub/mul/div fetch the exhaustive
-/// lookup table once and do four O(1) loads; the remaining ops use the
-/// monomorphized binary8 kernels.
+/// One 8-bit lane through the monomorphized kernels of the format
+/// (`binary8` E5M2 or `binary8alt` E4M3).
+#[inline(always)]
+fn lane_op_8(fmt: Format, op: LaneOp, a: u64, b: u64, d: u64, env: &mut Env) -> u64 {
+    if fmt == Format::BINARY8ALT {
+        lane_op_k::<4, 3>(op, a, b, d, env)
+    } else {
+        lane_op_k::<5, 2>(op, a, b, d, env)
+    }
+}
+
+/// `vfop` on four 8-bit lanes of `fmt` (`binary8` or `binary8alt`).
+/// Add/sub/mul/div fetch the exhaustive lookup table once and do four O(1)
+/// loads; the remaining ops use the monomorphized 8-bit kernels.
 #[inline]
-pub fn vfop4_f8(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut Env) -> u32 {
+pub fn vfop4_f8(
+    fmt: Format,
+    op: LaneOp,
+    va: u32,
+    vb: u32,
+    vd: u32,
+    rep: bool,
+    env: &mut Env,
+) -> u32 {
     let bl = |i: u32| -> u64 {
         if rep {
             lane8(vb, 0)
@@ -174,10 +193,10 @@ pub fn vfop4_f8(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut Env)
     match op {
         LaneOp::Add | LaneOp::Sub | LaneOp::Mul | LaneOp::Div => {
             let (t, bflip) = match op {
-                LaneOp::Add => (tables::add_table(env.rm), 0u64),
-                LaneOp::Sub => (tables::add_table(env.rm), 0x80),
-                LaneOp::Mul => (tables::mul_table(env.rm), 0),
-                _ => (tables::div_table(env.rm), 0),
+                LaneOp::Add => (tables::add_table(fmt, env.rm), 0u64),
+                LaneOp::Sub => (tables::add_table(fmt, env.rm), 0x80),
+                LaneOp::Mul => (tables::mul_table(fmt, env.rm), 0),
+                _ => (tables::div_table(fmt, env.rm), 0),
             };
             pack8([
                 tables::bin_lookup(t, lane8(va, 0), bl(0) ^ bflip, env),
@@ -187,10 +206,10 @@ pub fn vfop4_f8(op: LaneOp, va: u32, vb: u32, vd: u32, rep: bool, env: &mut Env)
             ])
         }
         _ => pack8([
-            lane_op_k::<5, 2>(op, lane8(va, 0), bl(0), lane8(vd, 0), env),
-            lane_op_k::<5, 2>(op, lane8(va, 1), bl(1), lane8(vd, 1), env),
-            lane_op_k::<5, 2>(op, lane8(va, 2), bl(2), lane8(vd, 2), env),
-            lane_op_k::<5, 2>(op, lane8(va, 3), bl(3), lane8(vd, 3), env),
+            lane_op_8(fmt, op, lane8(va, 0), bl(0), lane8(vd, 0), env),
+            lane_op_8(fmt, op, lane8(va, 1), bl(1), lane8(vd, 1), env),
+            lane_op_8(fmt, op, lane8(va, 2), bl(2), lane8(vd, 2), env),
+            lane_op_8(fmt, op, lane8(va, 3), bl(3), lane8(vd, 3), env),
         ]),
     }
 }
@@ -243,14 +262,19 @@ pub fn vcmp2_f16alt(op: LaneCmp, va: u32, vb: u32, rep: bool, env: &mut Env) -> 
     vcmp2::<8, 7>(op, va, vb, rep, env)
 }
 
-/// Lane-mask comparison of four binary8 lanes.
+/// Lane-mask comparison of four 8-bit lanes of `fmt`.
 #[inline]
-pub fn vcmp4_f8(op: LaneCmp, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+pub fn vcmp4_f8(fmt: Format, op: LaneCmp, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
     let mut mask = 0u32;
     let mut i = 0;
     while i < 4 {
         let b = if rep { lane8(vb, 0) } else { lane8(vb, i) };
-        mask |= u32::from(lane_cmp_k::<5, 2>(op, lane8(va, i), b, env)) << i;
+        let r = if fmt == Format::BINARY8ALT {
+            lane_cmp_k::<4, 3>(op, lane8(va, i), b, env)
+        } else {
+            lane_cmp_k::<5, 2>(op, lane8(va, i), b, env)
+        };
+        mask |= u32::from(r) << i;
         i += 1;
     }
     mask
@@ -278,14 +302,14 @@ pub fn vsqrt2_f16alt(va: u32, env: &mut Env) -> u32 {
     )
 }
 
-/// Square root of four binary8 lanes (table-driven).
+/// Square root of four 8-bit lanes of `fmt` (table-driven).
 #[inline]
-pub fn vsqrt4_f8(va: u32, env: &mut Env) -> u32 {
+pub fn vsqrt4_f8(fmt: Format, va: u32, env: &mut Env) -> u32 {
     pack8([
-        tables::sqrt(lane8(va, 0), env),
-        tables::sqrt(lane8(va, 1), env),
-        tables::sqrt(lane8(va, 2), env),
-        tables::sqrt(lane8(va, 3), env),
+        tables::sqrt(fmt, lane8(va, 0), env),
+        tables::sqrt(fmt, lane8(va, 1), env),
+        tables::sqrt(fmt, lane8(va, 2), env),
+        tables::sqrt(fmt, lane8(va, 3), env),
     ])
 }
 
@@ -328,14 +352,15 @@ pub fn vcvt2_x_f(fmt: Format, va: u32, signed: bool, env: &mut Env) -> u32 {
     pack16(r0 & 0xffff, r1 & 0xffff)
 }
 
-/// Float-to-integer conversion of four binary8 lanes into 8-bit lanes.
+/// Float-to-integer conversion of four 8-bit lanes of `fmt` into 8-bit
+/// integer lanes.
 #[inline]
-pub fn vcvt4_x_f8(va: u32, signed: bool, env: &mut Env) -> u32 {
+pub fn vcvt4_x_f8(fmt: Format, va: u32, signed: bool, env: &mut Env) -> u32 {
     pack8([
-        ops::to_int(Format::BINARY8, lane8(va, 0), signed, 8, env) & 0xff,
-        ops::to_int(Format::BINARY8, lane8(va, 1), signed, 8, env) & 0xff,
-        ops::to_int(Format::BINARY8, lane8(va, 2), signed, 8, env) & 0xff,
-        ops::to_int(Format::BINARY8, lane8(va, 3), signed, 8, env) & 0xff,
+        ops::to_int(fmt, lane8(va, 0), signed, 8, env) & 0xff,
+        ops::to_int(fmt, lane8(va, 1), signed, 8, env) & 0xff,
+        ops::to_int(fmt, lane8(va, 2), signed, 8, env) & 0xff,
+        ops::to_int(fmt, lane8(va, 3), signed, 8, env) & 0xff,
     ])
 }
 
@@ -354,14 +379,14 @@ pub fn vcvt2_f_x(fmt: Format, va: u32, signed: bool, env: &mut Env) -> u32 {
     pack16(r0, r1)
 }
 
-/// Integer-to-float conversion of four 8-bit integer lanes into binary8.
+/// Integer-to-float conversion of four 8-bit integer lanes into `fmt`.
 #[inline]
-pub fn vcvt4_f8_x(va: u32, signed: bool, env: &mut Env) -> u32 {
+pub fn vcvt4_f8_x(fmt: Format, va: u32, signed: bool, env: &mut Env) -> u32 {
     let cv = |raw: u32, env: &mut Env| -> u64 {
         if signed {
-            ops::from_i64(Format::BINARY8, sext_lane(raw, 8) as i32 as i64, env)
+            ops::from_i64(fmt, sext_lane(raw, 8) as i32 as i64, env)
         } else {
-            ops::from_u64(Format::BINARY8, raw as u64, env)
+            ops::from_u64(fmt, raw as u64, env)
         }
     };
     let l = [
@@ -415,14 +440,14 @@ dotpex2!(
     "Widening dot-product accumulate of two binary16alt lane pairs into a binary32 accumulator."
 );
 
-/// Widening dot-product accumulate of four binary8 lane pairs into a
-/// binary32 accumulator (lane 0 first, single-rounding FMA chain; exact
+/// Widening dot-product accumulate of four 8-bit lane pairs of `fmt` into
+/// a binary32 accumulator (lane 0 first, single-rounding FMA chain; exact
 /// widening flags discarded as in the interpreter's scalar path).
 #[inline]
-pub fn vdotpex4_f8(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+pub fn vdotpex4_f8(fmt: Format, acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
     let mut scratch = Env::new(env.rm);
     let wide = |i: u32, v: u32, scratch: &mut Env| -> u64 {
-        tables::cvt_widen(Format::BINARY32, lane8(v, i), scratch)
+        tables::cvt_widen(Format::BINARY32, fmt, lane8(v, i), scratch)
     };
     let mut acc = acc as u64;
     let b0 = wide(0, vb, &mut scratch);
@@ -434,6 +459,73 @@ pub fn vdotpex4_f8(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 
         i += 1;
     }
     acc as u32
+}
+
+// ---------------------------------------------------------------------------
+// Expanding sum-of-dot-products (vfsdotpex, MiniFloat-NN ExSdotp shape)
+// ---------------------------------------------------------------------------
+
+/// Expanding sum-of-dot-products of two 16-bit lane pairs into the single
+/// binary32 destination lane: `rd = rd + a0*b0 + a1*b1`, accumulated in
+/// binary32 (lane 0 first, single-rounding FMA chain). At `FLEN = 32` the
+/// 16-bit source shape has exactly one doubled-width destination lane, so
+/// the computation coincides with [`vdotpex2_f16`].
+#[inline]
+pub fn vsdotp2_f16(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+    vdotpex2_f16(acc, va, vb, rep, env)
+}
+
+/// Expanding sum-of-dot-products of two binary16alt lane pairs into the
+/// binary32 destination lane (see [`vsdotp2_f16`]).
+#[inline]
+pub fn vsdotp2_f16alt(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+    vdotpex2_f16alt(acc, va, vb, rep, env)
+}
+
+/// Expanding sum-of-dot-products of four 8-bit lanes of `fmt` into **two**
+/// 16-bit destination lanes of `wide` (`binary16` or `binary16alt`):
+///
+/// ```text
+/// rd16[0] = rd16[0] + a[0]*b[0] + a[1]*b[1]
+/// rd16[1] = rd16[1] + a[2]*b[2] + a[3]*b[3]
+/// ```
+///
+/// Source lanes widen to `wide` exactly (both E5M2 and E4M3 products are
+/// representable there; the widening's at-most-NV-on-sNaN flags are
+/// discarded as in the scalar widening path); each destination lane then
+/// chains two single-rounding FMAs in `wide`, even source lane first.
+/// `rep` replicates `b` lane 0 across all products (the `.r` variant).
+#[inline]
+pub fn vsdotp4_f8(
+    fmt: Format,
+    wide: Format,
+    acc: u32,
+    va: u32,
+    vb: u32,
+    rep: bool,
+    env: &mut Env,
+) -> u32 {
+    let mut scratch = Env::new(env.rm);
+    let w = |i: u32, v: u32, scratch: &mut Env| -> u64 {
+        tables::cvt_widen(wide, fmt, lane8(v, i), scratch)
+    };
+    let b0 = w(0, vb, &mut scratch);
+    let half = |lo: u32, acc16: u64, scratch: &mut Env, env: &mut Env| -> u64 {
+        let a0 = w(lo, va, scratch);
+        let a1 = w(lo + 1, va, scratch);
+        let p0 = if rep { b0 } else { w(lo, vb, scratch) };
+        let p1 = if rep { b0 } else { w(lo + 1, vb, scratch) };
+        if wide == Format::BINARY16ALT {
+            let t = k::fma::<8, 7>(a0, p0, acc16, env);
+            k::fma::<8, 7>(a1, p1, t, env)
+        } else {
+            let t = k::fma::<5, 10>(a0, p0, acc16, env);
+            k::fma::<5, 10>(a1, p1, t, env)
+        }
+    };
+    let r0 = half(0, lo16(acc), &mut scratch, env);
+    let r1 = half(2, hi16(acc), &mut scratch, env);
+    pack16(r0, r1)
 }
 
 // ---------------------------------------------------------------------------
@@ -461,19 +553,19 @@ pub fn vfma2_f16(va: u32, vb: u32, vd: u32, env: &mut Env) -> u32 {
 /// Packed `a + b` on four binary8 lanes.
 #[inline]
 pub fn vadd4_f8(va: u32, vb: u32, env: &mut Env) -> u32 {
-    vfop4_f8(LaneOp::Add, va, vb, 0, false, env)
+    vfop4_f8(Format::BINARY8, LaneOp::Add, va, vb, 0, false, env)
 }
 
 /// Packed `a * b` on four binary8 lanes.
 #[inline]
 pub fn vmul4_f8(va: u32, vb: u32, env: &mut Env) -> u32 {
-    vfop4_f8(LaneOp::Mul, va, vb, 0, false, env)
+    vfop4_f8(Format::BINARY8, LaneOp::Mul, va, vb, 0, false, env)
 }
 
 /// Packed fused `a * b + d` on four binary8 lanes.
 #[inline]
 pub fn vfma4_f8(va: u32, vb: u32, vd: u32, env: &mut Env) -> u32 {
-    vfop4_f8(LaneOp::Mac, va, vb, vd, false, env)
+    vfop4_f8(Format::BINARY8, LaneOp::Mac, va, vb, vd, false, env)
 }
 
 #[cfg(test)]
@@ -515,8 +607,30 @@ mod tests {
         let vb = 0x3c3c_3c3c;
         let vd = 0x40_3c_40_3c; // [1, 2, 1, 2]
         let mut e = env();
-        let r = vfop4_f8(LaneOp::Mac, va, vb, vd, false, &mut e);
+        let r = vfop4_f8(Format::BINARY8, LaneOp::Mac, va, vb, vd, false, &mut e);
         assert_eq!(r, 0x42_40_42_40); // [2, 3, 2, 3]
+    }
+
+    #[test]
+    fn sdotp4_accumulates_per_pair() {
+        // binary8alt lanes [1, 2, 3, 4] · [1, 1, 1, 1], acc16 = [0, 0]:
+        // lane pair 0 → 1*1 + 2*1 = 3, lane pair 1 → 3*1 + 4*1 = 7.
+        let one = 0x38u32; // 1.0 E4M3
+        let va = 0x48_44_40_38; // [1, 2, 3, 4]
+        let vb = one | one << 8 | one << 16 | one << 24;
+        let mut e = env();
+        let r = vsdotp4_f8(
+            Format::BINARY8ALT,
+            Format::BINARY16,
+            0,
+            va,
+            vb,
+            false,
+            &mut e,
+        );
+        assert_eq!(r & 0xffff, 0x4200); // 3.0 b16
+        assert_eq!(r >> 16, 0x4700); // 7.0 b16
+        assert!(e.flags.is_empty());
     }
 
     #[test]

@@ -4,10 +4,10 @@
 //! the same signatures and bit-exact results/flags, that route each call to
 //! the cheapest implementation available for the given [`Format`]:
 //!
-//! 1. **binary8** → the exhaustive lookup tables of `crate::tables` for
-//!    add/sub/mul/div/sqrt/classify and the widening conversions (an O(1)
-//!    load replaces the whole unpack/round pipeline);
-//! 2. **binary16 / binary16alt / binary32** (and the remaining binary8
+//! 1. **binary8 / binary8alt** → the exhaustive lookup tables of
+//!    `crate::tables` for add/sub/mul/div/sqrt/classify and the widening
+//!    conversions (an O(1) load replaces the whole unpack/round pipeline);
+//! 2. **binary16 / binary16alt / binary32** (and the remaining 8-bit
 //!    ops, e.g. fused multiply-add) → the monomorphized `u64` kernels of
 //!    `crate::kernels`, where every format constant has been folded;
 //! 3. **anything else** (binary64, custom layouts) → the generic
@@ -28,13 +28,13 @@ use crate::kernels as k;
 use crate::ops;
 use crate::tables;
 
-/// Dispatch a two-operand op: tables for binary8, monomorphized kernels for
-/// the other concrete formats, generic reference otherwise.
+/// Dispatch a two-operand op: tables for the 8-bit formats, monomorphized
+/// kernels for the other concrete formats, generic reference otherwise.
 macro_rules! dispatch2 {
     ($fmt:expr, $a:expr, $b:expr, $env:expr, $table:expr, $mono:ident, $generic:expr) => {{
         let (fmt, a, b) = ($fmt, $a, $b);
-        if fmt == Format::BINARY8 {
-            $table(a, b, $env)
+        if fmt == Format::BINARY8 || fmt == Format::BINARY8ALT {
+            $table(fmt, a, b, $env)
         } else if fmt == Format::BINARY16 {
             k::$mono::<5, 10>(a, b, $env)
         } else if fmt == Format::BINARY16ALT {
@@ -47,13 +47,15 @@ macro_rules! dispatch2 {
     }};
 }
 
-/// Dispatch a two-operand op that has no binary8 table (mono kernel covers
-/// binary8 too).
+/// Dispatch a two-operand op that has no 8-bit table (mono kernels cover
+/// the 8-bit formats too).
 macro_rules! dispatch2_mono {
     ($fmt:expr, $a:expr, $b:expr, $env:expr, $mono:ident, $generic:expr) => {{
         let (fmt, a, b) = ($fmt, $a, $b);
         if fmt == Format::BINARY8 {
             k::$mono::<5, 2>(a, b, $env)
+        } else if fmt == Format::BINARY8ALT {
+            k::$mono::<4, 3>(a, b, $env)
         } else if fmt == Format::BINARY16 {
             k::$mono::<5, 10>(a, b, $env)
         } else if fmt == Format::BINARY16ALT {
@@ -93,8 +95,8 @@ pub fn div(fmt: Format, a: u64, b: u64, env: &mut Env) -> u64 {
 /// Fast-path `sqrt(a)` (see [`ops::sqrt`]).
 #[inline]
 pub fn sqrt(fmt: Format, a: u64, env: &mut Env) -> u64 {
-    if fmt == Format::BINARY8 {
-        tables::sqrt(a, env)
+    if fmt == Format::BINARY8 || fmt == Format::BINARY8ALT {
+        tables::sqrt(fmt, a, env)
     } else if fmt == Format::BINARY16 {
         k::sqrt::<5, 10>(a, env)
     } else if fmt == Format::BINARY16ALT {
@@ -111,6 +113,8 @@ macro_rules! dispatch_fma {
         let (fmt, a, b, c) = ($fmt, $a, $b, $c);
         if fmt == Format::BINARY8 {
             Some(k::fma::<5, 2>(a, b, c, $env))
+        } else if fmt == Format::BINARY8ALT {
+            Some(k::fma::<4, 3>(a, b, c, $env))
         } else if fmt == Format::BINARY16 {
             Some(k::fma::<5, 10>(a, b, c, $env))
         } else if fmt == Format::BINARY16ALT {
@@ -156,6 +160,8 @@ macro_rules! dispatch_cmp {
         let (fmt, a, b) = ($fmt, $a, $b);
         if fmt == Format::BINARY8 {
             k::$mono::<5, 2>(a, b, $env)
+        } else if fmt == Format::BINARY8ALT {
+            k::$mono::<4, 3>(a, b, $env)
         } else if fmt == Format::BINARY16 {
             k::$mono::<5, 10>(a, b, $env)
         } else if fmt == Format::BINARY16ALT {
@@ -203,6 +209,8 @@ macro_rules! dispatch_sgnj {
         let (fmt, a, b) = ($fmt, $a, $b);
         if fmt == Format::BINARY8 {
             k::$mono::<5, 2>(a, b)
+        } else if fmt == Format::BINARY8ALT {
+            k::$mono::<4, 3>(a, b)
         } else if fmt == Format::BINARY16 {
             k::$mono::<5, 10>(a, b)
         } else if fmt == Format::BINARY16ALT {
@@ -236,8 +244,8 @@ pub fn fsgnjx(fmt: Format, a: u64, b: u64) -> u64 {
 /// Fast-path `fclass` (see [`ops::classify`]).
 #[inline]
 pub fn classify(fmt: Format, a: u64) -> u32 {
-    if fmt == Format::BINARY8 {
-        tables::classify(a)
+    if fmt == Format::BINARY8 || fmt == Format::BINARY8ALT {
+        tables::classify(fmt, a)
     } else if fmt == Format::BINARY16 {
         k::classify::<5, 10>(a)
     } else if fmt == Format::BINARY16ALT {
@@ -251,16 +259,18 @@ pub fn classify(fmt: Format, a: u64) -> u32 {
 
 /// Fast-path float-to-float conversion (see [`ops::cvt_f_f`]).
 ///
-/// Dispatches over the 4×4 grid of concrete (dst, src) pairs; widening out
-/// of binary8 goes through the exhaustive tables, every other concrete pair
-/// through a monomorphized kernel, and anything touching other layouts
-/// falls back to the generic reference.
+/// Dispatches over the 5×5 grid of concrete (dst, src) pairs; widening out
+/// of the 8-bit formats goes through the exhaustive tables, every other
+/// concrete pair through a monomorphized kernel, and anything touching
+/// other layouts falls back to the generic reference.
 #[inline]
 pub fn cvt_f_f(dst: Format, src: Format, bits: u64, env: &mut Env) -> u64 {
     macro_rules! to_dst {
         ($se:literal, $sm:literal) => {
             if dst == Format::BINARY8 {
                 k::cvt::<$se, $sm, 5, 2>(bits, env)
+            } else if dst == Format::BINARY8ALT {
+                k::cvt::<$se, $sm, 4, 3>(bits, env)
             } else if dst == Format::BINARY16 {
                 k::cvt::<$se, $sm, 5, 10>(bits, env)
             } else if dst == Format::BINARY16ALT {
@@ -273,12 +283,16 @@ pub fn cvt_f_f(dst: Format, src: Format, bits: u64, env: &mut Env) -> u64 {
         };
     }
     if src == Format::BINARY8 {
-        if dst == Format::BINARY8 {
-            k::cvt::<5, 2, 5, 2>(bits, env)
-        } else if dst == Format::BINARY16 || dst == Format::BINARY16ALT || dst == Format::BINARY32 {
-            tables::cvt_widen(dst, bits, env)
+        if dst == Format::BINARY16 || dst == Format::BINARY16ALT || dst == Format::BINARY32 {
+            tables::cvt_widen(dst, src, bits, env)
         } else {
-            ops::cvt_f_f(dst, src, bits, env)
+            to_dst!(5, 2)
+        }
+    } else if src == Format::BINARY8ALT {
+        if dst == Format::BINARY16 || dst == Format::BINARY16ALT || dst == Format::BINARY32 {
+            tables::cvt_widen(dst, src, bits, env)
+        } else {
+            to_dst!(4, 3)
         }
     } else if src == Format::BINARY16 {
         to_dst!(5, 10)
@@ -302,6 +316,7 @@ mod tests {
         // differential suites do the heavy lifting.
         for fmt in [
             Format::BINARY8,
+            Format::BINARY8ALT,
             Format::BINARY16,
             Format::BINARY16ALT,
             Format::BINARY32,
@@ -330,6 +345,7 @@ mod tests {
     fn cvt_grid_matches_reference() {
         let fmts = [
             Format::BINARY8,
+            Format::BINARY8ALT,
             Format::BINARY16,
             Format::BINARY16ALT,
             Format::BINARY32,

@@ -39,6 +39,11 @@ impl Format {
         exp_bits: 5,
         man_bits: 2,
     };
+    /// The `binary8alt` smallFloat format: 1s + 4e + 3m (FP8 E4M3).
+    pub const BINARY8ALT: Format = Format {
+        exp_bits: 4,
+        man_bits: 3,
+    };
     /// IEEE 754 binary16 (half precision): 1s + 5e + 10m.
     pub const BINARY16: Format = Format {
         exp_bits: 5,
@@ -216,10 +221,12 @@ impl Format {
     }
 
     /// A short conventional name for the predefined formats
-    /// (`b8`, `b16`, `b16alt`, `b32`, `b64`), or `bE.M` for custom ones.
+    /// (`b8`, `b8alt`, `b16`, `b16alt`, `b32`, `b64`), or `bE.M` for
+    /// custom ones.
     pub fn name(self) -> String {
         match self {
             Format::BINARY8 => "b8".to_string(),
+            Format::BINARY8ALT => "b8alt".to_string(),
             Format::BINARY16 => "b16".to_string(),
             Format::BINARY16ALT => "b16alt".to_string(),
             Format::BINARY32 => "b32".to_string(),
@@ -310,6 +317,17 @@ mod tests {
     }
 
     #[test]
+    fn binary8alt_constants() {
+        // E4M3: 1.0 = 0x38, inf = 0x78, max finite = 0x77 = 240.
+        assert_eq!(Format::BINARY8ALT.width(), 8);
+        assert_eq!(Format::BINARY8ALT.bias(), 7);
+        assert_eq!(Format::BINARY8ALT.one(), 0x38);
+        assert_eq!(Format::BINARY8ALT.infinity(false), 0x78);
+        assert_eq!(Format::BINARY8ALT.max_finite(false), 0x77);
+        assert_eq!(Format::BINARY8ALT.quiet_nan(), 0x7c);
+    }
+
+    #[test]
     fn classification_predicates() {
         let f = Format::BINARY16;
         assert!(f.is_nan(f.quiet_nan()));
@@ -342,6 +360,7 @@ mod tests {
     #[test]
     fn names() {
         assert_eq!(Format::BINARY16ALT.name(), "b16alt");
-        assert_eq!(Format::new(4, 3).unwrap().name(), "b4.3");
+        assert_eq!(Format::BINARY8ALT.name(), "b8alt");
+        assert_eq!(Format::new(4, 2).unwrap().name(), "b4.2");
     }
 }

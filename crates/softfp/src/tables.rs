@@ -1,12 +1,14 @@
-//! Exhaustive binary8 operation tables.
+//! Exhaustive 8-bit operation tables.
 //!
-//! `binary8` has only 256 encodings, so every binary operation has just
-//! 65536 possible operand pairs per rounding mode. This module memoizes the
-//! generic reference implementation ([`crate::ops`]) into lazily built
-//! (`OnceLock`) lookup tables: one 256×256 table per (op, rounding mode) for
-//! add/mul/div, one 256-entry table per rounding mode for sqrt, and
-//! rounding-mode-independent 256-entry tables for `fclass` and the widening
-//! conversions out of binary8 (which are exact and can only raise `NV` on a
+//! An 8-bit format has only 256 encodings, so every binary operation has
+//! just 65536 possible operand pairs per rounding mode. This module
+//! memoizes the generic reference implementation ([`crate::ops`]) into
+//! lazily built (`OnceLock`) lookup tables — one *bank* per supported
+//! 8-bit format: `binary8` (E5M2) and `binary8alt` (E4M3). Each bank holds
+//! one 256×256 table per (op, rounding mode) for add/mul/div, one
+//! 256-entry table per rounding mode for sqrt, and rounding-mode-
+//! independent 256-entry tables for `fclass` and the widening conversions
+//! out of the 8-bit format (which are exact and can only raise `NV` on a
 //! signaling NaN).
 //!
 //! Each binary/unary arithmetic entry packs `result_bits | flags << 8` into
@@ -15,9 +17,10 @@
 //! round pipeline with one load and one OR into the accrued flags.
 //!
 //! Memory cost: a binary operation table is 65536 × 2 B = 128 KiB, so all
-//! three ops × five rounding modes come to 1.875 MiB if fully populated;
-//! unary tables are 512 B each. Tables build on first use (one pass of the
-//! generic reference, ~1 ms per binary table) and are shared process-wide.
+//! three ops × five rounding modes come to 1.875 MiB per bank if fully
+//! populated; unary tables are 512 B each. Tables build on first use (one
+//! pass of the generic reference, ~1 ms per binary table) and are shared
+//! process-wide.
 //!
 //! Subtraction needs no table of its own: `a - b = a + negate(b)` exactly,
 //! so the sub fast path indexes the add table with the sign-flipped operand.
@@ -29,6 +32,7 @@ use crate::format::Format;
 use crate::ops;
 
 const B8: Format = Format::BINARY8;
+const B8A: Format = Format::BINARY8ALT;
 
 /// One 256×256 binary-op table: `result | flags << 8` per operand pair.
 type BinTable = Box<[u16; 65536]>;
@@ -42,38 +46,77 @@ impl BinTables {
     }
 
     #[inline]
-    fn get(&self, rm: Rounding, op: fn(Format, u64, u64, &mut Env) -> u64) -> &[u16; 65536] {
-        self.0[rm.to_frm() as usize].get_or_init(|| build_bin(rm, op))
+    fn get(
+        &self,
+        fmt: Format,
+        rm: Rounding,
+        op: fn(Format, u64, u64, &mut Env) -> u64,
+    ) -> &[u16; 65536] {
+        self.0[rm.to_frm() as usize].get_or_init(|| build_bin(fmt, rm, op))
     }
 }
 
-fn build_bin(rm: Rounding, op: fn(Format, u64, u64, &mut Env) -> u64) -> BinTable {
+fn build_bin(fmt: Format, rm: Rounding, op: fn(Format, u64, u64, &mut Env) -> u64) -> BinTable {
     let mut t: BinTable = vec![0u16; 65536].into_boxed_slice().try_into().unwrap();
     for a in 0..256u64 {
         for b in 0..256u64 {
             let mut env = Env::new(rm);
-            let r = op(B8, a, b, &mut env);
+            let r = op(fmt, a, b, &mut env);
             t[(a as usize) << 8 | b as usize] = r as u16 | (env.flags.bits() as u16) << 8;
         }
     }
     t
 }
 
-static ADD: BinTables = BinTables::new();
-static MUL: BinTables = BinTables::new();
-static DIV: BinTables = BinTables::new();
+/// The full table bank of one 8-bit format.
+struct Bank {
+    fmt: Format,
+    add: BinTables,
+    mul: BinTables,
+    div: BinTables,
+    /// Per-rounding-mode sqrt tables: `result | flags << 8` per encoding.
+    sqrt: [OnceLock<[u16; 256]>; 5],
+    /// `fclass` masks (rounding-mode independent; the mask fits in 10 bits).
+    classify: OnceLock<[u16; 256]>,
+    /// Widening conversions 8-bit → {binary16, binary16alt, binary32}:
+    /// `result | flags << 32` per encoding. Exact, so rounding-independent.
+    cvt_b16: OnceLock<[u64; 256]>,
+    cvt_b16alt: OnceLock<[u64; 256]>,
+    cvt_b32: OnceLock<[u64; 256]>,
+}
 
-/// Per-rounding-mode sqrt tables: `result | flags << 8` per encoding.
-static SQRT: [OnceLock<[u16; 256]>; 5] = [const { OnceLock::new() }; 5];
+impl Bank {
+    const fn new(fmt: Format) -> Bank {
+        Bank {
+            fmt,
+            add: BinTables::new(),
+            mul: BinTables::new(),
+            div: BinTables::new(),
+            sqrt: [const { OnceLock::new() }; 5],
+            classify: OnceLock::new(),
+            cvt_b16: OnceLock::new(),
+            cvt_b16alt: OnceLock::new(),
+            cvt_b32: OnceLock::new(),
+        }
+    }
+}
 
-/// `fclass` masks (rounding-mode independent; the mask fits in 10 bits).
-static CLASSIFY: OnceLock<[u16; 256]> = OnceLock::new();
+static BANK_B8: Bank = Bank::new(B8);
+static BANK_B8A: Bank = Bank::new(B8A);
 
-/// Widening conversions binary8 → {binary16, binary16alt, binary32}:
-/// `result | flags << 32` per encoding. Exact, so rounding-mode independent.
-static CVT_B16: OnceLock<[u64; 256]> = OnceLock::new();
-static CVT_B16ALT: OnceLock<[u64; 256]> = OnceLock::new();
-static CVT_B32: OnceLock<[u64; 256]> = OnceLock::new();
+/// The bank serving an 8-bit format. Callers must pass `BINARY8` or
+/// `BINARY8ALT` (enforced by a debug assertion; release builds route any
+/// other 8-bit layout to the E5M2 bank, which the `fast` dispatch never
+/// does).
+#[inline(always)]
+fn bank(fmt: Format) -> &'static Bank {
+    debug_assert!(fmt == B8 || fmt == B8A, "no table bank for {fmt:?}");
+    if fmt == B8A {
+        &BANK_B8A
+    } else {
+        &BANK_B8
+    }
+}
 
 /// Look up one operand pair in a binary-op table, accruing its flags.
 /// Callers that process several lanes fetch the table once via the
@@ -85,56 +128,61 @@ pub(crate) fn bin_lookup(t: &[u16; 65536], a: u64, b: u64, env: &mut Env) -> u64
     (e & 0xff) as u64
 }
 
-/// The add table for `rm` (also serves sub via a sign-flipped operand).
+/// The add table of `fmt` for `rm` (also serves sub via a sign-flipped
+/// operand).
 #[inline]
-pub(crate) fn add_table(rm: Rounding) -> &'static [u16; 65536] {
-    ADD.get(rm, ops::add)
+pub(crate) fn add_table(fmt: Format, rm: Rounding) -> &'static [u16; 65536] {
+    let b = bank(fmt);
+    b.add.get(b.fmt, rm, ops::add)
 }
 
-/// The mul table for `rm`.
+/// The mul table of `fmt` for `rm`.
 #[inline]
-pub(crate) fn mul_table(rm: Rounding) -> &'static [u16; 65536] {
-    MUL.get(rm, ops::mul)
+pub(crate) fn mul_table(fmt: Format, rm: Rounding) -> &'static [u16; 65536] {
+    let b = bank(fmt);
+    b.mul.get(b.fmt, rm, ops::mul)
 }
 
-/// The div table for `rm`.
+/// The div table of `fmt` for `rm`.
 #[inline]
-pub(crate) fn div_table(rm: Rounding) -> &'static [u16; 65536] {
-    DIV.get(rm, ops::div)
+pub(crate) fn div_table(fmt: Format, rm: Rounding) -> &'static [u16; 65536] {
+    let b = bank(fmt);
+    b.div.get(b.fmt, rm, ops::div)
 }
 
-/// Table-driven binary8 `a + b`.
+/// Table-driven 8-bit `a + b`.
 #[inline]
-pub(crate) fn add(a: u64, b: u64, env: &mut Env) -> u64 {
-    bin_lookup(add_table(env.rm), a, b, env)
+pub(crate) fn add(fmt: Format, a: u64, b: u64, env: &mut Env) -> u64 {
+    bin_lookup(add_table(fmt, env.rm), a, b, env)
 }
 
-/// Table-driven binary8 `a - b` (indexes the add table with `-b`).
+/// Table-driven 8-bit `a - b` (indexes the add table with `-b`).
 #[inline]
-pub(crate) fn sub(a: u64, b: u64, env: &mut Env) -> u64 {
-    bin_lookup(add_table(env.rm), a, b ^ 0x80, env)
+pub(crate) fn sub(fmt: Format, a: u64, b: u64, env: &mut Env) -> u64 {
+    bin_lookup(add_table(fmt, env.rm), a, b ^ 0x80, env)
 }
 
-/// Table-driven binary8 `a * b`.
+/// Table-driven 8-bit `a * b`.
 #[inline]
-pub(crate) fn mul(a: u64, b: u64, env: &mut Env) -> u64 {
-    bin_lookup(mul_table(env.rm), a, b, env)
+pub(crate) fn mul(fmt: Format, a: u64, b: u64, env: &mut Env) -> u64 {
+    bin_lookup(mul_table(fmt, env.rm), a, b, env)
 }
 
-/// Table-driven binary8 `a / b`.
+/// Table-driven 8-bit `a / b`.
 #[inline]
-pub(crate) fn div(a: u64, b: u64, env: &mut Env) -> u64 {
-    bin_lookup(div_table(env.rm), a, b, env)
+pub(crate) fn div(fmt: Format, a: u64, b: u64, env: &mut Env) -> u64 {
+    bin_lookup(div_table(fmt, env.rm), a, b, env)
 }
 
-/// Table-driven binary8 `sqrt(a)`.
+/// Table-driven 8-bit `sqrt(a)`.
 #[inline]
-pub(crate) fn sqrt(a: u64, env: &mut Env) -> u64 {
-    let t = SQRT[env.rm.to_frm() as usize].get_or_init(|| {
+pub(crate) fn sqrt(fmt: Format, a: u64, env: &mut Env) -> u64 {
+    let b = bank(fmt);
+    let t = b.sqrt[env.rm.to_frm() as usize].get_or_init(|| {
         let mut t = [0u16; 256];
         for (v, slot) in t.iter_mut().enumerate() {
             let mut e = Env::new(env.rm);
-            let r = ops::sqrt(B8, v as u64, &mut e);
+            let r = ops::sqrt(b.fmt, v as u64, &mut e);
             *slot = r as u16 | (e.flags.bits() as u16) << 8;
         }
         t
@@ -144,46 +192,49 @@ pub(crate) fn sqrt(a: u64, env: &mut Env) -> u64 {
     (e & 0xff) as u64
 }
 
-/// Table-driven binary8 `fclass`.
+/// Table-driven 8-bit `fclass`.
 #[inline]
-pub(crate) fn classify(a: u64) -> u32 {
-    let t = CLASSIFY.get_or_init(|| {
+pub(crate) fn classify(fmt: Format, a: u64) -> u32 {
+    let b = bank(fmt);
+    let t = b.classify.get_or_init(|| {
         let mut t = [0u16; 256];
         for (v, slot) in t.iter_mut().enumerate() {
-            *slot = ops::classify(B8, v as u64) as u16;
+            *slot = ops::classify(b.fmt, v as u64) as u16;
         }
         t
     });
     t[(a as usize) & 0xff] as u32
 }
 
-fn cvt_table(dst: Format) -> &'static [u64; 256] {
+fn cvt_table(src: Format, dst: Format) -> &'static [u64; 256] {
+    let b = bank(src);
     let (lock, dst) = if dst == Format::BINARY16 {
-        (&CVT_B16, Format::BINARY16)
+        (&b.cvt_b16, Format::BINARY16)
     } else if dst == Format::BINARY16ALT {
-        (&CVT_B16ALT, Format::BINARY16ALT)
+        (&b.cvt_b16alt, Format::BINARY16ALT)
     } else {
         debug_assert!(dst == Format::BINARY32);
-        (&CVT_B32, Format::BINARY32)
+        (&b.cvt_b32, Format::BINARY32)
     };
     lock.get_or_init(|| {
         let mut t = [0u64; 256];
         for (v, slot) in t.iter_mut().enumerate() {
-            // Widening out of binary8 is exact: the rounding mode is
-            // irrelevant, and the only possible flag is NV on an sNaN input.
+            // Widening out of an 8-bit format is exact: the rounding mode
+            // is irrelevant, and the only possible flag is NV on an sNaN
+            // input.
             let mut e = Env::new(Rounding::Rne);
-            let r = ops::cvt_f_f(dst, B8, v as u64, &mut e);
+            let r = ops::cvt_f_f(dst, b.fmt, v as u64, &mut e);
             *slot = r | (e.flags.bits() as u64) << 32;
         }
         t
     })
 }
 
-/// Table-driven widening conversion binary8 → `dst` for
+/// Table-driven widening conversion `src` (8-bit) → `dst` for
 /// `dst ∈ {BINARY16, BINARY16ALT, BINARY32}`.
 #[inline]
-pub(crate) fn cvt_widen(dst: Format, a: u64, env: &mut Env) -> u64 {
-    let e = cvt_table(dst)[(a as usize) & 0xff];
+pub(crate) fn cvt_widen(dst: Format, src: Format, a: u64, env: &mut Env) -> u64 {
+    let e = cvt_table(src, dst)[(a as usize) & 0xff];
     env.flags.set(Flags::from_bits((e >> 32) as u8));
     e & 0xffff_ffff
 }
@@ -194,12 +245,19 @@ mod tests {
 
     #[test]
     fn sub_via_add_table_matches_reference() {
-        for rm in Rounding::ALL {
-            for (a, b) in [(0x3cu64, 0x3cu64), (0x01, 0x81), (0x7b, 0x7b), (0x7d, 0)] {
-                let mut e1 = Env::new(rm);
-                let mut e2 = Env::new(rm);
-                assert_eq!(sub(a, b, &mut e1), ops::sub(B8, a, b, &mut e2));
-                assert_eq!(e1.flags, e2.flags);
+        for fmt in [B8, B8A] {
+            for rm in Rounding::ALL {
+                for (a, b) in [
+                    (fmt.one(), fmt.one()),
+                    (0x01, 0x81),
+                    (fmt.max_finite(false), fmt.max_finite(false)),
+                    (0x7d, 0),
+                ] {
+                    let mut e1 = Env::new(rm);
+                    let mut e2 = Env::new(rm);
+                    assert_eq!(sub(fmt, a, b, &mut e1), ops::sub(fmt, a, b, &mut e2));
+                    assert_eq!(e1.flags, e2.flags);
+                }
             }
         }
     }
@@ -208,19 +266,30 @@ mod tests {
     fn widening_cvt_is_exact_and_flags_snan() {
         let mut env = Env::new(Rounding::Rne);
         // 1.0_b8 = 0x3c → 1.0 in each wider format.
-        assert_eq!(cvt_widen(Format::BINARY16, 0x3c, &mut env), 0x3c00);
-        assert_eq!(cvt_widen(Format::BINARY16ALT, 0x3c, &mut env), 0x3f80);
-        assert_eq!(cvt_widen(Format::BINARY32, 0x3c, &mut env), 0x3f80_0000);
+        assert_eq!(cvt_widen(Format::BINARY16, B8, 0x3c, &mut env), 0x3c00);
+        assert_eq!(cvt_widen(Format::BINARY16ALT, B8, 0x3c, &mut env), 0x3f80);
+        assert_eq!(cvt_widen(Format::BINARY32, B8, 0x3c, &mut env), 0x3f80_0000);
+        // 1.0_b8alt = 0x38 widens exactly too.
+        assert_eq!(cvt_widen(Format::BINARY16, B8A, 0x38, &mut env), 0x3c00);
+        assert_eq!(
+            cvt_widen(Format::BINARY32, B8A, 0x38, &mut env),
+            0x3f80_0000
+        );
         assert!(env.flags.is_empty());
-        // sNaN (0x7d) raises NV and quiets.
-        cvt_widen(Format::BINARY32, 0x7d, &mut env);
+        // sNaN (0x7d for E5M2, 0x79 for E4M3) raises NV and quiets.
+        cvt_widen(Format::BINARY32, B8, 0x7d, &mut env);
+        assert!(env.flags.contains(Flags::NV));
+        let mut env = Env::new(Rounding::Rne);
+        cvt_widen(Format::BINARY16, B8A, 0x79, &mut env);
         assert!(env.flags.contains(Flags::NV));
     }
 
     #[test]
     fn classify_matches_reference_exhaustively() {
-        for v in 0..256u64 {
-            assert_eq!(classify(v), ops::classify(B8, v));
+        for fmt in [B8, B8A] {
+            for v in 0..256u64 {
+                assert_eq!(classify(fmt, v), ops::classify(fmt, v));
+            }
         }
     }
 }

@@ -19,14 +19,15 @@
 use smallfloat_softfp::{ops, Env, Format, Rounding};
 
 const B8: Format = Format::BINARY8;
+const B8A: Format = Format::BINARY8ALT;
 const S: Format = Format::BINARY32;
 
 /// Reference ops-chain (see module docs).
-fn reference(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
+fn reference(fmt: Format, acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
     let lane = |v: u32, i: u32| ((v >> (8 * i)) & 0xff) as u64;
     let widen = |v: u64, env: &mut Env| {
         let mut scratch = Env::new(env.rm);
-        ops::cvt_f_f(S, B8, v, &mut scratch)
+        ops::cvt_f_f(S, fmt, v, &mut scratch)
     };
     let b0 = widen(lane(vb, 0), env);
     let mut acc = acc as u64;
@@ -38,11 +39,11 @@ fn reference(acc: u32, va: u32, vb: u32, rep: bool, env: &mut Env) -> u32 {
     acc as u32
 }
 
-fn check(acc: u32, va: u32, vb: u32, rep: bool, rm: Rounding) {
+fn check_fmt(fmt: Format, acc: u32, va: u32, vb: u32, rep: bool, rm: Rounding) {
     let mut eb = Env::new(rm);
     let mut er = Env::new(rm);
-    let vbatch = ops::vdotpex4_f8(acc, va, vb, rep, &mut eb);
-    let vref = reference(acc, va, vb, rep, &mut er);
+    let vbatch = ops::vdotpex4_f8(fmt, acc, va, vb, rep, &mut eb);
+    let vref = reference(fmt, acc, va, vb, rep, &mut er);
     assert_eq!(
         (vbatch, eb.flags),
         (vref, er.flags),
@@ -51,6 +52,11 @@ fn check(acc: u32, va: u32, vb: u32, rep: bool, rm: Rounding) {
         eb.flags,
         er.flags
     );
+}
+
+fn check(acc: u32, va: u32, vb: u32, rep: bool, rm: Rounding) {
+    check_fmt(B8, acc, va, vb, rep, rm);
+    check_fmt(B8A, acc, va, vb, rep, rm);
 }
 
 /// Binary32 accumulators covering the value classes the FMA chain rounds
@@ -104,8 +110,8 @@ fn replicated_equals_broadcast() {
         let splat = (vb & 0xff) * 0x0101_0101;
         let mut e1 = Env::new(Rounding::Rne);
         let mut e2 = Env::new(Rounding::Rne);
-        let r1 = ops::vdotpex4_f8(acc, va, vb, true, &mut e1);
-        let r2 = ops::vdotpex4_f8(acc, va, splat, false, &mut e2);
+        let r1 = ops::vdotpex4_f8(B8, acc, va, vb, true, &mut e1);
+        let r2 = ops::vdotpex4_f8(B8, acc, va, splat, false, &mut e2);
         assert_eq!((r1, e1.flags), (r2, e2.flags));
     }
 }

@@ -24,9 +24,10 @@
 //!
 //! let mut kernel = Kernel::new("toy");
 //! kernel.array("data", FpFmt::S, 4);
-//! // A QoR function that tolerates any 16-bit type but rejects binary8.
+//! // A QoR function that tolerates any 16-bit type but rejects both
+//! // binary8 banks.
 //! let qor = |k: &Kernel| match k.type_of("data").unwrap() {
-//!     FpFmt::B => 1.0,
+//!     FpFmt::B | FpFmt::Ab => 1.0,
 //!     _ => 0.0,
 //! };
 //! let result = tune(&kernel, &TunerConfig::default(), qor);
@@ -50,8 +51,13 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> TunerConfig {
+        // Every sub-binary32 registry format, cheapest (narrowest) first;
+        // the registry order breaks width ties, which puts each base
+        // format before its alt bank (B before Ab, H before Ah).
+        let mut candidates = FpFmt::SMALL.to_vec();
+        candidates.sort_by_key(|f| f.width());
         TunerConfig {
-            candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],
+            candidates,
             max_error: 0.0,
         }
     }
@@ -306,6 +312,61 @@ mod tests {
             result.trace_text()
         );
         assert!(result.evaluations >= 4);
+    }
+
+    /// y[i] = x[i] * 1.0 with inputs of the form 1.001₂ × 2^k: exact at
+    /// E4M3's 3 mantissa bits, inexact at E5M2's 2.
+    fn precision_kernel() -> Kernel {
+        let mut k = Kernel::new("precision");
+        k.array("x", FpFmt::S, 4).array("y", FpFmt::S, 4);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(4),
+            vec![Stmt::store(
+                "y",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")) * Expr::lit(1.0),
+            )],
+        )];
+        k
+    }
+
+    fn precision_error(k: &Kernel) -> f64 {
+        let golden = [1.125, 2.25, 4.5, 9.0];
+        let mut st = TypedState::for_kernel(k);
+        st.set_array("x", &golden);
+        st.set_array("y", &[0.0; 4]);
+        run_typed(k, &mut st);
+        st.array_f64("y")
+            .iter()
+            .zip(golden)
+            .map(|(m, g)| (m - g).abs() / g)
+            .fold(0.0f64, f64::max)
+    }
+
+    #[test]
+    fn tuner_selects_e4m3_when_precision_bound() {
+        // Default candidates try E5M2 first; it rounds 1.125 away and is
+        // rejected at zero tolerance, so the greedy search lands on the
+        // equal-width, equal-energy E4M3 bank for both variables.
+        let result = tune(
+            &precision_kernel(),
+            &TunerConfig::default(),
+            precision_error,
+        );
+        assert_eq!(
+            result.assignment_for("x"),
+            FpFmt::Ab,
+            "trace:\n{}",
+            result.trace_text()
+        );
+        assert_eq!(
+            result.assignment_for("y"),
+            FpFmt::Ab,
+            "trace:\n{}",
+            result.trace_text()
+        );
     }
 
     #[test]

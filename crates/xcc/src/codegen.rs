@@ -52,6 +52,12 @@ pub struct CodegenOptions {
     /// Enable the auto-vectorizer (binary32 code is never vectorized at
     /// FLEN=32, so the float baseline is unaffected by this flag).
     pub vectorize: bool,
+    /// Let widening reductions use the Xfaux expanding sum-of-dot-products
+    /// (`vfsdotpex`) instead of the per-lane extract/convert/add chain.
+    /// Only reductions whose body is a lane-wise product and whose element
+    /// format has a registry widening qualify; others keep the chain.
+    /// Off by default to preserve the paper's auto-vectorizer behaviour.
+    pub expanding: bool,
 }
 
 /// Errors from [`compile`].
@@ -812,10 +818,24 @@ impl<'k> Cg<'k> {
                 self.asm.vfcpk_b(*fmt, slot, v32.reg, v32.reg);
             }
         }
-        // Vector accumulators (narrow reductions): zero-splat above hoists.
+        // Vector accumulators, zero-splat above hoists: narrow reductions,
+        // plus expanding wide reductions whose `vfsdotpex` destination is
+        // still packed (8-bit elements accumulate into two 16-bit lanes).
         let mut vaccs: Vec<(usize, FReg)> = Vec::new();
         for (i, item) in plan.items.iter().enumerate() {
-            if let VecItem::Reduce { wide: false, .. } = item {
+            let needs_vacc = match item {
+                VecItem::Reduce { wide: false, .. } => true,
+                VecItem::Reduce {
+                    elem_fmt,
+                    wide: true,
+                    vex,
+                    ..
+                } => self
+                    .expanding_fmt(*elem_fmt, true, vex)
+                    .is_some_and(|w| w != FpFmt::S),
+                _ => false,
+            };
+            if needs_vacc {
                 let reg = self.stack(nh + vaccs.len())?;
                 self.asm.fmv_f(FpFmt::S, reg, XReg::ZERO);
                 vaccs.push((i, reg));
@@ -846,9 +866,33 @@ impl<'k> Cg<'k> {
                     vex,
                 } => {
                     if *wide {
+                        if let Some(wfmt) = self.expanding_fmt(*elem_fmt, true, vex) {
+                            // Expanding reduction: one vfsdotpex folds every
+                            // lane product into the widened accumulator. A
+                            // 16-bit element vector sums straight into the
+                            // scalar binary32 home; an 8-bit one goes through
+                            // a packed 16-bit vacc drained after the loop.
+                            let VExpr::Bin { lhs, rhs, .. } = vex else {
+                                unreachable!("expanding_fmt demands a product body")
+                            };
+                            let a = self.vec_eval(lhs, *elem_fmt, stack_base)?;
+                            let b = self.vec_eval(rhs, *elem_fmt, stack_base + 1)?;
+                            let dst = if wfmt == FpFmt::S {
+                                self.homes[name].0
+                            } else {
+                                vaccs
+                                    .iter()
+                                    .find(|(idx, _)| *idx == i)
+                                    .expect("wide vacc allocated")
+                                    .1
+                            };
+                            self.asm.vfsdotpex(*elem_fmt, dst, a, b);
+                            continue;
+                        }
                         // Widening reduction: compute the lane vector, then
                         // extract + convert + accumulate every lane (the
-                        // auto-vectorizer cannot use Xfaux expanding ops).
+                        // auto-vectorizer cannot use Xfaux expanding ops
+                        // unless `expanding` is set).
                         let v = self.vec_eval(vex, *elem_fmt, stack_base)?;
                         let (home, _) = self.homes[name];
                         self.extract_accumulate(v, *elem_fmt, plan.lanes, home, true)?;
@@ -881,13 +925,28 @@ impl<'k> Cg<'k> {
         self.asm.j(&vhead);
         self.asm.label(&vexit);
 
-        // Horizontal sums for vector accumulators.
+        // Horizontal sums for vector accumulators. Expanding wide vaccs
+        // hold `lanes/2` partial sums at the widened format and still need
+        // the final convert-to-binary32 step.
         for (i, vacc) in &vaccs {
-            let VecItem::Reduce { name, elem_fmt, .. } = &plan.items[*i] else {
+            let VecItem::Reduce {
+                name,
+                elem_fmt,
+                wide,
+                vex,
+            } = &plan.items[*i]
+            else {
                 unreachable!("vacc indexes a reduction")
             };
             let (home, _) = self.homes[name];
-            self.extract_accumulate(*vacc, *elem_fmt, plan.lanes, home, false)?;
+            if *wide {
+                let wfmt = self
+                    .expanding_fmt(*elem_fmt, true, vex)
+                    .expect("wide vacc implies expanding");
+                self.extract_accumulate(*vacc, wfmt, plan.lanes / 2, home, true)?;
+            } else {
+                self.extract_accumulate(*vacc, *elem_fmt, plan.lanes, home, false)?;
+            }
         }
 
         // Scalar epilogue for the remainder iterations (the induction
@@ -904,6 +963,20 @@ impl<'k> Cg<'k> {
         self.clear_sr_and_hoists();
         self.free_loop(var);
         Ok(())
+    }
+
+    /// Widened destination format when a wide reduction may be lowered as
+    /// `vfsdotpex` instead of the extract/convert chain: the `expanding`
+    /// option must be on, the body must be a lane-wise product, and the
+    /// element format must have a registry widening.
+    fn expanding_fmt(&self, elem_fmt: FpFmt, wide: bool, vex: &VExpr) -> Option<FpFmt> {
+        if !self.opts.expanding || !wide {
+            return None;
+        }
+        if !matches!(vex, VExpr::Bin { op: BinOp::Mul, .. }) {
+            return None;
+        }
+        elem_fmt.widen()
     }
 
     /// Accumulate every lane of `v` into scalar `home`: extract raw lane
@@ -1182,7 +1255,14 @@ mod tests {
     #[test]
     fn scalar_compile_produces_program() {
         let k = saxpy(FpFmt::S, 8);
-        let c = compile(&k, CodegenOptions { vectorize: false }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(matches!(c.program.last(), Some(Instr::Ecall)));
         assert_eq!(c.vectorized_loops, 0);
         assert!(c.listing.contains("fmadd.s"), "contracted multiply-add");
@@ -1193,14 +1273,28 @@ mod tests {
     #[test]
     fn f32_never_vectorizes() {
         let k = saxpy(FpFmt::S, 8);
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.vectorized_loops, 0, "no binary32 lanes at FLEN=32");
     }
 
     #[test]
     fn f16_map_vectorizes() {
         let k = saxpy(FpFmt::H, 8);
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmac.h"), "listing:\n{}", c.listing);
         assert!(c.listing.contains("vfcpk.a.h.s"), "alpha splat");
@@ -1222,7 +1316,14 @@ mod tests {
         if let Stmt::For { hi, .. } = &mut k.body[0] {
             *hi = Bound::constant(7);
         }
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.vectorized_loops, 0);
     }
 
@@ -1242,7 +1343,14 @@ mod tests {
                 Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i")),
             )],
         )];
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmul.h"));
         assert!(
@@ -1267,7 +1375,14 @@ mod tests {
                 Expr::load("a", IdxExpr::var("i")) * Expr::load("b", IdxExpr::var("i")),
             )],
         )];
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmac.h"), "listing:\n{}", c.listing);
         assert!(!c.listing.contains("fcvt.s.h"), "no widening conversions");
@@ -1288,9 +1403,23 @@ mod tests {
                 Expr::load("x", IdxExpr::var("i")).max(Expr::lit(0.0)),
             )],
         )];
-        let c = compile(&k, CodegenOptions { vectorize: false }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert!(c.listing.contains("fmax.h"), "listing:\n{}", c.listing);
-        let c = compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmax.h"), "listing:\n{}", c.listing);
         assert!(c.listing.contains("vfcpk.a.h.s"), "zero splat hoisted");

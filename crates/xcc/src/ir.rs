@@ -361,20 +361,17 @@ impl Kernel {
     }
 }
 
-/// "Usual arithmetic conversion" rank. Between the two 16-bit formats the
-/// *range-preserving* one wins (`Ah` over `H`): the paper introduces
-/// `float16alt` precisely for computations that need binary32-like dynamic
-/// range, so promoting towards it avoids spurious overflow when a
-/// binary16alt accumulator meets binary16 operands (the §V-C relaxed
-/// operating point). Full order: `S > Ah > H > B`.
+/// "Usual arithmetic conversion" rank. Between equal-width formats the
+/// *range-preserving* one wins (`Ah` over `H`, `B` E5M2 over `Ab` E4M3):
+/// the paper introduces `float16alt` precisely for computations that need
+/// binary32-like dynamic range, so promoting towards it avoids spurious
+/// overflow when a binary16alt accumulator meets binary16 operands (the
+/// §V-C relaxed operating point). The rank is derived from the format
+/// registry — width first, exponent bits as tiebreak — so new formats
+/// order themselves. Full order: `S > Ah > H > B > Ab`.
 pub fn promote(a: FpFmt, b: FpFmt) -> FpFmt {
-    fn rank(f: FpFmt) -> u8 {
-        match f {
-            FpFmt::S => 3,
-            FpFmt::Ah => 2,
-            FpFmt::H => 1,
-            FpFmt::B => 0,
-        }
+    fn rank(f: FpFmt) -> (u32, u32) {
+        (f.width(), f.format().exp_bits())
     }
     if rank(a) >= rank(b) {
         a

@@ -56,6 +56,9 @@ mod tests {
         assert_eq!(k2.type_of("a"), Some(FpFmt::B));
         assert_eq!(k2.type_of("s"), Some(FpFmt::B));
         assert_eq!(k.type_of("a"), Some(FpFmt::S), "original untouched");
+        let k3 = retype_all(&k, FpFmt::Ab);
+        assert_eq!(k3.type_of("a"), Some(FpFmt::Ab));
+        assert_eq!(k3.type_of("s"), Some(FpFmt::Ab));
     }
 
     #[test]

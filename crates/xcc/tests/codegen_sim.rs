@@ -124,7 +124,14 @@ fn scalar_codegen_bit_exact_all_formats() {
         let n = 17;
         let k = saxpy(ty, n);
         let inputs = vec![("x", data(n, 1)), ("y", data(n, 2))];
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize: false }).unwrap();
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
         let st = interp_typed(&k, &inputs);
         let y_sim = &arrays.iter().find(|(n, _)| n == "y").unwrap().1;
@@ -139,7 +146,14 @@ fn vectorized_map_bit_exact() {
         let n = 19; // odd: exercises the epilogue
         let k = saxpy(ty, n);
         let inputs = vec![("x", data(n, 3)), ("y", data(n, 4))];
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(compiled.vectorized_loops, 1, "{ty:?}");
         let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
         let st = interp_typed(&k, &inputs);
@@ -159,7 +173,14 @@ fn vectorized_reduction_close_to_golden() {
         let n = 21;
         let k = dot(elem, acc, n);
         let inputs = vec![("a", data(n, 5)), ("b", data(n, 6))];
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(compiled.vectorized_loops, 1);
         let (_, scalars) = run_on_sim(&k, &compiled, &inputs);
         let sum_sim = scalars.iter().find(|(n, _)| n == "sum").unwrap().1;
@@ -186,12 +207,67 @@ fn vectorized_reduction_close_to_golden() {
 }
 
 #[test]
+fn expanding_reduction_close_to_golden() {
+    // Same harness as above, but the widening reductions lower through
+    // `vfsdotpex` instead of the extract/convert chain.
+    for (elem, acc, tol) in [
+        (FpFmt::H, FpFmt::S, 1e-2),
+        (FpFmt::Ah, FpFmt::S, 1e-2),
+        (FpFmt::B, FpFmt::S, 0.5),
+        (FpFmt::Ab, FpFmt::S, 0.5),
+    ] {
+        let n = 21; // not a lane multiple: exercises the scalar epilogue
+        let k = dot(elem, acc, n);
+        let inputs = vec![("a", data(n, 5)), ("b", data(n, 6))];
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                expanding: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(compiled.vectorized_loops, 1, "{elem:?}");
+        assert!(
+            compiled.listing.contains("vfsdotpex"),
+            "{elem:?}:\n{}",
+            compiled.listing
+        );
+        let (_, scalars) = run_on_sim(&k, &compiled, &inputs);
+        let sum_sim = scalars.iter().find(|(n, _)| n == "sum").unwrap().1;
+        let mut fs = F64State::for_kernel(&k);
+        let quant = |v: &Vec<f64>| -> Vec<f64> {
+            let mut env = smallfloat_softfp::Env::new(smallfloat_softfp::Rounding::Rne);
+            v.iter()
+                .map(|x| ops::to_f64(elem.format(), ops::from_f64(elem.format(), *x, &mut env)))
+                .collect()
+        };
+        fs.set_array("a", &quant(&inputs[0].1));
+        fs.set_array("b", &quant(&inputs[1].1));
+        run_f64(&k, &mut fs);
+        let golden = fs.scalar("sum");
+        let rel = (sum_sim - golden).abs() / golden.abs().max(1.0);
+        assert!(
+            rel < tol,
+            "elem {elem:?} acc {acc:?}: sim {sum_sim} vs golden {golden}"
+        );
+    }
+}
+
+#[test]
 fn scalar_reduction_bit_exact() {
     // Without vectorization the reduction order matches the interpreter.
     let n = 13;
     let k = dot(FpFmt::H, FpFmt::S, n);
     let inputs = vec![("a", data(n, 7)), ("b", data(n, 8))];
-    let compiled = codegen::compile(&k, CodegenOptions { vectorize: false }).unwrap();
+    let compiled = codegen::compile(
+        &k,
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let (_, scalars) = run_on_sim(&k, &compiled, &inputs);
     let st = interp_typed(&k, &inputs);
     let sum = scalars.iter().find(|(n, _)| n == "sum").unwrap().1;
@@ -221,7 +297,14 @@ fn triangular_vectorized_loop_matches() {
         )],
     )];
     let inputs = vec![("c", data(n * n, 9))];
-    let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+    let compiled = codegen::compile(
+        &k,
+        CodegenOptions {
+            vectorize: true,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert_eq!(
         compiled.vectorized_loops, 1,
         "triangular map must vectorize"
@@ -255,7 +338,14 @@ fn stencil_with_offsets_matches() {
             )],
         )];
         let inputs = vec![("src", data(n, 10)), ("dst", vec![0.0; n])];
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).unwrap();
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         assert_eq!(compiled.vectorized_loops, 1, "{ty:?}");
         let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
         let st = interp_typed(&k, &inputs);
@@ -272,7 +362,14 @@ fn vectorization_reduces_cycles() {
     let inputs = vec![("x", data(n, 11)), ("y", data(n, 12))];
     let mut cycles = Vec::new();
     for vectorize in [false, true] {
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize }).unwrap();
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize,
+                ..Default::default()
+            },
+        )
+        .unwrap();
         let mut cpu = Cpu::new(SimConfig::default());
         for (name, values) in &inputs {
             let entry = compiled.layout.entry(name).unwrap();

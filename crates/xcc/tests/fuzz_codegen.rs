@@ -202,7 +202,14 @@ fn scalar_lowering_bit_exact() {
         let ty = any_ty(rng);
         let seed = rng.u64();
         let k = build_kernel(&shape, ty);
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize: false }).expect("compiles");
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .expect("compiles");
         let sim = run_on_sim(&k, &compiled, seed);
         let mut interp = TypedState::for_kernel(&k);
         for (i, a) in k.arrays.iter().enumerate() {
@@ -234,7 +241,14 @@ fn vectorized_lowering_matches() {
         let ty = any_ty(rng);
         let seed = rng.u64();
         let k = build_kernel(&shape, ty);
-        let compiled = codegen::compile(&k, CodegenOptions { vectorize: true }).expect("compiles");
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .expect("compiles");
         let sim = run_on_sim(&k, &compiled, seed);
         let mut interp = TypedState::for_kernel(&k);
         for (i, a) in k.arrays.iter().enumerate() {

@@ -61,7 +61,10 @@ fn gemm_like(n: usize) -> Kernel {
 fn scalar_baseline_is_fused_and_strength_reduced() {
     let c = compile(
         &dot_kernel(FpFmt::S, FpFmt::S, 64),
-        CodegenOptions { vectorize: false },
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(c.listing.contains("fmadd.s"), "contraction:\n{}", c.listing);
@@ -88,7 +91,10 @@ fn scalar_baseline_is_fused_and_strength_reduced() {
 fn scalar_baseline_unrolls_even_const_trips() {
     let c = compile(
         &dot_kernel(FpFmt::S, FpFmt::S, 64),
-        CodegenOptions { vectorize: false },
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     // 2× unrolling: two fmadds, loop variable stepped by 2.
@@ -100,7 +106,10 @@ fn scalar_baseline_unrolls_even_const_trips() {
 fn odd_trip_count_blocks_unrolling() {
     let c = compile(
         &dot_kernel(FpFmt::S, FpFmt::S, 63),
-        CodegenOptions { vectorize: false },
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(c.listing.matches("fmadd.s").count(), 1);
@@ -126,7 +135,14 @@ fn triangular_bound_blocks_unrolling() {
             )],
         )],
     )];
-    let c = compile(&k, CodegenOptions { vectorize: false }).unwrap();
+    let c = compile(
+        &k,
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     assert!(
         c.listing.contains("addi s1, s1, 1"),
         "variable bound steps by 1:\n{}",
@@ -136,7 +152,14 @@ fn triangular_bound_blocks_unrolling() {
 
 #[test]
 fn invariant_subexpression_hoisted_out_of_inner_loop() {
-    let c = compile(&gemm_like(8), CodegenOptions { vectorize: false }).unwrap();
+    let c = compile(
+        &gemm_like(8),
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     // alpha * a[i*n+k] is invariant in j: exactly one flw of `a` per k
     // iteration, loaded into a hoist register (f30/f31), and the inner loop
     // carries a single fused multiply-add per element copy.
@@ -152,7 +175,10 @@ fn vector_loop_keeps_conversion_chain_only_for_wide_acc() {
     // Wide accumulator: conversions present (the paper's auto inefficiency).
     let wide = compile(
         &dot_kernel(FpFmt::H, FpFmt::S, 64),
-        CodegenOptions { vectorize: true },
+        CodegenOptions {
+            vectorize: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(wide.listing.contains("fcvt.s.h"), "{}", wide.listing);
@@ -160,7 +186,10 @@ fn vector_loop_keeps_conversion_chain_only_for_wide_acc() {
     // Same-type accumulator: fused vfmac, no conversions in the main loop.
     let same = compile(
         &dot_kernel(FpFmt::H, FpFmt::H, 64),
-        CodegenOptions { vectorize: true },
+        CodegenOptions {
+            vectorize: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert!(same.listing.contains("vfmac.h"), "{}", same.listing);
@@ -168,10 +197,41 @@ fn vector_loop_keeps_conversion_chain_only_for_wide_acc() {
 }
 
 #[test]
+fn expanding_option_replaces_conversion_chain_with_vfsdotpex() {
+    let opts = CodegenOptions {
+        vectorize: true,
+        expanding: true,
+    };
+    // 16-bit elements: the dot product sums straight into the binary32
+    // home, so no lane extraction remains anywhere in the listing.
+    let wide = compile(&dot_kernel(FpFmt::H, FpFmt::S, 64), opts).unwrap();
+    assert!(wide.listing.contains("vfsdotpex.s.h"), "{}", wide.listing);
+    assert!(
+        !wide.listing.contains("srli"),
+        "no lane extraction:\n{}",
+        wide.listing
+    );
+    // 8-bit elements widen into a packed binary16 vacc drained after the
+    // loop — the drain still extracts, but only once per kernel.
+    for (elem, mnem) in [(FpFmt::B, "vfsdotpex.h.b "), (FpFmt::Ab, "vfsdotpex.h.ab ")] {
+        let c = compile(&dot_kernel(elem, FpFmt::S, 64), opts).unwrap();
+        assert!(c.listing.contains(mnem), "{elem:?}:\n{}", c.listing);
+        assert!(c.listing.contains("srli"), "vacc drain:\n{}", c.listing);
+    }
+    // Same-type reductions are untouched by the option.
+    let same = compile(&dot_kernel(FpFmt::H, FpFmt::H, 64), opts).unwrap();
+    assert!(same.listing.contains("vfmac.h"), "{}", same.listing);
+    assert!(!same.listing.contains("vfsdotpex"), "{}", same.listing);
+}
+
+#[test]
 fn vectorized_main_loop_also_uses_induction_pointers() {
     let c = compile(
         &dot_kernel(FpFmt::H, FpFmt::H, 64),
-        CodegenOptions { vectorize: true },
+        CodegenOptions {
+            vectorize: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     // Packed accesses bump by 4 bytes per vector iteration.
@@ -186,7 +246,10 @@ fn vectorized_main_loop_also_uses_induction_pointers() {
 fn epilogue_reuses_pointers_at_element_stride() {
     let c = compile(
         &dot_kernel(FpFmt::H, FpFmt::H, 63),
-        CodegenOptions { vectorize: true },
+        CodegenOptions {
+            vectorize: true,
+            ..Default::default()
+        },
     )
     .unwrap();
     // Odd trip: the epilogue steps pointers by the 2-byte element size.
@@ -212,7 +275,14 @@ fn unrolled_scalar_matches_interpreter() {
     st.set_array("b", &data_b);
     run_typed(&k, &mut st);
 
-    let compiled = compile(&k, CodegenOptions { vectorize: false }).unwrap();
+    let compiled = compile(
+        &k,
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
     let mut cpu = Cpu::new(SimConfig::default());
     let mut env = smallfloat_softfp::Env::new(smallfloat_softfp::Rounding::Rne);
     for (name, data) in [("a", &data_a), ("b", &data_b)] {

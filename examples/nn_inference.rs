@@ -98,9 +98,10 @@ fn main() {
             l.sqnr_db
         );
     }
-    println!("\nThe tuner pins the dot-product layers to binary16 (binary8's 2-bit");
-    println!("mantissa breaks the classification) while the ReLUs stay binary8;");
-    println!("with the expanding vfdotpex/vfmax.r intrinsics the tuned network");
-    println!("matches float accuracy at a fraction of the baseline cycles and");
-    println!("energy — the paper's transprecision headline, end to end.");
+    println!("\nThe tuner drops the first dense layer to binary8alt (E4M3's extra");
+    println!("mantissa bit survives where binary8's 2-bit mantissa breaks the");
+    println!("classification) and pins the later dot products to binary16; with");
+    println!("the expanding vfsdotpex/vfdotpex/vfmax.r intrinsics the tuned");
+    println!("network matches float accuracy at a fraction of the baseline");
+    println!("cycles and energy — the paper's transprecision headline, end to end.");
 }

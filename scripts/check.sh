@@ -26,8 +26,12 @@ cargo test -q
 echo "==> cargo bench --workspace --no-run"
 cargo bench --workspace --no-run
 
-echo "==> binary8 exhaustive differential suite (release)"
-cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive
+echo "==> binary8 + binary8alt (E4M3) exhaustive differential suites (release)"
+cargo test --release -q -p smallfloat-softfp --test fastpath_b8_exhaustive --test fastpath_b8alt_exhaustive
+
+echo "==> isa/asm round-trip property suites (.ab mnemonics, vfsdotpex, alt-bank edges)"
+cargo test --release -q -p smallfloat-isa --test roundtrip
+cargo test --release -q -p smallfloat-asm
 
 echo "==> three-tier differential grid (reference vs blocks vs traces) + golden trace (release)"
 cargo test --release -q -p smallfloat-sim --test blockpath_differential --test golden_trace

@@ -237,7 +237,14 @@ fn cross_stack_bit_exactness() {
     st.set_array("y", &ys);
     run_typed(&k, &mut st);
 
-    let compiled = compile(&k, CodegenOptions { vectorize: false }).expect("compiles");
+    let compiled = compile(
+        &k,
+        CodegenOptions {
+            vectorize: false,
+            ..Default::default()
+        },
+    )
+    .expect("compiles");
     let result = smallfloat_kernels::run_compiled(
         &k,
         &compiled,
