@@ -1,0 +1,21 @@
+use smallfloat_isa::FpFmt;
+use smallfloat_nn::qor::accuracy;
+use smallfloat_nn::{cnn, infer_sim, uniform_assignment};
+use smallfloat_sim::MemLevel;
+use smallfloat_xcc::VecMode;
+
+fn main() {
+    let (net, ds) = cnn();
+    for fmt in [FpFmt::H, FpFmt::Ah] {
+        let assignment = uniform_assignment(&net, fmt);
+        for mode in [VecMode::Scalar, VecMode::Manual] {
+            let inf = infer_sim(&net, &ds.inputs, &assignment, mode, MemLevel::L1);
+            println!(
+                "CNN {fmt:?} {mode:?}: cycles={} acc={} first-pred={:?}",
+                inf.cycles,
+                accuracy(&inf.predictions, &ds.labels),
+                &inf.predictions[..4]
+            );
+        }
+    }
+}
