@@ -1,0 +1,18 @@
+//! Mixed-precision training sweep (five uniform formats plus the
+//! per-pass tuned assignment, both `smallfloat-nn` tasks, against the
+//! `f64` reference loss curve). Prints the table; `--json <path>` also
+//! writes the `BENCH_training.json` record.
+
+use smallfloat_bench::training::{training_json, training_render, training_sweep};
+
+fn main() {
+    let (cfg, rows, tunes) = training_sweep();
+    print!("{}", training_render(&cfg, &rows, &tunes));
+    let mut args = std::env::args().skip(1);
+    if let (Some(flag), Some(path)) = (args.next(), args.next()) {
+        if flag == "--json" {
+            std::fs::write(&path, training_json(&cfg, &rows, &tunes)).expect("JSON written");
+            eprintln!("wrote {path}");
+        }
+    }
+}

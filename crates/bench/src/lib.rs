@@ -13,6 +13,7 @@ pub mod nn;
 pub mod par;
 pub mod replay;
 pub mod serving;
+pub mod training;
 
 use smallfloat::{kernels, MemLevel, Precision, VecMode};
 use smallfloat_isa::{vector_lanes, FpFmt, InstrClass};

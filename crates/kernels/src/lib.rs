@@ -20,4 +20,6 @@ pub mod svm;
 
 pub use bench::{Benchmark, Precision, VecMode};
 pub use mg::Mg;
-pub use runner::{array_span, decode_array, quantize_array, run_compiled, RunResult};
+pub use runner::{
+    array_span, decode_array, pool_counters, quantize_array, run_compiled, RunResult,
+};

@@ -10,6 +10,7 @@ use smallfloat_xcc::codegen::{Compiled, TEXT_BASE};
 use smallfloat_xcc::ir::Kernel;
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A warmed simulator: a `Cpu` whose decode caches (predecode window,
 /// lowered blocks, formed traces, the trace tier's demotion verdicts) were
@@ -33,7 +34,29 @@ struct WarmSim {
 /// Warmed simulators kept per thread. A `Cpu`'s memory is a lazily
 /// materialized page table (zero pages allocate nothing), so a pool slot
 /// costs page-table plus caches, not the full simulated address space.
-const POOL_CAP: usize = 8;
+/// Sized for a training step's working set: one forward, one or two
+/// backward and two update kernels per weighted layer cycle through
+/// ~18 distinct programs per step, and LRU-thrashing them would retrain
+/// every launch from reset.
+const POOL_CAP: usize = 32;
+
+/// Launches served by restoring a warmed snapshot (fork) vs. by training
+/// a pool slot from reset. Process-global so harnesses running workers on
+/// their own threads can still observe that re-launches forked a warmed
+/// `Cpu` instead of rebuilding; monotone counters (snapshot before/after
+/// and compare deltas — other threads only ever add).
+static WARM_FORKS: AtomicU64 = AtomicU64::new(0);
+static COLD_TRAINS: AtomicU64 = AtomicU64::new(0);
+
+/// `(warm_forks, cold_trains)` across the process: how many
+/// [`run_compiled`] launches forked a warmed snapshot vs. retrained a
+/// simulator from reset.
+pub fn pool_counters() -> (u64, u64) {
+    (
+        WARM_FORKS.load(Ordering::Relaxed),
+        COLD_TRAINS.load(Ordering::Relaxed),
+    )
+}
 
 thread_local! {
     /// Per-thread pool of warmed simulators, one per recent program
@@ -112,9 +135,11 @@ pub fn run_compiled(
                 let w = &mut sims[i];
                 w.cpu.restore(&w.snap);
                 w.cpu.reset_stats();
+                WARM_FORKS.fetch_add(1, Ordering::Relaxed);
                 i
             }
             None => {
+                COLD_TRAINS.fetch_add(1, Ordering::Relaxed);
                 let config = SimConfig {
                     mem_level: level,
                     ..SimConfig::default()

@@ -1,8 +1,8 @@
 use smallfloat_isa::FpFmt;
+use smallfloat_kernels::VecMode;
 use smallfloat_nn::qor::accuracy;
 use smallfloat_nn::{cnn, infer_sim, uniform_assignment};
 use smallfloat_sim::MemLevel;
-use smallfloat_xcc::VecMode;
 
 fn main() {
     let (net, ds) = cnn();

@@ -1,0 +1,844 @@
+//! Reverse-mode gradients for the layer IR: backward kernels lowered
+//! through `smallfloat-xcc`, an `f64` reference autograd, and the
+//! cross-entropy loss head.
+//!
+//! Every backward kernel follows the forward lowering's conventions —
+//! arrays at the layer's (backward-pass) storage format, reductions
+//! through a binary32 scalar `acc` so the ordinary
+//! [`crate::lower::layer_precision`] retype applies — and is shaped so the
+//! auto-vectorizer's expanding dot product (`vfsdotpex`) covers every
+//! genuine accumulation:
+//!
+//! * dense `dx` and `dw`/`db` consume *host-transposed* operands (`wt`,
+//!   `xt`, `dyt`), turning the backward contractions into unit-stride
+//!   inner products (transposition is data movement, numerically the
+//!   identity). Bias gradients dot `dy` against a ones vector — exact in
+//!   every format — so they also accumulate through `vfsdotpex`;
+//! * the convolution backward keeps the forward's per-sample, scalar
+//!   `fmacex`-style walk: `dw` correlates `dy` windows against `x`, and
+//!   `dx` is the full correlation of a host-zero-padded `dyp` with the
+//!   host-flipped filter `wf` (again: padding and flipping are data
+//!   movement);
+//! * the ReLU and max-pool backward route gradients with the `gate`
+//!   subgradient operation (`gate(a, b) = b·step(a)`, PR 10's `fle` +
+//!   `fcvt` + `fmul` lowering). Pool recomputes each window maximum and
+//!   gates on `x − max`: the subtraction of two same-format values is
+//!   exactly zero iff they are equal, so ties pass the full incoming
+//!   gradient to every maximal position — the documented subgradient
+//!   convention, mirrored by the `f64` autograd. Gate never vectorizes
+//!   (the Xfvec extension has no packed compare-and-select), so the
+//!   backward ReLU stays scalar where the forward's `vfmax.r` map packs.
+
+use crate::graph::{Layer, Params, CONV_K};
+use smallfloat_isa::FpFmt;
+use smallfloat_xcc::ir::{Bound, Expr, IdxExpr, Kernel, Stmt};
+
+/// `step(a)`: 1 when `0 ≤ a` (so also at `−0`), 0 otherwise — including
+/// NaN, matching the `fle`-based `gate` lowering bit-for-bit at `f64`.
+fn step(a: f64) -> f64 {
+    if 0.0 <= a {
+        1.0
+    } else {
+        0.0
+    }
+}
+
+/// Gradients of one layer for one sample: loss gradient w.r.t. the input,
+/// and w.r.t. the parameters for weighted layers (empty otherwise).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LayerGrads {
+    /// `d loss / d x`, length [`Layer::in_len`].
+    pub dx: Vec<f64>,
+    /// `d loss / d w` (flattened like [`Params::w`]).
+    pub dw: Vec<f64>,
+    /// `d loss / d bias`.
+    pub db: Vec<f64>,
+}
+
+/// `f64` reference backward pass of one layer for one sample. Loop and
+/// accumulation orders mirror the backward kernels exactly (transposed
+/// dense operands, padded/flipped conv correlation, `gate` subgradients),
+/// so running the lowered kernels under the `f64` interpreter reproduces
+/// these values bit-for-bit.
+pub fn layer_backward_f64(layer: &Layer, params: &Params, x: &[f64], dy: &[f64]) -> LayerGrads {
+    assert_eq!(x.len(), layer.in_len(), "{}: input length", layer.name());
+    assert_eq!(dy.len(), layer.out_len(), "{}: grad length", layer.name());
+    match layer {
+        Layer::Dense { inp, out, .. } => {
+            // dx[i] = Σ_o wt[i·out+o]·dy[o] — ascending o, like the
+            // kernel's inner reduction.
+            let dx = (0..*inp)
+                .map(|i| {
+                    let mut acc = 0.0;
+                    for (o, g) in dy.iter().enumerate() {
+                        acc += params.w[o * inp + i] * g;
+                    }
+                    acc
+                })
+                .collect();
+            let mut dw = vec![0.0; inp * out];
+            for (o, g) in dy.iter().enumerate() {
+                for (i, xi) in x.iter().enumerate() {
+                    dw[o * inp + i] = g * xi;
+                }
+            }
+            LayerGrads {
+                dx,
+                dw,
+                db: dy.to_vec(),
+            }
+        }
+        Layer::Conv2d {
+            in_ch,
+            out_ch,
+            h,
+            w,
+            ..
+        } => {
+            let (oh, ow) = (h - CONV_K + 1, w - CONV_K + 1);
+            // dw[f,c,ky,kx] = Σ_{oy,ox} dy[f,oy,ox]·x[c,oy+ky,ox+kx].
+            let mut dw = vec![0.0; out_ch * in_ch * CONV_K * CONV_K];
+            let mut db = vec![0.0; *out_ch];
+            for f in 0..*out_ch {
+                for c in 0..*in_ch {
+                    for ky in 0..CONV_K {
+                        for kx in 0..CONV_K {
+                            let mut acc = 0.0;
+                            for oy in 0..oh {
+                                for ox in 0..ow {
+                                    acc += dy[f * oh * ow + oy * ow + ox]
+                                        * x[c * h * w + (oy + ky) * w + (ox + kx)];
+                                }
+                            }
+                            dw[((f * in_ch + c) * CONV_K + ky) * CONV_K + kx] = acc;
+                        }
+                    }
+                }
+                let mut acc = 0.0;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        acc += dy[f * oh * ow + oy * ow + ox];
+                    }
+                }
+                db[f] = acc;
+            }
+            // dx[c,y,x] = Σ_{f,ky,kx} w[f,c,K−1−ky,K−1−kx]·dy[f,y+ky−2,x+kx−2]
+            // — the flipped-filter full correlation the `conv_bwd_x`
+            // kernel computes over the zero-padded `dyp`.
+            let mut dx = vec![0.0; in_ch * h * w];
+            for c in 0..*in_ch {
+                for y in 0..*h {
+                    for xx in 0..*w {
+                        let mut acc = 0.0;
+                        for f in 0..*out_ch {
+                            for ky in 0..CONV_K {
+                                for kx in 0..CONV_K {
+                                    let (py, px) = (y + ky, xx + kx);
+                                    if py < CONV_K - 1
+                                        || px < CONV_K - 1
+                                        || py - (CONV_K - 1) >= oh
+                                        || px - (CONV_K - 1) >= ow
+                                    {
+                                        continue; // padded zero term
+                                    }
+                                    let wv = params.w[((f * in_ch + c) * CONV_K
+                                        + (CONV_K - 1 - ky))
+                                        * CONV_K
+                                        + (CONV_K - 1 - kx)];
+                                    acc += wv
+                                        * dy[f * oh * ow
+                                            + (py - (CONV_K - 1)) * ow
+                                            + (px - (CONV_K - 1))];
+                                }
+                            }
+                        }
+                        dx[c * h * w + y * w + xx] = acc;
+                    }
+                }
+            }
+            LayerGrads { dx, dw, db }
+        }
+        Layer::Relu { .. } => LayerGrads {
+            dx: x.iter().zip(dy).map(|(xi, g)| g * step(*xi)).collect(),
+            ..LayerGrads::default()
+        },
+        Layer::MaxPool2 { ch, h, w, .. } => {
+            let (oh, ow) = (h / 2, w / 2);
+            let mut dx = vec![0.0; ch * h * w];
+            for p in 0..*ch {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let at = |dy_: usize, dx_: usize| {
+                            x[p * h * w + (2 * oy + dy_) * w + 2 * ox + dx_]
+                        };
+                        let m = at(0, 0).max(at(0, 1)).max(at(1, 0).max(at(1, 1)));
+                        let g = dy[p * oh * ow + oy * ow + ox];
+                        for (dy_, dx_) in [(0, 0), (0, 1), (1, 0), (1, 1)] {
+                            dx[p * h * w + (2 * oy + dy_) * w + 2 * ox + dx_] =
+                                g * step(at(dy_, dx_) - m);
+                        }
+                    }
+                }
+            }
+            LayerGrads {
+                dx,
+                ..LayerGrads::default()
+            }
+        }
+    }
+}
+
+/// `dst[c·rows + r] = src[r·cols + c]` — the host-side layout change that
+/// turns backward dense contractions into unit-stride inner products.
+pub fn transpose(src: &[f64], rows: usize, cols: usize) -> Vec<f64> {
+    assert_eq!(src.len(), rows * cols);
+    let mut dst = vec![0.0; src.len()];
+    for r in 0..rows {
+        for c in 0..cols {
+            dst[c * rows + r] = src[r * cols + c];
+        }
+    }
+    dst
+}
+
+/// Zero-pad each `oh × ow` channel plane of `dy` by `CONV_K − 1` on every
+/// side — the full-correlation input of [`conv_bwd_x`].
+pub fn pad_dy(dy: &[f64], ch: usize, oh: usize, ow: usize) -> Vec<f64> {
+    let m = CONV_K - 1;
+    let (ph, pw) = (oh + 2 * m, ow + 2 * m);
+    let mut out = vec![0.0; ch * ph * pw];
+    for c in 0..ch {
+        for y in 0..oh {
+            for x in 0..ow {
+                out[c * ph * pw + (y + m) * pw + (x + m)] = dy[c * oh * ow + y * ow + x];
+            }
+        }
+    }
+    out
+}
+
+/// Flip each 3×3 filter tap grid: `wf[f,c,ky,kx] = w[f,c,K−1−ky,K−1−kx]`.
+pub fn flip_w(w: &[f64], out_ch: usize, in_ch: usize) -> Vec<f64> {
+    let mut out = vec![0.0; w.len()];
+    for f in 0..out_ch {
+        for c in 0..in_ch {
+            for ky in 0..CONV_K {
+                for kx in 0..CONV_K {
+                    out[((f * in_ch + c) * CONV_K + ky) * CONV_K + kx] =
+                        w[((f * in_ch + c) * CONV_K + (CONV_K - 1 - ky)) * CONV_K
+                            + (CONV_K - 1 - kx)];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Dense input gradient over a batch: `dx[n,i] = Σ_o wt[i,o]·dy[n,o]`.
+/// Both inner loads are unit-stride in `o`, so the reduction
+/// auto-vectorizes into `vfsdotpex` whenever `out` is a lane multiple.
+pub fn dense_bwd_x(name: &str, inp: usize, out: usize, batch: usize) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_bwd_x"));
+    let (i_n, o_n, b) = (inp as i64, out as i64, batch as i64);
+    k.array("wt", FpFmt::S, inp * out)
+        .array("dy", FpFmt::S, batch * out)
+        .array("dx", FpFmt::S, batch * inp)
+        .scalar("acc", FpFmt::S, 0.0);
+    k.body = vec![Stmt::for_(
+        "n",
+        0,
+        Bound::constant(b),
+        vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(i_n),
+            vec![
+                Stmt::set("acc", Expr::lit(0.0)),
+                Stmt::for_(
+                    "o",
+                    0,
+                    Bound::constant(o_n),
+                    vec![Stmt::accum(
+                        "acc",
+                        Expr::load("wt", IdxExpr::of(&[("i", o_n), ("o", 1)], 0))
+                            * Expr::load("dy", IdxExpr::of(&[("n", o_n), ("o", 1)], 0)),
+                    )],
+                ),
+                Stmt::store(
+                    "dx",
+                    IdxExpr::of(&[("n", i_n), ("i", 1)], 0),
+                    Expr::scalar("acc"),
+                ),
+            ],
+        )],
+    )];
+    k
+}
+
+/// Dense parameter gradients over a batch, from transposed operands:
+/// `dw[o,i] = Σ_n dyt[o,n]·xt[i,n]` and `db[o] = Σ_n dyt[o,n]·one[n]`.
+/// Every reduction is a unit-stride inner product over the batch, so both
+/// accumulate through `vfsdotpex` when `batch` is a lane multiple (the
+/// ones vector is exact in every format).
+pub fn dense_bwd_w(name: &str, inp: usize, out: usize, batch: usize) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_bwd_w"));
+    let (i_n, o_n, b) = (inp as i64, out as i64, batch as i64);
+    k.array("xt", FpFmt::S, inp * batch)
+        .array("dyt", FpFmt::S, out * batch)
+        .array("dw", FpFmt::S, out * inp)
+        .array("db", FpFmt::S, out)
+        .array("one", FpFmt::S, batch)
+        .scalar("acc", FpFmt::S, 0.0);
+    k.body = vec![
+        Stmt::for_(
+            "o",
+            0,
+            Bound::constant(o_n),
+            vec![Stmt::for_(
+                "i",
+                0,
+                Bound::constant(i_n),
+                vec![
+                    Stmt::set("acc", Expr::lit(0.0)),
+                    Stmt::for_(
+                        "nn",
+                        0,
+                        Bound::constant(b),
+                        vec![Stmt::accum(
+                            "acc",
+                            Expr::load("dyt", IdxExpr::of(&[("o", b), ("nn", 1)], 0))
+                                * Expr::load("xt", IdxExpr::of(&[("i", b), ("nn", 1)], 0)),
+                        )],
+                    ),
+                    Stmt::store(
+                        "dw",
+                        IdxExpr::of(&[("o", i_n), ("i", 1)], 0),
+                        Expr::scalar("acc"),
+                    ),
+                ],
+            )],
+        ),
+        Stmt::for_(
+            "o",
+            0,
+            Bound::constant(o_n),
+            vec![
+                Stmt::set("acc", Expr::lit(0.0)),
+                Stmt::for_(
+                    "nn",
+                    0,
+                    Bound::constant(b),
+                    vec![Stmt::accum(
+                        "acc",
+                        Expr::load("dyt", IdxExpr::of(&[("o", b), ("nn", 1)], 0))
+                            * Expr::load("one", IdxExpr::var("nn")),
+                    )],
+                ),
+                Stmt::store("db", IdxExpr::var("o"), Expr::scalar("acc")),
+            ],
+        ),
+    ];
+    k
+}
+
+/// ReLU backward over a flattened batch: `dx[t] = gate(x[t], dy[t])` —
+/// one `fle`/`fcvt`/`fmul` triple per element, scalar by construction.
+pub fn relu_bwd(name: &str, total: usize) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_bwd"));
+    k.array("x", FpFmt::S, total)
+        .array("dy", FpFmt::S, total)
+        .array("dx", FpFmt::S, total);
+    k.body = vec![Stmt::for_(
+        "t",
+        0,
+        Bound::constant(total as i64),
+        vec![Stmt::store(
+            "dx",
+            IdxExpr::var("t"),
+            Expr::load("x", IdxExpr::var("t")).gate(Expr::load("dy", IdxExpr::var("t"))),
+        )],
+    )];
+    k
+}
+
+/// 2×2 max-pool backward over `planes` channel planes: each window
+/// recomputes its maximum and every position gates the incoming gradient
+/// on `x − max` (exactly zero iff the position is maximal; ties all
+/// receive the full gradient).
+pub fn pool_bwd(name: &str, planes: usize, h: usize, w: usize) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_bwd"));
+    let (h_n, w_n) = (h as i64, w as i64);
+    let (oh, ow) = (h_n / 2, w_n / 2);
+    let total = planes * h * w;
+    k.array("x", FpFmt::S, total)
+        .array("dy", FpFmt::S, planes * (h / 2) * (w / 2))
+        .array("dx", FpFmt::S, total);
+    let win = |dy_: i64, dx_: i64| {
+        Expr::load(
+            "x",
+            IdxExpr::of(
+                &[("p", h_n * w_n), ("oy", 2 * w_n), ("ox", 2)],
+                dy_ * w_n + dx_,
+            ),
+        )
+    };
+    let g = || {
+        Expr::load(
+            "dy",
+            IdxExpr::of(&[("p", oh * ow), ("oy", ow), ("ox", 1)], 0),
+        )
+    };
+    let body = [(0, 0), (0, 1), (1, 0), (1, 1)]
+        .into_iter()
+        .map(|(dy_, dx_)| {
+            let m = win(0, 0).max(win(0, 1)).max(win(1, 0).max(win(1, 1)));
+            Stmt::store(
+                "dx",
+                IdxExpr::of(
+                    &[("p", h_n * w_n), ("oy", 2 * w_n), ("ox", 2)],
+                    dy_ * w_n + dx_,
+                ),
+                (win(dy_, dx_) - m).gate(g()),
+            )
+        })
+        .collect();
+    k.body = vec![Stmt::for_(
+        "p",
+        0,
+        Bound::constant(planes as i64),
+        vec![Stmt::for_(
+            "oy",
+            0,
+            Bound::constant(oh),
+            vec![Stmt::for_("ox", 0, Bound::constant(ow), body)],
+        )],
+    )];
+    k
+}
+
+/// Convolution parameter gradients (per sample): each filter tap
+/// correlates the output gradient plane against the input window it saw
+/// (a 6-deep nest, like the forward conv), and each bias dots its
+/// gradient plane against ones.
+pub fn conv_bwd_w(name: &str, in_ch: usize, out_ch: usize, h: usize, w: usize) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_bwd_w"));
+    let (c_n, f_n) = (in_ch as i64, out_ch as i64);
+    let (h_n, w_n) = (h as i64, w as i64);
+    let kk = CONV_K as i64;
+    let (oh, ow) = (h_n - kk + 1, w_n - kk + 1);
+    k.array("x", FpFmt::S, in_ch * h * w)
+        .array("dy", FpFmt::S, (f_n * oh * ow) as usize)
+        .array("dw", FpFmt::S, out_ch * in_ch * CONV_K * CONV_K)
+        .array("db", FpFmt::S, out_ch)
+        .array("one", FpFmt::S, (oh * ow) as usize)
+        .scalar("acc", FpFmt::S, 0.0);
+    let dy_idx = IdxExpr::of(&[("f", oh * ow), ("oy", ow), ("ox", 1)], 0);
+    let x_idx = IdxExpr::of(
+        &[
+            ("c", h_n * w_n),
+            ("oy", w_n),
+            ("ky", w_n),
+            ("ox", 1),
+            ("kx", 1),
+        ],
+        0,
+    );
+    let tap = vec![
+        Stmt::set("acc", Expr::lit(0.0)),
+        Stmt::for_(
+            "oy",
+            0,
+            Bound::constant(oh),
+            vec![Stmt::for_(
+                "ox",
+                0,
+                Bound::constant(ow),
+                vec![Stmt::accum(
+                    "acc",
+                    Expr::load("dy", dy_idx.clone()) * Expr::load("x", x_idx),
+                )],
+            )],
+        ),
+        Stmt::store(
+            "dw",
+            IdxExpr::of(
+                &[("f", c_n * kk * kk), ("c", kk * kk), ("ky", kk), ("kx", 1)],
+                0,
+            ),
+            Expr::scalar("acc"),
+        ),
+    ];
+    k.body = vec![
+        Stmt::for_(
+            "f",
+            0,
+            Bound::constant(f_n),
+            vec![Stmt::for_(
+                "c",
+                0,
+                Bound::constant(c_n),
+                vec![Stmt::for_(
+                    "ky",
+                    0,
+                    Bound::constant(kk),
+                    vec![Stmt::for_("kx", 0, Bound::constant(kk), tap)],
+                )],
+            )],
+        ),
+        Stmt::for_(
+            "f",
+            0,
+            Bound::constant(f_n),
+            vec![
+                Stmt::set("acc", Expr::lit(0.0)),
+                Stmt::for_(
+                    "oy",
+                    0,
+                    Bound::constant(oh),
+                    vec![Stmt::for_(
+                        "ox",
+                        0,
+                        Bound::constant(ow),
+                        vec![Stmt::accum(
+                            "acc",
+                            Expr::load("dy", dy_idx)
+                                * Expr::load("one", IdxExpr::of(&[("oy", ow), ("ox", 1)], 0)),
+                        )],
+                    )],
+                ),
+                Stmt::store("db", IdxExpr::var("f"), Expr::scalar("acc")),
+            ],
+        ),
+    ];
+    k
+}
+
+/// Convolution input gradient (per sample): the full correlation of the
+/// host-zero-padded output gradient `dyp` ([`pad_dy`]) with the
+/// host-flipped filters `wf` ([`flip_w`]) — the same 6-deep window walk
+/// as the forward, swept over every input position.
+pub fn conv_bwd_x(name: &str, in_ch: usize, out_ch: usize, h: usize, w: usize) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_bwd_x"));
+    let (c_n, f_n) = (in_ch as i64, out_ch as i64);
+    let (h_n, w_n) = (h as i64, w as i64);
+    let kk = CONV_K as i64;
+    let (oh, ow) = (h_n - kk + 1, w_n - kk + 1);
+    let (ph, pw) = (oh + 2 * (kk - 1), ow + 2 * (kk - 1));
+    k.array("wf", FpFmt::S, out_ch * in_ch * CONV_K * CONV_K)
+        .array("dyp", FpFmt::S, (f_n * ph * pw) as usize)
+        .array("dx", FpFmt::S, in_ch * h * w)
+        .scalar("acc", FpFmt::S, 0.0);
+    let wf_idx = IdxExpr::of(
+        &[("f", c_n * kk * kk), ("c", kk * kk), ("ky", kk), ("kx", 1)],
+        0,
+    );
+    let dyp_idx = IdxExpr::of(
+        &[("f", ph * pw), ("y", pw), ("ky", pw), ("x", 1), ("kx", 1)],
+        0,
+    );
+    k.body = vec![Stmt::for_(
+        "c",
+        0,
+        Bound::constant(c_n),
+        vec![Stmt::for_(
+            "y",
+            0,
+            Bound::constant(h_n),
+            vec![Stmt::for_(
+                "x",
+                0,
+                Bound::constant(w_n),
+                vec![
+                    Stmt::set("acc", Expr::lit(0.0)),
+                    Stmt::for_(
+                        "f",
+                        0,
+                        Bound::constant(f_n),
+                        vec![Stmt::for_(
+                            "ky",
+                            0,
+                            Bound::constant(kk),
+                            vec![Stmt::for_(
+                                "kx",
+                                0,
+                                Bound::constant(kk),
+                                vec![Stmt::accum(
+                                    "acc",
+                                    Expr::load("wf", wf_idx) * Expr::load("dyp", dyp_idx),
+                                )],
+                            )],
+                        )],
+                    ),
+                    Stmt::store(
+                        "dx",
+                        IdxExpr::of(&[("c", h_n * w_n), ("y", w_n), ("x", 1)], 0),
+                        Expr::scalar("acc"),
+                    ),
+                ],
+            )],
+        )],
+    )];
+    k
+}
+
+/// SGD-with-momentum master-weight update: `v ← μ·v + g`, `p ← p − η·v`.
+/// `p` and `v` stay binary32 regardless of the training format (the
+/// mixed-precision training convention: smallFloat gradients, binary32
+/// master weights); only `g` is retyped to the layer's backward format.
+/// The learning rate and momentum are baked in as (binary32-rounded)
+/// literals.
+pub fn sgd_kernel(name: &str, len: usize, lr: f64, momentum: f64) -> Kernel {
+    let mut k = Kernel::new(&format!("{name}_sgd"));
+    k.array("p", FpFmt::S, len)
+        .array("v", FpFmt::S, len)
+        .array("g", FpFmt::S, len);
+    let t = || IdxExpr::var("t");
+    k.body = vec![Stmt::for_(
+        "t",
+        0,
+        Bound::constant(len as i64),
+        vec![
+            Stmt::store(
+                "v",
+                t(),
+                Expr::lit(momentum) * Expr::load("v", t()) + Expr::load("g", t()),
+            ),
+            Stmt::store(
+                "p",
+                t(),
+                Expr::load("p", t()) - Expr::lit(lr) * Expr::load("v", t()),
+            ),
+        ],
+    )];
+    k
+}
+
+/// Cross-entropy loss head over a batch of final-layer scores
+/// (`batch × classes`, sample-major), computed on the host at `f64` like
+/// the softmax/argmax head of [`crate::qor`] — the ISA has no
+/// transcendental instructions. Returns the mean loss and the score
+/// gradients `dscores[n,c] = (softmax(s_n)[c] − 1{c = label_n}) / batch`.
+pub fn cross_entropy(scores: &[f64], labels: &[usize], classes: usize) -> (f64, Vec<f64>) {
+    let batch = labels.len();
+    assert_eq!(scores.len(), batch * classes);
+    let mut loss = 0.0;
+    let mut dscores = vec![0.0; scores.len()];
+    for (n, &label) in labels.iter().enumerate() {
+        let p = crate::qor::softmax(&scores[n * classes..(n + 1) * classes]);
+        loss += -p[label].max(f64::MIN_POSITIVE).ln();
+        for c in 0..classes {
+            dscores[n * classes + c] = (p[c] - if c == label { 1.0 } else { 0.0 }) / batch as f64;
+        }
+    }
+    (loss / batch as f64, dscores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{cnn, layer_forward_f64, mlp, uniform};
+    use smallfloat_xcc::interp::{run_f64, F64State};
+
+    fn run_kernel_f64(k: &Kernel, inputs: &[(String, Vec<f64>)]) -> F64State {
+        let mut st = F64State::for_kernel(k);
+        for (name, vals) in inputs {
+            st.set_array(name, vals);
+        }
+        run_f64(k, &mut st);
+        st
+    }
+
+    /// Every backward kernel reproduces the `f64` autograd bit-for-bit
+    /// under the `f64` interpreter — same contraction orders, same
+    /// subgradient convention.
+    #[test]
+    fn backward_kernels_match_reference_autograd() {
+        let (net, ds) = cnn();
+        let x0 = &ds.inputs[0];
+        let mut acts = vec![x0.clone()];
+        for (layer, params) in net.layers.iter().zip(&net.params) {
+            acts.push(layer_forward_f64(layer, params, acts.last().unwrap()));
+        }
+        // A fixed, seeded upstream gradient per layer output.
+        for (li, (layer, params)) in net.layers.iter().zip(&net.params).enumerate() {
+            let x = &acts[li];
+            let dy = uniform(layer.out_len(), 0xD0_0000 + li as u64, 1.0);
+            let want = layer_backward_f64(layer, params, x, &dy);
+            match layer {
+                Layer::Dense { inp, out, .. } => {
+                    let st = run_kernel_f64(
+                        &dense_bwd_x(layer.name(), *inp, *out, 1),
+                        &[
+                            ("wt".into(), transpose(&params.w, *out, *inp)),
+                            ("dy".into(), dy.clone()),
+                            ("dx".into(), vec![0.0; *inp]),
+                        ],
+                    );
+                    assert_eq!(st.array("dx"), &want.dx[..], "{} dx", layer.name());
+                    let st = run_kernel_f64(
+                        &dense_bwd_w(layer.name(), *inp, *out, 1),
+                        &[
+                            ("xt".into(), transpose(x, 1, *inp)),
+                            ("dyt".into(), transpose(&dy, 1, *out)),
+                            ("dw".into(), vec![0.0; inp * out]),
+                            ("db".into(), vec![0.0; *out]),
+                            ("one".into(), vec![1.0]),
+                        ],
+                    );
+                    assert_eq!(st.array("dw"), &want.dw[..], "{} dw", layer.name());
+                    assert_eq!(st.array("db"), &want.db[..], "{} db", layer.name());
+                }
+                Layer::Conv2d {
+                    in_ch,
+                    out_ch,
+                    h,
+                    w,
+                    ..
+                } => {
+                    let (oh, ow) = (h - CONV_K + 1, w - CONV_K + 1);
+                    let st = run_kernel_f64(
+                        &conv_bwd_w(layer.name(), *in_ch, *out_ch, *h, *w),
+                        &[
+                            ("x".into(), x.clone()),
+                            ("dy".into(), dy.clone()),
+                            ("dw".into(), vec![0.0; want.dw.len()]),
+                            ("db".into(), vec![0.0; *out_ch]),
+                            ("one".into(), vec![1.0; oh * ow]),
+                        ],
+                    );
+                    assert_eq!(st.array("dw"), &want.dw[..], "{} dw", layer.name());
+                    assert_eq!(st.array("db"), &want.db[..], "{} db", layer.name());
+                    let st = run_kernel_f64(
+                        &conv_bwd_x(layer.name(), *in_ch, *out_ch, *h, *w),
+                        &[
+                            ("wf".into(), flip_w(&params.w, *out_ch, *in_ch)),
+                            ("dyp".into(), pad_dy(&dy, *out_ch, oh, ow)),
+                            ("dx".into(), vec![0.0; want.dx.len()]),
+                        ],
+                    );
+                    assert_eq!(st.array("dx"), &want.dx[..], "{} dx", layer.name());
+                }
+                Layer::Relu { len, .. } => {
+                    let st = run_kernel_f64(
+                        &relu_bwd(layer.name(), *len),
+                        &[
+                            ("x".into(), x.clone()),
+                            ("dy".into(), dy.clone()),
+                            ("dx".into(), vec![0.0; *len]),
+                        ],
+                    );
+                    assert_eq!(st.array("dx"), &want.dx[..], "{} dx", layer.name());
+                }
+                Layer::MaxPool2 { ch, h, w, .. } => {
+                    let st = run_kernel_f64(
+                        &pool_bwd(layer.name(), *ch, *h, *w),
+                        &[
+                            ("x".into(), x.clone()),
+                            ("dy".into(), dy.clone()),
+                            ("dx".into(), vec![0.0; ch * h * w]),
+                        ],
+                    );
+                    assert_eq!(st.array("dx"), &want.dx[..], "{} dx", layer.name());
+                }
+            }
+        }
+    }
+
+    /// Batched dense backward equals per-sample autograd: `dx` per sample,
+    /// `dw`/`db` summed over the batch in sample order.
+    #[test]
+    fn batched_dense_backward_sums_over_samples() {
+        let (net, ds) = mlp();
+        let layer = &net.layers[0];
+        let Layer::Dense { inp, out, .. } = layer else {
+            unreachable!()
+        };
+        let params = &net.params[0];
+        let n = 3;
+        let xs: Vec<Vec<f64>> = ds.inputs[..n].to_vec();
+        let dys: Vec<Vec<f64>> = (0..n)
+            .map(|i| uniform(*out, 0xBA7C + i as u64, 1.0))
+            .collect();
+        let flat_x: Vec<f64> = xs.iter().flatten().copied().collect();
+        let flat_dy: Vec<f64> = dys.iter().flatten().copied().collect();
+        let st = run_kernel_f64(
+            &dense_bwd_x(layer.name(), *inp, *out, n),
+            &[
+                ("wt".into(), transpose(&params.w, *out, *inp)),
+                ("dy".into(), flat_dy.clone()),
+                ("dx".into(), vec![0.0; n * inp]),
+            ],
+        );
+        let want_dx: Vec<f64> = xs
+            .iter()
+            .zip(&dys)
+            .flat_map(|(x, dy)| layer_backward_f64(layer, params, x, dy).dx)
+            .collect();
+        assert_eq!(st.array("dx"), &want_dx[..]);
+        let st = run_kernel_f64(
+            &dense_bwd_w(layer.name(), *inp, *out, n),
+            &[
+                ("xt".into(), transpose(&flat_x, n, *inp)),
+                ("dyt".into(), transpose(&flat_dy, n, *out)),
+                ("dw".into(), vec![0.0; inp * out]),
+                ("db".into(), vec![0.0; *out]),
+                ("one".into(), vec![1.0; n]),
+            ],
+        );
+        let (mut want_dw, mut want_db) = (vec![0.0; inp * out], vec![0.0; *out]);
+        for (x, dy) in xs.iter().zip(&dys) {
+            let g = layer_backward_f64(layer, params, x, dy);
+            for (a, b) in want_dw.iter_mut().zip(&g.dw) {
+                *a += b;
+            }
+            for (a, b) in want_db.iter_mut().zip(&g.db) {
+                *a += b;
+            }
+        }
+        assert_eq!(st.array("dw"), &want_dw[..]);
+        assert_eq!(st.array("db"), &want_db[..]);
+    }
+
+    /// Pool ties pass the full gradient to every maximal position.
+    #[test]
+    fn pool_ties_get_full_gradient() {
+        let layer = Layer::MaxPool2 {
+            name: "tie",
+            ch: 1,
+            h: 2,
+            w: 2,
+        };
+        let g = layer_backward_f64(&layer, &Params::default(), &[1.0, 1.0, 0.5, 1.0], &[3.0]);
+        assert_eq!(g.dx, [3.0, 3.0, 0.0, 3.0]);
+    }
+
+    /// Cross-entropy head: loss decreases toward confident-correct, and
+    /// the gradients sum to zero per sample.
+    #[test]
+    fn cross_entropy_head() {
+        let (loss, ds) = cross_entropy(&[2.0, -1.0, 0.0, 0.5], &[0, 1], 2);
+        assert!(loss > 0.0);
+        assert!((ds[0] + ds[1]).abs() < 1e-12);
+        assert!((ds[2] + ds[3]).abs() < 1e-12);
+        // Correct-class gradient is negative (pushes the score up).
+        assert!(ds[0] < 0.0 && ds[3] < 0.0);
+        let (better, _) = cross_entropy(&[5.0, -5.0, -5.0, 5.0], &[0, 1], 2);
+        assert!(better < loss);
+    }
+
+    /// The SGD kernel implements `v ← μv + g`, `p ← p − ηv` exactly at f64.
+    #[test]
+    fn sgd_kernel_updates() {
+        let k = sgd_kernel("w", 3, 0.5, 0.25);
+        let st = run_kernel_f64(
+            &k,
+            &[
+                ("p".into(), vec![1.0, 2.0, 3.0]),
+                ("v".into(), vec![4.0, 0.0, -8.0]),
+                ("g".into(), vec![0.0, 1.0, 2.0]),
+            ],
+        );
+        assert_eq!(st.array("v"), &[1.0, 1.0, 0.0]);
+        assert_eq!(st.array("p"), &[0.5, 1.5, 3.0]);
+    }
+}

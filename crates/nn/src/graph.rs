@@ -167,7 +167,7 @@ pub const CLASSES: usize = 4;
 
 /// `xorshift64*`-style generator in `[0, 1)` (same idiom as the SVM and
 /// Polybench data generators — deterministic and platform-independent).
-fn rng01(state: &mut u64) -> f64 {
+pub(crate) fn rng01(state: &mut u64) -> f64 {
     let mut x = *state;
     x ^= x << 13;
     x ^= x >> 7;
@@ -177,7 +177,7 @@ fn rng01(state: &mut u64) -> f64 {
 }
 
 /// `n` deterministic values uniform in `±amp`.
-fn uniform(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+pub(crate) fn uniform(n: usize, seed: u64, amp: f64) -> Vec<f64> {
     let mut s = seed;
     (0..n).map(|_| amp * (2.0 * rng01(&mut s) - 1.0)).collect()
 }

@@ -1,0 +1,160 @@
+//! Satellite regression: the reverse-mode gradients are the derivatives
+//! of the forward pass.
+//!
+//! Central finite differences of the scalar objective `J = Σ c ⊙ y`
+//! (whose exact output gradient is `dy = c`) are compared against
+//! [`smallfloat_nn::grad::layer_backward_f64`] at `f64`, for every layer
+//! type, over every parameter and input coordinate (release builds; a
+//! deterministic sample in debug, where softfp-free `f64` is still cheap
+//! but the grid is large). Inputs are nudged away from ReLU kinks and
+//! pool ties so the finite difference is taken on a smooth neighbourhood.
+//!
+//! The second half pins the hierarchy of execution paths: a training step
+//! on the typed interpreter is bit-identical to the same step
+//! cycle-accurately simulated with the scalar lowering — losses and
+//! final master weights compare equal as bits, per step.
+
+use smallfloat_isa::FpFmt;
+use smallfloat_kernels::VecMode;
+use smallfloat_nn::grad::layer_backward_f64;
+use smallfloat_nn::graph::{cnn, layer_forward_f64, mlp, Layer, Params};
+use smallfloat_nn::train::{train, Exec, PassAssignment, TrainConfig};
+use smallfloat_sim::MemLevel;
+
+/// Deterministic values in `±amp`, bounded away from zero by `amp/4`
+/// (keeps ReLU inputs off the kink) and pairwise distinct within any
+/// small window (keeps max-pool selections unique under the FD nudge).
+fn smooth_signal(n: usize, seed: u64, amp: f64) -> Vec<f64> {
+    let mut s = seed;
+    (0..n)
+        .map(|i| {
+            let mut x = s;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            s = x;
+            let u = (x >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+            let mag = amp * (0.25 + 0.75 * u);
+            let sign = if x & 1 == 0 { 1.0 } else { -1.0 };
+            // A tiny index-dependent offset separates window ties.
+            sign * mag + (i as f64) * amp * 1e-4
+        })
+        .collect()
+}
+
+/// `J(x, w, b) = Σ_t c[t] · y[t]` for a single layer.
+fn objective(layer: &Layer, params: &Params, x: &[f64], c: &[f64]) -> f64 {
+    layer_forward_f64(layer, params, x)
+        .iter()
+        .zip(c)
+        .map(|(y, c)| y * c)
+        .sum()
+}
+
+/// In release, every coordinate; in debug, a deterministic stride-11
+/// sample (softfp-free `f64` FD is fast, but the dense CNN grid is
+/// thousands of coordinates).
+fn grid(n: usize) -> Vec<usize> {
+    if cfg!(debug_assertions) {
+        (0..n).step_by(11).collect()
+    } else {
+        (0..n).collect()
+    }
+}
+
+fn check_layer(layer: &Layer, params: &Params, seed: u64) {
+    let x = smooth_signal(layer.in_len(), seed, 1.0);
+    let c = smooth_signal(layer.out_len(), seed ^ 0xC0FFEE, 1.0);
+    let g = layer_backward_f64(layer, params, &x, &c);
+    const H: f64 = 1e-5;
+    const TOL: f64 = 1e-7;
+    let fd = |f: &mut dyn FnMut(f64) -> f64, at: f64| (f(at + H) - f(at - H)) / (2.0 * H);
+    for i in grid(x.len()) {
+        let mut xp = x.clone();
+        let got = fd(
+            &mut |v| {
+                xp[i] = v;
+                objective(layer, params, &xp, &c)
+            },
+            x[i],
+        );
+        assert!(
+            (got - g.dx[i]).abs() <= TOL * (1.0 + got.abs()),
+            "{} dx[{i}]: fd {got} vs reverse {}",
+            layer.name(),
+            g.dx[i]
+        );
+    }
+    for j in grid(params.w.len()) {
+        let mut pp = params.clone();
+        let got = fd(
+            &mut |v| {
+                pp.w[j] = v;
+                objective(layer, &pp, &x, &c)
+            },
+            params.w[j],
+        );
+        assert!(
+            (got - g.dw[j]).abs() <= TOL * (1.0 + got.abs()),
+            "{} dw[{j}]: fd {got} vs reverse {}",
+            layer.name(),
+            g.dw[j]
+        );
+    }
+    for k in grid(params.bias.len()) {
+        let mut pp = params.clone();
+        let got = fd(
+            &mut |v| {
+                pp.bias[k] = v;
+                objective(layer, &pp, &x, &c)
+            },
+            params.bias[k],
+        );
+        assert!(
+            (got - g.db[k]).abs() <= TOL * (1.0 + got.abs()),
+            "{} db[{k}]: fd {got} vs reverse {}",
+            layer.name(),
+            g.db[k]
+        );
+    }
+}
+
+/// FD vs reverse-mode on every layer of both tasks (covers dense, conv,
+/// ReLU and max-pool with the production shapes).
+#[test]
+fn finite_differences_match_reverse_mode() {
+    for (net, _) in [mlp(), cnn()] {
+        for (li, layer) in net.layers.iter().enumerate() {
+            check_layer(layer, &net.params[li], 0xFD_0000 + li as u64);
+        }
+    }
+}
+
+/// The typed interpreter and the scalar-lowered simulator agree
+/// bit-for-bit on whole training steps: identical loss bits at every
+/// step and identical final master weights.
+#[test]
+fn typed_training_is_bit_identical_to_scalar_sim() {
+    let sim = Exec::Sim {
+        mode: VecMode::Scalar,
+        level: MemLevel::L1,
+    };
+    for ((net, ds), fmt) in [(mlp(), FpFmt::H), (cnn(), FpFmt::Ab)] {
+        let cfg = TrainConfig {
+            steps: 3,
+            ..TrainConfig::default()
+        };
+        let pa = PassAssignment::uniform(&net, fmt);
+        let a = train(&net, &ds, &pa, &cfg, &Exec::Typed);
+        let b = train(&net, &ds, &pa, &cfg, &sim);
+        let bits = |ls: &[f64]| ls.iter().map(|l| l.to_bits()).collect::<Vec<_>>();
+        assert_eq!(
+            bits(&a.losses),
+            bits(&b.losses),
+            "{} {fmt:?}: per-step loss bits",
+            net.name
+        );
+        assert_eq!(a.params, b.params, "{} {fmt:?}: final weights", net.name);
+        assert!(b.cycles > 0 && a.cycles == 0);
+    }
+}

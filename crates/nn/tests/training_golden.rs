@@ -1,0 +1,72 @@
+//! Satellite regression: the training loss curve is pinned bit-for-bit.
+//!
+//! A short MLP training run (binary16, auto-vectorized with expanding
+//! accumulation, L1) is executed on the simulator twice — once with the
+//! trace tier forced off (block engine) and once forced on — and the
+//! per-step loss bits must (a) agree between the two engines and (b)
+//! match the blessed golden file. Any change to the backward lowering,
+//! the expanding reduction, quantization, or either execution engine
+//! shows up here as a one-line hex diff.
+//!
+//! To re-bless after an intended numerical change:
+//! `SMALLFLOAT_BLESS=1 cargo test -p smallfloat-nn --test training_golden`
+//! and review the file diff.
+
+use smallfloat_isa::FpFmt;
+use smallfloat_kernels::VecMode;
+use smallfloat_nn::graph::mlp;
+use smallfloat_nn::train::{train, Exec, PassAssignment, TrainConfig};
+use smallfloat_sim::{set_trace_override, MemLevel};
+
+#[test]
+fn loss_curve_is_pinned_under_both_engines() {
+    let (net, ds) = mlp();
+    let cfg = TrainConfig {
+        steps: 4,
+        ..TrainConfig::default()
+    };
+    let pa = PassAssignment::uniform(&net, FpFmt::H);
+    let exec = Exec::Sim {
+        mode: VecMode::Auto,
+        level: MemLevel::L1,
+    };
+    // The override is process-wide; this integration test binary has only
+    // this test, so nothing else can observe the toggles.
+    set_trace_override(Some(false));
+    let blocks = train(&net, &ds, &pa, &cfg, &exec);
+    set_trace_override(Some(true));
+    let traces = train(&net, &ds, &pa, &cfg, &exec);
+    set_trace_override(None);
+
+    let bits = |t: &smallfloat_nn::train::Training| -> Vec<u64> {
+        t.losses.iter().map(|l| l.to_bits()).collect()
+    };
+    assert_eq!(
+        bits(&blocks),
+        bits(&traces),
+        "block and trace engines must agree bit-for-bit on every step's loss"
+    );
+    assert_eq!(
+        blocks.params, traces.params,
+        "block and trace engines must agree on the final master weights"
+    );
+
+    let text: String = bits(&blocks)
+        .iter()
+        .map(|b| format!("{b:016x}\n"))
+        .collect();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/data/golden_training_losses.txt"
+    );
+    if smallfloat_sim::env::bless() {
+        std::fs::write(path, &text).expect("write blessed losses");
+        return;
+    }
+    let want = std::fs::read_to_string(path)
+        .expect("golden loss file missing; run with SMALLFLOAT_BLESS=1 to create it");
+    assert!(
+        text == want,
+        "per-step loss bits diverged from {path}\n--- expected ---\n{want}--- actual ---\n{text}"
+    );
+}

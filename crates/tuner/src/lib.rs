@@ -180,6 +180,74 @@ pub fn tune(
     }
 }
 
+/// [`tune`] with *batched* candidate evaluation: for every variable, all
+/// candidate kernels are handed to `eval_batch` together (one `Kernel` per
+/// candidate, in `config.candidates` order) and the cheapest candidate
+/// whose returned error fits `config.max_error` is locked in — the same
+/// greedy protocol and the same final assignment as [`tune`], since the
+/// sequential search also accepts the first (cheapest) fitting candidate.
+///
+/// The point of the batch is the caller's parallelism: a harness can fan
+/// the candidate runs out across worker threads (each with its own warmed
+/// simulator pool) and return the errors in order. The price is
+/// speculation — candidates past the accepted one are evaluated too, so
+/// `evaluations` counts every candidate of every variable, where [`tune`]
+/// stops each variable at its first accept.
+pub fn tune_batched(
+    base: &Kernel,
+    config: &TunerConfig,
+    mut eval_batch: impl FnMut(&[Kernel]) -> Vec<f64>,
+) -> TuneResult {
+    let names = retype::tunable_names(base);
+    let mut assignment: HashMap<String, FpFmt> =
+        names.iter().map(|n| (n.clone(), FpFmt::S)).collect();
+    let mut trace = Vec::new();
+    let mut evaluations = 0;
+    let all_s = retype::retype_all(base, FpFmt::S);
+    for name in &names {
+        let batch: Vec<Kernel> = config
+            .candidates
+            .iter()
+            .map(|&candidate| {
+                let mut attempt = assignment.clone();
+                attempt.insert(name.clone(), candidate);
+                retype::retype(&all_s, &attempt)
+            })
+            .collect();
+        let errors = eval_batch(&batch);
+        assert_eq!(
+            errors.len(),
+            batch.len(),
+            "eval_batch must return one error per candidate"
+        );
+        evaluations += errors.len();
+        let chosen = errors.iter().position(|e| *e <= config.max_error);
+        for (i, (&candidate, &error)) in config.candidates.iter().zip(&errors).enumerate() {
+            trace.push(TuneStep {
+                name: name.clone(),
+                tried: candidate,
+                error,
+                accepted: chosen == Some(i),
+            });
+        }
+        if let Some(i) = chosen {
+            assignment.insert(name.clone(), config.candidates[i]);
+        }
+    }
+    let assignment = names
+        .into_iter()
+        .map(|n| {
+            let f = assignment[&n];
+            (n, f)
+        })
+        .collect();
+    TuneResult {
+        assignment,
+        evaluations,
+        trace,
+    }
+}
+
 /// Exhaustively search every assignment over `config.candidates ∪ {S}` and
 /// return the cheapest one (by [`TuneResult::total_bits`]) satisfying the
 /// constraint — the oracle the greedy search approximates. Exponential in
@@ -389,6 +457,48 @@ mod tests {
         let result = tune(&range_kernel(), &config, rel_error);
         assert_eq!(result.evaluations, result.trace.len());
         assert!(result.trace_text().contains("try"));
+    }
+
+    #[test]
+    fn batched_matches_sequential_assignment() {
+        let k = range_kernel();
+        let config = TunerConfig {
+            candidates: vec![FpFmt::B, FpFmt::H, FpFmt::Ah],
+            max_error: 0.02,
+        };
+        let sequential = tune(&k, &config, rel_error);
+        let batched = tune_batched(&k, &config, |batch| batch.iter().map(rel_error).collect());
+        assert_eq!(batched.assignment, sequential.assignment);
+        // Speculation: the batch evaluates every candidate of every
+        // variable, the sequential search stops each variable at its
+        // first accept.
+        assert_eq!(batched.evaluations, 2 * config.candidates.len());
+        assert!(batched.evaluations >= sequential.evaluations);
+        assert_eq!(batched.trace.len(), batched.evaluations);
+        // Exactly one accepted step per variable that found a format.
+        for name in ["x", "y"] {
+            assert_eq!(
+                batched
+                    .trace
+                    .iter()
+                    .filter(|s| s.name == name && s.accepted)
+                    .count(),
+                1
+            );
+        }
+    }
+
+    #[test]
+    fn batched_falls_back_to_f32() {
+        let k = range_kernel();
+        let config = TunerConfig {
+            candidates: vec![FpFmt::B],
+            max_error: 0.0,
+        };
+        let r = tune_batched(&k, &config, |batch| batch.iter().map(rel_error).collect());
+        assert_eq!(r.assignment_for("x"), FpFmt::S);
+        assert_eq!(r.assignment_for("y"), FpFmt::S);
+        assert!(r.trace.iter().all(|s| !s.accepted));
     }
 
     #[test]

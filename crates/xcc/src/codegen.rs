@@ -36,7 +36,7 @@
 
 use crate::ir::{expr_type, promote, BinOp, Bound, Expr, IdxExpr, Kernel, Stmt};
 use smallfloat_asm::Assembler;
-use smallfloat_isa::{BranchCond, FReg, FpFmt, Instr, MinMaxOp, VfOp, XReg};
+use smallfloat_isa::{BranchCond, CmpOp, FReg, FpFmt, Instr, MinMaxOp, VfOp, XReg};
 use smallfloat_softfp::{ops, Env, Rounding};
 use std::collections::HashMap;
 use std::fmt;
@@ -687,11 +687,32 @@ impl<'k> Cg<'k> {
                 let cb = self.convert(vb, common, depth + 1)?;
                 let dst = self.stack(depth)?;
                 match op {
-                    BinOp::Add => self.asm.fadd(common, dst, ca.reg, cb.reg),
-                    BinOp::Sub => self.asm.fsub(common, dst, ca.reg, cb.reg),
-                    BinOp::Mul => self.asm.fmul(common, dst, ca.reg, cb.reg),
-                    BinOp::Div => self.asm.fdiv(common, dst, ca.reg, cb.reg),
-                    BinOp::Max => self.asm.fminmax(common, MinMaxOp::Max, dst, ca.reg, cb.reg),
+                    BinOp::Add => {
+                        self.asm.fadd(common, dst, ca.reg, cb.reg);
+                    }
+                    BinOp::Sub => {
+                        self.asm.fsub(common, dst, ca.reg, cb.reg);
+                    }
+                    BinOp::Mul => {
+                        self.asm.fmul(common, dst, ca.reg, cb.reg);
+                    }
+                    BinOp::Div => {
+                        self.asm.fdiv(common, dst, ca.reg, cb.reg);
+                    }
+                    BinOp::Max => {
+                        self.asm.fminmax(common, MinMaxOp::Max, dst, ca.reg, cb.reg);
+                    }
+                    BinOp::Gate => {
+                        // step = (0 ≤ a) as 0.0/1.0 (exact at every
+                        // format), then dst = b·step; fle sends NaN
+                        // predicates to zero, matching the interpreters.
+                        let step = self.stack(depth + 2)?;
+                        self.asm.li(T0, 0);
+                        self.asm.fmv_f(common, step, T0);
+                        self.asm.fcmp(common, CmpOp::Le, T0, step, ca.reg);
+                        self.asm.fcvt_f(common, step, T0, true);
+                        self.asm.fmul(common, dst, cb.reg, step);
+                    }
                 };
                 Ok(Val {
                     reg: dst,
@@ -1065,6 +1086,8 @@ impl<'k> Cg<'k> {
                     BinOp::Mul => VfOp::Mul,
                     BinOp::Div => VfOp::Div,
                     BinOp::Max => VfOp::Max,
+                    // vectorize_expr refuses Gate, so it never reaches here.
+                    BinOp::Gate => unreachable!("gate loops take the scalar path"),
                 };
                 self.asm.vfop(vop, fmt, dst, a, b, false);
                 Ok(dst)
@@ -1197,6 +1220,11 @@ fn vectorize_expr(
             })
         }
         Expr::Bin { op, lhs, rhs } => {
+            // No lane-wise compare-and-select in the emitted subset: gated
+            // expressions always fall back to the scalar loop.
+            if *op == BinOp::Gate {
+                return None;
+            }
             let l = vectorize_expr(kernel, lhs, var, fmt, lanes, lo, hoists)?;
             let r = vectorize_expr(kernel, rhs, var, fmt, lanes, lo, hoists)?;
             // Two splats cannot happen: the whole expr would be invariant.
@@ -1423,6 +1451,45 @@ mod tests {
         assert_eq!(c.vectorized_loops, 1);
         assert!(c.listing.contains("vfmax.h"), "listing:\n{}", c.listing);
         assert!(c.listing.contains("vfcpk.a.h.s"), "zero splat hoisted");
+    }
+
+    #[test]
+    fn gate_lowers_scalar_only() {
+        // dx[i] = gate(x[i], dy[i]) — the ReLU backward shape.
+        let mut k = Kernel::new("relu_bwd");
+        k.array("x", FpFmt::H, 8)
+            .array("dy", FpFmt::H, 8)
+            .array("dx", FpFmt::H, 8);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(8),
+            vec![Stmt::store(
+                "dx",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")).gate(Expr::load("dy", IdxExpr::var("i"))),
+            )],
+        )];
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(c.listing.contains("fle.h"), "listing:\n{}", c.listing);
+        assert!(c.listing.contains("fcvt.h.w"), "step materialized via cvt");
+        // Even with the vectorizer on, gated loops take the scalar path.
+        let c = compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.vectorized_loops, 0, "gate must not vectorize");
     }
 
     #[test]

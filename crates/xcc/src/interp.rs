@@ -148,6 +148,13 @@ fn eval_typed(
                 crate::ir::BinOp::Mul => ops::mul(f, ca, cb, env),
                 crate::ir::BinOp::Div => ops::div(f, ca, cb, env),
                 crate::ir::BinOp::Max => ops::fmax(f, ca, cb, env),
+                crate::ir::BinOp::Gate => {
+                    // Mirror the scalar lowering exactly: fle(0 ≤ a) into
+                    // an integer, int→float convert (0.0/1.0 is exact at
+                    // every format), then a rounded multiply by the step.
+                    let step = ops::from_i64(f, ops::fle(f, 0, ca, env) as i64, env);
+                    ops::mul(f, cb, step, env)
+                }
             };
             (r, common)
         }
@@ -265,6 +272,9 @@ fn eval_f64(st: &F64State, vars: &HashMap<String, i64>, e: &Expr) -> f64 {
                 crate::ir::BinOp::Mul => a * b,
                 crate::ir::BinOp::Div => a / b,
                 crate::ir::BinOp::Max => a.max(b),
+                // The multiply (not a select) keeps -0/NaN semantics in
+                // lockstep with the typed interpreter and the hardware.
+                crate::ir::BinOp::Gate => b * (if 0.0 <= a { 1.0 } else { 0.0 }),
             }
         }
     }
@@ -450,6 +460,39 @@ mod tests {
         fs.set_array("x", &x);
         run_f64(&k, &mut fs);
         assert_eq!(fs.array("y"), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn gate_routes_subgradients() {
+        // dx[i] = gate(x[i], dy[i]): dy passes where x ≥ 0, zero elsewhere
+        // — the ReLU backward shape.
+        let mut k = Kernel::new("relu_bwd");
+        k.array("x", FpFmt::H, 4)
+            .array("dy", FpFmt::H, 4)
+            .array("dx", FpFmt::H, 4);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(4),
+            vec![Stmt::store(
+                "dx",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")).gate(Expr::load("dy", IdxExpr::var("i"))),
+            )],
+        )];
+        let x = [-2.0, -0.0, 0.5, 3.0];
+        let dy = [5.0, 7.0, -11.0, 13.0];
+        let want = vec![0.0, 7.0, -11.0, 13.0];
+        let mut ts = TypedState::for_kernel(&k);
+        ts.set_array("x", &x);
+        ts.set_array("dy", &dy);
+        run_typed(&k, &mut ts);
+        assert_eq!(ts.array_f64("dx"), want, "-0 passes: fle treats -0 == +0");
+        let mut fs = F64State::for_kernel(&k);
+        fs.set_array("x", &x);
+        fs.set_array("dy", &dy);
+        run_f64(&k, &mut fs);
+        assert_eq!(fs.array("dx"), &want[..]);
     }
 
     #[test]

@@ -92,6 +92,14 @@ pub enum BinOp {
     /// IEEE 754-2008 `maxNum` — the ReLU / max-pool primitive. Lowers to
     /// `fmax.fmt` scalar and lane-wise `vfmax.fmt` vector instructions.
     Max,
+    /// `gate(a, b) = b · step(a)` with `step(a) = 1.0` when `0 ≤ a` (fle
+    /// semantics: NaN gates to zero) else `0.0` — the backward-pass
+    /// subgradient router (ReLU' and max-pool' are both gates on a
+    /// recomputed predicate). Lowers to `fle.fmt` + `fcvt.fmt.w` + a
+    /// `fmul.fmt` by the exact 0.0/1.0 step; never vectorized (no lane
+    /// compare-and-select in the Xfvec subset the code generator uses),
+    /// so gated loops take the scalar path.
+    Gate,
 }
 
 /// An arithmetic expression.
@@ -133,6 +141,13 @@ impl Expr {
     /// `maxNum(self, rhs)` (no operator to overload — a named builder).
     pub fn max(self, rhs: Expr) -> Expr {
         Expr::bin(BinOp::Max, self, rhs)
+    }
+
+    /// `value · step(self)`: pass `value` through where `self ≥ 0`, zero
+    /// elsewhere (a named builder like [`Expr::max`]; `self` is the
+    /// predicate). See [`BinOp::Gate`].
+    pub fn gate(self, value: Expr) -> Expr {
+        Expr::bin(BinOp::Gate, self, value)
     }
 
     fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
@@ -511,6 +526,23 @@ mod tests {
         assert!(fma_pattern(&k, &e).is_some());
         // Plain adds are not fusable.
         let e = Expr::scalar("h") + Expr::load("a", IdxExpr::var("i"));
+        assert!(fma_pattern(&k, &e).is_none());
+    }
+
+    #[test]
+    fn gate_builder_and_type() {
+        let mut k = Kernel::new("t");
+        k.array("x", FpFmt::H, 4).array("dy", FpFmt::S, 4);
+        let e = Expr::load("x", IdxExpr::var("i")).gate(Expr::load("dy", IdxExpr::var("i")));
+        assert!(matches!(
+            &e,
+            Expr::Bin {
+                op: BinOp::Gate,
+                ..
+            }
+        ));
+        assert_eq!(expr_type(&k, &e), FpFmt::S, "gate promotes like any binop");
+        // Gates never fuse: fma_pattern only matches a top-level add.
         assert!(fma_pattern(&k, &e).is_none());
     }
 

@@ -355,6 +355,43 @@ fn stencil_with_offsets_matches() {
 }
 
 #[test]
+fn gate_scalar_bit_exact_all_formats() {
+    // dx[i] = gate(x[i], dy[i]) — the backward-pass subgradient router —
+    // must agree bit-for-bit between the typed interpreter and the
+    // simulator at every format (it never vectorizes, so the scalar
+    // lowering is the only lowering).
+    for ty in [FpFmt::S, FpFmt::H, FpFmt::Ah, FpFmt::B, FpFmt::Ab] {
+        let n = 17;
+        let mut k = Kernel::new("relu_bwd");
+        k.array("x", ty, n).array("dy", ty, n).array("dx", ty, n);
+        k.body = vec![Stmt::for_(
+            "i",
+            0,
+            Bound::constant(n as i64),
+            vec![Stmt::store(
+                "dx",
+                IdxExpr::var("i"),
+                Expr::load("x", IdxExpr::var("i")).gate(Expr::load("dy", IdxExpr::var("i"))),
+            )],
+        )];
+        let inputs = vec![("x", data(n, 21)), ("dy", data(n, 22))];
+        let compiled = codegen::compile(
+            &k,
+            CodegenOptions {
+                vectorize: true,
+                expanding: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(compiled.vectorized_loops, 0, "gate loops stay scalar");
+        let (arrays, _) = run_on_sim(&k, &compiled, &inputs);
+        let st = interp_typed(&k, &inputs);
+        let dx_sim = &arrays.iter().find(|(n, _)| n == "dx").unwrap().1;
+        assert_eq!(dx_sim, &st.array_f64("dx"), "fmt {ty:?}");
+    }
+}
+
+#[test]
 fn vectorization_reduces_cycles() {
     // The point of the paper: same kernel, fewer cycles with SIMD.
     let n = 256;

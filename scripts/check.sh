@@ -10,6 +10,8 @@
 #   SMALLFLOAT_BENCH_JSON=out.json cargo bench -p smallfloat-bench --bench <name>
 # and BENCH_serving.json via
 #   cargo run --release -p smallfloat-bench --bin serve_bench -- --json BENCH_serving.json
+# and BENCH_training.json via
+#   cargo run --release -p smallfloat-bench --bin train_table -- --json BENCH_training.json
 #
 # The basic-block micro-op cache and the superblock trace tier stacked on it
 # are both on by default; SMALLFLOAT_NOBLOCKS=1 forces every Cpu::run onto the
@@ -45,8 +47,8 @@ cargo run --release -q -p smallfloat-bench --bin testrunner
 echo "==> vdotpex4_f8 exhaustive differential suite (release)"
 cargo test --release -q -p smallfloat-softfp --test vdotpex4_f8_differential
 
-echo "==> nn QoR regression suite (release: end-to-end formats/modes, manual-SIMD floors, pinned tuned assignments)"
-cargo test --release -q -p smallfloat-nn
+echo "==> nn QoR + training regression suite (release: end-to-end formats/modes, manual-SIMD floors, pinned tuned assignments; training smoke = few-step loss parity vs the f64 reference, pinned golden loss bits under block+trace engines, FD gradient checks. The per-pass training tuner grid runs under --full)"
+cargo test --release -q -p smallfloat-nn -- --skip per_pass
 
 echo "==> cluster + trace-profitability gates (release)"
 cargo test --release -q -p smallfloat-cluster
@@ -61,7 +63,7 @@ if [[ "${1:-}" == "--full" ]]; then
     cargo fmt --check
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
     cargo clippy --workspace --all-targets -- -D warnings
-    echo "==> cargo test --workspace --release -q"
+    echo "==> cargo test --workspace --release -q (includes the per-pass training tuner grid: pinned MLP assignment, frontier dominance, worker-count independence)"
     cargo test --workspace --release -q
     echo "==> replay fleet: full workload x precision x mode grid, both engine tiers"
     cargo run --release -q -p smallfloat-bench --bin testrunner -- --full
